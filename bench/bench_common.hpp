@@ -1,0 +1,125 @@
+#pragma once
+/// \file bench_common.hpp
+/// Shared machinery of the figure/table reproduction benches: configuring a
+/// solver + machine + program version + mapping, evaluating the per-step
+/// time (analytically or through the discrete-event simulator), and printing
+/// aligned result tables.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/map/mapping.hpp"
+#include "ptask/ode/graph_gen.hpp"
+#include "ptask/sched/data_parallel.hpp"
+#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/timeline.hpp"
+
+namespace ptask::bench {
+
+/// Program version of Section 4.2: data-parallel or task-parallel.
+enum class Version { DataParallel, TaskParallel };
+
+inline const char* to_string(Version v) {
+  return v == Version::DataParallel ? "dp" : "tp";
+}
+
+struct RunConfig {
+  arch::MachineSpec machine = arch::chic();
+  int cores = 64;
+  Version version = Version::TaskParallel;
+  map::Strategy strategy = map::Strategy::Consecutive;
+  int mixed_d = 1;
+  int threads_per_rank = 1;  ///< >1: hybrid MPI+OpenMP execution
+  bool simulate = false;     ///< discrete-event simulation vs analytic model
+  /// Group count for the task-parallel version; 0 derives it from the spec
+  /// (R/2 for EPOL, K otherwise -- the paper's tp schemes).
+  int fixed_groups = 0;
+};
+
+/// Task-parallel group count of the paper's program versions.
+inline int default_tp_groups(const ode::SolverGraphSpec& spec) {
+  return spec.method == ode::Method::EPOL ? std::max(1, spec.stages / 2)
+                                          : spec.stages;
+}
+
+struct RunResult {
+  double step_time = 0.0;       ///< seconds per time step
+  double redistribution = 0.0;  ///< analytic re-distribution share
+  int groups = 1;               ///< groups of the first layer
+};
+
+/// Schedules, maps, and evaluates one time step of `spec` under `config`.
+inline RunResult run_step(const ode::SolverGraphSpec& spec,
+                          const RunConfig& config) {
+  const arch::Machine full(config.machine);
+  const arch::Machine machine = full.partition(config.cores);
+  const cost::CostModel cost(machine);
+
+  sched::LayeredSchedule schedule;
+  if (config.version == Version::DataParallel) {
+    schedule = sched::DataParallelScheduler(cost).schedule(spec.step_graph(),
+                                                           config.cores);
+  } else {
+    sched::LayerSchedulerOptions opts;
+    opts.fixed_groups = config.fixed_groups > 0 ? config.fixed_groups
+                                                : default_tp_groups(spec);
+    schedule =
+        sched::LayerScheduler(cost, opts).schedule(spec.step_graph(),
+                                                   config.cores);
+  }
+
+  const std::vector<cost::LayerLayout> layouts = map::map_schedule(
+      schedule, machine, config.strategy, config.mixed_d);
+
+  sched::TimelineOptions opts;
+  opts.threads_per_rank = config.threads_per_rank;
+  const sched::TimelineEvaluator eval(cost);
+
+  RunResult result;
+  result.groups = schedule.layers.front().num_groups();
+  if (config.simulate) {
+    result.step_time = eval.simulate(schedule, layouts, opts).makespan;
+  } else {
+    const sched::TimelineResult r = eval.evaluate(schedule, layouts, opts);
+    result.step_time = r.makespan;
+    result.redistribution = r.redistribution_time;
+  }
+  return result;
+}
+
+/// Sequential time of one step (for speedup figures).
+inline double sequential_step_time(const ode::SolverGraphSpec& spec,
+                                   const arch::MachineSpec& machine) {
+  return spec.step_graph().total_work_flop() /
+         (machine.core_flops * machine.core_efficiency);
+}
+
+// ---- table printing ----
+
+inline void print_header(const std::string& title,
+                         const std::vector<std::string>& columns) {
+  std::printf("\n== %s ==\n", title.c_str());
+  for (const std::string& c : columns) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < columns.size(); ++i) std::printf("%16s", "----");
+  std::printf("\n");
+}
+
+inline void print_cell(const std::string& value) {
+  std::printf("%16s", value.c_str());
+}
+
+inline void print_cell(double value) { std::printf("%16.4g", value); }
+inline void print_cell(int value) { std::printf("%16d", value); }
+inline void end_row() { std::printf("\n"); }
+
+inline std::string ms(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
+  return std::string(buf);
+}
+
+}  // namespace ptask::bench

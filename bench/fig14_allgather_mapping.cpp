@@ -1,0 +1,140 @@
+// Reproduces Fig. 14: the impact of the mapping strategy on collective
+// communication on 256 cores of the CHiC cluster, measured on the
+// discrete-event network simulator.
+//
+//  * Left: a global MPI_Allgather over all 256 cores for increasing per-core
+//    data sizes.  The MPI ring algorithm for large messages communicates
+//    between neighbouring ranks, so the consecutive mapping keeps most hops
+//    inside nodes and must be clearly fastest.
+//  * Right: the Multi-Allgather pattern of the Intel MPI benchmarks --
+//    64 groups x 4 cores (the "orthogonal" communicator shape) and
+//    4 groups x 64 cores (the "group-based" shape) running concurrently.
+//    Group-based communication favours the consecutive mapping; orthogonal
+//    communication favours the scattered mapping.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_common.hpp"
+#include "ptask/net/collectives.hpp"
+#include "ptask/sim/network_sim.hpp"
+
+namespace {
+
+using namespace ptask;
+
+/// Concurrent ring allgathers over explicit communicators (lists of flat
+/// core ids), run on the discrete-event simulator.
+double simulate_concurrent_allgathers(
+    const arch::Machine& machine,
+    const std::vector<std::vector<int>>& communicators,
+    std::size_t bytes_per_rank) {
+  std::vector<int> placement;
+  std::vector<std::vector<int>> rank_lists;
+  for (const std::vector<int>& comm : communicators) {
+    std::vector<int> ranks;
+    for (int core : comm) {
+      ranks.push_back(static_cast<int>(placement.size()));
+      placement.push_back(core);
+    }
+    rank_lists.push_back(std::move(ranks));
+  }
+  sim::ProgramSet programs(static_cast<int>(placement.size()));
+  for (std::size_t g = 0; g < rank_lists.size(); ++g) {
+    programs.add_collective(
+        net::ring_allgather(static_cast<int>(rank_lists[g].size()),
+                            bytes_per_rank),
+        rank_lists[g]);
+  }
+  return sim::NetworkSim(machine, placement).run(programs).makespan;
+}
+
+/// The group communicators of a 4-groups-of-64 layer layout (group-based
+/// communication shape).
+std::vector<std::vector<int>> group_communicators(
+    const std::vector<int>& sequence, int num_groups, int group_size) {
+  std::vector<std::vector<int>> comms;
+  for (int g = 0; g < num_groups; ++g) {
+    comms.emplace_back(sequence.begin() + g * group_size,
+                       sequence.begin() + (g + 1) * group_size);
+  }
+  return comms;
+}
+
+/// The orthogonal communicators of the same layout: the j-th core of every
+/// group (64 communicators of 4 cores for 4 groups x 64).
+std::vector<std::vector<int>> orthogonal_communicators(
+    const std::vector<int>& sequence, int num_groups, int group_size) {
+  std::vector<std::vector<int>> comms(static_cast<std::size_t>(group_size));
+  for (int j = 0; j < group_size; ++j) {
+    for (int g = 0; g < num_groups; ++g) {
+      comms[static_cast<std::size_t>(j)].push_back(
+          sequence[static_cast<std::size_t>(g * group_size + j)]);
+    }
+  }
+  return comms;
+}
+
+}  // namespace
+
+int main() {
+  arch::MachineSpec spec = arch::chic();
+  const int cores = 256;
+  const arch::Machine machine = arch::Machine(spec).partition(cores);
+
+  const std::vector<int> cons =
+      map::physical_sequence(machine, map::Strategy::Consecutive);
+  const std::vector<int> scat =
+      map::physical_sequence(machine, map::Strategy::Scattered);
+  const std::vector<int> mixed =
+      map::physical_sequence(machine, map::Strategy::Mixed, 2);
+
+  std::printf("Fig. 14 (left): MPI_Allgather on %d cores of CHiC,\n"
+              "time [ms] vs data size per core\n", cores);
+  bench::print_header("global allgather [ms]",
+                      {"bytes/core", "consecutive", "mixed(d=2)", "scattered"});
+  for (std::size_t bytes : {1u << 10, 4u << 10, 16u << 10, 64u << 10,
+                            256u << 10, 1u << 20}) {
+    bench::print_cell(static_cast<int>(bytes));
+    for (const std::vector<int>* seq : {&cons, &mixed, &scat}) {
+      bench::print_cell(bench::ms(simulate_concurrent_allgathers(
+          machine, {{seq->begin(), seq->begin() + cores}}, bytes)));
+    }
+    bench::end_row();
+  }
+  std::printf("expected shape: consecutive clearly lowest (ring algorithm\n"
+              "communicates between neighbouring ranks).\n");
+
+  // The Multi-Allgather communicator shapes of a K=4 task-parallel layer:
+  // 4 group communicators of 64 cores, and the 64 orthogonal communicators
+  // of 4 cores binding same-position cores of the groups.
+  std::printf("\nFig. 14 (right): Multi-Allgather, %d cores of CHiC,\n"
+              "communicator shapes of a K=4 task-parallel layer\n", cores);
+  bench::print_header(
+      "4 groups x 64 cores [ms]  (group-based communication)",
+      {"bytes/core", "consecutive", "mixed(d=2)", "scattered"});
+  for (std::size_t bytes : {4u << 10, 64u << 10, 1u << 20}) {
+    bench::print_cell(static_cast<int>(bytes));
+    for (const std::vector<int>* seq : {&cons, &mixed, &scat}) {
+      bench::print_cell(bench::ms(simulate_concurrent_allgathers(
+          machine, group_communicators(*seq, 4, 64), bytes)));
+    }
+    bench::end_row();
+  }
+
+  bench::print_header(
+      "64 groups x 4 cores [ms]  (orthogonal communication)",
+      {"bytes/core", "consecutive", "mixed(d=2)", "scattered"});
+  for (std::size_t bytes : {4u << 10, 64u << 10, 1u << 20}) {
+    bench::print_cell(static_cast<int>(bytes));
+    for (const std::vector<int>* seq : {&cons, &mixed, &scat}) {
+      bench::print_cell(bench::ms(simulate_concurrent_allgathers(
+          machine, orthogonal_communicators(*seq, 4, 64), bytes)));
+    }
+    bench::end_row();
+  }
+  std::printf("expected shape: group-based fastest with consecutive;\n"
+              "orthogonal fastest with scattered (the 4 same-position cores\n"
+              "of the groups then share one node).\n");
+  return 0;
+}

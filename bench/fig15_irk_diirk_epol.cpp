@@ -1,0 +1,145 @@
+// Reproduces Fig. 15: execution times of a single time step of the IRK,
+// DIIRK, and EPOL methods under the different mapping strategies.
+//
+//  * Top row: IRK with K=4 stage vectors (BRUSS2D) on the CHiC cluster
+//    (4 cores/node: consecutive, mixed(d=2), scattered) and on the JuRoPA
+//    cluster (8 cores/node: + mixed(d=4)).  The IRK method is dominated by
+//    global communication: consecutive-style mappings win, scattered is
+//    clearly outperformed.
+//  * Bottom left: DIIRK with K=4 on 512 cores of CHiC, data-parallel vs
+//    task-parallel x mappings.  DIIRK's heavy group-internal communication
+//    makes the task-parallel version far faster, best with consecutive.
+//  * Bottom right: EPOL with R=8 on 512 cores of JuRoPA.  No orthogonal
+//    communication: consecutive clearly beats mixed(d=4) and scattered.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace ptask;
+using bench::RunConfig;
+using bench::Version;
+
+ode::SolverGraphSpec irk_spec() {
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::IRK;
+  spec.n = 2 * 256 * 256;  // BRUSS2D N=256
+  spec.eval_flop_per_component = 14.0;
+  spec.stages = 4;
+  spec.iterations = 3;
+  return spec;
+}
+
+void mapping_sweep(const char* title, const ode::SolverGraphSpec& spec,
+                   const arch::MachineSpec& machine,
+                   const std::vector<int>& core_counts, bool include_d4) {
+  std::vector<std::string> columns{"cores", "dp(cons)", "tp(cons)"};
+  columns.push_back("tp(mix d=2)");
+  if (include_d4) columns.push_back("tp(mix d=4)");
+  columns.push_back("tp(scat)");
+  bench::print_header(title, columns);
+
+  for (int cores : core_counts) {
+    bench::print_cell(cores);
+    RunConfig config;
+    config.machine = machine;
+    config.cores = cores;
+
+    config.version = Version::DataParallel;
+    config.strategy = map::Strategy::Consecutive;
+    bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+
+    config.version = Version::TaskParallel;
+    bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+
+    config.strategy = map::Strategy::Mixed;
+    config.mixed_d = 2;
+    bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+    if (include_d4) {
+      config.mixed_d = 4;
+      bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+    }
+
+    config.strategy = map::Strategy::Scattered;
+    bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+    bench::end_row();
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Fig. 15: per-time-step execution times [ms]\n");
+
+  mapping_sweep("IRK (K=4, BRUSS2D) on CHiC", irk_spec(), arch::chic(),
+                {64, 128, 256, 512}, /*include_d4=*/false);
+  mapping_sweep("IRK (K=4, BRUSS2D) on JuRoPA", irk_spec(), arch::juropa(),
+                {64, 128, 256, 512}, /*include_d4=*/true);
+  std::printf("expected shape: consecutive-style mappings lowest, scattered\n"
+              "clearly outperformed (global communication dominates IRK).\n");
+
+  {
+    ode::SolverGraphSpec spec;
+    spec.method = ode::Method::DIIRK;
+    spec.n = 1 << 15;
+    spec.eval_flop_per_component = 14.0;
+    spec.stages = 4;
+    spec.iterations = 2;
+    spec.inner_iterations = 2;
+    spec.bcast_row_bytes = 8192;
+
+    bench::print_header(
+        "DIIRK (K=4, BRUSS2D) on 512 cores of CHiC [ms]",
+        {"version", "consecutive", "mixed(d=2)", "scattered"});
+    for (Version version : {Version::DataParallel, Version::TaskParallel}) {
+      bench::print_cell(std::string(bench::to_string(version)));
+      for (auto [strategy, d] :
+           {std::pair{map::Strategy::Consecutive, 1},
+            std::pair{map::Strategy::Mixed, 2},
+            std::pair{map::Strategy::Scattered, 1}}) {
+        RunConfig config;
+        config.machine = arch::chic();
+        config.cores = 512;
+        config.version = version;
+        config.strategy = strategy;
+        config.mixed_d = d;
+        bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+      }
+      bench::end_row();
+    }
+    std::printf("expected shape: tp much faster than dp (group-internal\n"
+                "broadcasts shrink from 512 to 128 cores); consecutive best.\n");
+  }
+
+  {
+    ode::SolverGraphSpec spec;
+    spec.method = ode::Method::EPOL;
+    spec.n = 2 * 256 * 256;
+    spec.eval_flop_per_component = 14.0;
+    spec.stages = 8;
+
+    bench::print_header(
+        "EPOL (R=8, BRUSS2D) on 512 cores of JuRoPA [ms]",
+        {"mapping", "tp step time"});
+    for (auto [label, strategy, d] :
+         {std::tuple{"consecutive", map::Strategy::Consecutive, 1},
+          std::tuple{"mixed(d=2)", map::Strategy::Mixed, 2},
+          std::tuple{"mixed(d=4)", map::Strategy::Mixed, 4},
+          std::tuple{"scattered", map::Strategy::Scattered, 1}}) {
+      RunConfig config;
+      config.machine = arch::juropa();
+      config.cores = 512;
+      config.strategy = strategy;
+      config.mixed_d = d;
+      bench::print_cell(std::string(label));
+      bench::print_cell(bench::ms(bench::run_step(spec, config).step_time));
+      bench::end_row();
+    }
+    std::printf("expected shape: consecutive clearly lowest; mixed(d=4)\n"
+                "substantially slower (EPOL has no orthogonal communication\n"
+                "to profit from spreading).\n");
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Google-benchmark micro benchmarks of the library machinery itself:
+// scheduler throughput, collective schedule generation, discrete-event
+// simulation rate, chain contraction, and re-distribution planning.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+
+#include "ptask/core/graph_algorithms.hpp"
+#include "ptask/dist/redistribution.hpp"
+#include "ptask/net/collectives.hpp"
+#include "ptask/ode/graph_gen.hpp"
+#include "ptask/sched/cpa_scheduler.hpp"
+#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sim/network_sim.hpp"
+
+namespace {
+
+using namespace ptask;
+
+arch::Machine machine(int nodes) {
+  arch::MachineSpec spec = arch::chic();
+  spec.num_nodes = nodes;
+  return arch::Machine(spec);
+}
+
+ode::SolverGraphSpec pabm_spec(int stages) {
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::PABM;
+  spec.n = 1 << 14;
+  spec.stages = stages;
+  spec.iterations = 2;
+  return spec;
+}
+
+void BM_LayerScheduler(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 4);
+  const cost::CostModel cost(m);
+  const core::TaskGraph g = pabm_spec(8).step_graph();
+  const sched::LayerScheduler scheduler(cost);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g, cores));
+  }
+}
+BENCHMARK(BM_LayerScheduler)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_CpaScheduler(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 4);
+  const cost::CostModel cost(m);
+  const core::TaskGraph g = pabm_spec(8).step_graph();
+  const sched::CpaScheduler scheduler(cost);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g, cores));
+  }
+}
+BENCHMARK(BM_CpaScheduler)->Arg(64)->Arg(256);
+
+void BM_ChainContraction(benchmark::State& state) {
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::EPOL;
+  spec.n = 1 << 12;
+  spec.stages = static_cast<int>(state.range(0));
+  const core::TaskGraph g = spec.step_graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::contract_linear_chains(g));
+  }
+}
+BENCHMARK(BM_ChainContraction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RingAllgatherSimulation(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(ranks / 4);
+  std::vector<int> placement(static_cast<std::size_t>(ranks));
+  std::iota(placement.begin(), placement.end(), 0);
+  sim::ProgramSet programs(ranks);
+  programs.add_collective(net::ring_allgather(ranks, 64 * 1024), placement);
+  const sim::NetworkSim sim(m, placement);
+  std::size_t messages = 0;
+  for (auto _ : state) {
+    const sim::SimResult result = sim.run(programs);
+    messages += result.transfers;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(messages));
+}
+BENCHMARK(BM_RingAllgatherSimulation)->Arg(64)->Arg(256);
+
+void BM_RedistributionPlan(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dist::RedistributionPlan::compute(
+        n, 8, dist::Distribution::block(), 16, dist::Distribution::cyclic(),
+        32, false));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RedistributionPlan)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_CollectiveScheduleGeneration(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::ring_allgather(ranks, 4096));
+    benchmark::DoNotOptimize(net::binomial_bcast(ranks, 0, 4096));
+    benchmark::DoNotOptimize(net::allreduce(ranks, 4096));
+  }
+}
+BENCHMARK(BM_CollectiveScheduleGeneration)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,99 @@
+// Dynamic M-task scheduling demo (paper Section 2.2.2): adaptive quadrature
+// with recursive task creation, the workload class the paper attributes to
+// dynamic schedulers like the Tlib library.
+//
+// The integrand has a sharp peak; each task integrates an interval SPMD on
+// its group and, if the coarse and fine estimates disagree, splits the
+// interval into two child *tasks* (not just subintervals) -- so the task
+// tree grows at runtime exactly where the problem is hard, and the
+// scheduler keeps assigning freed core groups to the newly created tasks.
+//
+// Build & run:  ./build/examples/dynamic_tasks
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "ptask/rt/dynamic_scheduler.hpp"
+
+using namespace ptask;
+
+namespace {
+
+// A needle at x = 0.3 on a smooth background.
+double f(double x) {
+  return std::exp(-1e4 * (x - 0.3) * (x - 0.3)) + std::sin(3.0 * x);
+}
+
+/// Composite midpoint rule over [a, b] with `samples` points, evaluated
+/// SPMD: each group member sums a block, the group allreduces.
+double spmd_midpoint(rt::ExecContext& ctx, double a, double b, int samples) {
+  const double h = (b - a) / samples;
+  const int chunk = (samples + ctx.group_size - 1) / ctx.group_size;
+  const int begin = ctx.group_rank * chunk;
+  const int end = std::min(samples, begin + chunk);
+  double local = 0.0;
+  for (int i = begin; i < end; ++i) {
+    local += f(a + (i + 0.5) * h);
+  }
+  return ctx.comm->allreduce_sum(ctx.group_rank, local) * h;
+}
+
+}  // namespace
+
+int main() {
+  const int cores = 8;
+  rt::DynamicScheduler scheduler(cores);
+  std::atomic<double> integral{0.0};
+  std::atomic<int> leaves{0};
+  std::atomic<int> splits{0};
+  const double tol = 1e-9;
+
+  std::function<void(double, double, double)> integrate =
+      [&](double a, double b, double local_tol) {
+        scheduler.submit(rt::DynamicTask{
+            "quad", 1, 4, b - a, [&, a, b, local_tol](rt::ExecContext& ctx) {
+              const double coarse = spmd_midpoint(ctx, a, b, 256);
+              const double fine = spmd_midpoint(ctx, a, b, 512);
+              if (ctx.group_rank != 0) return;  // one decider per group
+              if (std::fabs(fine - coarse) < local_tol || b - a < 1e-6) {
+                double cur = integral.load();
+                while (!integral.compare_exchange_weak(cur, cur + fine)) {
+                }
+                leaves++;
+              } else {
+                splits++;
+                const double mid = 0.5 * (a + b);
+                integrate(a, mid, local_tol / 2.0);
+                integrate(mid, b, local_tol / 2.0);
+              }
+            }});
+      };
+
+  integrate(0.0, 1.0, tol);
+  scheduler.wait();
+
+  // Reference: very fine fixed grid.
+  double reference = 0.0;
+  const int n = 4'000'000;
+  for (int i = 0; i < n; ++i) {
+    reference += f((i + 0.5) / n);
+  }
+  reference /= n;
+
+  const rt::DynamicSchedulerStats stats = scheduler.stats();
+  std::printf("adaptive quadrature of a needle integrand on [0, 1]\n");
+  std::printf("  result     %.12f\n", integral.load());
+  std::printf("  reference  %.12f\n", reference);
+  std::printf("  |error|    %.2e\n", std::fabs(integral.load() - reference));
+  std::printf("  task tree: %llu tasks (%d splits, %d leaves), "
+              "max %d concurrent, groups %d..%d cores\n",
+              static_cast<unsigned long long>(stats.tasks_completed),
+              splits.load(), leaves.load(), stats.max_concurrent_tasks,
+              stats.smallest_group, stats.largest_group);
+  std::printf("\nthe task tree refined itself around the needle at x=0.3;\n"
+              "the dynamic scheduler resized groups as the pending set\n"
+              "changed -- no static schedule could have known this shape.\n");
+  return 0;
+}

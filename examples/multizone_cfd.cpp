@@ -1,0 +1,168 @@
+// Multi-zone CFD demo (paper Section 4.6): zones as M-tasks.
+//
+// A small NPB-MZ-style problem is stepped for real: every zone is one
+// M-task executed SPMD by its group on the shared-memory runtime, with
+// genuine ghost-face exchanges between neighbouring zones at the end of
+// every time step.  The residual trajectory is independent of the group
+// structure -- only the (projected) execution time changes, which is the
+// whole point of the combined scheduling and mapping approach.
+//
+// Build & run:  ./build/examples/multizone_cfd
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "ptask/map/mapping.hpp"
+#include "ptask/npb/multizone.hpp"
+#include "ptask/npb/stencil.hpp"
+#include "ptask/rt/executor.hpp"
+#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/timeline.hpp"
+
+using namespace ptask;
+
+namespace {
+
+struct ZoneSet {
+  npb::MultiZoneProblem problem;
+  std::vector<npb::ZoneField> fields;
+  std::vector<int> x0, y0;
+
+  explicit ZoneSet(npb::MzSolver solver, char cls)
+      : problem(npb::make_problem(solver, cls)) {
+    int y_off = 0;
+    for (int iy = 0; iy < problem.y_zones; ++iy) {
+      int x_off = 0;
+      for (int ix = 0; ix < problem.x_zones; ++ix) {
+        const npb::ZoneGrid& zone =
+            problem.zones[static_cast<std::size_t>(iy * problem.x_zones + ix)];
+        fields.emplace_back(zone);
+        fields.back().initialize(x_off, y_off,
+                                 static_cast<std::size_t>(problem.global.nx),
+                                 static_cast<std::size_t>(problem.global.ny));
+        x0.push_back(x_off);
+        y0.push_back(y_off);
+        x_off += zone.nx;
+      }
+      y_off += problem
+                   .zones[static_cast<std::size_t>(iy * problem.x_zones)]
+                   .ny;
+    }
+  }
+
+  int zone_at(int ix, int iy) const { return iy * problem.x_zones + ix; }
+
+  /// Exchanges ghost faces between all horizontally/vertically adjacent
+  /// zones (the inter-M-task border exchange).
+  void exchange_borders() {
+    std::vector<double> buffer;
+    for (int iy = 0; iy < problem.y_zones; ++iy) {
+      for (int ix = 0; ix + 1 < problem.x_zones; ++ix) {
+        npb::ZoneField& left = fields[static_cast<std::size_t>(zone_at(ix, iy))];
+        npb::ZoneField& right =
+            fields[static_cast<std::size_t>(zone_at(ix + 1, iy))];
+        buffer.resize(left.face_size(1));
+        left.extract_face(1, buffer);
+        right.set_ghost_face(0, buffer);
+        buffer.resize(right.face_size(0));
+        right.extract_face(0, buffer);
+        left.set_ghost_face(1, buffer);
+      }
+    }
+    for (int iy = 0; iy + 1 < problem.y_zones; ++iy) {
+      for (int ix = 0; ix < problem.x_zones; ++ix) {
+        npb::ZoneField& lo = fields[static_cast<std::size_t>(zone_at(ix, iy))];
+        npb::ZoneField& hi =
+            fields[static_cast<std::size_t>(zone_at(ix, iy + 1))];
+        buffer.resize(lo.face_size(3));
+        lo.extract_face(3, buffer);
+        hi.set_ghost_face(2, buffer);
+        buffer.resize(hi.face_size(2));
+        hi.extract_face(2, buffer);
+        lo.set_ghost_face(3, buffer);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+int main() {
+  ZoneSet zones(npb::MzSolver::BT, 'S');  // 2x2 zones, skewed sizes
+  std::printf("problem: %s, %d zones, global %dx%dx%d, imbalance %.1fx\n",
+              zones.problem.name().c_str(), zones.problem.num_zones(),
+              zones.problem.global.nx, zones.problem.global.ny,
+              zones.problem.global.nz, zones.problem.imbalance_ratio());
+
+  // Schedule the per-step zone graph onto 8 virtual cores, 2 groups.
+  const core::TaskGraph graph = npb::step_graph(zones.problem);
+  arch::MachineSpec machine_spec = arch::chic();
+  machine_spec.num_nodes = 2;
+  const arch::Machine machine(machine_spec);
+  const cost::CostModel cost(machine);
+  sched::LayerSchedulerOptions opts;
+  opts.fixed_groups = 2;
+  const sched::LayeredSchedule schedule =
+      sched::LayerScheduler(cost, opts).schedule(graph, 8);
+  std::printf("\n%s\n", sched::describe(schedule).c_str());
+
+  // Real execution: each zone task relaxes its zone SPMD on its group.
+  std::vector<double> residuals(zones.fields.size(), 0.0);
+  std::vector<rt::TaskFn> fns(static_cast<std::size_t>(graph.num_tasks()));
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    if (graph.task(id).is_marker()) continue;
+    const std::size_t z = static_cast<std::size_t>(
+        std::stoi(graph.task(id).name().substr(4)));
+    fns[static_cast<std::size_t>(id)] = [&, z](rt::ExecContext& ctx) {
+      npb::ZoneField& field = zones.fields[z];
+      const int ny = field.grid().ny;
+      const int rows = (ny + ctx.group_size - 1) / ctx.group_size;
+      const double local = field.jacobi_sweep(
+          ctx.group_rank * rows, std::min(ny, (ctx.group_rank + 1) * rows));
+      const double zone_res = ctx.comm->allreduce_max(ctx.group_rank, local);
+      ctx.comm->barrier(ctx.group_rank);
+      if (ctx.group_rank == 0) {
+        field.commit();
+        residuals[z] = zone_res;
+      }
+      ctx.comm->barrier(ctx.group_rank);
+    };
+  }
+
+  rt::Executor executor(8);
+  std::printf("time stepping (Jacobi relaxation per zone + border "
+              "exchange):\n");
+  for (int step = 1; step <= 12; ++step) {
+    executor.run(schedule, fns);
+    zones.exchange_borders();
+    if (step % 3 == 0) {
+      double max_res = 0.0;
+      for (double r : residuals) max_res = std::max(max_res, r);
+      std::printf("  step %2d: max zone residual %.5f\n", step, max_res);
+    }
+  }
+
+  // Cluster projection: the Fig. 17 trade-off in miniature.
+  const npb::MultiZoneProblem big = npb::make_problem(npb::MzSolver::BT, 'C');
+  const core::TaskGraph big_graph = npb::step_graph(big);
+  const arch::Machine cluster = arch::Machine(arch::chic()).partition(512);
+  const cost::CostModel cluster_cost(cluster);
+  const sched::TimelineEvaluator eval(cluster_cost);
+  std::printf("\nprojected %s per-step time on 512 CHiC cores:\n",
+              big.name().c_str());
+  for (int groups : {8, 32, 128, 256}) {
+    sched::LayerSchedulerOptions big_opts;
+    big_opts.fixed_groups = groups;
+    const sched::LayeredSchedule s =
+        sched::LayerScheduler(cluster_cost, big_opts).schedule(big_graph, 512);
+    const std::vector<cost::LayerLayout> layouts =
+        map::map_schedule(s, cluster, map::Strategy::Consecutive);
+    std::printf("  %4d groups: %8.1f ms\n", groups,
+                eval.evaluate(s, layouts).makespan * 1e3);
+  }
+  std::printf("medium group counts win: few groups pay group-internal\n"
+              "synchronization, one-zone groups cannot balance the skewed\n"
+              "BT-MZ zones.\n");
+  return 0;
+}

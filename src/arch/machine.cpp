@@ -1,0 +1,158 @@
+#include "ptask/arch/machine.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptask::arch {
+
+const char* to_string(CommLevel level) {
+  switch (level) {
+    case CommLevel::SameProcessor:
+      return "same-processor";
+    case CommLevel::SameNode:
+      return "same-node";
+    case CommLevel::InterNode:
+      return "inter-node";
+  }
+  return "unknown";
+}
+
+std::string CoreId::label() const {
+  std::ostringstream os;
+  os << (node + 1) << '.' << (proc + 1) << '.' << (core + 1);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const CoreId& id) {
+  return os << id.label();
+}
+
+namespace {
+
+MachineSpec base_spec(std::string name, int nodes, int procs, int cores,
+                      double gflops_per_core) {
+  MachineSpec s;
+  s.name = std::move(name);
+  s.num_nodes = nodes;
+  s.procs_per_node = procs;
+  s.cores_per_proc = cores;
+  s.core_flops = gflops_per_core * 1.0e9;
+  return s;
+}
+
+}  // namespace
+
+MachineSpec chic() {
+  // AMD Opteron 2218 (dual-core, 2.6 GHz), 2 sockets/node, SDR InfiniBand.
+  MachineSpec s = base_spec("CHiC", 530, 2, 2, 5.2);
+  // The ODE kernels are memory-bandwidth limited; single-digit percentages of
+  // peak are typical for this generation of Opterons on stream-like
+  // right-hand sides.
+  s.core_efficiency = 0.08;
+  s.intra_processor = {0.4e-6, 3.0e9};  // shared L3/HyperTransport on socket
+  s.intra_node = {0.7e-6, 1.8e9};       // HyperTransport between sockets
+  s.inter_node = {4.0e-6, 0.9e9};       // SDR IB: ~10 Gbit/s raw, ~0.9 GB/s eff
+  s.omp_region_overhead_s = 6.0e-6;     // fork/join on the 2006 Opterons
+  return s;
+}
+
+MachineSpec juropa() {
+  // Intel Xeon X5570 "Nehalem" (quad-core, 2.93 GHz), 2 sockets/node, QDR IB.
+  MachineSpec s = base_spec("JuRoPA", 2208, 2, 4, 11.72);
+  s.core_efficiency = 0.10;
+  s.intra_processor = {0.3e-6, 5.5e9};
+  s.intra_node = {0.5e-6, 3.5e9};
+  s.inter_node = {2.0e-6, 2.6e9};  // QDR IB: 32 Gbit/s raw, ~2.6 GB/s eff
+  s.omp_region_overhead_s = 1.5e-6;
+  return s;
+}
+
+MachineSpec altix() {
+  // SGI Altix 4700 partition: Itanium2 Montecito (dual-core, 1.6 GHz),
+  // 2 sockets/node, NUMAlink 4 (6.4 GB/s bidirectional per link).
+  MachineSpec s = base_spec("Altix", 128, 2, 2, 6.4);
+  s.core_efficiency = 0.12;
+  s.intra_processor = {0.25e-6, 4.0e9};
+  s.intra_node = {0.45e-6, 3.0e9};
+  s.inter_node = {1.2e-6, 1.9e9};  // NUMAlink 4: low latency, shared links
+  // DSM: OpenMP may span nodes; region overhead grows with distance, this is
+  // the intra-node value.
+  s.omp_region_overhead_s = 2.0e-6;
+  return s;
+}
+
+MachineSpec machine_by_name(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "chic") return chic();
+  if (lower == "juropa") return juropa();
+  if (lower == "altix") return altix();
+  throw std::invalid_argument("unknown machine preset: " + name);
+}
+
+Machine::Machine(MachineSpec spec) : spec_(std::move(spec)) {
+  if (spec_.num_nodes <= 0 || spec_.procs_per_node <= 0 ||
+      spec_.cores_per_proc <= 0) {
+    throw std::invalid_argument("machine dimensions must be positive");
+  }
+}
+
+CoreId Machine::core_at(int flat) const {
+  if (flat < 0 || flat >= total_cores()) {
+    throw std::out_of_range("core index out of range");
+  }
+  const int cpn = cores_per_node();
+  CoreId id;
+  id.node = flat / cpn;
+  const int in_node = flat % cpn;
+  id.proc = in_node / spec_.cores_per_proc;
+  id.core = in_node % spec_.cores_per_proc;
+  return id;
+}
+
+int Machine::flat_index(const CoreId& id) const {
+  if (id.node < 0 || id.node >= spec_.num_nodes || id.proc < 0 ||
+      id.proc >= spec_.procs_per_node || id.core < 0 ||
+      id.core >= spec_.cores_per_proc) {
+    throw std::out_of_range("core id out of range");
+  }
+  return id.node * cores_per_node() + id.proc * spec_.cores_per_proc + id.core;
+}
+
+CommLevel Machine::comm_level(const CoreId& a, const CoreId& b) const {
+  if (a.node != b.node) return CommLevel::InterNode;
+  if (a.proc != b.proc) return CommLevel::SameNode;
+  return CommLevel::SameProcessor;
+}
+
+const LinkParams& Machine::link(CommLevel level) const {
+  switch (level) {
+    case CommLevel::SameProcessor:
+      return spec_.intra_processor;
+    case CommLevel::SameNode:
+      return spec_.intra_node;
+    case CommLevel::InterNode:
+      return spec_.inter_node;
+  }
+  throw std::invalid_argument("invalid CommLevel");
+}
+
+Machine Machine::partition(int num_cores) const {
+  if (num_cores <= 0 || num_cores % cores_per_node() != 0) {
+    throw std::invalid_argument(
+        "partition size must be a positive multiple of cores per node");
+  }
+  const int nodes = num_cores / cores_per_node();
+  if (nodes > spec_.num_nodes) {
+    throw std::invalid_argument("partition larger than machine");
+  }
+  MachineSpec sub = spec_;
+  sub.num_nodes = nodes;
+  return Machine(sub);
+}
+
+}  // namespace ptask::arch

@@ -1,0 +1,121 @@
+#include "ptask/arch/topology.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace ptask::arch {
+
+const char* to_string(TreeLevel level) {
+  switch (level) {
+    case TreeLevel::Machine:
+      return "machine";
+    case TreeLevel::Node:
+      return "node";
+    case TreeLevel::Processor:
+      return "processor";
+    case TreeLevel::Core:
+      return "core";
+  }
+  return "unknown";
+}
+
+ArchitectureTree::ArchitectureTree(const MachineSpec& spec) : spec_(spec) {
+  const int nodes = spec.num_nodes;
+  const int procs = spec.procs_per_node;
+  const int cores = spec.cores_per_proc;
+  vertices_.reserve(1 + static_cast<std::size_t>(nodes) * (1 + procs * (1 + cores)));
+
+  TreeVertex root;
+  root.level = TreeLevel::Machine;
+  root.label = "A";
+  vertices_.push_back(root);
+
+  leaf_index_.resize(static_cast<std::size_t>(spec.total_cores()), -1);
+  int flat = 0;
+  for (int n = 0; n < nodes; ++n) {
+    TreeVertex nv;
+    nv.level = TreeLevel::Node;
+    nv.label = "A." + std::to_string(n + 1);
+    nv.parent = 0;
+    const int n_idx = static_cast<int>(vertices_.size());
+    vertices_[0].children.push_back(n_idx);
+    vertices_.push_back(nv);
+    for (int p = 0; p < procs; ++p) {
+      TreeVertex pv;
+      pv.level = TreeLevel::Processor;
+      pv.label = nv.label + "." + std::to_string(p + 1);
+      pv.parent = n_idx;
+      const int p_idx = static_cast<int>(vertices_.size());
+      vertices_[n_idx].children.push_back(p_idx);
+      vertices_.push_back(pv);
+      for (int c = 0; c < cores; ++c) {
+        TreeVertex cv;
+        cv.level = TreeLevel::Core;
+        cv.label = pv.label + "." + std::to_string(c + 1);
+        cv.parent = p_idx;
+        cv.core_flat = flat;
+        const int c_idx = static_cast<int>(vertices_.size());
+        vertices_[p_idx].children.push_back(c_idx);
+        vertices_.push_back(cv);
+        leaf_index_[static_cast<std::size_t>(flat)] = c_idx;
+        ++flat;
+      }
+    }
+  }
+  num_leaves_ = flat;
+}
+
+int ArchitectureTree::leaf_of(int core_flat) const {
+  if (core_flat < 0 || core_flat >= num_leaves_) {
+    throw std::out_of_range("core index out of range");
+  }
+  return leaf_index_[static_cast<std::size_t>(core_flat)];
+}
+
+int ArchitectureTree::depth(int index) const {
+  int d = 0;
+  for (int v = index; vertices_.at(static_cast<std::size_t>(v)).parent >= 0;
+       v = vertices_[static_cast<std::size_t>(v)].parent) {
+    ++d;
+  }
+  return d;
+}
+
+int ArchitectureTree::common_ancestor(int core_a, int core_b) const {
+  int a = leaf_of(core_a);
+  int b = leaf_of(core_b);
+  // Leaves are all at the same depth, so walk both up in lockstep.
+  while (a != b) {
+    a = vertices_[static_cast<std::size_t>(a)].parent;
+    b = vertices_[static_cast<std::size_t>(b)].parent;
+  }
+  return a;
+}
+
+CommLevel ArchitectureTree::comm_level(int core_a, int core_b) const {
+  const TreeVertex& anc =
+      vertices_[static_cast<std::size_t>(common_ancestor(core_a, core_b))];
+  switch (anc.level) {
+    case TreeLevel::Core:
+    case TreeLevel::Processor:
+      return CommLevel::SameProcessor;
+    case TreeLevel::Node:
+      return CommLevel::SameNode;
+    case TreeLevel::Machine:
+      return CommLevel::InterNode;
+  }
+  throw std::logic_error("invalid tree level");
+}
+
+std::string ArchitectureTree::to_outline() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < vertices_.size(); ++i) {
+    const TreeVertex& v = vertices_[i];
+    os << std::string(static_cast<std::size_t>(depth(static_cast<int>(i))) * 2,
+                      ' ')
+       << to_string(v.level) << ' ' << v.label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ptask::arch

@@ -1,0 +1,33 @@
+#include "ptask/core/mtask.hpp"
+
+namespace ptask::core {
+
+const char* to_string(CommScope scope) {
+  switch (scope) {
+    case CommScope::Global:
+      return "global";
+    case CommScope::Group:
+      return "group";
+    case CommScope::Orthogonal:
+      return "orthogonal";
+  }
+  return "unknown";
+}
+
+const char* to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::Bcast:
+      return "bcast";
+    case CollectiveKind::Allgather:
+      return "allgather";
+    case CollectiveKind::Allreduce:
+      return "allreduce";
+    case CollectiveKind::Barrier:
+      return "barrier";
+    case CollectiveKind::Exchange:
+      return "exchange";
+  }
+  return "unknown";
+}
+
+}  // namespace ptask::core

@@ -1,0 +1,204 @@
+#include "ptask/core/spec_builder.hpp"
+
+#include "ptask/core/graph_algorithms.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ptask::core {
+
+int HierGraph::total_basic_tasks() const {
+  int count = 0;
+  for (TaskId id = 0; id < graph.num_tasks(); ++id) {
+    if (graph.task(id).is_marker()) continue;
+    auto it = sub.find(id);
+    if (it != sub.end()) {
+      count += it->second->total_basic_tasks();
+    } else {
+      ++count;
+    }
+  }
+  return count;
+}
+
+SpecBuilder::SpecBuilder(std::string program_name)
+    : name_(std::move(program_name)) {}
+
+Var SpecBuilder::var(std::string name, std::size_t bytes,
+                     dist::Distribution d) {
+  return Var{std::move(name), bytes, d};
+}
+
+void SpecBuilder::add_dependency_edges(TaskId id, const std::vector<Var>& uses,
+                                       const std::vector<Var>& defines) {
+  auto connect_from = [&](const std::vector<TaskId>& froms) {
+    for (TaskId from : froms) {
+      // Skip transitively implied edges: they are semantically redundant and
+      // would break the linear-chain structure the scheduler contracts
+      // (e.g. a WAR edge from a chain's first micro step to the combine is
+      // already implied through the chain).
+      if (from != id && !result_.graph.reaches(from, id)) {
+        result_.graph.add_edge(from, id);
+      }
+    }
+  };
+  for (const Var& v : uses) {  // RAW
+    auto it = env_.writers.find(v.name);
+    if (it != env_.writers.end()) connect_from(it->second);
+    env_.readers[v.name].push_back(id);
+  }
+  for (const Var& v : defines) {  // WAW + WAR
+    auto wit = env_.writers.find(v.name);
+    if (wit != env_.writers.end()) connect_from(wit->second);
+    auto rit = env_.readers.find(v.name);
+    if (rit != env_.readers.end()) connect_from(rit->second);
+    env_.writers[v.name] = {id};
+    env_.readers[v.name].clear();
+  }
+}
+
+TaskId SpecBuilder::call(MTask task, const std::vector<Var>& uses,
+                         const std::vector<Var>& defines) {
+  if (built_) throw std::logic_error("specification already built");
+  for (const Var& v : uses) {
+    task.add_param(Param{v.name, v.bytes, v.distribution, true, false});
+  }
+  for (const Var& v : defines) {
+    task.add_param(Param{v.name, v.bytes, v.distribution, false, true});
+  }
+  const TaskId id = result_.graph.add_task(std::move(task));
+  add_dependency_edges(id, uses, defines);
+  return id;
+}
+
+void SpecBuilder::merge_env(Env& into, const Env& branch) {
+  for (const auto& [name, writers] : branch.writers) {
+    std::vector<TaskId>& dst = into.writers[name];
+    for (TaskId w : writers) {
+      if (std::find(dst.begin(), dst.end(), w) == dst.end()) dst.push_back(w);
+    }
+  }
+  for (const auto& [name, readers] : branch.readers) {
+    std::vector<TaskId>& dst = into.readers[name];
+    for (TaskId r : readers) {
+      if (std::find(dst.begin(), dst.end(), r) == dst.end()) dst.push_back(r);
+    }
+  }
+}
+
+void SpecBuilder::parfor(int count, const std::function<void(int)>& body) {
+  if (count < 0) throw std::invalid_argument("negative parfor count");
+  const Env snapshot = env_;
+  Env merged = env_;
+  for (int i = 0; i < count; ++i) {
+    env_ = snapshot;  // every iteration sees the pre-loop environment
+    body(i);
+    merge_env(merged, env_);
+  }
+  env_ = std::move(merged);
+}
+
+void SpecBuilder::for_loop(int count, const std::function<void(int)>& body) {
+  if (count < 0) throw std::invalid_argument("negative for count");
+  for (int i = 0; i < count; ++i) body(i);
+}
+
+TaskId SpecBuilder::while_loop(const std::string& loop_name,
+                               const std::vector<Var>& loop_vars,
+                               const std::function<void(SpecBuilder&)>& body,
+                               double iterations_hint) {
+  SpecBuilder nested(name_ + "." + loop_name);
+  body(nested);
+  HierGraph body_graph = nested.build();
+
+  MTask composite(loop_name,
+                  body_graph.graph.total_work_flop() * iterations_hint);
+  // The composite node inherits the body's most restrictive parallelism.
+  int max_cores = INT_MAX;
+  for (TaskId id = 0; id < body_graph.graph.num_tasks(); ++id) {
+    if (!body_graph.graph.task(id).is_marker()) {
+      max_cores = std::min(max_cores, body_graph.graph.task(id).max_cores());
+    }
+  }
+  // A composite running g concurrent tasks can use more cores than any single
+  // member; the safe upper-level bound is left at the member's bound times
+  // the body's maximum layer width only if known -- keep INT_MAX by default.
+  (void)max_cores;
+
+  const TaskId id = call(std::move(composite), loop_vars, loop_vars);
+  result_.sub[id] = std::make_unique<HierGraph>(std::move(body_graph));
+  return id;
+}
+
+HierGraph SpecBuilder::build() {
+  if (built_) throw std::logic_error("specification already built");
+  built_ = true;
+  result_.graph.add_start_stop_markers();
+  return std::move(result_);
+}
+
+TaskGraph flatten(const HierGraph& program, int iterations) {
+  if (iterations < 1) throw std::invalid_argument("need >= 1 iteration");
+  const TaskGraph& top = program.graph;
+  TaskGraph flat;
+
+  // For every top-level node, the flat ids of its "entry" and "exit"
+  // representatives (equal for basic tasks; the body's sources/sinks for
+  // composites).
+  std::vector<std::vector<TaskId>> entries(
+      static_cast<std::size_t>(top.num_tasks()));
+  std::vector<std::vector<TaskId>> exits(
+      static_cast<std::size_t>(top.num_tasks()));
+
+  for (TaskId id = 0; id < top.num_tasks(); ++id) {
+    if (top.task(id).is_marker()) continue;
+    const auto it = program.sub.find(id);
+    if (it == program.sub.end()) {
+      const TaskId flat_id = flat.add_task(top.task(id));
+      entries[static_cast<std::size_t>(id)] = {flat_id};
+      exits[static_cast<std::size_t>(id)] = {flat_id};
+      continue;
+    }
+    // Composite: inline the (recursively flattened) body `iterations` times
+    // and chain the copies via repeat_graph's sink->source edges.
+    const TaskGraph body = flatten(*it->second, 1);
+    const TaskGraph unrolled = repeat_graph(body, iterations);
+    std::vector<TaskId> map(static_cast<std::size_t>(unrolled.num_tasks()));
+    for (TaskId b = 0; b < unrolled.num_tasks(); ++b) {
+      map[static_cast<std::size_t>(b)] = flat.add_task(unrolled.task(b));
+    }
+    for (TaskId from = 0; from < unrolled.num_tasks(); ++from) {
+      for (TaskId to : unrolled.successors(from)) {
+        flat.add_edge(map[static_cast<std::size_t>(from)],
+                      map[static_cast<std::size_t>(to)]);
+      }
+    }
+    for (TaskId b = 0; b < unrolled.num_tasks(); ++b) {
+      if (unrolled.in_degree(b) == 0) {
+        entries[static_cast<std::size_t>(id)].push_back(
+            map[static_cast<std::size_t>(b)]);
+      }
+      if (unrolled.out_degree(b) == 0) {
+        exits[static_cast<std::size_t>(id)].push_back(
+            map[static_cast<std::size_t>(b)]);
+      }
+    }
+  }
+
+  // Top-level edges connect exits of the producer to entries of the
+  // consumer (skipping markers transitively).
+  for (TaskId from = 0; from < top.num_tasks(); ++from) {
+    if (top.task(from).is_marker()) continue;
+    for (TaskId to : top.successors(from)) {
+      if (top.task(to).is_marker()) continue;
+      for (TaskId fe : exits[static_cast<std::size_t>(from)]) {
+        for (TaskId te : entries[static_cast<std::size_t>(to)]) {
+          flat.add_edge(fe, te);
+        }
+      }
+    }
+  }
+  return flat;
+}
+
+}  // namespace ptask::core

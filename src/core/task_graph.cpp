@@ -1,0 +1,162 @@
+#include "ptask/core/task_graph.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+#include <stdexcept>
+
+namespace ptask::core {
+
+TaskId TaskGraph::add_task(MTask task) {
+  tasks_.push_back(std::move(task));
+  succ_.emplace_back();
+  pred_.emplace_back();
+  return static_cast<TaskId>(tasks_.size() - 1);
+}
+
+void TaskGraph::check_id(TaskId id) const {
+  if (id < 0 || id >= num_tasks()) {
+    throw std::out_of_range("task id out of range");
+  }
+}
+
+void TaskGraph::add_edge(TaskId from, TaskId to) {
+  check_id(from);
+  check_id(to);
+  if (from == to) throw std::invalid_argument("self edge");
+  if (has_edge(from, to)) return;
+  if (reaches(to, from)) {
+    throw std::invalid_argument("edge would create a cycle");
+  }
+  succ_[static_cast<std::size_t>(from)].push_back(to);
+  pred_[static_cast<std::size_t>(to)].push_back(from);
+  ++num_edges_;
+}
+
+const MTask& TaskGraph::task(TaskId id) const {
+  check_id(id);
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+MTask& TaskGraph::task(TaskId id) {
+  check_id(id);
+  return tasks_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<TaskId>& TaskGraph::successors(TaskId id) const {
+  check_id(id);
+  return succ_[static_cast<std::size_t>(id)];
+}
+
+const std::vector<TaskId>& TaskGraph::predecessors(TaskId id) const {
+  check_id(id);
+  return pred_[static_cast<std::size_t>(id)];
+}
+
+int TaskGraph::in_degree(TaskId id) const {
+  return static_cast<int>(predecessors(id).size());
+}
+
+int TaskGraph::out_degree(TaskId id) const {
+  return static_cast<int>(successors(id).size());
+}
+
+bool TaskGraph::has_edge(TaskId from, TaskId to) const {
+  check_id(from);
+  check_id(to);
+  const auto& s = succ_[static_cast<std::size_t>(from)];
+  return std::find(s.begin(), s.end(), to) != s.end();
+}
+
+std::vector<TaskId> TaskGraph::topological_order() const {
+  std::vector<int> indeg(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    indeg[i] = static_cast<int>(pred_[i].size());
+  }
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indeg[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.top();
+    ready.pop();
+    order.push_back(id);
+    for (TaskId s : succ_[static_cast<std::size_t>(id)]) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push(s);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    throw std::logic_error("task graph contains a cycle");
+  }
+  return order;
+}
+
+bool TaskGraph::reaches(TaskId from, TaskId to) const {
+  check_id(from);
+  check_id(to);
+  if (from == to) return true;
+  std::vector<bool> seen(tasks_.size(), false);
+  std::vector<TaskId> stack{from};
+  seen[static_cast<std::size_t>(from)] = true;
+  while (!stack.empty()) {
+    const TaskId v = stack.back();
+    stack.pop_back();
+    for (TaskId s : succ_[static_cast<std::size_t>(v)]) {
+      if (s == to) return true;
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.push_back(s);
+      }
+    }
+  }
+  return false;
+}
+
+bool TaskGraph::independent(TaskId a, TaskId b) const {
+  if (a == b) return false;
+  return !reaches(a, b) && !reaches(b, a);
+}
+
+std::pair<TaskId, TaskId> TaskGraph::add_start_stop_markers() {
+  std::vector<TaskId> sources, sinks;
+  for (TaskId id = 0; id < num_tasks(); ++id) {
+    if (in_degree(id) == 0) sources.push_back(id);
+    if (out_degree(id) == 0) sinks.push_back(id);
+  }
+  MTask start("start", 0.0);
+  start.set_marker(true);
+  MTask stop("stop", 0.0);
+  stop.set_marker(true);
+  const TaskId start_id = add_task(std::move(start));
+  const TaskId stop_id = add_task(std::move(stop));
+  for (TaskId s : sources) add_edge(start_id, s);
+  for (TaskId s : sinks) add_edge(s, stop_id);
+  return {start_id, stop_id};
+}
+
+double TaskGraph::total_work_flop() const {
+  double total = 0.0;
+  for (const MTask& t : tasks_) total += t.work_flop();
+  return total;
+}
+
+std::string TaskGraph::to_dot(const std::string& graph_name) const {
+  std::ostringstream os;
+  os << "digraph " << graph_name << " {\n";
+  for (TaskId id = 0; id < num_tasks(); ++id) {
+    os << "  t" << id << " [label=\"" << task(id).name() << "\"";
+    if (task(id).is_marker()) os << " shape=point";
+    os << "];\n";
+  }
+  for (TaskId id = 0; id < num_tasks(); ++id) {
+    for (TaskId s : successors(id)) {
+      os << "  t" << id << " -> t" << s << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ptask::core

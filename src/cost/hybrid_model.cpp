@@ -1,0 +1,108 @@
+#include "ptask/cost/hybrid_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::cost {
+
+HybridCostModel::HybridCostModel(arch::Machine machine, HybridConfig config)
+    : base_(std::move(machine)), config_(config) {
+  if (config_.threads_per_rank <= 0) {
+    throw std::invalid_argument("threads_per_rank must be positive");
+  }
+}
+
+LayerLayout HybridCostModel::rank_layout(const LayerLayout& physical) const {
+  const int t = config_.threads_per_rank;
+  LayerLayout ranks;
+  ranks.groups.reserve(physical.groups.size());
+  for (const GroupLayout& g : physical.groups) {
+    if (g.size() % t != 0) {
+      throw std::invalid_argument(
+          "group size must be divisible by threads_per_rank");
+    }
+    GroupLayout rg;
+    rg.cores.reserve(static_cast<std::size_t>(g.size() / t));
+    for (std::size_t i = 0; i < g.cores.size(); i += static_cast<std::size_t>(t)) {
+      rg.cores.push_back(g.cores[i]);
+    }
+    ranks.groups.push_back(std::move(rg));
+  }
+  return ranks;
+}
+
+arch::CommLevel HybridCostModel::team_span(const GroupLayout& group,
+                                           int rank_pos) const {
+  const int t = config_.threads_per_rank;
+  const arch::Machine& m = base_.machine();
+  const std::size_t begin = static_cast<std::size_t>(rank_pos) *
+                            static_cast<std::size_t>(t);
+  arch::CommLevel span = arch::CommLevel::SameProcessor;
+  const arch::CoreId anchor = m.core_at(group.cores.at(begin));
+  for (std::size_t i = begin + 1; i < begin + static_cast<std::size_t>(t);
+       ++i) {
+    const arch::CommLevel level =
+        m.comm_level(anchor, m.core_at(group.cores.at(i)));
+    span = std::max(span, level,
+                    [](arch::CommLevel a, arch::CommLevel b) {
+                      return static_cast<int>(a) < static_cast<int>(b);
+                    });
+  }
+  return span;
+}
+
+double HybridCostModel::team_sync_time(int t, arch::CommLevel level) const {
+  if (t <= 1) return 0.0;
+  const arch::MachineSpec& spec = base_.machine().spec();
+  const double hops = std::ceil(std::log2(static_cast<double>(t)));
+  return spec.omp_region_overhead_s +
+         hops * base_.machine().link(level).latency_s;
+}
+
+double HybridCostModel::mapped_task_time(const core::MTask& task,
+                                         const LayerLayout& physical,
+                                         std::size_t group_index) const {
+  const int t = config_.threads_per_rank;
+  const GroupLayout& group = physical.groups.at(group_index);
+  if (t == 1) return base_.mapped_task_time(task, physical, group_index);
+
+  // Compute: all physical cores participate, derated by team efficiency of
+  // the widest team span in this group.
+  arch::CommLevel widest = arch::CommLevel::SameProcessor;
+  const int num_ranks = group.size() / t;
+  for (int r = 0; r < num_ranks; ++r) {
+    const arch::CommLevel span = team_span(group, r);
+    if (static_cast<int>(span) > static_cast<int>(widest)) widest = span;
+  }
+  double eff = config_.eff_same_processor;
+  switch (widest) {
+    case arch::CommLevel::SameProcessor:
+      eff = config_.eff_same_processor;
+      break;
+    case arch::CommLevel::SameNode:
+      eff = config_.eff_same_node;
+      break;
+    case arch::CommLevel::InterNode:
+      eff = config_.eff_inter_node;
+      break;
+  }
+  double total = base_.symbolic_compute_time(task, group.size()) / eff;
+
+  // Communication: collectives run over the rank layout only; every
+  // collective costs two team synchronizations per repetition -- the join
+  // that quiesces the OpenMP team before the MPI call and the fork that
+  // restarts it afterwards.
+  const LayerLayout ranks = rank_layout(physical);
+  const double sync = team_sync_time(t, widest);
+  for (const core::CollectiveOp& op : task.comms()) {
+    total += static_cast<double>(op.repeat) *
+             (base_.mapped_collective_time(op, ranks, group_index) +
+              2.0 * sync);
+  }
+  // One fork/join to start and finish the task's compute region.
+  total += sync;
+  return total;
+}
+
+}  // namespace ptask::cost

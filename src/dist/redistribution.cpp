@@ -1,0 +1,56 @@
+#include "ptask/dist/redistribution.hpp"
+
+#include <stdexcept>
+
+namespace ptask::dist {
+
+RedistributionPlan RedistributionPlan::compute(
+    std::size_t n, std::size_t elem_size, const Distribution& src,
+    std::size_t q1, const Distribution& dst, std::size_t q2,
+    bool same_groups) {
+  if (q1 == 0 || q2 == 0) {
+    throw std::invalid_argument("group sizes must be positive");
+  }
+  if (same_groups && q1 != q2) {
+    throw std::invalid_argument("same_groups requires equal group sizes");
+  }
+
+  RedistributionPlan plan;
+  if (n == 0) return plan;
+
+  // Identical distribution over the same physical group: nothing to move.
+  if (same_groups && src == dst) return plan;
+
+  // Pairwise element counts; q1 x q2 is small (groups are <= a few thousand
+  // cores) while n may be millions, so the O(n) ownership scan dominates.
+  std::vector<std::size_t> counts(q1 * q2, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t s = src.owner(i, n, q1);
+    if (dst.is_replicated()) {
+      // Every destination rank needs the element.
+      for (std::size_t d = 0; d < q2; ++d) {
+        if (same_groups && d == s) continue;  // already resident
+        counts[s * q2 + d] += 1;
+      }
+    } else {
+      const std::size_t d = dst.owner(i, n, q2);
+      if (same_groups && d == s) continue;
+      if (src.is_replicated() && same_groups) continue;  // resident everywhere
+      counts[s * q2 + d] += 1;
+    }
+  }
+
+  for (std::size_t s = 0; s < q1; ++s) {
+    for (std::size_t d = 0; d < q2; ++d) {
+      const std::size_t c = counts[s * q2 + d];
+      if (c == 0) continue;
+      const std::size_t bytes = c * elem_size;
+      plan.transfers_.push_back({s, d, bytes});
+      plan.total_bytes_ += bytes;
+      plan.max_pair_bytes_ = std::max(plan.max_pair_bytes_, bytes);
+    }
+  }
+  return plan;
+}
+
+}  // namespace ptask::dist

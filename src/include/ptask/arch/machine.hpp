@@ -1,0 +1,150 @@
+#pragma once
+/// \file machine.hpp
+/// Hierarchical multi-core machine model (paper Section 3.3).
+///
+/// A machine is a tree: machine (A) -> nodes (N) -> processors (P) ->
+/// cores (C).  Every physical core carries a label `nid.pid.cid`.  The cost
+/// of a communication operation between two cores depends on the deepest
+/// component the cores share: the same processor, the same node, or only the
+/// interconnection network.
+
+#include <compare>
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+
+namespace ptask::arch {
+
+/// Deepest shared level between two communicating cores.  The enumerators
+/// are ordered from fastest to slowest interconnect.
+enum class CommLevel : int {
+  SameProcessor = 0,  ///< cores on the same multi-core processor (shared cache)
+  SameNode = 1,       ///< cores on different processors of one SMP node
+  InterNode = 2,      ///< cores on different nodes (cluster network)
+};
+
+/// Returns a human-readable name ("same-processor", ...).
+const char* to_string(CommLevel level);
+
+/// Physical core label `nid.pid.cid` (paper Fig. 7).  All components are
+/// zero-based indices.
+struct CoreId {
+  int node = 0;
+  int proc = 0;
+  int core = 0;
+
+  auto operator<=>(const CoreId&) const = default;
+
+  /// Formats the label as "nid.pid.cid" with one-based components, matching
+  /// the labels used in the paper's figures.
+  std::string label() const;
+};
+
+std::ostream& operator<<(std::ostream& os, const CoreId& id);
+
+/// Point-to-point parameters of one interconnect level.  A message of `b`
+/// bytes over one link costs `latency_s + b / bandwidth_Bps`.
+struct LinkParams {
+  double latency_s = 0.0;
+  double bandwidth_Bps = 0.0;
+
+  /// Time to move `bytes` over this link once.
+  double transfer_time(std::size_t bytes) const {
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+};
+
+/// Static description of a homogeneous hierarchical cluster.
+///
+/// All nodes are identical (the paper's platforms are homogeneous per
+/// partition); heterogeneity enters through the *interconnect* hierarchy,
+/// which is exactly the form of heterogeneity the combined scheduling and
+/// mapping approach targets.
+struct MachineSpec {
+  std::string name;
+  int num_nodes = 1;
+  int procs_per_node = 1;
+  int cores_per_proc = 1;
+
+  /// Peak floating-point rate of one core (flop/s).
+  double core_flops = 1.0e9;
+  /// Sustained fraction of peak achieved by the compute kernels studied here
+  /// (memory-bound ODE right-hand sides do not reach peak).
+  double core_efficiency = 1.0;
+
+  LinkParams intra_processor;
+  LinkParams intra_node;
+  LinkParams inter_node;
+
+  /// Overhead of entering/leaving one OpenMP parallel region or performing a
+  /// team-wide synchronization (used by the hybrid MPI+OpenMP model, §4.7).
+  double omp_region_overhead_s = 0.0;
+
+  int cores_per_node() const { return procs_per_node * cores_per_proc; }
+  int total_cores() const { return num_nodes * cores_per_node(); }
+
+  /// Sustained compute rate of one core in flop/s.
+  double sustained_flops() const { return core_flops * core_efficiency; }
+};
+
+/// Chemnitz High Performance Linux cluster: 530 nodes, 2x dual-core
+/// Opteron 2218 @ 2.6 GHz (5.2 GFlop/s per core), SDR InfiniBand.
+MachineSpec chic();
+
+/// JuRoPA: 2208 nodes, 2x quad-core Xeon X5570 @ 2.93 GHz (11.72 GFlop/s per
+/// core), QDR InfiniBand.
+MachineSpec juropa();
+
+/// One partition of the SGI Altix 4700: 128 nodes, 2x dual-core Itanium2
+/// Montecito @ 1.6 GHz (6.4 GFlop/s per core), NUMAlink 4.
+MachineSpec altix();
+
+/// Looks up a preset by case-insensitive name ("chic", "juropa", "altix");
+/// throws std::invalid_argument for unknown names.
+MachineSpec machine_by_name(const std::string& name);
+
+/// A machine plus index arithmetic over its cores.
+///
+/// `Machine` answers the questions the scheduler, mapper, cost model, and
+/// simulator ask: how many cores exist, what is the label of the i-th core in
+/// the canonical (consecutive) enumeration, and which interconnect level two
+/// cores communicate over.
+class Machine {
+ public:
+  explicit Machine(MachineSpec spec);
+
+  const MachineSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+  int total_cores() const { return spec_.total_cores(); }
+  int cores_per_node() const { return spec_.cores_per_node(); }
+  int num_nodes() const { return spec_.num_nodes; }
+
+  /// Canonical (consecutive) enumeration: node-major, then processor, then
+  /// core.  `flat` must be in [0, total_cores()).
+  CoreId core_at(int flat) const;
+
+  /// Inverse of core_at().
+  int flat_index(const CoreId& id) const;
+
+  /// Deepest shared level of two cores.
+  CommLevel comm_level(const CoreId& a, const CoreId& b) const;
+
+  /// Link parameters of one interconnect level.
+  const LinkParams& link(CommLevel level) const;
+
+  /// Convenience: point-to-point transfer time between two cores.
+  double ptp_time(const CoreId& a, const CoreId& b, std::size_t bytes) const {
+    return link(comm_level(a, b)).transfer_time(bytes);
+  }
+
+  /// Returns a machine consisting of the first `num_cores` cores of this one,
+  /// rounded up to whole nodes (the paper's experiments always allocate whole
+  /// nodes).  `num_cores` must be a positive multiple of cores_per_node().
+  Machine partition(int num_cores) const;
+
+ private:
+  MachineSpec spec_;
+};
+
+}  // namespace ptask::arch

@@ -1,0 +1,75 @@
+#pragma once
+/// \file topology.hpp
+/// Explicit architecture tree (paper Fig. 7).
+///
+/// The tree makes the hierarchy of a machine tangible: the root represents
+/// the entire machine (A), its children the nodes (N), theirs the processors
+/// (P), and the leaves the cores (C).  The scheduler and mapper only need the
+/// index arithmetic in `Machine`; the tree is the reference structure used by
+/// tests, pretty-printing, and the topology-aware collective algorithms.
+
+#include <string>
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+
+namespace ptask::arch {
+
+/// Kind of a tree vertex, top-down.
+enum class TreeLevel : int { Machine = 0, Node = 1, Processor = 2, Core = 3 };
+
+const char* to_string(TreeLevel level);
+
+/// One vertex of the architecture tree.  Children are stored by index into
+/// the owning tree's vertex array, which keeps the structure trivially
+/// copyable and cache-friendly.
+struct TreeVertex {
+  TreeLevel level = TreeLevel::Machine;
+  /// Hierarchical label: "A" for the root, "A.n" for nodes, "A.n.p" for
+  /// processors, "A.n.p.c" for cores (one-based components, as in Fig. 7).
+  std::string label;
+  int parent = -1;                ///< index of the parent, -1 for the root
+  std::vector<int> children;     ///< indices of the children
+  /// For leaves: the flat (consecutive) core index; -1 otherwise.
+  int core_flat = -1;
+};
+
+/// Immutable architecture tree built from a MachineSpec.
+class ArchitectureTree {
+ public:
+  explicit ArchitectureTree(const MachineSpec& spec);
+
+  const MachineSpec& spec() const { return spec_; }
+  const std::vector<TreeVertex>& vertices() const { return vertices_; }
+  const TreeVertex& root() const { return vertices_.front(); }
+  const TreeVertex& vertex(int index) const { return vertices_.at(index); }
+
+  std::size_t size() const { return vertices_.size(); }
+  int num_leaves() const { return num_leaves_; }
+
+  /// Index of the leaf vertex for a flat core index.
+  int leaf_of(int core_flat) const;
+
+  /// Index of the deepest common ancestor of two leaves (by flat core index).
+  int common_ancestor(int core_a, int core_b) const;
+
+  /// Depth of a vertex (root = 0).
+  int depth(int index) const;
+
+  /// Communication level implied by the deepest common ancestor of two cores:
+  /// ancestor at Processor level -> SameProcessor, Node -> SameNode,
+  /// Machine -> InterNode.  Two equal cores share a Core-level "ancestor"
+  /// (themselves) and also map to SameProcessor.
+  CommLevel comm_level(int core_a, int core_b) const;
+
+  /// Renders the tree as an indented outline (one vertex per line).
+  std::string to_outline() const;
+
+ private:
+  MachineSpec spec_;
+  std::vector<TreeVertex> vertices_;
+  std::vector<int> leaf_index_;  ///< flat core index -> vertex index
+  int num_leaves_ = 0;
+};
+
+}  // namespace ptask::arch

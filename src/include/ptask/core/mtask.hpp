@@ -1,0 +1,105 @@
+#pragma once
+/// \file mtask.hpp
+/// The M-task (multiprocessor task) abstraction (paper Section 2).
+///
+/// An M-task is a piece of parallel code that can execute on an arbitrary
+/// number of cores.  For scheduling it is characterized by its sequential
+/// computational work, its internal communication operations (classified as
+/// in the paper's Table 1: global, group-based, or orthogonal collectives),
+/// and its data parameters with their distributions (which determine the
+/// re-distribution traffic between cooperating M-tasks).
+
+#include <climits>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ptask/dist/distribution.hpp"
+
+namespace ptask::core {
+
+using TaskId = int;
+inline constexpr TaskId kInvalidTask = -1;
+
+/// Scope of a collective communication operation (paper Section 4.2).
+enum class CommScope {
+  Global,      ///< executed by all cores of the whole program
+  Group,       ///< executed by the cores of the M-task's own group
+  Orthogonal,  ///< executed between same-position cores of concurrent groups
+};
+
+const char* to_string(CommScope scope);
+
+/// Kind of collective operation appearing inside the solvers.
+/// `Exchange` is a nearest-neighbour exchange along the rank ring (each rank
+/// swaps `data_bytes` with both neighbours) -- the border exchange pattern of
+/// the multi-zone benchmarks; its cost does not grow with the rank count.
+enum class CollectiveKind { Bcast, Allgather, Allreduce, Barrier, Exchange };
+
+const char* to_string(CollectiveKind kind);
+
+/// One (repeated) collective communication inside an M-task.
+///
+/// `data_bytes` is the size of the full vector involved.  For an Allgather
+/// each of the q participating cores contributes `data_bytes / q`; for a
+/// Bcast the root moves all `data_bytes`; Allreduce combines `data_bytes`.
+struct CollectiveOp {
+  CollectiveKind kind = CollectiveKind::Allgather;
+  CommScope scope = CommScope::Group;
+  std::size_t data_bytes = 0;
+  int repeat = 1;  ///< how many times this operation executes per activation
+};
+
+/// A data parameter of an M-task (used for re-distribution analysis).
+struct Param {
+  std::string name;
+  std::size_t bytes = 0;  ///< total size of the data structure
+  dist::Distribution distribution = dist::Distribution::replicated();
+  bool is_input = false;
+  bool is_output = false;
+};
+
+/// Static description of one M-task.
+class MTask {
+ public:
+  MTask() = default;
+  MTask(std::string name, double work_flop)
+      : name_(std::move(name)), work_flop_(work_flop) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Sequential computational work in flop (the paper's Tcomp up to the
+  /// machine-dependent flop rate).
+  double work_flop() const { return work_flop_; }
+  void set_work_flop(double w) { work_flop_ = w; }
+  void add_work_flop(double w) { work_flop_ += w; }
+
+  /// Internal communication operations per activation.
+  const std::vector<CollectiveOp>& comms() const { return comms_; }
+  void add_comm(CollectiveOp op) { comms_.push_back(op); }
+
+  /// Data parameters.
+  const std::vector<Param>& params() const { return params_; }
+  void add_param(Param p) { params_.push_back(std::move(p)); }
+
+  /// Maximum useful degree of parallelism (e.g. the number of vector
+  /// components); the scheduler never assigns more cores than this.
+  int max_cores() const { return max_cores_; }
+  void set_max_cores(int m) { max_cores_ = m; }
+
+  /// Marker tasks (the automatically inserted start/stop nodes) carry no
+  /// computation and are not assigned to scheduling layers.
+  bool is_marker() const { return is_marker_; }
+  void set_marker(bool m) { is_marker_ = m; }
+
+ private:
+  std::string name_;
+  double work_flop_ = 0.0;
+  std::vector<CollectiveOp> comms_;
+  std::vector<Param> params_;
+  int max_cores_ = INT_MAX;
+  bool is_marker_ = false;
+};
+
+}  // namespace ptask::core

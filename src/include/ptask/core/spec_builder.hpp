@@ -1,0 +1,113 @@
+#pragma once
+/// \file spec_builder.hpp
+/// Coordination-structure builder in the style of the CM-task compiler's
+/// specification language (paper Section 2.2, Fig. 3).
+///
+/// A specification program declares variables (with size and distribution)
+/// and composes M-task activations with `seq`, `parfor`, `for_loop`, and
+/// `while_loop` constructs.  The builder performs the def/use analysis that
+/// turns variable names into input-output relations: a task reading variable
+/// v depends on the last writer(s) of v (RAW); writers are additionally
+/// serialized against earlier readers and writers (WAR/WAW), which is what a
+/// correct parallel execution requires.
+///
+/// `while_loop` produces a *hierarchical* node: the loop body becomes a
+/// lower-level task graph attached to a single composite node of the upper
+/// graph, exactly like the CM-task compiler's two-level graph for the
+/// extrapolation method (paper Fig. 4).
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptask/core/task_graph.hpp"
+#include "ptask/dist/distribution.hpp"
+
+namespace ptask::core {
+
+/// A declared program variable.
+struct Var {
+  std::string name;
+  std::size_t bytes = 0;
+  dist::Distribution distribution = dist::Distribution::replicated();
+};
+
+/// A task graph with hierarchically nested bodies for composite nodes.
+struct HierGraph {
+  TaskGraph graph;
+  /// Composite node id -> body graph (e.g. a while node -> one iteration).
+  std::map<TaskId, std::unique_ptr<HierGraph>> sub;
+
+  /// Total number of basic tasks across all levels.
+  int total_basic_tasks() const;
+};
+
+/// Flattens a hierarchical graph into a single-level graph by inlining
+/// every composite node's body `iterations` times (the loop unrolling the
+/// CM-task compiler applies before scheduling the lower level): the
+/// composite node is replaced by the chained body copies, reconnected to
+/// the composite's predecessors and successors.  Markers of the inlined
+/// bodies are dropped.
+TaskGraph flatten(const HierGraph& program, int iterations = 1);
+
+class SpecBuilder {
+ public:
+  explicit SpecBuilder(std::string program_name);
+
+  const std::string& name() const { return name_; }
+
+  /// Declares a variable.
+  Var var(std::string name, std::size_t bytes,
+          dist::Distribution d = dist::Distribution::replicated());
+
+  /// Activates a basic M-task.  `uses` and `defines` derive the graph edges;
+  /// they are also recorded as the task's input/output parameters so that
+  /// re-distribution costs can be computed later.  Returns the task id in
+  /// the graph under construction.
+  TaskId call(MTask task, const std::vector<Var>& uses,
+              const std::vector<Var>& defines);
+
+  /// Sequential composition: the callback body simply executes in program
+  /// order (provided for specification readability, mirroring `seq`).
+  void seq(const std::function<void()>& body) { body(); }
+
+  /// Loop with independent iterations (`parfor`): every iteration starts
+  /// from the same def/use environment; environments are merged afterwards.
+  void parfor(int count, const std::function<void(int)>& body);
+
+  /// Loop with loop-carried input-output relations (`for`): iterations run
+  /// in program order, naturally chaining through the environment.
+  void for_loop(int count, const std::function<void(int)>& body);
+
+  /// Hierarchical while loop: `body` populates a nested builder; the loop
+  /// appears as one composite node in this graph.  `iterations_hint` scales
+  /// the composite node's accumulated work (used by upper-level scheduling).
+  /// `loop_vars` are the variables read and written by the loop as a whole.
+  TaskId while_loop(const std::string& loop_name,
+                    const std::vector<Var>& loop_vars,
+                    const std::function<void(SpecBuilder&)>& body,
+                    double iterations_hint = 1.0);
+
+  /// Finalizes the specification (inserting start/stop markers at every
+  /// level) and returns the hierarchical graph.
+  HierGraph build();
+
+ private:
+  struct Env {
+    std::map<std::string, std::vector<TaskId>> writers;
+    std::map<std::string, std::vector<TaskId>> readers;
+  };
+
+  void add_dependency_edges(TaskId id, const std::vector<Var>& uses,
+                            const std::vector<Var>& defines);
+  static void merge_env(Env& into, const Env& branch);
+
+  std::string name_;
+  HierGraph result_;
+  Env env_;
+  bool built_ = false;
+};
+
+}  // namespace ptask::core

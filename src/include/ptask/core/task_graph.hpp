@@ -1,0 +1,75 @@
+#pragma once
+/// \file task_graph.hpp
+/// The M-task graph: a DAG whose nodes are M-tasks and whose directed edges
+/// are input-output relations (paper Section 2.1, Fig. 1).
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ptask/core/mtask.hpp"
+
+namespace ptask::core {
+
+/// Directed acyclic graph of M-tasks.
+///
+/// Node identity is the insertion index (`TaskId`).  The class maintains
+/// forward and backward adjacency and offers the queries the scheduler
+/// needs: topological order, reachability/independence, and degree counts.
+class TaskGraph {
+ public:
+  TaskGraph() = default;
+
+  /// Adds a task and returns its id.
+  TaskId add_task(MTask task);
+
+  /// Adds the input-output edge `from -> to`.  Duplicate edges are ignored.
+  /// Throws std::invalid_argument when it would close a cycle.
+  void add_edge(TaskId from, TaskId to);
+
+  int num_tasks() const { return static_cast<int>(tasks_.size()); }
+  int num_edges() const { return num_edges_; }
+  bool empty() const { return tasks_.empty(); }
+
+  const MTask& task(TaskId id) const;
+  MTask& task(TaskId id);
+
+  const std::vector<TaskId>& successors(TaskId id) const;
+  const std::vector<TaskId>& predecessors(TaskId id) const;
+  int in_degree(TaskId id) const;
+  int out_degree(TaskId id) const;
+
+  bool has_edge(TaskId from, TaskId to) const;
+
+  /// All task ids in one topological order (stable: ready tasks appear in id
+  /// order).
+  std::vector<TaskId> topological_order() const;
+
+  /// True if `from` can reach `to` along directed edges.
+  bool reaches(TaskId from, TaskId to) const;
+
+  /// Two tasks are independent iff neither reaches the other (they may then
+  /// execute concurrently on disjoint core groups).
+  bool independent(TaskId a, TaskId b) const;
+
+  /// Inserts zero-work marker start/stop tasks connected to all sources and
+  /// sinks (the CM-task compiler inserts these automatically, Section 2.2.3).
+  /// Returns {start_id, stop_id}.  No-op markers are excluded from layers.
+  std::pair<TaskId, TaskId> add_start_stop_markers();
+
+  /// Sum of work over all tasks (flop).
+  double total_work_flop() const;
+
+  /// GraphViz dot rendering (for documentation and debugging).
+  std::string to_dot(const std::string& graph_name = "mtask_graph") const;
+
+ private:
+  void check_id(TaskId id) const;
+
+  std::vector<MTask> tasks_;
+  std::vector<std::vector<TaskId>> succ_;
+  std::vector<std::vector<TaskId>> pred_;
+  int num_edges_ = 0;
+};
+
+}  // namespace ptask::core

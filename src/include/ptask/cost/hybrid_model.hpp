@@ -1,0 +1,66 @@
+#pragma once
+/// \file hybrid_model.hpp
+/// Hybrid MPI+OpenMP execution model (paper Section 4.7).
+///
+/// In a hybrid M-task execution, a group of q physical cores is driven by
+/// q/t MPI ranks with t OpenMP threads each (one rank per t *consecutive*
+/// physical cores, which is why the consecutive mapping is a prerequisite).
+/// Two first-order effects follow, and both are modelled here:
+///
+///  * collectives involve only the ranks, so per-round NIC traffic shrinks
+///    by roughly a factor of t (this is why hybrid wins for
+///    communication-dominated solvers);
+///  * every collective implies a fork/join of the OpenMP team, so each
+///    communication phase additionally pays a team synchronization whose
+///    cost grows with the thread count and with the interconnect level the
+///    team spans (this is why hybrid loses for synchronization-heavy
+///    data-parallel DIIRK, and why spanning OpenMP teams across nodes of the
+///    Altix DSM is only worthwhile when it removes large collectives).
+
+#include <vector>
+
+#include "ptask/cost/cost_model.hpp"
+
+namespace ptask::cost {
+
+struct HybridConfig {
+  /// OpenMP threads per MPI rank (1 = pure MPI).
+  int threads_per_rank = 1;
+  /// Compute efficiency of a team confined to one processor / one node /
+  /// spanning nodes (DSM machines only).
+  double eff_same_processor = 0.98;
+  double eff_same_node = 0.95;
+  double eff_inter_node = 0.80;
+};
+
+class HybridCostModel {
+ public:
+  HybridCostModel(arch::Machine machine, HybridConfig config);
+
+  const HybridConfig& config() const { return config_; }
+  const CostModel& base() const { return base_; }
+
+  /// Rank sub-layout: every t-th physical core of each group carries a rank.
+  /// Group sizes must be divisible by threads_per_rank.
+  LayerLayout rank_layout(const LayerLayout& physical) const;
+
+  /// Interconnect level spanned by the team of the rank anchored at
+  /// `group.cores[rank_pos * t]`.
+  arch::CommLevel team_span(const GroupLayout& group, int rank_pos) const;
+
+  /// T(M, q, mp) under hybrid execution for group `gi` of the layer:
+  /// compute on all physical cores (with team efficiency), collectives on
+  /// ranks only, one team synchronization per collective round-trip.
+  double mapped_task_time(const core::MTask& task,
+                          const LayerLayout& physical,
+                          std::size_t group_index) const;
+
+  /// Team fork/join cost for a team of `t` threads spanning `level`.
+  double team_sync_time(int t, arch::CommLevel level) const;
+
+ private:
+  CostModel base_;
+  HybridConfig config_;
+};
+
+}  // namespace ptask::cost

@@ -1,0 +1,63 @@
+#pragma once
+/// \file redistribution.hpp
+/// Re-distribution plans between cooperating M-tasks (paper Sections 2.1 and
+/// 3.1).
+///
+/// If M-task M1 produces a parameter in distribution d1 over group G1 and
+/// M-task M2 consumes it in distribution d2 over group G2, a re-distribution
+/// operation moves every element from its owner under (d1, G1) to its
+/// owner(s) under (d2, G2).  The plan records the communication volume of
+/// every (source rank, destination rank) pair; the cost model and the
+/// simulator turn the plan into time, given the physical placement of the two
+/// groups.
+
+#include <cstddef>
+#include <vector>
+
+#include "ptask/dist/distribution.hpp"
+
+namespace ptask::dist {
+
+/// One point-to-point transfer of a re-distribution.
+/// Ranks are group-local: `src_rank` indexes into the source group,
+/// `dst_rank` into the destination group.
+struct Transfer {
+  std::size_t src_rank = 0;
+  std::size_t dst_rank = 0;
+  std::size_t bytes = 0;
+};
+
+/// A complete re-distribution plan.
+class RedistributionPlan {
+ public:
+  /// Computes the plan for an `n`-element vector of `elem_size`-byte elements
+  /// moving from (src over q1 cores) to (dst over q2 cores).
+  ///
+  /// `same_groups` declares that source rank i and destination rank i are the
+  /// *same physical core* for all i (only meaningful when q1 == q2); element
+  /// moves between identical ranks are then free and omitted from the plan.
+  /// A replicated destination receives every element on every rank; a
+  /// replicated source sends each element from its canonical owner (rank 0)
+  /// unless the destination rank coincides.
+  static RedistributionPlan compute(std::size_t n, std::size_t elem_size,
+                                    const Distribution& src, std::size_t q1,
+                                    const Distribution& dst, std::size_t q2,
+                                    bool same_groups = false);
+
+  const std::vector<Transfer>& transfers() const { return transfers_; }
+
+  /// Sum of all transferred bytes.
+  std::size_t total_bytes() const { return total_bytes_; }
+
+  /// Largest single pairwise transfer (lower-bounds the plan's time).
+  std::size_t max_pair_bytes() const { return max_pair_bytes_; }
+
+  bool empty() const { return transfers_.empty(); }
+
+ private:
+  std::vector<Transfer> transfers_;
+  std::size_t total_bytes_ = 0;
+  std::size_t max_pair_bytes_ = 0;
+};
+
+}  // namespace ptask::dist

@@ -1,0 +1,44 @@
+#pragma once
+/// \file core_sequence.hpp
+/// Physical core sequences for the three mapping strategies (paper
+/// Section 3.4).
+///
+/// A mapping strategy is fully described by an ordering of the machine's
+/// physical cores; the mapping function F_W then assigns the i-th symbolic
+/// core (in group order) to the i-th physical core of the sequence.
+///
+///  * consecutive : 1.1.1, 1.1.2, ..., 1.p.c, 2.1.1, ...   (node-major)
+///  * scattered   : 1.1.1, 2.1.1, ..., n.1.1, 1.1.2, ...   (round-robin)
+///  * mixed(d)    : first d cores of node 1, first d cores of node 2, ...,
+///                  then the next d cores of every node, and so on.
+///
+/// scattered == mixed(1); consecutive == mixed(cores_per_node).
+
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+
+namespace ptask::map {
+
+enum class Strategy {
+  Consecutive,
+  Scattered,
+  Mixed,
+};
+
+const char* to_string(Strategy strategy);
+
+/// Human-readable label including the mixed block size, e.g. "mixed(d=2)".
+std::string strategy_label(Strategy strategy, int d);
+
+/// Builds the physical core sequence (flat core indices on `machine`) for a
+/// strategy.  `d` is only used for Strategy::Mixed and must divide the
+/// machine's cores per node.
+std::vector<int> physical_sequence(const arch::Machine& machine,
+                                   Strategy strategy, int d = 1);
+
+/// The mixed-mapping sequence for an explicit block size d (1 <= d <=
+/// cores_per_node, d | cores_per_node).
+std::vector<int> mixed_sequence(const arch::Machine& machine, int d);
+
+}  // namespace ptask::map

@@ -1,0 +1,84 @@
+#pragma once
+/// \file collectives.hpp
+/// Collective communication algorithms, expressed as round-based message
+/// schedules over logical ranks.
+///
+/// The paper attributes the mapping effects on MPI_Allgather (Fig. 14) to the
+/// concrete algorithm the MPI library runs -- a ring for large messages,
+/// where communication happens between *neighbouring ranks*, so a consecutive
+/// mapping keeps it inside cluster nodes.  We therefore model collectives as
+/// the actual message patterns, not as closed-form formulas: an algorithm
+/// yields a `MessageSchedule` (a sequence of rounds, each a set of
+/// point-to-point messages between ranks), which the analytic link model or
+/// the discrete-event simulator then prices for a concrete rank-to-core
+/// placement.
+
+#include <cstddef>
+#include <vector>
+
+namespace ptask::net {
+
+/// One logical message: `src` sends `bytes` to `dst` (group-local ranks).
+struct Message {
+  int src = 0;
+  int dst = 0;
+  std::size_t bytes = 0;
+};
+
+/// Messages of one round happen concurrently; rounds are separated by a
+/// logical synchronization (each rank waits for its round-i traffic before
+/// participating in round i+1).
+struct Round {
+  std::vector<Message> messages;
+};
+
+using MessageSchedule = std::vector<Round>;
+
+/// Broadcast of `bytes` from `root` to all `nranks` ranks via a binomial
+/// tree: ceil(log2 n) rounds, round k doubles the number of holders.
+MessageSchedule binomial_bcast(int nranks, int root, std::size_t bytes);
+
+/// Allgather via the ring algorithm (used by MPI libraries for large
+/// messages): n-1 rounds; in round k every rank sends the block it received
+/// in round k-1 to its right neighbour.  `bytes_per_rank` is each rank's
+/// contribution.
+MessageSchedule ring_allgather(int nranks, std::size_t bytes_per_rank);
+
+/// Allgather via recursive doubling (used for small messages); requires and
+/// checks a power-of-two rank count.  In round k each rank exchanges its
+/// current 2^k blocks with its partner at distance 2^k.
+MessageSchedule recursive_doubling_allgather(int nranks,
+                                             std::size_t bytes_per_rank);
+
+/// Library-style algorithm selection: recursive doubling when the total
+/// gathered volume is below `rd_threshold_bytes` and the rank count is a
+/// power of two, the ring otherwise.  The default threshold mirrors common
+/// MPI implementations (switch to ring at 32 KiB total).
+MessageSchedule allgather(int nranks, std::size_t bytes_per_rank,
+                          std::size_t rd_threshold_bytes = 32 * 1024);
+
+/// Reduction of `bytes` to `root` via a binomial tree (mirror of the bcast).
+MessageSchedule binomial_reduce(int nranks, int root, std::size_t bytes);
+
+/// Allreduce via recursive doubling/halving; non-power-of-two rank counts
+/// fall back to reduce + bcast.
+MessageSchedule allreduce(int nranks, std::size_t bytes);
+
+/// Barrier, lowered to a zero-payload allreduce (messages still pay latency).
+MessageSchedule barrier(int nranks);
+
+/// Nearest-neighbour exchange on the rank ring: two rounds, every rank sends
+/// `bytes` to its right neighbour in round 1 and to its left neighbour in
+/// round 2 (the border-exchange pattern of multi-zone solvers).
+MessageSchedule ring_exchange(int nranks, std::size_t bytes);
+
+/// Point-to-point exchange pattern of a re-distribution: all transfers in one
+/// round per distinct source rank "wave" such that no rank sends two messages
+/// in the same round (a simple greedy edge colouring).  `transfers` uses
+/// group-local src/dst ranks like dist::Transfer, passed as Messages.
+MessageSchedule redistribution_rounds(const std::vector<Message>& transfers);
+
+/// Total byte volume of a schedule.
+std::size_t schedule_bytes(const MessageSchedule& schedule);
+
+}  // namespace ptask::net

@@ -1,0 +1,82 @@
+#pragma once
+/// \file link_model.hpp
+/// Analytic pricing of message schedules for a concrete rank-to-core
+/// placement (the fast path used inside the scheduler and the mapping-aware
+/// cost model; the discrete-event simulator in ptask::sim is the high-fidelity
+/// path).
+///
+/// Model per round: every message pays `latency + bytes/bandwidth` of the
+/// interconnect level its endpoints share.  Inter-node messages additionally
+/// contend for the network interface of their node: all bytes leaving
+/// (entering) one node within a round are serialized through that node's NIC.
+/// The round time is the maximum over both effects; rounds execute one after
+/// another.  This captures the first-order behaviour that drives the paper's
+/// mapping results: a scattered mapping multiplies NIC pressure by the number
+/// of cores per node.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/net/collectives.hpp"
+
+namespace ptask::net {
+
+/// Byte-volume statistics of one priced schedule, by interconnect level.
+struct TrafficStats {
+  std::size_t bytes_same_processor = 0;
+  std::size_t bytes_same_node = 0;
+  std::size_t bytes_inter_node = 0;
+  std::size_t messages = 0;
+
+  std::size_t total_bytes() const {
+    return bytes_same_processor + bytes_same_node + bytes_inter_node;
+  }
+};
+
+/// Prices message schedules against an `arch::Machine` and a placement.
+class LinkModel {
+ public:
+  explicit LinkModel(const arch::Machine& machine) : machine_(&machine) {}
+
+  /// Time of one round.  `placement[rank]` is the flat core index executing
+  /// that rank.
+  double round_time(const Round& round, std::span<const int> placement,
+                    TrafficStats* stats = nullptr) const;
+
+  /// Time of a whole schedule (sum of its round times).
+  double schedule_time(const MessageSchedule& schedule,
+                       std::span<const int> placement,
+                       TrafficStats* stats = nullptr) const;
+
+  /// Time of several schedules executing *concurrently* (e.g. the
+  /// Multi-Allgather benchmark: one allgather per group).  Round i of every
+  /// schedule is merged into one common round; each schedule's ranks are
+  /// translated by its own placement.  Returns the makespan.
+  double concurrent_schedule_time(
+      std::span<const MessageSchedule> schedules,
+      std::span<const std::vector<int>> placements,
+      TrafficStats* stats = nullptr) const;
+
+  const arch::Machine& machine() const { return *machine_; }
+
+ private:
+  const arch::Machine* machine_;
+};
+
+/// Closed-form collective costs on `q` symbolic cores whose interconnect is
+/// uniformly `link` (paper Section 3.2: the scheduler prices M-tasks with a
+/// *default mapping pattern* where all communication uses the slowest
+/// network, yielding an upper bound that is mapping-independent).
+double bcast_time_uniform(int q, std::size_t bytes,
+                          const arch::LinkParams& link);
+double allgather_time_uniform(int q, std::size_t bytes_per_rank,
+                              const arch::LinkParams& link);
+double allreduce_time_uniform(int q, std::size_t bytes,
+                              const arch::LinkParams& link);
+double barrier_time_uniform(int q, const arch::LinkParams& link);
+double exchange_time_uniform(int q, std::size_t bytes,
+                             const arch::LinkParams& link);
+
+}  // namespace ptask::net

@@ -1,0 +1,37 @@
+#pragma once
+/// \file multizone.hpp
+/// M-task graph generation and cost annotation for the multi-zone
+/// benchmarks (paper Section 4.6).
+///
+/// Each zone is one M-task.  Within a time step, all zones are computed
+/// independently; at the end of a step, overlapping zones exchange border
+/// data.  The cost annotation captures the two effects Fig. 17 hinges on:
+///
+///  * zone-internal communication (the ADI sweeps of the SP/BT solvers
+///    transpose zone data across the executing group) -- this penalizes
+///    *large* groups, because collective cost grows with the group size;
+///  * border exchanges between zones assigned to different groups, modelled
+///    as an orthogonal nearest-neighbour exchange -- cheap under a scattered
+///    mapping, which co-locates same-position cores of different groups.
+///
+/// Load imbalance for BT-MZ emerges from the skewed zone sizes and the LPT
+/// assignment of zones to groups.
+
+#include "ptask/core/task_graph.hpp"
+#include "ptask/npb/zones.hpp"
+
+namespace ptask::npb {
+
+/// Per-point, per-time-step computational work of the zone solvers
+/// (approximate NPB operation counts).
+double flop_per_point(MzSolver solver);
+
+/// Task graph of one time step: one M-task per zone plus a zero-work
+/// synchronization task closing the step.
+core::TaskGraph step_graph(const MultiZoneProblem& problem);
+
+/// Border-exchange volume of one zone (bytes per step): both ghost faces in
+/// x and y, 5 solution variables, doubles.
+std::size_t border_bytes(const ZoneGrid& zone);
+
+}  // namespace ptask::npb

@@ -1,0 +1,64 @@
+#pragma once
+/// \file stencil.hpp
+/// A real (executable) zone kernel: scalar 3-D Jacobi relaxation with
+/// Dirichlet boundaries, standing in for the SP/BT per-zone solves in the
+/// runnable examples and tests.  It provides genuine computation per zone
+/// (relaxation sweeps, residuals) and genuine border coupling (ghost-face
+/// exchange between adjacent zones), so a multi-zone time step can be
+/// executed for real by the shared-memory runtime and checked for
+/// schedule-independence.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ptask/npb/zones.hpp"
+
+namespace ptask::npb {
+
+/// Scalar field on one zone with one ghost layer on each x/y face.
+class ZoneField {
+ public:
+  explicit ZoneField(const ZoneGrid& grid);
+
+  const ZoneGrid& grid() const { return grid_; }
+
+  /// Value access for interior coordinates (0-based, without ghosts).
+  double& at(int x, int y, int z);
+  double at(int x, int y, int z) const;
+
+  /// Initializes the interior with a smooth function of the global
+  /// coordinates (`x0`, `y0` are the zone's offsets in the global grid).
+  void initialize(int x0, int y0, std::size_t global_nx,
+                  std::size_t global_ny);
+
+  /// One Jacobi sweep over rows [y_begin, y_end) of the interior, writing
+  /// into the back buffer; ghost cells act as boundary values.  Returns the
+  /// max residual of the swept rows.  Splitting by rows lets an SPMD group
+  /// share one zone; after all rows of a sweep are done (and the group
+  /// synchronized), exactly one member calls commit().
+  double jacobi_sweep(int y_begin, int y_end);
+
+  /// Publishes the back buffer written by jacobi_sweep as the new state.
+  void commit();
+
+  /// Copies this zone's interior face into `out` / sets a ghost face from
+  /// `in`.  `face` is 0:-x, 1:+x, 2:-y, 3:+y; the face has ny*nz or nx*nz
+  /// entries.
+  void extract_face(int face, std::span<double> out) const;
+  void set_ghost_face(int face, std::span<const double> in);
+
+  std::size_t face_size(int face) const;
+
+  /// Max-norm of the interior (used for schedule-independence checks).
+  double interior_max() const;
+
+ private:
+  std::size_t index(int x, int y, int z) const;
+
+  ZoneGrid grid_;
+  std::vector<double> data_;      // (nx+2) x (ny+2) x nz, ghosts in x/y
+  std::vector<double> next_;
+};
+
+}  // namespace ptask::npb

@@ -1,0 +1,55 @@
+#pragma once
+/// \file zones.hpp
+/// Zone geometry of the NAS Parallel Benchmarks, multi-zone versions
+/// (NPB-MZ; van der Wijngaart & Jin, NAS-03-010), used in the paper's
+/// Section 4.6.
+///
+/// A multi-zone problem partitions a global 3-D grid into x_zones * y_zones
+/// zones (full extent in z).  SP-MZ splits the grid into *equal* zones;
+/// BT-MZ sizes the zones along a geometric progression so that the largest
+/// zone has roughly 20x the points of the smallest -- the load-imbalance
+/// stressor of the suite.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ptask::npb {
+
+struct ZoneGrid {
+  int nx = 1;
+  int ny = 1;
+  int nz = 1;
+  std::size_t points() const {
+    return static_cast<std::size_t>(nx) * static_cast<std::size_t>(ny) *
+           static_cast<std::size_t>(nz);
+  }
+};
+
+enum class MzSolver { SP, BT };
+
+const char* to_string(MzSolver solver);
+
+struct MultiZoneProblem {
+  MzSolver solver = MzSolver::SP;
+  char benchmark_class = 'S';
+  int x_zones = 1;
+  int y_zones = 1;
+  ZoneGrid global;
+  std::vector<ZoneGrid> zones;  ///< x-major: zone (ix, iy) at iy*x_zones+ix
+
+  int num_zones() const { return x_zones * y_zones; }
+  std::size_t total_points() const;
+  /// Ratio of the largest to the smallest zone (1.0 for SP-MZ).
+  double imbalance_ratio() const;
+
+  std::string name() const;
+};
+
+/// Builds the zone geometry for a benchmark class.
+/// Supported classes: S, W, A, B, C, D (NPB-MZ table: class C has 16x16=256
+/// zones on a 480x320x28 grid, class D has 32x32=1024 zones on
+/// 1632x1216x34).
+MultiZoneProblem make_problem(MzSolver solver, char benchmark_class);
+
+}  // namespace ptask::npb

@@ -1,0 +1,62 @@
+#pragma once
+/// \file adaptive.hpp
+/// Adaptive step-size control for the ODE solvers (paper Section 2.2.3:
+/// "The local error is estimated at each time step and the step size is
+/// adapted accordingly such that a specified accuracy is maintained").
+///
+/// The controller uses step doubling (Richardson): each accepted step
+/// compares one full step of size h against two half steps; the difference
+/// scaled by 2^p - 1 estimates the local error of the half-step result,
+/// which is also used as the (locally extrapolated) solution.  The next
+/// step size follows the standard order-aware update with a safety factor
+/// and growth clamps.  Step doubling is method-agnostic, so one controller
+/// serves all five solvers.
+
+#include <cstddef>
+#include <vector>
+
+#include "ptask/ode/ode_system.hpp"
+#include "ptask/ode/solver_base.hpp"
+
+namespace ptask::ode {
+
+struct AdaptiveOptions {
+  double abs_tol = 1e-8;
+  double rel_tol = 1e-6;
+  double safety = 0.9;
+  double min_factor = 0.2;  ///< largest allowed step shrink per rejection
+  double max_factor = 4.0;  ///< largest allowed step growth per acceptance
+  double h_min = 1e-12;
+  double h_max = 1.0;
+  std::size_t max_steps = 1'000'000;
+  /// Use the half-step result improved by local extrapolation.
+  bool local_extrapolation = true;
+};
+
+struct AdaptiveResult {
+  std::vector<double> state;
+  double t_end = 0.0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  double final_h = 0.0;
+  double min_h_used = 0.0;
+  double max_h_used = 0.0;
+};
+
+/// Integrates [t0, te] with error-controlled steps.  The solver's history
+/// (PAB/PABM) is reset before every trial, so the controller is valid for
+/// every method (at a bootstrap cost for the multi-step ones).
+/// Throws std::runtime_error when the controller cannot meet the tolerance
+/// with h >= h_min or exceeds max_steps.
+AdaptiveResult integrate_adaptive(OneStepSolver& solver,
+                                  const OdeSystem& system, double t0,
+                                  double te, double h0,
+                                  std::vector<double> y0,
+                                  const AdaptiveOptions& options = {});
+
+/// Weighted RMS error norm: sqrt(mean((e_i / (atol + rtol*|y_i|))^2));
+/// a step is acceptable iff the norm is <= 1.
+double error_norm(std::span<const double> error, std::span<const double> y,
+                  double abs_tol, double rel_tol);
+
+}  // namespace ptask::ode

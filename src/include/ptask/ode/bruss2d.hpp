@@ -1,0 +1,44 @@
+#pragma once
+/// \file bruss2d.hpp
+/// BRUSS2D: spatial discretization of the 2-D Brusselator reaction-diffusion
+/// equations (Hairer, Norsett & Wanner I) -- the paper's *sparse* benchmark
+/// system.
+///
+///   u_t = B + u^2 v - (A+1) u + alpha (u_xx + u_yy)
+///   v_t = A u - u^2 v       + alpha (v_xx + v_yy)
+///
+/// on the unit square with Neumann boundary conditions, discretized on an
+/// N x N grid with central differences.  State layout: y[0 .. N^2) holds u
+/// row-major, y[N^2 .. 2N^2) holds v, so n = 2 N^2.
+
+#include "ptask/ode/ode_system.hpp"
+
+namespace ptask::ode {
+
+class Bruss2D final : public OdeSystem {
+ public:
+  /// `grid` is N; the system size is 2 N^2.
+  explicit Bruss2D(std::size_t grid, double a = 3.4, double b = 1.0,
+                   double alpha = 2.0e-3);
+
+  std::size_t size() const override { return 2 * grid_ * grid_; }
+  std::size_t grid() const { return grid_; }
+
+  void eval(double t, std::span<const double> y, std::span<double> f,
+            std::size_t begin, std::size_t end) const override;
+
+  std::vector<double> initial_state() const override;
+
+  double eval_flop_per_component() const override { return 14.0; }
+  bool is_dense() const override { return false; }
+  std::string name() const override { return "BRUSS2D"; }
+
+ private:
+  double laplacian(std::span<const double> field, std::size_t row,
+                   std::size_t col) const;
+
+  std::size_t grid_;
+  double a_, b_, alpha_scaled_;
+};
+
+}  // namespace ptask::ode

@@ -1,0 +1,42 @@
+#pragma once
+/// \file diirk.hpp
+/// DIIRK: Diagonal-Implicitly Iterated Runge-Kutta method (paper
+/// Section 4.2), the implicit sibling of IRK suitable for stiff problems.
+///
+/// The stage iteration keeps the diagonal coupling implicit:
+///
+///   K_j^(l) = f(t + c_j h, y + h * sum_{k} a_jk K_k^(l-1)
+///                              + h d_j (K_j^(l) - K_j^(l-1)))
+///
+/// so each stage update solves an n-dimensional implicit equation that
+/// couples only to the stage's *own* new value (diagonal), which the
+/// implementation resolves by `inner_iterations` fixed-point sweeps
+/// (playing the role of the dynamically determined iteration count I of
+/// the paper, typically 1 <= I <= 3).  The K stages stay independent within
+/// one outer iteration, giving the same task parallelism as IRK.
+
+#include "ptask/ode/solver_base.hpp"
+
+namespace ptask::ode {
+
+class Diirk final : public OneStepSolver {
+ public:
+  /// `stages` = K, `iterations` = m outer iterations, `inner_iterations` = I.
+  Diirk(int stages, int iterations, int inner_iterations = 2);
+
+  std::string name() const override { return "DIIRK"; }
+  int order() const override;
+  int stages() const { return tableau_.stages(); }
+  int iterations() const { return iterations_; }
+  int inner_iterations() const { return inner_; }
+
+  void step(const OdeSystem& system, double t, double h,
+            std::vector<double>& y) override;
+
+ private:
+  CollocationTableau tableau_;
+  int iterations_;
+  int inner_;
+};
+
+}  // namespace ptask::ode

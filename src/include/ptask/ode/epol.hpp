@@ -1,0 +1,43 @@
+#pragma once
+/// \file epol.hpp
+/// EPOL: explicit extrapolation method (paper Section 2.2.3, Fig. 3/4).
+///
+/// One time step computes R approximations of y(t + h): approximation i
+/// performs i explicit Euler micro steps of size h/i.  The R approximations
+/// are combined by Aitken-Neville extrapolation into a final approximation
+/// of order R.  The micro steps of one approximation form a linear chain;
+/// different approximations are independent -- exactly the task structure
+/// the layer scheduler exploits (chains contracted, one layer of R chains).
+
+#include "ptask/ode/solver_base.hpp"
+
+namespace ptask::ode {
+
+class Epol final : public OneStepSolver {
+ public:
+  /// `r` approximations (method order r).
+  explicit Epol(int r);
+
+  std::string name() const override { return "EPOL"; }
+  int order() const override { return r_; }
+  int approximations() const { return r_; }
+
+  void step(const OdeSystem& system, double t, double h,
+            std::vector<double>& y) override;
+
+  /// Computes approximation `i` (1-based): i Euler micro steps of size h/i,
+  /// starting from `y`, into `out`.  Exposed so the SPMD runtime version can
+  /// run approximations on separate groups.
+  static void micro_steps(const OdeSystem& system, double t, double h, int i,
+                          std::span<const double> y, std::vector<double>& out);
+
+  /// Aitken-Neville combination of the R approximations (harmonic step
+  /// number sequence n_i = i) into the order-R result.
+  static std::vector<double> combine(
+      std::vector<std::vector<double>> approximations);
+
+ private:
+  int r_;
+};
+
+}  // namespace ptask::ode

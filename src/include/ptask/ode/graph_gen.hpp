@@ -1,0 +1,70 @@
+#pragma once
+/// \file graph_gen.hpp
+/// M-task graph generators for the ODE solvers.
+///
+/// For every method the generator produces the task graph of ONE time step,
+/// annotated with computational work and with the internal collective
+/// operations of the paper's Table 1.  The annotation is *version neutral*:
+/// group-scope collectives are written on the tasks; whether they surface as
+/// global or group-based operations is decided by the schedule (a layer with
+/// g = 1 groups turns group scope into global scope, orthogonal operations
+/// vanish when there is only one group).  `count_comms` applies exactly this
+/// classification, so the Table 1 rows for the data-parallel and the
+/// task-parallel program versions are both derived from the same graph.
+
+#include "ptask/core/spec_builder.hpp"
+#include "ptask/core/task_graph.hpp"
+#include "ptask/ode/ode_system.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::ode {
+
+enum class Method { EPOL, IRK, DIIRK, PAB, PABM };
+
+const char* to_string(Method method);
+
+/// Parameters describing one solver instance for graph generation.
+struct SolverGraphSpec {
+  Method method = Method::EPOL;
+  std::size_t n = 0;                   ///< ODE system size
+  double eval_flop_per_component = 14; ///< teval(f)/n of the system
+  int stages = 4;                      ///< R (EPOL) or K (others)
+  int iterations = 1;                  ///< m: fixed-point / corrector iters
+  int inner_iterations = 1;            ///< I: DIIRK inner solves
+  std::size_t bcast_row_bytes = 8192;  ///< DIIRK pivot-row payload (banded GE)
+
+  /// Task graph of one time step (no start/stop markers; schedulers add
+  /// their own bookkeeping).
+  core::TaskGraph step_graph() const;
+};
+
+/// Builds a spec from an actual system (size + eval cost) and parameters.
+SolverGraphSpec make_spec(Method method, const OdeSystem& system, int stages,
+                          int iterations = 1, int inner_iterations = 1);
+
+/// The full hierarchical specification program of the extrapolation method
+/// (paper Fig. 3), built with the SpecBuilder: init_step, a while node for
+/// the time loop whose body holds the step(j, i) parfor/for nest and the
+/// combine task (paper Fig. 4).
+core::HierGraph epol_program_spec(std::size_t n, int r,
+                                  double eval_flop_per_component,
+                                  double time_steps_hint);
+
+/// Collective operation counts of one time step under a given schedule,
+/// following the paper's Table 1 conventions: group-scope operations in a
+/// one-group layer count as global; orthogonal operations in a one-group
+/// layer vanish; for multi-group layers, group-based and orthogonal
+/// operations are counted *for one group* (the paper lists the operations of
+/// one of the disjoint groups); one global broadcast is charged per time
+/// step if any cross-layer re-distribution moves data (EPOL's combine).
+struct CommCounts {
+  int global_allgather = 0;
+  int global_bcast = 0;
+  int group_allgather = 0;
+  int group_bcast = 0;
+  int orth_allgather = 0;
+};
+
+CommCounts count_comms(const sched::LayeredSchedule& schedule);
+
+}  // namespace ptask::ode

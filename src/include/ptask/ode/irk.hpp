@@ -1,0 +1,40 @@
+#pragma once
+/// \file irk.hpp
+/// IRK: Iterated Runge-Kutta method (paper Section 4.2).
+///
+/// An s-stage implicit collocation method (Gauss-Legendre) whose stage
+/// vectors are approximated by m explicit fixed-point iterations
+///
+///   K_j^(0)  = f(t, y)
+///   K_j^(l)  = f(t + c_j h, y + h * sum_k a_jk K_k^(l-1)),   l = 1..m
+///   y_{n+1}  = y + h * sum_j b_j K_j^(m)
+///
+/// Within one iteration the K stage vectors are *independent* -- the
+/// coarse-grained task parallelism the paper exploits by computing each
+/// stage vector on its own group of cores.  The achievable order is
+/// min(2s, m + 1).
+
+#include "ptask/ode/solver_base.hpp"
+
+namespace ptask::ode {
+
+class Irk final : public OneStepSolver {
+ public:
+  /// `stages` = K stage vectors, `iterations` = m fixed-point iterations.
+  Irk(int stages, int iterations);
+
+  std::string name() const override { return "IRK"; }
+  int order() const override;
+  int stages() const { return tableau_.stages(); }
+  int iterations() const { return iterations_; }
+  const CollocationTableau& tableau() const { return tableau_; }
+
+  void step(const OdeSystem& system, double t, double h,
+            std::vector<double>& y) override;
+
+ private:
+  CollocationTableau tableau_;
+  int iterations_;
+};
+
+}  // namespace ptask::ode

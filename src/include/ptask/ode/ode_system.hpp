@@ -1,0 +1,54 @@
+#pragma once
+/// \file ode_system.hpp
+/// ODE initial value problems y'(t) = f(t, y(t)), y(t0) = y0 (paper
+/// Section 2.2.3).
+///
+/// The two benchmark systems of the paper are represented: a *sparse* system
+/// where evaluating one component touches O(1) other components (BRUSS2D,
+/// the spatially discretized 2-D Brusselator), and a *dense* system where
+/// one component depends on all others (SCHROED, a Galerkin approximation of
+/// a Schrödinger-Poisson system), so the evaluation time of the full
+/// right-hand side scales linearly resp. quadratically with the system size.
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ptask::ode {
+
+class OdeSystem {
+ public:
+  virtual ~OdeSystem() = default;
+
+  /// Dimension n of the system.
+  virtual std::size_t size() const = 0;
+
+  /// Evaluates components [begin, end) of f(t, y) into f[begin, end).
+  /// `y` and `f` always span the full system; the component range enables
+  /// block-distributed SPMD evaluation.
+  virtual void eval(double t, std::span<const double> y, std::span<double> f,
+                    std::size_t begin, std::size_t end) const = 0;
+
+  /// Evaluates the full right-hand side.
+  void eval_all(double t, std::span<const double> y,
+                std::span<double> f) const {
+    eval(t, y, f, 0, size());
+  }
+
+  /// Initial state y(t0).
+  virtual std::vector<double> initial_state() const = 0;
+
+  /// Approximate flop to evaluate ONE component (the cost model's
+  /// teval(f) / n); for dense systems this is O(n).
+  virtual double eval_flop_per_component() const = 0;
+
+  virtual bool is_dense() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// Maximum norm of the difference of two states.
+double max_norm_diff(std::span<const double> a, std::span<const double> b);
+
+}  // namespace ptask::ode

@@ -1,0 +1,87 @@
+#pragma once
+/// \file pab.hpp
+/// PAB / PABM: Parallel Adams-Bashforth methods (paper Section 4.2), block
+/// one-step variants of the Adams methods in which the K stage values of a
+/// step can be computed *concurrently* (van der Houwen-style parallel
+/// Adams methods).
+///
+/// One macro step from t_n advances by h through K sub-points
+/// t_{n,k} = t_n + (k/K) h.  The method keeps the right-hand-side values at
+/// the K sub-points of the previous block as history.
+///
+/// PAB (predictor only, order K):
+///   y_{n,k} = y_n + h * sum_j beta_kj f(history_j)
+/// where beta integrates the interpolation polynomial through the history
+/// nodes from 0 to c_k.  The K predictions are independent of each other.
+///
+/// PABM (PAB + m Moulton-style corrector iterations, order K+1):
+///   y_{n,k}^(l) = y_n + h * [gamma_k0 f(t_n, y_n)
+///                 + sum_j gamma_kj f(t_{n,j}, y_{n,j}^(l-1))]
+/// again with the K corrections of one iteration independent.
+///
+/// The first macro step is bootstrapped with finely micro-stepped classical
+/// RK4 so the block history exists; the bootstrap error is far below the
+/// method error for the step sizes of interest.
+
+#include "ptask/ode/solver_base.hpp"
+
+namespace ptask::ode {
+
+/// Shared machinery of the block Adams methods.
+class BlockAdamsBase : public OneStepSolver {
+ public:
+  explicit BlockAdamsBase(int block_size);
+
+  int block_size() const { return k_; }
+  void reset() override { history_.clear(); }
+
+ protected:
+  /// f-history at the previous block's sub-points (index K-1 is t_n).
+  bool has_history() const { return !history_.empty(); }
+
+  /// Bootstraps the history (and advances y by one macro step) with
+  /// micro-stepped RK4.
+  void bootstrap(const OdeSystem& system, double t, double h,
+                 std::vector<double>& y);
+
+  /// Predictor coefficients beta (row-major K x K).
+  const std::vector<double>& beta() const { return beta_; }
+
+  int k_;
+  std::vector<double> beta_;
+  std::vector<std::vector<double>> history_;
+};
+
+class Pab final : public BlockAdamsBase {
+ public:
+  explicit Pab(int block_size);
+
+  std::string name() const override { return "PAB"; }
+  int order() const override { return k_; }
+
+  void step(const OdeSystem& system, double t, double h,
+            std::vector<double>& y) override;
+};
+
+class Pabm final : public BlockAdamsBase {
+ public:
+  /// `corrector_iterations` = m.
+  Pabm(int block_size, int corrector_iterations);
+
+  std::string name() const override { return "PABM"; }
+  int order() const override { return k_ + 1; }
+  int corrector_iterations() const { return m_; }
+
+  void step(const OdeSystem& system, double t, double h,
+            std::vector<double>& y) override;
+
+ private:
+  int m_;
+  std::vector<double> gamma_;  // row-major K x (K+1)
+};
+
+/// One classical RK4 step (used by the bootstrap and available to tests).
+void rk4_step(const OdeSystem& system, double t, double h,
+              std::vector<double>& y);
+
+}  // namespace ptask::ode

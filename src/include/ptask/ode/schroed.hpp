@@ -1,0 +1,44 @@
+#pragma once
+/// \file schroed.hpp
+/// SCHROED: a dense ODE system modelled after the Galerkin approximation of
+/// a Schrodinger-Poisson system (paper reference [41]) -- the paper's
+/// *dense* benchmark system.
+///
+/// The physically relevant property for the scheduling/mapping study is the
+/// coupling structure and cost: every component of f depends on *all*
+/// components of y, so evaluating the full right-hand side costs O(n^2).
+/// We use a smooth, stable dense coupling
+///
+///   f_i(t, y) = -y_i + (1/n) * sum_j  c_{ij} * sin(y_j),
+///   c_{ij} = 1 / (1 + |i - j| / n),
+///
+/// whose trajectories stay bounded (the map is a contraction towards a
+/// bounded attractor), which makes convergence-order measurements clean.
+
+#include "ptask/ode/ode_system.hpp"
+
+namespace ptask::ode {
+
+class Schroed final : public OdeSystem {
+ public:
+  explicit Schroed(std::size_t n);
+
+  std::size_t size() const override { return n_; }
+
+  void eval(double t, std::span<const double> y, std::span<double> f,
+            std::size_t begin, std::size_t end) const override;
+
+  std::vector<double> initial_state() const override;
+
+  /// One component costs ~4 flop per coupled term (O(n)).
+  double eval_flop_per_component() const override {
+    return 4.0 * static_cast<double>(n_);
+  }
+  bool is_dense() const override { return true; }
+  std::string name() const override { return "SCHROED"; }
+
+ private:
+  std::size_t n_;
+};
+
+}  // namespace ptask::ode

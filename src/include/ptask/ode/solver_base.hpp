@@ -1,0 +1,74 @@
+#pragma once
+/// \file solver_base.hpp
+/// Common driver for the ODE time-stepping methods (paper Section 4.2) and
+/// small shared numerics utilities.
+///
+/// All five methods of the paper are implemented as real numerical solvers:
+/// EPOL (extrapolation), IRK (iterated Runge-Kutta), DIIRK (diagonal-
+/// implicitly iterated Runge-Kutta), PAB and PABM (parallel Adams-Bashforth
+/// without / with Moulton correction).  Their *sequential* step functions
+/// here define the numerics; the SPMD variants executed by the ptask::rt
+/// runtime and the cost-annotated task graphs in graph_gen.hpp mirror them.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ptask/ode/ode_system.hpp"
+
+namespace ptask::ode {
+
+struct IntegrationResult {
+  std::vector<double> state;
+  double t_end = 0.0;
+  std::size_t steps = 0;
+};
+
+/// Base class of the time-stepping methods.  A solver may carry history
+/// (PAB/PABM); `reset()` clears it before a fresh integration.
+class OneStepSolver {
+ public:
+  virtual ~OneStepSolver() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Consistency order of the method (used by convergence tests).
+  virtual int order() const = 0;
+
+  /// Advances `y` in place from t to t + h.
+  virtual void step(const OdeSystem& system, double t, double h,
+                    std::vector<double>& y) = 0;
+
+  virtual void reset() {}
+
+  /// Fixed-step integration of [t0, te]; the last step is shortened to end
+  /// exactly at te.
+  IntegrationResult integrate(const OdeSystem& system, double t0, double te,
+                              double h, std::vector<double> y0);
+};
+
+/// Solves the dense linear system A x = b (row-major A, n x n) by Gaussian
+/// elimination with partial pivoting.  Intended for the small tableau /
+/// coefficient systems of the solvers (n <= ~16).
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b);
+
+/// Gauss-Legendre collocation data on [0, 1]: `c` are the s nodes, `b` the
+/// quadrature weights, `a` the s x s Runge-Kutta matrix (row-major) with the
+/// collocation conditions sum_j a_ij c_j^{q-1} = c_i^q / q.
+struct CollocationTableau {
+  std::vector<double> c;
+  std::vector<double> b;
+  std::vector<double> a;  // row-major s x s
+  int stages() const { return static_cast<int>(c.size()); }
+};
+
+/// Builds the s-stage Gauss-Legendre tableau (order 2s).
+CollocationTableau gauss_tableau(int stages);
+
+/// Estimates the observed convergence order of a solver on `system` by
+/// comparing fixed-step solutions at h and h/2 against a reference computed
+/// at h/8: order ~= log2(err(h) / err(h/2)).
+double estimate_order(OneStepSolver& solver, const OdeSystem& system,
+                      double t0, double te, double h);
+
+}  // namespace ptask::ode

@@ -1,0 +1,97 @@
+#pragma once
+/// \file spmd_solvers.hpp
+/// Executable SPMD realizations of the task-parallel ODE solver steps for
+/// the shared-memory M-task runtime (ptask::rt).
+///
+/// These classes bind a solver's per-step task graph (ode::graph_gen) to
+/// real task bodies operating on shared state, with the same communication
+/// structure as the paper's distributed implementations: group-internal
+/// multi-broadcasts realized over rt::GroupComm, and -- for the stage-vector
+/// solvers -- orthogonal exchanges between the concurrently executing stage
+/// groups via the runtime's orthogonal communicators.
+///
+/// They let tests and examples *execute* a scheduled time step and compare
+/// the numerical result bit-for-bit against the sequential solvers.
+
+#include <memory>
+#include <vector>
+
+#include "ptask/core/task_graph.hpp"
+#include "ptask/ode/graph_gen.hpp"
+#include "ptask/ode/ode_system.hpp"
+#include "ptask/ode/solver_base.hpp"
+#include "ptask/rt/executor.hpp"
+
+namespace ptask::ode {
+
+/// One extrapolation (EPOL) time step as a runtime program.
+///
+/// Valid under *any* schedule of its step graph (the approximations only
+/// communicate through the graph's input-output relations), so it is the
+/// vehicle for schedule-independence tests.
+class SpmdEpolStep {
+ public:
+  SpmdEpolStep(const OdeSystem& system, int r, double t, double h,
+               std::vector<double> y0);
+
+  /// The cost-annotated step graph (same shape as the generator's).
+  core::TaskGraph build_graph() const;
+
+  /// Task bodies matching `graph` (indexed by original task id).
+  std::vector<rt::TaskFn> build_functions(const core::TaskGraph& graph);
+
+  /// y(t + h), available after Executor::run.
+  const std::vector<double>& result() const { return result_; }
+
+ private:
+  void micro_step(rt::ExecContext& ctx, int i, int j);
+
+  const OdeSystem* system_;
+  int r_;
+  double t_, h_;
+  std::vector<double> y_;
+  std::vector<std::vector<double>> approx_;
+  std::vector<double> result_;
+};
+
+/// One iterated Runge-Kutta (IRK) time step as a runtime program, in the
+/// paper's task-parallel form: the K stage groups run in lockstep, reading
+/// each other's previous-iteration stage vectors through double-buffered
+/// shared state synchronized by orthogonal barriers, with a group-internal
+/// allgather of the stage argument in every iteration -- exactly the
+/// m group Tag + m orthogonal Tag pattern of Table 1.
+///
+/// Requires the task-parallel schedule (one stage task per group, i.e.
+/// fixed_groups == K); the body throws std::logic_error otherwise, because
+/// the hidden cross-stage exchange is only correct in lockstep.
+class SpmdIrkStep {
+ public:
+  SpmdIrkStep(const OdeSystem& system, int stages, int iterations, double t,
+              double h, std::vector<double> y0);
+
+  core::TaskGraph build_graph() const;
+  std::vector<rt::TaskFn> build_functions(const core::TaskGraph& graph);
+
+  const std::vector<double>& result() const { return result_; }
+
+ private:
+  struct Block {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+  Block block_of(const rt::ExecContext& ctx) const;
+  void stage_body(rt::ExecContext& ctx, int stage);
+  void update_body(rt::ExecContext& ctx);
+  static void cross_group_sync(rt::ExecContext& ctx);
+
+  const OdeSystem* system_;
+  CollocationTableau tableau_;
+  int m_;
+  double t_, h_;
+  std::vector<double> y_;
+  /// Double-buffered stage vectors: k_[parity][stage] is one full vector.
+  std::vector<std::vector<double>> k_[2];
+  std::vector<double> result_;
+};
+
+}  // namespace ptask::ode

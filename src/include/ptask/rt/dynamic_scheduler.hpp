@@ -1,0 +1,108 @@
+#pragma once
+/// \file dynamic_scheduler.hpp
+/// Dynamic M-task scheduling (paper Section 2.2.2): core groups are
+/// assigned to M-tasks *at runtime*, depending on the availability of free
+/// cores -- the execution style of the Tlib library the paper references
+/// for adaptive computations and divide-and-conquer algorithms with
+/// dynamic or recursive task creation.
+///
+/// Tasks are submitted with moldability bounds [min_cores, max_cores] and a
+/// work hint.  Whenever cores are free, the dispatcher hands the oldest
+/// pending task a group sized by an equal split of the free cores among the
+/// pending tasks (clamped to the task's bounds), and the group executes the
+/// SPMD body with a GroupComm, exactly like the static executor's tasks.
+/// Bodies may submit further tasks (recursion); submission never blocks.
+///
+/// The scheduler is work-conserving: it never idles cores while a pending
+/// task's min_cores would fit.
+
+#include <climits>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptask/rt/executor.hpp"
+#include "ptask/rt/group_comm.hpp"
+
+namespace ptask::rt {
+
+/// A dynamically created M-task.
+struct DynamicTask {
+  std::string name;
+  int min_cores = 1;
+  int max_cores = INT_MAX;
+  /// Relative computational work; a heavier pending task receives a larger
+  /// share of the free cores.
+  double work_hint = 1.0;
+  /// SPMD body; runs once per group member.  May call
+  /// DynamicScheduler::submit (fire-and-forget; do not block on children).
+  TaskFn body;
+};
+
+/// Aggregate statistics of one scheduler lifetime.
+struct DynamicSchedulerStats {
+  std::uint64_t tasks_completed = 0;
+  int max_concurrent_tasks = 0;
+  int largest_group = 0;
+  int smallest_group = INT_MAX;
+};
+
+class DynamicScheduler {
+ public:
+  /// Spawns `num_cores` persistent workers (the virtual cores).
+  explicit DynamicScheduler(int num_cores);
+  ~DynamicScheduler();
+
+  DynamicScheduler(const DynamicScheduler&) = delete;
+  DynamicScheduler& operator=(const DynamicScheduler&) = delete;
+
+  int num_cores() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task.  Thread-safe; callable from inside running tasks.
+  /// Throws std::invalid_argument if min_cores exceeds the machine.
+  void submit(DynamicTask task);
+
+  /// Blocks until every submitted task -- including recursively spawned
+  /// ones -- has completed.  The scheduler is reusable afterwards.
+  void wait();
+
+  /// Statistics (racy while tasks are running; call after wait()).
+  DynamicSchedulerStats stats() const;
+
+ private:
+  struct Running {
+    DynamicTask task;
+    std::unique_ptr<GroupComm> comm;
+    std::vector<int> workers;  ///< worker ids of the group
+    int group_size = 0;
+    int remaining = 0;
+  };
+  struct Assignment {
+    std::shared_ptr<Running> run;
+    int rank = 0;
+  };
+
+  void worker_loop(int index);
+  /// Dispatches pending tasks onto free cores; callers hold `mutex_`.
+  void dispatch_locked();
+
+  std::vector<std::thread> workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable worker_cv_;
+  std::condition_variable idle_cv_;
+
+  std::deque<DynamicTask> pending_;
+  std::vector<int> free_cores_;                 ///< worker ids, LIFO
+  std::vector<std::deque<Assignment>> inbox_;   ///< per-worker assignments
+  int active_tasks_ = 0;
+  bool shutdown_ = false;
+  DynamicSchedulerStats stats_;
+};
+
+}  // namespace ptask::rt

@@ -1,0 +1,65 @@
+#pragma once
+/// \file executor.hpp
+/// Shared-memory executor for scheduled M-task programs.
+///
+/// Takes a LayeredSchedule (the output of any of the schedulers) and real
+/// SPMD task functions, and executes the program: layer by layer, each group
+/// of virtual cores (worker threads) runs its assigned tasks back-to-back,
+/// concurrently with the other groups, each task invoked SPMD-style by all
+/// members of its group with a GroupComm for internal collectives.
+///
+/// Because the task functions compute real values in shared memory, the
+/// executor lets tests assert the paper's key functional property: the
+/// numerical result of an M-task program is independent of the schedule,
+/// the group structure, and the mapping.
+
+#include <functional>
+#include <vector>
+
+#include "ptask/rt/group_comm.hpp"
+#include "ptask/rt/thread_team.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::rt {
+
+/// Execution context handed to a task function on each group member.
+struct ExecContext {
+  int group_rank = 0;   ///< this member's rank within the group
+  int group_size = 1;   ///< number of cores executing the task
+  int group_index = 0;  ///< which group of the layer this is
+  int num_groups = 1;   ///< concurrent groups in the layer
+  GroupComm* comm = nullptr;  ///< collectives over the task's group
+
+  /// Orthogonal communicator: binds this member to the same-position
+  /// members of all *other* groups of the layer (paper Section 4.2,
+  /// "orthogonal communication").  Rank within it == group_index; size ==
+  /// num_groups.  Null when the layer has a single group or this member's
+  /// position exceeds the smallest group (orthogonal operations are only
+  /// defined across equal positions).  All groups must reach orthogonal
+  /// collectives in lockstep -- the layer's tasks have to be structurally
+  /// identical across groups, as they are for the stage-vector solvers.
+  GroupComm* orth = nullptr;
+};
+
+/// SPMD body of one (original, uncontracted) M-task.
+using TaskFn = std::function<void(ExecContext&)>;
+
+class Executor {
+ public:
+  /// `num_virtual_cores` worker threads play the symbolic cores; it must
+  /// equal the schedule's total_cores at run().
+  explicit Executor(int num_virtual_cores);
+
+  /// Executes the schedule.  `functions[id]` is the body of original task
+  /// `id`; contracted chains run their members in chain order on the same
+  /// group.  Marker tasks and tasks whose function is empty are skipped.
+  void run(const sched::LayeredSchedule& schedule,
+           const std::vector<TaskFn>& functions);
+
+  int num_virtual_cores() const { return team_.size(); }
+
+ private:
+  ThreadTeam team_;
+};
+
+}  // namespace ptask::rt

@@ -1,0 +1,72 @@
+#pragma once
+/// \file group_comm.hpp
+/// Shared-memory group communication: the collectives an SPMD M-task uses
+/// internally (barrier, broadcast, allgather, allreduce), implemented over a
+/// group of runtime threads.
+///
+/// Semantics mirror the MPI operations of the same name; every member of the
+/// group must call the operation (with its group-local rank) exactly once
+/// per use, in the same order.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace ptask::rt {
+
+/// Reusable sense-reversing barrier for a fixed-size group.
+class Barrier {
+ public:
+  explicit Barrier(int size);
+
+  /// Blocks until all `size` members arrived.
+  void arrive_and_wait();
+
+  int size() const { return size_; }
+
+ private:
+  const int size_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int waiting_ = 0;
+  bool sense_ = false;
+};
+
+/// Collectives over a group of `size` threads identified by group-local
+/// ranks [0, size).
+class GroupComm {
+ public:
+  explicit GroupComm(int size);
+
+  int size() const { return barrier_.size(); }
+
+  void barrier(int rank);
+
+  /// Broadcast: after the call, every member's `data` holds root's values.
+  void bcast(int rank, int root, std::span<double> data);
+
+  /// Allgather: member `rank` contributes `contribution`; after the call,
+  /// every member's `out` contains the concatenation of all contributions
+  /// in rank order.  Contributions may differ in length; the caller's `out`
+  /// must be large enough for their sum.
+  void allgather(int rank, std::span<const double> contribution,
+                 std::span<double> out);
+
+  /// Allreduce (sum): returns the sum of every member's `value`.
+  double allreduce_sum(int rank, double value);
+
+  /// Allreduce (max): returns the maximum of every member's `value`.
+  double allreduce_max(int rank, double value);
+
+ private:
+  Barrier barrier_;
+  // Staging areas published by rank, consumed after a barrier.
+  std::vector<std::span<const double>> stage_in_;
+  std::vector<double> stage_scalar_;
+  std::span<double> root_data_;
+};
+
+}  // namespace ptask::rt

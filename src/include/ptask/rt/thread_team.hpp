@@ -1,0 +1,51 @@
+#pragma once
+/// \file thread_team.hpp
+/// A persistent team of worker threads acting as the "virtual cores" of the
+/// shared-memory M-task runtime.
+///
+/// The simulator (ptask::sim) predicts cluster behaviour; this runtime
+/// *actually executes* M-task programs, with every symbolic core realized as
+/// one worker thread.  Group collectives (ptask::rt::GroupComm) then behave
+/// like their MPI counterparts, but over shared memory, so the numerical
+/// results of a scheduled M-task program can be validated for any schedule
+/// and group structure.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptask::rt {
+
+class ThreadTeam {
+ public:
+  /// Spawns `size` persistent workers.
+  explicit ThreadTeam(int size);
+  ~ThreadTeam();
+
+  ThreadTeam(const ThreadTeam&) = delete;
+  ThreadTeam& operator=(const ThreadTeam&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs `fn(worker_index)` on every worker and blocks until all return.
+  /// Exceptions thrown by workers are captured and the first one is
+  /// rethrown on the caller.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int index);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  int remaining_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace ptask::rt

@@ -1,0 +1,26 @@
+#pragma once
+/// \file data_parallel.hpp
+/// The pure data-parallel execution scheme (paper Section 4.2): no task
+/// parallelism is exploited; every M-task runs on *all* available cores, one
+/// after another, in a topological order.  Expressed as a LayeredSchedule
+/// whose every layer uses g = 1 groups, so the same mapping and evaluation
+/// machinery applies.
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::sched {
+
+class DataParallelScheduler {
+ public:
+  explicit DataParallelScheduler(const cost::CostModel& cost) : cost_(&cost) {}
+
+  /// Chains are still contracted (it does not change the dp execution) so
+  /// results stay comparable with the layer scheduler's.
+  LayeredSchedule schedule(const core::TaskGraph& graph, int total_cores) const;
+
+ private:
+  const cost::CostModel* cost_;
+};
+
+}  // namespace ptask::sched

@@ -1,0 +1,53 @@
+#pragma once
+/// \file moldable.hpp
+/// Shared machinery for allocation-based moldable-task schedulers (CPA and
+/// CPR, paper Section 4.3): a precomputed T(t, p) table and a bottom-level
+/// list scheduler that turns an allocation into a Gantt schedule.
+
+#include <span>
+#include <vector>
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::sched {
+
+/// Internal cost model a moldable scheduler optimizes.
+///
+/// `CommAware` prices computation plus the task's group/global collectives
+/// under the default mapping pattern -- the same information the layer
+/// scheduler uses.  Orthogonal collectives are inter-task exchanges whose
+/// cost depends on the (unknown) group structure of a layer; they are not
+/// part of T(t, p) for any of the schedulers.
+///
+/// `ComputeOnly` prices Tcomp/p only -- the near-linear speedup functions
+/// the original CPA/CPR publications evaluate with.  A scheduler driven by
+/// this model is blind to the communication penalty of very wide tasks,
+/// which is precisely the failure mode the paper demonstrates for CPR on
+/// the extrapolation method (Fig. 13 right).
+enum class MoldableCostMode { CommAware, ComputeOnly };
+
+/// Precomputed execution times T(t, p) for p in [1, P].
+class TaskTimeTable {
+ public:
+  TaskTimeTable(const core::TaskGraph& graph, const cost::CostModel& cost,
+                int total_cores,
+                MoldableCostMode mode = MoldableCostMode::CommAware);
+
+  double time(core::TaskId id, int p) const;
+  int total_cores() const { return total_cores_; }
+
+ private:
+  int total_cores_;
+  std::vector<std::vector<double>> times_;  // [task][p-1]
+};
+
+/// List-schedules `graph` with the fixed per-task core counts `allocation`
+/// onto `P = table.total_cores()` symbolic cores.  Tasks are prioritized by
+/// decreasing bottom level; a ready task starts as soon as its allocation of
+/// cores is free (the cores that become available earliest are picked).
+GanttSchedule list_schedule(const core::TaskGraph& graph,
+                            std::span<const int> allocation,
+                            const TaskTimeTable& table);
+
+}  // namespace ptask::sched

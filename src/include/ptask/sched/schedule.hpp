@@ -1,0 +1,104 @@
+#pragma once
+/// \file schedule.hpp
+/// Schedule representations.
+///
+/// The layer-based scheduler (paper Algorithm 1) produces a
+/// `LayeredSchedule`: per layer, a partition of the P *symbolic* cores into
+/// groups and an assignment of the layer's tasks to groups.  Symbolic cores
+/// (paper Section 3.2, assumption (b)) abstract from the physical machine;
+/// the mapping step later binds them to physical cores.
+///
+/// CPA and CPR produce a general `GanttSchedule` (start/finish/core-range
+/// per task), which does not exhibit a layered structure; a LayeredSchedule
+/// can be lowered to a Gantt view for uniform validation and comparison.
+
+#include <vector>
+
+#include "ptask/core/graph_algorithms.hpp"
+#include "ptask/core/task_graph.hpp"
+
+namespace ptask::sched {
+
+/// Group structure and task assignment of one layer.
+struct ScheduledLayer {
+  std::vector<core::TaskId> tasks;   ///< tasks of this layer (contracted ids)
+  std::vector<int> group_sizes;      ///< symbolic cores per group; sums to P
+  std::vector<int> task_group;       ///< task_group[i]: group executing tasks[i]
+  double predicted_time = 0.0;       ///< symbolic-cost makespan of the layer
+
+  int num_groups() const { return static_cast<int>(group_sizes.size()); }
+};
+
+/// Complete output of the layer-based scheduling step.
+struct LayeredSchedule {
+  int total_cores = 0;
+  /// Linear-chain contraction the schedule was computed on; `layers` refer
+  /// to tasks of `contraction.contracted`.
+  core::ChainContraction contraction;
+  std::vector<ScheduledLayer> layers;
+  /// Sum of predicted layer times (symbolic costs, no re-distribution).
+  double predicted_makespan = 0.0;
+};
+
+/// One task's slot in a Gantt-style schedule over symbolic cores [0, P).
+/// The core set need not be contiguous (CPA/CPR pick whichever cores free up
+/// first); for layered schedules it always is.
+struct TaskSlot {
+  std::vector<int> cores;
+  double start = 0.0;
+  double finish = 0.0;
+
+  int num_cores() const { return static_cast<int>(cores.size()); }
+};
+
+/// General M-task schedule (CPA/CPR output; lowered LayeredSchedules).
+struct GanttSchedule {
+  int total_cores = 0;
+  std::vector<TaskSlot> slots;  ///< indexed by TaskId of the scheduled graph
+  double makespan = 0.0;
+};
+
+/// Lowers a layered schedule to the Gantt view: layers execute one after
+/// another; inside a layer, each group occupies a contiguous symbolic core
+/// range and runs its tasks back-to-back in assignment order.  Task times
+/// are taken from `task_time(task_id, q, num_groups)`.
+template <typename TimeFn>
+GanttSchedule to_gantt(const LayeredSchedule& schedule, TimeFn&& task_time) {
+  GanttSchedule gantt;
+  gantt.total_cores = schedule.total_cores;
+  gantt.slots.resize(
+      static_cast<std::size_t>(schedule.contraction.contracted.num_tasks()));
+  double layer_start = 0.0;
+  for (const ScheduledLayer& layer : schedule.layers) {
+    std::vector<int> first_core(layer.group_sizes.size(), 0);
+    for (std::size_t g = 1; g < layer.group_sizes.size(); ++g) {
+      first_core[g] = first_core[g - 1] + layer.group_sizes[g - 1];
+    }
+    std::vector<double> group_clock(layer.group_sizes.size(), layer_start);
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      const core::TaskId id = layer.tasks[i];
+      const std::size_t g = static_cast<std::size_t>(layer.task_group[i]);
+      const int q = layer.group_sizes[g];
+      const double t = task_time(id, q, layer.num_groups());
+      TaskSlot& slot = gantt.slots[static_cast<std::size_t>(id)];
+      slot.cores.resize(static_cast<std::size_t>(q));
+      for (int c = 0; c < q; ++c) {
+        slot.cores[static_cast<std::size_t>(c)] = first_core[g] + c;
+      }
+      slot.start = group_clock[g];
+      slot.finish = slot.start + t;
+      group_clock[g] = slot.finish;
+    }
+    double layer_end = layer_start;
+    for (double c : group_clock) layer_end = std::max(layer_end, c);
+    layer_start = layer_end;
+  }
+  gantt.makespan = layer_start;
+  return gantt;
+}
+
+/// Human-readable rendering of a layered schedule (groups per layer and the
+/// task-to-group assignment).
+std::string describe(const LayeredSchedule& schedule);
+
+}  // namespace ptask::sched

@@ -1,0 +1,36 @@
+#pragma once
+/// \file validation.hpp
+/// Structural validity checks for schedules -- the invariants the paper's
+/// scheduling constraints impose (Section 2.2.2): tasks with input-output
+/// relations execute one after another; concurrently executing tasks occupy
+/// disjoint core subsets; group sizes never exceed the machine.
+
+#include <string>
+#include <vector>
+
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::sched {
+
+struct ValidationReport {
+  std::vector<std::string> errors;
+  bool ok() const { return errors.empty(); }
+};
+
+/// Checks a layered schedule against the *original* (uncontracted) graph:
+///  - every non-marker contracted task appears in exactly one layer;
+///  - tasks sharing a layer are pairwise independent;
+///  - every layer's group sizes are positive and sum to total_cores;
+///  - every task is assigned to an existing group;
+///  - layer order respects all contracted-graph edges.
+ValidationReport validate(const LayeredSchedule& schedule,
+                          const core::TaskGraph& original);
+
+/// Checks a Gantt schedule against the graph it was computed for:
+///  - every non-marker task has a slot with >= 1 cores within [0, P);
+///  - no core executes two tasks at overlapping times;
+///  - task start times respect predecessor finish times.
+ValidationReport validate(const GanttSchedule& schedule,
+                          const core::TaskGraph& graph);
+
+}  // namespace ptask::sched

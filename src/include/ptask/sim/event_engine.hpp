@@ -1,0 +1,48 @@
+#pragma once
+/// \file event_engine.hpp
+/// Deterministic event queue used by the network simulator.
+///
+/// A thin wrapper around a binary heap that orders events by time and breaks
+/// ties by insertion sequence, so simulations replay identically regardless
+/// of container iteration order elsewhere.
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace ptask::sim {
+
+template <typename Payload>
+class EventQueue {
+ public:
+  void push(double time, Payload payload) {
+    heap_.push(Entry{time, seq_++, std::move(payload)});
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  double top_time() const { return heap_.top().time; }
+  const Payload& top() const { return heap_.top().payload; }
+
+  Payload pop() {
+    Payload p = std::move(heap_.top().payload);
+    heap_.pop();
+    return p;
+  }
+
+ private:
+  struct Entry {
+    double time;
+    std::uint64_t seq;
+    mutable Payload payload;  // moved out on pop; heap never reorders after top
+    bool operator>(const Entry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace ptask::sim

@@ -1,0 +1,72 @@
+#pragma once
+/// \file network_sim.hpp
+/// Discrete-event simulation of a rank program set on a hierarchical
+/// multi-core machine.
+///
+/// Semantics:
+///  - every rank executes its op list sequentially on its own core;
+///  - Compute advances the rank's clock;
+///  - Send posts the message and charges the sender a small CPU overhead
+///    (the link latency, playing the role of LogP's `o`), then continues;
+///  - Recv blocks until the matching send has been posted *and* the transfer
+///    has finished; transfer time is `latency + bytes/bandwidth` of the
+///    interconnect level shared by the two cores;
+///  - inter-node transfers serialize through the network interfaces of the
+///    two nodes involved (one NIC per node, full duplex: independent egress
+///    and ingress availability).
+///
+/// The engine is deterministic: ready transfers complete in order of their
+/// earliest possible start time, ties broken by posting order.
+
+#include <cstddef>
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/net/link_model.hpp"
+#include "ptask/sim/program.hpp"
+
+namespace ptask::sim {
+
+/// One recorded event of a simulated execution (trace mode).
+struct TraceEvent {
+  enum class Kind { Compute, Transfer };
+  Kind kind = Kind::Compute;
+  int rank = 0;        ///< executing rank (Compute) / receiving rank (Transfer)
+  int peer = -1;       ///< sending rank for transfers, -1 for compute
+  double start = 0.0;
+  double end = 0.0;
+  std::size_t bytes = 0;
+};
+
+struct SimResult {
+  double makespan = 0.0;                ///< max rank finish time
+  std::vector<double> finish_times;     ///< per-rank finish time
+  net::TrafficStats traffic;            ///< byte volumes by level
+  std::size_t transfers = 0;            ///< completed point-to-point messages
+  double total_compute_seconds = 0.0;   ///< sum of compute op time
+  /// Per-event trace, populated when the simulation runs in trace mode.
+  std::vector<TraceEvent> trace;
+};
+
+class NetworkSim {
+ public:
+  /// `placement[r]` is the flat core index (on `machine`) running rank r.
+  /// The placement must be injective: two ranks cannot share a core.
+  NetworkSim(const arch::Machine& machine, std::vector<int> placement);
+
+  /// Runs the programs to completion.  Throws std::runtime_error on a
+  /// communication deadlock (some rank blocks on a receive whose send is
+  /// never posted).  With `record_trace`, every compute interval and every
+  /// completed transfer is appended to SimResult::trace (events are emitted
+  /// in completion order; sort by start for timeline rendering).
+  SimResult run(const ProgramSet& programs, bool record_trace = false) const;
+
+  const arch::Machine& machine() const { return *machine_; }
+  const std::vector<int>& placement() const { return placement_; }
+
+ private:
+  const arch::Machine* machine_;
+  std::vector<int> placement_;
+};
+
+}  // namespace ptask::sim

@@ -1,0 +1,83 @@
+#pragma once
+/// \file program.hpp
+/// Rank programs for the discrete-event cluster simulator.
+///
+/// A simulated execution is described SPMD-style: every rank runs a sequence
+/// of operations -- local computation, message sends (non-blocking, like an
+/// eager MPI_Isend with a small CPU overhead on the sender) and receives
+/// (blocking).  Collectives are *lowered* onto this op set from the
+/// round-based message schedules in ptask::net, so the simulator core only
+/// ever deals with point-to-point traffic, exactly like a real interconnect.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ptask/net/collectives.hpp"
+
+namespace ptask::sim {
+
+enum class OpKind { Compute, Send, Recv };
+
+struct Op {
+  OpKind kind = OpKind::Compute;
+  double seconds = 0.0;    ///< Compute: CPU time
+  int peer = -1;           ///< Send: destination rank; Recv: source rank
+  std::uint64_t tag = 0;   ///< message matching tag (Send/Recv)
+  std::size_t bytes = 0;   ///< Send: payload size
+};
+
+/// The op list of one rank.
+class RankProgram {
+ public:
+  void add_compute(double seconds) {
+    if (seconds > 0.0) ops_.push_back({OpKind::Compute, seconds, -1, 0, 0});
+  }
+  void add_send(int dst, std::uint64_t tag, std::size_t bytes) {
+    ops_.push_back({OpKind::Send, 0.0, dst, tag, bytes});
+  }
+  void add_recv(int src, std::uint64_t tag) {
+    ops_.push_back({OpKind::Recv, 0.0, src, tag, 0});
+  }
+  const std::vector<Op>& ops() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+
+ private:
+  std::vector<Op> ops_;
+};
+
+/// A full simulated job: one program per rank plus a tag allocator so that
+/// independent collectives can never cross-match.
+class ProgramSet {
+ public:
+  explicit ProgramSet(int nranks);
+
+  int num_ranks() const { return static_cast<int>(programs_.size()); }
+  RankProgram& rank(int r) { return programs_.at(static_cast<std::size_t>(r)); }
+  const RankProgram& rank(int r) const {
+    return programs_.at(static_cast<std::size_t>(r));
+  }
+
+  /// Appends `seconds` of computation to every rank in `ranks`.
+  void add_compute(std::span<const int> ranks, double seconds);
+
+  /// Lowers a collective message schedule onto the ranks in `ranks`
+  /// (`ranks[i]` is the global rank playing schedule-local rank i).  Each
+  /// round gets a fresh tag; within a round a rank posts all its sends before
+  /// its receives, and the blocking receives enforce the round ordering.
+  void add_collective(const net::MessageSchedule& schedule,
+                      std::span<const int> ranks);
+
+  /// Lowers a single point-to-point transfer (send on `src`, recv on `dst`).
+  void add_transfer(int src, int dst, std::size_t bytes);
+
+  /// Reserves and returns a fresh, never-before-used tag.
+  std::uint64_t fresh_tag() { return next_tag_++; }
+
+ private:
+  std::vector<RankProgram> programs_;
+  std::uint64_t next_tag_ = 1;
+};
+
+}  // namespace ptask::sim

@@ -1,0 +1,45 @@
+#pragma once
+/// \file gantt.hpp
+/// Schedule and trace visualization: ASCII timelines for terminals and SVG
+/// for documentation.  Renders the Gantt view of any schedule (the layer
+/// scheduler's output lowered via sched::to_gantt, or CPA/CPR output
+/// directly) and per-rank utilization timelines from simulator traces.
+
+#include <string>
+
+#include "ptask/core/task_graph.hpp"
+#include "ptask/sched/schedule.hpp"
+#include "ptask/sim/network_sim.hpp"
+
+namespace ptask::viz {
+
+struct RenderOptions {
+  int width = 72;          ///< character columns (ASCII) of the time axis
+  int svg_width_px = 900;  ///< pixel width of the SVG time axis
+  int svg_row_px = 18;     ///< pixel height per core row
+  /// Collapse consecutive cores with identical slot sequences into one row
+  /// (groups render as a single band).
+  bool collapse_identical_rows = true;
+};
+
+/// ASCII Gantt chart of a schedule: one row per (collapsed) core range,
+/// one letter per task (a, b, c, ... in task-id order), '.' for idle.
+std::string ascii_gantt(const core::TaskGraph& graph,
+                        const sched::GanttSchedule& schedule,
+                        const RenderOptions& options = {});
+
+/// SVG rendering of the same chart with task names and a time axis.
+std::string svg_gantt(const core::TaskGraph& graph,
+                      const sched::GanttSchedule& schedule,
+                      const RenderOptions& options = {});
+
+/// ASCII utilization timeline from a simulation trace: one row per rank,
+/// '#' where the rank computes, '~' where it receives data, '.' idle.
+std::string ascii_trace(const sim::SimResult& result, int num_ranks,
+                        const RenderOptions& options = {});
+
+/// CSV export of a simulation trace (kind,rank,peer,start,end,bytes) for
+/// external analysis.
+std::string trace_csv(const sim::SimResult& result);
+
+}  // namespace ptask::viz

@@ -1,0 +1,58 @@
+#include "ptask/map/core_sequence.hpp"
+
+#include <stdexcept>
+
+namespace ptask::map {
+
+const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::Consecutive:
+      return "consecutive";
+    case Strategy::Scattered:
+      return "scattered";
+    case Strategy::Mixed:
+      return "mixed";
+  }
+  return "unknown";
+}
+
+std::string strategy_label(Strategy strategy, int d) {
+  if (strategy == Strategy::Mixed) {
+    return "mixed(d=" + std::to_string(d) + ")";
+  }
+  return to_string(strategy);
+}
+
+std::vector<int> mixed_sequence(const arch::Machine& machine, int d) {
+  const int cpn = machine.cores_per_node();
+  if (d < 1 || d > cpn || cpn % d != 0) {
+    throw std::invalid_argument(
+        "mixed block size must divide the cores per node");
+  }
+  std::vector<int> sequence;
+  sequence.reserve(static_cast<std::size_t>(machine.total_cores()));
+  // Chunk s of every node, node by node; chunks advance last.
+  for (int chunk = 0; chunk < cpn / d; ++chunk) {
+    for (int node = 0; node < machine.num_nodes(); ++node) {
+      for (int k = 0; k < d; ++k) {
+        sequence.push_back(node * cpn + chunk * d + k);
+      }
+    }
+  }
+  return sequence;
+}
+
+std::vector<int> physical_sequence(const arch::Machine& machine,
+                                   Strategy strategy, int d) {
+  switch (strategy) {
+    case Strategy::Consecutive:
+      return mixed_sequence(machine, machine.cores_per_node());
+    case Strategy::Scattered:
+      return mixed_sequence(machine, 1);
+    case Strategy::Mixed:
+      return mixed_sequence(machine, d);
+  }
+  throw std::invalid_argument("invalid strategy");
+}
+
+}  // namespace ptask::map

@@ -1,0 +1,168 @@
+#include "ptask/net/collectives.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace ptask::net {
+
+namespace {
+
+bool is_power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+void require_ranks(int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("rank count must be positive");
+}
+
+}  // namespace
+
+MessageSchedule binomial_bcast(int nranks, int root, std::size_t bytes) {
+  require_ranks(nranks);
+  if (root < 0 || root >= nranks) throw std::invalid_argument("bad root");
+  MessageSchedule schedule;
+  if (nranks == 1) return schedule;
+  // MPICH-style binomial tree with *descending* distances (work in a
+  // rotated rank space where the root is rank 0): the root first reaches the
+  // farthest half, and the final -- and largest -- round exchanges between
+  // *neighbouring* ranks, which is what lets a consecutive mapping keep the
+  // bulk of the tree inside cluster nodes.
+  int top = 1;
+  while (top < nranks) top <<= 1;
+  for (int dist = top / 2; dist >= 1; dist >>= 1) {
+    Round round;
+    // Holders before this round are the multiples of 2*dist.
+    for (int r = 0; r < nranks; r += 2 * dist) {
+      const int partner = r + dist;
+      if (partner >= nranks) continue;
+      round.messages.push_back(Message{(r + root) % nranks,
+                                       (partner + root) % nranks, bytes});
+    }
+    if (!round.messages.empty()) schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+MessageSchedule ring_allgather(int nranks, std::size_t bytes_per_rank) {
+  require_ranks(nranks);
+  MessageSchedule schedule;
+  // Round k: rank r sends block (r - k) mod n to (r + 1) mod n.  The block
+  // identity does not affect cost, only the (src, dst, size) pattern does.
+  for (int k = 0; k + 1 < nranks; ++k) {
+    Round round;
+    round.messages.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      round.messages.push_back(Message{r, (r + 1) % nranks, bytes_per_rank});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+MessageSchedule recursive_doubling_allgather(int nranks,
+                                             std::size_t bytes_per_rank) {
+  require_ranks(nranks);
+  if (!is_power_of_two(nranks)) {
+    throw std::invalid_argument(
+        "recursive doubling requires a power-of-two rank count");
+  }
+  MessageSchedule schedule;
+  for (int dist = 1; dist < nranks; dist <<= 1) {
+    Round round;
+    const std::size_t bytes = bytes_per_rank * static_cast<std::size_t>(dist);
+    for (int r = 0; r < nranks; ++r) {
+      const int partner = r ^ dist;
+      round.messages.push_back(Message{r, partner, bytes});
+    }
+    schedule.push_back(std::move(round));
+  }
+  return schedule;
+}
+
+MessageSchedule allgather(int nranks, std::size_t bytes_per_rank,
+                          std::size_t rd_threshold_bytes) {
+  require_ranks(nranks);
+  if (nranks == 1) return {};
+  const std::size_t total = bytes_per_rank * static_cast<std::size_t>(nranks);
+  if (total < rd_threshold_bytes && is_power_of_two(nranks)) {
+    return recursive_doubling_allgather(nranks, bytes_per_rank);
+  }
+  return ring_allgather(nranks, bytes_per_rank);
+}
+
+MessageSchedule binomial_reduce(int nranks, int root, std::size_t bytes) {
+  MessageSchedule schedule = binomial_bcast(nranks, root, bytes);
+  // A binomial reduce is the bcast tree run backwards with reversed edges.
+  std::reverse(schedule.begin(), schedule.end());
+  for (Round& round : schedule) {
+    for (Message& m : round.messages) std::swap(m.src, m.dst);
+  }
+  return schedule;
+}
+
+MessageSchedule allreduce(int nranks, std::size_t bytes) {
+  require_ranks(nranks);
+  if (nranks == 1) return {};
+  if (is_power_of_two(nranks)) {
+    MessageSchedule schedule;
+    for (int dist = 1; dist < nranks; dist <<= 1) {
+      Round round;
+      for (int r = 0; r < nranks; ++r) {
+        round.messages.push_back(Message{r, r ^ dist, bytes});
+      }
+      schedule.push_back(std::move(round));
+    }
+    return schedule;
+  }
+  MessageSchedule schedule = binomial_reduce(nranks, 0, bytes);
+  MessageSchedule bcast = binomial_bcast(nranks, 0, bytes);
+  schedule.insert(schedule.end(), bcast.begin(), bcast.end());
+  return schedule;
+}
+
+MessageSchedule barrier(int nranks) { return allreduce(nranks, 0); }
+
+MessageSchedule ring_exchange(int nranks, std::size_t bytes) {
+  require_ranks(nranks);
+  if (nranks == 1) return {};
+  MessageSchedule schedule(2);
+  for (int r = 0; r < nranks; ++r) {
+    schedule[0].messages.push_back(Message{r, (r + 1) % nranks, bytes});
+    schedule[1].messages.push_back(
+        Message{r, (r + nranks - 1) % nranks, bytes});
+  }
+  return schedule;
+}
+
+MessageSchedule redistribution_rounds(const std::vector<Message>& transfers) {
+  // Greedy scheduling: place each transfer in the earliest round where
+  // neither its source is already sending nor its destination receiving.
+  MessageSchedule schedule;
+  std::vector<std::map<int, bool>> senders, receivers;
+  for (const Message& m : transfers) {
+    std::size_t round = 0;
+    for (; round < schedule.size(); ++round) {
+      if (!senders[round].count(m.src) && !receivers[round].count(m.dst)) {
+        break;
+      }
+    }
+    if (round == schedule.size()) {
+      schedule.emplace_back();
+      senders.emplace_back();
+      receivers.emplace_back();
+    }
+    schedule[round].messages.push_back(m);
+    senders[round][m.src] = true;
+    receivers[round][m.dst] = true;
+  }
+  return schedule;
+}
+
+std::size_t schedule_bytes(const MessageSchedule& schedule) {
+  std::size_t total = 0;
+  for (const Round& round : schedule) {
+    for (const Message& m : round.messages) total += m.bytes;
+  }
+  return total;
+}
+
+}  // namespace ptask::net

@@ -1,0 +1,155 @@
+#include "ptask/net/link_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace ptask::net {
+
+namespace {
+
+int ceil_log2(int n) {
+  int bits = 0;
+  for (int v = 1; v < n; v <<= 1) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+double LinkModel::round_time(const Round& round,
+                             std::span<const int> placement,
+                             TrafficStats* stats) const {
+  const arch::Machine& m = *machine_;
+  double max_message_time = 0.0;
+  // Per-node NIC byte counters for this round (egress and ingress).
+  std::unordered_map<int, std::size_t> egress, ingress;
+  double max_inter_latency = 0.0;
+
+  for (const Message& msg : round.messages) {
+    if (msg.src < 0 || msg.dst < 0 ||
+        static_cast<std::size_t>(msg.src) >= placement.size() ||
+        static_cast<std::size_t>(msg.dst) >= placement.size()) {
+      throw std::out_of_range("message rank outside placement");
+    }
+    if (msg.src == msg.dst) continue;  // self-message: free
+    const arch::CoreId a = m.core_at(placement[msg.src]);
+    const arch::CoreId b = m.core_at(placement[msg.dst]);
+    const arch::CommLevel level = m.comm_level(a, b);
+    const arch::LinkParams& link = m.link(level);
+    max_message_time = std::max(max_message_time, link.transfer_time(msg.bytes));
+    if (stats != nullptr) {
+      ++stats->messages;
+      switch (level) {
+        case arch::CommLevel::SameProcessor:
+          stats->bytes_same_processor += msg.bytes;
+          break;
+        case arch::CommLevel::SameNode:
+          stats->bytes_same_node += msg.bytes;
+          break;
+        case arch::CommLevel::InterNode:
+          stats->bytes_inter_node += msg.bytes;
+          break;
+      }
+    }
+    if (level == arch::CommLevel::InterNode) {
+      egress[a.node] += msg.bytes;
+      ingress[b.node] += msg.bytes;
+      max_inter_latency = std::max(max_inter_latency, link.latency_s);
+    }
+  }
+
+  // NIC serialization: all inter-node bytes of one node share its NIC.
+  std::size_t max_nic_bytes = 0;
+  for (const auto& [node, bytes] : egress) {
+    max_nic_bytes = std::max(max_nic_bytes, bytes);
+  }
+  for (const auto& [node, bytes] : ingress) {
+    max_nic_bytes = std::max(max_nic_bytes, bytes);
+  }
+  double nic_time = 0.0;
+  if (max_nic_bytes > 0) {
+    nic_time = max_inter_latency +
+               static_cast<double>(max_nic_bytes) /
+                   m.link(arch::CommLevel::InterNode).bandwidth_Bps;
+  }
+  return std::max(max_message_time, nic_time);
+}
+
+double LinkModel::schedule_time(const MessageSchedule& schedule,
+                                std::span<const int> placement,
+                                TrafficStats* stats) const {
+  double total = 0.0;
+  for (const Round& round : schedule) {
+    total += round_time(round, placement, stats);
+  }
+  return total;
+}
+
+double LinkModel::concurrent_schedule_time(
+    std::span<const MessageSchedule> schedules,
+    std::span<const std::vector<int>> placements, TrafficStats* stats) const {
+  if (schedules.size() != placements.size()) {
+    throw std::invalid_argument("one placement per schedule required");
+  }
+  std::size_t max_rounds = 0;
+  for (const MessageSchedule& s : schedules) {
+    max_rounds = std::max(max_rounds, s.size());
+  }
+  // Merge round i of every schedule into one global round with ranks
+  // translated to a global placement.
+  std::vector<int> global_placement;
+  std::vector<std::size_t> offset(schedules.size(), 0);
+  for (std::size_t g = 0; g < schedules.size(); ++g) {
+    offset[g] = global_placement.size();
+    global_placement.insert(global_placement.end(), placements[g].begin(),
+                            placements[g].end());
+  }
+  double total = 0.0;
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    Round merged;
+    for (std::size_t g = 0; g < schedules.size(); ++g) {
+      if (r >= schedules[g].size()) continue;
+      for (const Message& msg : schedules[g][r].messages) {
+        merged.messages.push_back(
+            Message{msg.src + static_cast<int>(offset[g]),
+                    msg.dst + static_cast<int>(offset[g]), msg.bytes});
+      }
+    }
+    total += round_time(merged, global_placement, stats);
+  }
+  return total;
+}
+
+double bcast_time_uniform(int q, std::size_t bytes,
+                          const arch::LinkParams& link) {
+  if (q <= 1) return 0.0;
+  return static_cast<double>(ceil_log2(q)) * link.transfer_time(bytes);
+}
+
+double allgather_time_uniform(int q, std::size_t bytes_per_rank,
+                              const arch::LinkParams& link) {
+  if (q <= 1) return 0.0;
+  // Ring: q-1 rounds of one block each (the large-message regime that
+  // dominates the benchmarks).
+  return static_cast<double>(q - 1) * link.transfer_time(bytes_per_rank);
+}
+
+double allreduce_time_uniform(int q, std::size_t bytes,
+                              const arch::LinkParams& link) {
+  if (q <= 1) return 0.0;
+  return static_cast<double>(ceil_log2(q)) * link.transfer_time(bytes);
+}
+
+double barrier_time_uniform(int q, const arch::LinkParams& link) {
+  if (q <= 1) return 0.0;
+  return static_cast<double>(ceil_log2(q)) * link.latency_s;
+}
+
+double exchange_time_uniform(int q, std::size_t bytes,
+                             const arch::LinkParams& link) {
+  if (q <= 1) return 0.0;
+  return 2.0 * link.transfer_time(bytes);
+}
+
+}  // namespace ptask::net

@@ -1,0 +1,64 @@
+#include "ptask/npb/multizone.hpp"
+
+namespace ptask::npb {
+
+double flop_per_point(MzSolver solver) {
+  // Approximate per-point per-step operation counts of the NPB solvers:
+  // BT performs roughly 3x the work of SP per point and step.
+  switch (solver) {
+    case MzSolver::SP:
+      return 900.0;
+    case MzSolver::BT:
+      return 2800.0;
+  }
+  return 0.0;
+}
+
+std::size_t border_bytes(const ZoneGrid& zone) {
+  // Two ghost faces in x (ny * nz points each) and two in y (nx * nz), five
+  // solution variables, double precision.
+  const std::size_t face_x = static_cast<std::size_t>(zone.ny) *
+                             static_cast<std::size_t>(zone.nz);
+  const std::size_t face_y = static_cast<std::size_t>(zone.nx) *
+                             static_cast<std::size_t>(zone.nz);
+  return 2 * (face_x + face_y) * 5 * sizeof(double);
+}
+
+core::TaskGraph step_graph(const MultiZoneProblem& problem) {
+  core::TaskGraph graph;
+  const double flops = flop_per_point(problem.solver);
+
+  std::vector<core::TaskId> zone_tasks;
+  zone_tasks.reserve(problem.zones.size());
+  for (std::size_t z = 0; z < problem.zones.size(); ++z) {
+    const ZoneGrid& zone = problem.zones[z];
+    core::MTask task("zone" + std::to_string(z),
+                     flops * static_cast<double>(zone.points()));
+    // A zone cannot use more cores than it has grid columns to distribute.
+    task.set_max_cores(zone.nx * zone.ny);
+    // Zone-internal solver communication (multipartition scheme): the three
+    // ADI sweeps move boundary-scale interface data between the ranks of
+    // the group, and the line solves synchronize the group repeatedly --
+    // the latency term is what makes very wide groups unattractive.
+    task.add_comm(core::CollectiveOp{core::CollectiveKind::Exchange,
+                                     core::CommScope::Group,
+                                     border_bytes(zone), 3});
+    task.add_comm(core::CollectiveOp{core::CollectiveKind::Allreduce,
+                                     core::CommScope::Group, 64, 12});
+    // Border exchange with neighbouring zones in other groups.
+    task.add_comm(core::CollectiveOp{core::CollectiveKind::Exchange,
+                                     core::CommScope::Orthogonal,
+                                     border_bytes(zone), 1});
+    zone_tasks.push_back(graph.add_task(std::move(task)));
+  }
+
+  // Step-closing synchronization point (gives the step graph a sink so that
+  // chained multi-step graphs stay layered).
+  core::MTask sync("step_sync", 0.0);
+  sync.set_marker(true);
+  const core::TaskId sync_id = graph.add_task(std::move(sync));
+  for (core::TaskId z : zone_tasks) graph.add_edge(z, sync_id);
+  return graph;
+}
+
+}  // namespace ptask::npb

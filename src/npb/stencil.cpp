@@ -1,0 +1,149 @@
+#include "ptask/npb/stencil.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::npb {
+
+ZoneField::ZoneField(const ZoneGrid& grid) : grid_(grid) {
+  if (grid.nx < 1 || grid.ny < 1 || grid.nz < 1) {
+    throw std::invalid_argument("zone dimensions must be positive");
+  }
+  const std::size_t total = static_cast<std::size_t>(grid.nx + 2) *
+                            static_cast<std::size_t>(grid.ny + 2) *
+                            static_cast<std::size_t>(grid.nz);
+  data_.assign(total, 0.0);
+  next_.assign(total, 0.0);
+}
+
+std::size_t ZoneField::index(int x, int y, int z) const {
+  // Ghost layout: x, y in [-1, nx] / [-1, ny]; z in [0, nz).
+  return (static_cast<std::size_t>(y + 1) *
+              static_cast<std::size_t>(grid_.nx + 2) +
+          static_cast<std::size_t>(x + 1)) *
+             static_cast<std::size_t>(grid_.nz) +
+         static_cast<std::size_t>(z);
+}
+
+double& ZoneField::at(int x, int y, int z) { return data_[index(x, y, z)]; }
+
+double ZoneField::at(int x, int y, int z) const {
+  return data_[index(x, y, z)];
+}
+
+void ZoneField::initialize(int x0, int y0, std::size_t global_nx,
+                           std::size_t global_ny) {
+  for (int y = 0; y < grid_.ny; ++y) {
+    for (int x = 0; x < grid_.nx; ++x) {
+      const double gx = static_cast<double>(x0 + x) /
+                        static_cast<double>(global_nx);
+      const double gy = static_cast<double>(y0 + y) /
+                        static_cast<double>(global_ny);
+      for (int z = 0; z < grid_.nz; ++z) {
+        const double gz =
+            static_cast<double>(z) / static_cast<double>(grid_.nz);
+        at(x, y, z) =
+            0.5 + std::sin(M_PI * gx) * std::cos(M_PI * gy) + 0.1 * gz;
+      }
+    }
+  }
+  next_ = data_;
+}
+
+double ZoneField::jacobi_sweep(int y_begin, int y_end) {
+  y_begin = std::max(y_begin, 0);
+  y_end = std::min(y_end, grid_.ny);
+  double residual = 0.0;
+  for (int y = y_begin; y < y_end; ++y) {
+    for (int x = 0; x < grid_.nx; ++x) {
+      for (int z = 0; z < grid_.nz; ++z) {
+        const double zm = z > 0 ? at(x, y, z - 1) : at(x, y, z);
+        const double zp = z + 1 < grid_.nz ? at(x, y, z + 1) : at(x, y, z);
+        const double updated = (at(x - 1, y, z) + at(x + 1, y, z) +
+                                at(x, y - 1, z) + at(x, y + 1, z) + zm + zp) /
+                               6.0;
+        next_[index(x, y, z)] = updated;
+        residual = std::max(residual, std::fabs(updated - at(x, y, z)));
+      }
+    }
+  }
+  return residual;
+}
+
+void ZoneField::commit() { data_.swap(next_); }
+
+double ZoneField::interior_max() const {
+  double best = 0.0;
+  for (int y = 0; y < grid_.ny; ++y) {
+    for (int x = 0; x < grid_.nx; ++x) {
+      for (int z = 0; z < grid_.nz; ++z) {
+        best = std::max(best, std::fabs(at(x, y, z)));
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t ZoneField::face_size(int face) const {
+  const std::size_t nz = static_cast<std::size_t>(grid_.nz);
+  if (face == 0 || face == 1) return static_cast<std::size_t>(grid_.ny) * nz;
+  if (face == 2 || face == 3) return static_cast<std::size_t>(grid_.nx) * nz;
+  throw std::invalid_argument("face must be in [0, 4)");
+}
+
+void ZoneField::extract_face(int face, std::span<double> out) const {
+  if (out.size() < face_size(face)) {
+    throw std::invalid_argument("face buffer too small");
+  }
+  std::size_t k = 0;
+  switch (face) {
+    case 0:  // -x interior column
+      for (int y = 0; y < grid_.ny; ++y)
+        for (int z = 0; z < grid_.nz; ++z) out[k++] = at(0, y, z);
+      break;
+    case 1:  // +x interior column
+      for (int y = 0; y < grid_.ny; ++y)
+        for (int z = 0; z < grid_.nz; ++z) out[k++] = at(grid_.nx - 1, y, z);
+      break;
+    case 2:  // -y interior row
+      for (int x = 0; x < grid_.nx; ++x)
+        for (int z = 0; z < grid_.nz; ++z) out[k++] = at(x, 0, z);
+      break;
+    case 3:  // +y interior row
+      for (int x = 0; x < grid_.nx; ++x)
+        for (int z = 0; z < grid_.nz; ++z) out[k++] = at(x, grid_.ny - 1, z);
+      break;
+    default:
+      throw std::invalid_argument("face must be in [0, 4)");
+  }
+}
+
+void ZoneField::set_ghost_face(int face, std::span<const double> in) {
+  if (in.size() < face_size(face)) {
+    throw std::invalid_argument("face buffer too small");
+  }
+  std::size_t k = 0;
+  switch (face) {
+    case 0:
+      for (int y = 0; y < grid_.ny; ++y)
+        for (int z = 0; z < grid_.nz; ++z) at(-1, y, z) = in[k++];
+      break;
+    case 1:
+      for (int y = 0; y < grid_.ny; ++y)
+        for (int z = 0; z < grid_.nz; ++z) at(grid_.nx, y, z) = in[k++];
+      break;
+    case 2:
+      for (int x = 0; x < grid_.nx; ++x)
+        for (int z = 0; z < grid_.nz; ++z) at(x, -1, z) = in[k++];
+      break;
+    case 3:
+      for (int x = 0; x < grid_.nx; ++x)
+        for (int z = 0; z < grid_.nz; ++z) at(x, grid_.ny, z) = in[k++];
+      break;
+    default:
+      throw std::invalid_argument("face must be in [0, 4)");
+  }
+}
+
+}  // namespace ptask::npb

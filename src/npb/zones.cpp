@@ -1,0 +1,146 @@
+#include "ptask/npb/zones.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::npb {
+
+const char* to_string(MzSolver solver) {
+  switch (solver) {
+    case MzSolver::SP:
+      return "SP-MZ";
+    case MzSolver::BT:
+      return "BT-MZ";
+  }
+  return "unknown";
+}
+
+std::size_t MultiZoneProblem::total_points() const {
+  std::size_t total = 0;
+  for (const ZoneGrid& z : zones) total += z.points();
+  return total;
+}
+
+double MultiZoneProblem::imbalance_ratio() const {
+  std::size_t smallest = zones.front().points();
+  std::size_t largest = smallest;
+  for (const ZoneGrid& z : zones) {
+    smallest = std::min(smallest, z.points());
+    largest = std::max(largest, z.points());
+  }
+  return static_cast<double>(largest) / static_cast<double>(smallest);
+}
+
+std::string MultiZoneProblem::name() const {
+  return std::string(to_string(solver)) + "." + benchmark_class;
+}
+
+namespace {
+
+struct ClassSpec {
+  int x_zones, y_zones;
+  int gx, gy, gz;
+};
+
+ClassSpec class_spec(char cls) {
+  // NPB-MZ problem classes (numbers from NAS-03-010 / NPB3.x).
+  switch (cls) {
+    case 'S':
+      return {2, 2, 24, 24, 6};
+    case 'W':
+      return {4, 4, 64, 64, 8};
+    case 'A':
+      return {4, 4, 128, 128, 16};
+    case 'B':
+      return {8, 8, 304, 208, 17};
+    case 'C':
+      return {16, 16, 480, 320, 28};
+    case 'D':
+      return {32, 32, 1632, 1216, 34};
+    default:
+      throw std::invalid_argument("unknown benchmark class");
+  }
+}
+
+/// Splits `total` cells into `parts` equal parts (remainder spread left).
+std::vector<int> equal_split(int total, int parts) {
+  std::vector<int> widths(static_cast<std::size_t>(parts), total / parts);
+  for (int i = 0; i < total % parts; ++i) {
+    widths[static_cast<std::size_t>(i)] += 1;
+  }
+  return widths;
+}
+
+/// Splits `total` cells into `parts` widths following a geometric
+/// progression with per-direction ratio `ratio`; each width >= 1.
+std::vector<int> geometric_split(int total, int parts, double ratio) {
+  std::vector<double> raw(static_cast<std::size_t>(parts));
+  double sum = 0.0;
+  for (int i = 0; i < parts; ++i) {
+    raw[static_cast<std::size_t>(i)] = std::pow(ratio, i);
+    sum += raw[static_cast<std::size_t>(i)];
+  }
+  std::vector<int> widths(static_cast<std::size_t>(parts));
+  int assigned = 0;
+  for (int i = 0; i < parts; ++i) {
+    int w = static_cast<int>(std::floor(
+        static_cast<double>(total) * raw[static_cast<std::size_t>(i)] / sum));
+    w = std::max(w, 1);
+    widths[static_cast<std::size_t>(i)] = w;
+    assigned += w;
+  }
+  // Distribute the remainder (positive or negative) across the largest
+  // zones so the total matches exactly.
+  int i = parts - 1;
+  while (assigned != total) {
+    int& w = widths[static_cast<std::size_t>(((i % parts) + parts) % parts)];
+    if (assigned < total) {
+      ++w;
+      ++assigned;
+    } else if (w > 1) {
+      --w;
+      --assigned;
+    }
+    --i;
+  }
+  return widths;
+}
+
+}  // namespace
+
+MultiZoneProblem make_problem(MzSolver solver, char benchmark_class) {
+  const ClassSpec spec = class_spec(benchmark_class);
+  MultiZoneProblem problem;
+  problem.solver = solver;
+  problem.benchmark_class = benchmark_class;
+  problem.x_zones = spec.x_zones;
+  problem.y_zones = spec.y_zones;
+  problem.global = ZoneGrid{spec.gx, spec.gy, spec.gz};
+
+  std::vector<int> xw, yw;
+  if (solver == MzSolver::SP) {
+    xw = equal_split(spec.gx, spec.x_zones);
+    yw = equal_split(spec.gy, spec.y_zones);
+  } else {
+    // BT-MZ: largest/smallest zone ~ 20; the ratio is spread over both
+    // directions: r^( (x_zones-1) + (y_zones-1) ) = 20.
+    const double exponent =
+        static_cast<double>(spec.x_zones - 1 + spec.y_zones - 1);
+    const double r = exponent > 0.0 ? std::pow(20.0, 1.0 / exponent) : 1.0;
+    xw = geometric_split(spec.gx, spec.x_zones, r);
+    yw = geometric_split(spec.gy, spec.y_zones, r);
+  }
+
+  problem.zones.reserve(static_cast<std::size_t>(problem.num_zones()));
+  for (int iy = 0; iy < spec.y_zones; ++iy) {
+    for (int ix = 0; ix < spec.x_zones; ++ix) {
+      problem.zones.push_back(ZoneGrid{xw[static_cast<std::size_t>(ix)],
+                                       yw[static_cast<std::size_t>(iy)],
+                                       spec.gz});
+    }
+  }
+  return problem;
+}
+
+}  // namespace ptask::npb

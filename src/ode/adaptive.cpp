@@ -1,0 +1,96 @@
+#include "ptask/ode/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::ode {
+
+double error_norm(std::span<const double> error, std::span<const double> y,
+                  double abs_tol, double rel_tol) {
+  if (error.size() != y.size()) throw std::invalid_argument("size mismatch");
+  if (error.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < error.size(); ++i) {
+    const double scale = abs_tol + rel_tol * std::fabs(y[i]);
+    const double e = error[i] / scale;
+    sum += e * e;
+  }
+  return std::sqrt(sum / static_cast<double>(error.size()));
+}
+
+AdaptiveResult integrate_adaptive(OneStepSolver& solver,
+                                  const OdeSystem& system, double t0,
+                                  double te, double h0,
+                                  std::vector<double> y0,
+                                  const AdaptiveOptions& options) {
+  if (h0 <= 0.0) throw std::invalid_argument("step size must be positive");
+  if (te < t0) throw std::invalid_argument("te must not precede t0");
+  if (y0.size() != system.size()) {
+    throw std::invalid_argument("initial state size mismatch");
+  }
+
+  const int p = solver.order();
+  const double err_exponent = -1.0 / (p + 1);
+  const double doubling_scale = std::pow(2.0, p) - 1.0;
+
+  AdaptiveResult result;
+  result.state = std::move(y0);
+  result.min_h_used = options.h_max;
+  result.max_h_used = 0.0;
+
+  double t = t0;
+  double h = std::clamp(h0, options.h_min, options.h_max);
+  std::vector<double> big, half, error(system.size());
+
+  while (t < te - 1e-14 * std::max(1.0, std::fabs(te))) {
+    if (result.accepted + result.rejected >= options.max_steps) {
+      throw std::runtime_error("adaptive integration exceeded max_steps");
+    }
+    const double step = std::min(h, te - t);
+
+    // One full step ...
+    big = result.state;
+    solver.reset();
+    solver.step(system, t, step, big);
+    // ... against two half steps.
+    half = result.state;
+    solver.reset();
+    solver.step(system, t, step / 2.0, half);
+    solver.step(system, t + step / 2.0, step / 2.0, half);
+
+    for (std::size_t i = 0; i < error.size(); ++i) {
+      error[i] = (half[i] - big[i]) / doubling_scale;
+    }
+    const double norm =
+        error_norm(error, result.state, options.abs_tol, options.rel_tol);
+
+    if (norm <= 1.0) {  // accept
+      if (options.local_extrapolation) {
+        for (std::size_t i = 0; i < half.size(); ++i) half[i] += error[i];
+      }
+      result.state = half;
+      t += step;
+      ++result.accepted;
+      result.min_h_used = std::min(result.min_h_used, step);
+      result.max_h_used = std::max(result.max_h_used, step);
+    } else {
+      ++result.rejected;
+    }
+
+    // Order-aware step update (both after acceptance and rejection).
+    double factor = options.safety *
+                    std::pow(std::max(norm, 1e-16), err_exponent);
+    factor = std::clamp(factor, options.min_factor, options.max_factor);
+    h = std::clamp(h * factor, options.h_min, options.h_max);
+    if (norm > 1.0 && h <= options.h_min * (1.0 + 1e-12)) {
+      throw std::runtime_error(
+          "adaptive integration cannot meet the tolerance at h_min");
+    }
+  }
+  result.t_end = t;
+  result.final_h = h;
+  return result;
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,68 @@
+#include "ptask/ode/bruss2d.hpp"
+
+#include <stdexcept>
+
+namespace ptask::ode {
+
+Bruss2D::Bruss2D(std::size_t grid, double a, double b, double alpha)
+    : grid_(grid), a_(a), b_(b) {
+  if (grid < 2) throw std::invalid_argument("grid must be at least 2x2");
+  // alpha / h^2 with h = 1/(N-1).
+  const double h = 1.0 / static_cast<double>(grid - 1);
+  alpha_scaled_ = alpha / (h * h);
+}
+
+double Bruss2D::laplacian(std::span<const double> field, std::size_t row,
+                          std::size_t col) const {
+  const std::size_t N = grid_;
+  const double center = field[row * N + col];
+  // Neumann boundary: mirror the neighbour back onto the centre.
+  const double up = row > 0 ? field[(row - 1) * N + col] : center;
+  const double down = row + 1 < N ? field[(row + 1) * N + col] : center;
+  const double left = col > 0 ? field[row * N + col - 1] : center;
+  const double right = col + 1 < N ? field[row * N + col + 1] : center;
+  return up + down + left + right - 4.0 * center;
+}
+
+void Bruss2D::eval(double /*t*/, std::span<const double> y,
+                   std::span<double> f, std::size_t begin,
+                   std::size_t end) const {
+  const std::size_t N = grid_;
+  const std::size_t half = N * N;
+  const std::span<const double> u = y.subspan(0, half);
+  const std::span<const double> v = y.subspan(half, half);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (i < half) {
+      const std::size_t row = i / N;
+      const std::size_t col = i % N;
+      const double ui = u[i];
+      const double vi = v[i];
+      f[i] = b_ + ui * ui * vi - (a_ + 1.0) * ui +
+             alpha_scaled_ * laplacian(u, row, col);
+    } else {
+      const std::size_t j = i - half;
+      const std::size_t row = j / N;
+      const std::size_t col = j % N;
+      const double uj = u[j];
+      const double vj = v[j];
+      f[i] = a_ * uj - uj * uj * vj + alpha_scaled_ * laplacian(v, row, col);
+    }
+  }
+}
+
+std::vector<double> Bruss2D::initial_state() const {
+  const std::size_t N = grid_;
+  std::vector<double> y(size());
+  const double h = 1.0 / static_cast<double>(N - 1);
+  for (std::size_t row = 0; row < N; ++row) {
+    for (std::size_t col = 0; col < N; ++col) {
+      const double x = static_cast<double>(col) * h;
+      const double yy = static_cast<double>(row) * h;
+      y[row * N + col] = 2.0 + 0.25 * yy;          // u(x, y, 0)
+      y[N * N + row * N + col] = 1.0 + 0.8 * x;    // v(x, y, 0)
+    }
+  }
+  return y;
+}
+
+}  // namespace ptask::ode

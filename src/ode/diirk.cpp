@@ -1,0 +1,72 @@
+#include "ptask/ode/diirk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ptask::ode {
+
+Diirk::Diirk(int stages, int iterations, int inner_iterations)
+    : tableau_(gauss_tableau(stages)),
+      iterations_(iterations),
+      inner_(inner_iterations) {
+  if (iterations < 1) throw std::invalid_argument("need >= 1 iteration");
+  if (inner_iterations < 1) {
+    throw std::invalid_argument("need >= 1 inner iteration");
+  }
+}
+
+int Diirk::order() const {
+  return std::min(2 * tableau_.stages(), iterations_ + 1);
+}
+
+void Diirk::step(const OdeSystem& system, double t, double h,
+                 std::vector<double>& y) {
+  const std::size_t n = system.size();
+  const int s = tableau_.stages();
+
+  std::vector<double> f0(n);
+  system.eval_all(t, y, f0);
+  std::vector<std::vector<double>> k(static_cast<std::size_t>(s), f0);
+  std::vector<std::vector<double>> k_next(static_cast<std::size_t>(s),
+                                          std::vector<double>(n));
+  std::vector<double> base(n), arg(n), cur(n);
+
+  for (int l = 0; l < iterations_; ++l) {
+    for (int j = 0; j < s; ++j) {
+      const double dj = tableau_.a[static_cast<std::size_t>(j * s + j)];
+      // base = y + h * sum_k a_jk K_k^(l-1); the diagonal correction
+      // h d_j (K_j - K_j^(l-1)) is added inside the inner sweeps.
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (int q = 0; q < s; ++q) {
+          acc += h * tableau_.a[static_cast<std::size_t>(j * s + q)] *
+                 k[static_cast<std::size_t>(q)][i];
+        }
+        base[i] = acc;
+      }
+      // Inner fixed-point sweeps for the diagonal-implicit equation.
+      cur = k[static_cast<std::size_t>(j)];
+      const double tj = t + tableau_.c[static_cast<std::size_t>(j)] * h;
+      for (int inner = 0; inner < inner_; ++inner) {
+        for (std::size_t i = 0; i < n; ++i) {
+          arg[i] = base[i] +
+                   h * dj * (cur[i] - k[static_cast<std::size_t>(j)][i]);
+        }
+        system.eval_all(tj, arg, cur);
+      }
+      k_next[static_cast<std::size_t>(j)] = cur;
+    }
+    std::swap(k, k_next);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = y[i];
+    for (int j = 0; j < s; ++j) {
+      acc += h * tableau_.b[static_cast<std::size_t>(j)] *
+             k[static_cast<std::size_t>(j)][i];
+    }
+    y[i] = acc;
+  }
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,58 @@
+#include "ptask/ode/epol.hpp"
+
+#include <stdexcept>
+
+namespace ptask::ode {
+
+Epol::Epol(int r) : r_(r) {
+  if (r < 1) throw std::invalid_argument("need at least one approximation");
+}
+
+void Epol::micro_steps(const OdeSystem& system, double t, double h, int i,
+                       std::span<const double> y, std::vector<double>& out) {
+  const std::size_t n = system.size();
+  out.assign(y.begin(), y.end());
+  std::vector<double> f(n);
+  const double micro_h = h / static_cast<double>(i);
+  double tau = t;
+  for (int j = 0; j < i; ++j) {
+    system.eval_all(tau, out, f);
+    for (std::size_t k = 0; k < n; ++k) out[k] += micro_h * f[k];
+    tau += micro_h;
+  }
+}
+
+std::vector<double> Epol::combine(
+    std::vector<std::vector<double>> approximations) {
+  const int r = static_cast<int>(approximations.size());
+  if (r == 0) throw std::invalid_argument("no approximations to combine");
+  const std::size_t n = approximations.front().size();
+  // Aitken-Neville: T[i][j] built in place over T[i] = approximations[i]
+  // (0-based; step numbers n_i = i + 1):
+  //   T_{i,j} = T_{i,j-1} + (T_{i,j-1} - T_{i-1,j-1}) / (n_i/n_{i-j} - 1).
+  for (int j = 1; j < r; ++j) {
+    for (int i = r - 1; i >= j; --i) {
+      const double ratio = static_cast<double>(i + 1) /
+                           static_cast<double>(i + 1 - j);
+      const double denom = ratio - 1.0;
+      std::vector<double>& ti = approximations[static_cast<std::size_t>(i)];
+      const std::vector<double>& tim1 =
+          approximations[static_cast<std::size_t>(i - 1)];
+      for (std::size_t k = 0; k < n; ++k) {
+        ti[k] += (ti[k] - tim1[k]) / denom;
+      }
+    }
+  }
+  return std::move(approximations.back());
+}
+
+void Epol::step(const OdeSystem& system, double t, double h,
+                std::vector<double>& y) {
+  std::vector<std::vector<double>> approx(static_cast<std::size_t>(r_));
+  for (int i = 1; i <= r_; ++i) {
+    micro_steps(system, t, h, i, y, approx[static_cast<std::size_t>(i - 1)]);
+  }
+  y = combine(std::move(approx));
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,339 @@
+#include "ptask/ode/graph_gen.hpp"
+
+#include <stdexcept>
+
+#include "ptask/sched/timeline.hpp"
+
+namespace ptask::ode {
+
+const char* to_string(Method method) {
+  switch (method) {
+    case Method::EPOL:
+      return "EPOL";
+    case Method::IRK:
+      return "IRK";
+    case Method::DIIRK:
+      return "DIIRK";
+    case Method::PAB:
+      return "PAB";
+    case Method::PABM:
+      return "PABM";
+  }
+  return "unknown";
+}
+
+namespace {
+
+using core::CollectiveKind;
+using core::CollectiveOp;
+using core::CommScope;
+using core::MTask;
+using core::Param;
+using core::TaskGraph;
+using core::TaskId;
+
+constexpr std::size_t kDouble = sizeof(double);
+
+Param replicated_param(const std::string& name, std::size_t bytes, bool input,
+                       bool output) {
+  return Param{name, bytes, dist::Distribution::replicated(), input, output};
+}
+
+TaskGraph epol_step_graph(const SolverGraphSpec& spec) {
+  const int r = spec.stages;
+  const double nd = static_cast<double>(spec.n);
+  const std::size_t vec_bytes = spec.n * kDouble;
+  TaskGraph graph;
+
+  // step(i, j): micro step j of approximation i; each micro step evaluates f
+  // (needing the full argument vector: one multi-broadcast) and applies an
+  // Euler update (2 ops per component).
+  std::vector<TaskId> chain_tail(static_cast<std::size_t>(r));
+  for (int i = 1; i <= r; ++i) {
+    TaskId prev = core::kInvalidTask;
+    for (int j = 1; j <= i; ++j) {
+      MTask task("step(" + std::to_string(i) + "," + std::to_string(j) + ")",
+                 nd * (2.0 + spec.eval_flop_per_component));
+      task.set_max_cores(static_cast<int>(spec.n));
+      task.add_comm(
+          CollectiveOp{CollectiveKind::Allgather, CommScope::Group, vec_bytes, 1});
+      // V_i flows through the whole chain; scheduling consecutive micro
+      // steps on different core sets therefore costs a re-distribution --
+      // the waste the paper's chain contraction avoids.
+      const std::string v_name = "V" + std::to_string(i);
+      if (j == 1) {
+        task.add_param(replicated_param("eta", vec_bytes, true, false));
+      } else {
+        task.add_param(replicated_param(v_name, vec_bytes, true, false));
+      }
+      task.add_param(replicated_param(v_name, vec_bytes, false, true));
+      const TaskId id = graph.add_task(std::move(task));
+      if (prev != core::kInvalidTask) graph.add_edge(prev, id);
+      prev = id;
+    }
+    chain_tail[static_cast<std::size_t>(i - 1)] = prev;
+  }
+
+  // combine: Aitken-Neville extrapolation, ~3 ops per entry of the Neville
+  // triangle (R(R-1)/2 vector combinations).
+  MTask combine("combine",
+                nd * 3.0 * static_cast<double>(r) * static_cast<double>(r - 1) /
+                    2.0);
+  combine.set_max_cores(static_cast<int>(spec.n));
+  for (int i = 1; i <= r; ++i) {
+    // The combine consumes its per-core block of every approximation vector
+    // (the Neville recursion is component-local), so gathering V_i from a
+    // producing group costs one block scatter, not a full replication.
+    combine.add_param(Param{"V" + std::to_string(i), vec_bytes,
+                            dist::Distribution::block(), true, false});
+  }
+  combine.add_param(replicated_param("eta", vec_bytes, false, true));
+  const TaskId combine_id = graph.add_task(std::move(combine));
+  for (TaskId tail : chain_tail) graph.add_edge(tail, combine_id);
+  return graph;
+}
+
+TaskGraph stage_update_graph(const SolverGraphSpec& spec,
+                             const MTask& stage_proto, MTask update) {
+  TaskGraph graph;
+  const std::size_t vec_bytes = spec.n * kDouble;
+  std::vector<TaskId> stages;
+  for (int k = 1; k <= spec.stages; ++k) {
+    MTask stage = stage_proto;
+    stage.set_name(std::string(stage_proto.name()) + "_" + std::to_string(k));
+    stage.add_param(replicated_param("eta", vec_bytes, true, false));
+    stage.add_param(
+        replicated_param("K" + std::to_string(k), vec_bytes, false, true));
+    stages.push_back(graph.add_task(std::move(stage)));
+  }
+  // The update's own group allgather (Table 1's final Tag) is what gathers
+  // the stage vectors from the groups, so the K_k parameters are not also
+  // declared as update inputs -- a param match would double-charge the
+  // exchange as a re-distribution.  The graph edges below still carry the
+  // input-output relation for scheduling.
+  update.add_param(replicated_param("eta", vec_bytes, false, true));
+  const TaskId update_id = graph.add_task(std::move(update));
+  for (TaskId s : stages) graph.add_edge(s, update_id);
+  return graph;
+}
+
+TaskGraph irk_step_graph(const SolverGraphSpec& spec) {
+  const double nd = static_cast<double>(spec.n);
+  const int k = spec.stages;
+  const int m = spec.iterations;
+  const std::size_t vec_bytes = spec.n * kDouble;
+
+  // Stage task: m fixed-point iterations, each building the stage argument
+  // (2K ops/component) and evaluating f, with one group multi-broadcast of
+  // the stage vector and one orthogonal exchange per iteration (Table 1).
+  MTask stage("irk_stage",
+              static_cast<double>(m) *
+                  nd * (2.0 * k + spec.eval_flop_per_component));
+  stage.set_max_cores(static_cast<int>(spec.n));
+  stage.add_comm(
+      CollectiveOp{CollectiveKind::Allgather, CommScope::Group, vec_bytes, m});
+  stage.add_comm(CollectiveOp{CollectiveKind::Allgather, CommScope::Orthogonal,
+                              vec_bytes, m});
+
+  MTask update("irk_update", nd * 2.0 * k);
+  update.set_max_cores(static_cast<int>(spec.n));
+  update.add_comm(
+      CollectiveOp{CollectiveKind::Allgather, CommScope::Group, vec_bytes, 1});
+  return stage_update_graph(spec, stage, std::move(update));
+}
+
+TaskGraph diirk_step_graph(const SolverGraphSpec& spec) {
+  const double nd = static_cast<double>(spec.n);
+  const int k = spec.stages;
+  const int m = spec.iterations;
+  const int inner = spec.inner_iterations;
+  const std::size_t vec_bytes = spec.n * kDouble;
+
+  // Stage task: m outer iterations, each with `inner` implicit sweeps; the
+  // implicit solve performs (n-1) pivot-row broadcasts per inner solve
+  // (banded elimination), the source of DIIRK's (n-1) * I * Tbc term.
+  MTask stage("diirk_stage",
+              static_cast<double>(m) * static_cast<double>(inner) * nd *
+                  (2.0 * k + spec.eval_flop_per_component + 8.0));
+  stage.set_max_cores(static_cast<int>(spec.n));
+  stage.add_comm(CollectiveOp{CollectiveKind::Bcast, CommScope::Group,
+                              spec.bcast_row_bytes,
+                              static_cast<int>(spec.n - 1) * inner});
+  stage.add_comm(CollectiveOp{CollectiveKind::Allgather, CommScope::Orthogonal,
+                              vec_bytes, m});
+
+  MTask update("diirk_update", nd * 2.0 * k);
+  update.set_max_cores(static_cast<int>(spec.n));
+  update.add_comm(
+      CollectiveOp{CollectiveKind::Allgather, CommScope::Group, vec_bytes, 1});
+  return stage_update_graph(spec, stage, std::move(update));
+}
+
+TaskGraph pab_step_graph(const SolverGraphSpec& spec, bool moulton) {
+  const double nd = static_cast<double>(spec.n);
+  const int k = spec.stages;
+  const int m = moulton ? spec.iterations : 0;
+  const std::size_t vec_bytes = spec.n * kDouble;
+
+  TaskGraph graph;
+  std::vector<TaskId> stages;
+  for (int s = 1; s <= k; ++s) {
+    MTask stage((moulton ? std::string("pabm_stage_") : std::string(
+                               "pab_stage_")) +
+                    std::to_string(s),
+                static_cast<double>(1 + m) * nd *
+                    (2.0 * k + spec.eval_flop_per_component));
+    stage.set_max_cores(static_cast<int>(spec.n));
+    stage.add_comm(CollectiveOp{CollectiveKind::Allgather, CommScope::Group,
+                                vec_bytes, 1 + m});
+    stage.add_comm(CollectiveOp{CollectiveKind::Allgather,
+                                CommScope::Orthogonal, vec_bytes, 1});
+    // Stage s reads and writes its own slice of the block; the history is
+    // group-resident, so no cross-step parameters are modelled.
+    stages.push_back(graph.add_task(std::move(stage)));
+  }
+  // History/update bookkeeping carries no communication (Table 1 lists none
+  // for PAB/PABM beyond the stage operations).
+  MTask update(moulton ? "pabm_update" : "pab_update", nd * 2.0);
+  update.set_max_cores(static_cast<int>(spec.n));
+  const TaskId update_id = graph.add_task(std::move(update));
+  for (TaskId s : stages) graph.add_edge(s, update_id);
+  return graph;
+}
+
+}  // namespace
+
+core::TaskGraph SolverGraphSpec::step_graph() const {
+  if (n == 0) throw std::invalid_argument("system size must be positive");
+  if (stages < 1) throw std::invalid_argument("need >= 1 stage");
+  switch (method) {
+    case Method::EPOL:
+      return epol_step_graph(*this);
+    case Method::IRK:
+      return irk_step_graph(*this);
+    case Method::DIIRK:
+      return diirk_step_graph(*this);
+    case Method::PAB:
+      return pab_step_graph(*this, false);
+    case Method::PABM:
+      return pab_step_graph(*this, true);
+  }
+  throw std::logic_error("invalid method");
+}
+
+SolverGraphSpec make_spec(Method method, const OdeSystem& system, int stages,
+                          int iterations, int inner_iterations) {
+  SolverGraphSpec spec;
+  spec.method = method;
+  spec.n = system.size();
+  spec.eval_flop_per_component = system.eval_flop_per_component();
+  spec.stages = stages;
+  spec.iterations = iterations;
+  spec.inner_iterations = inner_iterations;
+  return spec;
+}
+
+core::HierGraph epol_program_spec(std::size_t n, int r,
+                                  double eval_flop_per_component,
+                                  double time_steps_hint) {
+  const std::size_t vec_bytes = n * sizeof(double);
+  const double nd = static_cast<double>(n);
+  core::SpecBuilder builder("EPOL");
+
+  const core::Var t = builder.var("t", sizeof(double));
+  const core::Var h = builder.var("h", sizeof(double));
+  const core::Var eta = builder.var("eta_k", vec_bytes);
+  std::vector<core::Var> v;
+  for (int i = 1; i <= r; ++i) {
+    v.push_back(builder.var("V" + std::to_string(i), vec_bytes));
+  }
+
+  core::MTask init("init_step", 10.0);
+  builder.call(std::move(init), {}, {t, h});
+
+  builder.while_loop(
+      "time_stepping", {t, h, eta},
+      [&](core::SpecBuilder& body) {
+        body.parfor(r, [&](int i0) {
+          const int i = i0 + 1;
+          body.for_loop(i, [&](int j0) {
+            const int j = j0 + 1;
+            core::MTask step(
+                "step(" + std::to_string(i) + "," + std::to_string(j) + ")",
+                nd * (2.0 + eval_flop_per_component));
+            step.set_max_cores(static_cast<int>(n));
+            step.add_comm(core::CollectiveOp{core::CollectiveKind::Allgather,
+                                             core::CommScope::Group, vec_bytes,
+                                             1});
+            // First micro step reads eta; every micro step updates V_i.
+            std::vector<core::Var> uses{t, h, v[static_cast<std::size_t>(i0)]};
+            if (j == 1) uses.push_back(eta);
+            body.call(std::move(step), uses,
+                      {v[static_cast<std::size_t>(i0)]});
+          });
+        });
+        core::MTask combine("combine", nd * 3.0 * r * (r - 1) / 2.0);
+        combine.set_max_cores(static_cast<int>(n));
+        std::vector<core::Var> uses{t, h};
+        uses.insert(uses.end(), v.begin(), v.end());
+        body.call(std::move(combine), uses, {t, h, eta});
+      },
+      time_steps_hint);
+
+  return builder.build();
+}
+
+CommCounts count_comms(const sched::LayeredSchedule& schedule) {
+  CommCounts counts;
+  const core::TaskGraph& graph = schedule.contraction.contracted;
+  for (const sched::ScheduledLayer& layer : schedule.layers) {
+    const int g = layer.num_groups();
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      // Multi-group layers: count the operations of group 0 only (the paper
+      // lists the operations of one of the disjoint groups).
+      if (g > 1 && layer.task_group[i] != 0) continue;
+      for (const core::CollectiveOp& op : graph.task(layer.tasks[i]).comms()) {
+        const bool allgather = op.kind == core::CollectiveKind::Allgather;
+        switch (op.scope) {
+          case core::CommScope::Global:
+            (allgather ? counts.global_allgather : counts.global_bcast) +=
+                op.repeat;
+            break;
+          case core::CommScope::Group:
+            if (g == 1) {
+              (allgather ? counts.global_allgather : counts.global_bcast) +=
+                  op.repeat;
+            } else {
+              (allgather ? counts.group_allgather : counts.group_bcast) +=
+                  op.repeat;
+            }
+            break;
+          case core::CommScope::Orthogonal:
+            if (g > 1 && allgather) counts.orth_allgather += op.repeat;
+            break;
+        }
+      }
+    }
+  }
+  // One global broadcast per step when cross-layer re-distribution moves
+  // data between different groups (EPOL's combine collecting the V_i).  If
+  // the consumer performs a collective of its own, the re-distribution is
+  // folded into it (the paper's IRK/DIIRK update gathers the stage vectors
+  // with its final global allgather), so nothing extra is counted then.
+  for (const sched::RedistributionEdge& edge :
+       sched::redistribution_edges(schedule)) {
+    const sched::ScheduledLayer& src = schedule.layers[edge.producer_layer];
+    const sched::ScheduledLayer& dst = schedule.layers[edge.consumer_layer];
+    const bool same_group_structure =
+        src.group_sizes == dst.group_sizes &&
+        edge.producer_group == edge.consumer_group;
+    const bool consumer_has_collective =
+        !graph.task(edge.consumer).comms().empty();
+    if (!same_group_structure && !consumer_has_collective) {
+      counts.global_bcast = std::max(counts.global_bcast, 1);
+    }
+  }
+  return counts;
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,57 @@
+#include "ptask/ode/irk.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ptask::ode {
+
+Irk::Irk(int stages, int iterations)
+    : tableau_(gauss_tableau(stages)), iterations_(iterations) {
+  if (iterations < 1) throw std::invalid_argument("need >= 1 iteration");
+}
+
+int Irk::order() const {
+  return std::min(2 * tableau_.stages(), iterations_ + 1);
+}
+
+void Irk::step(const OdeSystem& system, double t, double h,
+               std::vector<double>& y) {
+  const std::size_t n = system.size();
+  const int s = tableau_.stages();
+
+  // K^(0)_j = f(t, y) for all stages.
+  std::vector<double> f0(n);
+  system.eval_all(t, y, f0);
+  std::vector<std::vector<double>> k(static_cast<std::size_t>(s), f0);
+  std::vector<std::vector<double>> k_next(static_cast<std::size_t>(s),
+                                          std::vector<double>(n));
+  std::vector<double> arg(n);
+
+  for (int l = 0; l < iterations_; ++l) {
+    for (int j = 0; j < s; ++j) {
+      // Y_j = y + h * sum_k a_jk K_k^(l-1)  -- independent across j.
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i];
+        for (int q = 0; q < s; ++q) {
+          acc += h * tableau_.a[static_cast<std::size_t>(j * s + q)] *
+                 k[static_cast<std::size_t>(q)][i];
+        }
+        arg[i] = acc;
+      }
+      system.eval_all(t + tableau_.c[static_cast<std::size_t>(j)] * h, arg,
+                      k_next[static_cast<std::size_t>(j)]);
+    }
+    std::swap(k, k_next);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = y[i];
+    for (int j = 0; j < s; ++j) {
+      acc += h * tableau_.b[static_cast<std::size_t>(j)] *
+             k[static_cast<std::size_t>(j)][i];
+    }
+    y[i] = acc;
+  }
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,183 @@
+#include "ptask/ode/pab.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::ode {
+
+void rk4_step(const OdeSystem& system, double t, double h,
+              std::vector<double>& y) {
+  const std::size_t n = system.size();
+  std::vector<double> k1(n), k2(n), k3(n), k4(n), arg(n);
+  system.eval_all(t, y, k1);
+  for (std::size_t i = 0; i < n; ++i) arg[i] = y[i] + 0.5 * h * k1[i];
+  system.eval_all(t + 0.5 * h, arg, k2);
+  for (std::size_t i = 0; i < n; ++i) arg[i] = y[i] + 0.5 * h * k2[i];
+  system.eval_all(t + 0.5 * h, arg, k3);
+  for (std::size_t i = 0; i < n; ++i) arg[i] = y[i] + h * k3[i];
+  system.eval_all(t + h, arg, k4);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+  }
+}
+
+namespace {
+
+/// Integration coefficients: row k holds the weights w_kj such that
+/// integral_0^{target_k} p(x) dx = sum_j w_kj p(node_j) for every polynomial
+/// p of degree < nodes.size().
+std::vector<double> integration_weights(const std::vector<double>& nodes,
+                                        const std::vector<double>& targets) {
+  const std::size_t s = nodes.size();
+  std::vector<double> vand(s * s);
+  for (std::size_t q = 0; q < s; ++q) {
+    for (std::size_t j = 0; j < s; ++j) {
+      vand[q * s + j] = std::pow(nodes[j], static_cast<double>(q));
+    }
+  }
+  std::vector<double> weights(targets.size() * s);
+  std::vector<double> rhs(s);
+  for (std::size_t k = 0; k < targets.size(); ++k) {
+    for (std::size_t q = 0; q < s; ++q) {
+      rhs[q] = std::pow(targets[k], static_cast<double>(q + 1)) /
+               static_cast<double>(q + 1);
+    }
+    const std::vector<double> row = solve_dense(vand, rhs);
+    for (std::size_t j = 0; j < s; ++j) weights[k * s + j] = row[j];
+  }
+  return weights;
+}
+
+}  // namespace
+
+BlockAdamsBase::BlockAdamsBase(int block_size) : k_(block_size) {
+  if (block_size < 1) throw std::invalid_argument("block size must be >= 1");
+  // Predictor: history nodes theta_j = (j + 1 - K)/K (theta_{K-1} = 0 = t_n),
+  // integration targets c_k = (k + 1)/K for k = 0..K-1.
+  std::vector<double> nodes(static_cast<std::size_t>(k_));
+  std::vector<double> targets(static_cast<std::size_t>(k_));
+  for (int j = 0; j < k_; ++j) {
+    nodes[static_cast<std::size_t>(j)] =
+        static_cast<double>(j + 1 - k_) / static_cast<double>(k_);
+    targets[static_cast<std::size_t>(j)] =
+        static_cast<double>(j + 1) / static_cast<double>(k_);
+  }
+  beta_ = integration_weights(nodes, targets);
+}
+
+void BlockAdamsBase::bootstrap(const OdeSystem& system, double t, double h,
+                               std::vector<double>& y) {
+  // Advance through the K sub-points with finely micro-stepped RK4 and
+  // record f at each sub-point as the history of the next macro step.
+  const std::size_t n = system.size();
+  const int micro = 16;  // RK4 error ~ (h/(16K))^4: negligible
+  history_.assign(static_cast<std::size_t>(k_), std::vector<double>(n));
+  const double sub_h = h / static_cast<double>(k_);
+  for (int k = 0; k < k_; ++k) {
+    for (int m = 0; m < micro; ++m) {
+      rk4_step(system, t + k * sub_h + m * sub_h / micro, sub_h / micro, y);
+    }
+    system.eval_all(t + (k + 1) * sub_h, y, history_[static_cast<std::size_t>(k)]);
+  }
+}
+
+Pab::Pab(int block_size) : BlockAdamsBase(block_size) {}
+
+void Pab::step(const OdeSystem& system, double t, double h,
+               std::vector<double>& y) {
+  if (!has_history()) {
+    bootstrap(system, t, h, y);
+    return;
+  }
+  const std::size_t n = system.size();
+  const std::size_t K = static_cast<std::size_t>(k_);
+
+  // K independent predictions (the parallel stage values).
+  std::vector<std::vector<double>> stage(K, std::vector<double>(n));
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = y[i];
+      for (std::size_t j = 0; j < K; ++j) {
+        acc += h * beta_[k * K + j] * history_[j][i];
+      }
+      stage[k][i] = acc;
+    }
+  }
+  // New history: f at the new sub-points.
+  const double sub_h = h / static_cast<double>(k_);
+  for (std::size_t k = 0; k < K; ++k) {
+    system.eval_all(t + static_cast<double>(k + 1) * sub_h, stage[k],
+                    history_[k]);
+  }
+  y = std::move(stage.back());
+}
+
+Pabm::Pabm(int block_size, int corrector_iterations)
+    : BlockAdamsBase(block_size), m_(corrector_iterations) {
+  if (m_ < 1) throw std::invalid_argument("need >= 1 corrector iteration");
+  // Corrector: nodes {0, c_1, ..., c_K} (t_n plus the new block sub-points),
+  // targets c_k.
+  const std::size_t K = static_cast<std::size_t>(k_);
+  std::vector<double> nodes(K + 1);
+  std::vector<double> targets(K);
+  nodes[0] = 0.0;
+  for (std::size_t k = 0; k < K; ++k) {
+    const double c = static_cast<double>(k + 1) / static_cast<double>(k_);
+    nodes[k + 1] = c;
+    targets[k] = c;
+  }
+  gamma_ = integration_weights(nodes, targets);
+}
+
+void Pabm::step(const OdeSystem& system, double t, double h,
+                std::vector<double>& y) {
+  if (!has_history()) {
+    bootstrap(system, t, h, y);
+    return;
+  }
+  const std::size_t n = system.size();
+  const std::size_t K = static_cast<std::size_t>(k_);
+  const double sub_h = h / static_cast<double>(k_);
+
+  // Predictor (PAB).
+  std::vector<std::vector<double>> stage(K, std::vector<double>(n));
+  for (std::size_t k = 0; k < K; ++k) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = y[i];
+      for (std::size_t j = 0; j < K; ++j) {
+        acc += h * beta_[k * K + j] * history_[j][i];
+      }
+      stage[k][i] = acc;
+    }
+  }
+
+  // f(t_n, y_n) is history_[K-1] (the last sub-point of the previous block).
+  const std::vector<double>& f_n = history_[K - 1];
+
+  // m corrector iterations; within one iteration the K corrections are
+  // independent (each uses the previous iterate's f values).
+  std::vector<std::vector<double>> f_stage(K, std::vector<double>(n));
+  for (int l = 0; l < m_; ++l) {
+    for (std::size_t k = 0; k < K; ++k) {
+      system.eval_all(t + static_cast<double>(k + 1) * sub_h, stage[k],
+                      f_stage[k]);
+    }
+    for (std::size_t k = 0; k < K; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double acc = y[i] + h * gamma_[k * (K + 1)] * f_n[i];
+        for (std::size_t j = 0; j < K; ++j) {
+          acc += h * gamma_[k * (K + 1) + j + 1] * f_stage[j][i];
+        }
+        stage[k][i] = acc;
+      }
+    }
+  }
+
+  for (std::size_t k = 0; k < K; ++k) {
+    system.eval_all(t + static_cast<double>(k + 1) * sub_h, stage[k],
+                    history_[k]);
+  }
+  y = std::move(stage.back());
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,40 @@
+#include "ptask/ode/schroed.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::ode {
+
+Schroed::Schroed(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("system size must be positive");
+}
+
+void Schroed::eval(double /*t*/, std::span<const double> y,
+                   std::span<double> f, std::size_t begin,
+                   std::size_t end) const {
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  // Precompute sin(y_j) once per call; the coupling weights keep the O(n)
+  // inner loop per component.
+  std::vector<double> s(n_);
+  for (std::size_t j = 0; j < n_; ++j) s[j] = std::sin(y[j]);
+  for (std::size_t i = begin; i < end; ++i) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double dist =
+          static_cast<double>(i > j ? i - j : j - i) * inv_n;
+      acc += s[j] / (1.0 + dist);
+    }
+    f[i] = -y[i] + acc * inv_n;
+  }
+}
+
+std::vector<double> Schroed::initial_state() const {
+  std::vector<double> y(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    y[i] = 0.5 + 0.3 * std::sin(2.0 * M_PI * static_cast<double>(i) /
+                                static_cast<double>(n_));
+  }
+  return y;
+}
+
+}  // namespace ptask::ode

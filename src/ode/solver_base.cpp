@@ -1,0 +1,147 @@
+#include "ptask/ode/solver_base.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ptask::ode {
+
+IntegrationResult OneStepSolver::integrate(const OdeSystem& system, double t0,
+                                           double te, double h,
+                                           std::vector<double> y0) {
+  if (h <= 0.0) throw std::invalid_argument("step size must be positive");
+  if (te < t0) throw std::invalid_argument("te must not precede t0");
+  if (y0.size() != system.size()) {
+    throw std::invalid_argument("initial state size mismatch");
+  }
+  reset();
+  IntegrationResult result;
+  result.state = std::move(y0);
+  double t = t0;
+  while (t < te - 1e-14 * std::max(1.0, std::fabs(te))) {
+    const double step_size = std::min(h, te - t);
+    step(system, t, step_size, result.state);
+    t += step_size;
+    ++result.steps;
+  }
+  result.t_end = t;
+  return result;
+}
+
+std::vector<double> solve_dense(std::vector<double> a, std::vector<double> b) {
+  const std::size_t n = b.size();
+  if (a.size() != n * n) throw std::invalid_argument("matrix shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    std::size_t pivot = col;
+    for (std::size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-300) {
+      throw std::runtime_error("singular coefficient system");
+    }
+    if (pivot != col) {
+      for (std::size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    for (std::size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] / a[col * n + col];
+      if (factor == 0.0) continue;
+      for (std::size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t row = n; row-- > 0;) {
+    double acc = b[row];
+    for (std::size_t k = row + 1; k < n; ++k) {
+      acc -= a[row * n + k] * x[k];
+    }
+    x[row] = acc / a[row * n + row];
+  }
+  return x;
+}
+
+CollocationTableau gauss_tableau(int stages) {
+  if (stages < 1 || stages > 16) {
+    throw std::invalid_argument("stage count out of range");
+  }
+  const int s = stages;
+  CollocationTableau tab;
+  tab.c.resize(static_cast<std::size_t>(s));
+
+  // Roots of the Legendre polynomial P_s on [-1, 1] via Newton iteration
+  // from Chebyshev-like initial guesses, then shifted to [0, 1].
+  for (int i = 0; i < s; ++i) {
+    double x = std::cos(M_PI * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(s) + 0.5));
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_s and P_s' by the three-term recurrence.
+      double p0 = 1.0, p1 = x;
+      for (int k = 2; k <= s; ++k) {
+        const double p2 = ((2.0 * k - 1.0) * x * p1 - (k - 1.0) * p0) / k;
+        p0 = p1;
+        p1 = p2;
+      }
+      const double dp = s * (x * p1 - p0) / (x * x - 1.0);
+      const double dx = p1 / dp;
+      x -= dx;
+      if (std::fabs(dx) < 1e-15) break;
+    }
+    tab.c[static_cast<std::size_t>(s - 1 - i)] = 0.5 * (x + 1.0);
+  }
+  std::sort(tab.c.begin(), tab.c.end());
+
+  // Weights b and matrix a from the order conditions B(s) and C(s):
+  //   sum_j b_j c_j^{q-1}    = 1/q          (q = 1..s)
+  //   sum_j a_ij c_j^{q-1}   = c_i^q / q    (q = 1..s)
+  std::vector<double> vand(static_cast<std::size_t>(s * s));
+  for (int q = 1; q <= s; ++q) {
+    for (int j = 0; j < s; ++j) {
+      vand[static_cast<std::size_t>((q - 1) * s + j)] =
+          std::pow(tab.c[static_cast<std::size_t>(j)], q - 1);
+    }
+  }
+  std::vector<double> rhs(static_cast<std::size_t>(s));
+  for (int q = 1; q <= s; ++q) {
+    rhs[static_cast<std::size_t>(q - 1)] = 1.0 / q;
+  }
+  tab.b = solve_dense(vand, rhs);
+
+  tab.a.resize(static_cast<std::size_t>(s * s));
+  for (int i = 0; i < s; ++i) {
+    for (int q = 1; q <= s; ++q) {
+      rhs[static_cast<std::size_t>(q - 1)] =
+          std::pow(tab.c[static_cast<std::size_t>(i)], q) / q;
+    }
+    const std::vector<double> row = solve_dense(vand, rhs);
+    for (int j = 0; j < s; ++j) {
+      tab.a[static_cast<std::size_t>(i * s + j)] =
+          row[static_cast<std::size_t>(j)];
+    }
+  }
+  return tab;
+}
+
+double estimate_order(OneStepSolver& solver, const OdeSystem& system,
+                      double t0, double te, double h) {
+  const std::vector<double> y0 = system.initial_state();
+  const IntegrationResult ref =
+      solver.integrate(system, t0, te, h / 8.0, y0);
+  const IntegrationResult coarse = solver.integrate(system, t0, te, h, y0);
+  const IntegrationResult fine =
+      solver.integrate(system, t0, te, h / 2.0, y0);
+  const double err_coarse = max_norm_diff(coarse.state, ref.state);
+  const double err_fine = max_norm_diff(fine.state, ref.state);
+  if (err_fine <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::log2(err_coarse / err_fine);
+}
+
+}  // namespace ptask::ode

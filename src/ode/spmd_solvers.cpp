@@ -1,0 +1,200 @@
+#include "ptask/ode/spmd_solvers.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+#include "ptask/ode/epol.hpp"
+
+namespace ptask::ode {
+
+// ---------------------------------------------------------------------------
+// EPOL
+// ---------------------------------------------------------------------------
+
+SpmdEpolStep::SpmdEpolStep(const OdeSystem& system, int r, double t, double h,
+                           std::vector<double> y0)
+    : system_(&system),
+      r_(r),
+      t_(t),
+      h_(h),
+      y_(std::move(y0)),
+      approx_(static_cast<std::size_t>(r)) {
+  if (y_.size() != system.size()) {
+    throw std::invalid_argument("initial state size mismatch");
+  }
+}
+
+core::TaskGraph SpmdEpolStep::build_graph() const {
+  return make_spec(Method::EPOL, *system_, r_).step_graph();
+}
+
+void SpmdEpolStep::micro_step(rt::ExecContext& ctx, int i, int j) {
+  const std::size_t n = system_->size();
+  std::vector<double>& v = approx_[static_cast<std::size_t>(i - 1)];
+  if (j == 1 && ctx.group_rank == 0) v = y_;
+  ctx.comm->barrier(ctx.group_rank);
+
+  const std::size_t q = static_cast<std::size_t>(ctx.group_size);
+  const std::size_t rank = static_cast<std::size_t>(ctx.group_rank);
+  const std::size_t chunk = (n + q - 1) / q;
+  const std::size_t begin = std::min(rank * chunk, n);
+  const std::size_t end = std::min(begin + chunk, n);
+
+  const double micro_h = h_ / static_cast<double>(i);
+  const double tau = t_ + static_cast<double>(j - 1) * micro_h;
+  std::vector<double> f(n);
+  system_->eval(tau, v, f, begin, end);
+  // All ranks must finish reading v (the stencil touches neighbouring
+  // blocks) before anyone updates it; the closing barrier publishes the
+  // updated blocks -- the shared-memory form of the multi-broadcast.
+  ctx.comm->barrier(ctx.group_rank);
+  for (std::size_t k = begin; k < end; ++k) v[k] += micro_h * f[k];
+  ctx.comm->barrier(ctx.group_rank);
+}
+
+std::vector<rt::TaskFn> SpmdEpolStep::build_functions(
+    const core::TaskGraph& graph) {
+  std::vector<rt::TaskFn> fns(static_cast<std::size_t>(graph.num_tasks()));
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    const std::string& name = graph.task(id).name();
+    if (name.rfind("step(", 0) == 0) {
+      const int i = std::stoi(name.substr(5));
+      const int j = std::stoi(name.substr(name.find(',') + 1));
+      fns[static_cast<std::size_t>(id)] = [this, i, j](rt::ExecContext& ctx) {
+        micro_step(ctx, i, j);
+      };
+    } else if (name == "combine") {
+      fns[static_cast<std::size_t>(id)] = [this](rt::ExecContext& ctx) {
+        if (ctx.group_rank == 0) {
+          result_ = Epol::combine(std::move(approx_));
+        }
+        ctx.comm->barrier(ctx.group_rank);
+      };
+    }
+  }
+  return fns;
+}
+
+// ---------------------------------------------------------------------------
+// IRK
+// ---------------------------------------------------------------------------
+
+SpmdIrkStep::SpmdIrkStep(const OdeSystem& system, int stages, int iterations,
+                         double t, double h, std::vector<double> y0)
+    : system_(&system),
+      tableau_(gauss_tableau(stages)),
+      m_(iterations),
+      t_(t),
+      h_(h),
+      y_(std::move(y0)) {
+  if (y_.size() != system.size()) {
+    throw std::invalid_argument("initial state size mismatch");
+  }
+  if (iterations < 1) throw std::invalid_argument("need >= 1 iteration");
+  for (int parity = 0; parity < 2; ++parity) {
+    k_[parity].assign(static_cast<std::size_t>(stages),
+                      std::vector<double>(system.size(), 0.0));
+  }
+}
+
+core::TaskGraph SpmdIrkStep::build_graph() const {
+  return make_spec(Method::IRK, *system_, tableau_.stages(), m_).step_graph();
+}
+
+SpmdIrkStep::Block SpmdIrkStep::block_of(const rt::ExecContext& ctx) const {
+  const std::size_t n = system_->size();
+  const std::size_t q = static_cast<std::size_t>(ctx.group_size);
+  const std::size_t rank = static_cast<std::size_t>(ctx.group_rank);
+  const std::size_t chunk = (n + q - 1) / q;
+  Block b;
+  b.begin = std::min(rank * chunk, n);
+  b.end = std::min(b.begin + chunk, n);
+  return b;
+}
+
+void SpmdIrkStep::cross_group_sync(rt::ExecContext& ctx) {
+  // Group members first meet, the per-position orthogonal communicators
+  // then synchronize the groups, and a final group barrier releases the
+  // members whose position has no orthogonal communicator.
+  ctx.comm->barrier(ctx.group_rank);
+  if (ctx.orth != nullptr) ctx.orth->barrier(ctx.group_index);
+  ctx.comm->barrier(ctx.group_rank);
+}
+
+void SpmdIrkStep::stage_body(rt::ExecContext& ctx, int stage) {
+  const int s = tableau_.stages();
+  if (ctx.num_groups != s) {
+    throw std::logic_error(
+        "the SPMD IRK step requires the task-parallel schedule with one "
+        "stage group per stage (fixed_groups == K)");
+  }
+  const std::size_t n = system_->size();
+  const Block b = block_of(ctx);
+  const std::size_t k = static_cast<std::size_t>(stage);
+
+  // K^(0)_stage = f(t, y) -- block-local into the parity-0 buffer.
+  system_->eval(t_, y_, k_[0][k], b.begin, b.end);
+  cross_group_sync(ctx);  // all stages' K^(0) visible everywhere
+
+  std::vector<double> arg(n);
+  for (int l = 1; l <= m_; ++l) {
+    const std::vector<std::vector<double>>& prev = k_[(l - 1) % 2];
+    std::vector<std::vector<double>>& cur = k_[l % 2];
+    // Y_stage = y + h * sum_q a_{stage,q} K_q^(l-1), block-local; the
+    // cross-stage reads are the orthogonal exchange of Table 1.
+    for (std::size_t i = b.begin; i < b.end; ++i) {
+      double acc = y_[i];
+      for (int q = 0; q < s; ++q) {
+        acc += h_ * tableau_.a[static_cast<std::size_t>(stage * s + q)] *
+               prev[static_cast<std::size_t>(q)][i];
+      }
+      arg[i] = acc;
+    }
+    // Group-internal multi-broadcast: every member needs the full argument
+    // vector to evaluate its block of f.
+    ctx.comm->allgather(
+        ctx.group_rank,
+        std::span<const double>(arg).subspan(b.begin, b.end - b.begin), arg);
+    system_->eval(t_ + tableau_.c[k] * h_, arg, cur[k], b.begin, b.end);
+    cross_group_sync(ctx);  // iteration lockstep across the stage groups
+  }
+}
+
+void SpmdIrkStep::update_body(rt::ExecContext& ctx) {
+  const int s = tableau_.stages();
+  const Block b = block_of(ctx);
+  if (ctx.group_rank == 0) result_.assign(system_->size(), 0.0);
+  ctx.comm->barrier(ctx.group_rank);
+  const std::vector<std::vector<double>>& k_final = k_[m_ % 2];
+  for (std::size_t i = b.begin; i < b.end; ++i) {
+    double acc = y_[i];
+    for (int q = 0; q < s; ++q) {
+      acc += h_ * tableau_.b[static_cast<std::size_t>(q)] *
+             k_final[static_cast<std::size_t>(q)][i];
+    }
+    result_[i] = acc;
+  }
+  ctx.comm->barrier(ctx.group_rank);  // the final (global) allgather
+}
+
+std::vector<rt::TaskFn> SpmdIrkStep::build_functions(
+    const core::TaskGraph& graph) {
+  std::vector<rt::TaskFn> fns(static_cast<std::size_t>(graph.num_tasks()));
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    const std::string& name = graph.task(id).name();
+    if (name.rfind("irk_stage_", 0) == 0) {
+      const int stage = std::stoi(name.substr(10)) - 1;
+      fns[static_cast<std::size_t>(id)] = [this, stage](rt::ExecContext& ctx) {
+        stage_body(ctx, stage);
+      };
+    } else if (name == "irk_update") {
+      fns[static_cast<std::size_t>(id)] = [this](rt::ExecContext& ctx) {
+        update_body(ctx);
+      };
+    }
+  }
+  return fns;
+}
+
+}  // namespace ptask::ode

@@ -1,0 +1,138 @@
+#include "ptask/rt/dynamic_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ptask::rt {
+
+DynamicScheduler::DynamicScheduler(int num_cores) {
+  if (num_cores <= 0) {
+    throw std::invalid_argument("core count must be positive");
+  }
+  inbox_.resize(static_cast<std::size_t>(num_cores));
+  free_cores_.reserve(static_cast<std::size_t>(num_cores));
+  for (int i = num_cores - 1; i >= 0; --i) free_cores_.push_back(i);
+  workers_.reserve(static_cast<std::size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+DynamicScheduler::~DynamicScheduler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  worker_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void DynamicScheduler::submit(DynamicTask task) {
+  if (task.min_cores < 1 || task.min_cores > num_cores()) {
+    throw std::invalid_argument("task min_cores does not fit the machine");
+  }
+  if (task.max_cores < task.min_cores) {
+    throw std::invalid_argument("max_cores below min_cores");
+  }
+  if (task.work_hint <= 0.0) task.work_hint = 1.0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pending_.push_back(std::move(task));
+    dispatch_locked();
+  }
+  worker_cv_.notify_all();
+}
+
+void DynamicScheduler::dispatch_locked() {
+  // Hand out groups while the oldest pending task fits.  Group sizing:
+  // split the free cores in proportion to the pending tasks' work hints,
+  // clamped to the task's moldability bounds -- heavier tasks get more
+  // cores, and a lone task takes the whole free pool.
+  while (!pending_.empty() &&
+         static_cast<int>(free_cores_.size()) >= pending_.front().min_cores) {
+    DynamicTask task = std::move(pending_.front());
+    pending_.pop_front();
+
+    double hint_sum = task.work_hint;
+    for (const DynamicTask& p : pending_) hint_sum += p.work_hint;
+    const int free_count = static_cast<int>(free_cores_.size());
+    int size = static_cast<int>(std::llround(
+        static_cast<double>(free_count) * task.work_hint / hint_sum));
+    size = std::clamp(size, task.min_cores,
+                      std::min(task.max_cores, free_count));
+
+    auto run = std::make_shared<Running>();
+    run->group_size = size;
+    run->remaining = size;
+    run->comm = std::make_unique<GroupComm>(size);
+    run->task = std::move(task);
+
+    run->workers.reserve(static_cast<std::size_t>(size));
+    for (int rank = 0; rank < size; ++rank) {
+      const int worker = free_cores_.back();
+      free_cores_.pop_back();
+      run->workers.push_back(worker);
+      inbox_[static_cast<std::size_t>(worker)].push_back(
+          Assignment{run, rank});
+    }
+    ++active_tasks_;
+    stats_.max_concurrent_tasks =
+        std::max(stats_.max_concurrent_tasks, active_tasks_);
+    stats_.largest_group = std::max(stats_.largest_group, size);
+    stats_.smallest_group = std::min(stats_.smallest_group, size);
+  }
+}
+
+void DynamicScheduler::worker_loop(int index) {
+  const std::size_t me = static_cast<std::size_t>(index);
+  while (true) {
+    Assignment assignment;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      worker_cv_.wait(lock,
+                      [&] { return shutdown_ || !inbox_[me].empty(); });
+      if (shutdown_ && inbox_[me].empty()) return;
+      assignment = std::move(inbox_[me].front());
+      inbox_[me].pop_front();
+    }
+
+    ExecContext ctx;
+    ctx.group_rank = assignment.rank;
+    ctx.group_size = assignment.run->group_size;
+    ctx.group_index = 0;
+    ctx.num_groups = 1;
+    ctx.comm = assignment.run->comm.get();
+    if (assignment.run->task.body) assignment.run->task.body(ctx);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      // The group's cores return to the pool together when its last member
+      // finishes, so the proportional split always sees whole groups --
+      // early finishers would otherwise trickle single cores into pending
+      // tasks that deserve wide groups.
+      if (--assignment.run->remaining == 0) {
+        for (int w : assignment.run->workers) free_cores_.push_back(w);
+        --active_tasks_;
+        ++stats_.tasks_completed;
+        dispatch_locked();
+        if (active_tasks_ == 0 && pending_.empty()) {
+          idle_cv_.notify_all();
+        }
+      }
+    }
+    worker_cv_.notify_all();
+  }
+}
+
+void DynamicScheduler::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return active_tasks_ == 0 && pending_.empty(); });
+}
+
+DynamicSchedulerStats DynamicScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace ptask::rt

@@ -1,0 +1,86 @@
+#include "ptask/rt/executor.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+namespace ptask::rt {
+
+Executor::Executor(int num_virtual_cores) : team_(num_virtual_cores) {}
+
+void Executor::run(const sched::LayeredSchedule& schedule,
+                   const std::vector<TaskFn>& functions) {
+  if (schedule.total_cores != team_.size()) {
+    throw std::invalid_argument(
+        "schedule core count does not match the executor's team size");
+  }
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+
+  for (const sched::ScheduledLayer& layer : schedule.layers) {
+    // Group partition of the virtual cores: prefix offsets.
+    std::vector<int> first(layer.group_sizes.size() + 1, 0);
+    for (std::size_t g = 0; g < layer.group_sizes.size(); ++g) {
+      first[g + 1] = first[g] + layer.group_sizes[g];
+    }
+    // Fresh communicators per layer (group structure changes per layer).
+    std::vector<std::unique_ptr<GroupComm>> comms;
+    comms.reserve(layer.group_sizes.size());
+    for (int size : layer.group_sizes) {
+      comms.push_back(std::make_unique<GroupComm>(size));
+    }
+    // Orthogonal communicators: one per position shared by all groups,
+    // up to the smallest group's size.
+    const int num_groups = layer.num_groups();
+    int min_size = layer.group_sizes.empty() ? 0 : layer.group_sizes.front();
+    for (int size : layer.group_sizes) min_size = std::min(min_size, size);
+    std::vector<std::unique_ptr<GroupComm>> orth_comms;
+    if (num_groups > 1) {
+      orth_comms.reserve(static_cast<std::size_t>(min_size));
+      for (int j = 0; j < min_size; ++j) {
+        orth_comms.push_back(std::make_unique<GroupComm>(num_groups));
+      }
+    }
+    // Per-group task lists in assignment order.
+    std::vector<std::vector<core::TaskId>> group_tasks(
+        layer.group_sizes.size());
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      group_tasks[static_cast<std::size_t>(layer.task_group[i])].push_back(
+          layer.tasks[i]);
+    }
+
+    team_.run([&](int worker) {
+      // Locate this worker's group.
+      std::size_t g = 0;
+      while (g + 1 < first.size() && worker >= first[g + 1]) ++g;
+      if (g >= layer.group_sizes.size()) return;  // beyond last group: idle
+
+      ExecContext ctx;
+      ctx.group_rank = worker - first[g];
+      ctx.group_size = layer.group_sizes[g];
+      ctx.group_index = static_cast<int>(g);
+      ctx.num_groups = layer.num_groups();
+      ctx.comm = comms[g].get();
+      if (ctx.num_groups > 1 &&
+          ctx.group_rank < static_cast<int>(orth_comms.size())) {
+        ctx.orth = orth_comms[static_cast<std::size_t>(ctx.group_rank)].get();
+      }
+
+      for (core::TaskId contracted_id : group_tasks[g]) {
+        for (core::TaskId original :
+             schedule.contraction.members[static_cast<std::size_t>(
+                 contracted_id)]) {
+          if (original < 0 ||
+              static_cast<std::size_t>(original) >= functions.size()) {
+            continue;
+          }
+          const TaskFn& fn = functions[static_cast<std::size_t>(original)];
+          if (fn) fn(ctx);
+        }
+        (void)contracted;
+      }
+    });
+    // team_.run returning is the inter-layer synchronization.
+  }
+}
+
+}  // namespace ptask::rt

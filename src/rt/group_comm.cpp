@@ -1,0 +1,79 @@
+#include "ptask/rt/group_comm.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ptask::rt {
+
+Barrier::Barrier(int size) : size_(size) {
+  if (size <= 0) throw std::invalid_argument("barrier size must be positive");
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const bool my_sense = sense_;
+  if (++waiting_ == size_) {
+    waiting_ = 0;
+    sense_ = !sense_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return sense_ != my_sense; });
+  }
+}
+
+GroupComm::GroupComm(int size)
+    : barrier_(size),
+      stage_in_(static_cast<std::size_t>(size)),
+      stage_scalar_(static_cast<std::size_t>(size), 0.0) {}
+
+void GroupComm::barrier(int rank) {
+  (void)rank;
+  barrier_.arrive_and_wait();
+}
+
+void GroupComm::bcast(int rank, int root, std::span<double> data) {
+  if (rank == root) root_data_ = data;
+  barrier_.arrive_and_wait();  // publish
+  if (rank != root) {
+    std::copy(root_data_.begin(), root_data_.end(), data.begin());
+  }
+  barrier_.arrive_and_wait();  // consume before root may reuse the buffer
+}
+
+void GroupComm::allgather(int rank, std::span<const double> contribution,
+                          std::span<double> out) {
+  stage_in_[static_cast<std::size_t>(rank)] = contribution;
+  barrier_.arrive_and_wait();  // publish
+  std::size_t offset = 0;
+  for (int r = 0; r < size(); ++r) {
+    const std::span<const double>& part =
+        stage_in_[static_cast<std::size_t>(r)];
+    if (offset + part.size() > out.size()) {
+      throw std::invalid_argument("allgather output too small");
+    }
+    std::copy(part.begin(), part.end(), out.begin() +
+                                            static_cast<std::ptrdiff_t>(offset));
+    offset += part.size();
+  }
+  barrier_.arrive_and_wait();  // consume
+}
+
+double GroupComm::allreduce_sum(int rank, double value) {
+  stage_scalar_[static_cast<std::size_t>(rank)] = value;
+  barrier_.arrive_and_wait();
+  double sum = 0.0;
+  for (double v : stage_scalar_) sum += v;
+  barrier_.arrive_and_wait();
+  return sum;
+}
+
+double GroupComm::allreduce_max(int rank, double value) {
+  stage_scalar_[static_cast<std::size_t>(rank)] = value;
+  barrier_.arrive_and_wait();
+  double best = stage_scalar_.front();
+  for (double v : stage_scalar_) best = std::max(best, v);
+  barrier_.arrive_and_wait();
+  return best;
+}
+
+}  // namespace ptask::rt

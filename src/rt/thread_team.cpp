@@ -1,0 +1,62 @@
+#include "ptask/rt/thread_team.hpp"
+
+#include <stdexcept>
+
+namespace ptask::rt {
+
+ThreadTeam::ThreadTeam(int size) {
+  if (size <= 0) throw std::invalid_argument("team size must be positive");
+  workers_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadTeam::run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  remaining_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  start_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadTeam::worker_loop(int index) {
+  std::uint64_t seen = 0;
+  while (true) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    std::exception_ptr error;
+    try {
+      (*job)(index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--remaining_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace ptask::rt

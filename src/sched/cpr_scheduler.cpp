@@ -1,0 +1,72 @@
+#include "ptask/sched/cpr_scheduler.hpp"
+
+#include <algorithm>
+
+#include "ptask/core/graph_algorithms.hpp"
+
+namespace ptask::sched {
+
+CprResult CprScheduler::schedule(const core::TaskGraph& graph,
+                                 int total_cores) const {
+  const int n = graph.num_tasks();
+  const int P = total_cores;
+  const TaskTimeTable table(graph, *cost_, P, mode_);
+
+  CprResult result;
+  result.allocation.assign(static_cast<std::size_t>(n), 1);
+  result.schedule = list_schedule(graph, result.allocation, table);
+
+  auto total_task_time = [&] {
+    double total = 0.0;
+    for (core::TaskId id = 0; id < n; ++id) {
+      total += table.time(id, result.allocation[static_cast<std::size_t>(id)]);
+    }
+    return total;
+  };
+
+  std::vector<double> task_time(static_cast<std::size_t>(n));
+  constexpr double kEps = 1e-15;
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (core::TaskId id = 0; id < n; ++id) {
+      task_time[static_cast<std::size_t>(id)] =
+          table.time(id, result.allocation[static_cast<std::size_t>(id)]);
+    }
+    const core::CriticalPathInfo cp = core::critical_path(graph, task_time);
+    const double sum_before = total_task_time();
+
+    // Try the critical-path tasks in decreasing bottom-level order.
+    std::vector<core::TaskId> candidates = cp.path;
+    std::sort(candidates.begin(), candidates.end(),
+              [&](core::TaskId a, core::TaskId b) {
+                return cp.bottom_level[static_cast<std::size_t>(a)] >
+                       cp.bottom_level[static_cast<std::size_t>(b)];
+              });
+    for (core::TaskId id : candidates) {
+      const int p = result.allocation[static_cast<std::size_t>(id)];
+      if (p >= P || p >= graph.task(id).max_cores()) continue;
+      result.allocation[static_cast<std::size_t>(id)] = p + 1;
+      const GanttSchedule trial =
+          list_schedule(graph, result.allocation, table);
+      // Accept strict makespan improvements; on an exact tie, accept if the
+      // sum of the task times shrank (this is what lets CPR make progress
+      // through the plateau of a layer of equal independent tasks, where
+      // widening any single task cannot move the makespan until all of them
+      // widened).
+      bool accept = trial.makespan < result.schedule.makespan - kEps;
+      if (!accept && trial.makespan <= result.schedule.makespan + kEps) {
+        accept = total_task_time() < sum_before - kEps;
+      }
+      if (accept) {
+        result.schedule = trial;
+        improved = true;
+        break;  // recompute the critical path with the new allocation
+      }
+      result.allocation[static_cast<std::size_t>(id)] = p;  // revert
+    }
+  }
+  return result;
+}
+
+}  // namespace ptask::sched

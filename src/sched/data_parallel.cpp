@@ -1,0 +1,33 @@
+#include "ptask/sched/data_parallel.hpp"
+
+#include <stdexcept>
+
+namespace ptask::sched {
+
+LayeredSchedule DataParallelScheduler::schedule(const core::TaskGraph& graph,
+                                                int total_cores) const {
+  if (total_cores <= 0) {
+    throw std::invalid_argument("core count must be positive");
+  }
+  LayeredSchedule result;
+  result.total_cores = total_cores;
+  result.contraction = core::contract_linear_chains(graph);
+
+  const core::TaskGraph& contracted = result.contraction.contracted;
+  for (const std::vector<core::TaskId>& layer_tasks :
+       core::greedy_layers(contracted)) {
+    ScheduledLayer layer;
+    layer.tasks = layer_tasks;
+    layer.group_sizes = {total_cores};
+    layer.task_group.assign(layer_tasks.size(), 0);
+    for (core::TaskId id : layer_tasks) {
+      layer.predicted_time += cost_->symbolic_task_time(
+          contracted.task(id), total_cores, 1, total_cores);
+    }
+    result.predicted_makespan += layer.predicted_time;
+    result.layers.push_back(std::move(layer));
+  }
+  return result;
+}
+
+}  // namespace ptask::sched

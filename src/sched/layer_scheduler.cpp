@@ -1,0 +1,179 @@
+#include "ptask/sched/layer_scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace ptask::sched {
+
+std::vector<int> equal_group_sizes(int total, int g) {
+  if (g <= 0 || total < g) throw std::invalid_argument("bad group count");
+  std::vector<int> sizes(static_cast<std::size_t>(g), total / g);
+  for (int i = 0; i < total % g; ++i) sizes[static_cast<std::size_t>(i)] += 1;
+  return sizes;
+}
+
+std::vector<int> proportional_group_sizes(int total,
+                                          const std::vector<double>& weights) {
+  const int g = static_cast<int>(weights.size());
+  if (g <= 0 || total < g) throw std::invalid_argument("bad group count");
+  double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (sum <= 0.0) return equal_group_sizes(total, g);
+
+  // Give every group its floor share (but at least 1 core), then distribute
+  // the remaining cores by largest fractional remainder.
+  std::vector<int> sizes(static_cast<std::size_t>(g), 0);
+  std::vector<double> remainder(static_cast<std::size_t>(g), 0.0);
+  int assigned = 0;
+  for (int i = 0; i < g; ++i) {
+    const double share =
+        static_cast<double>(total) * weights[static_cast<std::size_t>(i)] / sum;
+    int floor_share = static_cast<int>(share);
+    floor_share = std::max(floor_share, 1);
+    sizes[static_cast<std::size_t>(i)] = floor_share;
+    remainder[static_cast<std::size_t>(i)] = share - floor_share;
+    assigned += floor_share;
+  }
+  std::vector<int> order(static_cast<std::size_t>(g));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return remainder[static_cast<std::size_t>(a)] >
+           remainder[static_cast<std::size_t>(b)];
+  });
+  // Add missing cores to the largest remainders; remove surplus cores from
+  // the smallest remainders (never below 1).
+  int idx = 0;
+  while (assigned < total) {
+    sizes[static_cast<std::size_t>(order[static_cast<std::size_t>(idx % g)])]++;
+    ++assigned;
+    ++idx;
+  }
+  idx = g - 1;
+  while (assigned > total) {
+    int& s = sizes[static_cast<std::size_t>(
+        order[static_cast<std::size_t>(((idx % g) + g) % g)])];
+    if (s > 1) {
+      --s;
+      --assigned;
+    }
+    --idx;
+  }
+  return sizes;
+}
+
+ScheduledLayer LayerScheduler::schedule_layer(
+    const core::TaskGraph& graph, const std::vector<core::TaskId>& tasks,
+    int total_cores) const {
+  const int P = total_cores;
+  const int n_tasks = static_cast<int>(tasks.size());
+  int g_limit = std::min(P, n_tasks);
+  if (options_.max_groups > 0) g_limit = std::min(g_limit, options_.max_groups);
+  int g_first = 1;
+  if (options_.fixed_groups > 0) {
+    g_first = g_limit = std::min(options_.fixed_groups, std::min(P, n_tasks));
+  }
+
+  ScheduledLayer best;
+  double best_time = std::numeric_limits<double>::infinity();
+
+  // Tasks in decreasing order of a size-independent proxy (their sequential
+  // work); the per-g loop refines with the actual parallel time.
+  std::vector<std::size_t> order(tasks.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int g = g_first; g <= g_limit; ++g) {
+    const std::vector<int> sizes = equal_group_sizes(P, g);
+
+    // Sort tasks by decreasing execution time on a group of this size.
+    std::vector<double> time(tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+      time[i] = cost_->symbolic_task_time(graph.task(tasks[i]), sizes[0], g, P);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return time[a] > time[b]; });
+
+    // Greedy assignment: each task onto the group with the smallest
+    // accumulated execution time (modified Sahni algorithm, line 10).
+    std::vector<double> accumulated(static_cast<std::size_t>(g), 0.0);
+    std::vector<int> task_group(tasks.size(), 0);
+    for (std::size_t i : order) {
+      const std::size_t target = static_cast<std::size_t>(
+          std::min_element(accumulated.begin(), accumulated.end()) -
+          accumulated.begin());
+      const double t = cost_->symbolic_task_time(
+          graph.task(tasks[i]), sizes[target], g, P);
+      accumulated[target] += t;
+      task_group[i] = static_cast<int>(target);
+    }
+    const double t_act =
+        *std::max_element(accumulated.begin(), accumulated.end());
+    if (t_act < best_time) {
+      best_time = t_act;
+      best.tasks = tasks;
+      best.group_sizes = sizes;
+      best.task_group = task_group;
+      best.predicted_time = t_act;
+    }
+  }
+
+  if (options_.adjust_group_sizes && best.num_groups() > 1) {
+    // Accumulated *sequential* work per group (paper: Tseq(G_l)).
+    std::vector<double> work(static_cast<std::size_t>(best.num_groups()), 0.0);
+    for (std::size_t i = 0; i < best.tasks.size(); ++i) {
+      work[static_cast<std::size_t>(best.task_group[i])] +=
+          graph.task(best.tasks[i]).work_flop();
+    }
+    const std::vector<int> adjusted = proportional_group_sizes(P, work);
+    best.group_sizes = adjusted;
+    // Re-evaluate the layer time with the adjusted sizes.
+    std::vector<double> accumulated(static_cast<std::size_t>(best.num_groups()),
+                                    0.0);
+    for (std::size_t i = 0; i < best.tasks.size(); ++i) {
+      const std::size_t gidx = static_cast<std::size_t>(best.task_group[i]);
+      accumulated[gidx] += cost_->symbolic_task_time(
+          graph.task(best.tasks[i]), best.group_sizes[gidx], best.num_groups(),
+          P);
+    }
+    best.predicted_time =
+        *std::max_element(accumulated.begin(), accumulated.end());
+  }
+  return best;
+}
+
+LayeredSchedule LayerScheduler::schedule(const core::TaskGraph& graph,
+                                         int total_cores) const {
+  if (total_cores <= 0) {
+    throw std::invalid_argument("core count must be positive");
+  }
+  LayeredSchedule result;
+  result.total_cores = total_cores;
+  if (options_.contract_chains) {
+    result.contraction = core::contract_linear_chains(graph);
+  } else {
+    // Identity contraction.
+    result.contraction.contracted = graph;
+    result.contraction.members.resize(
+        static_cast<std::size_t>(graph.num_tasks()));
+    result.contraction.representative.resize(
+        static_cast<std::size_t>(graph.num_tasks()));
+    for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+      result.contraction.members[static_cast<std::size_t>(id)] = {id};
+      result.contraction.representative[static_cast<std::size_t>(id)] = id;
+    }
+  }
+
+  const core::TaskGraph& contracted = result.contraction.contracted;
+  const std::vector<std::vector<core::TaskId>> layers =
+      core::greedy_layers(contracted);
+  result.layers.reserve(layers.size());
+  for (const std::vector<core::TaskId>& layer_tasks : layers) {
+    ScheduledLayer layer =
+        schedule_layer(contracted, layer_tasks, total_cores);
+    result.predicted_makespan += layer.predicted_time;
+    result.layers.push_back(std::move(layer));
+  }
+  return result;
+}
+
+}  // namespace ptask::sched

@@ -1,0 +1,151 @@
+#include "ptask/sched/moldable.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+#include "ptask/core/graph_algorithms.hpp"
+
+namespace ptask::sched {
+
+TaskTimeTable::TaskTimeTable(const core::TaskGraph& graph,
+                             const cost::CostModel& cost, int total_cores,
+                             MoldableCostMode mode)
+    : total_cores_(total_cores) {
+  if (total_cores <= 0) {
+    throw std::invalid_argument("core count must be positive");
+  }
+  times_.resize(static_cast<std::size_t>(graph.num_tasks()));
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    // Orthogonal collectives are inter-task exchanges and never part of
+    // T(t, p); price the task without them.
+    core::MTask task(graph.task(id).name(), graph.task(id).work_flop());
+    task.set_max_cores(graph.task(id).max_cores());
+    if (mode == MoldableCostMode::CommAware) {
+      for (const core::CollectiveOp& op : graph.task(id).comms()) {
+        if (op.scope != core::CommScope::Orthogonal) task.add_comm(op);
+      }
+    }
+    std::vector<double>& row = times_[static_cast<std::size_t>(id)];
+    row.resize(static_cast<std::size_t>(total_cores));
+    for (int p = 1; p <= total_cores; ++p) {
+      row[static_cast<std::size_t>(p - 1)] =
+          cost.symbolic_task_time(task, p, 1, total_cores);
+    }
+  }
+}
+
+double TaskTimeTable::time(core::TaskId id, int p) const {
+  if (p < 1 || p > total_cores_) throw std::out_of_range("bad core count");
+  return times_.at(static_cast<std::size_t>(id))[static_cast<std::size_t>(p - 1)];
+}
+
+GanttSchedule list_schedule(const core::TaskGraph& graph,
+                            std::span<const int> allocation,
+                            const TaskTimeTable& table) {
+  const int n = graph.num_tasks();
+  const int P = table.total_cores();
+  if (static_cast<int>(allocation.size()) != n) {
+    throw std::invalid_argument("one allocation entry per task required");
+  }
+
+  std::vector<double> task_time(static_cast<std::size_t>(n));
+  for (core::TaskId id = 0; id < n; ++id) {
+    task_time[static_cast<std::size_t>(id)] =
+        table.time(id, allocation[static_cast<std::size_t>(id)]);
+  }
+  const core::CriticalPathInfo cp = core::critical_path(graph, task_time);
+
+  // Ready tasks ordered by decreasing bottom level.
+  std::vector<int> remaining_preds(static_cast<std::size_t>(n));
+  std::vector<double> ready_time(static_cast<std::size_t>(n), 0.0);
+  std::vector<core::TaskId> ready;
+  for (core::TaskId id = 0; id < n; ++id) {
+    remaining_preds[static_cast<std::size_t>(id)] = graph.in_degree(id);
+    if (remaining_preds[static_cast<std::size_t>(id)] == 0) {
+      ready.push_back(id);
+    }
+  }
+
+  std::vector<double> core_free(static_cast<std::size_t>(P), 0.0);
+  std::vector<int> core_order(static_cast<std::size_t>(P));
+
+  GanttSchedule gantt;
+  gantt.total_cores = P;
+  gantt.slots.resize(static_cast<std::size_t>(n));
+
+  int scheduled = 0;
+  while (!ready.empty()) {
+    // Pick the ready task with the largest bottom level.
+    const auto it = std::max_element(
+        ready.begin(), ready.end(), [&](core::TaskId a, core::TaskId b) {
+          return cp.bottom_level[static_cast<std::size_t>(a)] <
+                 cp.bottom_level[static_cast<std::size_t>(b)];
+        });
+    const core::TaskId id = *it;
+    ready.erase(it);
+
+    const int p = allocation[static_cast<std::size_t>(id)];
+    if (p < 1 || p > P) throw std::invalid_argument("allocation out of range");
+
+    // Cores that become free earliest; among equally free cores, prefer the
+    // cores of the task's predecessors (data affinity keeps chains on one
+    // set of cores and avoids spurious re-distributions).
+    std::vector<bool> pred_core(static_cast<std::size_t>(P), false);
+    for (core::TaskId pr : graph.predecessors(id)) {
+      for (int c : gantt.slots[static_cast<std::size_t>(pr)].cores) {
+        pred_core[static_cast<std::size_t>(c)] = true;
+      }
+    }
+    std::iota(core_order.begin(), core_order.end(), 0);
+    std::stable_sort(core_order.begin(), core_order.end(), [&](int a, int b) {
+      return core_free[static_cast<std::size_t>(a)] <
+             core_free[static_cast<std::size_t>(b)];
+    });
+    // The start time is fixed by the p-th earliest-free core; any core free
+    // by then is an equally good pick, so among those the predecessor cores
+    // win (affinity costs nothing and avoids re-distribution).
+    double start = std::max(
+        ready_time[static_cast<std::size_t>(id)],
+        core_free[static_cast<std::size_t>(
+            core_order[static_cast<std::size_t>(p - 1)])]);
+    std::stable_sort(core_order.begin(), core_order.end(), [&](int a, int b) {
+      const bool ea = core_free[static_cast<std::size_t>(a)] <= start;
+      const bool eb = core_free[static_cast<std::size_t>(b)] <= start;
+      if (ea != eb) return ea;
+      if (ea && eb) {
+        const bool pa = pred_core[static_cast<std::size_t>(a)];
+        const bool pb = pred_core[static_cast<std::size_t>(b)];
+        if (pa != pb) return pa;
+        return false;  // keep free-time order among equals
+      }
+      return core_free[static_cast<std::size_t>(a)] <
+             core_free[static_cast<std::size_t>(b)];
+    });
+    TaskSlot& slot = gantt.slots[static_cast<std::size_t>(id)];
+    slot.cores.assign(core_order.begin(), core_order.begin() + p);
+    std::sort(slot.cores.begin(), slot.cores.end());
+    for (int c : slot.cores) {
+      start = std::max(start, core_free[static_cast<std::size_t>(c)]);
+    }
+    slot.start = start;
+    slot.finish = start + task_time[static_cast<std::size_t>(id)];
+    for (int c : slot.cores) {
+      core_free[static_cast<std::size_t>(c)] = slot.finish;
+    }
+    gantt.makespan = std::max(gantt.makespan, slot.finish);
+    ++scheduled;
+
+    for (core::TaskId s : graph.successors(id)) {
+      ready_time[static_cast<std::size_t>(s)] =
+          std::max(ready_time[static_cast<std::size_t>(s)], slot.finish);
+      if (--remaining_preds[static_cast<std::size_t>(s)] == 0) {
+        ready.push_back(s);
+      }
+    }
+  }
+  if (scheduled != n) throw std::logic_error("graph contains a cycle");
+  return gantt;
+}
+
+}  // namespace ptask::sched

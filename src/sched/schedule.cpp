@@ -1,0 +1,43 @@
+#include "ptask/sched/schedule.hpp"
+
+#include <sstream>
+
+namespace ptask::sched {
+
+namespace {
+
+std::string format_layer(const core::TaskGraph& graph,
+                         const ScheduledLayer& layer, std::size_t index) {
+  std::ostringstream os;
+  os << "layer " << index << ": " << layer.num_groups() << " group(s), sizes [";
+  for (std::size_t g = 0; g < layer.group_sizes.size(); ++g) {
+    if (g > 0) os << ' ';
+    os << layer.group_sizes[g];
+  }
+  os << "], predicted " << layer.predicted_time << " s\n";
+  for (int g = 0; g < layer.num_groups(); ++g) {
+    os << "  group " << g << ":";
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      if (layer.task_group[i] == g) {
+        os << ' ' << graph.task(layer.tasks[i]).name();
+      }
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string describe(const LayeredSchedule& schedule) {
+  std::ostringstream os;
+  os << "layered schedule on " << schedule.total_cores << " symbolic cores, "
+     << schedule.layers.size() << " layer(s), predicted makespan "
+     << schedule.predicted_makespan << " s\n";
+  for (std::size_t i = 0; i < schedule.layers.size(); ++i) {
+    os << format_layer(schedule.contraction.contracted, schedule.layers[i], i);
+  }
+  return os.str();
+}
+
+}  // namespace ptask::sched

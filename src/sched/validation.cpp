@@ -1,0 +1,159 @@
+#include "ptask/sched/validation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+namespace ptask::sched {
+
+namespace {
+
+void add_error(ValidationReport& report, const std::string& message) {
+  report.errors.push_back(message);
+}
+
+}  // namespace
+
+ValidationReport validate(const LayeredSchedule& schedule,
+                          const core::TaskGraph& original) {
+  ValidationReport report;
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+
+  // Contraction covers the original graph.
+  if (static_cast<int>(schedule.contraction.representative.size()) !=
+      original.num_tasks()) {
+    add_error(report, "contraction does not cover the original graph");
+    return report;
+  }
+
+  std::vector<int> appearances(
+      static_cast<std::size_t>(contracted.num_tasks()), 0);
+  std::vector<int> layer_of(static_cast<std::size_t>(contracted.num_tasks()),
+                            -1);
+
+  for (std::size_t li = 0; li < schedule.layers.size(); ++li) {
+    const ScheduledLayer& layer = schedule.layers[li];
+    std::ostringstream prefix;
+    prefix << "layer " << li << ": ";
+
+    const int sum = std::accumulate(layer.group_sizes.begin(),
+                                    layer.group_sizes.end(), 0);
+    if (sum != schedule.total_cores) {
+      add_error(report, prefix.str() + "group sizes sum to " +
+                            std::to_string(sum) + ", expected " +
+                            std::to_string(schedule.total_cores));
+    }
+    for (int g : layer.group_sizes) {
+      if (g <= 0) add_error(report, prefix.str() + "non-positive group size");
+    }
+    if (layer.task_group.size() != layer.tasks.size()) {
+      add_error(report, prefix.str() + "assignment size mismatch");
+      continue;
+    }
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      const core::TaskId id = layer.tasks[i];
+      if (id < 0 || id >= contracted.num_tasks()) {
+        add_error(report, prefix.str() + "task id out of range");
+        continue;
+      }
+      ++appearances[static_cast<std::size_t>(id)];
+      layer_of[static_cast<std::size_t>(id)] = static_cast<int>(li);
+      if (layer.task_group[i] < 0 ||
+          layer.task_group[i] >= layer.num_groups()) {
+        add_error(report, prefix.str() + "task assigned to missing group");
+      }
+    }
+    // Pairwise independence inside the layer.
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      for (std::size_t j = i + 1; j < layer.tasks.size(); ++j) {
+        if (!contracted.independent(layer.tasks[i], layer.tasks[j])) {
+          add_error(report,
+                    prefix.str() + "dependent tasks share a layer: " +
+                        contracted.task(layer.tasks[i]).name() + " and " +
+                        contracted.task(layer.tasks[j]).name());
+        }
+      }
+    }
+  }
+
+  for (core::TaskId id = 0; id < contracted.num_tasks(); ++id) {
+    if (contracted.task(id).is_marker()) continue;
+    if (appearances[static_cast<std::size_t>(id)] != 1) {
+      add_error(report, "task " + contracted.task(id).name() + " appears " +
+                            std::to_string(
+                                appearances[static_cast<std::size_t>(id)]) +
+                            " times");
+    }
+  }
+
+  // Layer order respects contracted edges.
+  for (core::TaskId id = 0; id < contracted.num_tasks(); ++id) {
+    if (contracted.task(id).is_marker()) continue;
+    for (core::TaskId s : contracted.successors(id)) {
+      if (contracted.task(s).is_marker()) continue;
+      if (layer_of[static_cast<std::size_t>(id)] >=
+          layer_of[static_cast<std::size_t>(s)]) {
+        add_error(report, "edge " + contracted.task(id).name() + " -> " +
+                              contracted.task(s).name() +
+                              " violated by layer order");
+      }
+    }
+  }
+  return report;
+}
+
+ValidationReport validate(const GanttSchedule& schedule,
+                          const core::TaskGraph& graph) {
+  ValidationReport report;
+  if (static_cast<int>(schedule.slots.size()) != graph.num_tasks()) {
+    add_error(report, "one slot per task required");
+    return report;
+  }
+
+  // Per-core busy intervals.
+  std::map<int, std::vector<std::pair<double, double>>> busy;
+  constexpr double kEps = 1e-12;
+
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    if (graph.task(id).is_marker()) continue;
+    const TaskSlot& slot = schedule.slots[static_cast<std::size_t>(id)];
+    if (slot.cores.empty()) {
+      add_error(report, "task " + graph.task(id).name() + " has no cores");
+      continue;
+    }
+    for (int c : slot.cores) {
+      if (c < 0 || c >= schedule.total_cores) {
+        add_error(report,
+                  "task " + graph.task(id).name() + " uses core out of range");
+      }
+      busy[c].emplace_back(slot.start, slot.finish);
+    }
+    if (slot.finish < slot.start) {
+      add_error(report, "task " + graph.task(id).name() + " finishes early");
+    }
+    for (core::TaskId p : graph.predecessors(id)) {
+      if (graph.task(p).is_marker()) continue;
+      const TaskSlot& ps = schedule.slots[static_cast<std::size_t>(p)];
+      if (slot.start + kEps < ps.finish) {
+        add_error(report, "task " + graph.task(id).name() +
+                              " starts before predecessor " +
+                              graph.task(p).name() + " finishes");
+      }
+    }
+  }
+
+  for (auto& [c, intervals] : busy) {
+    std::sort(intervals.begin(), intervals.end());
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      if (intervals[i].first + kEps < intervals[i - 1].second) {
+        add_error(report, "core " + std::to_string(c) +
+                              " executes overlapping tasks");
+        break;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ptask::sched

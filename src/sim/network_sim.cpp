@@ -1,0 +1,218 @@
+#include "ptask/sim/network_sim.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <tuple>
+#include <unordered_set>
+
+#include "ptask/sim/event_engine.hpp"
+
+namespace ptask::sim {
+
+namespace {
+
+/// Matching key of a point-to-point message.
+struct MatchKey {
+  int src;
+  int dst;
+  std::uint64_t tag;
+  bool operator<(const MatchKey& other) const {
+    return std::tie(src, dst, tag) < std::tie(other.src, other.dst, other.tag);
+  }
+};
+
+/// A send that has been posted but not yet consumed by a receive.
+struct PostedSend {
+  double post_time;
+  std::size_t bytes;
+};
+
+/// A matched (send, recv) pair ready to complete.
+struct ReadyMatch {
+  int dst_rank;
+  int src_rank;
+  std::size_t bytes;
+};
+
+}  // namespace
+
+NetworkSim::NetworkSim(const arch::Machine& machine,
+                       std::vector<int> placement)
+    : machine_(&machine), placement_(std::move(placement)) {
+  std::unordered_set<int> seen;
+  for (int core : placement_) {
+    if (core < 0 || core >= machine_->total_cores()) {
+      throw std::out_of_range("placement core index out of range");
+    }
+    if (!seen.insert(core).second) {
+      throw std::invalid_argument("placement must be injective");
+    }
+  }
+}
+
+SimResult NetworkSim::run(const ProgramSet& programs,
+                          bool record_trace) const {
+  const int nranks = programs.num_ranks();
+  if (static_cast<std::size_t>(nranks) != placement_.size()) {
+    throw std::invalid_argument("program set size does not match placement");
+  }
+  const arch::Machine& m = *machine_;
+
+  std::vector<double> clock(static_cast<std::size_t>(nranks), 0.0);
+  std::vector<std::size_t> pc(static_cast<std::size_t>(nranks), 0);
+  std::vector<bool> blocked(static_cast<std::size_t>(nranks), false);
+
+  std::map<MatchKey, std::deque<PostedSend>> posted_sends;
+  std::map<MatchKey, bool> waiting_recv;  // key -> receiver is blocked on it
+
+  EventQueue<ReadyMatch> ready;
+
+  // Per-node NIC availability (full duplex).
+  std::vector<double> egress_free(static_cast<std::size_t>(m.num_nodes()), 0.0);
+  std::vector<double> ingress_free(static_cast<std::size_t>(m.num_nodes()),
+                                   0.0);
+
+  SimResult result;
+  result.finish_times.resize(static_cast<std::size_t>(nranks), 0.0);
+
+  std::vector<int> runnable;
+  runnable.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) runnable.push_back(r);
+
+  auto record_traffic = [&](arch::CommLevel level, std::size_t bytes) {
+    ++result.traffic.messages;
+    switch (level) {
+      case arch::CommLevel::SameProcessor:
+        result.traffic.bytes_same_processor += bytes;
+        break;
+      case arch::CommLevel::SameNode:
+        result.traffic.bytes_same_node += bytes;
+        break;
+      case arch::CommLevel::InterNode:
+        result.traffic.bytes_inter_node += bytes;
+        break;
+    }
+  };
+
+  // Advances one rank until it blocks on a receive or finishes.
+  auto advance_rank = [&](int r) {
+    const std::vector<Op>& ops = programs.rank(r).ops();
+    const std::size_t ri = static_cast<std::size_t>(r);
+    while (pc[ri] < ops.size()) {
+      const Op& op = ops[pc[ri]];
+      switch (op.kind) {
+        case OpKind::Compute:
+          if (record_trace && op.seconds > 0.0) {
+            result.trace.push_back(TraceEvent{TraceEvent::Kind::Compute, r,
+                                              -1, clock[ri],
+                                              clock[ri] + op.seconds, 0});
+          }
+          clock[ri] += op.seconds;
+          result.total_compute_seconds += op.seconds;
+          ++pc[ri];
+          break;
+        case OpKind::Send: {
+          const MatchKey key{r, op.peer, op.tag};
+          // Small CPU overhead on the sender (LogP `o`): the latency of the
+          // level towards the destination.
+          const arch::CommLevel level = m.comm_level(
+              m.core_at(placement_[ri]),
+              m.core_at(placement_[static_cast<std::size_t>(op.peer)]));
+          clock[ri] += m.link(level).latency_s;
+          posted_sends[key].push_back(PostedSend{clock[ri], op.bytes});
+          ++pc[ri];
+          auto it = waiting_recv.find(key);
+          if (it != waiting_recv.end() && it->second) {
+            it->second = false;
+            const double earliest =
+                std::max(clock[ri],
+                         clock[static_cast<std::size_t>(op.peer)]);
+            ready.push(earliest, ReadyMatch{op.peer, r, op.bytes});
+          }
+          break;
+        }
+        case OpKind::Recv: {
+          const MatchKey key{op.peer, r, op.tag};
+          auto it = posted_sends.find(key);
+          if (it != posted_sends.end() && !it->second.empty()) {
+            const PostedSend& send = it->second.front();
+            const double earliest = std::max(send.post_time, clock[ri]);
+            ready.push(earliest, ReadyMatch{r, op.peer, send.bytes});
+          } else {
+            waiting_recv[key] = true;
+          }
+          blocked[ri] = true;
+          return;  // blocked until the match completes
+        }
+      }
+    }
+  };
+
+  while (true) {
+    for (int r : runnable) {
+      if (!blocked[static_cast<std::size_t>(r)]) advance_rank(r);
+    }
+    runnable.clear();
+    if (ready.empty()) break;
+
+    const ReadyMatch match = ready.pop();
+    const std::size_t dst = static_cast<std::size_t>(match.dst_rank);
+    const std::size_t src = static_cast<std::size_t>(match.src_rank);
+
+    // Consume the posted send this match corresponds to.
+    const std::vector<Op>& dst_ops = programs.rank(match.dst_rank).ops();
+    const Op& recv_op = dst_ops[pc[dst]];
+    const MatchKey key{match.src_rank, match.dst_rank, recv_op.tag};
+    auto it = posted_sends.find(key);
+    if (it == posted_sends.end() || it->second.empty()) {
+      throw std::logic_error("matched send vanished");
+    }
+    const PostedSend send = it->second.front();
+    it->second.pop_front();
+
+    const arch::CoreId src_core = m.core_at(placement_[src]);
+    const arch::CoreId dst_core = m.core_at(placement_[dst]);
+    const arch::CommLevel level = m.comm_level(src_core, dst_core);
+    const arch::LinkParams& link = m.link(level);
+
+    double start = std::max(send.post_time, clock[dst]);
+    const double busy = static_cast<double>(send.bytes) / link.bandwidth_Bps;
+    if (level == arch::CommLevel::InterNode) {
+      start = std::max({start,
+                        egress_free[static_cast<std::size_t>(src_core.node)],
+                        ingress_free[static_cast<std::size_t>(dst_core.node)]});
+      egress_free[static_cast<std::size_t>(src_core.node)] = start + busy;
+      ingress_free[static_cast<std::size_t>(dst_core.node)] = start + busy;
+    }
+    const double end = start + link.latency_s + busy;
+    record_traffic(level, send.bytes);
+    ++result.transfers;
+    if (record_trace) {
+      result.trace.push_back(TraceEvent{TraceEvent::Kind::Transfer,
+                                        match.dst_rank, match.src_rank, start,
+                                        end, send.bytes});
+    }
+
+    clock[dst] = end;
+    blocked[dst] = false;
+    ++pc[dst];
+    runnable.push_back(match.dst_rank);
+  }
+
+  // Every rank must have run its full program; a blocked rank means deadlock.
+  for (int r = 0; r < nranks; ++r) {
+    const std::size_t ri = static_cast<std::size_t>(r);
+    if (pc[ri] < programs.rank(r).ops().size()) {
+      throw std::runtime_error("simulation deadlock: rank " +
+                               std::to_string(r) +
+                               " blocked on an unmatched receive");
+    }
+    result.finish_times[ri] = clock[ri];
+    result.makespan = std::max(result.makespan, clock[ri]);
+  }
+  return result;
+}
+
+}  // namespace ptask::sim

@@ -1,0 +1,42 @@
+#include "ptask/sim/program.hpp"
+
+#include <stdexcept>
+
+namespace ptask::sim {
+
+ProgramSet::ProgramSet(int nranks) {
+  if (nranks <= 0) throw std::invalid_argument("rank count must be positive");
+  programs_.resize(static_cast<std::size_t>(nranks));
+}
+
+void ProgramSet::add_compute(std::span<const int> ranks, double seconds) {
+  for (int r : ranks) rank(r).add_compute(seconds);
+}
+
+void ProgramSet::add_collective(const net::MessageSchedule& schedule,
+                                std::span<const int> ranks) {
+  for (const net::Round& round : schedule) {
+    const std::uint64_t tag = fresh_tag();
+    // Sends first (posted, non-blocking) ...
+    for (const net::Message& m : round.messages) {
+      if (m.src == m.dst) continue;
+      rank(ranks[static_cast<std::size_t>(m.src)])
+          .add_send(ranks[static_cast<std::size_t>(m.dst)], tag, m.bytes);
+    }
+    // ... then the matching blocking receives, which close the round.
+    for (const net::Message& m : round.messages) {
+      if (m.src == m.dst) continue;
+      rank(ranks[static_cast<std::size_t>(m.dst)])
+          .add_recv(ranks[static_cast<std::size_t>(m.src)], tag);
+    }
+  }
+}
+
+void ProgramSet::add_transfer(int src, int dst, std::size_t bytes) {
+  if (src == dst) return;
+  const std::uint64_t tag = fresh_tag();
+  rank(src).add_send(dst, tag, bytes);
+  rank(dst).add_recv(src, tag);
+}
+
+}  // namespace ptask::sim

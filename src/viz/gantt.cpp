@@ -1,0 +1,184 @@
+#include "ptask/viz/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <iomanip>
+#include <sstream>
+
+namespace ptask::viz {
+
+namespace {
+
+char task_letter(core::TaskId id) {
+  // a..z, A..Z, then '*' for very large graphs.
+  if (id < 26) return static_cast<char>('a' + id);
+  if (id < 52) return static_cast<char>('A' + id - 26);
+  return '*';
+}
+
+/// Per-core list of (start, end, task) slots, sorted by start.
+std::vector<std::vector<std::tuple<double, double, core::TaskId>>>
+core_timelines(const core::TaskGraph& graph,
+               const sched::GanttSchedule& schedule) {
+  std::vector<std::vector<std::tuple<double, double, core::TaskId>>> rows(
+      static_cast<std::size_t>(schedule.total_cores));
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    if (graph.task(id).is_marker()) continue;
+    const sched::TaskSlot& slot = schedule.slots[static_cast<std::size_t>(id)];
+    for (int c : slot.cores) {
+      rows[static_cast<std::size_t>(c)].emplace_back(slot.start, slot.finish,
+                                                     id);
+    }
+  }
+  for (auto& row : rows) std::sort(row.begin(), row.end());
+  return rows;
+}
+
+/// Groups consecutive identical rows; returns (first_core, last_core, row).
+template <typename Row>
+std::vector<std::tuple<int, int, const Row*>> collapse(
+    const std::vector<Row>& rows, bool enabled) {
+  std::vector<std::tuple<int, int, const Row*>> out;
+  for (std::size_t c = 0; c < rows.size(); ++c) {
+    if (enabled && !out.empty() && *std::get<2>(out.back()) == rows[c]) {
+      std::get<1>(out.back()) = static_cast<int>(c);
+    } else {
+      out.emplace_back(static_cast<int>(c), static_cast<int>(c), &rows[c]);
+    }
+  }
+  return out;
+}
+
+std::string core_range_label(int first, int last) {
+  std::ostringstream os;
+  if (first == last) {
+    os << "core " << first;
+  } else {
+    os << "cores " << first << "-" << last;
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ascii_gantt(const core::TaskGraph& graph,
+                        const sched::GanttSchedule& schedule,
+                        const RenderOptions& options) {
+  const double makespan = std::max(schedule.makespan, 1e-30);
+  const int width = std::max(options.width, 8);
+  const auto rows = core_timelines(graph, schedule);
+  const auto bands = collapse(rows, options.collapse_identical_rows);
+
+  std::ostringstream os;
+  os << "gantt: " << schedule.total_cores << " cores, makespan " << makespan
+     << " s, 1 column = " << makespan / width << " s\n";
+  for (const auto& [first, last, row] : bands) {
+    std::string line(static_cast<std::size_t>(width), '.');
+    for (const auto& [start, end, id] : *row) {
+      int lo = static_cast<int>(std::floor(start / makespan * width));
+      int hi = static_cast<int>(std::ceil(end / makespan * width));
+      lo = std::clamp(lo, 0, width - 1);
+      hi = std::clamp(hi, lo + 1, width);
+      for (int x = lo; x < hi; ++x) {
+        line[static_cast<std::size_t>(x)] = task_letter(id);
+      }
+    }
+    os << std::setw(14) << core_range_label(first, last) << " |" << line
+       << "|\n";
+  }
+  // Legend.
+  os << "legend:";
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    if (graph.task(id).is_marker()) continue;
+    os << ' ' << task_letter(id) << '=' << graph.task(id).name();
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string svg_gantt(const core::TaskGraph& graph,
+                      const sched::GanttSchedule& schedule,
+                      const RenderOptions& options) {
+  const double makespan = std::max(schedule.makespan, 1e-30);
+  const auto rows = core_timelines(graph, schedule);
+  const auto bands = collapse(rows, options.collapse_identical_rows);
+  const int label_px = 90;
+  const int width = options.svg_width_px;
+  const int row_h = options.svg_row_px;
+  const int height = static_cast<int>(bands.size()) * row_h + 30;
+
+  // A small qualitative palette, cycled by task id.
+  static const char* kColors[] = {"#4e79a7", "#f28e2b", "#e15759", "#76b7b2",
+                                  "#59a14f", "#edc948", "#b07aa1", "#ff9da7",
+                                  "#9c755f", "#bab0ac"};
+
+  std::ostringstream os;
+  os << "<svg xmlns='http://www.w3.org/2000/svg' width='"
+     << label_px + width + 10 << "' height='" << height << "'>\n";
+  os << "<style>text{font:10px sans-serif;}</style>\n";
+  int y = 5;
+  for (const auto& [first, last, row] : bands) {
+    os << "<text x='2' y='" << y + row_h - 6 << "'>"
+       << core_range_label(first, last) << "</text>\n";
+    for (const auto& [start, end, id] : *row) {
+      const double x0 = label_px + start / makespan * width;
+      const double x1 = label_px + end / makespan * width;
+      os << "<rect x='" << x0 << "' y='" << y << "' width='"
+         << std::max(x1 - x0, 1.0) << "' height='" << row_h - 3
+         << "' fill='" << kColors[id % 10] << "'><title>"
+         << graph.task(id).name() << " [" << start << ", " << end
+         << "]</title></rect>\n";
+    }
+    y += row_h;
+  }
+  os << "<text x='" << label_px << "' y='" << y + 14 << "'>0 s</text>\n";
+  os << "<text x='" << label_px + width - 40 << "' y='" << y + 14 << "'>"
+     << makespan << " s</text>\n";
+  os << "</svg>\n";
+  return os.str();
+}
+
+std::string ascii_trace(const sim::SimResult& result, int num_ranks,
+                        const RenderOptions& options) {
+  const double makespan = std::max(result.makespan, 1e-30);
+  const int width = std::max(options.width, 8);
+  std::vector<std::string> lines(static_cast<std::size_t>(num_ranks),
+                                 std::string(static_cast<std::size_t>(width),
+                                             '.'));
+  for (const sim::TraceEvent& e : result.trace) {
+    if (e.rank < 0 || e.rank >= num_ranks) continue;
+    int lo = static_cast<int>(std::floor(e.start / makespan * width));
+    int hi = static_cast<int>(std::ceil(e.end / makespan * width));
+    lo = std::clamp(lo, 0, width - 1);
+    hi = std::clamp(hi, lo + 1, width);
+    const char mark = e.kind == sim::TraceEvent::Kind::Compute ? '#' : '~';
+    for (int x = lo; x < hi; ++x) {
+      char& cell = lines[static_cast<std::size_t>(e.rank)]
+                        [static_cast<std::size_t>(x)];
+      // Compute wins over transfer when both touch a cell.
+      if (cell != '#') cell = mark;
+    }
+  }
+  std::ostringstream os;
+  os << "trace: " << num_ranks << " ranks, makespan " << makespan
+     << " s ('#' compute, '~' receive, '.' idle)\n";
+  for (int r = 0; r < num_ranks; ++r) {
+    os << std::setw(8) << ("rank " + std::to_string(r)) << " |"
+       << lines[static_cast<std::size_t>(r)] << "|\n";
+  }
+  return os.str();
+}
+
+std::string trace_csv(const sim::SimResult& result) {
+  std::ostringstream os;
+  os << "kind,rank,peer,start,end,bytes\n";
+  for (const sim::TraceEvent& e : result.trace) {
+    os << (e.kind == sim::TraceEvent::Kind::Compute ? "compute" : "transfer")
+       << ',' << e.rank << ',' << e.peer << ',' << e.start << ',' << e.end
+       << ',' << e.bytes << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace ptask::viz

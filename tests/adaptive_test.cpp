@@ -1,0 +1,130 @@
+// Tests for the adaptive step-size controller.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ptask/ode/adaptive.hpp"
+#include "ptask/ode/bruss2d.hpp"
+#include "ptask/ode/diirk.hpp"
+#include "ptask/ode/epol.hpp"
+#include "ptask/ode/irk.hpp"
+
+namespace ptask::ode {
+namespace {
+
+// y' = -50 y: fast decay that demands small steps early and permits large
+// ones later -- ideal for observing step-size growth.
+class StiffDecay final : public OdeSystem {
+ public:
+  std::size_t size() const override { return 2; }
+  void eval(double, std::span<const double> y, std::span<double> f,
+            std::size_t begin, std::size_t end) const override {
+    for (std::size_t i = begin; i < end; ++i) f[i] = -50.0 * y[i];
+  }
+  std::vector<double> initial_state() const override { return {1.0, -2.0}; }
+  double eval_flop_per_component() const override { return 1.0; }
+  bool is_dense() const override { return false; }
+  std::string name() const override { return "stiff-decay"; }
+};
+
+TEST(ErrorNorm, WeightsByToleranceBands) {
+  const std::vector<double> e{1e-6, 1e-6};
+  const std::vector<double> y{0.0, 1.0};
+  // First component scaled by atol only, second by atol + rtol.
+  const double norm = error_norm(e, y, 1e-6, 1e-6);
+  EXPECT_NEAR(norm, std::sqrt((1.0 + 0.25) / 2.0), 1e-12);
+  const std::vector<double> wrong{1e-6};
+  EXPECT_THROW(error_norm(wrong, y, 1e-6, 1e-6), std::invalid_argument);
+}
+
+TEST(Adaptive, MeetsToleranceOnDecay) {
+  StiffDecay sys;
+  Epol solver(4);
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-8;
+  const AdaptiveResult result =
+      integrate_adaptive(solver, sys, 0.0, 1.0, 0.05, sys.initial_state(),
+                         opts);
+  EXPECT_NEAR(result.t_end, 1.0, 1e-12);
+  EXPECT_NEAR(result.state[0], std::exp(-50.0), 1e-7);
+  EXPECT_NEAR(result.state[1], -2.0 * std::exp(-50.0), 1e-7);
+  EXPECT_GT(result.accepted, 0u);
+}
+
+TEST(Adaptive, StepSizeGrowsOnDecayingProblem) {
+  StiffDecay sys;
+  Irk solver(2, 5);
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-8;
+  opts.rel_tol = 1e-8;
+  opts.h_max = 0.5;
+  const AdaptiveResult result = integrate_adaptive(
+      solver, sys, 0.0, 2.0, 0.001, sys.initial_state(), opts);
+  // Once the solution is tiny, steps should be much larger than h0.
+  EXPECT_GT(result.max_h_used, 10.0 * result.min_h_used);
+}
+
+TEST(Adaptive, RejectsOversizedInitialStep) {
+  StiffDecay sys;
+  Epol solver(3);
+  AdaptiveOptions opts;
+  opts.abs_tol = 1e-10;
+  opts.rel_tol = 1e-10;
+  const AdaptiveResult result = integrate_adaptive(
+      solver, sys, 0.0, 0.5, 0.4, sys.initial_state(), opts);
+  EXPECT_GT(result.rejected, 0u);  // the 0.4 first step cannot pass
+  EXPECT_NEAR(result.state[0], std::exp(-25.0), 1e-8);
+}
+
+TEST(Adaptive, TighterToleranceCostsMoreSteps) {
+  const Bruss2D sys(5);
+  Irk solver(2, 4);
+  AdaptiveOptions loose;
+  loose.abs_tol = loose.rel_tol = 1e-4;
+  AdaptiveOptions tight;
+  tight.abs_tol = tight.rel_tol = 1e-9;
+  const AdaptiveResult a = integrate_adaptive(
+      solver, sys, 0.0, 0.5, 0.05, sys.initial_state(), loose);
+  const AdaptiveResult b = integrate_adaptive(
+      solver, sys, 0.0, 0.5, 0.05, sys.initial_state(), tight);
+  EXPECT_GT(b.accepted, a.accepted);
+}
+
+TEST(Adaptive, AgreesWithFixedStepReference) {
+  const Bruss2D sys(5);
+  Diirk solver(2, 4, 3);
+  AdaptiveOptions opts;
+  opts.abs_tol = opts.rel_tol = 1e-9;
+  const AdaptiveResult adaptive = integrate_adaptive(
+      solver, sys, 0.0, 0.2, 0.02, sys.initial_state(), opts);
+  Diirk reference(2, 4, 3);
+  const IntegrationResult fixed =
+      reference.integrate(sys, 0.0, 0.2, 0.0005, sys.initial_state());
+  EXPECT_LT(max_norm_diff(adaptive.state, fixed.state), 1e-6);
+}
+
+TEST(Adaptive, Validation) {
+  StiffDecay sys;
+  Epol solver(2);
+  EXPECT_THROW(integrate_adaptive(solver, sys, 0.0, 1.0, -0.1,
+                                  sys.initial_state()),
+               std::invalid_argument);
+  EXPECT_THROW(integrate_adaptive(solver, sys, 1.0, 0.0, 0.1,
+                                  sys.initial_state()),
+               std::invalid_argument);
+  EXPECT_THROW(integrate_adaptive(solver, sys, 0.0, 1.0, 0.1, {1.0}),
+               std::invalid_argument);
+  // Unreachable tolerance at the h_min floor must raise, not loop forever.
+  AdaptiveOptions impossible;
+  impossible.abs_tol = impossible.rel_tol = 1e-16;
+  impossible.h_min = 1e-3;
+  impossible.max_steps = 10000;
+  EXPECT_THROW(integrate_adaptive(solver, sys, 0.0, 1.0, 0.01,
+                                  sys.initial_state(), impossible),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ptask::ode

@@ -1,0 +1,205 @@
+// Tests for the architecture model: machine presets, core index arithmetic,
+// communication levels, and the explicit architecture tree (paper Fig. 7).
+
+#include <gtest/gtest.h>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/arch/topology.hpp"
+
+namespace ptask::arch {
+namespace {
+
+TEST(MachineSpec, PresetDimensionsMatchPaper) {
+  const MachineSpec c = chic();
+  EXPECT_EQ(c.num_nodes, 530);
+  EXPECT_EQ(c.procs_per_node, 2);
+  EXPECT_EQ(c.cores_per_proc, 2);
+  EXPECT_DOUBLE_EQ(c.core_flops, 5.2e9);
+
+  const MachineSpec j = juropa();
+  EXPECT_EQ(j.num_nodes, 2208);
+  EXPECT_EQ(j.cores_per_node(), 8);
+  EXPECT_DOUBLE_EQ(j.core_flops, 11.72e9);
+
+  const MachineSpec a = altix();
+  EXPECT_EQ(a.num_nodes, 128);
+  EXPECT_EQ(a.cores_per_node(), 4);
+  EXPECT_DOUBLE_EQ(a.core_flops, 6.4e9);
+}
+
+TEST(MachineSpec, InterconnectHierarchyIsOrdered) {
+  // Deeper levels must be faster: lower latency and higher bandwidth.
+  for (const MachineSpec& s : {chic(), juropa(), altix()}) {
+    EXPECT_LT(s.intra_processor.latency_s, s.intra_node.latency_s) << s.name;
+    EXPECT_LT(s.intra_node.latency_s, s.inter_node.latency_s) << s.name;
+    EXPECT_GT(s.intra_processor.bandwidth_Bps, s.intra_node.bandwidth_Bps)
+        << s.name;
+    EXPECT_GT(s.intra_node.bandwidth_Bps, s.inter_node.bandwidth_Bps)
+        << s.name;
+  }
+}
+
+TEST(MachineSpec, LookupByName) {
+  EXPECT_EQ(machine_by_name("chic").name, "CHiC");
+  EXPECT_EQ(machine_by_name("JuRoPA").name, "JuRoPA");
+  EXPECT_EQ(machine_by_name("ALTIX").name, "Altix");
+  EXPECT_THROW(machine_by_name("bluegene"), std::invalid_argument);
+}
+
+TEST(LinkParams, TransferTimeIsAffine) {
+  const LinkParams link{2.0e-6, 1.0e9};
+  EXPECT_DOUBLE_EQ(link.transfer_time(0), 2.0e-6);
+  EXPECT_DOUBLE_EQ(link.transfer_time(1'000'000), 2.0e-6 + 1.0e-3);
+}
+
+TEST(Machine, FlatIndexRoundTrips) {
+  const Machine m(chic());
+  for (int flat : {0, 1, 2, 3, 4, 7, 100, m.total_cores() - 1}) {
+    EXPECT_EQ(m.flat_index(m.core_at(flat)), flat);
+  }
+  EXPECT_THROW(m.core_at(-1), std::out_of_range);
+  EXPECT_THROW(m.core_at(m.total_cores()), std::out_of_range);
+}
+
+TEST(Machine, ConsecutiveEnumerationIsNodeMajor) {
+  const Machine m(chic());  // 2 procs x 2 cores per node
+  EXPECT_EQ(m.core_at(0).label(), "1.1.1");
+  EXPECT_EQ(m.core_at(1).label(), "1.1.2");
+  EXPECT_EQ(m.core_at(2).label(), "1.2.1");
+  EXPECT_EQ(m.core_at(3).label(), "1.2.2");
+  EXPECT_EQ(m.core_at(4).label(), "2.1.1");
+}
+
+TEST(Machine, CommLevels) {
+  const Machine m(chic());
+  const CoreId a = m.core_at(0);   // 1.1.1
+  const CoreId b = m.core_at(1);   // 1.1.2 same proc
+  const CoreId c = m.core_at(2);   // 1.2.1 same node
+  const CoreId d = m.core_at(4);   // 2.1.1 other node
+  EXPECT_EQ(m.comm_level(a, b), CommLevel::SameProcessor);
+  EXPECT_EQ(m.comm_level(a, c), CommLevel::SameNode);
+  EXPECT_EQ(m.comm_level(a, d), CommLevel::InterNode);
+  EXPECT_EQ(m.comm_level(a, a), CommLevel::SameProcessor);
+  // Symmetry.
+  EXPECT_EQ(m.comm_level(d, a), CommLevel::InterNode);
+}
+
+TEST(Machine, PtpTimeUsesTheSharedLevel) {
+  const Machine m(juropa());
+  const std::size_t bytes = 64 * 1024;
+  const double intra = m.ptp_time(m.core_at(0), m.core_at(1), bytes);
+  const double node = m.ptp_time(m.core_at(0), m.core_at(4), bytes);
+  const double inter = m.ptp_time(m.core_at(0), m.core_at(8), bytes);
+  EXPECT_LT(intra, node);
+  EXPECT_LT(node, inter);
+}
+
+TEST(Machine, PartitionKeepsNodeStructure) {
+  const Machine m(chic());
+  const Machine part = m.partition(64);
+  EXPECT_EQ(part.total_cores(), 64);
+  EXPECT_EQ(part.num_nodes(), 16);
+  EXPECT_EQ(part.cores_per_node(), 4);
+  EXPECT_THROW(m.partition(3), std::invalid_argument);      // not whole nodes
+  EXPECT_THROW(m.partition(0), std::invalid_argument);
+  EXPECT_THROW(m.partition(530 * 4 + 4), std::invalid_argument);  // too large
+}
+
+TEST(Machine, RejectsBadSpecs) {
+  MachineSpec s = chic();
+  s.num_nodes = 0;
+  EXPECT_THROW(Machine{s}, std::invalid_argument);
+}
+
+class ArchitectureTreeTest : public ::testing::Test {
+ protected:
+  ArchitectureTreeTest() : machine_(chic().name == "CHiC" ? chic() : chic()) {
+    MachineSpec small = chic();
+    small.num_nodes = 3;
+    spec_ = small;
+  }
+  MachineSpec machine_;
+  MachineSpec spec_;
+};
+
+TEST_F(ArchitectureTreeTest, StructureCounts) {
+  const ArchitectureTree tree(spec_);
+  // 1 root + 3 nodes + 6 processors + 12 cores.
+  EXPECT_EQ(tree.size(), 1u + 3u + 6u + 12u);
+  EXPECT_EQ(tree.num_leaves(), 12);
+  EXPECT_EQ(tree.root().level, TreeLevel::Machine);
+  EXPECT_EQ(tree.root().children.size(), 3u);
+}
+
+TEST_F(ArchitectureTreeTest, LabelsFollowFig7) {
+  const ArchitectureTree tree(spec_);
+  EXPECT_EQ(tree.root().label, "A");
+  const TreeVertex& first_core = tree.vertex(tree.leaf_of(0));
+  EXPECT_EQ(first_core.label, "A.1.1.1");
+  const TreeVertex& last_core = tree.vertex(tree.leaf_of(11));
+  EXPECT_EQ(last_core.label, "A.3.2.2");
+}
+
+TEST_F(ArchitectureTreeTest, CommonAncestorLevels) {
+  const ArchitectureTree tree(spec_);
+  // Cores 0 and 1: same processor.
+  EXPECT_EQ(tree.vertex(tree.common_ancestor(0, 1)).level,
+            TreeLevel::Processor);
+  // Cores 0 and 2: same node.
+  EXPECT_EQ(tree.vertex(tree.common_ancestor(0, 2)).level, TreeLevel::Node);
+  // Cores 0 and 4: machine.
+  EXPECT_EQ(tree.vertex(tree.common_ancestor(0, 4)).level,
+            TreeLevel::Machine);
+  // A core with itself.
+  EXPECT_EQ(tree.vertex(tree.common_ancestor(5, 5)).level, TreeLevel::Core);
+}
+
+TEST_F(ArchitectureTreeTest, CommLevelMatchesMachine) {
+  const ArchitectureTree tree(spec_);
+  const Machine m(spec_);
+  for (int a = 0; a < m.total_cores(); ++a) {
+    for (int b = 0; b < m.total_cores(); ++b) {
+      EXPECT_EQ(tree.comm_level(a, b),
+                m.comm_level(m.core_at(a), m.core_at(b)))
+          << "cores " << a << ", " << b;
+    }
+  }
+}
+
+TEST_F(ArchitectureTreeTest, DepthsAreUniformAtEachLevel) {
+  const ArchitectureTree tree(spec_);
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    const TreeVertex& v = tree.vertex(static_cast<int>(i));
+    EXPECT_EQ(tree.depth(static_cast<int>(i)), static_cast<int>(v.level));
+  }
+}
+
+TEST_F(ArchitectureTreeTest, OutlineMentionsEveryVertex) {
+  const ArchitectureTree tree(spec_);
+  const std::string outline = tree.to_outline();
+  EXPECT_NE(outline.find("machine A"), std::string::npos);
+  EXPECT_NE(outline.find("core A.3.2.2"), std::string::npos);
+}
+
+// Property sweep: flat index arithmetic is a bijection on every preset.
+class MachineParamTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MachineParamTest, CoreEnumerationIsBijective) {
+  MachineSpec spec = machine_by_name(GetParam());
+  spec.num_nodes = 5;  // keep the sweep small
+  const Machine m(spec);
+  std::vector<bool> seen(static_cast<std::size_t>(m.total_cores()), false);
+  for (int flat = 0; flat < m.total_cores(); ++flat) {
+    const CoreId id = m.core_at(flat);
+    const int back = m.flat_index(id);
+    EXPECT_EQ(back, flat);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(back)]);
+    seen[static_cast<std::size_t>(back)] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMachines, MachineParamTest,
+                         ::testing::Values("chic", "juropa", "altix"));
+
+}  // namespace
+}  // namespace ptask::arch

@@ -1,0 +1,386 @@
+// Tests for the M-task model: task graph, chain contraction, layering,
+// critical paths, and the CM-task-style specification builder.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ptask/core/graph_algorithms.hpp"
+#include "ptask/core/spec_builder.hpp"
+#include "ptask/core/task_graph.hpp"
+#include "ptask/ode/graph_gen.hpp"
+
+namespace ptask::core {
+namespace {
+
+TaskGraph diamond() {
+  // a -> b, a -> c, b -> d, c -> d
+  TaskGraph g;
+  const TaskId a = g.add_task(MTask("a", 1.0));
+  const TaskId b = g.add_task(MTask("b", 2.0));
+  const TaskId c = g.add_task(MTask("c", 3.0));
+  const TaskId d = g.add_task(MTask("d", 4.0));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  return g;
+}
+
+TEST(TaskGraph, BasicAccounting) {
+  const TaskGraph g = diamond();
+  EXPECT_EQ(g.num_tasks(), 4);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_EQ(g.in_degree(0), 0);
+  EXPECT_EQ(g.out_degree(0), 2);
+  EXPECT_EQ(g.in_degree(3), 2);
+  EXPECT_DOUBLE_EQ(g.total_work_flop(), 10.0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+}
+
+TEST(TaskGraph, RejectsCyclesAndSelfEdges) {
+  TaskGraph g = diamond();
+  EXPECT_THROW(g.add_edge(3, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 99), std::out_of_range);
+}
+
+TEST(TaskGraph, DuplicateEdgesIgnored) {
+  TaskGraph g = diamond();
+  g.add_edge(0, 1);
+  EXPECT_EQ(g.num_edges(), 4);
+}
+
+TEST(TaskGraph, TopologicalOrderRespectsEdges) {
+  const TaskGraph g = diamond();
+  const std::vector<TaskId> order = g.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  std::vector<int> pos(4);
+  for (int i = 0; i < 4; ++i) pos[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  for (TaskId u = 0; u < 4; ++u) {
+    for (TaskId v : g.successors(u)) {
+      EXPECT_LT(pos[static_cast<std::size_t>(u)], pos[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(TaskGraph, ReachabilityAndIndependence) {
+  const TaskGraph g = diamond();
+  EXPECT_TRUE(g.reaches(0, 3));
+  EXPECT_FALSE(g.reaches(3, 0));
+  EXPECT_TRUE(g.independent(1, 2));
+  EXPECT_FALSE(g.independent(0, 3));
+  EXPECT_FALSE(g.independent(1, 1));
+}
+
+TEST(TaskGraph, StartStopMarkers) {
+  TaskGraph g = diamond();
+  const auto [start, stop] = g.add_start_stop_markers();
+  EXPECT_TRUE(g.task(start).is_marker());
+  EXPECT_TRUE(g.task(stop).is_marker());
+  EXPECT_EQ(g.in_degree(start), 0);
+  EXPECT_EQ(g.out_degree(stop), 0);
+  EXPECT_TRUE(g.has_edge(start, 0));
+  EXPECT_TRUE(g.has_edge(3, stop));
+}
+
+TEST(TaskGraph, DotRenderingContainsNodesAndEdges) {
+  const std::string dot = diamond().to_dot("demo");
+  EXPECT_NE(dot.find("digraph demo"), std::string::npos);
+  EXPECT_NE(dot.find("t0 -> t1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"d\""), std::string::npos);
+}
+
+// --- chain contraction (paper Section 3.2 step 1, Fig. 5 left) ---
+
+TEST(ChainContraction, ContractsSimpleChain) {
+  TaskGraph g;
+  const TaskId a = g.add_task(MTask("a", 1.0));
+  const TaskId b = g.add_task(MTask("b", 2.0));
+  const TaskId c = g.add_task(MTask("c", 3.0));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  const ChainContraction cc = contract_linear_chains(g);
+  EXPECT_EQ(cc.contracted.num_tasks(), 1);
+  EXPECT_DOUBLE_EQ(cc.contracted.task(0).work_flop(), 6.0);
+  EXPECT_EQ(cc.members[0], (std::vector<TaskId>{a, b, c}));
+  EXPECT_EQ(cc.representative[a], 0);
+  EXPECT_EQ(cc.representative[c], 0);
+}
+
+TEST(ChainContraction, DiamondHasNoChains) {
+  const ChainContraction cc = contract_linear_chains(diamond());
+  EXPECT_EQ(cc.contracted.num_tasks(), 4);
+  EXPECT_EQ(cc.contracted.num_edges(), 4);
+}
+
+TEST(ChainContraction, EpolStepGraphContractsToApproximationChains) {
+  // Fig. 5 (left): the R=4 extrapolation step graph's micro-step chains
+  // collapse into 4 nodes plus the combine node.
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::EPOL;
+  spec.n = 64;
+  spec.stages = 4;
+  const TaskGraph g = spec.step_graph();
+  EXPECT_EQ(g.num_tasks(), 1 + 2 + 3 + 4 + 1);  // 10 micro steps + combine
+  const ChainContraction cc = contract_linear_chains(g);
+  EXPECT_EQ(cc.contracted.num_tasks(), 5);
+  // The chain for approximation i has i members.
+  std::multiset<std::size_t> sizes;
+  for (const std::vector<TaskId>& members : cc.members) {
+    sizes.insert(members.size());
+  }
+  EXPECT_EQ(sizes, (std::multiset<std::size_t>{1, 1, 2, 3, 4}));
+}
+
+TEST(ChainContraction, AccumulatesCommsAndParams) {
+  TaskGraph g;
+  MTask a("a", 1.0);
+  a.add_comm(CollectiveOp{CollectiveKind::Allgather, CommScope::Group, 100, 2});
+  a.add_param(Param{"x", 80, dist::Distribution::replicated(), true, false});
+  MTask b("b", 2.0);
+  b.add_comm(CollectiveOp{CollectiveKind::Bcast, CommScope::Group, 50, 1});
+  b.add_param(Param{"y", 80, dist::Distribution::replicated(), false, true});
+  b.set_max_cores(7);
+  const TaskId ia = g.add_task(std::move(a));
+  const TaskId ib = g.add_task(std::move(b));
+  g.add_edge(ia, ib);
+  const ChainContraction cc = contract_linear_chains(g);
+  ASSERT_EQ(cc.contracted.num_tasks(), 1);
+  const MTask& merged = cc.contracted.task(0);
+  EXPECT_EQ(merged.comms().size(), 2u);
+  EXPECT_EQ(merged.params().size(), 2u);
+  EXPECT_EQ(merged.max_cores(), 7);
+}
+
+TEST(ChainContraction, MarkersNeverJoinChains) {
+  TaskGraph g;
+  const TaskId a = g.add_task(MTask("a", 1.0));
+  const TaskId b = g.add_task(MTask("b", 1.0));
+  g.add_edge(a, b);
+  g.add_start_stop_markers();
+  const ChainContraction cc = contract_linear_chains(g);
+  // start -> chain(a..b) -> stop: 3 contracted nodes.
+  EXPECT_EQ(cc.contracted.num_tasks(), 3);
+}
+
+// --- greedy layering (paper Section 3.2 step 2, Fig. 5 right) ---
+
+TEST(GreedyLayers, DiamondHasThreeLayers) {
+  const std::vector<std::vector<TaskId>> layers = greedy_layers(diamond());
+  ASSERT_EQ(layers.size(), 3u);
+  EXPECT_EQ(layers[0], (std::vector<TaskId>{0}));
+  EXPECT_EQ(layers[1], (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(layers[2], (std::vector<TaskId>{3}));
+}
+
+TEST(GreedyLayers, LayersArePairwiseIndependent) {
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::EPOL;
+  spec.n = 64;
+  spec.stages = 4;
+  TaskGraph g = spec.step_graph();
+  const ChainContraction cc = contract_linear_chains(g);
+  for (const std::vector<TaskId>& layer : greedy_layers(cc.contracted)) {
+    for (std::size_t i = 0; i < layer.size(); ++i) {
+      for (std::size_t j = i + 1; j < layer.size(); ++j) {
+        EXPECT_TRUE(cc.contracted.independent(layer[i], layer[j]));
+      }
+    }
+  }
+}
+
+TEST(GreedyLayers, EpolContractedStepHasTwoLayers) {
+  // Fig. 5 (right): after contraction one layer of 4 chains + the combine.
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::EPOL;
+  spec.n = 64;
+  spec.stages = 4;
+  const ChainContraction cc = contract_linear_chains(spec.step_graph());
+  const std::vector<std::vector<TaskId>> layers = greedy_layers(cc.contracted);
+  ASSERT_EQ(layers.size(), 2u);
+  EXPECT_EQ(layers[0].size(), 4u);
+  EXPECT_EQ(layers[1].size(), 1u);
+}
+
+TEST(GreedyLayers, SkipsMarkers) {
+  TaskGraph g = diamond();
+  g.add_start_stop_markers();
+  const std::vector<std::vector<TaskId>> layers = greedy_layers(g);
+  ASSERT_EQ(layers.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& l : layers) total += l.size();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(GreedyLayers, CoversEveryTaskExactlyOnce) {
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::IRK;
+  spec.n = 128;
+  spec.stages = 4;
+  spec.iterations = 3;
+  const TaskGraph g = spec.step_graph();
+  std::set<TaskId> seen;
+  for (const auto& layer : greedy_layers(g)) {
+    for (TaskId id : layer) EXPECT_TRUE(seen.insert(id).second);
+  }
+  EXPECT_EQ(static_cast<int>(seen.size()), g.num_tasks());
+}
+
+// --- critical path ---
+
+TEST(CriticalPath, DiamondLongestBranch) {
+  const TaskGraph g = diamond();
+  const std::vector<double> times{1.0, 2.0, 3.0, 4.0};
+  const CriticalPathInfo info = critical_path(g, times);
+  EXPECT_DOUBLE_EQ(info.length, 1.0 + 3.0 + 4.0);
+  EXPECT_EQ(info.path, (std::vector<TaskId>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(info.top_level[3], 4.0);
+  EXPECT_DOUBLE_EQ(info.bottom_level[0], 8.0);
+}
+
+TEST(CriticalPath, SizesMustMatch) {
+  const TaskGraph g = diamond();
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW(critical_path(g, wrong), std::invalid_argument);
+}
+
+// --- specification builder (paper Fig. 3) ---
+
+TEST(SpecBuilder, RawDependencyCreatesEdge) {
+  SpecBuilder b("demo");
+  const Var x = b.var("x", 800);
+  const TaskId w = b.call(MTask("writer", 1.0), {}, {x});
+  const TaskId r = b.call(MTask("reader", 1.0), {x}, {});
+  const HierGraph spec = b.build();
+  EXPECT_TRUE(spec.graph.has_edge(w, r));
+}
+
+TEST(SpecBuilder, WarAndWawSerializeWriters) {
+  SpecBuilder b("demo");
+  const Var x = b.var("x", 800);
+  const TaskId w1 = b.call(MTask("w1", 1.0), {}, {x});
+  const TaskId r1 = b.call(MTask("r1", 1.0), {x}, {});
+  const TaskId w2 = b.call(MTask("w2", 1.0), {}, {x});
+  const HierGraph spec = b.build();
+  EXPECT_TRUE(spec.graph.has_edge(w1, w2));  // WAW
+  EXPECT_TRUE(spec.graph.has_edge(r1, w2));  // WAR
+}
+
+TEST(SpecBuilder, ParforIterationsAreIndependent) {
+  SpecBuilder b("demo");
+  const Var a = b.var("a", 8);
+  std::vector<TaskId> iter_tasks;
+  const TaskId init = b.call(MTask("init", 1.0), {}, {a});
+  b.parfor(4, [&](int i) {
+    const Var v = b.var("v" + std::to_string(i), 8);
+    iter_tasks.push_back(
+        b.call(MTask("it" + std::to_string(i), 1.0), {a}, {v}));
+  });
+  const HierGraph spec = b.build();
+  for (std::size_t i = 0; i < iter_tasks.size(); ++i) {
+    EXPECT_TRUE(spec.graph.has_edge(init, iter_tasks[i]));
+    for (std::size_t j = i + 1; j < iter_tasks.size(); ++j) {
+      EXPECT_TRUE(spec.graph.independent(iter_tasks[i], iter_tasks[j]));
+    }
+  }
+}
+
+TEST(SpecBuilder, ForLoopChainsThroughSharedVariable) {
+  SpecBuilder b("demo");
+  const Var v = b.var("v", 8);
+  std::vector<TaskId> tasks;
+  b.call(MTask("init", 1.0), {}, {v});
+  b.for_loop(3, [&](int i) {
+    tasks.push_back(b.call(MTask("s" + std::to_string(i), 1.0), {v}, {v}));
+  });
+  const HierGraph spec = b.build();
+  EXPECT_TRUE(spec.graph.has_edge(tasks[0], tasks[1]));
+  EXPECT_TRUE(spec.graph.has_edge(tasks[1], tasks[2]));
+}
+
+TEST(SpecBuilder, WhileLoopBecomesHierarchicalNode) {
+  const HierGraph spec = ode::epol_program_spec(256, 4, 14.0, 100.0);
+  // Upper level: init_step + while node (+ markers).
+  int non_markers = 0;
+  TaskId while_node = kInvalidTask;
+  for (TaskId id = 0; id < spec.graph.num_tasks(); ++id) {
+    if (!spec.graph.task(id).is_marker()) {
+      ++non_markers;
+      if (spec.sub.count(id)) while_node = id;
+    }
+  }
+  EXPECT_EQ(non_markers, 2);
+  ASSERT_NE(while_node, kInvalidTask);
+  // Lower level (Fig. 4): 10 micro steps + combine (+ markers).
+  const HierGraph& body = *spec.sub.at(while_node);
+  EXPECT_EQ(body.total_basic_tasks(), 11);
+  // init_step precedes the while node.
+  EXPECT_EQ(spec.total_basic_tasks(), 1 + 11);
+}
+
+TEST(SpecBuilder, WhileNodeAggregatesWorkByIterationHint) {
+  const HierGraph one = ode::epol_program_spec(256, 4, 14.0, 1.0);
+  const HierGraph hundred = ode::epol_program_spec(256, 4, 14.0, 100.0);
+  TaskId w1 = kInvalidTask, w100 = kInvalidTask;
+  for (TaskId id = 0; id < one.graph.num_tasks(); ++id) {
+    if (one.sub.count(id)) w1 = id;
+  }
+  for (TaskId id = 0; id < hundred.graph.num_tasks(); ++id) {
+    if (hundred.sub.count(id)) w100 = id;
+  }
+  EXPECT_NEAR(hundred.graph.task(w100).work_flop(),
+              100.0 * one.graph.task(w1).work_flop(), 1e-6);
+}
+
+TEST(Flatten, UnrollsWhileBodiesIntoOneLevel) {
+  // Fig. 3/4: init_step + while(10 steps + combine); flattening with 3
+  // iterations yields init + 3 x 11 tasks, chained step to step.
+  const HierGraph spec = ode::epol_program_spec(256, 4, 14.0, 3.0);
+  const TaskGraph flat = flatten(spec, 3);
+  EXPECT_EQ(flat.num_tasks(), 1 + 3 * 11);
+  // init_step precedes every first-iteration micro step ...
+  TaskId init = kInvalidTask, step0 = kInvalidTask, combine0 = kInvalidTask,
+         step1 = kInvalidTask;
+  for (TaskId id = 0; id < flat.num_tasks(); ++id) {
+    const std::string& name = flat.task(id).name();
+    if (name == "init_step") init = id;
+    if (name == "step(1,1)#0") step0 = id;
+    if (name == "combine#0") combine0 = id;
+    if (name == "step(1,1)#1") step1 = id;
+  }
+  ASSERT_NE(init, kInvalidTask);
+  ASSERT_NE(step0, kInvalidTask);
+  EXPECT_TRUE(flat.reaches(init, step0));
+  // ... and combine#0 feeds iteration 1.
+  ASSERT_NE(combine0, kInvalidTask);
+  ASSERT_NE(step1, kInvalidTask);
+  EXPECT_TRUE(flat.has_edge(combine0, step1));
+  EXPECT_THROW(flatten(spec, 0), std::invalid_argument);
+}
+
+TEST(Flatten, BasicGraphIsUnchangedModuloMarkers) {
+  SpecBuilder b("plain");
+  const Var x = b.var("x", 8);
+  const TaskId w = b.call(MTask("w", 1.0), {}, {x});
+  const TaskId r = b.call(MTask("r", 2.0), {x}, {});
+  (void)w;
+  (void)r;
+  const HierGraph spec = b.build();
+  const TaskGraph flat = flatten(spec, 5);  // iterations irrelevant: no loops
+  EXPECT_EQ(flat.num_tasks(), 2);
+  EXPECT_EQ(flat.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(flat.total_work_flop(), 3.0);
+}
+
+TEST(SpecBuilder, BuildTwiceThrows) {
+  SpecBuilder b("demo");
+  b.call(MTask("t", 1.0), {}, {});
+  b.build();
+  EXPECT_THROW(b.build(), std::logic_error);
+  EXPECT_THROW(b.call(MTask("late", 1.0), {}, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace ptask::core

@@ -1,0 +1,189 @@
+// Tests for the dynamic M-task scheduler (runtime group assignment with
+// moldable tasks and recursive task creation).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "ptask/rt/dynamic_scheduler.hpp"
+
+namespace ptask::rt {
+namespace {
+
+TEST(DynamicScheduler, RunsASingleTaskOnAllCores) {
+  DynamicScheduler scheduler(8);
+  std::atomic<int> invocations{0};
+  std::atomic<int> observed_size{0};
+  scheduler.submit(DynamicTask{"solo", 1, INT_MAX, 1.0, [&](ExecContext& ctx) {
+                                 invocations++;
+                                 observed_size = ctx.group_size;
+                                 EXPECT_LT(ctx.group_rank, ctx.group_size);
+                               }});
+  scheduler.wait();
+  // A lone task receives the entire free pool.
+  EXPECT_EQ(observed_size.load(), 8);
+  EXPECT_EQ(invocations.load(), 8);
+  EXPECT_EQ(scheduler.stats().tasks_completed, 1u);
+}
+
+TEST(DynamicScheduler, SplitsCoresAmongConcurrentTasks) {
+  DynamicScheduler scheduler(8);
+  std::atomic<int> max_seen{0};
+  for (int i = 0; i < 4; ++i) {
+    scheduler.submit(DynamicTask{"t" + std::to_string(i), 1, INT_MAX, 1.0,
+                                 [&](ExecContext& ctx) {
+                                   int cur = max_seen.load();
+                                   while (cur < ctx.group_size &&
+                                          !max_seen.compare_exchange_weak(
+                                              cur, ctx.group_size)) {
+                                   }
+                                 }});
+  }
+  scheduler.wait();
+  const DynamicSchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.tasks_completed, 4u);
+  // Equal hints: roughly equal groups; nothing larger than the pool allows.
+  EXPECT_LE(stats.largest_group, 8);
+  EXPECT_GE(stats.smallest_group, 1);
+}
+
+TEST(DynamicScheduler, RespectsMoldabilityBounds) {
+  DynamicScheduler scheduler(8);
+  std::atomic<int> size_a{0}, size_b{0};
+  scheduler.submit(DynamicTask{"capped", 1, 2, 100.0, [&](ExecContext& ctx) {
+                                 size_a = ctx.group_size;
+                               }});
+  scheduler.wait();
+  scheduler.submit(DynamicTask{"wide", 4, 8, 1.0, [&](ExecContext& ctx) {
+                                 size_b = ctx.group_size;
+                               }});
+  scheduler.wait();
+  EXPECT_LE(size_a.load(), 2);   // max_cores respected despite huge hint
+  EXPECT_GE(size_b.load(), 4);   // min_cores respected
+}
+
+TEST(DynamicScheduler, WorkHintsSkewTheSplit) {
+  // Submit a heavy and a light task while all cores are busy, so both are
+  // pending when the cores free up and the proportional split applies.
+  DynamicScheduler scheduler(8);
+  Barrier gate(9);  // 8 blocker members + the test thread
+  scheduler.submit(DynamicTask{"blocker", 8, 8, 1.0, [&](ExecContext&) {
+                                 gate.arrive_and_wait();
+                               }});
+  std::atomic<int> heavy_size{0}, light_size{0};
+  scheduler.submit(DynamicTask{"heavy", 1, INT_MAX, 3.0,
+                               [&](ExecContext& ctx) {
+                                 heavy_size = ctx.group_size;
+                               }});
+  scheduler.submit(DynamicTask{"light", 1, INT_MAX, 1.0,
+                               [&](ExecContext& ctx) {
+                                 light_size = ctx.group_size;
+                               }});
+  gate.arrive_and_wait();  // release the blocker
+  scheduler.wait();
+  EXPECT_EQ(heavy_size.load(), 6);  // 8 * 3/4
+  EXPECT_GE(light_size.load(), 2);  // the rest (light dispatches after)
+}
+
+TEST(DynamicScheduler, GroupCommWorksInsideDynamicTasks) {
+  DynamicScheduler scheduler(6);
+  std::atomic<double> reduced{0.0};
+  scheduler.submit(DynamicTask{"reduce", 6, 6, 1.0, [&](ExecContext& ctx) {
+                                 const double sum = ctx.comm->allreduce_sum(
+                                     ctx.group_rank, ctx.group_rank + 1.0);
+                                 if (ctx.group_rank == 0) reduced = sum;
+                               }});
+  scheduler.wait();
+  EXPECT_DOUBLE_EQ(reduced.load(), 21.0);  // 1+2+...+6
+}
+
+TEST(DynamicScheduler, RecursiveDivideAndConquer) {
+  // Sum an array by recursive task splitting: each task either sums its
+  // range directly (small) or spawns two children -- the dynamic/recursive
+  // creation pattern the paper attributes to the Tlib library.
+  const int n = 1 << 12;
+  std::vector<double> data(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) data[static_cast<std::size_t>(i)] = i % 17;
+  double expected = 0.0;
+  for (double v : data) expected += v;
+
+  DynamicScheduler scheduler(4);
+  std::atomic<double> total{0.0};
+  std::function<void(int, int)> spawn = [&](int lo, int hi) {
+    scheduler.submit(DynamicTask{
+        "sum", 1, 2, static_cast<double>(hi - lo), [&, lo, hi](ExecContext& ctx) {
+          if (hi - lo <= 256) {
+            if (ctx.group_rank == 0) {
+              double local = 0.0;
+              for (int i = lo; i < hi; ++i) {
+                local += data[static_cast<std::size_t>(i)];
+              }
+              double cur = total.load();
+              while (!total.compare_exchange_weak(cur, cur + local)) {
+              }
+            }
+          } else if (ctx.group_rank == 0) {
+            const int mid = lo + (hi - lo) / 2;
+            spawn(lo, mid);
+            spawn(mid, hi);
+          }
+        }});
+  };
+  spawn(0, n);
+  scheduler.wait();
+  EXPECT_DOUBLE_EQ(total.load(), expected);
+  EXPECT_GE(scheduler.stats().tasks_completed, 16u);
+}
+
+TEST(DynamicScheduler, IsReusableAfterWait) {
+  DynamicScheduler scheduler(4);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 5; ++i) {
+      scheduler.submit(DynamicTask{"t", 1, 1, 1.0,
+                                   [&](ExecContext&) { count++; }});
+    }
+    scheduler.wait();
+  }
+  EXPECT_EQ(count.load(), 15);
+  EXPECT_EQ(scheduler.stats().tasks_completed, 15u);
+}
+
+TEST(DynamicScheduler, NeverOversubscribesCores) {
+  DynamicScheduler scheduler(6);
+  std::atomic<int> active{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 20; ++i) {
+    scheduler.submit(DynamicTask{"t", 1, 3, 1.0, [&](ExecContext&) {
+                                   const int now = ++active;
+                                   int cur = peak.load();
+                                   while (cur < now &&
+                                          !peak.compare_exchange_weak(cur,
+                                                                      now)) {
+                                   }
+                                   --active;
+                                 }});
+  }
+  scheduler.wait();
+  EXPECT_LE(peak.load(), 6);
+  EXPECT_EQ(scheduler.stats().tasks_completed, 20u);
+}
+
+TEST(DynamicScheduler, ValidatesTasks) {
+  DynamicScheduler scheduler(2);
+  EXPECT_THROW(scheduler.submit(DynamicTask{"big", 3, 4, 1.0, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(scheduler.submit(DynamicTask{"bad", 2, 1, 1.0, {}}),
+               std::invalid_argument);
+  EXPECT_THROW(DynamicScheduler(0), std::invalid_argument);
+}
+
+TEST(DynamicScheduler, WaitWithNothingSubmittedReturns) {
+  DynamicScheduler scheduler(2);
+  scheduler.wait();
+  EXPECT_EQ(scheduler.stats().tasks_completed, 0u);
+}
+
+}  // namespace
+}  // namespace ptask::rt

@@ -1,0 +1,277 @@
+// Tests for the collective algorithms and the analytic link model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+#include <set>
+
+#include "ptask/net/collectives.hpp"
+#include "ptask/net/link_model.hpp"
+
+namespace ptask::net {
+namespace {
+
+// --- structural checks on the algorithms ---
+
+// Simulates data propagation through a schedule: after a bcast every rank
+// must hold the root's datum.
+TEST(BinomialBcast, ReachesEveryRank) {
+  for (int n : {1, 2, 3, 5, 8, 13, 32}) {
+    for (int root : {0, n / 2, n - 1}) {
+      const MessageSchedule schedule = binomial_bcast(n, root, 100);
+      std::set<int> holders{root};
+      for (const Round& round : schedule) {
+        std::set<int> new_holders;
+        for (const Message& m : round.messages) {
+          EXPECT_TRUE(holders.count(m.src))
+              << "rank " << m.src << " sends before holding the data";
+          new_holders.insert(m.dst);
+        }
+        holders.insert(new_holders.begin(), new_holders.end());
+      }
+      EXPECT_EQ(static_cast<int>(holders.size()), n) << "n=" << n;
+    }
+  }
+}
+
+TEST(BinomialBcast, LogarithmicRoundCount) {
+  EXPECT_EQ(binomial_bcast(1, 0, 8).size(), 0u);
+  EXPECT_EQ(binomial_bcast(2, 0, 8).size(), 1u);
+  EXPECT_EQ(binomial_bcast(8, 0, 8).size(), 3u);
+  EXPECT_EQ(binomial_bcast(9, 0, 8).size(), 4u);
+  EXPECT_EQ(binomial_bcast(1024, 0, 8).size(), 10u);
+}
+
+TEST(BinomialBcast, MessageCountIsNminus1) {
+  for (int n : {2, 7, 16, 33}) {
+    std::size_t messages = 0;
+    for (const Round& r : binomial_bcast(n, 0, 1)) messages += r.messages.size();
+    EXPECT_EQ(messages, static_cast<std::size_t>(n - 1));
+  }
+}
+
+TEST(RingAllgather, EveryRankEndsWithAllBlocks) {
+  for (int n : {2, 3, 4, 7, 16}) {
+    const MessageSchedule schedule = ring_allgather(n, 64);
+    EXPECT_EQ(schedule.size(), static_cast<std::size_t>(n - 1));
+    // Track block ownership: rank r starts with block r; each round passes
+    // the newest block right.
+    std::vector<std::set<int>> blocks(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) blocks[static_cast<std::size_t>(r)] = {r};
+    for (const Round& round : schedule) {
+      EXPECT_EQ(round.messages.size(), static_cast<std::size_t>(n));
+      std::vector<int> incoming(static_cast<std::size_t>(n), -1);
+      for (const Message& m : round.messages) {
+        EXPECT_EQ(m.dst, (m.src + 1) % n) << "ring sends to right neighbour";
+        incoming[static_cast<std::size_t>(m.dst)] = m.src;
+      }
+      // Each rank relays the block it received most recently; any block the
+      // sender holds that the receiver lacks works for the coverage proof.
+      std::vector<std::set<int>> next = blocks;
+      for (int dst = 0; dst < n; ++dst) {
+        const int src = incoming[static_cast<std::size_t>(dst)];
+        for (int b : blocks[static_cast<std::size_t>(src)]) {
+          next[static_cast<std::size_t>(dst)].insert(b);
+        }
+      }
+      blocks = std::move(next);
+    }
+    for (int r = 0; r < n; ++r) {
+      EXPECT_EQ(blocks[static_cast<std::size_t>(r)].size(),
+                static_cast<std::size_t>(n));
+    }
+  }
+}
+
+TEST(RecursiveDoublingAllgather, DoublesPayloadPerRound) {
+  const MessageSchedule schedule = recursive_doubling_allgather(8, 100);
+  ASSERT_EQ(schedule.size(), 3u);
+  EXPECT_EQ(schedule[0].messages.front().bytes, 100u);
+  EXPECT_EQ(schedule[1].messages.front().bytes, 200u);
+  EXPECT_EQ(schedule[2].messages.front().bytes, 400u);
+  EXPECT_THROW(recursive_doubling_allgather(6, 100), std::invalid_argument);
+}
+
+TEST(Allgather, SelectsAlgorithmBySize) {
+  // Small total volume + power-of-two ranks -> recursive doubling (log
+  // rounds); large -> ring (n-1 rounds).
+  EXPECT_EQ(allgather(8, 16).size(), 3u);
+  EXPECT_EQ(allgather(8, 1 << 20).size(), 7u);
+  // Non power of two always rings.
+  EXPECT_EQ(allgather(6, 16).size(), 5u);
+  EXPECT_TRUE(allgather(1, 100).empty());
+}
+
+TEST(Allgather, TotalVolumeMatchesRingFormula) {
+  const int n = 5;
+  const std::size_t per_rank = 1000;
+  // Ring: every rank sends n-1 blocks.
+  EXPECT_EQ(schedule_bytes(ring_allgather(n, per_rank)),
+            per_rank * static_cast<std::size_t>(n) *
+                static_cast<std::size_t>(n - 1));
+}
+
+TEST(Allreduce, PowerOfTwoUsesRecursiveDoubling) {
+  EXPECT_EQ(allreduce(8, 64).size(), 3u);
+  // Non power of two: reduce + bcast.
+  EXPECT_EQ(allreduce(6, 64).size(), 6u);
+  EXPECT_TRUE(allreduce(1, 64).empty());
+}
+
+TEST(Barrier, HasZeroPayload) {
+  for (const Round& r : barrier(8)) {
+    for (const Message& m : r.messages) EXPECT_EQ(m.bytes, 0u);
+  }
+}
+
+TEST(RingExchange, TwoRoundsBothDirections) {
+  const MessageSchedule schedule = ring_exchange(5, 77);
+  ASSERT_EQ(schedule.size(), 2u);
+  for (const Message& m : schedule[0].messages) {
+    EXPECT_EQ(m.dst, (m.src + 1) % 5);
+    EXPECT_EQ(m.bytes, 77u);
+  }
+  for (const Message& m : schedule[1].messages) {
+    EXPECT_EQ(m.dst, (m.src + 4) % 5);
+  }
+  EXPECT_TRUE(ring_exchange(1, 77).empty());
+}
+
+TEST(RedistributionRounds, NoRankSendsOrReceivesTwicePerRound) {
+  std::vector<Message> transfers;
+  for (int s = 0; s < 4; ++s) {
+    for (int d = 0; d < 4; ++d) transfers.push_back({s, d + 4, 100});
+  }
+  const MessageSchedule schedule = redistribution_rounds(transfers);
+  std::size_t placed = 0;
+  for (const Round& round : schedule) {
+    std::set<int> senders, receivers;
+    for (const Message& m : round.messages) {
+      EXPECT_TRUE(senders.insert(m.src).second);
+      EXPECT_TRUE(receivers.insert(m.dst).second);
+      ++placed;
+    }
+  }
+  EXPECT_EQ(placed, transfers.size());
+  // 4x4 bipartite all-to-all needs exactly 4 rounds.
+  EXPECT_EQ(schedule.size(), 4u);
+}
+
+// --- link model pricing ---
+
+class LinkModelTest : public ::testing::Test {
+ protected:
+  LinkModelTest() : machine_(make_machine()), model_(machine_) {}
+  static arch::Machine make_machine() {
+    arch::MachineSpec spec = arch::chic();
+    spec.num_nodes = 8;
+    return arch::Machine(spec);
+  }
+  arch::Machine machine_;
+  LinkModel model_;
+};
+
+TEST_F(LinkModelTest, IntraNodeRoundHasNoNicContention) {
+  // Two messages within a node in one round cost one transfer (concurrent).
+  Round round;
+  round.messages = {{0, 1, 1 << 20}, {2, 3, 1 << 20}};
+  const std::vector<int> placement{0, 1, 2, 3};
+  const double t = model_.round_time(round, placement);
+  const double single =
+      machine_.link(arch::CommLevel::SameProcessor).transfer_time(1 << 20);
+  EXPECT_LE(t, single * 1.5);  // same-node link is slower but not serialized
+}
+
+TEST_F(LinkModelTest, NicSerializesInterNodeTraffic) {
+  // Four concurrent messages leaving node 0 share its NIC: about 4x one
+  // transfer.
+  Round round;
+  const std::size_t bytes = 1 << 20;
+  round.messages = {{0, 4, bytes}, {1, 5, bytes}, {2, 6, bytes}, {3, 7, bytes}};
+  // Ranks 0-3 on node 0, ranks 4-7 spread over nodes 1-4 (flat ids).
+  const std::vector<int> placement{0, 1, 2, 3, 4, 8, 12, 16};
+  const double t = model_.round_time(round, placement);
+  const double single =
+      machine_.link(arch::CommLevel::InterNode).transfer_time(bytes);
+  EXPECT_GT(t, 3.5 * single);
+  EXPECT_LT(t, 4.5 * single);
+}
+
+TEST_F(LinkModelTest, SelfMessagesAreFree) {
+  Round round;
+  round.messages = {{0, 0, 1 << 30}};
+  const std::vector<int> placement{0};
+  EXPECT_DOUBLE_EQ(model_.round_time(round, placement), 0.0);
+}
+
+TEST_F(LinkModelTest, ScheduleTimeIsSumOfRounds) {
+  const MessageSchedule schedule = ring_allgather(4, 4096);
+  std::vector<int> placement{0, 1, 2, 3};
+  double sum = 0.0;
+  for (const Round& r : schedule) sum += model_.round_time(r, placement);
+  EXPECT_DOUBLE_EQ(model_.schedule_time(schedule, placement), sum);
+}
+
+TEST_F(LinkModelTest, TrafficStatsClassifyLevels) {
+  Round round;
+  round.messages = {{0, 1, 100}, {0, 2, 200}, {0, 3, 400}};
+  const std::vector<int> placement{0, 1, 2, 4};  // proc, node, inter
+  TrafficStats stats;
+  model_.round_time(round, placement, &stats);
+  EXPECT_EQ(stats.bytes_same_processor, 100u);
+  EXPECT_EQ(stats.bytes_same_node, 200u);
+  EXPECT_EQ(stats.bytes_inter_node, 400u);
+  EXPECT_EQ(stats.total_bytes(), 700u);
+  EXPECT_EQ(stats.messages, 3u);
+}
+
+TEST_F(LinkModelTest, ConsecutivePlacementBeatsScatteredForRingAllgather) {
+  // The headline mechanism of Fig. 14 (left): with 4 cores per node, a
+  // consecutive placement keeps 3 of 4 ring hops inside nodes, while a
+  // scattered placement makes every hop inter-node AND piles 4 concurrent
+  // transfers onto each NIC.
+  const int ranks = 32;
+  const MessageSchedule schedule = ring_allgather(ranks, 256 * 1024);
+  std::vector<int> consecutive(ranks), scattered(ranks);
+  std::iota(consecutive.begin(), consecutive.end(), 0);
+  for (int r = 0; r < ranks; ++r) {
+    scattered[static_cast<std::size_t>(r)] = (r % 8) * 4 + r / 8;
+  }
+  const double t_cons = model_.schedule_time(schedule, consecutive);
+  const double t_scat = model_.schedule_time(schedule, scattered);
+  EXPECT_LT(t_cons * 2.0, t_scat);
+}
+
+TEST_F(LinkModelTest, ConcurrentSchedulesShareTheWire) {
+  // Two group allgathers, each confined to its own node: no interference.
+  const MessageSchedule ag = ring_allgather(4, 64 * 1024);
+  const std::vector<MessageSchedule> schedules{ag, ag};
+  const std::vector<std::vector<int>> intra_placements{{0, 1, 2, 3},
+                                                       {4, 5, 6, 7}};
+  const double t_intra =
+      model_.concurrent_schedule_time(schedules, intra_placements);
+  // The same two allgathers with both groups scattered over the same two
+  // nodes: all traffic inter-node and contending.
+  const std::vector<std::vector<int>> cross_placements{{0, 4, 1, 5},
+                                                       {2, 6, 3, 7}};
+  const double t_cross =
+      model_.concurrent_schedule_time(schedules, cross_placements);
+  EXPECT_LT(t_intra, t_cross);
+}
+
+TEST(UniformCosts, ClosedFormsScaleAsExpected) {
+  const arch::LinkParams link{1.0e-6, 1.0e9};
+  EXPECT_DOUBLE_EQ(bcast_time_uniform(1, 100, link), 0.0);
+  EXPECT_DOUBLE_EQ(bcast_time_uniform(8, 0, link), 3.0e-6);
+  // Ring allgather: (q-1) rounds of the per-rank block.
+  EXPECT_DOUBLE_EQ(allgather_time_uniform(5, 1000, link),
+                   4.0 * (1.0e-6 + 1000.0 / 1.0e9));
+  EXPECT_DOUBLE_EQ(barrier_time_uniform(16, link), 4.0e-6);
+  EXPECT_DOUBLE_EQ(exchange_time_uniform(9, 500, link),
+                   2.0 * (1.0e-6 + 500.0 / 1.0e9));
+  EXPECT_GT(allreduce_time_uniform(8, 100, link), 0.0);
+}
+
+}  // namespace
+}  // namespace ptask::net

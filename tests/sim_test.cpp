@@ -1,0 +1,207 @@
+// Tests for the discrete-event network simulator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "ptask/net/collectives.hpp"
+#include "ptask/sim/event_engine.hpp"
+#include "ptask/sim/network_sim.hpp"
+#include "ptask/sim/program.hpp"
+
+namespace ptask::sim {
+namespace {
+
+arch::Machine small_machine(int nodes = 4) {
+  arch::MachineSpec spec = arch::chic();
+  spec.num_nodes = nodes;
+  return arch::Machine(spec);
+}
+
+std::vector<int> identity_placement(int n) {
+  std::vector<int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  return p;
+}
+
+TEST(NetworkSim, PureComputeRunsIndependently) {
+  const arch::Machine m = small_machine();
+  ProgramSet programs(4);
+  programs.rank(0).add_compute(1.0);
+  programs.rank(1).add_compute(2.0);
+  programs.rank(2).add_compute(0.5);
+  // rank 3 idle
+  const NetworkSim sim(m, identity_placement(4));
+  const SimResult result = sim.run(programs);
+  EXPECT_DOUBLE_EQ(result.finish_times[0], 1.0);
+  EXPECT_DOUBLE_EQ(result.finish_times[1], 2.0);
+  EXPECT_DOUBLE_EQ(result.finish_times[2], 0.5);
+  EXPECT_DOUBLE_EQ(result.finish_times[3], 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 2.0);
+  EXPECT_DOUBLE_EQ(result.total_compute_seconds, 3.5);
+  EXPECT_EQ(result.transfers, 0u);
+}
+
+TEST(NetworkSim, SingleTransferTiming) {
+  const arch::Machine m = small_machine();
+  ProgramSet programs(2);
+  const std::size_t bytes = 1 << 20;
+  programs.add_transfer(0, 1, bytes);
+  // Ranks on different nodes (flat cores 0 and 4).
+  const NetworkSim sim(m, {0, 4});
+  const SimResult result = sim.run(programs);
+  const arch::LinkParams& link = m.link(arch::CommLevel::InterNode);
+  // Receiver waits: sender overhead (latency) + latency + transfer.
+  const double expected =
+      link.latency_s + link.latency_s + static_cast<double>(bytes) / link.bandwidth_Bps;
+  EXPECT_NEAR(result.finish_times[1], expected, 1e-12);
+  EXPECT_EQ(result.traffic.bytes_inter_node, bytes);
+  EXPECT_EQ(result.transfers, 1u);
+}
+
+TEST(NetworkSim, ReceiverWaitsForLateSender) {
+  const arch::Machine m = small_machine();
+  ProgramSet programs(2);
+  programs.rank(0).add_compute(5.0);  // sender is busy first
+  programs.add_transfer(0, 1, 1000);
+  const NetworkSim sim(m, {0, 1});
+  const SimResult result = sim.run(programs);
+  EXPECT_GT(result.finish_times[1], 5.0);
+}
+
+TEST(NetworkSim, SenderDoesNotWaitForReceiver) {
+  const arch::Machine m = small_machine();
+  ProgramSet programs(2);
+  programs.add_transfer(0, 1, 1000);
+  programs.rank(1).add_compute(0.0);
+  // Receiver busy for 3 s before posting the recv -- but the send op itself
+  // only costs the sender its overhead.
+  ProgramSet programs2(2);
+  const std::uint64_t tag = programs2.fresh_tag();
+  programs2.rank(0).add_send(1, tag, 1000);
+  programs2.rank(0).add_compute(1.0);
+  programs2.rank(1).add_compute(3.0);
+  programs2.rank(1).add_recv(0, tag);
+  const NetworkSim sim(m, {0, 1});
+  const SimResult result = sim.run(programs2);
+  EXPECT_LT(result.finish_times[0], 1.001);  // overhead + compute only
+  EXPECT_GT(result.finish_times[1], 3.0);
+}
+
+TEST(NetworkSim, DetectsDeadlock) {
+  const arch::Machine m = small_machine();
+  ProgramSet programs(2);
+  programs.rank(0).add_recv(1, 42);  // never sent
+  const NetworkSim sim(m, {0, 1});
+  EXPECT_THROW(sim.run(programs), std::runtime_error);
+}
+
+TEST(NetworkSim, RejectsBadPlacements) {
+  const arch::Machine m = small_machine();
+  EXPECT_THROW(NetworkSim(m, {0, 0}), std::invalid_argument);   // not injective
+  EXPECT_THROW(NetworkSim(m, {0, 999}), std::out_of_range);     // out of range
+}
+
+TEST(NetworkSim, CollectiveBarrierSynchronizes) {
+  const arch::Machine m = small_machine();
+  ProgramSet programs(4);
+  programs.rank(2).add_compute(1.0);
+  std::vector<int> ranks{0, 1, 2, 3};
+  programs.add_collective(net::barrier(4), ranks);
+  programs.add_compute(ranks, 0.5);
+  const NetworkSim sim(m, identity_placement(4));
+  const SimResult result = sim.run(programs);
+  // Everyone leaves the barrier after rank 2's 1 s of work.
+  for (double t : result.finish_times) EXPECT_GT(t, 1.5 - 1e-9);
+}
+
+TEST(NetworkSim, BcastDeliversAfterLogRounds) {
+  const arch::Machine m = small_machine(8);
+  const int ranks = 8;
+  ProgramSet programs(ranks);
+  std::vector<int> ids = identity_placement(ranks);
+  const std::size_t bytes = 1 << 16;
+  programs.add_collective(net::binomial_bcast(ranks, 0, bytes), ids);
+  const NetworkSim sim(m, ids);  // all on node 0/1: cores 0..7 span 2 nodes
+  const SimResult result = sim.run(programs);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_EQ(result.traffic.messages, 7u);
+}
+
+TEST(NetworkSim, RingAllgatherConsecutiveBeatsScattered) {
+  // The simulator must reproduce the Fig. 14 mechanism end-to-end.
+  arch::MachineSpec spec = arch::chic();
+  spec.num_nodes = 8;
+  const arch::Machine m(spec);
+  const int ranks = 32;
+  const std::size_t per_rank = 128 * 1024;
+
+  auto run_with = [&](const std::vector<int>& placement) {
+    ProgramSet programs(ranks);
+    std::vector<int> ids = identity_placement(ranks);
+    programs.add_collective(net::ring_allgather(ranks, per_rank), ids);
+    return NetworkSim(m, placement).run(programs).makespan;
+  };
+
+  std::vector<int> consecutive = identity_placement(ranks);
+  std::vector<int> scattered(ranks);
+  for (int r = 0; r < ranks; ++r) {
+    scattered[static_cast<std::size_t>(r)] = (r % 8) * 4 + r / 8;
+  }
+  EXPECT_LT(run_with(consecutive) * 1.5, run_with(scattered));
+}
+
+TEST(NetworkSim, DeterministicReplay) {
+  const arch::Machine m = small_machine(8);
+  const int ranks = 16;
+  ProgramSet programs(ranks);
+  std::vector<int> ids = identity_placement(ranks);
+  programs.add_collective(net::allreduce(ranks, 4096), ids);
+  programs.add_compute(ids, 0.001);
+  programs.add_collective(net::ring_allgather(ranks, 8192), ids);
+  const NetworkSim sim(m, ids);
+  const SimResult a = sim.run(programs);
+  const SimResult b = sim.run(programs);
+  ASSERT_EQ(a.finish_times.size(), b.finish_times.size());
+  for (std::size_t i = 0; i < a.finish_times.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.finish_times[i], b.finish_times[i]);
+  }
+}
+
+TEST(NetworkSim, ConservesTrafficVolume) {
+  const arch::Machine m = small_machine(8);
+  const int ranks = 8;
+  ProgramSet programs(ranks);
+  std::vector<int> ids = identity_placement(ranks);
+  const net::MessageSchedule ag = net::ring_allgather(ranks, 1000);
+  programs.add_collective(ag, ids);
+  const SimResult result = NetworkSim(m, ids).run(programs);
+  EXPECT_EQ(result.traffic.total_bytes(), net::schedule_bytes(ag));
+}
+
+TEST(ProgramSet, FreshTagsNeverRepeat) {
+  ProgramSet programs(2);
+  const std::uint64_t a = programs.fresh_tag();
+  const std::uint64_t b = programs.fresh_tag();
+  EXPECT_NE(a, b);
+}
+
+TEST(ProgramSet, SelfTransfersAreDropped) {
+  ProgramSet programs(2);
+  programs.add_transfer(1, 1, 100);
+  EXPECT_TRUE(programs.rank(1).empty());
+}
+
+TEST(EventQueueTest, OrdersByTimeThenInsertion) {
+  EventQueue<int> q;
+  q.push(2.0, 1);
+  q.push(1.0, 2);
+  q.push(1.0, 3);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace ptask::sim
