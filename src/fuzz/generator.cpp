@@ -1,0 +1,244 @@
+#include "ptask/fuzz/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "ptask/npb/multizone.hpp"
+#include "ptask/ode/graph_gen.hpp"
+
+namespace ptask::fuzz {
+
+const char* to_string(GraphFamily family) {
+  switch (family) {
+    case GraphFamily::Layered:
+      return "layered";
+    case GraphFamily::SeriesParallel:
+      return "series-parallel";
+    case GraphFamily::RandomDag:
+      return "random-dag";
+    case GraphFamily::OdeSolver:
+      return "ode-solver";
+    case GraphFamily::NpbMultiZone:
+      return "npb-multizone";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Random task with log-uniform work and an optional internal collective --
+/// the cost-heterogeneity knob of the generator.
+core::MTask random_task(Rng& rng, const GeneratorParams& params,
+                        const std::string& name) {
+  const double log_lo = std::log(params.min_work_flop);
+  const double log_hi = std::log(params.max_work_flop);
+  core::MTask task(name, std::exp(rng.uniform_real(log_lo, log_hi)));
+  if (rng.chance(params.comm_probability)) {
+    static constexpr core::CollectiveKind kKinds[] = {
+        core::CollectiveKind::Bcast, core::CollectiveKind::Allgather,
+        core::CollectiveKind::Allreduce, core::CollectiveKind::Exchange};
+    task.add_comm(core::CollectiveOp{
+        kKinds[static_cast<std::size_t>(rng.uniform(0, 3))],
+        rng.chance(0.25) ? core::CommScope::Orthogonal : core::CommScope::Group,
+        static_cast<std::size_t>(rng.uniform(1, 64)) * 1024,
+        rng.uniform(1, 4)});
+  }
+  if (rng.chance(0.15)) task.set_max_cores(rng.uniform(1, 64));
+  return task;
+}
+
+}  // namespace
+
+core::TaskGraph layered_graph(Rng& rng, const GeneratorParams& params) {
+  core::TaskGraph g;
+  const int depth = rng.uniform(2, params.max_depth);
+  std::vector<core::TaskId> previous;
+  int counter = 0;
+  for (int d = 0; d < depth; ++d) {
+    const int width = rng.uniform(1, params.max_width);
+    std::vector<core::TaskId> current;
+    current.reserve(static_cast<std::size_t>(width));
+    for (int w = 0; w < width; ++w) {
+      current.push_back(
+          g.add_task(random_task(rng, params, "L" + std::to_string(counter++))));
+    }
+    for (core::TaskId to : current) {
+      bool connected = previous.empty();
+      for (core::TaskId from : previous) {
+        if (rng.chance(params.edge_density)) {
+          g.add_edge(from, to);
+          connected = true;
+        }
+      }
+      // Keep the graph layered: every non-source hangs off its previous layer.
+      if (!connected) {
+        g.add_edge(previous[static_cast<std::size_t>(rng.uniform(
+                       0, static_cast<int>(previous.size()) - 1))],
+                   to);
+      }
+    }
+    previous = std::move(current);
+  }
+  return g;
+}
+
+namespace {
+
+/// Recursive series-parallel expansion between two existing nodes.  The
+/// node budget bounds the worst case (deep all-parallel expansions are
+/// exponential in depth otherwise).
+void expand_sp(core::TaskGraph& g, Rng& rng, const GeneratorParams& params,
+               core::TaskId src, core::TaskId dst, int depth, int* counter,
+               int budget) {
+  if (depth <= 0 || *counter >= budget || rng.chance(0.3)) {
+    g.add_edge(src, dst);
+    return;
+  }
+  if (rng.chance(0.5)) {
+    // Series: src -> middle -> dst, both halves expanded further.
+    const core::TaskId mid = g.add_task(
+        random_task(rng, params, "S" + std::to_string((*counter)++)));
+    expand_sp(g, rng, params, src, mid, depth - 1, counter, budget);
+    expand_sp(g, rng, params, mid, dst, depth - 1, counter, budget);
+  } else {
+    // Parallel: independent branches between src and dst.
+    const int branches = rng.uniform(2, 4);
+    for (int b = 0; b < branches; ++b) {
+      const core::TaskId node = g.add_task(
+          random_task(rng, params, "P" + std::to_string((*counter)++)));
+      expand_sp(g, rng, params, src, node, depth - 1, counter, budget);
+      expand_sp(g, rng, params, node, dst, depth - 1, counter, budget);
+    }
+  }
+}
+
+}  // namespace
+
+core::TaskGraph series_parallel_graph(Rng& rng, const GeneratorParams& params) {
+  core::TaskGraph g;
+  int counter = 0;
+  const core::TaskId src =
+      g.add_task(random_task(rng, params, "S" + std::to_string(counter++)));
+  const core::TaskId dst =
+      g.add_task(random_task(rng, params, "S" + std::to_string(counter++)));
+  expand_sp(g, rng, params, src, dst, rng.uniform(1, params.max_depth / 2 + 1),
+            &counter, params.max_width * params.max_depth);
+  return g;
+}
+
+core::TaskGraph random_dag(Rng& rng, const GeneratorParams& params) {
+  core::TaskGraph g;
+  const int n = rng.uniform(3, params.max_width * params.max_depth);
+  for (int i = 0; i < n; ++i) {
+    g.add_task(random_task(rng, params, "R" + std::to_string(i)));
+  }
+  for (int to = 1; to < n; ++to) {
+    // Chain density: bias a share of the nodes onto single-predecessor
+    // chains so chain contraction has material to work on.
+    if (rng.chance(params.chain_density)) {
+      g.add_edge(to - 1, to);
+      continue;
+    }
+    const int edges = rng.uniform(0, std::min(3, to));
+    for (int e = 0; e < edges; ++e) {
+      const int from = rng.uniform(0, to - 1);
+      if (!g.has_edge(from, to)) g.add_edge(from, to);
+    }
+  }
+  return g;
+}
+
+core::TaskGraph ode_solver_graph(Rng& rng, std::string* name) {
+  static constexpr ode::Method kMethods[] = {
+      ode::Method::EPOL, ode::Method::IRK, ode::Method::DIIRK,
+      ode::Method::PAB, ode::Method::PABM};
+  ode::SolverGraphSpec spec;
+  spec.method = kMethods[static_cast<std::size_t>(rng.uniform(0, 4))];
+  spec.n = static_cast<std::size_t>(1) << rng.uniform(8, 14);
+  spec.stages = rng.uniform(2, 6);
+  spec.iterations = rng.uniform(1, 2);
+  spec.inner_iterations = rng.uniform(1, 2);
+  const int steps = rng.uniform(1, 3);
+  if (name != nullptr) {
+    std::ostringstream os;
+    os << ode::to_string(spec.method) << " n=" << spec.n
+       << " stages=" << spec.stages << " steps=" << steps;
+    *name = os.str();
+  }
+  const core::TaskGraph step = spec.step_graph();
+  return steps == 1 ? step : core::repeat_graph(step, steps);
+}
+
+core::TaskGraph npb_multizone_graph(Rng& rng, std::string* name) {
+  const npb::MzSolver solver =
+      rng.chance(0.5) ? npb::MzSolver::SP : npb::MzSolver::BT;
+  const char benchmark_class = rng.chance(0.5) ? 'S' : 'W';
+  const npb::MultiZoneProblem problem =
+      npb::make_problem(solver, benchmark_class);
+  if (name != nullptr) *name = problem.name();
+  return npb::step_graph(problem);
+}
+
+Instance random_instance(std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.seed = seed;
+  inst.family = static_cast<GraphFamily>(rng.uniform(0, 4));
+
+  // Machine shape: one of the paper's platforms, truncated to a random node
+  // count so the interconnect hierarchy varies with the instance.
+  static constexpr const char* kPresets[] = {"chic", "juropa", "altix"};
+  arch::MachineSpec spec = arch::machine_by_name(
+      kPresets[static_cast<std::size_t>(rng.uniform(0, 2))]);
+  spec.num_nodes = rng.uniform(2, 16);
+  inst.machine = spec;
+
+  GeneratorParams params;
+  params.max_width = rng.uniform(3, 10);
+  params.max_depth = rng.uniform(2, 7);
+  params.chain_density = rng.uniform_real(0.1, 0.6);
+  params.edge_density = rng.uniform_real(0.2, 0.8);
+  params.comm_probability = rng.uniform_real(0.2, 0.8);
+  // Heterogeneity: span the work range over 1..4 orders of magnitude.
+  params.min_work_flop = rng.uniform_real(1.0e6, 1.0e8);
+  params.max_work_flop =
+      params.min_work_flop * std::pow(10.0, rng.uniform_real(1.0, 4.0));
+
+  std::string detail;
+  switch (inst.family) {
+    case GraphFamily::Layered:
+      inst.graph = layered_graph(rng, params);
+      break;
+    case GraphFamily::SeriesParallel:
+      inst.graph = series_parallel_graph(rng, params);
+      break;
+    case GraphFamily::RandomDag:
+      inst.graph = random_dag(rng, params);
+      break;
+    case GraphFamily::OdeSolver:
+      inst.graph = ode_solver_graph(rng, &detail);
+      break;
+    case GraphFamily::NpbMultiZone:
+      inst.graph = npb_multizone_graph(rng, &detail);
+      break;
+  }
+
+  // Symbolic core count: between one node's cores and the whole machine.
+  const int per_node = spec.cores_per_node();
+  const int max_nodes = spec.num_nodes;
+  inst.total_cores = per_node * rng.uniform(1, max_nodes);
+
+  std::ostringstream os;
+  os << to_string(inst.family);
+  if (!detail.empty()) os << "(" << detail << ")";
+  os << " tasks=" << inst.graph.num_tasks() << " edges="
+     << inst.graph.num_edges() << " machine=" << spec.name << "x"
+     << spec.num_nodes << " cores=" << inst.total_cores;
+  inst.name = os.str();
+  return inst;
+}
+
+}  // namespace ptask::fuzz

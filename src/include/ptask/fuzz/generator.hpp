@@ -1,0 +1,78 @@
+#pragma once
+/// \file generator.hpp
+/// Seeded random M-task-program instance generator for the fuzz harness.
+///
+/// An instance is a task graph plus a machine shape plus a symbolic core
+/// count -- everything a scheduler run needs.  Five structural families are
+/// generated, chosen per instance:
+///
+///  * Layered   -- width x depth grids of independent tasks with forward
+///                 edges between adjacent layers (the shape the layer-based
+///                 algorithm is built for);
+///  * SeriesParallel -- recursive series/parallel compositions (the shape
+///                 CPA/CPR's critical-path reasoning is built for);
+///  * RandomDag -- unconstrained forward-edge DAGs with tunable chain
+///                 density (stress for chain contraction);
+///  * OdeSolver -- the paper's solver graph generators (EPOL/IRK/DIIRK/
+///                 PAB/PABM via ode::SolverGraphSpec), optionally repeated
+///                 over several time steps;
+///  * NpbMultiZone -- SP-MZ / BT-MZ zone graphs (npb::step_graph).
+///
+/// All randomness flows from the instance seed through fuzz::Rng, so an
+/// instance is reproduced exactly by its seed on any platform.
+
+#include <cstdint>
+#include <string>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/core/task_graph.hpp"
+#include "ptask/fuzz/rng.hpp"
+
+namespace ptask::fuzz {
+
+enum class GraphFamily {
+  Layered,
+  SeriesParallel,
+  RandomDag,
+  OdeSolver,
+  NpbMultiZone,
+};
+
+const char* to_string(GraphFamily family);
+
+/// Structural knobs of the synthetic families (ODE/NPB instances are shaped
+/// by their own generators instead).
+struct GeneratorParams {
+  int max_width = 8;            ///< max independent tasks per layer
+  int max_depth = 6;            ///< max layers / recursion depth
+  double chain_density = 0.35;  ///< probability of growing linear chains
+  double edge_density = 0.5;    ///< inter-layer / random edge probability
+  double comm_probability = 0.5;  ///< chance a task carries a collective
+  /// Cost heterogeneity: task work is log-uniform in this span.
+  double min_work_flop = 1.0e6;
+  double max_work_flop = 5.0e9;
+};
+
+/// One complete fuzz instance.
+struct Instance {
+  std::uint64_t seed = 0;   ///< reproduces the instance exactly
+  std::string name;         ///< family + shape summary for failure messages
+  GraphFamily family = GraphFamily::RandomDag;
+  core::TaskGraph graph;
+  arch::MachineSpec machine;  ///< machine shape (hierarchy + link speeds)
+  int total_cores = 1;        ///< symbolic cores handed to the schedulers
+};
+
+/// Generates the instance of `seed`: picks a family, a machine shape, and a
+/// core count, then builds the graph.  Deterministic in `seed`.
+Instance random_instance(std::uint64_t seed);
+
+/// Family-specific generators (used by random_instance; exposed so tests can
+/// target one family).
+core::TaskGraph layered_graph(Rng& rng, const GeneratorParams& params);
+core::TaskGraph series_parallel_graph(Rng& rng, const GeneratorParams& params);
+core::TaskGraph random_dag(Rng& rng, const GeneratorParams& params);
+core::TaskGraph ode_solver_graph(Rng& rng, std::string* name = nullptr);
+core::TaskGraph npb_multizone_graph(Rng& rng, std::string* name = nullptr);
+
+}  // namespace ptask::fuzz

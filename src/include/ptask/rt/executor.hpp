@@ -16,6 +16,7 @@
 #include <functional>
 #include <vector>
 
+#include "ptask/rt/fault_injection.hpp"
 #include "ptask/rt/group_comm.hpp"
 #include "ptask/rt/thread_team.hpp"
 #include "ptask/sched/schedule.hpp"
@@ -47,8 +48,11 @@ using TaskFn = std::function<void(ExecContext&)>;
 class Executor {
  public:
   /// `num_virtual_cores` worker threads play the symbolic cores; it must
-  /// equal the schedule's total_cores at run().
-  explicit Executor(int num_virtual_cores);
+  /// equal the schedule's total_cores at run().  Fault injection defaults to
+  /// the PTASK_FAULT_* environment toggles (disabled when unset); tests pass
+  /// explicit FaultOptions to perturb interleavings deterministically.
+  explicit Executor(int num_virtual_cores,
+                    FaultOptions faults = FaultOptions::from_env());
 
   /// Executes the schedule.  `functions[id]` is the body of original task
   /// `id`; contracted chains run their members in chain order on the same
@@ -58,8 +62,11 @@ class Executor {
 
   int num_virtual_cores() const { return team_.size(); }
 
+  const FaultInjector& fault_injector() const { return injector_; }
+
  private:
   ThreadTeam team_;
+  FaultInjector injector_;
 };
 
 }  // namespace ptask::rt

@@ -1,0 +1,60 @@
+#pragma once
+/// \file fault_injection.hpp
+/// Deterministic schedule perturbation for the shared-memory runtime.
+///
+/// The executor's correctness claim -- numerical results are independent of
+/// the schedule, group structure, and mapping -- only holds if the runtime
+/// synchronizes correctly; a latent ordering bug can hide behind the OS
+/// scheduler happening to interleave threads benignly.  The fault injector
+/// widens the explored interleavings: seeded pseudo-random per-task delays
+/// and yield storms are inserted at runtime synchronization points, which
+/// shakes out races under the fuzz harness and the ThreadSanitizer CI job.
+///
+/// All perturbation is derived from (seed, perturbation point), so a failing
+/// interleaving is at least statistically reproducible from the seed.
+///
+/// Environment toggles (read by FaultOptions::from_env, which the Executor
+/// uses by default):
+///   PTASK_FAULT_INJECT        "delays", "yield", or "all" (comma list)
+///   PTASK_FAULT_SEED          base seed (decimal or 0x hex; default 0)
+///   PTASK_FAULT_MAX_DELAY_US  per-delay cap in microseconds (default 100)
+
+#include <cstdint>
+
+namespace ptask::rt {
+
+struct FaultOptions {
+  bool task_delays = false;  ///< random sleeps around task invocations
+  bool yield_storm = false;  ///< bursts of std::this_thread::yield()
+  std::uint64_t seed = 0;
+  int max_delay_us = 100;
+
+  bool any() const { return task_delays || yield_storm; }
+
+  /// Parses the PTASK_FAULT_* environment variables (see file comment).
+  static FaultOptions from_env();
+};
+
+/// Injects perturbations at named points.  Disabled by default; all methods
+/// are safe to call concurrently from many workers.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultOptions options) : options_(options) {}
+
+  bool enabled() const { return options_.any(); }
+  const FaultOptions& options() const { return options_; }
+
+  /// Perturbs the calling thread at perturbation point `point` (hash the
+  /// worker index, task id, and phase into it).  Deterministically keyed:
+  /// the same (seed, point) always produces the same delay decision.
+  void perturb(std::uint64_t point) const;
+
+  /// Convenience key builder for (worker, task, phase) points.
+  static std::uint64_t point(int worker, std::int64_t task, int phase);
+
+ private:
+  FaultOptions options_;
+};
+
+}  // namespace ptask::rt

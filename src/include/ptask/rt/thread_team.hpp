@@ -34,6 +34,12 @@ class ThreadTeam {
   /// rethrown on the caller.
   void run(const std::function<void(int)>& fn);
 
+  /// Installs a hook every worker invokes immediately before each job (fault
+  /// injection uses this to perturb the dispatch order; see
+  /// rt/fault_injection.hpp).  Pass an empty function to remove it.  Must
+  /// not be called while a job is running.
+  void set_job_prologue(std::function<void(int)> hook);
+
  private:
   void worker_loop(int index);
 
@@ -41,6 +47,7 @@ class ThreadTeam {
   std::mutex mutex_;
   std::condition_variable start_cv_;
   std::condition_variable done_cv_;
+  std::function<void(int)> job_prologue_;
   const std::function<void(int)>* job_ = nullptr;
   std::uint64_t generation_ = 0;
   int remaining_ = 0;

@@ -6,7 +6,16 @@
 
 namespace ptask::rt {
 
-Executor::Executor(int num_virtual_cores) : team_(num_virtual_cores) {}
+Executor::Executor(int num_virtual_cores, FaultOptions faults)
+    : team_(num_virtual_cores), injector_(faults) {
+  if (injector_.enabled()) {
+    // Perturb every worker's job entry so layers start staggered instead of
+    // in the near-lockstep order the thread team's broadcast produces.
+    team_.set_job_prologue([this](int worker) {
+      injector_.perturb(FaultInjector::point(worker, -1, 0));
+    });
+  }
+}
 
 void Executor::run(const sched::LayeredSchedule& schedule,
                    const std::vector<TaskFn>& functions) {
@@ -74,7 +83,11 @@ void Executor::run(const sched::LayeredSchedule& schedule,
             continue;
           }
           const TaskFn& fn = functions[static_cast<std::size_t>(original)];
-          if (fn) fn(ctx);
+          if (fn) {
+            injector_.perturb(FaultInjector::point(worker, original, 1));
+            fn(ctx);
+            injector_.perturb(FaultInjector::point(worker, original, 2));
+          }
         }
         (void)contracted;
       }

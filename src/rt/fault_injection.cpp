@@ -1,0 +1,82 @@
+#include "ptask/rt/fault_injection.hpp"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace ptask::rt {
+
+namespace {
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+bool list_contains(const char* list, const char* word) {
+  const std::string s(list);
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = std::min(s.find(',', pos), s.size());
+    const std::string item = s.substr(pos, comma - pos);
+    if (item == word || item == "all") return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
+}  // namespace
+
+FaultOptions FaultOptions::from_env() {
+  FaultOptions options;
+  if (const char* modes = std::getenv("PTASK_FAULT_INJECT");
+      modes != nullptr && *modes != '\0') {
+    options.task_delays = list_contains(modes, "delays");
+    options.yield_storm = list_contains(modes, "yield");
+  }
+  if (const char* seed = std::getenv("PTASK_FAULT_SEED");
+      seed != nullptr && *seed != '\0') {
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(seed, &end, 0);
+    if (end != seed) options.seed = static_cast<std::uint64_t>(value);
+  }
+  if (const char* cap = std::getenv("PTASK_FAULT_MAX_DELAY_US");
+      cap != nullptr && *cap != '\0') {
+    const long value = std::strtol(cap, nullptr, 10);
+    if (value >= 0) options.max_delay_us = static_cast<int>(value);
+  }
+  return options;
+}
+
+std::uint64_t FaultInjector::point(int worker, std::int64_t task, int phase) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(worker))
+          << 40) ^
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(phase))
+          << 32) ^
+         static_cast<std::uint64_t>(task);
+}
+
+void FaultInjector::perturb(std::uint64_t point) const {
+  if (!enabled()) return;
+  const std::uint64_t h = mix64(options_.seed ^ mix64(point));
+  if (options_.yield_storm) {
+    // Burst of yields on ~half the points; length keyed by the hash.
+    const int yields = static_cast<int>((h >> 8) % 64);
+    if ((h & 1) != 0) {
+      for (int i = 0; i < yields; ++i) std::this_thread::yield();
+    }
+  }
+  if (options_.task_delays && options_.max_delay_us > 0) {
+    // Sleep on ~one third of the points; duration keyed by the hash.
+    if ((h >> 1) % 3 == 0) {
+      const auto us = static_cast<long>(
+          (h >> 16) % static_cast<std::uint64_t>(options_.max_delay_us + 1));
+      std::this_thread::sleep_for(std::chrono::microseconds(us));
+    }
+  }
+}
+
+}  // namespace ptask::rt

@@ -21,6 +21,14 @@ ThreadTeam::~ThreadTeam() {
   for (std::thread& w : workers_) w.join();
 }
 
+void ThreadTeam::set_job_prologue(std::function<void(int)> hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (remaining_ != 0) {
+    throw std::logic_error("cannot install a job prologue mid-job");
+  }
+  job_prologue_ = std::move(hook);
+}
+
 void ThreadTeam::run(const std::function<void(int)>& fn) {
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
@@ -37,6 +45,7 @@ void ThreadTeam::worker_loop(int index) {
   std::uint64_t seen = 0;
   while (true) {
     const std::function<void(int)>* job = nullptr;
+    const std::function<void(int)>* prologue = nullptr;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       start_cv_.wait(lock,
@@ -44,9 +53,14 @@ void ThreadTeam::worker_loop(int index) {
       if (shutdown_) return;
       seen = generation_;
       job = job_;
+      // The prologue only changes between jobs (set_job_prologue holds the
+      // lock and refuses mid-job installs), so the pointer stays valid for
+      // the duration of this job.
+      if (job_prologue_) prologue = &job_prologue_;
     }
     std::exception_ptr error;
     try {
+      if (prologue) (*prologue)(index);
       (*job)(index);
     } catch (...) {
       error = std::current_exception();

@@ -1,0 +1,125 @@
+// Randomized scheduling fuzz harness: seeded random instances (synthetic
+// families plus the paper's ODE and NPB graph generators) pushed through
+// every scheduler and cross-checked with the differential oracles of
+// ptask::fuzz -- structural validation, makespan agreement between
+// independent code paths, discrete-event replay, and schedule-independent
+// executor results.
+//
+// Reproduction: every failure message carries the instance seed; re-run with
+//   PTASK_FUZZ_SEED=<seed> PTASK_FUZZ_INSTANCES=1 ./fuzz_scheduler_test
+// to regenerate exactly that instance first.  PTASK_FUZZ_INSTANCES scales
+// the sweep (CI sanitizer jobs use a reduced count).
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "ptask/fuzz/generator.hpp"
+#include "ptask/fuzz/oracles.hpp"
+#include "ptask/fuzz/rng.hpp"
+
+namespace ptask::fuzz {
+namespace {
+
+std::uint64_t base_seed() { return seed_from_env(kDefaultFuzzSeed); }
+
+int instance_count() {
+  if (const char* env = std::getenv("PTASK_FUZZ_INSTANCES");
+      env != nullptr && *env != '\0') {
+    const long value = std::strtol(env, nullptr, 10);
+    if (value > 0) return static_cast<int>(value);
+  }
+  return 200;
+}
+
+/// One announcement per binary run so CI logs always show how to reproduce.
+class SeedAnnouncer : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    std::cerr << "[fuzz] base seed " << base_seed() << " ("
+              << instance_count()
+              << " instances; override with PTASK_FUZZ_SEED / "
+                 "PTASK_FUZZ_INSTANCES)\n";
+  }
+};
+
+using FuzzScheduler = SeedAnnouncer;
+
+TEST_F(FuzzScheduler, RandomInstancesSatisfyAllOracles) {
+  const std::uint64_t base = base_seed();
+  const int count = instance_count();
+  int schedules = 0;
+  int executor_runs = 0;
+  for (int i = 0; i < count; ++i) {
+    const Instance instance = random_instance(substream(base,
+        static_cast<std::uint64_t>(i)));
+    OracleOptions options;
+    // Replaying the simulation twice is the costliest oracle; sample it.
+    options.check_sim_determinism = (i % 8 == 0);
+    const OracleReport report = check_instance(instance, options);
+    EXPECT_TRUE(report.ok())
+        << "instance " << i << " (seed " << instance.seed << ", "
+        << instance.name << "):\n"
+        << report.summary()
+        << "reproduce with PTASK_FUZZ_SEED=" << base;
+    schedules += report.schedules_checked;
+    executor_runs += report.executor_runs;
+  }
+  // The sweep must actually exercise the oracles (8 scheduler outputs and 4
+  // executor runs per instance).
+  EXPECT_GE(schedules, count * 8);
+  EXPECT_GE(executor_runs, count * 4);
+}
+
+TEST_F(FuzzScheduler, EveryGraphFamilyIsGenerated) {
+  const std::uint64_t base = base_seed();
+  std::set<GraphFamily> seen;
+  for (int i = 0; i < 64 && seen.size() < 5; ++i) {
+    seen.insert(
+        random_instance(substream(base, static_cast<std::uint64_t>(i)))
+            .family);
+  }
+  EXPECT_EQ(seen.size(), 5u) << "family mix degenerated";
+}
+
+TEST_F(FuzzScheduler, InstancesAreReproducibleFromTheirSeed) {
+  const std::uint64_t seed = substream(base_seed(), 7);
+  const Instance a = random_instance(seed);
+  const Instance b = random_instance(seed);
+  EXPECT_EQ(a.name, b.name);
+  ASSERT_EQ(a.graph.num_tasks(), b.graph.num_tasks());
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (core::TaskId id = 0; id < a.graph.num_tasks(); ++id) {
+    EXPECT_EQ(a.graph.task(id).name(), b.graph.task(id).name());
+    EXPECT_EQ(a.graph.task(id).work_flop(), b.graph.task(id).work_flop());
+  }
+  EXPECT_EQ(a.total_cores, b.total_cores);
+}
+
+TEST_F(FuzzScheduler, FaultInjectionPreservesExecutorResults) {
+  // A reduced sweep with aggressive interleaving perturbation: randomized
+  // per-task delays plus yield storms.  Any ordering bug in the runtime
+  // surfaces as a result mismatch (or as a race under the TSan CI job).
+  const std::uint64_t base = substream(base_seed(), 0xFA01);
+  const int count = std::max(8, instance_count() / 10);
+  for (int i = 0; i < count; ++i) {
+    const Instance instance =
+        random_instance(substream(base, static_cast<std::uint64_t>(i)));
+    OracleOptions options;
+    options.executor_faults.task_delays = true;
+    options.executor_faults.yield_storm = true;
+    options.executor_faults.seed = instance.seed;
+    options.executor_faults.max_delay_us = 50;
+    const OracleReport report = check_instance(instance, options);
+    EXPECT_TRUE(report.ok())
+        << "instance " << i << " (seed " << instance.seed << ", "
+        << instance.name << "):\n"
+        << report.summary()
+        << "reproduce with PTASK_FUZZ_SEED=" << base_seed();
+  }
+}
+
+}  // namespace
+}  // namespace ptask::fuzz

@@ -1,6 +1,12 @@
 // Property-based tests: randomized task graphs, distributions, and
 // collective patterns checked against structural invariants, with a
 // deterministic seeded generator so failures reproduce.
+//
+// Seeds are fixed by default; setting PTASK_FUZZ_SEED mixes an override into
+// every parameterized seed (XOR, so behaviour with the variable unset is
+// bit-identical to not having the override at all).  Every test announces
+// its effective seed via SCOPED_TRACE, so a failure log always carries the
+// numbers needed to reproduce it.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +15,7 @@
 #include <set>
 
 #include "ptask/core/graph_algorithms.hpp"
+#include "ptask/fuzz/rng.hpp"
 #include "ptask/dist/redistribution.hpp"
 #include "ptask/map/mapping.hpp"
 #include "ptask/net/collectives.hpp"
@@ -22,29 +29,8 @@
 namespace ptask {
 namespace {
 
-/// Small deterministic PRNG (xorshift64*).
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : state_(seed | 1) {}
-  std::uint64_t next() {
-    state_ ^= state_ >> 12;
-    state_ ^= state_ << 25;
-    state_ ^= state_ >> 27;
-    return state_ * 0x2545F4914F6CDD1Dull;
-  }
-  int uniform(int lo, int hi) {  // inclusive bounds
-    return lo + static_cast<int>(next() % static_cast<std::uint64_t>(
-                                              hi - lo + 1));
-  }
-  double uniform_real(double lo, double hi) {
-    return lo + (hi - lo) * static_cast<double>(next() >> 11) /
-                    static_cast<double>(1ull << 53);
-  }
-  bool chance(double p) { return uniform_real(0.0, 1.0) < p; }
-
- private:
-  std::uint64_t state_;
-};
+// Shared deterministic PRNG (SplitMix64, identical across platforms).
+using Rng = fuzz::Rng;
 
 /// Random DAG: forward edges only, random works, some comm ops.
 core::TaskGraph random_graph(Rng& rng, int n_tasks) {
@@ -79,10 +65,26 @@ arch::Machine machine(int nodes = 16) {
   return arch::Machine(spec);
 }
 
-class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {};
+class RandomGraphTest : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  /// Effective seed for this test instance: the suite parameter, the
+  /// optional PTASK_FUZZ_SEED override, and a per-test stream constant (so
+  /// sibling tests on the same parameter see unrelated randomness).
+  std::uint64_t seed(std::uint64_t stream = 0) const {
+    return GetParam() ^ fuzz::seed_from_env(0) ^ stream;
+  }
+
+  /// Reproduction breadcrumb attached to every failure in scope.
+  ::testing::Message trace(std::uint64_t effective) const {
+    return ::testing::Message()
+           << "rng seed " << effective << " (param " << GetParam()
+           << ", PTASK_FUZZ_SEED override " << fuzz::seed_from_env(0) << ")";
+  }
+};
 
 TEST_P(RandomGraphTest, AllSchedulersProduceValidSchedules) {
-  Rng rng(GetParam());
+  SCOPED_TRACE(trace(seed()));
+  Rng rng(seed());
   const int n_tasks = rng.uniform(3, 40);
   const core::TaskGraph g = random_graph(rng, n_tasks);
   const int cores = 4 * rng.uniform(1, 16);
@@ -104,7 +106,8 @@ TEST_P(RandomGraphTest, AllSchedulersProduceValidSchedules) {
 }
 
 TEST_P(RandomGraphTest, MappingsAreAlwaysDisjointPermutationSlices) {
-  Rng rng(GetParam() ^ 0x9E3779B97F4A7C15ull);
+  SCOPED_TRACE(trace(seed(0x9E3779B97F4A7C15ull)));
+  Rng rng(seed(0x9E3779B97F4A7C15ull));
   const core::TaskGraph g = random_graph(rng, rng.uniform(3, 25));
   const int cores = 4 * rng.uniform(1, 16);
   const arch::Machine m = machine();
@@ -130,7 +133,8 @@ TEST_P(RandomGraphTest, MappingsAreAlwaysDisjointPermutationSlices) {
 }
 
 TEST_P(RandomGraphTest, ChainContractionPreservesWorkAndReachability) {
-  Rng rng(GetParam() ^ 0xD1B54A32D192ED03ull);
+  SCOPED_TRACE(trace(seed(0xD1B54A32D192ED03ull)));
+  Rng rng(seed(0xD1B54A32D192ED03ull));
   const core::TaskGraph g = random_graph(rng, rng.uniform(4, 60));
   const core::ChainContraction cc = core::contract_linear_chains(g);
   EXPECT_NEAR(cc.contracted.total_work_flop(), g.total_work_flop(),
@@ -154,7 +158,8 @@ TEST_P(RandomGraphTest, ChainContractionPreservesWorkAndReachability) {
 }
 
 TEST_P(RandomGraphTest, LayeringIsAPartitionIntoAntichains) {
-  Rng rng(GetParam() ^ 0xA0761D6478BD642Full);
+  SCOPED_TRACE(trace(seed(0xA0761D6478BD642Full)));
+  Rng rng(seed(0xA0761D6478BD642Full));
   const core::TaskGraph g = random_graph(rng, rng.uniform(4, 60));
   std::set<core::TaskId> seen;
   for (const std::vector<core::TaskId>& layer : core::greedy_layers(g)) {
@@ -169,7 +174,8 @@ TEST_P(RandomGraphTest, LayeringIsAPartitionIntoAntichains) {
 }
 
 TEST_P(RandomGraphTest, RedistributionConservesVolume) {
-  Rng rng(GetParam() ^ 0xE7037ED1A0B428DBull);
+  SCOPED_TRACE(trace(seed(0xE7037ED1A0B428DBull)));
+  Rng rng(seed(0xE7037ED1A0B428DBull));
   const std::size_t n = static_cast<std::size_t>(rng.uniform(1, 5000));
   const std::size_t q1 = static_cast<std::size_t>(rng.uniform(1, 24));
   const std::size_t q2 = static_cast<std::size_t>(rng.uniform(1, 24));
@@ -204,7 +210,8 @@ TEST_P(RandomGraphTest, RedistributionConservesVolume) {
 }
 
 TEST_P(RandomGraphTest, CollectivesDeliverToEveryRank) {
-  Rng rng(GetParam() ^ 0x589965CC75374CC3ull);
+  SCOPED_TRACE(trace(seed(0x589965CC75374CC3ull)));
+  Rng rng(seed(0x589965CC75374CC3ull));
   const int ranks = rng.uniform(2, 40);
   // Bcast coverage: simulate holder propagation.
   {
@@ -241,7 +248,8 @@ TEST_P(RandomGraphTest, CollectivesDeliverToEveryRank) {
 }
 
 TEST_P(RandomGraphTest, SimulatedMakespanBoundsHold) {
-  Rng rng(GetParam() ^ 0x1D8E4E27C47D124Full);
+  SCOPED_TRACE(trace(seed(0x1D8E4E27C47D124Full)));
+  Rng rng(seed(0x1D8E4E27C47D124Full));
   const core::TaskGraph g = random_graph(rng, rng.uniform(3, 15));
   const int cores = 4 * rng.uniform(1, 8);
   const arch::Machine m = machine();

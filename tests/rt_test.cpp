@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <mutex>
 #include <numeric>
@@ -276,6 +277,163 @@ TEST(Executor, OrthogonalCommunicatorsBindSamePositions) {
     EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(gi * 2)], 600.0);
     EXPECT_DOUBLE_EQ(sums[static_cast<std::size_t>(gi * 2 + 1)], 604.0);
   }
+}
+
+/// Hand-built one-layer schedule with explicit group sizes and task
+/// assignment (identity contraction), for exercising group structures the
+/// scheduler search would not normally pick.
+sched::LayeredSchedule manual_layer(const core::TaskGraph& g, int total_cores,
+                                    std::vector<int> group_sizes,
+                                    std::vector<int> task_group) {
+  sched::LayeredSchedule s;
+  s.total_cores = total_cores;
+  s.contraction.contracted = g;
+  s.contraction.members.resize(static_cast<std::size_t>(g.num_tasks()));
+  s.contraction.representative.resize(static_cast<std::size_t>(g.num_tasks()));
+  std::vector<core::TaskId> tasks;
+  for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+    s.contraction.members[static_cast<std::size_t>(id)] = {id};
+    s.contraction.representative[static_cast<std::size_t>(id)] = id;
+    tasks.push_back(id);
+  }
+  sched::ScheduledLayer layer;
+  layer.tasks = std::move(tasks);
+  layer.group_sizes = std::move(group_sizes);
+  layer.task_group = std::move(task_group);
+  s.layers.push_back(std::move(layer));
+  return s;
+}
+
+TEST(Executor, UnequalGroupsGiveHighRanksNoOrthogonalComm) {
+  // Groups of 3 and 1 cores: orthogonal communicators only exist up to the
+  // smallest group's size, so only position 0 is bound across groups; the
+  // higher ranks of the large group must see orth == nullptr.
+  core::TaskGraph g;
+  g.add_task(core::MTask("t0", 1.0));
+  g.add_task(core::MTask("t1", 1.0));
+  const sched::LayeredSchedule s = manual_layer(g, 4, {3, 1}, {0, 1});
+
+  std::array<std::atomic<int>, 4> orth_size{};  // indexed by worker
+  std::vector<TaskFn> fns(2);
+  for (int i = 0; i < 2; ++i) {
+    fns[static_cast<std::size_t>(i)] = [&](ExecContext& ctx) {
+      const int worker =
+          (ctx.group_index == 0 ? 0 : 3) + ctx.group_rank;  // layout offset
+      orth_size[static_cast<std::size_t>(worker)] =
+          ctx.orth == nullptr ? 0 : ctx.orth->size();
+      if (ctx.orth != nullptr) {
+        // Orthogonal rank == group index; lockstep across both groups.
+        const double sum = ctx.orth->allreduce_sum(
+            ctx.group_index, static_cast<double>(ctx.group_index + 1));
+        EXPECT_DOUBLE_EQ(sum, 3.0);  // groups 0 and 1 contribute 1 and 2
+      }
+    };
+  }
+  Executor exec(4);
+  exec.run(s, fns);
+  EXPECT_EQ(orth_size[0].load(), 2);  // group 0, position 0: bound
+  EXPECT_EQ(orth_size[1].load(), 0);  // group 0, positions 1-2: unbound
+  EXPECT_EQ(orth_size[2].load(), 0);
+  EXPECT_EQ(orth_size[3].load(), 2);  // group 1, position 0: bound
+}
+
+TEST(Executor, LockstepOrthogonalCollectivesAcrossThreeGroups) {
+  // Three groups of two cores each running structurally identical tasks:
+  // every position must be bound across all three groups, and a *sequence*
+  // of orthogonal collectives must stay in lockstep (the stage-vector
+  // solver pattern of paper Section 4.2).
+  core::TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_task(core::MTask("t" + std::to_string(i), 1.0));
+  }
+  const sched::LayeredSchedule s = manual_layer(g, 6, {2, 2, 2}, {0, 1, 2});
+
+  std::array<std::atomic<int>, 6> checks_passed{};
+  std::vector<TaskFn> fns(3);
+  for (int i = 0; i < 3; ++i) {
+    fns[static_cast<std::size_t>(i)] = [&](ExecContext& ctx) {
+      ASSERT_NE(ctx.orth, nullptr);
+      ASSERT_EQ(ctx.orth->size(), 3);
+      const int worker = ctx.group_index * 2 + ctx.group_rank;
+      int passed = 0;
+      // Collective 1: sum of group indices across the three groups.
+      const double sum = ctx.orth->allreduce_sum(
+          ctx.group_index, static_cast<double>(ctx.group_index));
+      if (sum == 3.0) ++passed;  // 0 + 1 + 2
+      // Collective 2: max of position-scaled values.
+      const double max = ctx.orth->allreduce_max(
+          ctx.group_index,
+          static_cast<double>(10 * ctx.group_index + ctx.group_rank));
+      if (max == static_cast<double>(20 + ctx.group_rank)) ++passed;
+      // Collective 3: broadcast from the middle group.
+      std::array<double, 1> data{
+          ctx.group_index == 1 ? 42.0 + ctx.group_rank : 0.0};
+      ctx.orth->bcast(ctx.group_index, /*root=*/1, data);
+      if (data[0] == 42.0 + ctx.group_rank) ++passed;
+      checks_passed[static_cast<std::size_t>(worker)] = passed;
+    };
+  }
+  Executor exec(6);
+  exec.run(s, fns);
+  for (int w = 0; w < 6; ++w) {
+    EXPECT_EQ(checks_passed[static_cast<std::size_t>(w)].load(), 3)
+        << "worker " << w;
+  }
+}
+
+TEST(Executor, SingleGroupMultiTaskLayerHasNullOrth) {
+  // One group with several tasks assigned back-to-back: num_groups == 1, so
+  // no orthogonal communicator exists for any of them.
+  core::TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_task(core::MTask("t" + std::to_string(i), 1.0));
+  }
+  const sched::LayeredSchedule s = manual_layer(g, 4, {4}, {0, 0, 0});
+  std::atomic<int> null_orths{0};
+  std::vector<TaskFn> fns(3);
+  for (int i = 0; i < 3; ++i) {
+    fns[static_cast<std::size_t>(i)] = [&](ExecContext& ctx) {
+      EXPECT_EQ(ctx.num_groups, 1);
+      if (ctx.orth == nullptr) null_orths++;
+    };
+  }
+  Executor exec(4);
+  exec.run(s, fns);
+  EXPECT_EQ(null_orths.load(), 12);  // 3 tasks x 4 group members
+}
+
+TEST(Executor, FaultInjectionPreservesSemantics) {
+  // Aggressive delays and yield storms must not change what executes or
+  // what the collectives compute.
+  core::TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_task(core::MTask("t" + std::to_string(i), 1.0));
+  }
+  const sched::LayeredSchedule s = manual_layer(g, 6, {2, 2, 2}, {0, 1, 2});
+  FaultOptions faults;
+  faults.task_delays = true;
+  faults.yield_storm = true;
+  faults.seed = 0xFA117;
+  faults.max_delay_us = 50;
+  Executor exec(6, faults);
+  EXPECT_TRUE(exec.fault_injector().enabled());
+  std::atomic<int> good{0};
+  std::vector<TaskFn> fns(3);
+  for (int i = 0; i < 3; ++i) {
+    fns[static_cast<std::size_t>(i)] = [&](ExecContext& ctx) {
+      const double sum = ctx.comm->allreduce_sum(ctx.group_rank, 1.0);
+      if (sum == static_cast<double>(ctx.group_size)) good++;
+    };
+  }
+  for (int round = 0; round < 5; ++round) {
+    exec.run(s, fns);
+  }
+  EXPECT_EQ(good.load(), 5 * 6);
+}
+
+TEST(FaultOptionsEnv, ParsesToggleList) {
+  FaultOptions options = FaultOptions::from_env();  // env unset: disabled
+  EXPECT_FALSE(options.any());
 }
 
 TEST(Executor, NoOrthogonalCommWithSingleGroup) {
