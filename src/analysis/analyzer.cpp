@@ -1,0 +1,563 @@
+#include "ptask/analysis/analyzer.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <exception>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ptask/core/graph_algorithms.hpp"
+#include "ptask/dist/redistribution.hpp"
+#include "ptask/sched/timeline.hpp"
+
+namespace ptask::analysis {
+namespace {
+
+using core::TaskGraph;
+using core::TaskId;
+
+std::string task_ref(const TaskGraph& g, TaskId id) {
+  std::ostringstream os;
+  os << "'" << g.task(id).name() << "' (id " << id << ")";
+  return os.str();
+}
+
+/// Dense bitset reachability matrix, built once per analyzed graph so that
+/// the race pass can answer independence queries in O(1).
+class ReachMatrix {
+ public:
+  explicit ReachMatrix(const TaskGraph& g) : n_(g.num_tasks()) {
+    words_ = (n_ + 63) / 64;
+    bits_.assign(static_cast<std::size_t>(n_) * static_cast<std::size_t>(words_),
+                 0);
+    const std::vector<TaskId> order = g.topological_order();
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const TaskId u = *it;
+      std::uint64_t* row = row_ptr(u);
+      for (const TaskId s : g.successors(u)) {
+        row[s / 64] |= std::uint64_t{1} << (s % 64);
+        const std::uint64_t* srow = row_ptr(s);
+        for (int w = 0; w < words_; ++w) row[w] |= srow[w];
+      }
+    }
+  }
+
+  bool reaches(TaskId a, TaskId b) const {
+    return (row_ptr(a)[b / 64] >> (b % 64)) & 1U;
+  }
+
+  bool independent(TaskId a, TaskId b) const {
+    return a != b && !reaches(a, b) && !reaches(b, a);
+  }
+
+  template <typename Fn>
+  void for_each_reachable(TaskId id, Fn&& fn) const {
+    const std::uint64_t* row = row_ptr(id);
+    for (int w = 0; w < words_; ++w) {
+      std::uint64_t bits = row[w];
+      while (bits != 0) {
+        fn(w * 64 + std::countr_zero(bits));
+        bits &= bits - 1;
+      }
+    }
+  }
+
+ private:
+  std::uint64_t* row_ptr(TaskId id) {
+    return bits_.data() +
+           static_cast<std::size_t>(id) * static_cast<std::size_t>(words_);
+  }
+  const std::uint64_t* row_ptr(TaskId id) const {
+    return bits_.data() +
+           static_cast<std::size_t>(id) * static_cast<std::size_t>(words_);
+  }
+
+  int n_;
+  int words_;
+  std::vector<std::uint64_t> bits_;
+};
+
+/// Builds diagnostics against one graph, filling in task names from ids.
+class Emitter {
+ public:
+  Emitter(const TaskGraph& graph, Report& report)
+      : graph_(&graph), report_(&report) {}
+
+  void emit(std::string_view code, Severity severity, std::vector<TaskId> tasks,
+            std::vector<std::string> vars, std::string message) {
+    Diagnostic d;
+    d.code = std::string(code);
+    d.severity = severity;
+    d.tasks = std::move(tasks);
+    d.task_names.reserve(d.tasks.size());
+    for (const TaskId id : d.tasks) {
+      d.task_names.push_back(graph_->task(id).name());
+    }
+    d.vars = std::move(vars);
+    d.message = std::move(message);
+    report_->diagnostics.push_back(std::move(d));
+  }
+
+  const TaskGraph& graph() const { return *graph_; }
+
+ private:
+  const TaskGraph* graph_;
+  Report* report_;
+};
+
+// ---- pass 1: shared-variable race detection (PTA001, PTA002) ----
+
+void race_pass(const TaskGraph& g, const ReachMatrix& reach, Emitter& out) {
+  struct VarAccess {
+    std::vector<TaskId> writers;
+    std::vector<TaskId> readers;
+  };
+  std::map<std::string, VarAccess> access;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    for (const core::Param& p : g.task(id).params()) {
+      VarAccess& a = access[p.name];
+      if (p.is_output) a.writers.push_back(id);
+      if (p.is_input) a.readers.push_back(id);
+    }
+  }
+  for (const auto& [name, a] : access) {
+    std::set<TaskId> writer_set(a.writers.begin(), a.writers.end());
+    for (std::size_t i = 0; i < a.writers.size(); ++i) {
+      for (std::size_t j = i + 1; j < a.writers.size(); ++j) {
+        const TaskId x = a.writers[i];
+        const TaskId y = a.writers[j];
+        if (reach.independent(x, y)) {
+          out.emit(kRaceWaw, Severity::Error, {x, y}, {name},
+                   "tasks " + task_ref(g, x) + " and " + task_ref(g, y) +
+                       " both define '" + name +
+                       "' but are independent in the graph (WAW race)");
+        }
+      }
+    }
+    for (const TaskId w : a.writers) {
+      for (const TaskId r : a.readers) {
+        if (w == r) continue;
+        // A reader that is also a writer was already reported as WAW.
+        if (writer_set.count(r) != 0) continue;
+        if (reach.independent(w, r)) {
+          out.emit(kRaceRaw, Severity::Error, {w, r}, {name},
+                   task_ref(g, r) + " reads '" + name +
+                       "' with no ordering against writer " + task_ref(g, w) +
+                       " (RAW/WAR race)");
+        }
+      }
+    }
+  }
+}
+
+// ---- pass 2: distribution/size consistency (PTA010, PTA011) ----
+
+/// Mirrors the matching rule of sched::redistribution_edges /
+/// gantt_redistribution_time: a consumer input is fed by the producer's
+/// *last* output parameter of the same name, and the plan moves
+/// min(producer, consumer) bytes in elem-sized pieces.
+void size_pass(const TaskGraph& g, std::size_t elem, Emitter& out) {
+  for (TaskId u = 0; u < g.num_tasks(); ++u) {
+    for (const TaskId v : g.successors(u)) {
+      for (const core::Param& in : g.task(v).params()) {
+        if (!in.is_input) continue;
+        const core::Param* producer = nullptr;
+        for (const core::Param& p : g.task(u).params()) {
+          if (p.is_output && p.name == in.name) producer = &p;
+        }
+        if (producer == nullptr) continue;
+        const std::string edge = "edge " + task_ref(g, u) + " -> " +
+                                 task_ref(g, v) + ": '" + in.name + "'";
+        if (producer->bytes != in.bytes) {
+          std::ostringstream os;
+          os << edge << " produced with " << producer->bytes
+             << " bytes but consumed with " << in.bytes << " bytes";
+          out.emit(kSizeMismatch, Severity::Error, {u, v}, {in.name},
+                   os.str());
+        }
+        const std::size_t moved = std::min(producer->bytes, in.bytes);
+        if (elem > 0 && moved > 0 && moved % elem != 0) {
+          std::ostringstream os;
+          os << edge << " matched payload of " << moved
+             << " bytes is not a multiple of the " << elem
+             << "-byte element size (the re-distribution plan drops the "
+                "fractional tail)";
+          out.emit(kBadRedistribution, Severity::Error, {u, v}, {in.name},
+                   os.str());
+        }
+      }
+    }
+  }
+}
+
+// ---- pass 3: graph hygiene (PTA020, PTA021, PTA023) ----
+
+void hygiene_pass(const TaskGraph& g, const ReachMatrix& reach,
+                  double chain_clamp_factor, Emitter& out) {
+  std::vector<TaskId> starts;
+  std::vector<TaskId> stops;
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (!g.task(id).is_marker()) continue;
+    if (g.in_degree(id) == 0) starts.push_back(id);
+    if (g.out_degree(id) == 0) stops.push_back(id);
+  }
+  // PTA020: only meaningful relative to a start/stop envelope; each half is
+  // inert when the graph has no marker of that kind.
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    if (g.task(id).is_marker()) continue;
+    const bool from_start =
+        starts.empty() || std::any_of(starts.begin(), starts.end(),
+                                      [&](TaskId s) {
+                                        return reach.reaches(s, id);
+                                      });
+    const bool to_stop =
+        stops.empty() || std::any_of(stops.begin(), stops.end(),
+                                     [&](TaskId s) {
+                                       return reach.reaches(id, s);
+                                     });
+    if (from_start && to_stop) continue;
+    std::string why;
+    if (!from_start) why = "is not reachable from the start marker";
+    if (!to_stop) {
+      if (!why.empty()) why += " and ";
+      why += "does not reach the stop marker";
+    }
+    out.emit(kUnreachableTask, Severity::Error, {id}, {},
+             "task " + task_ref(g, id) + " " + why);
+  }
+
+  // PTA021 (warning): an output no reachable non-marker task consumes.  A
+  // task with no reachable non-marker tasks at all produces program outputs.
+  std::vector<std::set<std::string>> inputs_of(
+      static_cast<std::size_t>(g.num_tasks()));
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    for (const core::Param& p : g.task(id).params()) {
+      if (p.is_input) inputs_of[static_cast<std::size_t>(id)].insert(p.name);
+    }
+  }
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const core::MTask& t = g.task(id);
+    if (t.is_marker()) continue;
+    bool has_downstream = false;
+    std::set<std::string> consumed;
+    reach.for_each_reachable(id, [&](int r) {
+      if (g.task(r).is_marker()) return;
+      has_downstream = true;
+      const std::set<std::string>& ins = inputs_of[static_cast<std::size_t>(r)];
+      consumed.insert(ins.begin(), ins.end());
+    });
+    if (!has_downstream) continue;
+    for (const core::Param& p : t.params()) {
+      if (!p.is_output || consumed.count(p.name) != 0) continue;
+      out.emit(kDeadWrite, Severity::Warning, {id}, {p.name},
+               "output '" + p.name + "' of task " + task_ref(g, id) +
+                   " is never consumed by any reachable task");
+    }
+  }
+
+  // PTA023 (warning): chain contraction clamps the merged node to the most
+  // restrictive member; a chain mixing very different max_cores serializes
+  // the wide members onto the narrow member's group.
+  const core::ChainContraction contraction = core::contract_linear_chains(g);
+  for (const std::vector<TaskId>& chain : contraction.members) {
+    if (chain.size() < 2) continue;
+    int min_mc = g.task(chain.front()).max_cores();
+    int max_mc = min_mc;
+    for (const TaskId id : chain) {
+      min_mc = std::min(min_mc, g.task(id).max_cores());
+      max_mc = std::max(max_mc, g.task(id).max_cores());
+    }
+    if (static_cast<double>(max_mc) <
+        chain_clamp_factor * static_cast<double>(min_mc)) {
+      continue;
+    }
+    std::ostringstream os;
+    os << "linear chain";
+    for (const TaskId id : chain) os << " " << task_ref(g, id);
+    os << " mixes max_cores " << min_mc << " and " << max_mc
+       << "; contraction clamps the merged node to " << min_mc << " core(s)";
+    out.emit(kDegenerateChain, Severity::Warning, chain, {}, os.str());
+  }
+}
+
+// ---- pass 4: cost-model sanity (PTA030, PTA031, PTA032) ----
+
+void profile_pass(const TaskGraph& g, Emitter& out) {
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const core::MTask& t = g.task(id);
+    if (!std::isfinite(t.work_flop()) || t.work_flop() < 0.0) {
+      std::ostringstream os;
+      os << "task " << task_ref(g, id) << " has invalid work "
+         << t.work_flop() << " flop";
+      out.emit(kBadTaskProfile, Severity::Error, {id}, {}, os.str());
+    }
+    if (t.max_cores() < 1) {
+      std::ostringstream os;
+      os << "task " << task_ref(g, id) << " has max_cores " << t.max_cores()
+         << " (< 1)";
+      out.emit(kBadTaskProfile, Severity::Error, {id}, {}, os.str());
+    }
+    for (const core::CollectiveOp& op : t.comms()) {
+      if (op.repeat < 0) {
+        std::ostringstream os;
+        os << "task " << task_ref(g, id) << " has a "
+           << core::to_string(op.kind) << " collective with repeat "
+           << op.repeat << " (< 0)";
+        out.emit(kBadTaskProfile, Severity::Error, {id}, {}, os.str());
+      }
+    }
+    if (!t.is_marker() && t.work_flop() == 0.0 && t.comms().empty()) {
+      out.emit(kZeroCostTask, Severity::Warning, {id}, {},
+               "task " + task_ref(g, id) +
+                   " has zero work and no communication; LPT assignment is "
+                   "arbitrary for it");
+    }
+  }
+}
+
+void cost_pass(const TaskGraph& g, const cost::CostModel& cost,
+               int total_cores, Emitter& out) {
+  const int cap = std::min(total_cores, 1024);
+  for (TaskId id = 0; id < g.num_tasks(); ++id) {
+    const core::MTask& t = g.task(id);
+    if (t.is_marker()) continue;
+    try {
+      double prev_comp = 0.0;
+      for (int q = 1; q <= cap; ++q) {
+        const double comp = cost.symbolic_compute_time(t, q);
+        const double total = cost.symbolic_task_time(t, q, 1, total_cores);
+        if (!std::isfinite(total) || total < 0.0) {
+          std::ostringstream os;
+          os << "task " << task_ref(g, id) << ": T(M, q) = " << total
+             << " at q = " << q;
+          out.emit(kBadCostModel, Severity::Error, {id}, {}, os.str());
+          break;
+        }
+        if (q > 1 && comp > prev_comp * (1.0 + 1e-9) + 1e-300) {
+          std::ostringstream os;
+          os << "task " << task_ref(g, id)
+             << ": compute time increases with the core count (" << prev_comp
+             << " s at q = " << q - 1 << ", " << comp << " s at q = " << q
+             << ")";
+          out.emit(kBadCostModel, Severity::Error, {id}, {}, os.str());
+          break;
+        }
+        prev_comp = comp;
+      }
+    } catch (const std::exception& e) {
+      out.emit(kBadCostModel, Severity::Error, {id}, {},
+               "task " + task_ref(g, id) + ": cost model threw: " + e.what());
+    }
+  }
+}
+
+}  // namespace
+
+// ---- entry points ----
+
+Report Analyzer::analyze(const core::TaskGraph& graph) const {
+  Report report;
+  if (graph.empty()) return report;
+  Emitter out(graph, report);
+  const ReachMatrix reach(graph);
+  if (options_.race_detection) race_pass(graph, reach, out);
+  if (options_.size_consistency) {
+    size_pass(graph, options_.redistribution_elem_bytes, out);
+  }
+  if (options_.graph_hygiene) {
+    hygiene_pass(graph, reach, options_.chain_clamp_factor, out);
+  }
+  if (options_.cost_sanity) profile_pass(graph, out);
+  return report;
+}
+
+Report Analyzer::analyze(const core::TaskGraph& graph,
+                         const arch::Machine& machine, int total_cores) const {
+  Report report = analyze(graph);
+  if (graph.empty() || !options_.cost_sanity || total_cores < 1) return report;
+  Emitter out(graph, report);
+  const cost::CostModel cost(machine);
+  cost_pass(graph, cost, total_cores, out);
+  return report;
+}
+
+namespace {
+
+/// Shared body of the two HierGraph overloads: analyze one level, check the
+/// composite bodies (PTA022), recurse.
+template <typename AnalyzeLevel>
+Report analyze_hier(const Analyzer& analyzer, const core::HierGraph& program,
+                    AnalyzeLevel&& analyze_level) {
+  Report report = analyze_level(program.graph);
+  const core::TaskGraph& g = program.graph;
+  for (const auto& [id, body] : program.sub) {
+    const bool valid_id = id >= 0 && id < g.num_tasks();
+    std::string ref = valid_id ? task_ref(g, id)
+                               : "(id " + std::to_string(id) + ")";
+    std::string problem;
+    if (!valid_id) {
+      problem = "composite id is out of range";
+    } else if (g.task(id).is_marker()) {
+      problem = "marker task has a composite body";
+    } else if (body == nullptr) {
+      problem = "composite node " + ref + " has no body";
+    } else {
+      int basic = 0;
+      for (core::TaskId t = 0; t < body->graph.num_tasks(); ++t) {
+        if (!body->graph.task(t).is_marker()) ++basic;
+      }
+      if (basic == 0) {
+        problem = "composite node " + ref +
+                  " has an empty body (flattening would disconnect its "
+                  "neighbours)";
+      }
+    }
+    if (!problem.empty()) {
+      if (analyzer.options().graph_hygiene) {
+        Diagnostic d;
+        d.code = std::string(kEmptyComposite);
+        d.severity = Severity::Error;
+        if (valid_id) {
+          d.tasks = {id};
+          d.task_names = {g.task(id).name()};
+        }
+        d.message = std::move(problem);
+        report.diagnostics.push_back(std::move(d));
+      }
+      continue;
+    }
+    Report sub_report =
+        analyze_hier(analyzer, *body, analyze_level);
+    report.merge(std::move(sub_report), "'" + g.task(id).name() + "'");
+  }
+  return report;
+}
+
+}  // namespace
+
+Report Analyzer::analyze(const core::HierGraph& program) const {
+  return analyze_hier(*this, program, [&](const core::TaskGraph& g) {
+    return analyze(g);
+  });
+}
+
+Report Analyzer::analyze(const core::HierGraph& program,
+                         const arch::Machine& machine, int total_cores) const {
+  return analyze_hier(*this, program, [&](const core::TaskGraph& g) {
+    return analyze(g, machine, total_cores);
+  });
+}
+
+// ---- pass 5: schedule lints (PTA040, PTA041) ----
+
+Report Analyzer::lint(const sched::LayeredSchedule& schedule,
+                      const cost::CostModel& cost) const {
+  Report report;
+  const core::TaskGraph& g = schedule.contraction.contracted;
+  Emitter out(g, report);
+  for (std::size_t li = 0; li < schedule.layers.size(); ++li) {
+    const sched::ScheduledLayer& layer = schedule.layers[li];
+    std::vector<int> tasks_in_group(layer.group_sizes.size(), 0);
+    for (const int gi : layer.task_group) {
+      if (gi >= 0 && static_cast<std::size_t>(gi) < tasks_in_group.size()) {
+        ++tasks_in_group[static_cast<std::size_t>(gi)];
+      }
+    }
+    for (std::size_t gi = 0; gi < tasks_in_group.size(); ++gi) {
+      if (tasks_in_group[gi] != 0) continue;
+      std::ostringstream os;
+      os << "layer " << li << ": group " << gi << " ("
+         << layer.group_sizes[gi]
+         << " cores) has no assigned tasks and idles for the whole layer";
+      out.emit(kIdleCores, Severity::Warning, {}, {}, os.str());
+    }
+  }
+
+  const std::size_t elem = options_.redistribution_elem_bytes;
+  const arch::LinkParams& slow =
+      cost.machine().link(arch::CommLevel::InterNode);
+  for (const sched::RedistributionEdge& e : sched::redistribution_edges(schedule)) {
+    if (elem == 0 || e.bytes / elem == 0) continue;
+    const sched::ScheduledLayer& src_layer = schedule.layers[e.producer_layer];
+    const sched::ScheduledLayer& dst_layer = schedule.layers[e.consumer_layer];
+    const int q1 = src_layer.group_sizes[static_cast<std::size_t>(e.producer_group)];
+    const int q2 = dst_layer.group_sizes[static_cast<std::size_t>(e.consumer_group)];
+    if (q1 < 1 || q2 < 1) continue;
+    const bool same_groups = q1 == q2 && e.producer_group == e.consumer_group;
+    const dist::RedistributionPlan plan = dist::RedistributionPlan::compute(
+        e.bytes / elem, elem, e.src_dist, static_cast<std::size_t>(q1),
+        e.dst_dist, static_cast<std::size_t>(q2), same_groups);
+    std::vector<double> rank_time(static_cast<std::size_t>(q1), 0.0);
+    for (const dist::Transfer& t : plan.transfers()) {
+      if (t.src_rank < rank_time.size()) {
+        rank_time[t.src_rank] += slow.transfer_time(t.bytes);
+      }
+    }
+    double t_re = 0.0;
+    for (const double t : rank_time) t_re = std::max(t_re, t);
+    double t_task = 0.0;
+    try {
+      t_task = cost.symbolic_task_time(g.task(e.consumer), q2,
+                                       dst_layer.num_groups(),
+                                       schedule.total_cores);
+    } catch (const std::exception&) {
+      continue;  // broken profile; the analyze() passes report it
+    }
+    if (t_re <= options_.redistribution_dominance * t_task) continue;
+    std::ostringstream os;
+    os << "re-distributing '" << e.param_name << "' from "
+       << task_ref(g, e.producer) << " into " << task_ref(g, e.consumer)
+       << " costs ~" << t_re << " s vs " << t_task
+       << " s of consumer execution; the group structure pays more "
+          "data movement than it saves";
+    out.emit(kRedistributionDominated, Severity::Warning,
+             {e.producer, e.consumer}, {e.param_name}, os.str());
+  }
+  return report;
+}
+
+Report Analyzer::lint(const core::TaskGraph& graph,
+                      const sched::GanttSchedule& schedule,
+                      const cost::CostModel& cost) const {
+  Report report;
+  Emitter out(graph, report);
+  if (schedule.total_cores > 0) {
+    std::vector<bool> used(static_cast<std::size_t>(schedule.total_cores),
+                           false);
+    for (const sched::TaskSlot& slot : schedule.slots) {
+      for (const int c : slot.cores) {
+        if (c >= 0 && c < schedule.total_cores) {
+          used[static_cast<std::size_t>(c)] = true;
+        }
+      }
+    }
+    const int idle = static_cast<int>(
+        std::count(used.begin(), used.end(), false));
+    if (idle > 0) {
+      std::ostringstream os;
+      os << idle << " of " << schedule.total_cores
+         << " symbolic cores are never used by any task slot";
+      out.emit(kIdleCores, Severity::Warning, {}, {}, os.str());
+    }
+  }
+  if (schedule.makespan > 0.0) {
+    const double t_re =
+        sched::gantt_redistribution_time(graph, schedule, cost);
+    if (t_re > options_.redistribution_dominance * schedule.makespan) {
+      std::ostringstream os;
+      os << "re-distribution accounts for ~" << t_re << " s of a "
+         << schedule.makespan
+         << " s makespan; the schedule is dominated by data movement";
+      out.emit(kRedistributionDominated, Severity::Warning, {}, {}, os.str());
+    }
+  }
+  return report;
+}
+
+}  // namespace ptask::analysis

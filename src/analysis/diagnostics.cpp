@@ -1,0 +1,187 @@
+#include "ptask/analysis/diagnostics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ptask::analysis {
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::Warning:
+      return "warning";
+    case Severity::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+struct CodeEntry {
+  std::string_view code;
+  std::string_view description;
+};
+
+constexpr CodeEntry kCodeTable[] = {
+    {kRaceWaw, "WAW race: two independent tasks define the same Var"},
+    {kRaceRaw, "RAW/WAR race: an unordered reader/writer pair of a Var"},
+    {kSizeMismatch,
+     "size mismatch: a consumer reads a Var with a different byte size than "
+     "its producer declared"},
+    {kBadRedistribution,
+     "ill-defined re-distribution: matched payload smaller than one element "
+     "or not a multiple of the element size"},
+    {kUnreachableTask,
+     "unreachable task: a non-marker task disconnected from the start/stop "
+     "marker envelope"},
+    {kDeadWrite,
+     "dead write: an output Var no reachable task consumes and that is not a "
+     "program output"},
+    {kEmptyComposite, "composite node with a missing or empty body"},
+    {kDegenerateChain,
+     "degenerate chain: contraction clamps the merged node far below the "
+     "widest member's parallelism"},
+    {kBadTaskProfile,
+     "broken task profile: negative/non-finite work, max_cores < 1, or a "
+     "collective with repeat < 0"},
+    {kBadCostModel,
+     "broken cost model: T(M, q) negative/non-finite or Tcomp(M)/q "
+     "increasing for some q in {1..P}"},
+    {kZeroCostTask, "zero-cost task: LPT assignment is arbitrary for it"},
+    {kIdleCores,
+     "idle cores: a layer group with no tasks, or Gantt cores no slot uses"},
+    {kRedistributionDominated,
+     "re-distribution-dominated: cross-group data movement exceeds the "
+     "useful work it feeds"},
+};
+
+}  // namespace
+
+std::string_view describe(std::string_view code) {
+  for (const CodeEntry& entry : kCodeTable) {
+    if (entry.code == code) return entry.description;
+  }
+  return {};
+}
+
+const std::vector<std::string_view>& all_codes() {
+  static const std::vector<std::string_view> codes = [] {
+    std::vector<std::string_view> out;
+    out.reserve(std::size(kCodeTable));
+    for (const CodeEntry& entry : kCodeTable) out.push_back(entry.code);
+    return out;
+  }();
+  return codes;
+}
+
+int Report::error_count() const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Error;
+                    }));
+}
+
+int Report::warning_count() const {
+  return static_cast<int>(diagnostics.size()) - error_count();
+}
+
+bool Report::has(std::string_view code) const {
+  return count(code) > 0;
+}
+
+int Report::count(std::string_view code) const {
+  return static_cast<int>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [&](const Diagnostic& d) { return d.code == code; }));
+}
+
+void Report::merge(Report other, const std::string& scope) {
+  diagnostics.reserve(diagnostics.size() + other.diagnostics.size());
+  for (Diagnostic& d : other.diagnostics) {
+    if (!scope.empty()) {
+      d.scope = d.scope.empty() ? scope : scope + "/" + d.scope;
+    }
+    diagnostics.push_back(std::move(d));
+  }
+}
+
+std::string render_text(const Report& report) {
+  std::ostringstream os;
+  for (const Diagnostic& d : report.diagnostics) {
+    os << to_string(d.severity) << "[" << d.code << "]";
+    if (!d.scope.empty()) os << " " << d.scope << ":";
+    os << " " << d.message << "\n";
+  }
+  os << report.error_count() << " error(s), " << report.warning_count()
+     << " warning(s)\n";
+  return os.str();
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+             << "0123456789abcdef"[c & 0xF];
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string render_json(const Report& report) {
+  std::ostringstream os;
+  os << "{\"errors\":" << report.error_count()
+     << ",\"warnings\":" << report.warning_count() << ",\"diagnostics\":[";
+  for (std::size_t i = 0; i < report.diagnostics.size(); ++i) {
+    const Diagnostic& d = report.diagnostics[i];
+    if (i > 0) os << ",";
+    os << "{\"code\":";
+    append_json_string(os, d.code);
+    os << ",\"severity\":";
+    append_json_string(os, to_string(d.severity));
+    os << ",\"scope\":";
+    append_json_string(os, d.scope);
+    os << ",\"tasks\":[";
+    for (std::size_t t = 0; t < d.tasks.size(); ++t) {
+      if (t > 0) os << ",";
+      os << "{\"id\":" << d.tasks[t] << ",\"name\":";
+      append_json_string(os,
+                         t < d.task_names.size() ? d.task_names[t] : "");
+      os << "}";
+    }
+    os << "],\"vars\":[";
+    for (std::size_t v = 0; v < d.vars.size(); ++v) {
+      if (v > 0) os << ",";
+      append_json_string(os, d.vars[v]);
+    }
+    os << "],\"message\":";
+    append_json_string(os, d.message);
+    os << "}";
+  }
+  os << "]}";
+  return os.str();
+}
+
+}  // namespace ptask::analysis

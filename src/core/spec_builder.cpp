@@ -162,6 +162,16 @@ TaskGraph flatten(const HierGraph& program, int iterations) {
     // Composite: inline the (recursively flattened) body `iterations` times
     // and chain the copies via repeat_graph's sink->source edges.
     const TaskGraph body = flatten(*it->second, 1);
+    if (body.empty()) {
+      // A composite whose body holds no basic tasks would otherwise vanish
+      // from the flat graph and silently disconnect its predecessors from
+      // its successors; keep the composite itself (with its accumulated work
+      // hint) as a basic task instead.
+      const TaskId flat_id = flat.add_task(top.task(id));
+      entries[static_cast<std::size_t>(id)] = {flat_id};
+      exits[static_cast<std::size_t>(id)] = {flat_id};
+      continue;
+    }
     const TaskGraph unrolled = repeat_graph(body, iterations);
     std::vector<TaskId> map(static_cast<std::size_t>(unrolled.num_tasks()));
     for (TaskId b = 0; b < unrolled.num_tasks(); ++b) {

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <cstring>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
+#include "ptask/analysis/analyzer.hpp"
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/map/mapping.hpp"
 #include "ptask/rt/executor.hpp"
@@ -18,6 +21,46 @@
 namespace ptask::fuzz {
 
 namespace {
+
+/// Copies `g` with all tasks and all edges except `skip_from -> skip_to`.
+core::TaskGraph copy_without_edge(const core::TaskGraph& g,
+                                  core::TaskId skip_from,
+                                  core::TaskId skip_to) {
+  core::TaskGraph out;
+  for (core::TaskId id = 0; id < g.num_tasks(); ++id) out.add_task(g.task(id));
+  for (core::TaskId u = 0; u < g.num_tasks(); ++u) {
+    for (const core::TaskId v : g.successors(u)) {
+      if (u == skip_from && v == skip_to) continue;
+      out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+/// First edge between two non-marker tasks, or {kInvalidTask, kInvalidTask}.
+std::pair<core::TaskId, core::TaskId> first_basic_edge(
+    const core::TaskGraph& g) {
+  for (core::TaskId u = 0; u < g.num_tasks(); ++u) {
+    if (g.task(u).is_marker()) continue;
+    for (const core::TaskId v : g.successors(u)) {
+      if (!g.task(v).is_marker()) return {u, v};
+    }
+  }
+  return {core::kInvalidTask, core::kInvalidTask};
+}
+
+/// First pair of independent non-marker tasks, or invalid ids.
+std::pair<core::TaskId, core::TaskId> independent_basic_pair(
+    const core::TaskGraph& g) {
+  for (core::TaskId a = 0; a < g.num_tasks(); ++a) {
+    if (g.task(a).is_marker()) continue;
+    for (core::TaskId b = a + 1; b < g.num_tasks(); ++b) {
+      if (g.task(b).is_marker()) continue;
+      if (g.independent(a, b)) return {a, b};
+    }
+  }
+  return {core::kInvalidTask, core::kInvalidTask};
+}
 
 class Checker {
  public:
@@ -93,6 +136,7 @@ class Checker {
                            .schedule);
 
     if (options_.check_executor) check_executor();
+    if (options_.check_lint) check_lint(layered);
   }
 
  private:
@@ -343,6 +387,126 @@ class Checker {
       rt::Executor faulty(cores, options_.executor_faults);
       run_executor("exec[layer,faults]", faulty, schedules.front().second,
                    reference);
+    }
+  }
+
+  // ---- oracle 6: static-analysis differential ----
+
+  /// Clean-graph half: the generators build consistent graphs by
+  /// construction, so the analyzer must report zero errors (warnings are
+  /// legitimate, e.g. IRK's deliberately unconsumed stage outputs).  The
+  /// schedule lints run for crash coverage; they are warning tier.
+  void check_lint(const sched::LayeredSchedule& layered) {
+    const analysis::Analyzer analyzer;
+    ++report_.lints_checked;
+    const analysis::Report rep = analyzer.analyze(
+        instance_.graph, machine_, instance_.total_cores);
+    if (!rep.clean()) {
+      fail("lint-clean", "generated graph has lint errors:\n" +
+                             analysis::render_text(rep));
+    }
+    (void)analyzer.lint(layered, cost_);
+    mutate_size(analyzer);
+    mutate_dependency(analyzer);
+  }
+
+  /// Mutation half A: corrupting a matched parameter's byte size must raise
+  /// PTA010.  Prefers corrupting a real matched pair; graphs without
+  /// parameters (synthetic families, PAB/PABM, NPB zones) get a mismatched
+  /// pair injected across an existing edge, or across a new edge between two
+  /// independent tasks when no basic edge exists at all (NPB's zones only
+  /// meet at the sync marker).
+  void mutate_size(const analysis::Analyzer& analyzer) {
+    core::TaskGraph mutated = instance_.graph;
+    bool corrupted = false;
+    for (core::TaskId u = 0; u < mutated.num_tasks() && !corrupted; ++u) {
+      for (const core::TaskId v : mutated.successors(u)) {
+        for (core::Param& in : mutated.task(v).mutable_params()) {
+          if (!in.is_input || in.bytes == 0) continue;
+          bool matched = false;
+          for (const core::Param& p : mutated.task(u).params()) {
+            if (p.is_output && p.name == in.name && p.bytes == in.bytes) {
+              matched = true;
+            }
+          }
+          if (!matched) continue;
+          // Stay a multiple of the element size so that exactly PTA010
+          // (and not PTA011) is the expected finding.
+          in.bytes += sizeof(double);
+          corrupted = true;
+          break;
+        }
+        if (corrupted) break;
+      }
+    }
+    if (!corrupted) {
+      auto [u, v] = first_basic_edge(mutated);
+      if (u == core::kInvalidTask) {
+        std::tie(u, v) = independent_basic_pair(mutated);
+        if (u == core::kInvalidTask) return;  // degenerate single-task graph
+        mutated.add_edge(u, v);
+      }
+      core::Param out_p;
+      out_p.name = "fz_payload";
+      out_p.bytes = 64;
+      out_p.is_output = true;
+      core::Param in_p = out_p;
+      in_p.is_output = false;
+      in_p.is_input = true;
+      in_p.bytes = 128;
+      mutated.task(u).add_param(out_p);
+      mutated.task(v).add_param(in_p);
+    }
+    ++report_.lint_mutations;
+    if (!analyzer.analyze(mutated).has(analysis::kSizeMismatch)) {
+      fail("lint-mutation[size]",
+           "byte-size corruption was not flagged as PTA010");
+    }
+  }
+
+  /// Mutation half B: a missing ordering edge between conflicting tasks must
+  /// raise PTA001/PTA002.  Prefers removing a real edge (and injecting the
+  /// conflicting variable pair across the now-unordered endpoints); when no
+  /// edge removal disconnects its endpoints, the conflict is injected onto
+  /// an already-independent pair, modelling the omitted dependency directly.
+  void mutate_dependency(const analysis::Analyzer& analyzer) {
+    const core::TaskGraph& g = instance_.graph;
+    core::TaskGraph mutated;
+    core::TaskId u = core::kInvalidTask;
+    core::TaskId v = core::kInvalidTask;
+    for (core::TaskId a = 0; a < g.num_tasks() && u == core::kInvalidTask;
+         ++a) {
+      if (g.task(a).is_marker()) continue;
+      for (const core::TaskId b : g.successors(a)) {
+        if (g.task(b).is_marker()) continue;
+        core::TaskGraph candidate = copy_without_edge(g, a, b);
+        if (candidate.independent(a, b)) {
+          mutated = std::move(candidate);
+          u = a;
+          v = b;
+          break;
+        }
+      }
+    }
+    if (u == core::kInvalidTask) {
+      std::tie(u, v) = independent_basic_pair(g);
+      if (u == core::kInvalidTask) return;
+      mutated = g;
+    }
+    core::Param out_p;
+    out_p.name = "fz_race";
+    out_p.bytes = 64;
+    out_p.is_output = true;
+    core::Param in_p = out_p;
+    in_p.is_output = false;
+    in_p.is_input = true;
+    mutated.task(u).add_param(out_p);
+    mutated.task(v).add_param(in_p);
+    ++report_.lint_mutations;
+    const analysis::Report rep = analyzer.analyze(mutated);
+    if (!rep.has(analysis::kRaceRaw) && !rep.has(analysis::kRaceWaw)) {
+      fail("lint-mutation[race]",
+           "removed/missing dependency was not flagged as PTA001/PTA002");
     }
   }
 

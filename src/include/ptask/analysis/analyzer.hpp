@@ -1,0 +1,88 @@
+#pragma once
+/// \file analyzer.hpp
+/// Static analysis of specification programs, M-task graphs, and schedules
+/// (ptask::analysis).
+///
+/// The CM-task toolchain front-loads correctness: the def/use analysis of
+/// the specification program derives the input-output relations that make
+/// concurrent M-task execution safe (paper Section 2.2), and the scheduler
+/// relies on those relations being complete and consistent.  The analyzer
+/// checks exactly that, *before* anything is scheduled or executed:
+///
+///  1. shared-variable race detection -- two tasks whose parameters conflict
+///     (RAW/WAR/WAW on the same Var) but that are independent in the graph
+///     indicate a missing input-output relation (a hand-built graph bug or a
+///     SpecBuilder serialization bug);
+///  2. distribution/size consistency -- a consumer reading a Var with a
+///     different byte size than its producer declared, or re-distribution
+///     pairs whose payload makes the transfer plan ill-defined;
+///  3. graph hygiene -- unreachable tasks, dead writes, composite nodes with
+///     missing/empty bodies, chains the contraction step would clamp;
+///  4. cost-model sanity -- negative or non-monotone T(M, q) over
+///     q in {1..P}, zero-cost tasks that make LPT assignment arbitrary;
+///  5. schedule lints (warning tier) -- idle-core layers and
+///     re-distribution-dominated edges that indicate a bad group count.
+///
+/// All entry points return a `Report` of `Diagnostic`s with stable PTA0xx
+/// codes (see diagnostics.hpp); none of them throws on a bad graph.
+
+#include "ptask/analysis/diagnostics.hpp"
+#include "ptask/arch/machine.hpp"
+#include "ptask/core/spec_builder.hpp"
+#include "ptask/core/task_graph.hpp"
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::analysis {
+
+struct AnalyzerOptions {
+  bool race_detection = true;    ///< pass 1 (PTA001, PTA002)
+  bool size_consistency = true;  ///< pass 2 (PTA010, PTA011)
+  bool graph_hygiene = true;     ///< pass 3 (PTA020..PTA023)
+  bool cost_sanity = true;       ///< pass 4 (PTA030..PTA032)
+
+  /// Element granularity of re-distribution payloads (the re-distribution
+  /// machinery moves sizeof(double)-element vectors).
+  std::size_t redistribution_elem_bytes = sizeof(double);
+  /// PTA023 fires when a chain member's max_cores is at least this factor
+  /// below the widest member's.
+  double chain_clamp_factor = 4.0;
+  /// PTA041 fires when re-distribution exceeds this fraction of the consumer
+  /// task's time (per edge) or of the makespan (whole schedule).
+  double redistribution_dominance = 0.5;
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(AnalyzerOptions options = {}) : options_(options) {}
+
+  const AnalyzerOptions& options() const { return options_; }
+
+  /// Passes 1-3 plus the machine-independent part of pass 4.
+  Report analyze(const core::TaskGraph& graph) const;
+
+  /// Additionally prices every task over q in {1..total_cores} (PTA031).
+  Report analyze(const core::TaskGraph& graph, const arch::Machine& machine,
+                 int total_cores) const;
+
+  /// Hierarchical program: analyzes the top-level graph and every composite
+  /// body (recursively), plus composite-body hygiene (PTA022).
+  Report analyze(const core::HierGraph& program) const;
+  Report analyze(const core::HierGraph& program, const arch::Machine& machine,
+                 int total_cores) const;
+
+  /// Pass 5 on a layered schedule: idle groups and re-distribution-dominated
+  /// cross-layer edges.  Warning tier only.
+  Report lint(const sched::LayeredSchedule& schedule,
+              const cost::CostModel& cost) const;
+
+  /// Pass 5 on a Gantt schedule (CPA/CPR output or a lowered layered
+  /// schedule): unused cores and whole-schedule re-distribution dominance.
+  Report lint(const core::TaskGraph& graph, const sched::GanttSchedule& schedule,
+              const cost::CostModel& cost) const;
+
+ private:
+  AnalyzerOptions options_;
+};
+
+}  // namespace ptask::analysis

@@ -1,0 +1,103 @@
+#pragma once
+/// \file diagnostics.hpp
+/// Structured diagnostics emitted by the static analyzer (ptask::analysis).
+///
+/// Every finding carries a *stable* code (PTA0xx) so that tests, the fuzz
+/// oracle, and downstream tooling can match on the class of problem instead
+/// of on message text.  The code table:
+///
+///   PTA001  error    WAW race: two independent tasks define the same Var
+///   PTA002  error    RAW/WAR race: an unordered reader/writer pair of a Var
+///   PTA010  error    size mismatch: a consumer reads a Var with a byte size
+///                    different from what its producer declared
+///   PTA011  error    ill-defined re-distribution: a matched producer ->
+///                    consumer pair whose payload is smaller than one element
+///                    or not a multiple of the element size (the plan would
+///                    silently drop the fractional tail)
+///   PTA020  error    unreachable task: a non-marker task not connected to
+///                    the graph's start/stop marker envelope
+///   PTA021  warning  dead write: an output Var no reachable task consumes
+///                    and that is not a program output
+///   PTA022  error    composite node with a missing or empty body
+///   PTA023  warning  degenerate chain: contraction would clamp the merged
+///                    node far below the widest member's parallelism
+///   PTA030  error    broken task profile: negative/non-finite work,
+///                    max_cores < 1, or a collective with repeat < 0
+///   PTA031  error    broken cost model: T(M, q) negative/non-finite or
+///                    Tcomp(M)/q increasing for some q in {1..P}
+///   PTA032  warning  zero-cost task: LPT assignment is arbitrary for it
+///   PTA040  warning  idle cores: a layer group with no tasks, or Gantt
+///                    cores no slot ever uses
+///   PTA041  warning  re-distribution-dominated: a cross-group edge (or the
+///                    whole schedule) pays more re-distribution than compute,
+///                    indicating a bad group count
+///
+/// See docs/ANALYSIS.md for a minimal triggering example per code.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptask/core/mtask.hpp"
+
+namespace ptask::analysis {
+
+enum class Severity { Warning, Error };
+
+const char* to_string(Severity severity);
+
+/// Diagnostic codes (use these constants instead of string literals).
+inline constexpr std::string_view kRaceWaw = "PTA001";
+inline constexpr std::string_view kRaceRaw = "PTA002";
+inline constexpr std::string_view kSizeMismatch = "PTA010";
+inline constexpr std::string_view kBadRedistribution = "PTA011";
+inline constexpr std::string_view kUnreachableTask = "PTA020";
+inline constexpr std::string_view kDeadWrite = "PTA021";
+inline constexpr std::string_view kEmptyComposite = "PTA022";
+inline constexpr std::string_view kDegenerateChain = "PTA023";
+inline constexpr std::string_view kBadTaskProfile = "PTA030";
+inline constexpr std::string_view kBadCostModel = "PTA031";
+inline constexpr std::string_view kZeroCostTask = "PTA032";
+inline constexpr std::string_view kIdleCores = "PTA040";
+inline constexpr std::string_view kRedistributionDominated = "PTA041";
+
+/// One-line description of a diagnostic code; empty for unknown codes.
+std::string_view describe(std::string_view code);
+
+/// All known codes in ascending order (for `ptask_lint --codes` and tests).
+const std::vector<std::string_view>& all_codes();
+
+/// One analyzer finding.
+struct Diagnostic {
+  std::string code;                  ///< stable "PTA0xx" code
+  Severity severity = Severity::Error;
+  std::vector<core::TaskId> tasks;   ///< involved tasks (ids in the graph)
+  std::vector<std::string> task_names;  ///< names matching `tasks`
+  std::vector<std::string> vars;     ///< involved variable/parameter names
+  std::string scope;                 ///< "" = top level; else composite path
+  std::string message;               ///< human-readable one-liner
+};
+
+/// All findings of one analyzer run.
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  int error_count() const;
+  int warning_count() const;
+  /// True when the report contains no *errors* (warnings are allowed).
+  bool clean() const { return error_count() == 0; }
+  bool has(std::string_view code) const;
+  int count(std::string_view code) const;
+
+  /// Appends `other`'s diagnostics, prefixing their scope with `scope`.
+  void merge(Report other, const std::string& scope);
+};
+
+/// Compiler-style text rendering, one line per diagnostic:
+///   error[PTA002] <scope>: message
+std::string render_text(const Report& report);
+
+/// JSON rendering: {"errors":N,"warnings":M,"diagnostics":[{...}]}.
+std::string render_json(const Report& report);
+
+}  // namespace ptask::analysis

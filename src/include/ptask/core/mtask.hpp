@@ -82,6 +82,9 @@ class MTask {
   /// Data parameters.
   const std::vector<Param>& params() const { return params_; }
   void add_param(Param p) { params_.push_back(std::move(p)); }
+  /// Mutable access for tools that rewrite parameter annotations (the fuzz
+  /// harness's lint mutations corrupt byte sizes in place).
+  std::vector<Param>& mutable_params() { return params_; }
 
   /// Maximum useful degree of parallelism (e.g. the number of vector
   /// components); the scheduler never assigns more cores than this.

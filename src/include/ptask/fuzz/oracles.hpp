@@ -24,7 +24,13 @@
 ///     rt::Executor under several structurally distinct schedules (searched
 ///     groups, forced groups, no chain contraction, data parallel); the
 ///     numerical results must be bit-identical to a sequential reference,
-///     optionally with fault injection perturbing the interleavings.
+///     optionally with fault injection perturbing the interleavings;
+///  6. static-analysis differential -- every generated graph must pass
+///     ptask::analysis error-free (the generators build consistent graphs
+///     by construction), and seeded mutations must be flagged: corrupting a
+///     matched parameter's byte size must raise PTA010, and removing (or
+///     omitting) an ordering edge between conflicting tasks must raise
+///     PTA001/PTA002.
 ///
 /// A failed oracle appends a message (with the instance seed and name) to
 /// the report instead of asserting, so one harness run reports every
@@ -63,12 +69,16 @@ struct OracleOptions {
   int executor_max_cores = 8;
   /// Extra executor run with these perturbations when any() is set.
   rt::FaultOptions executor_faults{};
+  /// Run the static analyzer as oracle 6 (lint-clean + seeded mutations).
+  bool check_lint = true;
 };
 
 struct OracleReport {
   std::vector<std::string> errors;
   int schedules_checked = 0;  ///< scheduler outputs that went through 1-4
   int executor_runs = 0;      ///< distinct schedules executed for real
+  int lints_checked = 0;      ///< graphs analyzed by the lint-clean oracle
+  int lint_mutations = 0;     ///< seeded mutations checked for detection
   bool ok() const { return errors.empty(); }
   /// All error messages joined, for test failure output.
   std::string summary() const;

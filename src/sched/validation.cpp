@@ -13,6 +13,12 @@ void add_error(ValidationReport& report, const std::string& message) {
   report.errors.push_back(message);
 }
 
+/// "'name' (id N)" -- diagnostics carry both so fuzz logs are greppable by
+/// either the task's name or its bare index.
+std::string task_ref(const core::TaskGraph& graph, core::TaskId id) {
+  return "'" + graph.task(id).name() + "' (id " + std::to_string(id) + ")";
+}
+
 }  // namespace
 
 ValidationReport validate(const LayeredSchedule& schedule,
@@ -70,8 +76,8 @@ ValidationReport validate(const LayeredSchedule& schedule,
         if (!contracted.independent(layer.tasks[i], layer.tasks[j])) {
           add_error(report,
                     prefix.str() + "dependent tasks share a layer: " +
-                        contracted.task(layer.tasks[i]).name() + " and " +
-                        contracted.task(layer.tasks[j]).name());
+                        task_ref(contracted, layer.tasks[i]) + " and " +
+                        task_ref(contracted, layer.tasks[j]));
         }
       }
     }
@@ -80,7 +86,7 @@ ValidationReport validate(const LayeredSchedule& schedule,
   for (core::TaskId id = 0; id < contracted.num_tasks(); ++id) {
     if (contracted.task(id).is_marker()) continue;
     if (appearances[static_cast<std::size_t>(id)] != 1) {
-      add_error(report, "task " + contracted.task(id).name() + " appears " +
+      add_error(report, "task " + task_ref(contracted, id) + " appears " +
                             std::to_string(
                                 appearances[static_cast<std::size_t>(id)]) +
                             " times");
@@ -94,8 +100,8 @@ ValidationReport validate(const LayeredSchedule& schedule,
       if (contracted.task(s).is_marker()) continue;
       if (layer_of[static_cast<std::size_t>(id)] >=
           layer_of[static_cast<std::size_t>(s)]) {
-        add_error(report, "edge " + contracted.task(id).name() + " -> " +
-                              contracted.task(s).name() +
+        add_error(report, "edge " + task_ref(contracted, id) + " -> " +
+                              task_ref(contracted, s) +
                               " violated by layer order");
       }
     }
@@ -119,26 +125,26 @@ ValidationReport validate(const GanttSchedule& schedule,
     if (graph.task(id).is_marker()) continue;
     const TaskSlot& slot = schedule.slots[static_cast<std::size_t>(id)];
     if (slot.cores.empty()) {
-      add_error(report, "task " + graph.task(id).name() + " has no cores");
+      add_error(report, "task " + task_ref(graph, id) + " has no cores");
       continue;
     }
     for (int c : slot.cores) {
       if (c < 0 || c >= schedule.total_cores) {
         add_error(report,
-                  "task " + graph.task(id).name() + " uses core out of range");
+                  "task " + task_ref(graph, id) + " uses core out of range");
       }
       busy[c].emplace_back(slot.start, slot.finish);
     }
     if (slot.finish < slot.start) {
-      add_error(report, "task " + graph.task(id).name() + " finishes early");
+      add_error(report, "task " + task_ref(graph, id) + " finishes early");
     }
     for (core::TaskId p : graph.predecessors(id)) {
       if (graph.task(p).is_marker()) continue;
       const TaskSlot& ps = schedule.slots[static_cast<std::size_t>(p)];
       if (slot.start + kEps < ps.finish) {
-        add_error(report, "task " + graph.task(id).name() +
+        add_error(report, "task " + task_ref(graph, id) +
                               " starts before predecessor " +
-                              graph.task(p).name() + " finishes");
+                              task_ref(graph, p) + " finishes");
       }
     }
   }

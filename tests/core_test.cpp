@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <utility>
 
+#include "ptask/analysis/analyzer.hpp"
 #include "ptask/core/graph_algorithms.hpp"
 #include "ptask/core/spec_builder.hpp"
 #include "ptask/core/task_graph.hpp"
@@ -298,6 +300,128 @@ TEST(SpecBuilder, ForLoopChainsThroughSharedVariable) {
   const HierGraph spec = b.build();
   EXPECT_TRUE(spec.graph.has_edge(tasks[0], tasks[1]));
   EXPECT_TRUE(spec.graph.has_edge(tasks[1], tasks[2]));
+}
+
+/// All edges between non-marker tasks, as an exact comparable set.
+std::set<std::pair<TaskId, TaskId>> basic_edge_set(const TaskGraph& g) {
+  std::set<std::pair<TaskId, TaskId>> out;
+  for (TaskId u = 0; u < g.num_tasks(); ++u) {
+    if (g.task(u).is_marker()) continue;
+    for (const TaskId v : g.successors(u)) {
+      if (!g.task(v).is_marker()) out.insert({u, v});
+    }
+  }
+  return out;
+}
+
+/// The builder's def/use analysis must leave no unordered conflicting pair;
+/// the analyzer's race pass is an independent implementation of exactly that
+/// requirement.
+void expect_race_free(const TaskGraph& g) {
+  const analysis::Report report = analysis::Analyzer().analyze(g);
+  EXPECT_EQ(report.count(analysis::kRaceWaw), 0) << analysis::render_text(report);
+  EXPECT_EQ(report.count(analysis::kRaceRaw), 0) << analysis::render_text(report);
+}
+
+TEST(SpecBuilder, WriterAfterReadersInForLoopGetsExactEdgeSet) {
+  // Per iteration: two readers of x, then a writer of x.  The writer must be
+  // serialized against both readers (WAR) and the previous writer (WAW); the
+  // next iteration's readers hang off the new writer (RAW).
+  SpecBuilder b("demo");
+  const Var x = b.var("x", 800);
+  const TaskId init = b.call(MTask("init", 1.0), {}, {x});
+  std::vector<TaskId> ra(2), rb(2), w(2);
+  b.for_loop(2, [&](int i) {
+    ra[static_cast<std::size_t>(i)] = b.call(MTask("ra", 1.0), {x}, {});
+    rb[static_cast<std::size_t>(i)] = b.call(MTask("rb", 1.0), {x}, {});
+    w[static_cast<std::size_t>(i)] = b.call(MTask("w", 1.0), {}, {x});
+  });
+  const HierGraph spec = b.build();
+
+  const std::set<std::pair<TaskId, TaskId>> expected = {
+      {init, ra[0]}, {init, rb[0]},            // RAW from init
+      {init, w[0]},                            // WAW init -> w0
+      {ra[0], w[0]}, {rb[0], w[0]},            // WAR readers -> w0
+      {w[0], ra[1]}, {w[0], rb[1]},            // RAW from w0
+      {w[0], w[1]},                            // WAW w0 -> w1
+      {ra[1], w[1]}, {rb[1], w[1]},            // WAR readers -> w1
+  };
+  EXPECT_EQ(basic_edge_set(spec.graph), expected);
+  expect_race_free(spec.graph);
+}
+
+TEST(SpecBuilder, WriterAfterParforReadersGetsExactEdgeSet) {
+  // parfor iterations all read x concurrently; a writer following the loop
+  // must be ordered behind every iteration (WAR) and behind the original
+  // writer (WAW).
+  SpecBuilder b("demo");
+  const Var x = b.var("x", 800);
+  const TaskId init = b.call(MTask("init", 1.0), {}, {x});
+  std::vector<TaskId> readers(3);
+  b.parfor(3, [&](int i) {
+    readers[static_cast<std::size_t>(i)] = b.call(MTask("r", 1.0), {x}, {});
+  });
+  const TaskId writer = b.call(MTask("w", 1.0), {}, {x});
+  const HierGraph spec = b.build();
+
+  const std::set<std::pair<TaskId, TaskId>> expected = {
+      {init, readers[0]}, {init, readers[1]}, {init, readers[2]},
+      {init, writer},  // WAW
+      {readers[0], writer}, {readers[1], writer}, {readers[2], writer},
+  };
+  EXPECT_EQ(basic_edge_set(spec.graph), expected);
+  for (std::size_t i = 0; i < readers.size(); ++i) {
+    for (std::size_t j = i + 1; j < readers.size(); ++j) {
+      EXPECT_TRUE(spec.graph.independent(readers[i], readers[j]));
+    }
+  }
+  expect_race_free(spec.graph);
+}
+
+TEST(SpecBuilder, ParforWritersOfDisjointVarsStayParallelButLintClean) {
+  // Writers of disjoint per-iteration variables need no mutual ordering --
+  // and the race pass must agree that nothing is missing.
+  SpecBuilder b("demo");
+  const Var a = b.var("a", 8);
+  const TaskId init = b.call(MTask("init", 1.0), {}, {a});
+  std::vector<TaskId> writers(3);
+  b.parfor(3, [&](int i) {
+    const Var v = b.var("v" + std::to_string(i), 8);
+    writers[static_cast<std::size_t>(i)] =
+        b.call(MTask("w" + std::to_string(i), 1.0), {a}, {v});
+  });
+  const HierGraph spec = b.build();
+  for (std::size_t i = 0; i < writers.size(); ++i) {
+    EXPECT_TRUE(spec.graph.has_edge(init, writers[i]));
+    for (std::size_t j = i + 1; j < writers.size(); ++j) {
+      EXPECT_TRUE(spec.graph.independent(writers[i], writers[j]));
+    }
+  }
+  expect_race_free(spec.graph);
+}
+
+TEST(SpecBuilder, DroppedSerializationEdgeIsCaughtByRacePass) {
+  // The differential direction: hand-build the graph a buggy builder would
+  // produce (reader and writer of x left unordered) and confirm the race
+  // pass flags exactly that pair.
+  TaskGraph g;
+  const TaskId init = g.add_task(MTask("init", 1.0));
+  MTask reader("r", 1.0);
+  reader.add_param(Param{"x", 800, dist::Distribution::replicated(),
+                         /*is_input=*/true, /*is_output=*/false});
+  MTask writer("w", 1.0);
+  writer.add_param(Param{"x", 800, dist::Distribution::replicated(),
+                         /*is_input=*/false, /*is_output=*/true});
+  const TaskId r = g.add_task(std::move(reader));
+  const TaskId w = g.add_task(std::move(writer));
+  g.add_edge(init, r);
+  g.add_edge(init, w);  // but no r -> w WAR edge
+
+  const analysis::Report report = analysis::Analyzer().analyze(g);
+  ASSERT_EQ(report.count(analysis::kRaceRaw), 1)
+      << analysis::render_text(report);
+  EXPECT_EQ(report.diagnostics.front().vars,
+            std::vector<std::string>{"x"});
 }
 
 TEST(SpecBuilder, WhileLoopBecomesHierarchicalNode) {

@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
+#include "ptask/core/spec_builder.hpp"
 #include "ptask/cost/hybrid_model.hpp"
 #include "ptask/ode/graph_gen.hpp"
 #include "ptask/sched/data_parallel.hpp"
@@ -229,6 +232,116 @@ TEST(DataParallel, MatchesLayerSchedulerWithForcedSingleGroup) {
   const double forced =
       sched::LayerScheduler(cm, opts).schedule(g, 16).predicted_makespan;
   EXPECT_DOUBLE_EQ(dp, forced);
+}
+
+// ---- TaskGraph::add_edge edge cases (chosen behavior, regression-locked):
+// self edges and cycle-closing edges throw, duplicates are ignored, ids are
+// range-checked.
+
+TEST(TaskGraphEdgeCases, AddEdgeRejectsSelfEdges) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0));
+  EXPECT_THROW(g.add_edge(a, a), std::invalid_argument);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(TaskGraphEdgeCases, AddEdgeRejectsCycles) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0));
+  const core::TaskId c = g.add_task(core::MTask("c", 1.0));
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  EXPECT_THROW(g.add_edge(c, a), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(b, a), std::invalid_argument);
+  EXPECT_EQ(g.num_edges(), 2);
+}
+
+TEST(TaskGraphEdgeCases, AddEdgeIgnoresDuplicatesAndChecksRange) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0));
+  g.add_edge(a, b);
+  g.add_edge(a, b);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_THROW(g.add_edge(a, 5), std::out_of_range);
+  EXPECT_THROW(g.add_edge(-1, b), std::out_of_range);
+}
+
+// ---- flatten() edge cases ----
+
+TEST(FlattenEdgeCases, RejectsNonPositiveIterations) {
+  core::SpecBuilder spec("p");
+  const core::Var x = spec.var("x", 64);
+  spec.call(core::MTask("a", 1.0), {}, {x});
+  const core::HierGraph program = spec.build();
+  EXPECT_THROW(core::flatten(program, 0), std::invalid_argument);
+  EXPECT_THROW(core::flatten(program, -3), std::invalid_argument);
+}
+
+TEST(FlattenEdgeCases, EmptyCompositeBodyKeepsConnectivity) {
+  // A while node whose body contains no basic tasks used to vanish from the
+  // flat graph, silently disconnecting its predecessors from its successors.
+  // It must now survive as a basic task carrying the composite's identity.
+  core::SpecBuilder spec("p");
+  const core::Var x = spec.var("x", 64);
+  spec.call(core::MTask("pre", 1.0), {}, {x});
+  spec.while_loop("empty_loop", {x}, [](core::SpecBuilder&) {}, 5.0);
+  spec.call(core::MTask("post", 1.0), {x}, {});
+  const core::HierGraph program = spec.build();
+
+  const core::TaskGraph flat = core::flatten(program, 3);
+  core::TaskId pre = core::kInvalidTask;
+  core::TaskId loop = core::kInvalidTask;
+  core::TaskId post = core::kInvalidTask;
+  for (core::TaskId id = 0; id < flat.num_tasks(); ++id) {
+    if (flat.task(id).name() == "pre") pre = id;
+    if (flat.task(id).name() == "empty_loop") loop = id;
+    if (flat.task(id).name() == "post") post = id;
+  }
+  ASSERT_NE(pre, core::kInvalidTask);
+  ASSERT_NE(loop, core::kInvalidTask) << "empty composite vanished";
+  ASSERT_NE(post, core::kInvalidTask);
+  EXPECT_TRUE(flat.reaches(pre, post));
+  EXPECT_TRUE(flat.has_edge(pre, loop));
+  EXPECT_TRUE(flat.has_edge(loop, post));
+}
+
+TEST(FlattenEdgeCases, CompositeWithPredecessorsOnlyBecomesFlatSink) {
+  // A composite node that has predecessors but no successors: its body's
+  // sinks must end the flat graph, and the composite's incoming edges must
+  // attach to the body's sources.
+  core::SpecBuilder spec("p");
+  const core::Var x = spec.var("x", 64);
+  spec.call(core::MTask("pre", 1.0), {}, {x});
+  spec.while_loop("tail_loop", {x},
+                  [&](core::SpecBuilder& body) {
+                    const core::Var y = body.var("x", 64);
+                    const core::TaskId s1 =
+                        body.call(core::MTask("s1", 1.0), {y}, {y});
+                    const core::TaskId s2 =
+                        body.call(core::MTask("s2", 1.0), {y}, {y});
+                    EXPECT_NE(s1, s2);
+                  },
+                  2.0);
+  const core::HierGraph program = spec.build();
+
+  const core::TaskGraph flat = core::flatten(program, 2);
+  core::TaskId pre = core::kInvalidTask;
+  int body_copies = 0;
+  for (core::TaskId id = 0; id < flat.num_tasks(); ++id) {
+    const std::string& name = flat.task(id).name();
+    if (name == "pre") pre = id;
+    if (name.rfind("s1", 0) == 0 || name.rfind("s2", 0) == 0) ++body_copies;
+  }
+  ASSERT_NE(pre, core::kInvalidTask);
+  EXPECT_EQ(body_copies, 4);  // two body tasks x two iterations
+  // pre feeds the first copy's source and every body task is downstream.
+  for (core::TaskId id = 0; id < flat.num_tasks(); ++id) {
+    if (id == pre) continue;
+    EXPECT_TRUE(flat.reaches(pre, id))
+        << flat.task(id).name() << " is disconnected from pre";
+  }
 }
 
 }  // namespace

@@ -14,6 +14,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <map>
 #include <set>
 
 #include "ptask/fuzz/generator.hpp"
@@ -52,6 +53,8 @@ TEST_F(FuzzScheduler, RandomInstancesSatisfyAllOracles) {
   const int count = instance_count();
   int schedules = 0;
   int executor_runs = 0;
+  int lints = 0;
+  int mutations = 0;
   for (int i = 0; i < count; ++i) {
     const Instance instance = random_instance(substream(base,
         static_cast<std::uint64_t>(i)));
@@ -66,11 +69,42 @@ TEST_F(FuzzScheduler, RandomInstancesSatisfyAllOracles) {
         << "reproduce with PTASK_FUZZ_SEED=" << base;
     schedules += report.schedules_checked;
     executor_runs += report.executor_runs;
+    lints += report.lints_checked;
+    mutations += report.lint_mutations;
   }
-  // The sweep must actually exercise the oracles (8 scheduler outputs and 4
-  // executor runs per instance).
+  // The sweep must actually exercise the oracles (8 scheduler outputs, 4
+  // executor runs, one lint-clean pass, and two lint mutations per
+  // instance).
   EXPECT_GE(schedules, count * 8);
   EXPECT_GE(executor_runs, count * 4);
+  EXPECT_GE(lints, count);
+  EXPECT_GE(mutations, count * 2);
+}
+
+TEST_F(FuzzScheduler, LintOracleCoversEveryGraphFamily) {
+  // The lint mutations have family-specific fallback paths (graphs without
+  // parameters, graphs without basic edges); require both mutation checks to
+  // engage for every family so no fallback silently stops running.
+  const std::uint64_t base = base_seed();
+  std::map<GraphFamily, int> mutations_by_family;
+  for (int i = 0; i < 64; ++i) {
+    const Instance instance =
+        random_instance(substream(base, static_cast<std::uint64_t>(i)));
+    OracleOptions options;
+    options.check_executor = false;  // only the lint oracle matters here
+    const OracleReport report = check_instance(instance, options);
+    EXPECT_TRUE(report.ok())
+        << "instance " << i << " (seed " << instance.seed << ", "
+        << instance.name << "):\n"
+        << report.summary()
+        << "reproduce with PTASK_FUZZ_SEED=" << base;
+    mutations_by_family[instance.family] += report.lint_mutations;
+  }
+  ASSERT_EQ(mutations_by_family.size(), 5u) << "family mix degenerated";
+  for (const auto& [family, count] : mutations_by_family) {
+    EXPECT_GE(count, 2) << "lint mutations did not engage for family "
+                        << to_string(family);
+  }
 }
 
 TEST_F(FuzzScheduler, EveryGraphFamilyIsGenerated) {

@@ -74,7 +74,8 @@ TEST(LayeredValidation, TaskInTwoLayersIsReported) {
   s.layers.push_back(layer({0, 2}, {4}, {0, 0}));
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "task a appears 2 times")) << all_errors(r);
+  EXPECT_TRUE(has_error(r, "task 'a' (id 0) appears 2 times"))
+      << all_errors(r);
 }
 
 TEST(LayeredValidation, MissingTaskIsReported) {
@@ -83,7 +84,8 @@ TEST(LayeredValidation, MissingTaskIsReported) {
   s.layers.push_back(layer({0, 1}, {4}, {0, 0}));
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "task c appears 0 times")) << all_errors(r);
+  EXPECT_TRUE(has_error(r, "task 'c' (id 2) appears 0 times"))
+      << all_errors(r);
 }
 
 TEST(LayeredValidation, DependentTasksSharingALayerAreReported) {
@@ -93,7 +95,8 @@ TEST(LayeredValidation, DependentTasksSharingALayerAreReported) {
   s.layers.push_back(layer({2}, {4}, {0}));
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "dependent tasks share a layer: a and b"))
+  EXPECT_TRUE(has_error(
+      r, "dependent tasks share a layer: 'a' (id 0) and 'b' (id 1)"))
       << all_errors(r);
 }
 
@@ -104,7 +107,8 @@ TEST(LayeredValidation, LayerOrderViolatingAnEdgeIsReported) {
   s.layers.push_back(layer({0}, {4}, {0}));
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "edge a -> b violated by layer order"))
+  EXPECT_TRUE(
+      has_error(r, "edge 'a' (id 0) -> 'b' (id 1) violated by layer order"))
       << all_errors(r);
 }
 
@@ -167,7 +171,7 @@ TEST(GanttValidation, TaskWithoutCoresIsReported) {
   s.slots[2] = {{1}, 0.0, 1.0};
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "task b has no cores")) << all_errors(r);
+  EXPECT_TRUE(has_error(r, "task 'b' (id 1) has no cores")) << all_errors(r);
 }
 
 TEST(GanttValidation, CoreOutOfRangeIsReported) {
@@ -178,7 +182,8 @@ TEST(GanttValidation, CoreOutOfRangeIsReported) {
   s.slots[2] = {{2}, 0.0, 1.0};  // total_cores is 2
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "task c uses core out of range")) << all_errors(r);
+  EXPECT_TRUE(has_error(r, "task 'c' (id 2) uses core out of range"))
+      << all_errors(r);
 }
 
 TEST(GanttValidation, StartBeforePredecessorFinishIsReported) {
@@ -189,7 +194,8 @@ TEST(GanttValidation, StartBeforePredecessorFinishIsReported) {
   s.slots[2] = {{2}, 0.0, 1.0};
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "task b starts before predecessor a finishes"))
+  EXPECT_TRUE(has_error(
+      r, "task 'b' (id 1) starts before predecessor 'a' (id 0) finishes"))
       << all_errors(r);
 }
 
@@ -201,7 +207,8 @@ TEST(GanttValidation, NegativeDurationIsReported) {
   s.slots[2] = {{2}, 0.0, 1.0};
   const ValidationReport r = validate(s, g);
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(has_error(r, "task a finishes early")) << all_errors(r);
+  EXPECT_TRUE(has_error(r, "task 'a' (id 0) finishes early"))
+      << all_errors(r);
 }
 
 // ---- fixed_groups clamping regressions ----

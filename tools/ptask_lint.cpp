@@ -1,0 +1,209 @@
+// ptask_lint: static analysis driver for the built-in specification
+// programs (ODE solvers, NPB multi-zone benchmarks) and ad-hoc graphs.
+//
+// Exit codes: 0 = no findings at the failure threshold, 1 = findings,
+// 2 = usage error.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ptask/analysis/analyzer.hpp"
+#include "ptask/arch/machine.hpp"
+#include "ptask/core/graph_algorithms.hpp"
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/npb/multizone.hpp"
+#include "ptask/ode/graph_gen.hpp"
+#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace {
+
+using namespace ptask;
+
+struct Options {
+  std::vector<std::string> programs;  // empty = all
+  int steps = 2;
+  std::string machine = "chic";
+  int cores = 16;
+  bool schedule = false;
+  bool json = false;
+  bool warnings_as_errors = false;
+};
+
+const std::vector<std::string>& all_programs() {
+  static const std::vector<std::string> names = {
+      "epol", "irk", "diirk", "pab", "pabm", "epol-spec", "sp-mz", "bt-mz"};
+  return names;
+}
+
+void usage(std::ostream& os) {
+  os << "usage: ptask_lint [options]\n"
+        "  --program NAME   program to lint: epol|irk|diirk|pab|pabm|\n"
+        "                   epol-spec|sp-mz|bt-mz|all (default: all);\n"
+        "                   may be repeated\n"
+        "  --steps N        time steps to unroll per program (default: 2)\n"
+        "  --machine NAME   machine preset: chic|juropa|altix (default: chic)\n"
+        "  --cores N        symbolic core count P for cost checks and\n"
+        "                   scheduling (default: 16)\n"
+        "  --schedule       also run the layer scheduler and the schedule\n"
+        "                   lints (PTA040/PTA041)\n"
+        "  --json           JSON output instead of text\n"
+        "  --warnings-as-errors  exit 1 on warnings too\n"
+        "  --codes          list all diagnostic codes and exit\n"
+        "  --help           this message\n";
+}
+
+void print_codes() {
+  for (const std::string_view code : analysis::all_codes()) {
+    std::cout << code << "  " << analysis::describe(code) << "\n";
+  }
+}
+
+/// Builds the flattened, marker-enclosed program graph of one built-in
+/// specification program.
+core::TaskGraph build_graph(const std::string& name, int steps) {
+  core::TaskGraph step;
+  if (name == "sp-mz" || name == "bt-mz") {
+    const npb::MzSolver solver =
+        name == "sp-mz" ? npb::MzSolver::SP : npb::MzSolver::BT;
+    step = npb::step_graph(npb::make_problem(solver, 'S'));
+  } else {
+    ode::SolverGraphSpec spec;
+    spec.n = std::size_t{1} << 12;
+    spec.stages = 4;
+    spec.iterations = 2;
+    if (name == "epol") spec.method = ode::Method::EPOL;
+    else if (name == "irk") spec.method = ode::Method::IRK;
+    else if (name == "diirk") spec.method = ode::Method::DIIRK;
+    else if (name == "pab") spec.method = ode::Method::PAB;
+    else spec.method = ode::Method::PABM;
+    step = spec.step_graph();
+  }
+  core::TaskGraph program = core::repeat_graph(step, steps);
+  program.add_start_stop_markers();
+  return program;
+}
+
+analysis::Report lint_program(const std::string& name, const Options& opt,
+                              const arch::Machine& machine) {
+  const analysis::Analyzer analyzer;
+  analysis::Report report;
+  if (name == "epol-spec") {
+    const core::HierGraph spec = ode::epol_program_spec(
+        std::size_t{1} << 12, 4, 14.0, static_cast<double>(opt.steps));
+    report = analyzer.analyze(spec, machine, opt.cores);
+    if (!opt.schedule) return report;
+    core::TaskGraph flat = core::flatten(spec, opt.steps);
+    flat.add_start_stop_markers();
+    const cost::CostModel cost(machine);
+    const sched::LayerScheduler scheduler(cost);
+    const sched::LayeredSchedule schedule =
+        scheduler.schedule(flat, opt.cores);
+    report.merge(analyzer.lint(schedule, cost), "schedule");
+    return report;
+  }
+  const core::TaskGraph graph = build_graph(name, opt.steps);
+  report = analyzer.analyze(graph, machine, opt.cores);
+  if (!opt.schedule) return report;
+  const cost::CostModel cost(machine);
+  const sched::LayerScheduler scheduler(cost);
+  const sched::LayeredSchedule schedule = scheduler.schedule(graph, opt.cores);
+  report.merge(analyzer.lint(schedule, cost), "schedule");
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+  const sched::GanttSchedule gantt =
+      sched::to_gantt(schedule, [&](core::TaskId id, int q, int g) {
+        return cost.symbolic_task_time(contracted.task(id), q, g, opt.cores);
+      });
+  report.merge(analyzer.lint(contracted, gantt, cost), "gantt");
+  return report;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "ptask_lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--program") {
+      opt.programs.emplace_back(value("--program"));
+    } else if (arg == "--steps") {
+      opt.steps = std::atoi(value("--steps"));
+    } else if (arg == "--machine") {
+      opt.machine = value("--machine");
+    } else if (arg == "--cores") {
+      opt.cores = std::atoi(value("--cores"));
+    } else if (arg == "--schedule") {
+      opt.schedule = true;
+    } else if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--warnings-as-errors") {
+      opt.warnings_as_errors = true;
+    } else if (arg == "--codes") {
+      print_codes();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "ptask_lint: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  if (opt.steps < 1) {
+    std::cerr << "ptask_lint: --steps must be >= 1\n";
+    return 2;
+  }
+  if (opt.cores < 1) {
+    std::cerr << "ptask_lint: --cores must be >= 1\n";
+    return 2;
+  }
+
+  std::vector<std::string> programs;
+  for (const std::string& p : opt.programs) {
+    if (p == "all") {
+      programs = all_programs();
+      break;
+    }
+    bool known = false;
+    for (const std::string& name : all_programs()) known |= name == p;
+    if (!known) {
+      std::cerr << "ptask_lint: unknown program '" << p << "'\n";
+      return 2;
+    }
+    programs.push_back(p);
+  }
+  if (programs.empty()) programs = all_programs();
+
+  arch::Machine machine = [&] {
+    try {
+      return arch::Machine(arch::machine_by_name(opt.machine));
+    } catch (const std::exception& e) {
+      std::cerr << "ptask_lint: " << e.what() << "\n";
+      std::exit(2);
+    }
+  }();
+
+  analysis::Report combined;
+  for (const std::string& name : programs) {
+    combined.merge(lint_program(name, opt, machine), name);
+  }
+
+  if (opt.json) {
+    std::cout << analysis::render_json(combined) << "\n";
+  } else {
+    std::cout << analysis::render_text(combined);
+  }
+  const bool fail = combined.error_count() > 0 ||
+                    (opt.warnings_as_errors && combined.warning_count() > 0);
+  return fail ? 1 : 0;
+}
