@@ -2,9 +2,12 @@
 /// \file bench_common.hpp
 /// Shared machinery of the figure/table reproduction benches: configuring a
 /// solver + machine + program version + mapping, evaluating the per-step
-/// time (analytically or through the discrete-event simulator), and printing
-/// aligned result tables.
+/// time (analytically or through the discrete-event simulator), printing
+/// aligned result tables, and writing machine-readable BENCH_*.json result
+/// files (the perf-trajectory artifact CI uploads).
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -120,6 +123,99 @@ inline std::string ms(double seconds) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e3);
   return std::string(buf);
+}
+
+// ---- machine-readable benchmark results (BENCH_*.json) ----
+
+/// One timed run of one benchmark configuration.
+struct BenchSample {
+  std::string name;               ///< e.g. "BM_LayerScheduler/64"
+  std::int64_t iterations = 0;    ///< iterations of this run
+  double seconds_per_iter = 0.0;  ///< real wall time per iteration
+};
+
+/// Aggregated row written to the JSON file: median/p90 over the repetitions
+/// of one benchmark name.  With a single sample both quantiles degrade to
+/// that sample.
+struct BenchStat {
+  std::string name;
+  std::size_t samples = 0;
+  std::int64_t iterations = 0;  ///< summed over samples
+  double median_s = 0.0;
+  double p90_s = 0.0;
+};
+
+/// Nearest-rank percentile (q in [0, 1]) of an unsorted sample vector.
+inline double percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  q = std::min(1.0, std::max(0.0, q));
+  const std::size_t rank = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(values.size())));
+  return values[rank];
+}
+
+/// Groups samples by benchmark name (preserving first-seen order) and
+/// reduces each group to a BenchStat.
+inline std::vector<BenchStat> summarize_bench(
+    const std::vector<BenchSample>& samples) {
+  std::vector<BenchStat> stats;
+  std::vector<std::vector<double>> times;
+  for (const BenchSample& s : samples) {
+    std::size_t i = 0;
+    while (i < stats.size() && stats[i].name != s.name) ++i;
+    if (i == stats.size()) {
+      stats.push_back(BenchStat{s.name, 0, 0, 0.0, 0.0});
+      times.emplace_back();
+    }
+    ++stats[i].samples;
+    stats[i].iterations += s.iterations;
+    times[i].push_back(s.seconds_per_iter);
+  }
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    stats[i].median_s = percentile(times[i], 0.5);
+    stats[i].p90_s = percentile(times[i], 0.9);
+  }
+  return stats;
+}
+
+inline void append_json_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+/// Renders the aggregated results as a self-contained JSON document:
+/// {"benchmarks": [{"name", "samples", "iterations", "median_s", "p90_s"}]}.
+inline std::string render_bench_json(const std::vector<BenchStat>& stats) {
+  std::string out = "{\"benchmarks\":[";
+  char buf[128];
+  for (std::size_t i = 0; i < stats.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "\n  {\"name\":\"";
+    append_json_escaped(out, stats[i].name);
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"samples\":%zu,\"iterations\":%lld,"
+                  "\"median_s\":%.9g,\"p90_s\":%.9g}",
+                  stats[i].samples,
+                  static_cast<long long>(stats[i].iterations),
+                  stats[i].median_s, stats[i].p90_s);
+    out += buf;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+/// Writes the JSON document to `path`; returns false on I/O failure.
+inline bool write_bench_json(const std::string& path,
+                             const std::vector<BenchSample>& samples) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = render_bench_json(summarize_bench(samples));
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && ok;
 }
 
 }  // namespace ptask::bench

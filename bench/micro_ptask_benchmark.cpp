@@ -1,15 +1,29 @@
 // Google-benchmark micro benchmarks of the library machinery itself:
 // scheduler throughput, collective schedule generation, discrete-event
-// simulation rate, chain contraction, and re-distribution planning.
+// simulation rate, chain contraction, re-distribution planning, and
+// executor dispatch (the hot path the obs instrumentation must not slow
+// down when tracing is disabled).
+//
+// Besides the usual console output, results can be written as a
+// machine-readable JSON file (median/p90 wall time per benchmark) for the
+// perf-trajectory artifact CI uploads:
+//   micro_ptask_benchmark --json BENCH_micro.json [--benchmark_repetitions=3]
+// or, equivalently, PTASK_BENCH_JSON=BENCH_micro.json.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
 #include <numeric>
+#include <string>
+#include <string_view>
+#include <vector>
 
+#include "bench_common.hpp"
 #include "ptask/core/graph_algorithms.hpp"
 #include "ptask/dist/redistribution.hpp"
 #include "ptask/net/collectives.hpp"
 #include "ptask/ode/graph_gen.hpp"
+#include "ptask/rt/executor.hpp"
 #include "ptask/sched/cpa_scheduler.hpp"
 #include "ptask/sched/layer_scheduler.hpp"
 #include "ptask/sim/network_sim.hpp"
@@ -109,6 +123,89 @@ void BM_CollectiveScheduleGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_CollectiveScheduleGeneration)->Arg(64)->Arg(512);
 
+// Executor dispatch of a whole scheduled time step with near-empty task
+// bodies -- this is the path every obs instrumentation site sits on, so
+// comparing this benchmark between -DPTASK_OBS=ON (tracing disabled at
+// runtime) and -DPTASK_OBS=OFF bounds the disabled-tracing overhead.
+void BM_ExecutorRun(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(1);
+  const cost::CostModel cost(m);
+  const core::TaskGraph g = pabm_spec(4).step_graph();
+  const sched::LayeredSchedule schedule =
+      sched::LayerScheduler(cost).schedule(g, cores);
+  rt::Executor exec(cores);
+  std::vector<rt::TaskFn> fns(static_cast<std::size_t>(g.num_tasks()));
+  for (auto& fn : fns) {
+    fn = [](rt::ExecContext& ctx) {
+      benchmark::DoNotOptimize(ctx.comm->allreduce_sum(ctx.group_rank, 1.0));
+    };
+  }
+  for (auto _ : state) {
+    exec.run(schedule, fns);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_ExecutorRun)->Arg(4)->Arg(8)->UseRealTime();
+
+// Console reporter that additionally captures every per-iteration run for
+// the machine-readable JSON file.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      ptask::bench::BenchSample sample;
+      sample.name = run.benchmark_name();
+      sample.iterations = static_cast<std::int64_t>(run.iterations);
+      sample.seconds_per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time / static_cast<double>(run.iterations)
+              : 0.0;
+      samples.push_back(std::move(sample));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<ptask::bench::BenchSample> samples;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  if (const char* env = std::getenv("PTASK_BENCH_JSON")) json_path = env;
+
+  // Strip --json PATH / --json=PATH before google-benchmark sees the args.
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = std::string(arg.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    if (!ptask::bench::write_bench_json(json_path, reporter.samples)) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (%zu samples)\n", json_path.c_str(),
+                 reporter.samples.size());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+#pragma once
+/// \file calibration.hpp
+/// Cost-model calibration: joins measured spans against the symbolic cost
+/// model's predictions, per contracted task and per layer, reporting signed
+/// relative error so the model's machine constants can be fitted from real
+/// runs.
+///
+/// "Measured" time for a task is the per-invocation mean of its Task spans,
+/// taken as the maximum over the executing workers (a group's task is as
+/// slow as its slowest member).  Running the same report on spans derived
+/// from the scheduler's own symbolic timeline (`spans_from_gantt` with
+/// `CostModel::symbolic_task_time`) must produce ~0 error -- the
+/// differential oracle the obs tests pin down.
+
+#include <string>
+#include <vector>
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/obs/trace.hpp"
+#include "ptask/sched/schedule.hpp"
+#include "ptask/sim/network_sim.hpp"
+
+namespace ptask::obs {
+
+/// Predicted-vs-measured row for one contracted task.
+struct TaskCalibration {
+  core::TaskId contracted = core::kInvalidTask;
+  std::string name;
+  int layer = -1;
+  int group = -1;
+  int group_size = 0;
+  std::size_t invocations = 0;  ///< Task spans of the slowest worker
+  double predicted_s = 0.0;     ///< CostModel::symbolic_task_time
+  double measured_s = 0.0;      ///< mean span duration, max over workers
+  double rel_error = 0.0;       ///< (measured - predicted) / predicted
+};
+
+/// Predicted-vs-measured row for one layer.
+struct LayerCalibration {
+  int layer = -1;
+  double predicted_s = 0.0;  ///< ScheduledLayer::predicted_time
+  double measured_s = 0.0;   ///< mean Layer-span duration
+  double rel_error = 0.0;
+};
+
+struct CalibrationReport {
+  std::vector<TaskCalibration> tasks;
+  std::vector<LayerCalibration> layers;
+  double mean_rel_error = 0.0;      ///< signed, over task rows
+  double mean_abs_rel_error = 0.0;  ///< magnitude, over task rows
+  /// Least-squares scale s minimizing sum (measured - s * predicted)^2 --
+  /// the single-constant correction a fitted flop rate would apply.
+  double fitted_scale = 1.0;
+};
+
+/// Joins Task/Layer spans against the schedule's cost-model predictions.
+/// Tasks with a non-positive prediction (markers) are skipped.
+CalibrationReport calibrate(const std::vector<Span>& spans,
+                            const sched::LayeredSchedule& schedule,
+                            const cost::CostModel& cost);
+
+/// Fixed-width text rendering of the report.
+std::string render_calibration(const CalibrationReport& report);
+
+/// Synthesizes Task + Layer spans (Simulated clock) from a layered
+/// schedule's Gantt lowering -- timestamps come straight from the symbolic
+/// timeline, so `calibrate` on the result is the zero-error oracle.
+std::vector<Span> spans_from_gantt(const sched::LayeredSchedule& schedule,
+                                   const sched::GanttSchedule& gantt);
+
+/// Converts a discrete-event simulation trace (SimResult::trace, recorded
+/// with record_trace) into spans: Compute events become Task spans,
+/// Transfer events Collective spans, both on the Simulated clock with
+/// worker = rank.
+std::vector<Span> spans_from_sim(const sim::SimResult& result);
+
+}  // namespace ptask::obs

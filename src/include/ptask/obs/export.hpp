@@ -1,0 +1,39 @@
+#pragma once
+/// \file export.hpp
+/// Trace and metrics exporters.
+///
+/// `render_chrome_trace` writes the Chrome trace-event JSON format
+/// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+/// understood by Perfetto (ui.perfetto.dev) and chrome://tracing.  Each
+/// span becomes a complete ("X") event -- or an instant ("i") event when
+/// its duration is zero -- on the track of its worker: pid 1 hosts
+/// real-clock spans, pid 2 simulated-clock spans, tid is the worker /
+/// virtual core / sim rank (host-side spans with no worker use a reserved
+/// tid).  Metadata events name the processes and threads so Perfetto shows
+/// "core 3" tracks.  Timestamps are microseconds.
+///
+/// `render_summary` is the human-readable side: span counts/total time by
+/// kind, per-layer timing, and a dump of the metrics registry.
+
+#include <string>
+#include <vector>
+
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
+namespace ptask::obs {
+
+/// tid used for host-side spans that carry no worker id (scheduler phases,
+/// whole-run envelopes recorded on the calling thread).
+inline constexpr int kHostTid = 9999;
+
+/// Renders spans as a Chrome trace-event JSON document (self-contained
+/// object with a "traceEvents" array).  Events are sorted by begin time.
+std::string render_chrome_trace(const std::vector<Span>& spans);
+
+/// Renders a plain-text report: span statistics by kind and layer, then
+/// every counter and histogram in the registry.
+std::string render_summary(const std::vector<Span>& spans,
+                           const MetricsRegistry& registry);
+
+}  // namespace ptask::obs

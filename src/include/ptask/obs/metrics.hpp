@@ -1,0 +1,97 @@
+#pragma once
+/// \file metrics.hpp
+/// Runtime metrics: named counters and log-scale histograms.
+///
+/// Counters and histograms are plain relaxed atomics, safe to update from
+/// any number of threads; updating one costs a single fetch_add.  The
+/// registry hands out stable references -- instrumentation sites look a
+/// metric up once (behind a function-local static) and keep the pointer,
+/// so the mutex-protected name lookup stays off hot paths.  reset() zeroes
+/// every value but never invalidates a handed-out reference.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ptask::obs {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log-scale (powers-of-two) histogram of non-negative integer samples.
+/// Bucket i counts samples v with bit_width(v) == i, i.e. bucket 0 holds
+/// zeros and bucket i >= 1 holds v in [2^(i-1), 2^i).
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(std::uint64_t value);
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket(int i) const {
+    return buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  /// Upper bound of the bucket containing the q-quantile (q in [0, 1]);
+  /// 0 when the histogram is empty.  Log-scale resolution: the true
+  /// quantile lies within a factor of two below the returned bound.
+  std::uint64_t quantile_upper_bound(double q) const;
+
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Snapshot rows for rendering/export.
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t p50 = 0;  ///< quantile_upper_bound(0.5)
+  std::uint64_t p90 = 0;  ///< quantile_upper_bound(0.9)
+};
+
+/// Named registry.  Lookup is mutex-protected; returned references stay
+/// valid for the registry's lifetime (reset() only zeroes values).
+class MetricsRegistry {
+ public:
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  std::vector<CounterSample> counters() const;
+  std::vector<HistogramSample> histograms() const;
+
+  /// Zeroes every metric; registrations (and references) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry all built-in instrumentation reports to.
+MetricsRegistry& metrics();
+
+}  // namespace ptask::obs

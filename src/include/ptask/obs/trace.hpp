@@ -1,0 +1,239 @@
+#pragma once
+/// \file trace.hpp
+/// Low-overhead runtime tracing: typed spans in per-thread append-only
+/// buffers.
+///
+/// Hot-path contract: recording a span takes no locks.  Every thread
+/// appends to its own buffer, which registers itself with the owning
+/// Tracer once (under a mutex) on first use; after that, recording is a
+/// thread-local pointer check plus a vector push_back.  Draining -- moving
+/// all thread buffers into one collected vector -- is only legal at
+/// *quiescent* points, when no instrumented thread is between span begin
+/// and end.  The runtime drains at Executor::run exit and
+/// DynamicScheduler::wait, both of which synchronize with their workers
+/// before returning.
+///
+/// Disabled cost: every instrumentation site first checks obs::enabled(),
+/// a single relaxed atomic load.  Compiling with PTASK_OBS_DISABLED (CMake
+/// -DPTASK_OBS=OFF) turns the check into a compile-time `false`, so all
+/// instrumentation is dead code.
+///
+/// Environment toggles (read once, when the global tracer is first used):
+///   PTASK_TRACE               non-empty and not "0": start the global
+///                             tracer enabled
+///   PTASK_TRACE_BUFFER_SPANS  per-thread span cap between drains
+///                             (default 1<<20; overflow counts as dropped)
+///
+/// Spans from the discrete-event simulator use the same schema with
+/// clock == ClockDomain::Simulated (see obs/calibration.hpp for the
+/// adapters), so simulated and real runs are diffable in one trace UI.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ptask/obs/metrics.hpp"
+
+namespace ptask::obs {
+
+#if defined(PTASK_OBS_DISABLED)
+inline constexpr bool kTracingCompiledIn = false;
+#else
+inline constexpr bool kTracingCompiledIn = true;
+#endif
+
+/// What a span measures.
+enum class SpanKind {
+  Run,             ///< one Executor::run invocation
+  Layer,           ///< one scheduling layer's execution
+  Task,            ///< one task body invocation on one group member
+  Redistribution,  ///< re-distribution traffic between groups
+  Collective,      ///< one group/orthogonal collective on one member
+  BarrierWait,     ///< explicit barrier wait
+  Scheduler,       ///< a scheduling phase (static scheduler, simulator)
+  Dispatch,        ///< runtime dispatch (team job, dynamic assignment)
+  Fault,           ///< injected fault delay (so delays are not mystery gaps)
+};
+
+const char* to_string(SpanKind kind);
+
+/// Which clock produced the timestamps.
+enum class ClockDomain { Real, Simulated };
+
+const char* to_string(ClockDomain clock);
+
+/// One closed interval of work.  Timestamps are seconds since the tracer's
+/// epoch (real clock) or simulation start (simulated clock).
+struct Span {
+  SpanKind kind = SpanKind::Task;
+  ClockDomain clock = ClockDomain::Real;
+  std::string name;
+  std::int64_t task = -1;        ///< original task id, -1 when n/a
+  std::int64_t contracted = -1;  ///< contracted task id, -1 when n/a
+  int worker = -1;               ///< virtual core / worker thread / sim rank
+  int group = -1;                ///< group index within the layer
+  int group_size = 0;
+  int layer = -1;
+  std::uint64_t bytes = 0;  ///< payload size for comm spans
+  double begin_s = 0.0;
+  double end_s = 0.0;
+
+  double duration_s() const { return end_s - begin_s; }
+};
+
+/// Span sink: per-thread append-only buffers plus a drain/collect side.
+class Tracer {
+ public:
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Seconds since this tracer's construction (the real-clock time base of
+  /// every recorded span).
+  double now() const;
+
+  /// Appends to the calling thread's buffer.  Lock-free after the thread's
+  /// first record.  Spans beyond the per-thread cap are counted as dropped.
+  void record(Span span);
+
+  /// Moves every thread buffer's spans into the collected store.  Only
+  /// call at quiescent points (no instrumented thread mid-span).
+  void drain();
+
+  /// drain() + returns (and removes) everything collected so far.
+  std::vector<Span> take();
+
+  /// Discards all buffered and collected spans and the dropped count.
+  void clear();
+
+  /// Spans discarded because a thread buffer hit the cap (updated by
+  /// drain/take).
+  std::uint64_t dropped() const;
+
+  void set_max_spans_per_thread(std::size_t cap);
+
+ private:
+  struct ThreadBuffer {
+    std::vector<Span> spans;
+    std::uint64_t dropped = 0;
+  };
+
+  ThreadBuffer* register_thread_buffer();
+
+  std::atomic<bool> enabled_{false};
+  std::chrono::steady_clock::time_point epoch_;
+  std::uint64_t instance_id_;  ///< globally unique, for thread-cache keying
+  std::size_t max_spans_per_thread_{std::size_t{1} << 20};
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<Span> collected_;
+  std::uint64_t dropped_ = 0;
+};
+
+/// The process-wide tracer all built-in instrumentation records to.
+/// Starts enabled when PTASK_TRACE is set (see file comment).
+Tracer& tracer();
+
+/// True when tracing is compiled in AND the global tracer is enabled --
+/// the one check every instrumentation site performs.
+inline bool enabled() {
+  if constexpr (!kTracingCompiledIn) {
+    return false;
+  } else {
+    return tracer().enabled();
+  }
+}
+
+/// Ambient attribution for spans recorded on this thread: the executor
+/// sets worker/group/task around a task invocation so that nested spans
+/// (collectives, barrier waits, faults) inherit it.
+struct ThreadContext {
+  int worker = -1;
+  int group = -1;
+  int group_size = 0;
+  int layer = -1;
+  std::int64_t task = -1;
+  std::int64_t contracted = -1;
+};
+
+ThreadContext& thread_context();
+
+/// RAII set/restore of the calling thread's context.
+class ContextScope {
+ public:
+  explicit ContextScope(const ThreadContext& ctx) : saved_(thread_context()) {
+    thread_context() = ctx;
+  }
+  ~ContextScope() { thread_context() = saved_; }
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  ThreadContext saved_;
+};
+
+/// RAII span: captures the thread context and a begin timestamp when the
+/// global tracer is enabled, records the closed span on destruction.
+/// When tracing is disabled (runtime or compile time) construction and
+/// destruction are a single branch.
+class ScopedSpan {
+ public:
+  ScopedSpan(SpanKind kind, const char* name) {
+    if constexpr (kTracingCompiledIn) {
+      if (tracer().enabled()) start(kind, name);
+    }
+  }
+  ScopedSpan(SpanKind kind, const std::string& name) {
+    if constexpr (kTracingCompiledIn) {
+      if (tracer().enabled()) start(kind, name.c_str());
+    }
+  }
+  ~ScopedSpan() {
+    if constexpr (kTracingCompiledIn) {
+      if (active_) finish();
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return active_; }
+  void set_bytes(std::uint64_t bytes) {
+    if (active_) span_.bytes = bytes;
+  }
+  void set_layer(int layer) {
+    if (active_) span_.layer = layer;
+  }
+  void set_worker(int worker) {
+    if (active_) span_.worker = worker;
+  }
+  void set_group(int group, int group_size) {
+    if (active_) {
+      span_.group = group;
+      span_.group_size = group_size;
+    }
+  }
+  /// Additionally adds the span's duration (in nanoseconds) to `ns_counter`
+  /// when the span closes.
+  void count_duration_into(Counter& ns_counter) {
+    if (active_) duration_counter_ = &ns_counter;
+  }
+
+ private:
+  void start(SpanKind kind, const char* name);
+  void finish();
+
+  Span span_;
+  Counter* duration_counter_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace ptask::obs

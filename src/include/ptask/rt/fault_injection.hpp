@@ -21,6 +21,10 @@
 
 #include <cstdint>
 
+namespace ptask::obs {
+class Counter;
+}  // namespace ptask::obs
+
 namespace ptask::rt {
 
 struct FaultOptions {
@@ -37,10 +41,15 @@ struct FaultOptions {
 
 /// Injects perturbations at named points.  Disabled by default; all methods
 /// are safe to call concurrently from many workers.
+///
+/// Every injected perturbation is accounted for in the metrics registry
+/// (rt.fault.injections / rt.fault.delay_us / rt.fault.yields) and -- when
+/// tracing is on -- sleeps appear as explicit Fault spans, so injected
+/// delays never show up as mystery gaps in a trace.
 class FaultInjector {
  public:
   FaultInjector() = default;
-  explicit FaultInjector(FaultOptions options) : options_(options) {}
+  explicit FaultInjector(FaultOptions options);
 
   bool enabled() const { return options_.any(); }
   const FaultOptions& options() const { return options_; }
@@ -55,6 +64,11 @@ class FaultInjector {
 
  private:
   FaultOptions options_;
+  // Metrics handles, resolved once at construction when injection is on
+  // (registry references stay valid for the process lifetime).
+  obs::Counter* injections_ = nullptr;
+  obs::Counter* delay_us_ = nullptr;
+  obs::Counter* yields_ = nullptr;
 };
 
 }  // namespace ptask::rt

@@ -43,6 +43,10 @@ struct TimelineOptions {
   /// Insert a global barrier between layers in the simulation (the group
   /// structure changes between layers, which synchronizes all cores).
   bool barrier_between_layers = true;
+  /// In the simulation path, record every compute interval and transfer into
+  /// SimResult::trace (see obs::spans_from_sim for turning the trace into
+  /// exportable spans).
+  bool record_trace = false;
 };
 
 struct TimelineResult {

@@ -21,6 +21,9 @@ class EventQueue {
 
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
+  /// Events ever pushed (observability hook: the simulator reports this as
+  /// its processed-event count).
+  std::uint64_t total_pushed() const { return seq_; }
 
   double top_time() const { return heap_.top().time; }
   const Payload& top() const { return heap_.top().payload; }

@@ -1,0 +1,253 @@
+#include "ptask/obs/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace ptask::obs {
+
+namespace {
+
+/// Where a contracted task lives in the schedule.
+struct Placement {
+  int layer = -1;
+  int group = -1;
+  int group_size = 0;
+  int num_groups = 0;
+};
+
+std::map<core::TaskId, Placement> placements(
+    const sched::LayeredSchedule& schedule) {
+  std::map<core::TaskId, Placement> out;
+  for (std::size_t li = 0; li < schedule.layers.size(); ++li) {
+    const sched::ScheduledLayer& layer = schedule.layers[li];
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      const int g = layer.task_group[i];
+      out[layer.tasks[i]] =
+          Placement{static_cast<int>(li), g,
+                    layer.group_sizes[static_cast<std::size_t>(g)],
+                    layer.num_groups()};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CalibrationReport calibrate(const std::vector<Span>& spans,
+                            const sched::LayeredSchedule& schedule,
+                            const cost::CostModel& cost) {
+  // Per (contracted task, worker): summed duration + invocation count.
+  struct WorkerStats {
+    double total_s = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<std::pair<core::TaskId, int>, WorkerStats> per_worker;
+  struct LayerStats {
+    double total_s = 0.0;
+    std::size_t count = 0;
+  };
+  std::map<int, LayerStats> layer_measured;
+
+  for (const Span& s : spans) {
+    if (s.kind == SpanKind::Task && s.contracted >= 0) {
+      WorkerStats& w =
+          per_worker[{static_cast<core::TaskId>(s.contracted), s.worker}];
+      w.total_s += s.duration_s();
+      ++w.count;
+    } else if (s.kind == SpanKind::Layer && s.layer >= 0) {
+      LayerStats& l = layer_measured[s.layer];
+      l.total_s += s.duration_s();
+      ++l.count;
+    }
+  }
+
+  // A group's task is as slow as its slowest member: take the max over
+  // workers of the per-invocation mean.
+  struct TaskMeasure {
+    double measured_s = 0.0;
+    std::size_t invocations = 0;
+  };
+  std::map<core::TaskId, TaskMeasure> measured;
+  for (const auto& [key, stats] : per_worker) {
+    if (stats.count == 0) continue;
+    const double mean = stats.total_s / static_cast<double>(stats.count);
+    TaskMeasure& m = measured[key.first];
+    if (mean > m.measured_s || m.invocations == 0) {
+      m.measured_s = mean;
+      m.invocations = stats.count;
+    }
+  }
+
+  const std::map<core::TaskId, Placement> where = placements(schedule);
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+
+  CalibrationReport report;
+  double sum_signed = 0.0;
+  double sum_abs = 0.0;
+  double sum_mp = 0.0;
+  double sum_pp = 0.0;
+  for (const auto& [id, m] : measured) {
+    const auto it = where.find(id);
+    if (it == where.end()) continue;
+    const Placement& p = it->second;
+    const double predicted = cost.symbolic_task_time(
+        contracted.task(id), p.group_size, p.num_groups, schedule.total_cores);
+    if (predicted <= 0.0) continue;  // markers / zero-work tasks
+    TaskCalibration row;
+    row.contracted = id;
+    row.name = contracted.task(id).name();
+    row.layer = p.layer;
+    row.group = p.group;
+    row.group_size = p.group_size;
+    row.invocations = m.invocations;
+    row.predicted_s = predicted;
+    row.measured_s = m.measured_s;
+    row.rel_error = (m.measured_s - predicted) / predicted;
+    sum_signed += row.rel_error;
+    sum_abs += std::abs(row.rel_error);
+    sum_mp += m.measured_s * predicted;
+    sum_pp += predicted * predicted;
+    report.tasks.push_back(std::move(row));
+  }
+  if (!report.tasks.empty()) {
+    const double n = static_cast<double>(report.tasks.size());
+    report.mean_rel_error = sum_signed / n;
+    report.mean_abs_rel_error = sum_abs / n;
+  }
+  if (sum_pp > 0.0) report.fitted_scale = sum_mp / sum_pp;
+
+  for (const auto& [li, stats] : layer_measured) {
+    if (li < 0 || static_cast<std::size_t>(li) >= schedule.layers.size() ||
+        stats.count == 0) {
+      continue;
+    }
+    LayerCalibration row;
+    row.layer = li;
+    row.predicted_s =
+        schedule.layers[static_cast<std::size_t>(li)].predicted_time;
+    row.measured_s = stats.total_s / static_cast<double>(stats.count);
+    row.rel_error = row.predicted_s > 0.0
+                        ? (row.measured_s - row.predicted_s) / row.predicted_s
+                        : 0.0;
+    report.layers.push_back(row);
+  }
+  return report;
+}
+
+std::string render_calibration(const CalibrationReport& report) {
+  std::ostringstream out;
+  out << "== cost-model calibration ==\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-24s %5s %5s %3s %6s %12s %12s %9s\n",
+                "task", "layer", "group", "q", "runs", "predicted_s",
+                "measured_s", "rel_err");
+  out << line;
+  for (const TaskCalibration& t : report.tasks) {
+    std::snprintf(line, sizeof(line),
+                  "%-24s %5d %5d %3d %6zu %12.6g %12.6g %+8.2f%%\n",
+                  t.name.c_str(), t.layer, t.group, t.group_size,
+                  t.invocations, t.predicted_s, t.measured_s,
+                  t.rel_error * 100.0);
+    out << line;
+  }
+  if (!report.layers.empty()) {
+    std::snprintf(line, sizeof(line), "%-24s %12s %12s %9s\n", "layer",
+                  "predicted_s", "measured_s", "rel_err");
+    out << line;
+    for (const LayerCalibration& l : report.layers) {
+      std::snprintf(line, sizeof(line), "layer %-18d %12.6g %12.6g %+8.2f%%\n",
+                    l.layer, l.predicted_s, l.measured_s,
+                    l.rel_error * 100.0);
+      out << line;
+    }
+  }
+  std::snprintf(line, sizeof(line),
+                "tasks: %zu  mean rel err: %+.2f%%  mean |rel err|: %.2f%%  "
+                "fitted scale: %.4f\n",
+                report.tasks.size(), report.mean_rel_error * 100.0,
+                report.mean_abs_rel_error * 100.0, report.fitted_scale);
+  out << line;
+  return out.str();
+}
+
+std::vector<Span> spans_from_gantt(const sched::LayeredSchedule& schedule,
+                                   const sched::GanttSchedule& gantt) {
+  std::vector<Span> spans;
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+  for (std::size_t li = 0; li < schedule.layers.size(); ++li) {
+    const sched::ScheduledLayer& layer = schedule.layers[li];
+    double layer_begin = 0.0;
+    double layer_end = 0.0;
+    bool any = false;
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      const core::TaskId id = layer.tasks[i];
+      const sched::TaskSlot& slot =
+          gantt.slots[static_cast<std::size_t>(id)];
+      const int g = layer.task_group[i];
+      Span span;
+      span.kind = SpanKind::Task;
+      span.clock = ClockDomain::Simulated;
+      span.name = contracted.task(id).name();
+      span.task = schedule.contraction.members[static_cast<std::size_t>(id)]
+                      .empty()
+                      ? static_cast<std::int64_t>(id)
+                      : schedule.contraction
+                            .members[static_cast<std::size_t>(id)]
+                            .front();
+      span.contracted = id;
+      span.worker = slot.cores.empty() ? -1 : slot.cores.front();
+      span.group = g;
+      span.group_size = layer.group_sizes[static_cast<std::size_t>(g)];
+      span.layer = static_cast<int>(li);
+      span.begin_s = slot.start;
+      span.end_s = slot.finish;
+      spans.push_back(std::move(span));
+      if (!any || slot.start < layer_begin) layer_begin = slot.start;
+      if (!any || slot.finish > layer_end) layer_end = slot.finish;
+      any = true;
+    }
+    if (any) {
+      Span span;
+      span.kind = SpanKind::Layer;
+      span.clock = ClockDomain::Simulated;
+      span.name = "layer " + std::to_string(li);
+      span.layer = static_cast<int>(li);
+      span.begin_s = layer_begin;
+      span.end_s = layer_end;
+      spans.push_back(std::move(span));
+    }
+  }
+  return spans;
+}
+
+std::vector<Span> spans_from_sim(const sim::SimResult& result) {
+  std::vector<Span> spans;
+  spans.reserve(result.trace.size());
+  for (const sim::TraceEvent& e : result.trace) {
+    Span span;
+    span.clock = ClockDomain::Simulated;
+    span.worker = e.rank;
+    span.begin_s = e.start;
+    span.end_s = e.end;
+    if (e.kind == sim::TraceEvent::Kind::Compute) {
+      span.kind = SpanKind::Task;
+      span.name = "compute";
+    } else {
+      span.kind = SpanKind::Collective;
+      span.name = "transfer from " + std::to_string(e.peer);
+      span.bytes = e.bytes;
+    }
+    spans.push_back(std::move(span));
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const Span& a, const Span& b) {
+                     return a.begin_s < b.begin_s;
+                   });
+  return spans;
+}
+
+}  // namespace ptask::obs

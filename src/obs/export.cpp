@@ -1,0 +1,187 @@
+#include "ptask/obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace ptask::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+}
+
+void append_us(std::string& out, double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds * 1e6);
+  out += buf;
+}
+
+int pid_of(const Span& span) {
+  return span.clock == ClockDomain::Real ? 1 : 2;
+}
+
+int tid_of(const Span& span) {
+  return span.worker >= 0 ? span.worker : kHostTid;
+}
+
+void append_event(std::string& out, const Span& span) {
+  out += "{\"name\":\"";
+  append_escaped(out, span.name);
+  out += "\",\"cat\":\"";
+  out += to_string(span.kind);
+  out += "\",\"pid\":";
+  out += std::to_string(pid_of(span));
+  out += ",\"tid\":";
+  out += std::to_string(tid_of(span));
+  out += ",\"ts\":";
+  append_us(out, span.begin_s);
+  if (span.duration_s() > 0.0) {
+    out += ",\"ph\":\"X\",\"dur\":";
+    append_us(out, span.duration_s());
+  } else {
+    out += ",\"ph\":\"i\",\"s\":\"t\"";
+  }
+  out += ",\"args\":{\"task\":";
+  out += std::to_string(span.task);
+  out += ",\"contracted\":";
+  out += std::to_string(span.contracted);
+  out += ",\"group\":";
+  out += std::to_string(span.group);
+  out += ",\"group_size\":";
+  out += std::to_string(span.group_size);
+  out += ",\"layer\":";
+  out += std::to_string(span.layer);
+  out += ",\"bytes\":";
+  out += std::to_string(span.bytes);
+  out += "}}";
+}
+
+void append_metadata(std::string& out, int pid, int tid, const char* what,
+                     const std::string& name) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  if (tid >= 0) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += ",\"args\":{\"name\":\"";
+  append_escaped(out, name);
+  out += "\"}}";
+}
+
+}  // namespace
+
+std::string render_chrome_trace(const std::vector<Span>& spans) {
+  std::vector<const Span*> ordered;
+  ordered.reserve(spans.size());
+  for (const Span& s : spans) ordered.push_back(&s);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Span* a, const Span* b) {
+                     return a->begin_s < b->begin_s;
+                   });
+
+  // (pid, tid) pairs in use, to emit one thread_name metadata event each.
+  std::set<std::pair<int, int>> tracks;
+  std::set<int> pids;
+  for (const Span& s : spans) {
+    tracks.emplace(pid_of(s), tid_of(s));
+    pids.insert(pid_of(s));
+  }
+
+  std::string out;
+  out.reserve(spans.size() * 160 + 1024);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out += ",\n";
+    first = false;
+  };
+  for (const int pid : pids) {
+    sep();
+    append_metadata(out, pid, -1, "process_name",
+                    pid == 1 ? "ptask (real)" : "ptask (simulated)");
+  }
+  for (const auto& [pid, tid] : tracks) {
+    sep();
+    append_metadata(out, pid, tid, "thread_name",
+                    tid == kHostTid ? std::string("host")
+                                    : "core " + std::to_string(tid));
+  }
+  for (const Span* s : ordered) {
+    sep();
+    append_event(out, *s);
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string render_summary(const std::vector<Span>& spans,
+                           const MetricsRegistry& registry) {
+  struct KindStats {
+    std::size_t count = 0;
+    double total_s = 0.0;
+  };
+  std::map<std::string, KindStats> by_kind;
+  std::map<int, KindStats> by_layer;
+  for (const Span& s : spans) {
+    KindStats& k = by_kind[to_string(s.kind)];
+    ++k.count;
+    k.total_s += s.duration_s();
+    if (s.kind == SpanKind::Task && s.layer >= 0) {
+      KindStats& l = by_layer[s.layer];
+      ++l.count;
+      l.total_s += s.duration_s();
+    }
+  }
+
+  std::ostringstream out;
+  out << "== trace summary ==\n";
+  out << "spans: " << spans.size() << "\n";
+  for (const auto& [kind, stats] : by_kind) {
+    out << "  " << kind << ": " << stats.count << " spans, "
+        << stats.total_s * 1e3 << " ms total\n";
+  }
+  if (!by_layer.empty()) {
+    out << "task time by layer:\n";
+    for (const auto& [layer, stats] : by_layer) {
+      out << "  layer " << layer << ": " << stats.count << " task spans, "
+          << stats.total_s * 1e3 << " ms total\n";
+    }
+  }
+
+  out << "== metrics ==\n";
+  for (const CounterSample& c : registry.counters()) {
+    out << "  " << c.name << " = " << c.value << "\n";
+  }
+  for (const HistogramSample& h : registry.histograms()) {
+    out << "  " << h.name << ": count=" << h.count << " sum=" << h.sum
+        << " p50<=" << h.p50 << " p90<=" << h.p90 << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace ptask::obs

@@ -1,0 +1,92 @@
+#include "ptask/obs/metrics.hpp"
+
+#include <bit>
+
+namespace ptask::obs {
+
+void Histogram::observe(std::uint64_t value) {
+  const int bucket = std::bit_width(value);  // 0 for 0, else floor(log2)+1
+  buckets_[static_cast<std::size_t>(bucket)].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::quantile_upper_bound(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    seen += bucket(i);
+    if (static_cast<double>(seen) >= target && seen > 0) {
+      if (i == 0) return 0;
+      if (i >= 64) return ~std::uint64_t{0};
+      return (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return ~std::uint64_t{0};
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+std::vector<CounterSample> MetricsRegistry::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.push_back(CounterSample{name, counter->value()});
+  }
+  return out;
+}
+
+std::vector<HistogramSample> MetricsRegistry::histograms() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    out.push_back(HistogramSample{name, h->count(), h->sum(),
+                                  h->quantile_upper_bound(0.5),
+                                  h->quantile_upper_bound(0.9)});
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+MetricsRegistry& metrics() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace ptask::obs

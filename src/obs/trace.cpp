@@ -1,0 +1,160 @@
+#include "ptask/obs/trace.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace ptask::obs {
+
+const char* to_string(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Run: return "run";
+    case SpanKind::Layer: return "layer";
+    case SpanKind::Task: return "task";
+    case SpanKind::Redistribution: return "redistribution";
+    case SpanKind::Collective: return "collective";
+    case SpanKind::BarrierWait: return "barrier_wait";
+    case SpanKind::Scheduler: return "scheduler";
+    case SpanKind::Dispatch: return "dispatch";
+    case SpanKind::Fault: return "fault";
+  }
+  return "unknown";
+}
+
+const char* to_string(ClockDomain clock) {
+  return clock == ClockDomain::Real ? "real" : "simulated";
+}
+
+namespace {
+/// Monotonic id source so that (tracer address, instance id) pairs never
+/// collide across tracer lifetimes -- a worker thread's cached buffer
+/// pointer can never be mistaken for one belonging to a new tracer that
+/// happens to reuse the address.
+std::atomic<std::uint64_t> g_next_instance{1};
+}  // namespace
+
+Tracer::Tracer()
+    : epoch_(std::chrono::steady_clock::now()),
+      instance_id_(g_next_instance.fetch_add(1, std::memory_order_relaxed)) {}
+
+double Tracer::now() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch_)
+      .count();
+}
+
+Tracer::ThreadBuffer* Tracer::register_thread_buffer() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  return buffers_.back().get();
+}
+
+void Tracer::record(Span span) {
+  struct Cache {
+    const Tracer* owner = nullptr;
+    std::uint64_t instance = 0;
+    ThreadBuffer* buffer = nullptr;
+  };
+  thread_local Cache cache;
+  if (cache.owner != this || cache.instance != instance_id_) {
+    cache.buffer = register_thread_buffer();
+    cache.owner = this;
+    cache.instance = instance_id_;
+  }
+  ThreadBuffer* buf = cache.buffer;
+  if (buf->spans.size() >= max_spans_per_thread_) {
+    ++buf->dropped;
+    return;
+  }
+  buf->spans.push_back(std::move(span));
+}
+
+void Tracer::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
+    if (!buf->spans.empty()) {
+      collected_.insert(collected_.end(),
+                        std::make_move_iterator(buf->spans.begin()),
+                        std::make_move_iterator(buf->spans.end()));
+      buf->spans.clear();
+    }
+    dropped_ += buf->dropped;
+    buf->dropped = 0;
+  }
+}
+
+std::vector<Span> Tracer::take() {
+  drain();
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<Span> out = std::move(collected_);
+  collected_.clear();
+  return out;
+}
+
+void Tracer::clear() {
+  drain();
+  std::lock_guard<std::mutex> lock(mutex_);
+  collected_.clear();
+  dropped_ = 0;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
+
+void Tracer::set_max_spans_per_thread(std::size_t cap) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  max_spans_per_thread_ = cap;
+}
+
+Tracer& tracer() {
+  static Tracer instance;
+  static const bool configured = [] {
+    if (const char* on = std::getenv("PTASK_TRACE");
+        on != nullptr && *on != '\0' && std::strcmp(on, "0") != 0) {
+      instance.set_enabled(true);
+    }
+    if (const char* cap = std::getenv("PTASK_TRACE_BUFFER_SPANS");
+        cap != nullptr && *cap != '\0') {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(cap, &end, 10);
+      if (end != cap && value > 0) {
+        instance.set_max_spans_per_thread(static_cast<std::size_t>(value));
+      }
+    }
+    return true;
+  }();
+  (void)configured;
+  return instance;
+}
+
+ThreadContext& thread_context() {
+  thread_local ThreadContext context;
+  return context;
+}
+
+void ScopedSpan::start(SpanKind kind, const char* name) {
+  const ThreadContext& ctx = thread_context();
+  span_.kind = kind;
+  span_.name = name;
+  span_.task = ctx.task;
+  span_.contracted = ctx.contracted;
+  span_.worker = ctx.worker;
+  span_.group = ctx.group;
+  span_.group_size = ctx.group_size;
+  span_.layer = ctx.layer;
+  span_.begin_s = tracer().now();
+  active_ = true;
+}
+
+void ScopedSpan::finish() {
+  span_.end_s = tracer().now();
+  if (duration_counter_ != nullptr) {
+    const double ns = span_.duration_s() * 1e9;
+    duration_counter_->add(ns > 0.0 ? static_cast<std::uint64_t>(ns) : 0);
+  }
+  tracer().record(std::move(span_));
+  active_ = false;
+}
+
+}  // namespace ptask::obs

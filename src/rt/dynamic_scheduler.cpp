@@ -4,7 +4,29 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
 namespace ptask::rt {
+
+namespace {
+obs::Counter& submitted_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.dyn.submitted");
+  return c;
+}
+obs::Counter& dispatched_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.dyn.dispatched");
+  return c;
+}
+obs::Counter& completed_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.dyn.completed");
+  return c;
+}
+obs::Histogram& group_size_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram("rt.dyn.group_size");
+  return h;
+}
+}  // namespace
 
 DynamicScheduler::DynamicScheduler(int num_cores) {
   if (num_cores <= 0) {
@@ -36,6 +58,7 @@ void DynamicScheduler::submit(DynamicTask task) {
     throw std::invalid_argument("max_cores below min_cores");
   }
   if (task.work_hint <= 0.0) task.work_hint = 1.0;
+  submitted_counter().add();
   {
     std::lock_guard<std::mutex> lock(mutex_);
     pending_.push_back(std::move(task));
@@ -76,6 +99,8 @@ void DynamicScheduler::dispatch_locked() {
       inbox_[static_cast<std::size_t>(worker)].push_back(
           Assignment{run, rank});
     }
+    dispatched_counter().add();
+    group_size_histogram().observe(static_cast<std::uint64_t>(size));
     ++active_tasks_;
     stats_.max_concurrent_tasks =
         std::max(stats_.max_concurrent_tasks, active_tasks_);
@@ -103,7 +128,19 @@ void DynamicScheduler::worker_loop(int index) {
     ctx.group_index = 0;
     ctx.num_groups = 1;
     ctx.comm = assignment.run->comm.get();
-    if (assignment.run->task.body) assignment.run->task.body(ctx);
+    if (assignment.run->task.body) {
+      // The task span closes before the completion bookkeeping below, so
+      // every span happens-before wait()'s return and the tracer drain.
+      obs::ThreadContext tctx;
+      tctx.worker = index;
+      tctx.group_size = ctx.group_size;
+      obs::ContextScope scope(tctx);
+      obs::ScopedSpan task_span(obs::SpanKind::Task,
+                                assignment.run->task.name.empty()
+                                    ? "dyn.task"
+                                    : assignment.run->task.name.c_str());
+      assignment.run->task.body(ctx);
+    }
 
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -115,6 +152,7 @@ void DynamicScheduler::worker_loop(int index) {
         for (int w : assignment.run->workers) free_cores_.push_back(w);
         --active_tasks_;
         ++stats_.tasks_completed;
+        completed_counter().add();
         dispatch_locked();
         if (active_tasks_ == 0 && pending_.empty()) {
           idle_cv_.notify_all();
@@ -126,8 +164,14 @@ void DynamicScheduler::worker_loop(int index) {
 }
 
 void DynamicScheduler::wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return active_tasks_ == 0 && pending_.empty(); });
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock,
+                  [&] { return active_tasks_ == 0 && pending_.empty(); });
+  }
+  // All submitted tasks have completed (their spans closed before the last
+  // completion was published under the mutex), so draining is race-free.
+  if (obs::enabled()) obs::tracer().drain();
 }
 
 DynamicSchedulerStats DynamicScheduler::stats() const {

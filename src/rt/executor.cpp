@@ -4,7 +4,25 @@
 #include <memory>
 #include <stdexcept>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
 namespace ptask::rt {
+
+namespace {
+obs::Counter& runs_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.runs");
+  return c;
+}
+obs::Counter& layers_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.layers_executed");
+  return c;
+}
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.tasks_executed");
+  return c;
+}
+}  // namespace
 
 Executor::Executor(int num_virtual_cores, FaultOptions faults)
     : team_(num_virtual_cores), injector_(faults) {
@@ -25,75 +43,104 @@ void Executor::run(const sched::LayeredSchedule& schedule,
   }
   const core::TaskGraph& contracted = schedule.contraction.contracted;
 
-  for (const sched::ScheduledLayer& layer : schedule.layers) {
-    // Group partition of the virtual cores: prefix offsets.
-    std::vector<int> first(layer.group_sizes.size() + 1, 0);
-    for (std::size_t g = 0; g < layer.group_sizes.size(); ++g) {
-      first[g + 1] = first[g] + layer.group_sizes[g];
-    }
-    // Fresh communicators per layer (group structure changes per layer).
-    std::vector<std::unique_ptr<GroupComm>> comms;
-    comms.reserve(layer.group_sizes.size());
-    for (int size : layer.group_sizes) {
-      comms.push_back(std::make_unique<GroupComm>(size));
-    }
-    // Orthogonal communicators: one per position shared by all groups,
-    // up to the smallest group's size.
-    const int num_groups = layer.num_groups();
-    int min_size = layer.group_sizes.empty() ? 0 : layer.group_sizes.front();
-    for (int size : layer.group_sizes) min_size = std::min(min_size, size);
-    std::vector<std::unique_ptr<GroupComm>> orth_comms;
-    if (num_groups > 1) {
-      orth_comms.reserve(static_cast<std::size_t>(min_size));
-      for (int j = 0; j < min_size; ++j) {
-        orth_comms.push_back(std::make_unique<GroupComm>(num_groups));
+  runs_counter().add();
+  const bool tracing = obs::enabled();
+  {
+    // Scoped so the run span closes before the drain below.
+    obs::ScopedSpan run_span(obs::SpanKind::Run, "executor.run");
+
+    for (std::size_t li = 0; li < schedule.layers.size(); ++li) {
+      const sched::ScheduledLayer& layer = schedule.layers[li];
+      layers_counter().add();
+      obs::ScopedSpan layer_span(obs::SpanKind::Layer,
+                                 "layer " + std::to_string(li));
+      layer_span.set_layer(static_cast<int>(li));
+      // Group partition of the virtual cores: prefix offsets.
+      std::vector<int> first(layer.group_sizes.size() + 1, 0);
+      for (std::size_t g = 0; g < layer.group_sizes.size(); ++g) {
+        first[g + 1] = first[g] + layer.group_sizes[g];
       }
-    }
-    // Per-group task lists in assignment order.
-    std::vector<std::vector<core::TaskId>> group_tasks(
-        layer.group_sizes.size());
-    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
-      group_tasks[static_cast<std::size_t>(layer.task_group[i])].push_back(
-          layer.tasks[i]);
-    }
-
-    team_.run([&](int worker) {
-      // Locate this worker's group.
-      std::size_t g = 0;
-      while (g + 1 < first.size() && worker >= first[g + 1]) ++g;
-      if (g >= layer.group_sizes.size()) return;  // beyond last group: idle
-
-      ExecContext ctx;
-      ctx.group_rank = worker - first[g];
-      ctx.group_size = layer.group_sizes[g];
-      ctx.group_index = static_cast<int>(g);
-      ctx.num_groups = layer.num_groups();
-      ctx.comm = comms[g].get();
-      if (ctx.num_groups > 1 &&
-          ctx.group_rank < static_cast<int>(orth_comms.size())) {
-        ctx.orth = orth_comms[static_cast<std::size_t>(ctx.group_rank)].get();
+      // Fresh communicators per layer (group structure changes per layer).
+      std::vector<std::unique_ptr<GroupComm>> comms;
+      comms.reserve(layer.group_sizes.size());
+      for (int size : layer.group_sizes) {
+        comms.push_back(std::make_unique<GroupComm>(size));
+      }
+      // Orthogonal communicators: one per position shared by all groups,
+      // up to the smallest group's size.
+      const int num_groups = layer.num_groups();
+      int min_size = layer.group_sizes.empty() ? 0 : layer.group_sizes.front();
+      for (int size : layer.group_sizes) min_size = std::min(min_size, size);
+      std::vector<std::unique_ptr<GroupComm>> orth_comms;
+      if (num_groups > 1) {
+        orth_comms.reserve(static_cast<std::size_t>(min_size));
+        for (int j = 0; j < min_size; ++j) {
+          orth_comms.push_back(std::make_unique<GroupComm>(num_groups));
+        }
+      }
+      // Per-group task lists in assignment order.
+      std::vector<std::vector<core::TaskId>> group_tasks(
+          layer.group_sizes.size());
+      for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+        group_tasks[static_cast<std::size_t>(layer.task_group[i])].push_back(
+            layer.tasks[i]);
       }
 
-      for (core::TaskId contracted_id : group_tasks[g]) {
-        for (core::TaskId original :
-             schedule.contraction.members[static_cast<std::size_t>(
-                 contracted_id)]) {
-          if (original < 0 ||
-              static_cast<std::size_t>(original) >= functions.size()) {
-            continue;
-          }
-          const TaskFn& fn = functions[static_cast<std::size_t>(original)];
-          if (fn) {
-            injector_.perturb(FaultInjector::point(worker, original, 1));
-            fn(ctx);
-            injector_.perturb(FaultInjector::point(worker, original, 2));
+      team_.run([&](int worker) {
+        // Locate this worker's group.
+        std::size_t g = 0;
+        while (g + 1 < first.size() && worker >= first[g + 1]) ++g;
+        if (g >= layer.group_sizes.size()) return;  // beyond last group: idle
+
+        ExecContext ctx;
+        ctx.group_rank = worker - first[g];
+        ctx.group_size = layer.group_sizes[g];
+        ctx.group_index = static_cast<int>(g);
+        ctx.num_groups = layer.num_groups();
+        ctx.comm = comms[g].get();
+        if (ctx.num_groups > 1 &&
+            ctx.group_rank < static_cast<int>(orth_comms.size())) {
+          ctx.orth = orth_comms[static_cast<std::size_t>(ctx.group_rank)].get();
+        }
+
+        for (core::TaskId contracted_id : group_tasks[g]) {
+          for (core::TaskId original :
+               schedule.contraction.members[static_cast<std::size_t>(
+                   contracted_id)]) {
+            if (original < 0 ||
+                static_cast<std::size_t>(original) >= functions.size()) {
+              continue;
+            }
+            const TaskFn& fn = functions[static_cast<std::size_t>(original)];
+            if (fn) {
+              if (ctx.group_rank == 0) tasks_counter().add();
+              injector_.perturb(FaultInjector::point(worker, original, 1));
+              if (tracing) {
+                obs::ThreadContext tctx;
+                tctx.worker = worker;
+                tctx.group = ctx.group_index;
+                tctx.group_size = ctx.group_size;
+                tctx.layer = static_cast<int>(li);
+                tctx.task = original;
+                tctx.contracted = contracted_id;
+                obs::ContextScope scope(tctx);
+                obs::ScopedSpan task_span(
+                    obs::SpanKind::Task, contracted.task(contracted_id).name());
+                fn(ctx);
+              } else {
+                fn(ctx);
+              }
+              injector_.perturb(FaultInjector::point(worker, original, 2));
+            }
           }
         }
-        (void)contracted;
-      }
-    });
-    // team_.run returning is the inter-layer synchronization.
+      });
+      // team_.run returning is the inter-layer synchronization.
+    }
   }
+  // All workers are quiescent (team_.run synchronized), so draining the
+  // per-thread span buffers here is race-free.
+  if (tracing) obs::tracer().drain();
 }
 
 }  // namespace ptask::rt

@@ -6,6 +6,9 @@
 #include <string>
 #include <thread>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
 namespace ptask::rt {
 
 namespace {
@@ -51,6 +54,14 @@ FaultOptions FaultOptions::from_env() {
   return options;
 }
 
+FaultInjector::FaultInjector(FaultOptions options) : options_(options) {
+  if (options_.any()) {
+    injections_ = &obs::metrics().counter("rt.fault.injections");
+    delay_us_ = &obs::metrics().counter("rt.fault.delay_us");
+    yields_ = &obs::metrics().counter("rt.fault.yields");
+  }
+}
+
 std::uint64_t FaultInjector::point(int worker, std::int64_t task, int phase) {
   return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(worker))
           << 40) ^
@@ -62,11 +73,14 @@ std::uint64_t FaultInjector::point(int worker, std::int64_t task, int phase) {
 void FaultInjector::perturb(std::uint64_t point) const {
   if (!enabled()) return;
   const std::uint64_t h = mix64(options_.seed ^ mix64(point));
+  bool injected = false;
   if (options_.yield_storm) {
     // Burst of yields on ~half the points; length keyed by the hash.
     const int yields = static_cast<int>((h >> 8) % 64);
     if ((h & 1) != 0) {
       for (int i = 0; i < yields; ++i) std::this_thread::yield();
+      if (yields_ != nullptr) yields_->add(static_cast<std::uint64_t>(yields));
+      injected = yields > 0;
     }
   }
   if (options_.task_delays && options_.max_delay_us > 0) {
@@ -74,9 +88,17 @@ void FaultInjector::perturb(std::uint64_t point) const {
     if ((h >> 1) % 3 == 0) {
       const auto us = static_cast<long>(
           (h >> 16) % static_cast<std::uint64_t>(options_.max_delay_us + 1));
+      // The span measures the actual elapsed wall time of the sleep, so an
+      // injected delay shows up as an explicit Fault span, not a gap.
+      obs::ScopedSpan span(obs::SpanKind::Fault, "fault.delay");
       std::this_thread::sleep_for(std::chrono::microseconds(us));
+      if (delay_us_ != nullptr) {
+        delay_us_->add(static_cast<std::uint64_t>(us));
+      }
+      injected = true;
     }
   }
+  if (injected && injections_ != nullptr) injections_->add();
 }
 
 }  // namespace ptask::rt

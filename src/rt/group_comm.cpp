@@ -3,7 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
 namespace ptask::rt {
+
+namespace {
+obs::Counter& collective_ops_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.collective_ops");
+  return c;
+}
+obs::Histogram& collective_bytes_histogram() {
+  static obs::Histogram& h = obs::metrics().histogram("rt.collective_bytes");
+  return h;
+}
+obs::Counter& barrier_wait_ns_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.barrier_wait_ns");
+  return c;
+}
+}  // namespace
 
 Barrier::Barrier(int size) : size_(size) {
   if (size <= 0) throw std::invalid_argument("barrier size must be positive");
@@ -28,10 +46,17 @@ GroupComm::GroupComm(int size)
 
 void GroupComm::barrier(int rank) {
   (void)rank;
+  obs::ScopedSpan span(obs::SpanKind::BarrierWait, "barrier");
+  if (span.active()) span.count_duration_into(barrier_wait_ns_counter());
   barrier_.arrive_and_wait();
 }
 
 void GroupComm::bcast(int rank, int root, std::span<double> data) {
+  collective_ops_counter().add();
+  const std::uint64_t bytes = data.size() * sizeof(double);
+  collective_bytes_histogram().observe(bytes);
+  obs::ScopedSpan span(obs::SpanKind::Collective, "bcast");
+  span.set_bytes(bytes);
   if (rank == root) root_data_ = data;
   barrier_.arrive_and_wait();  // publish
   if (rank != root) {
@@ -42,6 +67,11 @@ void GroupComm::bcast(int rank, int root, std::span<double> data) {
 
 void GroupComm::allgather(int rank, std::span<const double> contribution,
                           std::span<double> out) {
+  collective_ops_counter().add();
+  const std::uint64_t bytes = out.size() * sizeof(double);
+  collective_bytes_histogram().observe(bytes);
+  obs::ScopedSpan span(obs::SpanKind::Collective, "allgather");
+  span.set_bytes(bytes);
   stage_in_[static_cast<std::size_t>(rank)] = contribution;
   barrier_.arrive_and_wait();  // publish
   std::size_t offset = 0;
@@ -59,6 +89,10 @@ void GroupComm::allgather(int rank, std::span<const double> contribution,
 }
 
 double GroupComm::allreduce_sum(int rank, double value) {
+  collective_ops_counter().add();
+  collective_bytes_histogram().observe(sizeof(double));
+  obs::ScopedSpan span(obs::SpanKind::Collective, "allreduce_sum");
+  span.set_bytes(sizeof(double));
   stage_scalar_[static_cast<std::size_t>(rank)] = value;
   barrier_.arrive_and_wait();
   double sum = 0.0;
@@ -68,6 +102,10 @@ double GroupComm::allreduce_sum(int rank, double value) {
 }
 
 double GroupComm::allreduce_max(int rank, double value) {
+  collective_ops_counter().add();
+  collective_bytes_histogram().observe(sizeof(double));
+  obs::ScopedSpan span(obs::SpanKind::Collective, "allreduce_max");
+  span.set_bytes(sizeof(double));
   stage_scalar_[static_cast<std::size_t>(rank)] = value;
   barrier_.arrive_and_wait();
   double best = stage_scalar_.front();

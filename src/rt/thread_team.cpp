@@ -2,7 +2,17 @@
 
 #include <stdexcept>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
 namespace ptask::rt {
+
+namespace {
+obs::Counter& jobs_counter() {
+  static obs::Counter& c = obs::metrics().counter("rt.team.jobs");
+  return c;
+}
+}  // namespace
 
 ThreadTeam::ThreadTeam(int size) {
   if (size <= 0) throw std::invalid_argument("team size must be positive");
@@ -30,6 +40,7 @@ void ThreadTeam::set_job_prologue(std::function<void(int)> hook) {
 }
 
 void ThreadTeam::run(const std::function<void(int)>& fn) {
+  jobs_counter().add();
   std::unique_lock<std::mutex> lock(mutex_);
   job_ = &fn;
   remaining_ = size();
@@ -60,6 +71,11 @@ void ThreadTeam::worker_loop(int index) {
     }
     std::exception_ptr error;
     try {
+      // The dispatch span closes before the remaining_-decrement below, so
+      // every span this worker records happens-before run()'s return (and
+      // therefore before any tracer drain).
+      obs::ScopedSpan job_span(obs::SpanKind::Dispatch, "team.job");
+      job_span.set_worker(index);
       if (prologue) (*prologue)(index);
       (*job)(index);
     } catch (...) {

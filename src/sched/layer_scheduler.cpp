@@ -5,6 +5,9 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
 namespace ptask::sched {
 
 std::vector<int> equal_group_sizes(int total, int g) {
@@ -82,42 +85,49 @@ ScheduledLayer LayerScheduler::schedule_layer(
   std::vector<std::size_t> order(tasks.size());
   std::iota(order.begin(), order.end(), 0);
 
-  for (int g = g_first; g <= g_limit; ++g) {
-    const std::vector<int> sizes = equal_group_sizes(P, g);
+  {
+    obs::ScopedSpan search_span(obs::SpanKind::Scheduler,
+                                "sched.group_search");
+    for (int g = g_first; g <= g_limit; ++g) {
+      const std::vector<int> sizes = equal_group_sizes(P, g);
 
-    // Sort tasks by decreasing execution time on a group of this size.
-    std::vector<double> time(tasks.size());
-    for (std::size_t i = 0; i < tasks.size(); ++i) {
-      time[i] = cost_->symbolic_task_time(graph.task(tasks[i]), sizes[0], g, P);
-    }
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return time[a] > time[b]; });
+      // Sort tasks by decreasing execution time on a group of this size.
+      std::vector<double> time(tasks.size());
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        time[i] =
+            cost_->symbolic_task_time(graph.task(tasks[i]), sizes[0], g, P);
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return time[a] > time[b];
+      });
 
-    // Greedy assignment: each task onto the group with the smallest
-    // accumulated execution time (modified Sahni algorithm, line 10).
-    std::vector<double> accumulated(static_cast<std::size_t>(g), 0.0);
-    std::vector<int> task_group(tasks.size(), 0);
-    for (std::size_t i : order) {
-      const std::size_t target = static_cast<std::size_t>(
-          std::min_element(accumulated.begin(), accumulated.end()) -
-          accumulated.begin());
-      const double t = cost_->symbolic_task_time(
-          graph.task(tasks[i]), sizes[target], g, P);
-      accumulated[target] += t;
-      task_group[i] = static_cast<int>(target);
-    }
-    const double t_act =
-        *std::max_element(accumulated.begin(), accumulated.end());
-    if (t_act < best_time) {
-      best_time = t_act;
-      best.tasks = tasks;
-      best.group_sizes = sizes;
-      best.task_group = task_group;
-      best.predicted_time = t_act;
+      // Greedy assignment: each task onto the group with the smallest
+      // accumulated execution time (modified Sahni algorithm, line 10).
+      std::vector<double> accumulated(static_cast<std::size_t>(g), 0.0);
+      std::vector<int> task_group(tasks.size(), 0);
+      for (std::size_t i : order) {
+        const std::size_t target = static_cast<std::size_t>(
+            std::min_element(accumulated.begin(), accumulated.end()) -
+            accumulated.begin());
+        const double t = cost_->symbolic_task_time(graph.task(tasks[i]),
+                                                   sizes[target], g, P);
+        accumulated[target] += t;
+        task_group[i] = static_cast<int>(target);
+      }
+      const double t_act =
+          *std::max_element(accumulated.begin(), accumulated.end());
+      if (t_act < best_time) {
+        best_time = t_act;
+        best.tasks = tasks;
+        best.group_sizes = sizes;
+        best.task_group = task_group;
+        best.predicted_time = t_act;
+      }
     }
   }
 
   if (options_.adjust_group_sizes && best.num_groups() > 1) {
+    obs::ScopedSpan adjust_span(obs::SpanKind::Scheduler, "sched.adjust");
     // Accumulated *sequential* work per group (paper: Tseq(G_l)).
     std::vector<double> work(static_cast<std::size_t>(best.num_groups()), 0.0);
     for (std::size_t i = 0; i < best.tasks.size(); ++i) {
@@ -146,26 +156,36 @@ LayeredSchedule LayerScheduler::schedule(const core::TaskGraph& graph,
   if (total_cores <= 0) {
     throw std::invalid_argument("core count must be positive");
   }
+  static obs::Counter& invocations = obs::metrics().counter("sched.invocations");
+  invocations.add();
+  obs::ScopedSpan schedule_span(obs::SpanKind::Scheduler, "sched.schedule");
+
   LayeredSchedule result;
   result.total_cores = total_cores;
-  if (options_.contract_chains) {
-    result.contraction = core::contract_linear_chains(graph);
-  } else {
-    // Identity contraction.
-    result.contraction.contracted = graph;
-    result.contraction.members.resize(
-        static_cast<std::size_t>(graph.num_tasks()));
-    result.contraction.representative.resize(
-        static_cast<std::size_t>(graph.num_tasks()));
-    for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
-      result.contraction.members[static_cast<std::size_t>(id)] = {id};
-      result.contraction.representative[static_cast<std::size_t>(id)] = id;
+  {
+    obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.chain_contraction");
+    if (options_.contract_chains) {
+      result.contraction = core::contract_linear_chains(graph);
+    } else {
+      // Identity contraction.
+      result.contraction.contracted = graph;
+      result.contraction.members.resize(
+          static_cast<std::size_t>(graph.num_tasks()));
+      result.contraction.representative.resize(
+          static_cast<std::size_t>(graph.num_tasks()));
+      for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+        result.contraction.members[static_cast<std::size_t>(id)] = {id};
+        result.contraction.representative[static_cast<std::size_t>(id)] = id;
+      }
     }
   }
 
   const core::TaskGraph& contracted = result.contraction.contracted;
-  const std::vector<std::vector<core::TaskId>> layers =
-      core::greedy_layers(contracted);
+  std::vector<std::vector<core::TaskId>> layers;
+  {
+    obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.layer_partition");
+    layers = core::greedy_layers(contracted);
+  }
   result.layers.reserve(layers.size());
   for (const std::vector<core::TaskId>& layer_tasks : layers) {
     ScheduledLayer layer =

@@ -410,7 +410,7 @@ sim::SimResult TimelineEvaluator::simulate(
   }
 
   const sim::NetworkSim simulator(machine, rank_cores);
-  return simulator.run(programs);
+  return simulator.run(programs, options.record_trace);
 }
 
 }  // namespace ptask::sched

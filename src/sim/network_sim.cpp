@@ -7,6 +7,8 @@
 #include <tuple>
 #include <unordered_set>
 
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
 #include "ptask/sim/event_engine.hpp"
 
 namespace ptask::sim {
@@ -54,6 +56,12 @@ NetworkSim::NetworkSim(const arch::Machine& machine,
 
 SimResult NetworkSim::run(const ProgramSet& programs,
                           bool record_trace) const {
+  static obs::Counter& runs = obs::metrics().counter("sim.runs");
+  static obs::Counter& transfers = obs::metrics().counter("sim.transfers");
+  static obs::Counter& events = obs::metrics().counter("sim.events");
+  runs.add();
+  obs::ScopedSpan run_span(obs::SpanKind::Scheduler, "sim.run");
+
   const int nranks = programs.num_ranks();
   if (static_cast<std::size_t>(nranks) != placement_.size()) {
     throw std::invalid_argument("program set size does not match placement");
@@ -212,6 +220,8 @@ SimResult NetworkSim::run(const ProgramSet& programs,
     result.finish_times[ri] = clock[ri];
     result.makespan = std::max(result.makespan, clock[ri]);
   }
+  transfers.add(result.transfers);
+  events.add(ready.total_pushed());
   return result;
 }
 

@@ -1,0 +1,585 @@
+// Tests for the observability subsystem (ptask::obs): metrics registry,
+// span tracer, exporters, the JSON reader, and the cost-model calibration
+// report -- including the end-to-end executor trace and the differential
+// oracle tying calibration to the scheduler's own symbolic timeline.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/obs/calibration.hpp"
+#include "ptask/obs/export.hpp"
+#include "ptask/obs/json.hpp"
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+#include "ptask/ode/graph_gen.hpp"
+#include "ptask/rt/dynamic_scheduler.hpp"
+#include "ptask/rt/executor.hpp"
+#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::obs {
+namespace {
+
+// ---- metrics ----
+
+TEST(Metrics, CounterAccumulatesAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Metrics, HistogramBucketsByPowerOfTwo) {
+  Histogram h;
+  h.observe(0);    // bucket 0
+  h.observe(1);    // bucket 1
+  h.observe(2);    // bucket 2
+  h.observe(3);    // bucket 2
+  h.observe(900);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 906u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(2), 2u);
+  EXPECT_EQ(h.bucket(10), 1u);
+  // Median of {0,1,2,3,900} lies in bucket 2 -> upper bound 3.
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 3u);
+  EXPECT_EQ(h.quantile_upper_bound(1.0), 1023u);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
+}
+
+TEST(Metrics, RegistryHandsOutStableReferences) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.add(7);
+  reg.reset();  // zeroes, but the reference stays valid
+  EXPECT_EQ(b.value(), 0u);
+  a.add(3);
+  const std::vector<CounterSample> samples = reg.counters();
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].name, "x");
+  EXPECT_EQ(samples[0].value, 3u);
+}
+
+TEST(Metrics, RegistryIsThreadSafe) {
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 1000; ++i) {
+        reg.counter("shared").add();
+        reg.histogram("h").observe(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared").value(), 4000u);
+  EXPECT_EQ(reg.histogram("h").count(), 4000u);
+}
+
+// ---- tracer ----
+
+TEST(Tracer, CollectsSpansFromManyThreads) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpans; ++i) {
+        Span s;
+        s.kind = SpanKind::Task;
+        s.name = "t" + std::to_string(t);
+        s.worker = t;
+        s.begin_s = i;
+        s.end_s = i + 1;
+        tracer.record(std::move(s));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const std::vector<Span> spans = tracer.take();
+  EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kSpans));
+  EXPECT_EQ(tracer.dropped(), 0u);
+  EXPECT_TRUE(tracer.take().empty());  // take() removes what it returns
+}
+
+TEST(Tracer, DropsBeyondPerThreadCap) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  tracer.set_max_spans_per_thread(10);
+  for (int i = 0; i < 25; ++i) {
+    Span s;
+    s.name = "s";
+    tracer.record(std::move(s));
+  }
+  EXPECT_EQ(tracer.take().size(), 10u);
+  EXPECT_EQ(tracer.dropped(), 15u);
+  tracer.clear();
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Tracer, ScopedSpanIsInertWhenDisabled) {
+  tracer().set_enabled(false);
+  tracer().clear();
+  {
+    ScopedSpan span(SpanKind::Task, "ignored");
+    EXPECT_FALSE(span.active());
+  }
+  EXPECT_TRUE(tracer().take().empty());
+}
+
+TEST(Tracer, ScopedSpanInheritsThreadContext) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  tracer().clear();
+  tracer().set_enabled(true);
+  {
+    ThreadContext ctx;
+    ctx.worker = 3;
+    ctx.group = 1;
+    ctx.group_size = 2;
+    ctx.layer = 4;
+    ctx.task = 7;
+    ctx.contracted = 5;
+    ContextScope scope(ctx);
+    ScopedSpan span(SpanKind::Collective, "op");
+    span.set_bytes(128);
+  }
+  tracer().set_enabled(false);
+  const std::vector<Span> spans = tracer().take();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].worker, 3);
+  EXPECT_EQ(spans[0].group, 1);
+  EXPECT_EQ(spans[0].group_size, 2);
+  EXPECT_EQ(spans[0].layer, 4);
+  EXPECT_EQ(spans[0].task, 7);
+  EXPECT_EQ(spans[0].contracted, 5);
+  EXPECT_EQ(spans[0].bytes, 128u);
+  EXPECT_GE(spans[0].duration_s(), 0.0);
+  // The scope restored the ambient context.
+  EXPECT_EQ(thread_context().worker, -1);
+}
+
+// ---- JSON reader ----
+
+TEST(Json, ParsesDocumentWithEveryValueKind) {
+  const json::Value doc = json::parse(
+      R"({"a": [1, -2.5, 1e3], "b": {"nested": true}, "c": null,)"
+      R"( "s": "x\n\"yA"})");
+  ASSERT_TRUE(doc.is_object());
+  const json::Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+  EXPECT_DOUBLE_EQ(a->array[1].number, -2.5);
+  EXPECT_DOUBLE_EQ(a->array[2].number, 1000.0);
+  ASSERT_NE(doc.find("b"), nullptr);
+  EXPECT_TRUE(doc.find("b")->find("nested")->boolean);
+  EXPECT_TRUE(doc.find("c")->is_null());
+  EXPECT_EQ(doc.find("s")->string, "x\n\"yA");
+  EXPECT_EQ(doc.find("missing"), nullptr);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1, 2,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(json::parse("\"unterminated"), std::runtime_error);
+  EXPECT_THROW(json::parse("01x"), std::runtime_error);
+  EXPECT_THROW(json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW(json::parse("tru"), std::runtime_error);
+}
+
+// ---- exporters ----
+
+std::vector<Span> sample_spans() {
+  std::vector<Span> spans;
+  Span task;
+  task.kind = SpanKind::Task;
+  task.name = "compute \"a\"";  // exercises string escaping
+  task.worker = 2;
+  task.group = 0;
+  task.group_size = 2;
+  task.layer = 0;
+  task.begin_s = 0.001;
+  task.end_s = 0.002;
+  spans.push_back(task);
+  Span sim;
+  sim.kind = SpanKind::Collective;
+  sim.clock = ClockDomain::Simulated;
+  sim.name = "transfer";
+  sim.worker = 1;
+  sim.bytes = 4096;
+  sim.begin_s = 0.5;
+  sim.end_s = 0.75;
+  spans.push_back(sim);
+  Span host;  // zero duration, no worker -> instant event on the host track
+  host.kind = SpanKind::Scheduler;
+  host.name = "sched";
+  host.begin_s = 0.0;
+  host.end_s = 0.0;
+  spans.push_back(host);
+  return spans;
+}
+
+TEST(ChromeExport, EmitsParsableEventsWithTracks) {
+  const std::string text = render_chrome_trace(sample_spans());
+  const json::Value doc = json::parse(text);
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  int complete = 0, instant = 0, metadata = 0;
+  bool saw_real_pid = false, saw_sim_pid = false, saw_host_tid = false;
+  for (const json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->string;
+    if (ph == "M") {
+      ++metadata;
+      continue;
+    }
+    const int pid = static_cast<int>(e.find("pid")->number);
+    const int tid = static_cast<int>(e.find("tid")->number);
+    saw_real_pid |= pid == 1;
+    saw_sim_pid |= pid == 2;
+    saw_host_tid |= tid == kHostTid;
+    if (ph == "X") {
+      ++complete;
+      EXPECT_GT(e.find("dur")->number, 0.0);
+    } else if (ph == "i") {
+      ++instant;
+    }
+    ASSERT_NE(e.find("args"), nullptr);
+    EXPECT_NE(e.find("args")->find("bytes"), nullptr);
+  }
+  EXPECT_EQ(complete, 2);
+  EXPECT_EQ(instant, 1);
+  // 2 process_name + 3 thread_name metadata events.
+  EXPECT_EQ(metadata, 5);
+  EXPECT_TRUE(saw_real_pid);
+  EXPECT_TRUE(saw_sim_pid);
+  EXPECT_TRUE(saw_host_tid);
+
+  // The task span's timestamps are microseconds.
+  for (const json::Value& e : events->array) {
+    if (e.find("name")->string == "compute \"a\"") {
+      EXPECT_NEAR(e.find("ts")->number, 1000.0, 1e-6);
+      EXPECT_NEAR(e.find("dur")->number, 1000.0, 1e-6);
+    }
+  }
+}
+
+TEST(SummaryExport, ListsSpanKindsAndMetrics) {
+  MetricsRegistry reg;
+  reg.counter("demo.count").add(3);
+  reg.histogram("demo.hist").observe(100);
+  const std::string text = render_summary(sample_spans(), reg);
+  EXPECT_NE(text.find("task"), std::string::npos);
+  EXPECT_NE(text.find("collective"), std::string::npos);
+  EXPECT_NE(text.find("demo.count = 3"), std::string::npos);
+  EXPECT_NE(text.find("demo.hist"), std::string::npos);
+}
+
+// ---- calibration ----
+
+arch::Machine machine() { return arch::Machine(arch::chic()); }
+
+/// Builds a two-step PABM program graph (stage layers + update layers).
+core::TaskGraph pabm_program() {
+  ode::SolverGraphSpec spec;
+  spec.n = std::size_t{1} << 12;
+  spec.stages = 4;
+  spec.iterations = 2;
+  spec.method = ode::Method::PABM;
+  core::TaskGraph program = core::repeat_graph(spec.step_graph(), 2);
+  program.add_start_stop_markers();
+  return program;
+}
+
+TEST(Calibration, SymbolicTimelineIsTheZeroErrorOracle) {
+  // Measured spans synthesized from the scheduler's own Gantt lowering with
+  // the symbolic cost model must calibrate to ~0 relative error: obs and
+  // sched agree exactly when "measured" time *is* the model.
+  const cost::CostModel cost(machine());
+  const core::TaskGraph graph = pabm_program();
+  const sched::LayeredSchedule schedule =
+      sched::LayerScheduler(cost).schedule(graph, 8);
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+  const sched::GanttSchedule gantt =
+      sched::to_gantt(schedule, [&](core::TaskId id, int q, int g) {
+        return cost.symbolic_task_time(contracted.task(id), q, g, 8);
+      });
+  const std::vector<Span> spans = spans_from_gantt(schedule, gantt);
+  ASSERT_FALSE(spans.empty());
+
+  const CalibrationReport report = calibrate(spans, schedule, cost);
+  ASSERT_FALSE(report.tasks.empty());
+  for (const TaskCalibration& t : report.tasks) {
+    EXPECT_LT(std::abs(t.rel_error), 1e-9) << t.name;
+    EXPECT_GT(t.predicted_s, 0.0);
+  }
+  // Layer envelopes only match the per-layer prediction when the layer's
+  // groups are balanced; the stage layers of PABM are, so every reported
+  // layer row must be exact as well.
+  ASSERT_FALSE(report.layers.empty());
+  for (const LayerCalibration& l : report.layers) {
+    EXPECT_LT(std::abs(l.rel_error), 1e-9) << "layer " << l.layer;
+  }
+  EXPECT_LT(std::abs(report.mean_abs_rel_error), 1e-9);
+  EXPECT_NEAR(report.fitted_scale, 1.0, 1e-9);
+
+  const std::string table = render_calibration(report);
+  EXPECT_NE(table.find("cost-model calibration"), std::string::npos);
+  EXPECT_NE(table.find("fitted scale"), std::string::npos);
+}
+
+TEST(Calibration, MeasuredSlowerThanModelGivesPositiveError) {
+  const cost::CostModel cost(machine());
+  const core::TaskGraph graph = pabm_program();
+  const sched::LayeredSchedule schedule =
+      sched::LayerScheduler(cost).schedule(graph, 8);
+  const core::TaskGraph& contracted = schedule.contraction.contracted;
+  // "Measured" runs 2x slower than predicted everywhere.
+  const sched::GanttSchedule gantt =
+      sched::to_gantt(schedule, [&](core::TaskId id, int q, int g) {
+        return 2.0 * cost.symbolic_task_time(contracted.task(id), q, g, 8);
+      });
+  const CalibrationReport report =
+      calibrate(spans_from_gantt(schedule, gantt), schedule, cost);
+  ASSERT_FALSE(report.tasks.empty());
+  for (const TaskCalibration& t : report.tasks) {
+    EXPECT_NEAR(t.rel_error, 1.0, 1e-9) << t.name;
+  }
+  EXPECT_NEAR(report.fitted_scale, 2.0, 1e-9);
+}
+
+TEST(Calibration, SimTraceConvertsToSimulatedSpans) {
+  sim::SimResult result;
+  result.trace.push_back(
+      sim::TraceEvent{sim::TraceEvent::Kind::Transfer, 1, 0, 2.0, 3.0, 64});
+  result.trace.push_back(
+      sim::TraceEvent{sim::TraceEvent::Kind::Compute, 0, -1, 0.0, 1.5, 0});
+  const std::vector<Span> spans = spans_from_sim(result);
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by begin time.
+  EXPECT_EQ(spans[0].kind, SpanKind::Task);
+  EXPECT_EQ(spans[0].worker, 0);
+  EXPECT_EQ(spans[0].clock, ClockDomain::Simulated);
+  EXPECT_DOUBLE_EQ(spans[0].duration_s(), 1.5);
+  EXPECT_EQ(spans[1].kind, SpanKind::Collective);
+  EXPECT_EQ(spans[1].worker, 1);
+  EXPECT_EQ(spans[1].bytes, 64u);
+}
+
+// ---- end-to-end executor trace ----
+
+/// Hand-built two-layer schedule over 4 cores:
+///   layer 0: tasks 0 and 1 on two groups of 2;
+///   layer 1: task 2 on one group of 4.
+sched::LayeredSchedule two_layer_schedule(const core::TaskGraph& g) {
+  sched::LayeredSchedule s;
+  s.total_cores = 4;
+  s.contraction.contracted = g;
+  for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+    s.contraction.members.push_back({id});
+    s.contraction.representative.push_back(id);
+  }
+  sched::ScheduledLayer l0;
+  l0.tasks = {0, 1};
+  l0.group_sizes = {2, 2};
+  l0.task_group = {0, 1};
+  sched::ScheduledLayer l1;
+  l1.tasks = {2};
+  l1.group_sizes = {4};
+  l1.task_group = {0};
+  s.layers.push_back(std::move(l0));
+  s.layers.push_back(std::move(l1));
+  return s;
+}
+
+TEST(ExecutorTrace, EndToEndSpansNestAndExportParses) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  core::TaskGraph g;
+  g.add_task(core::MTask("alpha", 1.0));
+  g.add_task(core::MTask("beta", 1.0));
+  g.add_task(core::MTask("gamma", 1.0));
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  const sched::LayeredSchedule schedule = two_layer_schedule(g);
+
+  std::vector<rt::TaskFn> fns(3);
+  for (int i = 0; i < 3; ++i) {
+    fns[static_cast<std::size_t>(i)] = [](rt::ExecContext& ctx) {
+      // A touch of real work plus a group collective, so task spans have
+      // measurable duration and barrier-wait spans appear inside them.
+      volatile double acc = 0.0;
+      for (int k = 0; k < 20000; ++k) acc = acc + 1e-6 * k;
+      ctx.comm->barrier(ctx.group_rank);
+    };
+  }
+
+  tracer().clear();
+  tracer().set_enabled(true);
+  rt::Executor exec(4);
+  exec.run(schedule, fns);
+  tracer().set_enabled(false);
+  const std::vector<Span> spans = tracer().take();
+
+  std::vector<const Span*> runs, layers, tasks, barriers;
+  for (const Span& s : spans) {
+    if (s.kind == SpanKind::Run) runs.push_back(&s);
+    if (s.kind == SpanKind::Layer) layers.push_back(&s);
+    if (s.kind == SpanKind::Task) tasks.push_back(&s);
+    if (s.kind == SpanKind::BarrierWait) barriers.push_back(&s);
+  }
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_EQ(layers.size(), 2u);
+  // Layer 0: tasks alpha+beta on 2 workers each; layer 1: gamma on 4.
+  ASSERT_EQ(tasks.size(), 8u);
+  EXPECT_FALSE(barriers.empty());
+
+  const Span& run = *runs[0];
+  double task_sum_per_core[4] = {0.0, 0.0, 0.0, 0.0};
+  for (const Span* t : tasks) {
+    // Per-core track assignment: every task span executes on a real worker.
+    ASSERT_GE(t->worker, 0);
+    ASSERT_LT(t->worker, 4);
+    EXPECT_GE(t->group, 0);
+    EXPECT_GT(t->group_size, 0);
+    // Nesting: task spans lie within the run span and their layer span.
+    EXPECT_GE(t->begin_s, run.begin_s);
+    EXPECT_LE(t->end_s, run.end_s);
+    ASSERT_GE(t->layer, 0);
+    ASSERT_LT(t->layer, 2);
+    const Span* layer = nullptr;
+    for (const Span* l : layers) {
+      if (l->layer == t->layer) layer = l;
+    }
+    ASSERT_NE(layer, nullptr);
+    EXPECT_GE(t->begin_s, layer->begin_s);
+    EXPECT_LE(t->end_s, layer->end_s);
+    task_sum_per_core[t->worker] += t->duration_s();
+  }
+  // A core executes tasks sequentially, so its task time fits in the run.
+  for (double sum : task_sum_per_core) {
+    EXPECT_LE(sum, run.duration_s() + 1e-9);
+  }
+  // Barrier waits inherit the executing task's attribution.
+  for (const Span* b : barriers) {
+    EXPECT_GE(b->worker, 0);
+    EXPECT_GE(b->group, 0);
+    EXPECT_GE(b->task, 0);
+  }
+
+  // The exported trace must round-trip through the JSON reader.
+  const json::Value doc = json::parse(render_chrome_trace(spans));
+  const json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::size_t timed = 0;
+  for (const json::Value& e : events->array) {
+    const std::string& ph = e.find("ph")->string;
+    if (ph == "X" || ph == "i") ++timed;
+  }
+  EXPECT_EQ(timed, spans.size());
+}
+
+TEST(ExecutorTrace, RealRunCalibratesAgainstTheCostModel) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  core::TaskGraph g;
+  g.add_task(core::MTask("alpha", 1.0e6));
+  g.add_task(core::MTask("beta", 1.0e6));
+  g.add_task(core::MTask("gamma", 2.0e6));
+  const sched::LayeredSchedule schedule = two_layer_schedule(g);
+  std::vector<rt::TaskFn> fns(3);
+  for (int i = 0; i < 3; ++i) {
+    fns[static_cast<std::size_t>(i)] = [](rt::ExecContext&) {
+      volatile double acc = 0.0;
+      for (int k = 0; k < 10000; ++k) acc = acc + 1e-6 * k;
+    };
+  }
+  tracer().clear();
+  tracer().set_enabled(true);
+  rt::Executor exec(4);
+  exec.run(schedule, fns);
+  tracer().set_enabled(false);
+
+  const cost::CostModel cost(machine());
+  const CalibrationReport report =
+      calibrate(tracer().take(), schedule, cost);
+  // All three tasks have positive predictions and measured wall time, so
+  // the report has one row each with a finite error.
+  ASSERT_EQ(report.tasks.size(), 3u);
+  for (const TaskCalibration& t : report.tasks) {
+    EXPECT_GT(t.predicted_s, 0.0);
+    EXPECT_GT(t.measured_s, 0.0);
+    EXPECT_EQ(t.invocations, 1u);
+    EXPECT_TRUE(std::isfinite(t.rel_error));
+  }
+  EXPECT_EQ(report.layers.size(), 2u);
+}
+
+TEST(DynamicSchedulerTrace, RecordsTaskSpansAndMetrics) {
+  const std::uint64_t submitted_before =
+      metrics().counter("rt.dyn.submitted").value();
+  const std::uint64_t completed_before =
+      metrics().counter("rt.dyn.completed").value();
+
+  if (kTracingCompiledIn) {
+    tracer().clear();
+    tracer().set_enabled(true);
+  }
+  {
+    rt::DynamicScheduler dyn(4);
+    std::atomic<int> executed{0};
+    for (int i = 0; i < 3; ++i) {
+      rt::DynamicTask task;
+      task.name = "dyn" + std::to_string(i);
+      task.min_cores = 1;
+      task.max_cores = 2;
+      task.body = [&executed](rt::ExecContext& ctx) {
+        if (ctx.group_rank == 0) executed++;
+      };
+      dyn.submit(std::move(task));
+    }
+    dyn.wait();
+    EXPECT_EQ(executed.load(), 3);
+  }
+  EXPECT_EQ(metrics().counter("rt.dyn.submitted").value() - submitted_before,
+            3u);
+  EXPECT_EQ(metrics().counter("rt.dyn.completed").value() - completed_before,
+            3u);
+  EXPECT_GE(metrics().histogram("rt.dyn.group_size").count(), 3u);
+
+  if (kTracingCompiledIn) {
+    tracer().set_enabled(false);
+    const std::vector<Span> spans = tracer().take();
+    int dyn_tasks = 0;
+    for (const Span& s : spans) {
+      if (s.kind == SpanKind::Task && s.name.rfind("dyn", 0) == 0) {
+        ++dyn_tasks;
+        EXPECT_GE(s.worker, 0);
+        EXPECT_LT(s.worker, 4);
+      }
+    }
+    // One span per group member per task; every task has >= 1 member.
+    EXPECT_GE(dyn_tasks, 3);
+  }
+}
+
+}  // namespace
+}  // namespace ptask::obs

@@ -8,6 +8,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "ptask/obs/metrics.hpp"
 #include "ptask/rt/executor.hpp"
 #include "ptask/rt/group_comm.hpp"
 #include "ptask/rt/thread_team.hpp"
@@ -429,6 +430,44 @@ TEST(Executor, FaultInjectionPreservesSemantics) {
     exec.run(s, fns);
   }
   EXPECT_EQ(good.load(), 5 * 6);
+}
+
+TEST(Executor, FaultInjectionIsAccountedInMetrics) {
+  // Injected perturbations must not be mystery gaps: the injector reports
+  // how often it fired and how much delay it added through obs metrics.
+  const std::uint64_t injections_before =
+      obs::metrics().counter("rt.fault.injections").value();
+  const std::uint64_t delay_before =
+      obs::metrics().counter("rt.fault.delay_us").value();
+
+  core::TaskGraph g;
+  for (int i = 0; i < 3; ++i) {
+    g.add_task(core::MTask("t" + std::to_string(i), 1.0));
+  }
+  const sched::LayeredSchedule s = manual_layer(g, 6, {2, 2, 2}, {0, 1, 2});
+  FaultOptions faults;
+  faults.task_delays = true;
+  faults.seed = 0xFA117;
+  faults.max_delay_us = 50;
+  Executor exec(6, faults);
+  std::vector<TaskFn> fns(3);
+  for (int i = 0; i < 3; ++i) {
+    fns[static_cast<std::size_t>(i)] = [](ExecContext& ctx) {
+      ctx.comm->barrier(ctx.group_rank);
+    };
+  }
+  for (int round = 0; round < 5; ++round) {
+    exec.run(s, fns);
+  }
+
+  // 5 rounds x 6 workers x (prologue + 2 per-task sites) with a ~1/3 firing
+  // probability: deterministic given the seed, and far from zero.
+  const std::uint64_t injections =
+      obs::metrics().counter("rt.fault.injections").value() - injections_before;
+  const std::uint64_t delay_us =
+      obs::metrics().counter("rt.fault.delay_us").value() - delay_before;
+  EXPECT_GT(injections, 0u);
+  EXPECT_GT(delay_us, 0u);
 }
 
 TEST(FaultOptionsEnv, ParsesToggleList) {
