@@ -26,6 +26,7 @@
 #include "ptask/rt/executor.hpp"
 #include "ptask/sched/cpa_scheduler.hpp"
 #include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/portfolio.hpp"
 #include "ptask/sim/network_sim.hpp"
 
 namespace {
@@ -70,6 +71,18 @@ void BM_CpaScheduler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CpaScheduler)->Arg(64)->Arg(256);
+
+void BM_PortfolioSchedule(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 4);
+  const cost::CostModel cost(m);
+  const core::TaskGraph g = pabm_spec(8).step_graph();
+  const sched::PortfolioScheduler scheduler(cost);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(g, cores));
+  }
+}
+BENCHMARK(BM_PortfolioSchedule)->Arg(64)->Arg(256);
 
 void BM_ChainContraction(benchmark::State& state) {
   ode::SolverGraphSpec spec;

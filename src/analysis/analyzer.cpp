@@ -560,4 +560,16 @@ Report Analyzer::lint(const core::TaskGraph& graph,
   return report;
 }
 
+Report Analyzer::lint(const sched::Schedule& schedule,
+                      const cost::CostModel& cost) const {
+  Report report;
+  if (schedule.has_layers()) {
+    report.merge(lint(schedule.layered, cost), schedule.strategy);
+  } else {
+    report.merge(lint(schedule.scheduled_graph(), schedule.gantt, cost),
+                 schedule.strategy);
+  }
+  return report;
+}
+
 }  // namespace ptask::analysis

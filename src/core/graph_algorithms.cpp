@@ -74,6 +74,18 @@ ChainContraction contract_linear_chains(const TaskGraph& graph) {
   return result;
 }
 
+ChainContraction identity_contraction(const TaskGraph& graph) {
+  ChainContraction result;
+  result.contracted = graph;
+  result.members.resize(static_cast<std::size_t>(graph.num_tasks()));
+  result.representative.resize(static_cast<std::size_t>(graph.num_tasks()));
+  for (TaskId id = 0; id < graph.num_tasks(); ++id) {
+    result.members[static_cast<std::size_t>(id)] = {id};
+    result.representative[static_cast<std::size_t>(id)] = id;
+  }
+  return result;
+}
+
 std::vector<std::vector<TaskId>> greedy_layers(const TaskGraph& graph) {
   const int n = graph.num_tasks();
   std::vector<int> remaining_preds(static_cast<std::size_t>(n));

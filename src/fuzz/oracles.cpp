@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <sstream>
+#include <stdexcept>
 #include <tuple>
 #include <utility>
 
@@ -11,10 +13,11 @@
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/map/mapping.hpp"
 #include "ptask/rt/executor.hpp"
-#include "ptask/sched/cpa_scheduler.hpp"
-#include "ptask/sched/cpr_scheduler.hpp"
 #include "ptask/sched/data_parallel.hpp"
 #include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/pipeline.hpp"
+#include "ptask/sched/portfolio.hpp"
+#include "ptask/sched/registry.hpp"
 #include "ptask/sched/timeline.hpp"
 #include "ptask/sched/validation.hpp"
 
@@ -73,35 +76,48 @@ class Checker {
         cost_(machine_) {}
 
   void run() {
-    const sched::LayeredSchedule layered = sched::LayerScheduler(cost_).schedule(
-        instance_.graph, instance_.total_cores);
-    check_layered("layer", layered, /*simulate=*/true);
+    // Differential sweep over every registered strategy: each candidate goes
+    // through the same oracle set (validation, makespan agreement,
+    // allocation consistency, redistribution, simulation for layered
+    // strategies), so registering a scheduler is all it takes to fuzz it.
+    const sched::SchedulerRegistry& registry =
+        sched::SchedulerRegistry::instance();
+    std::vector<std::pair<std::string, sched::Schedule>> candidates;
+    for (const std::string& name : registry.names()) {
+      if (name == "portfolio") continue;  // checked separately below
+      sched::Schedule schedule = registry.make(name, cost_)->run(
+          instance_.graph, instance_.total_cores);
+      check_schedule(name, schedule, /*simulate=*/schedule.has_layers());
+      candidates.emplace_back(name, std::move(schedule));
+    }
+
+    // Structurally distinct layer-scheduler variants (fixed options are not
+    // registry entries; they exercise the non-default pass configurations).
     {
       sched::LayerSchedulerOptions opts;
       opts.fixed_groups = 2;
-      check_layered("layer[g=2]",
-                    sched::LayerScheduler(cost_, opts).schedule(
-                        instance_.graph, instance_.total_cores),
-                    /*simulate=*/false);
+      check_schedule("layer[g=2]",
+                     sched::Pipeline::algorithm1(cost_, opts).run(
+                         instance_.graph, instance_.total_cores),
+                     /*simulate=*/false);
     }
     {
       sched::LayerSchedulerOptions opts;
       opts.contract_chains = false;
-      check_layered("layer[no-contract]",
-                    sched::LayerScheduler(cost_, opts).schedule(
-                        instance_.graph, instance_.total_cores),
-                    /*simulate=*/false);
+      check_schedule("layer[no-contract]",
+                     sched::Pipeline::algorithm1(cost_, opts).run(
+                         instance_.graph, instance_.total_cores),
+                     /*simulate=*/false);
     }
     sched::LayerSchedulerOptions unadjusted_opts;
     unadjusted_opts.adjust_group_sizes = false;
-    const sched::LayeredSchedule unadjusted =
-        sched::LayerScheduler(cost_, unadjusted_opts)
-            .schedule(instance_.graph, instance_.total_cores);
-    check_layered("layer[unadjusted]", unadjusted, /*simulate=*/false);
-    const sched::LayeredSchedule dp =
-        sched::DataParallelScheduler(cost_).schedule(instance_.graph,
-                                                     instance_.total_cores);
-    check_layered("data-parallel", dp, /*simulate=*/true);
+    const sched::Schedule unadjusted =
+        sched::Pipeline::algorithm1(cost_, unadjusted_opts)
+            .run(instance_.graph, instance_.total_cores);
+    check_schedule("layer[unadjusted]", unadjusted, /*simulate=*/false);
+
+    const sched::LayeredSchedule& layered = find(candidates, "layer").layered;
+    const sched::LayeredSchedule& dp = find(candidates, "dp").layered;
 
     // Symbolic dominance: pure data parallelism is the g = 1 column of the
     // layer search, so the unadjusted layer schedule can never predict a
@@ -110,33 +126,27 @@ class Checker {
     // proportional group-size adjustment is a heuristic that can lengthen
     // the prediction by a fraction of a percent, so it only gets a
     // bounded-degradation check.)
-    if (unadjusted.predicted_makespan >
+    if (unadjusted.layered.predicted_makespan >
         dp.predicted_makespan * (1.0 + options_.rel_tol) + 1e-12) {
-      fail("dominance", "unadjusted layer-based makespan " +
-                            std::to_string(unadjusted.predicted_makespan) +
-                            " exceeds data-parallel makespan " +
-                            std::to_string(dp.predicted_makespan));
+      fail("dominance",
+           "unadjusted layer-based makespan " +
+               std::to_string(unadjusted.layered.predicted_makespan) +
+               " exceeds data-parallel makespan " +
+               std::to_string(dp.predicted_makespan));
     }
     if (layered.predicted_makespan >
-        unadjusted.predicted_makespan * options_.adjust_slack + 1e-12) {
-      fail("adjustment", "group-size adjustment degraded the makespan from " +
-                             std::to_string(unadjusted.predicted_makespan) +
-                             " to " +
-                             std::to_string(layered.predicted_makespan));
+        unadjusted.layered.predicted_makespan * options_.adjust_slack +
+            1e-12) {
+      fail("adjustment",
+           "group-size adjustment degraded the makespan from " +
+               std::to_string(unadjusted.layered.predicted_makespan) +
+               " to " + std::to_string(layered.predicted_makespan));
     }
 
-    check_gantt("cpa", sched::CpaScheduler(cost_)
-                           .schedule(instance_.graph, instance_.total_cores)
-                           .schedule);
-    check_gantt("mcpa", sched::McpaScheduler(cost_)
-                            .schedule(instance_.graph, instance_.total_cores)
-                            .schedule);
-    check_gantt("cpr", sched::CprScheduler(cost_)
-                           .schedule(instance_.graph, instance_.total_cores)
-                           .schedule);
+    check_portfolio(candidates);
 
     if (options_.check_executor) check_executor();
-    if (options_.check_lint) check_lint(layered);
+    if (options_.check_lint) check_lint(layered, candidates);
   }
 
  private:
@@ -147,41 +157,115 @@ class Checker {
     report_.errors.push_back(os.str());
   }
 
-  /// Oracles 1-4 for a layered schedule.
-  void check_layered(const std::string& label,
-                     const sched::LayeredSchedule& schedule, bool simulate) {
+  /// The candidate schedule produced by strategy `name`.
+  static const sched::Schedule& find(
+      const std::vector<std::pair<std::string, sched::Schedule>>& candidates,
+      const std::string& name) {
+    for (const auto& [n, s] : candidates) {
+      if (n == name) return s;
+    }
+    throw std::logic_error("strategy '" + name + "' missing from sweep");
+  }
+
+  /// Oracles 1-4, uniform over any canonical schedule.
+  void check_schedule(const std::string& label,
+                      const sched::Schedule& schedule, bool simulate) {
     ++report_.schedules_checked;
-    const sched::ValidationReport vr =
-        sched::validate(schedule, instance_.graph);
-    if (!vr.ok()) {
-      fail(label, "layered validation: " + vr.errors.front());
+    if (schedule.has_layers()) {
+      const sched::ValidationReport vr =
+          sched::validate(schedule.layered, instance_.graph);
+      if (!vr.ok()) {
+        fail(label, "layered validation: " + vr.errors.front());
+        return;
+      }
+    }
+    const core::TaskGraph& graph = schedule.scheduled_graph();
+    const sched::ValidationReport gr =
+        sched::validate(schedule.gantt, graph);
+    if (!gr.ok()) {
+      fail(label, "gantt validation: " + gr.errors.front());
       return;
     }
 
-    // Lower to the Gantt view with the same symbolic costs the scheduler
-    // used and re-validate under the (independent) Gantt invariants.
-    const core::TaskGraph& contracted = schedule.contraction.contracted;
-    const int P = schedule.total_cores;
-    const sched::GanttSchedule gantt = sched::to_gantt(
-        schedule, [&](core::TaskId id, int q, int num_groups) {
-          return cost_.symbolic_task_time(contracted.task(id), q, num_groups,
-                                          P);
-        });
-    const sched::ValidationReport gr = sched::validate(gantt, contracted);
-    if (!gr.ok()) {
-      fail(label, "gantt validation of lowered schedule: " + gr.errors.front());
+    // Declared makespan vs the last slot finish (independent summations);
+    // for layered strategies additionally vs the accumulated per-layer
+    // prediction (canonical() lowers with to_gantt, a third code path).
+    double max_finish = 0.0;
+    for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+      if (graph.task(id).is_marker()) continue;
+      max_finish = std::max(
+          max_finish,
+          schedule.gantt.slots[static_cast<std::size_t>(id)].finish);
+    }
+    if (relative_gap(schedule.makespan(), max_finish) > options_.rel_tol) {
+      fail(label, "declared makespan " + std::to_string(schedule.makespan()) +
+                      " disagrees with the last slot finish " +
+                      std::to_string(max_finish));
+    }
+    if (schedule.has_layers() &&
+        relative_gap(schedule.makespan(),
+                     schedule.layered.predicted_makespan) >
+            options_.rel_tol) {
+      fail(label,
+           "gantt lowering makespan " + std::to_string(schedule.makespan()) +
+               " disagrees with predicted makespan " +
+               std::to_string(schedule.layered.predicted_makespan));
     }
 
-    // The scheduler's accumulated makespan and to_gantt's group clocks are
-    // two independent summations of the same symbolic costs.
-    if (relative_gap(gantt.makespan, schedule.predicted_makespan) >
-        options_.rel_tol) {
-      fail(label, "gantt lowering makespan " + std::to_string(gantt.makespan) +
-                      " disagrees with predicted makespan " +
-                      std::to_string(schedule.predicted_makespan));
+    // The per-task allocation must restate the slot widths.
+    for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+      const auto& slot = schedule.gantt.slots[static_cast<std::size_t>(id)];
+      if (schedule.task_width(id) != slot.num_cores()) {
+        fail(label, "allocation of task " + graph.task(id).name() + " is " +
+                        std::to_string(schedule.task_width(id)) +
+                        " but its slot spans " +
+                        std::to_string(slot.num_cores()) + " cores");
+        break;
+      }
     }
 
-    if (simulate) check_simulation(label, schedule);
+    const double redist = sched::gantt_redistribution_time(
+        graph, schedule.gantt, cost_);
+    if (!std::isfinite(redist) || redist < 0.0) {
+      fail(label, "redistribution penalty is " + std::to_string(redist));
+    }
+
+    if (simulate && schedule.has_layers()) {
+      check_simulation(label, schedule.layered);
+    }
+  }
+
+  /// Portfolio oracle: the auto-scheduler's winner must pass the uniform
+  /// checks and must never score worse (symbolic makespan metric) than the
+  /// best individual strategy of the sweep.
+  void check_portfolio(
+      const std::vector<std::pair<std::string, sched::Schedule>>& candidates) {
+    sched::PortfolioReport preport;
+    sched::Schedule winner;
+    try {
+      winner = sched::PortfolioScheduler(cost_).run(
+          instance_.graph, instance_.total_cores, preport);
+    } catch (const std::exception& e) {
+      fail("portfolio", std::string("portfolio run failed: ") + e.what());
+      return;
+    }
+    check_schedule("portfolio[" + preport.winner + "]", winner,
+                   /*simulate=*/false);
+    double best = std::numeric_limits<double>::infinity();
+    std::string best_name;
+    for (const auto& [name, schedule] : candidates) {
+      if (schedule.makespan() < best) {
+        best = schedule.makespan();
+        best_name = name;
+      }
+    }
+    if (winner.makespan() > best * (1.0 + options_.rel_tol) + 1e-12) {
+      fail("portfolio-dominance",
+           "portfolio winner '" + preport.winner + "' makespan " +
+               std::to_string(winner.makespan()) +
+               " exceeds best individual strategy '" + best_name + "' at " +
+               std::to_string(best));
+    }
   }
 
   /// Oracle 4: analytic evaluation vs discrete-event replay.
@@ -396,7 +480,9 @@ class Checker {
   /// construction, so the analyzer must report zero errors (warnings are
   /// legitimate, e.g. IRK's deliberately unconsumed stage outputs).  The
   /// schedule lints run for crash coverage; they are warning tier.
-  void check_lint(const sched::LayeredSchedule& layered) {
+  void check_lint(
+      const sched::LayeredSchedule& layered,
+      const std::vector<std::pair<std::string, sched::Schedule>>& candidates) {
     const analysis::Analyzer analyzer;
     ++report_.lints_checked;
     const analysis::Report rep = analyzer.analyze(
@@ -406,6 +492,14 @@ class Checker {
                              analysis::render_text(rep));
     }
     (void)analyzer.lint(layered, cost_);
+    // Crash coverage of the canonical-schedule lint path for every strategy
+    // of the sweep (warning tier -- only errors would be a finding).
+    for (const auto& [name, schedule] : candidates) {
+      if (!analyzer.lint(schedule, cost_).clean()) {
+        fail("lint[" + name + "]",
+             "schedule lint produced error-tier diagnostics");
+      }
+    }
     mutate_size(analyzer);
     mutate_dependency(analyzer);
   }

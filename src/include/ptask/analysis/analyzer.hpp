@@ -81,6 +81,12 @@ class Analyzer {
   Report lint(const core::TaskGraph& graph, const sched::GanttSchedule& schedule,
               const cost::CostModel& cost) const;
 
+  /// Pass 5 on a canonical schedule: lints the strategy's native
+  /// representation (the layered view when the strategy produced layers,
+  /// the Gantt view otherwise), scoped by the strategy name.
+  Report lint(const sched::Schedule& schedule,
+              const cost::CostModel& cost) const;
+
  private:
   AnalyzerOptions options_;
 };

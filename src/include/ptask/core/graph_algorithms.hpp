@@ -31,6 +31,11 @@ struct ChainContraction {
 /// the chain.  Marker tasks never participate in chains.
 ChainContraction contract_linear_chains(const TaskGraph& graph);
 
+/// The identity contraction: every task is its own (singleton) chain.  Used
+/// by schedulers that skip chain contraction but still produce results in
+/// the contracted-id index space.
+ChainContraction identity_contraction(const TaskGraph& graph);
+
 /// Greedy breadth-first partition into layers of pairwise independent tasks
 /// (paper Section 3.2, step 2): repeatedly emit every task whose predecessors
 /// have all been emitted.  Marker tasks are skipped (they carry no

@@ -2,19 +2,23 @@
 /// \file oracles.hpp
 /// Differential oracles for randomized scheduler/runtime instances.
 ///
-/// For one fuzz instance, `check_instance` runs every scheduler in the
-/// repository and cross-checks their outputs against independent code paths:
+/// For one fuzz instance, `check_instance` sweeps every strategy in the
+/// `sched::SchedulerRegistry` (plus the non-default layer-scheduler pass
+/// configurations) through one uniform oracle set, and cross-checks the
+/// canonical schedules against independent code paths:
 ///
 ///  1. structural validity -- both `sched::validate` overloads (layered
 ///     schedules are additionally lowered with `to_gantt` and re-validated
-///     under the Gantt invariants);
+///     under the Gantt invariants), plus allocation/slot-width agreement;
 ///  2. makespan agreement -- the layer scheduler's accumulated
 ///     `predicted_makespan` against the independently computed `to_gantt`
 ///     group clocks; a Gantt schedule's `makespan` against the maximum slot
 ///     finish time;
 ///  3. symbolic dominance -- the layer-based schedule never predicts a
 ///     longer makespan than pure data parallelism (the g = 1 column of its
-///     own search space), the paper's baseline comparison in miniature;
+///     own search space), the paper's baseline comparison in miniature; and
+///     the portfolio auto-scheduler's winner never has a worse symbolic
+///     makespan than the best individual strategy of the sweep;
 ///  4. simulator replay -- the mapped schedule is priced analytically and
 ///     replayed through the discrete-event engine; the simulated makespan
 ///     must be finite, no better than the perfect-speedup bound, within a

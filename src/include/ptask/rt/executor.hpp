@@ -60,6 +60,12 @@ class Executor {
   void run(const sched::LayeredSchedule& schedule,
            const std::vector<TaskFn>& functions);
 
+  /// Canonical-schedule convenience: executes `schedule.layered`.  Throws
+  /// std::invalid_argument for allocation-only schedules (the executor
+  /// needs the group structure).
+  void run(const sched::Schedule& schedule,
+           const std::vector<TaskFn>& functions);
+
   int num_virtual_cores() const { return team_.size(); }
 
   const FaultInjector& fault_injector() const { return injector_; }

@@ -21,10 +21,10 @@
 
 namespace ptask::sched {
 
-struct CpaResult {
-  std::vector<int> allocation;  ///< cores per task
-  GanttSchedule schedule;
-};
+/// Deprecated: CPA/MCPA return the shared MoldableResult (moldable.hpp);
+/// prefer the canonical `Schedule` via the scheduler registry.  The alias
+/// keeps existing call sites compiling.
+using CpaResult = MoldableResult;
 
 class CpaScheduler {
  public:
@@ -35,7 +35,7 @@ class CpaScheduler {
                         MoldableCostMode mode = MoldableCostMode::CommAware)
       : cost_(&cost), mode_(mode) {}
 
-  CpaResult schedule(const core::TaskGraph& graph, int total_cores) const;
+  MoldableResult schedule(const core::TaskGraph& graph, int total_cores) const;
 
  private:
   const cost::CostModel* cost_;
@@ -54,7 +54,7 @@ class McpaScheduler {
                          MoldableCostMode mode = MoldableCostMode::CommAware)
       : cost_(&cost), mode_(mode) {}
 
-  CpaResult schedule(const core::TaskGraph& graph, int total_cores) const;
+  MoldableResult schedule(const core::TaskGraph& graph, int total_cores) const;
 
  private:
   const cost::CostModel* cost_;

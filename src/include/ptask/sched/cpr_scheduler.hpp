@@ -20,10 +20,10 @@
 
 namespace ptask::sched {
 
-struct CprResult {
-  std::vector<int> allocation;
-  GanttSchedule schedule;
-};
+/// Deprecated: CPR returns the shared MoldableResult (moldable.hpp); prefer
+/// the canonical `Schedule` via the scheduler registry.  The alias keeps
+/// existing call sites compiling.
+using CprResult = MoldableResult;
 
 class CprScheduler {
  public:
@@ -35,7 +35,7 @@ class CprScheduler {
                         MoldableCostMode mode = MoldableCostMode::ComputeOnly)
       : cost_(&cost), mode_(mode) {}
 
-  CprResult schedule(const core::TaskGraph& graph, int total_cores) const;
+  MoldableResult schedule(const core::TaskGraph& graph, int total_cores) const;
 
  private:
   const cost::CostModel* cost_;

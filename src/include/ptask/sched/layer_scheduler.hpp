@@ -16,6 +16,11 @@
 ///  4. adjust the group sizes of the chosen partition proportionally to the
 ///     accumulated sequential work of each group (largest-remainder
 ///     rounding, every group keeps at least one core).
+///
+/// Since the pass-based refactor, LayerScheduler is a thin facade over
+/// `Pipeline::algorithm1` (pipeline.hpp); each step above is a reusable
+/// `Pass` and the facade merely preserves the historical LayeredSchedule
+/// return type.
 
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/sched/schedule.hpp"
@@ -48,10 +53,6 @@ class LayerScheduler {
   const LayerSchedulerOptions& options() const { return options_; }
 
  private:
-  ScheduledLayer schedule_layer(const core::TaskGraph& graph,
-                                const std::vector<core::TaskId>& tasks,
-                                int total_cores) const;
-
   const cost::CostModel* cost_;
   LayerSchedulerOptions options_;
 };

@@ -27,6 +27,15 @@ namespace ptask::sched {
 /// the extrapolation method (Fig. 13 right).
 enum class MoldableCostMode { CommAware, ComputeOnly };
 
+/// Common result of the allocation-based schedulers (CPA/MCPA/CPR): cores
+/// per task plus the list-scheduled Gantt view.  Convert to the canonical
+/// `Schedule` with `canonical()` (pipeline.hpp) for the group/core-sequence
+/// accessors and uniform downstream consumption.
+struct MoldableResult {
+  std::vector<int> allocation;  ///< cores per task
+  GanttSchedule schedule;
+};
+
 /// Precomputed execution times T(t, p) for p in [1, P].
 class TaskTimeTable {
  public:

@@ -1,0 +1,157 @@
+#pragma once
+/// \file pipeline.hpp
+/// Pass-based scheduling pipeline and the common `Scheduler` interface.
+///
+/// The paper's Algorithm 1 is a pipeline: chain contraction -> layer
+/// partitioning -> group-count search -> LPT assignment -> proportional
+/// group adjustment.  Each stage is a `Pass` over a shared `PassContext`
+/// (graph, cost model, core budget, working state, diagnostics), and
+/// `Pipeline` composes passes into a `Scheduler` producing the canonical
+/// `Schedule`.  `Pipeline::algorithm1` builds the exact five-pass chain of
+/// the paper; custom pipelines can reorder, drop, or insert passes (e.g.
+/// map::MapCoresPass binds physical cores as a sixth stage).
+///
+/// Every strategy in the repository -- the layer scheduler, CPA/MCPA/CPR,
+/// pure data parallelism, and the portfolio -- implements `Scheduler`, so
+/// consumers depend on one interface and one result type.  Discovery and
+/// construction by name goes through `SchedulerRegistry` (registry.hpp).
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/moldable.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::sched {
+
+/// Common interface of all scheduling strategies: one canonical result.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Stable strategy name (registry key; also stamped into the result).
+  virtual std::string_view name() const = 0;
+  /// Schedules `graph` onto `total_cores` symbolic cores.
+  virtual Schedule run(const core::TaskGraph& graph, int total_cores) const = 0;
+};
+
+/// Shared state the passes of one pipeline invocation read and write.
+struct PassContext {
+  // ---- inputs (set by Pipeline::run, constant across passes) ----
+  const core::TaskGraph* graph = nullptr;  ///< original (uncontracted) graph
+  const cost::CostModel* cost = nullptr;
+  int total_cores = 0;
+  LayerSchedulerOptions options;
+
+  // ---- working state (produced/consumed along the pass chain) ----
+  core::ChainContraction contraction;                 ///< ContractChains
+  std::vector<std::vector<core::TaskId>> layer_tasks; ///< Layerize
+  std::vector<std::vector<int>> group_candidates;     ///< GroupSearch
+  std::vector<ScheduledLayer> layers;                 ///< AssignLPT / Adjust
+  std::vector<cost::LayerLayout> layouts;             ///< map::MapCoresPass
+
+  /// Free-form diagnostics; copied into Schedule::notes.
+  std::vector<std::string> notes;
+};
+
+/// One composable stage of a scheduling pipeline.
+class Pass {
+ public:
+  virtual ~Pass() = default;
+  virtual std::string_view name() const = 0;
+  virtual void run(PassContext& ctx) const = 0;
+};
+
+/// Step 1: contract maximal linear chains (or install the identity
+/// contraction when options.contract_chains is off).
+class ContractChains final : public Pass {
+ public:
+  std::string_view name() const override { return "contract-chains"; }
+  void run(PassContext& ctx) const override;
+};
+
+/// Step 2: greedy breadth-first partition of the contracted graph into
+/// layers of pairwise independent tasks.
+class Layerize final : public Pass {
+ public:
+  std::string_view name() const override { return "layerize"; }
+  void run(PassContext& ctx) const override;
+};
+
+/// Step 3: enumerate the candidate group counts of every layer (Algorithm 1,
+/// line 5): {1, ..., min(P, |layer|)}, clipped by options.max_groups, or the
+/// single forced options.fixed_groups value.
+class GroupSearch final : public Pass {
+ public:
+  std::string_view name() const override { return "group-search"; }
+  void run(PassContext& ctx) const override;
+};
+
+/// Step 4: for every layer, evaluate each candidate group count with an
+/// equal core split and the modified greedy assignment for independent
+/// tasks (largest task first onto the least-loaded group; Sahni's 4/3-bound
+/// algorithm for the uniprocessor case) and keep the candidate with the
+/// smallest layer makespan under symbolic costs.
+class AssignLPT final : public Pass {
+ public:
+  std::string_view name() const override { return "assign-lpt"; }
+  void run(PassContext& ctx) const override;
+};
+
+/// Step 5: adjust the chosen group sizes proportionally to the accumulated
+/// sequential work of each group (largest-remainder rounding, every group
+/// keeps at least one core) and re-price the layers.  No-op when
+/// options.adjust_group_sizes is off or a layer has a single group.
+class AdjustGroups final : public Pass {
+ public:
+  std::string_view name() const override { return "adjust-groups"; }
+  void run(PassContext& ctx) const override;
+};
+
+/// A `Scheduler` that runs an ordered pass chain over one PassContext.
+class Pipeline final : public Scheduler {
+ public:
+  Pipeline(const cost::CostModel& cost, std::string name = "pipeline",
+           LayerSchedulerOptions options = {})
+      : cost_(&cost), name_(std::move(name)), options_(options) {}
+
+  /// Appends a pass; returns *this for chaining.
+  Pipeline& append(std::unique_ptr<Pass> pass);
+
+  /// The paper's Algorithm 1 as the canonical five-pass chain.
+  static Pipeline algorithm1(const cost::CostModel& cost,
+                             LayerSchedulerOptions options = {});
+
+  std::string_view name() const override { return name_; }
+  Schedule run(const core::TaskGraph& graph, int total_cores) const override;
+
+  /// Runs the pass chain and assembles only the layered result -- the
+  /// compatibility path LayerScheduler::schedule delegates to.
+  LayeredSchedule run_layered(const core::TaskGraph& graph,
+                              int total_cores) const;
+
+  const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
+  const LayerSchedulerOptions& options() const { return options_; }
+
+ private:
+  PassContext make_context(const core::TaskGraph& graph,
+                           int total_cores) const;
+  const cost::CostModel* cost_;
+  std::string name_;
+  LayerSchedulerOptions options_;
+  std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// Canonicalizes a layered schedule: lowers it to the Gantt view with the
+/// scheduler's own symbolic costs and derives the per-task allocation.
+Schedule canonical(LayeredSchedule layered, const cost::CostModel& cost,
+                   std::string strategy);
+
+/// Canonicalizes an allocation-based (CPA/MCPA/CPR) result: the contraction
+/// is the identity, the Gantt view is the list schedule itself.
+Schedule canonical(const core::TaskGraph& graph, MoldableResult result,
+                   std::string strategy);
+
+}  // namespace ptask::sched

@@ -1,0 +1,59 @@
+#pragma once
+/// \file registry.hpp
+/// Name-based discovery and construction of scheduling strategies.
+///
+/// Every strategy registers a factory under a stable name; consumers (the
+/// portfolio auto-scheduler, the fuzz differential oracles, the
+/// `--scheduler` flag of ptask_trace / ptask_lint) iterate the registry
+/// instead of hard-coding the strategy list, so adding a scheduler is one
+/// `register_strategy` call away from full tool / oracle / portfolio
+/// coverage.
+///
+/// Built-in strategies (registered on first use, in this order):
+///   layer      -- Pipeline::algorithm1, the paper's layer-based scheduler
+///   cpa        -- CpaScheduler (Radulescu & van Gemund)
+///   mcpa       -- McpaScheduler (Bansal et al.)
+///   cpr        -- CprScheduler (Radulescu et al.)
+///   dp         -- DataParallelScheduler (one task after another, all cores)
+///   portfolio  -- PortfolioScheduler over all of the above
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/sched/pipeline.hpp"
+
+namespace ptask::sched {
+
+/// Builds a strategy instance bound to a cost model.
+using SchedulerFactory =
+    std::function<std::unique_ptr<Scheduler>(const cost::CostModel&)>;
+
+class SchedulerRegistry {
+ public:
+  /// The process-wide registry (built-ins are registered on construction).
+  static SchedulerRegistry& instance();
+
+  /// Registers (or replaces) a strategy factory under `name`.
+  void register_strategy(std::string name, SchedulerFactory factory);
+
+  bool contains(std::string_view name) const;
+
+  /// Registered names in registration order.
+  std::vector<std::string> names() const;
+
+  /// Instantiates the named strategy; throws std::invalid_argument listing
+  /// the known names when `name` is not registered.
+  std::unique_ptr<Scheduler> make(std::string_view name,
+                                  const cost::CostModel& cost) const;
+
+ private:
+  SchedulerRegistry();
+  std::vector<std::pair<std::string, SchedulerFactory>> entries_;
+};
+
+}  // namespace ptask::sched

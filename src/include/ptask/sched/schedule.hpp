@@ -11,11 +11,21 @@
 /// CPA and CPR produce a general `GanttSchedule` (start/finish/core-range
 /// per task), which does not exhibit a layered structure; a LayeredSchedule
 /// can be lowered to a Gantt view for uniform validation and comparison.
+///
+/// `Schedule` is the *canonical* result type every registered scheduling
+/// strategy produces (see pipeline.hpp / registry.hpp): it always carries a
+/// Gantt view plus a per-task core allocation, and additionally the layered
+/// structure when the producing strategy has one.  Consumers (validation,
+/// timeline, simulator, executor, linter, fuzz oracles, tools) operate on
+/// this one type instead of special-casing per-scheduler result structs.
 
+#include <span>
+#include <string>
 #include <vector>
 
 #include "ptask/core/graph_algorithms.hpp"
 #include "ptask/core/task_graph.hpp"
+#include "ptask/cost/cost_model.hpp"
 
 namespace ptask::sched {
 
@@ -97,8 +107,57 @@ GanttSchedule to_gantt(const LayeredSchedule& schedule, TimeFn&& task_time) {
   return gantt;
 }
 
+/// Canonical output of any scheduling strategy.
+///
+/// Indices are uniform: `gantt.slots`, `allocation`, and the task ids inside
+/// `layered` all refer to tasks of `layered.contraction.contracted`.  For
+/// strategies without a layered structure (CPA/CPR) the contraction is the
+/// identity and `layered.layers` is empty.
+struct Schedule {
+  std::string strategy;       ///< registry name of the producing strategy
+  LayeredSchedule layered;    ///< contraction always valid; layers optional
+  GanttSchedule gantt;        ///< uniform Gantt view (always populated)
+  std::vector<int> allocation;  ///< symbolic cores per (contracted) task
+  /// Physical per-layer layouts when a mapping pass ran (layered schedules
+  /// only); empty otherwise.
+  std::vector<cost::LayerLayout> layouts;
+  /// Free-form diagnostics accumulated by passes / the portfolio scoreboard.
+  std::vector<std::string> notes;
+
+  int total_cores() const { return gantt.total_cores; }
+  double makespan() const { return gantt.makespan; }
+  bool has_layers() const { return !layered.layers.empty(); }
+  std::size_t num_layers() const { return layered.layers.size(); }
+
+  /// The graph the slot/allocation indices refer to.
+  const core::TaskGraph& scheduled_graph() const {
+    return layered.contraction.contracted;
+  }
+  int num_tasks() const { return scheduled_graph().num_tasks(); }
+
+  /// Symbolic cores executing `id` (empty for markers).
+  std::span<const int> task_cores(core::TaskId id) const {
+    return gantt.slots[static_cast<std::size_t>(id)].cores;
+  }
+  /// Number of cores allocated to `id`.
+  int task_width(core::TaskId id) const {
+    return allocation[static_cast<std::size_t>(id)];
+  }
+  /// Group sizes of one layer (empty span when the strategy is not layered).
+  std::span<const int> group_sizes(std::size_t layer) const {
+    return layered.layers[layer].group_sizes;
+  }
+  /// Tasks executed by symbolic core `core`, ordered by start time -- the
+  /// core-sequence view CPA/CPR results historically lacked.
+  std::vector<core::TaskId> core_sequence(int core) const;
+};
+
 /// Human-readable rendering of a layered schedule (groups per layer and the
 /// task-to-group assignment).
 std::string describe(const LayeredSchedule& schedule);
+
+/// Human-readable rendering of a canonical schedule: strategy, makespan,
+/// the layered structure when present, and any notes.
+std::string describe(const Schedule& schedule);
 
 }  // namespace ptask::sched

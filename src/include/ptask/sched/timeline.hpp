@@ -64,12 +64,29 @@ class TimelineEvaluator {
                           std::span<const cost::LayerLayout> layouts,
                           const TimelineOptions& options = {}) const;
 
+  /// Canonical-schedule overloads: evaluate `schedule.layered` with explicit
+  /// layouts, or with the layouts embedded by a mapping pass (throws
+  /// std::invalid_argument when the schedule has neither layers nor
+  /// embedded layouts).
+  TimelineResult evaluate(const Schedule& schedule,
+                          std::span<const cost::LayerLayout> layouts,
+                          const TimelineOptions& options = {}) const;
+  TimelineResult evaluate(const Schedule& schedule,
+                          const TimelineOptions& options = {}) const;
+
   /// Discrete-event simulation of the mapped schedule.  Rank r of the
   /// simulation runs on physical core `rank_cores[r]`; rank_cores must cover
   /// every core any layout uses.  Convenience overload derives rank_cores
   /// from the first layer's layout.
   sim::SimResult simulate(const LayeredSchedule& schedule,
                           std::span<const cost::LayerLayout> layouts,
+                          const TimelineOptions& options = {}) const;
+
+  /// Canonical-schedule overloads, mirroring `evaluate`.
+  sim::SimResult simulate(const Schedule& schedule,
+                          std::span<const cost::LayerLayout> layouts,
+                          const TimelineOptions& options = {}) const;
+  sim::SimResult simulate(const Schedule& schedule,
                           const TimelineOptions& options = {}) const;
 
  private:

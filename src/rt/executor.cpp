@@ -143,4 +143,14 @@ void Executor::run(const sched::LayeredSchedule& schedule,
   if (tracing) obs::tracer().drain();
 }
 
+void Executor::run(const sched::Schedule& schedule,
+                   const std::vector<TaskFn>& functions) {
+  if (!schedule.has_layers()) {
+    throw std::invalid_argument(
+        "schedule '" + schedule.strategy +
+        "' has no layer structure; the executor needs scheduled layers");
+  }
+  run(schedule.layered, functions);
+}
+
 }  // namespace ptask::rt

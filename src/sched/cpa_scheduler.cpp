@@ -9,11 +9,11 @@ namespace ptask::sched {
 namespace {
 
 /// Shared CPA allocation loop; `alloc_cap[id]` bounds each task's cores.
-CpaResult cpa_allocate_and_schedule(const core::TaskGraph& graph, int P,
+MoldableResult cpa_allocate_and_schedule(const core::TaskGraph& graph, int P,
                                     const TaskTimeTable& table,
                                     const std::vector<int>& alloc_cap) {
   const int n = graph.num_tasks();
-  CpaResult result;
+  MoldableResult result;
   result.allocation.assign(static_cast<std::size_t>(n), 1);
 
   std::vector<double> task_time(static_cast<std::size_t>(n));
@@ -67,7 +67,7 @@ CpaResult cpa_allocate_and_schedule(const core::TaskGraph& graph, int P,
 
 }  // namespace
 
-CpaResult CpaScheduler::schedule(const core::TaskGraph& graph,
+MoldableResult CpaScheduler::schedule(const core::TaskGraph& graph,
                                  int total_cores) const {
   const TaskTimeTable table(graph, *cost_, total_cores, mode_);
   const std::vector<int> cap(static_cast<std::size_t>(graph.num_tasks()),
@@ -76,7 +76,7 @@ CpaResult CpaScheduler::schedule(const core::TaskGraph& graph,
 }
 
 
-CpaResult McpaScheduler::schedule(const core::TaskGraph& graph,
+MoldableResult McpaScheduler::schedule(const core::TaskGraph& graph,
                                   int total_cores) const {
   const TaskTimeTable table(graph, *cost_, total_cores, mode_);
   // Level-width bound: a task in a precedence level of width w may use at

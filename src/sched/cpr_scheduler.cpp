@@ -6,13 +6,13 @@
 
 namespace ptask::sched {
 
-CprResult CprScheduler::schedule(const core::TaskGraph& graph,
+MoldableResult CprScheduler::schedule(const core::TaskGraph& graph,
                                  int total_cores) const {
   const int n = graph.num_tasks();
   const int P = total_cores;
   const TaskTimeTable table(graph, *cost_, P, mode_);
 
-  CprResult result;
+  MoldableResult result;
   result.allocation.assign(static_cast<std::size_t>(n), 1);
   result.schedule = list_schedule(graph, result.allocation, table);
 

@@ -1,12 +1,10 @@
 #include "ptask/sched/layer_scheduler.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <numeric>
 #include <stdexcept>
 
-#include "ptask/obs/metrics.hpp"
-#include "ptask/obs/trace.hpp"
+#include "ptask/sched/pipeline.hpp"
 
 namespace ptask::sched {
 
@@ -65,135 +63,9 @@ std::vector<int> proportional_group_sizes(int total,
   return sizes;
 }
 
-ScheduledLayer LayerScheduler::schedule_layer(
-    const core::TaskGraph& graph, const std::vector<core::TaskId>& tasks,
-    int total_cores) const {
-  const int P = total_cores;
-  const int n_tasks = static_cast<int>(tasks.size());
-  int g_limit = std::min(P, n_tasks);
-  if (options_.max_groups > 0) g_limit = std::min(g_limit, options_.max_groups);
-  int g_first = 1;
-  if (options_.fixed_groups > 0) {
-    g_first = g_limit = std::min(options_.fixed_groups, std::min(P, n_tasks));
-  }
-
-  ScheduledLayer best;
-  double best_time = std::numeric_limits<double>::infinity();
-
-  // Tasks in decreasing order of a size-independent proxy (their sequential
-  // work); the per-g loop refines with the actual parallel time.
-  std::vector<std::size_t> order(tasks.size());
-  std::iota(order.begin(), order.end(), 0);
-
-  {
-    obs::ScopedSpan search_span(obs::SpanKind::Scheduler,
-                                "sched.group_search");
-    for (int g = g_first; g <= g_limit; ++g) {
-      const std::vector<int> sizes = equal_group_sizes(P, g);
-
-      // Sort tasks by decreasing execution time on a group of this size.
-      std::vector<double> time(tasks.size());
-      for (std::size_t i = 0; i < tasks.size(); ++i) {
-        time[i] =
-            cost_->symbolic_task_time(graph.task(tasks[i]), sizes[0], g, P);
-      }
-      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-        return time[a] > time[b];
-      });
-
-      // Greedy assignment: each task onto the group with the smallest
-      // accumulated execution time (modified Sahni algorithm, line 10).
-      std::vector<double> accumulated(static_cast<std::size_t>(g), 0.0);
-      std::vector<int> task_group(tasks.size(), 0);
-      for (std::size_t i : order) {
-        const std::size_t target = static_cast<std::size_t>(
-            std::min_element(accumulated.begin(), accumulated.end()) -
-            accumulated.begin());
-        const double t = cost_->symbolic_task_time(graph.task(tasks[i]),
-                                                   sizes[target], g, P);
-        accumulated[target] += t;
-        task_group[i] = static_cast<int>(target);
-      }
-      const double t_act =
-          *std::max_element(accumulated.begin(), accumulated.end());
-      if (t_act < best_time) {
-        best_time = t_act;
-        best.tasks = tasks;
-        best.group_sizes = sizes;
-        best.task_group = task_group;
-        best.predicted_time = t_act;
-      }
-    }
-  }
-
-  if (options_.adjust_group_sizes && best.num_groups() > 1) {
-    obs::ScopedSpan adjust_span(obs::SpanKind::Scheduler, "sched.adjust");
-    // Accumulated *sequential* work per group (paper: Tseq(G_l)).
-    std::vector<double> work(static_cast<std::size_t>(best.num_groups()), 0.0);
-    for (std::size_t i = 0; i < best.tasks.size(); ++i) {
-      work[static_cast<std::size_t>(best.task_group[i])] +=
-          graph.task(best.tasks[i]).work_flop();
-    }
-    const std::vector<int> adjusted = proportional_group_sizes(P, work);
-    best.group_sizes = adjusted;
-    // Re-evaluate the layer time with the adjusted sizes.
-    std::vector<double> accumulated(static_cast<std::size_t>(best.num_groups()),
-                                    0.0);
-    for (std::size_t i = 0; i < best.tasks.size(); ++i) {
-      const std::size_t gidx = static_cast<std::size_t>(best.task_group[i]);
-      accumulated[gidx] += cost_->symbolic_task_time(
-          graph.task(best.tasks[i]), best.group_sizes[gidx], best.num_groups(),
-          P);
-    }
-    best.predicted_time =
-        *std::max_element(accumulated.begin(), accumulated.end());
-  }
-  return best;
-}
-
 LayeredSchedule LayerScheduler::schedule(const core::TaskGraph& graph,
                                          int total_cores) const {
-  if (total_cores <= 0) {
-    throw std::invalid_argument("core count must be positive");
-  }
-  static obs::Counter& invocations = obs::metrics().counter("sched.invocations");
-  invocations.add();
-  obs::ScopedSpan schedule_span(obs::SpanKind::Scheduler, "sched.schedule");
-
-  LayeredSchedule result;
-  result.total_cores = total_cores;
-  {
-    obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.chain_contraction");
-    if (options_.contract_chains) {
-      result.contraction = core::contract_linear_chains(graph);
-    } else {
-      // Identity contraction.
-      result.contraction.contracted = graph;
-      result.contraction.members.resize(
-          static_cast<std::size_t>(graph.num_tasks()));
-      result.contraction.representative.resize(
-          static_cast<std::size_t>(graph.num_tasks()));
-      for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
-        result.contraction.members[static_cast<std::size_t>(id)] = {id};
-        result.contraction.representative[static_cast<std::size_t>(id)] = id;
-      }
-    }
-  }
-
-  const core::TaskGraph& contracted = result.contraction.contracted;
-  std::vector<std::vector<core::TaskId>> layers;
-  {
-    obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.layer_partition");
-    layers = core::greedy_layers(contracted);
-  }
-  result.layers.reserve(layers.size());
-  for (const std::vector<core::TaskId>& layer_tasks : layers) {
-    ScheduledLayer layer =
-        schedule_layer(contracted, layer_tasks, total_cores);
-    result.predicted_makespan += layer.predicted_time;
-    result.layers.push_back(std::move(layer));
-  }
-  return result;
+  return Pipeline::algorithm1(*cost_, options_).run_layered(graph, total_cores);
 }
 
 }  // namespace ptask::sched

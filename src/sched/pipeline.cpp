@@ -1,0 +1,253 @@
+#include "ptask/sched/pipeline.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/trace.hpp"
+
+namespace ptask::sched {
+
+namespace {
+
+/// One LPT (modified Sahni) evaluation: sorts `order` by decreasing task
+/// time under `sizes` and greedily assigns each task to the least-loaded
+/// group.  `order` is carried across candidate group counts of the same
+/// layer, exactly like the pre-pass monolith did, so tie-breaks -- and
+/// therefore schedules -- are bit-identical to the historical algorithm.
+struct LptResult {
+  std::vector<int> task_group;
+  double time = 0.0;
+};
+
+LptResult lpt_assign(const core::TaskGraph& graph,
+                     const std::vector<core::TaskId>& tasks,
+                     const std::vector<int>& sizes, int num_groups,
+                     int total_cores, const cost::CostModel& cost,
+                     std::vector<std::size_t>& order) {
+  // Sort tasks by decreasing execution time on a group of this size.
+  std::vector<double> time(tasks.size());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    time[i] = cost.symbolic_task_time(graph.task(tasks[i]), sizes[0],
+                                      num_groups, total_cores);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return time[a] > time[b]; });
+
+  // Greedy assignment: each task onto the group with the smallest
+  // accumulated execution time (modified Sahni algorithm, line 10).
+  std::vector<double> accumulated(static_cast<std::size_t>(num_groups), 0.0);
+  LptResult result;
+  result.task_group.assign(tasks.size(), 0);
+  for (std::size_t i : order) {
+    const std::size_t target = static_cast<std::size_t>(
+        std::min_element(accumulated.begin(), accumulated.end()) -
+        accumulated.begin());
+    const double t = cost.symbolic_task_time(graph.task(tasks[i]),
+                                             sizes[target], num_groups,
+                                             total_cores);
+    accumulated[target] += t;
+    result.task_group[i] = static_cast<int>(target);
+  }
+  result.time = *std::max_element(accumulated.begin(), accumulated.end());
+  return result;
+}
+
+}  // namespace
+
+void ContractChains::run(PassContext& ctx) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.chain_contraction");
+  if (ctx.options.contract_chains) {
+    ctx.contraction = core::contract_linear_chains(*ctx.graph);
+  } else {
+    ctx.contraction = core::identity_contraction(*ctx.graph);
+  }
+}
+
+void Layerize::run(PassContext& ctx) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.layer_partition");
+  ctx.layer_tasks = core::greedy_layers(ctx.contraction.contracted);
+}
+
+void GroupSearch::run(PassContext& ctx) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.group_search");
+  const int P = ctx.total_cores;
+  ctx.group_candidates.clear();
+  ctx.group_candidates.reserve(ctx.layer_tasks.size());
+  for (const std::vector<core::TaskId>& tasks : ctx.layer_tasks) {
+    const int n_tasks = static_cast<int>(tasks.size());
+    int g_limit = std::min(P, n_tasks);
+    if (ctx.options.max_groups > 0) {
+      g_limit = std::min(g_limit, ctx.options.max_groups);
+    }
+    int g_first = 1;
+    if (ctx.options.fixed_groups > 0) {
+      g_first = g_limit = std::min(ctx.options.fixed_groups,
+                                   std::min(P, n_tasks));
+    }
+    std::vector<int> candidates;
+    candidates.reserve(static_cast<std::size_t>(g_limit - g_first + 1));
+    for (int g = g_first; g <= g_limit; ++g) candidates.push_back(g);
+    ctx.group_candidates.push_back(std::move(candidates));
+  }
+}
+
+void AssignLPT::run(PassContext& ctx) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.assign_lpt");
+  if (ctx.group_candidates.size() != ctx.layer_tasks.size()) {
+    throw std::logic_error("AssignLPT requires GroupSearch candidates");
+  }
+  const core::TaskGraph& contracted = ctx.contraction.contracted;
+  const int P = ctx.total_cores;
+  ctx.layers.clear();
+  ctx.layers.reserve(ctx.layer_tasks.size());
+  for (std::size_t li = 0; li < ctx.layer_tasks.size(); ++li) {
+    const std::vector<core::TaskId>& tasks = ctx.layer_tasks[li];
+    ScheduledLayer best;
+    double best_time = std::numeric_limits<double>::infinity();
+    std::vector<std::size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (const int g : ctx.group_candidates[li]) {
+      const std::vector<int> sizes = equal_group_sizes(P, g);
+      LptResult lpt =
+          lpt_assign(contracted, tasks, sizes, g, P, *ctx.cost, order);
+      if (lpt.time < best_time) {
+        best_time = lpt.time;
+        best.tasks = tasks;
+        best.group_sizes = sizes;
+        best.task_group = std::move(lpt.task_group);
+        best.predicted_time = lpt.time;
+      }
+    }
+    ctx.layers.push_back(std::move(best));
+  }
+}
+
+void AdjustGroups::run(PassContext& ctx) const {
+  if (!ctx.options.adjust_group_sizes) return;
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.adjust");
+  const core::TaskGraph& contracted = ctx.contraction.contracted;
+  const int P = ctx.total_cores;
+  for (ScheduledLayer& layer : ctx.layers) {
+    if (layer.num_groups() <= 1) continue;
+    // Accumulated *sequential* work per group (paper: Tseq(G_l)).
+    std::vector<double> work(static_cast<std::size_t>(layer.num_groups()),
+                             0.0);
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      work[static_cast<std::size_t>(layer.task_group[i])] +=
+          contracted.task(layer.tasks[i]).work_flop();
+    }
+    layer.group_sizes = proportional_group_sizes(P, work);
+    // Re-evaluate the layer time with the adjusted sizes.
+    std::vector<double> accumulated(
+        static_cast<std::size_t>(layer.num_groups()), 0.0);
+    for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+      const std::size_t gidx = static_cast<std::size_t>(layer.task_group[i]);
+      accumulated[gidx] += ctx.cost->symbolic_task_time(
+          contracted.task(layer.tasks[i]), layer.group_sizes[gidx],
+          layer.num_groups(), P);
+    }
+    layer.predicted_time =
+        *std::max_element(accumulated.begin(), accumulated.end());
+  }
+}
+
+Pipeline& Pipeline::append(std::unique_ptr<Pass> pass) {
+  passes_.push_back(std::move(pass));
+  return *this;
+}
+
+Pipeline Pipeline::algorithm1(const cost::CostModel& cost,
+                              LayerSchedulerOptions options) {
+  Pipeline pipeline(cost, "layer", options);
+  pipeline.append(std::make_unique<ContractChains>())
+      .append(std::make_unique<Layerize>())
+      .append(std::make_unique<GroupSearch>())
+      .append(std::make_unique<AssignLPT>())
+      .append(std::make_unique<AdjustGroups>());
+  return pipeline;
+}
+
+PassContext Pipeline::make_context(const core::TaskGraph& graph,
+                                   int total_cores) const {
+  if (total_cores <= 0) {
+    throw std::invalid_argument("core count must be positive");
+  }
+  static obs::Counter& invocations =
+      obs::metrics().counter("sched.invocations");
+  invocations.add();
+  PassContext ctx;
+  ctx.graph = &graph;
+  ctx.cost = cost_;
+  ctx.total_cores = total_cores;
+  ctx.options = options_;
+  return ctx;
+}
+
+LayeredSchedule Pipeline::run_layered(const core::TaskGraph& graph,
+                                      int total_cores) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.schedule");
+  PassContext ctx = make_context(graph, total_cores);
+  for (const std::unique_ptr<Pass>& pass : passes_) pass->run(ctx);
+  LayeredSchedule result;
+  result.total_cores = total_cores;
+  result.contraction = std::move(ctx.contraction);
+  result.layers = std::move(ctx.layers);
+  for (const ScheduledLayer& layer : result.layers) {
+    result.predicted_makespan += layer.predicted_time;
+  }
+  return result;
+}
+
+Schedule Pipeline::run(const core::TaskGraph& graph, int total_cores) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.schedule");
+  PassContext ctx = make_context(graph, total_cores);
+  for (const std::unique_ptr<Pass>& pass : passes_) pass->run(ctx);
+  LayeredSchedule layered;
+  layered.total_cores = total_cores;
+  layered.contraction = std::move(ctx.contraction);
+  layered.layers = std::move(ctx.layers);
+  for (const ScheduledLayer& layer : layered.layers) {
+    layered.predicted_makespan += layer.predicted_time;
+  }
+  Schedule result = canonical(std::move(layered), *cost_, name_);
+  result.layouts = std::move(ctx.layouts);
+  result.notes = std::move(ctx.notes);
+  return result;
+}
+
+Schedule canonical(LayeredSchedule layered, const cost::CostModel& cost,
+                   std::string strategy) {
+  Schedule result;
+  result.strategy = std::move(strategy);
+  result.layered = std::move(layered);
+  const core::TaskGraph& contracted =
+      result.layered.contraction.contracted;
+  const int P = result.layered.total_cores;
+  result.gantt = to_gantt(
+      result.layered, [&](core::TaskId id, int q, int num_groups) {
+        return cost.symbolic_task_time(contracted.task(id), q, num_groups, P);
+      });
+  result.allocation.resize(result.gantt.slots.size());
+  for (std::size_t id = 0; id < result.gantt.slots.size(); ++id) {
+    result.allocation[id] = result.gantt.slots[id].num_cores();
+  }
+  return result;
+}
+
+Schedule canonical(const core::TaskGraph& graph, MoldableResult moldable,
+                   std::string strategy) {
+  Schedule result;
+  result.strategy = std::move(strategy);
+  result.layered.total_cores = moldable.schedule.total_cores;
+  result.layered.contraction = core::identity_contraction(graph);
+  result.layered.predicted_makespan = moldable.schedule.makespan;
+  result.gantt = std::move(moldable.schedule);
+  result.allocation = std::move(moldable.allocation);
+  return result;
+}
+
+}  // namespace ptask::sched

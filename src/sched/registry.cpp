@@ -1,0 +1,112 @@
+#include "ptask/sched/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "ptask/sched/cpa_scheduler.hpp"
+#include "ptask/sched/cpr_scheduler.hpp"
+#include "ptask/sched/data_parallel.hpp"
+#include "ptask/sched/portfolio.hpp"
+
+namespace ptask::sched {
+
+namespace {
+
+/// Adapts the allocation-based schedulers (anything with a
+/// `MoldableResult schedule(graph, cores) const`) to the Scheduler
+/// interface via canonical().
+template <typename Impl>
+class MoldableAdapter final : public Scheduler {
+ public:
+  MoldableAdapter(const cost::CostModel& cost, std::string name)
+      : impl_(cost), name_(std::move(name)) {}
+  std::string_view name() const override { return name_; }
+  Schedule run(const core::TaskGraph& graph, int total_cores) const override {
+    return canonical(graph, impl_.schedule(graph, total_cores), name_);
+  }
+
+ private:
+  Impl impl_;
+  std::string name_;
+};
+
+/// Adapts DataParallelScheduler (layered result, no group search).
+class DataParallelAdapter final : public Scheduler {
+ public:
+  explicit DataParallelAdapter(const cost::CostModel& cost)
+      : impl_(cost), cost_(&cost) {}
+  std::string_view name() const override { return "dp"; }
+  Schedule run(const core::TaskGraph& graph, int total_cores) const override {
+    return canonical(impl_.schedule(graph, total_cores), *cost_, "dp");
+  }
+
+ private:
+  DataParallelScheduler impl_;
+  const cost::CostModel* cost_;
+};
+
+}  // namespace
+
+SchedulerRegistry::SchedulerRegistry() {
+  register_strategy("layer", [](const cost::CostModel& cost) {
+    return std::make_unique<Pipeline>(Pipeline::algorithm1(cost));
+  });
+  register_strategy("cpa", [](const cost::CostModel& cost) {
+    return std::make_unique<MoldableAdapter<CpaScheduler>>(cost, "cpa");
+  });
+  register_strategy("mcpa", [](const cost::CostModel& cost) {
+    return std::make_unique<MoldableAdapter<McpaScheduler>>(cost, "mcpa");
+  });
+  register_strategy("cpr", [](const cost::CostModel& cost) {
+    return std::make_unique<MoldableAdapter<CprScheduler>>(cost, "cpr");
+  });
+  register_strategy("dp", [](const cost::CostModel& cost) {
+    return std::make_unique<DataParallelAdapter>(cost);
+  });
+  register_strategy("portfolio", [](const cost::CostModel& cost) {
+    return std::make_unique<PortfolioScheduler>(cost);
+  });
+}
+
+SchedulerRegistry& SchedulerRegistry::instance() {
+  static SchedulerRegistry registry;
+  return registry;
+}
+
+void SchedulerRegistry::register_strategy(std::string name,
+                                          SchedulerFactory factory) {
+  for (auto& [existing, existing_factory] : entries_) {
+    if (existing == name) {
+      existing_factory = std::move(factory);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(factory));
+}
+
+bool SchedulerRegistry::contains(std::string_view name) const {
+  for (const auto& [existing, factory] : entries_) {
+    if (existing == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> SchedulerRegistry::names() const {
+  std::vector<std::string> result;
+  result.reserve(entries_.size());
+  for (const auto& [name, factory] : entries_) result.push_back(name);
+  return result;
+}
+
+std::unique_ptr<Scheduler> SchedulerRegistry::make(
+    std::string_view name, const cost::CostModel& cost) const {
+  for (const auto& [existing, factory] : entries_) {
+    if (existing == name) return factory(cost);
+  }
+  std::ostringstream message;
+  message << "unknown scheduler '" << name << "'; known:";
+  for (const auto& [existing, factory] : entries_) message << ' ' << existing;
+  throw std::invalid_argument(message.str());
+}
+
+}  // namespace ptask::sched

@@ -1,5 +1,6 @@
 #include "ptask/sched/schedule.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace ptask::sched {
@@ -37,6 +38,41 @@ std::string describe(const LayeredSchedule& schedule) {
   for (std::size_t i = 0; i < schedule.layers.size(); ++i) {
     os << format_layer(schedule.contraction.contracted, schedule.layers[i], i);
   }
+  return os.str();
+}
+
+std::vector<core::TaskId> Schedule::core_sequence(int core) const {
+  std::vector<core::TaskId> tasks;
+  for (core::TaskId id = 0; id < num_tasks(); ++id) {
+    const TaskSlot& slot = gantt.slots[static_cast<std::size_t>(id)];
+    if (std::find(slot.cores.begin(), slot.cores.end(), core) !=
+        slot.cores.end()) {
+      tasks.push_back(id);
+    }
+  }
+  std::sort(tasks.begin(), tasks.end(), [&](core::TaskId a, core::TaskId b) {
+    const TaskSlot& sa = gantt.slots[static_cast<std::size_t>(a)];
+    const TaskSlot& sb = gantt.slots[static_cast<std::size_t>(b)];
+    if (sa.start != sb.start) return sa.start < sb.start;
+    return a < b;
+  });
+  return tasks;
+}
+
+std::string describe(const Schedule& schedule) {
+  std::ostringstream os;
+  os << "schedule [" << schedule.strategy << "] on " << schedule.total_cores()
+     << " symbolic cores, makespan " << schedule.makespan() << " s";
+  if (schedule.has_layers()) {
+    os << ", " << schedule.num_layers() << " layer(s)\n";
+    for (std::size_t i = 0; i < schedule.layered.layers.size(); ++i) {
+      os << format_layer(schedule.scheduled_graph(),
+                         schedule.layered.layers[i], i);
+    }
+  } else {
+    os << " (no layered structure)\n";
+  }
+  for (const std::string& note : schedule.notes) os << "  " << note << '\n';
   return os.str();
 }
 

@@ -413,4 +413,51 @@ sim::SimResult TimelineEvaluator::simulate(
   return simulator.run(programs, options.record_trace);
 }
 
+namespace {
+
+const LayeredSchedule& require_layers(const Schedule& schedule) {
+  if (!schedule.has_layers()) {
+    throw std::invalid_argument(
+        "schedule '" + schedule.strategy +
+        "' has no layer structure for the timeline evaluator");
+  }
+  return schedule.layered;
+}
+
+std::span<const cost::LayerLayout> require_layouts(const Schedule& schedule) {
+  if (schedule.layouts.empty()) {
+    throw std::invalid_argument(
+        "schedule '" + schedule.strategy +
+        "' carries no embedded layouts (run a mapping pass or pass them "
+        "explicitly)");
+  }
+  return schedule.layouts;
+}
+
+}  // namespace
+
+TimelineResult TimelineEvaluator::evaluate(
+    const Schedule& schedule, std::span<const cost::LayerLayout> layouts,
+    const TimelineOptions& options) const {
+  return evaluate(require_layers(schedule), layouts, options);
+}
+
+TimelineResult TimelineEvaluator::evaluate(
+    const Schedule& schedule, const TimelineOptions& options) const {
+  return evaluate(require_layers(schedule), require_layouts(schedule),
+                  options);
+}
+
+sim::SimResult TimelineEvaluator::simulate(
+    const Schedule& schedule, std::span<const cost::LayerLayout> layouts,
+    const TimelineOptions& options) const {
+  return simulate(require_layers(schedule), layouts, options);
+}
+
+sim::SimResult TimelineEvaluator::simulate(
+    const Schedule& schedule, const TimelineOptions& options) const {
+  return simulate(require_layers(schedule), require_layouts(schedule),
+                  options);
+}
+
 }  // namespace ptask::sched

@@ -14,12 +14,19 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <set>
+#include <string>
 
+#include "ptask/arch/machine.hpp"
+#include "ptask/cost/cost_model.hpp"
 #include "ptask/fuzz/generator.hpp"
 #include "ptask/fuzz/oracles.hpp"
 #include "ptask/fuzz/rng.hpp"
+#include "ptask/sched/portfolio.hpp"
+#include "ptask/sched/registry.hpp"
+#include "ptask/sched/schedule.hpp"
 
 namespace ptask::fuzz {
 namespace {
@@ -72,13 +79,59 @@ TEST_F(FuzzScheduler, RandomInstancesSatisfyAllOracles) {
     lints += report.lints_checked;
     mutations += report.lint_mutations;
   }
-  // The sweep must actually exercise the oracles (8 scheduler outputs, 4
-  // executor runs, one lint-clean pass, and two lint mutations per
-  // instance).
-  EXPECT_GE(schedules, count * 8);
+  // The sweep must actually exercise the oracles (9 scheduler outputs --
+  // the 5 registry strategies, 3 non-default layer pass configurations and
+  // the portfolio -- 4 executor runs, one lint-clean pass, and two lint
+  // mutations per instance).
+  EXPECT_GE(schedules, count * 9);
   EXPECT_GE(executor_runs, count * 4);
   EXPECT_GE(lints, count);
   EXPECT_GE(mutations, count * 2);
+}
+
+TEST_F(FuzzScheduler, PortfolioDominatesIndividualStrategies) {
+  // The portfolio auto-scheduler scores every registered strategy and keeps
+  // the best; under the default symbolic-makespan metric its winner can
+  // never be worse than the best individual strategy run directly against
+  // the registry.  CI runs this test standalone with a raised instance
+  // count (gtest filter '*Portfolio*').
+  const std::uint64_t base = substream(base_seed(), 0x90F0);
+  const int count = std::max(16, instance_count() / 2);
+  sched::SchedulerRegistry& registry = sched::SchedulerRegistry::instance();
+  for (int i = 0; i < count; ++i) {
+    const Instance instance =
+        random_instance(substream(base, static_cast<std::uint64_t>(i)));
+    const arch::Machine machine(instance.machine);
+    const cost::CostModel cost(machine);
+
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t individuals = 0;
+    for (const std::string& name : registry.names()) {
+      if (name == "portfolio") continue;
+      ++individuals;
+      try {
+        const sched::Schedule s = registry.make(name, cost)->run(
+            instance.graph, instance.total_cores);
+        best = std::min(best, s.makespan());
+      } catch (const std::exception&) {
+        // The portfolio skips failing strategies too; dominance is over the
+        // ones that produce a schedule.
+      }
+    }
+    ASSERT_GE(individuals, 5u);
+
+    const sched::PortfolioScheduler portfolio(cost);
+    sched::PortfolioReport report;
+    const sched::Schedule winner =
+        portfolio.run(instance.graph, instance.total_cores, report);
+    EXPECT_LE(winner.makespan(), best * (1.0 + 1e-9) + 1e-12)
+        << "instance " << i << " (seed " << instance.seed << ", "
+        << instance.name << "): portfolio winner '" << winner.strategy
+        << "' lost to an individual strategy; reproduce with "
+        << "PTASK_FUZZ_SEED=" << base_seed();
+    EXPECT_EQ(report.scores.size(), individuals);
+    EXPECT_EQ(winner.strategy, report.winner);
+  }
 }
 
 TEST_F(FuzzScheduler, LintOracleCoversEveryGraphFamily) {

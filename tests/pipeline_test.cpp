@@ -1,0 +1,632 @@
+// Tests for the pass-based scheduling pipeline (pipeline.hpp): every pass
+// in isolation over a hand-built PassContext, pipeline composition
+// (Algorithm 1 chain, mapping as a sixth pass, canonical assembly), the
+// scheduler registry, the canonical conversions, and -- the load-bearing
+// property -- byte-identical equivalence between the composed pipeline and
+// a verbatim copy of the pre-refactor monolithic LayerScheduler on all five
+// fuzz graph families.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/core/graph_algorithms.hpp"
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/fuzz/generator.hpp"
+#include "ptask/fuzz/rng.hpp"
+#include "ptask/map/mapping.hpp"
+#include "ptask/ode/graph_gen.hpp"
+#include "ptask/sched/cpa_scheduler.hpp"
+#include "ptask/sched/pipeline.hpp"
+#include "ptask/sched/registry.hpp"
+
+namespace ptask::sched {
+namespace {
+
+arch::Machine machine(int nodes = 8) {
+  arch::MachineSpec spec = arch::chic();
+  spec.num_nodes = nodes;
+  return arch::Machine(spec);
+}
+
+core::TaskGraph independent_tasks(const std::vector<double>& works) {
+  core::TaskGraph g;
+  for (std::size_t i = 0; i < works.size(); ++i) {
+    g.add_task(core::MTask("t" + std::to_string(i), works[i]));
+  }
+  return g;
+}
+
+core::TaskGraph chain_graph(int length) {
+  core::TaskGraph g;
+  for (int i = 0; i < length; ++i) {
+    g.add_task(core::MTask("c" + std::to_string(i), 1.0e9));
+  }
+  for (int i = 0; i + 1 < length; ++i) {
+    g.add_edge(static_cast<core::TaskId>(i), static_cast<core::TaskId>(i + 1));
+  }
+  return g;
+}
+
+PassContext make_ctx(const core::TaskGraph& graph, const cost::CostModel& cost,
+                     int total_cores, LayerSchedulerOptions options = {}) {
+  PassContext ctx;
+  ctx.graph = &graph;
+  ctx.cost = &cost;
+  ctx.total_cores = total_cores;
+  ctx.options = options;
+  return ctx;
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: a verbatim transplant of the pre-refactor
+// monolithic LayerScheduler (obs instrumentation stripped; it does not
+// affect results).  The equivalence property below compares every field of
+// its output against the composed pipeline with exact == -- including the
+// doubles, because the refactor promises bit-identical floating-point
+// association order, not just agreement within a tolerance.
+// ---------------------------------------------------------------------------
+
+class ReferenceLayerScheduler {
+ public:
+  ReferenceLayerScheduler(const cost::CostModel& cost,
+                          LayerSchedulerOptions options = {})
+      : cost_(&cost), options_(options) {}
+
+  LayeredSchedule schedule(const core::TaskGraph& graph,
+                           int total_cores) const {
+    if (total_cores <= 0) {
+      throw std::invalid_argument("core count must be positive");
+    }
+    LayeredSchedule result;
+    result.total_cores = total_cores;
+    if (options_.contract_chains) {
+      result.contraction = core::contract_linear_chains(graph);
+    } else {
+      // Identity contraction.
+      result.contraction.contracted = graph;
+      result.contraction.members.resize(
+          static_cast<std::size_t>(graph.num_tasks()));
+      result.contraction.representative.resize(
+          static_cast<std::size_t>(graph.num_tasks()));
+      for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+        result.contraction.members[static_cast<std::size_t>(id)] = {id};
+        result.contraction.representative[static_cast<std::size_t>(id)] = id;
+      }
+    }
+    const core::TaskGraph& contracted = result.contraction.contracted;
+    const std::vector<std::vector<core::TaskId>> layers =
+        core::greedy_layers(contracted);
+    result.layers.reserve(layers.size());
+    for (const std::vector<core::TaskId>& layer_tasks : layers) {
+      ScheduledLayer layer =
+          schedule_layer(contracted, layer_tasks, total_cores);
+      result.predicted_makespan += layer.predicted_time;
+      result.layers.push_back(std::move(layer));
+    }
+    return result;
+  }
+
+ private:
+  ScheduledLayer schedule_layer(const core::TaskGraph& graph,
+                                const std::vector<core::TaskId>& tasks,
+                                int total_cores) const {
+    const int P = total_cores;
+    const int n_tasks = static_cast<int>(tasks.size());
+    int g_limit = std::min(P, n_tasks);
+    if (options_.max_groups > 0) {
+      g_limit = std::min(g_limit, options_.max_groups);
+    }
+    int g_first = 1;
+    if (options_.fixed_groups > 0) {
+      g_first = g_limit = std::min(options_.fixed_groups, std::min(P, n_tasks));
+    }
+
+    ScheduledLayer best;
+    double best_time = std::numeric_limits<double>::infinity();
+
+    std::vector<std::size_t> order(tasks.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    for (int g = g_first; g <= g_limit; ++g) {
+      const std::vector<int> sizes = equal_group_sizes(P, g);
+      std::vector<double> time(tasks.size());
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        time[i] =
+            cost_->symbolic_task_time(graph.task(tasks[i]), sizes[0], g, P);
+      }
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return time[a] > time[b];
+      });
+
+      std::vector<double> accumulated(static_cast<std::size_t>(g), 0.0);
+      std::vector<int> task_group(tasks.size(), 0);
+      for (std::size_t i : order) {
+        const std::size_t target = static_cast<std::size_t>(
+            std::min_element(accumulated.begin(), accumulated.end()) -
+            accumulated.begin());
+        const double t = cost_->symbolic_task_time(graph.task(tasks[i]),
+                                                   sizes[target], g, P);
+        accumulated[target] += t;
+        task_group[i] = static_cast<int>(target);
+      }
+      const double t_act =
+          *std::max_element(accumulated.begin(), accumulated.end());
+      if (t_act < best_time) {
+        best_time = t_act;
+        best.tasks = tasks;
+        best.group_sizes = sizes;
+        best.task_group = task_group;
+        best.predicted_time = t_act;
+      }
+    }
+
+    if (options_.adjust_group_sizes && best.num_groups() > 1) {
+      std::vector<double> work(static_cast<std::size_t>(best.num_groups()),
+                               0.0);
+      for (std::size_t i = 0; i < best.tasks.size(); ++i) {
+        work[static_cast<std::size_t>(best.task_group[i])] +=
+            graph.task(best.tasks[i]).work_flop();
+      }
+      best.group_sizes = proportional_group_sizes(P, work);
+      std::vector<double> accumulated(
+          static_cast<std::size_t>(best.num_groups()), 0.0);
+      for (std::size_t i = 0; i < best.tasks.size(); ++i) {
+        const std::size_t gidx = static_cast<std::size_t>(best.task_group[i]);
+        accumulated[gidx] += cost_->symbolic_task_time(
+            graph.task(best.tasks[i]), best.group_sizes[gidx],
+            best.num_groups(), P);
+      }
+      best.predicted_time =
+          *std::max_element(accumulated.begin(), accumulated.end());
+    }
+    return best;
+  }
+
+  const cost::CostModel* cost_;
+  LayerSchedulerOptions options_;
+};
+
+/// Field-by-field exact comparison (doubles with ==, deliberately).
+void expect_identical(const LayeredSchedule& reference,
+                      const LayeredSchedule& actual,
+                      const std::string& label) {
+  EXPECT_EQ(reference.total_cores, actual.total_cores) << label;
+  EXPECT_EQ(reference.predicted_makespan, actual.predicted_makespan) << label;
+  EXPECT_EQ(reference.contraction.members, actual.contraction.members)
+      << label;
+  EXPECT_EQ(reference.contraction.representative,
+            actual.contraction.representative)
+      << label;
+  EXPECT_EQ(reference.contraction.contracted.num_tasks(),
+            actual.contraction.contracted.num_tasks())
+      << label;
+  EXPECT_EQ(reference.contraction.contracted.num_edges(),
+            actual.contraction.contracted.num_edges())
+      << label;
+  ASSERT_EQ(reference.layers.size(), actual.layers.size()) << label;
+  for (std::size_t l = 0; l < reference.layers.size(); ++l) {
+    const ScheduledLayer& a = reference.layers[l];
+    const ScheduledLayer& b = actual.layers[l];
+    const std::string where = label + ", layer " + std::to_string(l);
+    EXPECT_EQ(a.tasks, b.tasks) << where;
+    EXPECT_EQ(a.group_sizes, b.group_sizes) << where;
+    EXPECT_EQ(a.task_group, b.task_group) << where;
+    EXPECT_EQ(a.predicted_time, b.predicted_time) << where;
+  }
+}
+
+core::TaskGraph family_graph(fuzz::GraphFamily family, fuzz::Rng& rng) {
+  const fuzz::GeneratorParams params;
+  switch (family) {
+    case fuzz::GraphFamily::Layered:
+      return fuzz::layered_graph(rng, params);
+    case fuzz::GraphFamily::SeriesParallel:
+      return fuzz::series_parallel_graph(rng, params);
+    case fuzz::GraphFamily::RandomDag:
+      return fuzz::random_dag(rng, params);
+    case fuzz::GraphFamily::OdeSolver:
+      return fuzz::ode_solver_graph(rng);
+    case fuzz::GraphFamily::NpbMultiZone:
+      return fuzz::npb_multizone_graph(rng);
+  }
+  throw std::logic_error("unknown family");
+}
+
+// ---------------------------------------------------------------------------
+// The equivalence property: pipeline == pre-refactor monolith, bit for bit.
+// ---------------------------------------------------------------------------
+
+TEST(PipelineEquivalence, ReproducesMonolithOnAllFamilies) {
+  // 5 families x 25 seeds = 125 cases with the default options, plus one
+  // rotating non-default option set per case (forced groups, no chain
+  // contraction, no adjustment, clipped search).
+  const std::uint64_t base =
+      fuzz::substream(fuzz::seed_from_env(fuzz::kDefaultFuzzSeed), 0x9191);
+  const std::vector<fuzz::GraphFamily> families = {
+      fuzz::GraphFamily::Layered,       fuzz::GraphFamily::SeriesParallel,
+      fuzz::GraphFamily::RandomDag,     fuzz::GraphFamily::OdeSolver,
+      fuzz::GraphFamily::NpbMultiZone};
+  const std::vector<LayerSchedulerOptions> variants = [] {
+    std::vector<LayerSchedulerOptions> v(4);
+    v[0].fixed_groups = 2;
+    v[1].contract_chains = false;
+    v[2].adjust_group_sizes = false;
+    v[3].max_groups = 3;
+    return v;
+  }();
+
+  int cases = 0;
+  for (std::size_t f = 0; f < families.size(); ++f) {
+    for (int s = 0; s < 25; ++s) {
+      const std::uint64_t seed =
+          fuzz::substream(base, (static_cast<std::uint64_t>(f) << 32) |
+                                    static_cast<std::uint64_t>(s));
+      fuzz::Rng graph_rng(seed);
+      const core::TaskGraph graph = family_graph(families[f], graph_rng);
+      fuzz::Rng shape_rng(fuzz::substream(seed, 0xC0DE));
+      const arch::Machine m = machine(shape_rng.uniform(1, 16));
+      const cost::CostModel cost(m);
+      const int cores = 1 << shape_rng.uniform(1, 7);
+      const std::string label =
+          std::string(to_string(families[f])) + " seed " + std::to_string(s) +
+          " cores " + std::to_string(cores);
+
+      expect_identical(
+          ReferenceLayerScheduler(cost).schedule(graph, cores),
+          Pipeline::algorithm1(cost).run_layered(graph, cores), label);
+      const LayerSchedulerOptions& opt = variants[static_cast<std::size_t>(
+          s % static_cast<int>(variants.size()))];
+      expect_identical(
+          ReferenceLayerScheduler(cost, opt).schedule(graph, cores),
+          Pipeline::algorithm1(cost, opt).run_layered(graph, cores),
+          label + " (variant)");
+      ++cases;
+    }
+  }
+  EXPECT_EQ(cases, 125);
+}
+
+TEST(PipelineEquivalence, LayerSchedulerFacadeMatchesPipeline) {
+  // The historical entry point must be the same computation.
+  const arch::Machine m = machine();
+  const cost::CostModel cost(m);
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::PABM;
+  spec.n = 1 << 12;
+  spec.stages = 4;
+  spec.iterations = 2;
+  const core::TaskGraph graph = spec.step_graph();
+  expect_identical(LayerScheduler(cost).schedule(graph, 32),
+                   Pipeline::algorithm1(cost).run_layered(graph, 32),
+                   "facade");
+}
+
+// ---------------------------------------------------------------------------
+// Pass isolation.
+// ---------------------------------------------------------------------------
+
+class PassTest : public ::testing::Test {
+ protected:
+  PassTest() : machine_(machine()), cost_(machine_) {}
+  arch::Machine machine_;
+  cost::CostModel cost_;
+};
+
+TEST_F(PassTest, ContractChainsContractsLinearChains) {
+  const core::TaskGraph graph = chain_graph(4);
+  PassContext ctx = make_ctx(graph, cost_, 8);
+  ContractChains().run(ctx);
+  const core::ChainContraction expected = core::contract_linear_chains(graph);
+  EXPECT_EQ(ctx.contraction.contracted.num_tasks(),
+            expected.contracted.num_tasks());
+  EXPECT_EQ(ctx.contraction.members, expected.members);
+  EXPECT_EQ(ctx.contraction.representative, expected.representative);
+  EXPECT_LT(ctx.contraction.contracted.num_tasks(), graph.num_tasks());
+}
+
+TEST_F(PassTest, ContractChainsInstallsIdentityWhenDisabled) {
+  const core::TaskGraph graph = chain_graph(4);
+  LayerSchedulerOptions options;
+  options.contract_chains = false;
+  PassContext ctx = make_ctx(graph, cost_, 8, options);
+  ContractChains().run(ctx);
+  ASSERT_EQ(ctx.contraction.contracted.num_tasks(), graph.num_tasks());
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    EXPECT_EQ(ctx.contraction.members[static_cast<std::size_t>(id)],
+              std::vector<core::TaskId>{id});
+    EXPECT_EQ(ctx.contraction.representative[static_cast<std::size_t>(id)],
+              id);
+  }
+}
+
+TEST_F(PassTest, LayerizeMatchesGreedyLayers) {
+  const core::TaskGraph graph = independent_tasks({1e9, 2e9, 3e9});
+  PassContext ctx = make_ctx(graph, cost_, 8);
+  ContractChains().run(ctx);
+  Layerize().run(ctx);
+  EXPECT_EQ(ctx.layer_tasks, core::greedy_layers(ctx.contraction.contracted));
+  ASSERT_EQ(ctx.layer_tasks.size(), 1u);
+  EXPECT_EQ(ctx.layer_tasks[0].size(), 3u);
+}
+
+TEST_F(PassTest, GroupSearchEnumeratesFullRange) {
+  const core::TaskGraph graph = independent_tasks({1e9, 1e9, 1e9, 1e9});
+  PassContext ctx = make_ctx(graph, cost_, 8);
+  ContractChains().run(ctx);
+  Layerize().run(ctx);
+  GroupSearch().run(ctx);
+  ASSERT_EQ(ctx.group_candidates.size(), 1u);
+  // min(P, n_tasks) = 4 candidates.
+  EXPECT_EQ(ctx.group_candidates[0], (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST_F(PassTest, GroupSearchHonoursMaxAndFixedGroups) {
+  const core::TaskGraph graph = independent_tasks({1e9, 1e9, 1e9, 1e9});
+  {
+    LayerSchedulerOptions options;
+    options.max_groups = 2;
+    PassContext ctx = make_ctx(graph, cost_, 8, options);
+    ContractChains().run(ctx);
+    Layerize().run(ctx);
+    GroupSearch().run(ctx);
+    EXPECT_EQ(ctx.group_candidates[0], (std::vector<int>{1, 2}));
+  }
+  {
+    LayerSchedulerOptions options;
+    options.fixed_groups = 3;
+    PassContext ctx = make_ctx(graph, cost_, 8, options);
+    ContractChains().run(ctx);
+    Layerize().run(ctx);
+    GroupSearch().run(ctx);
+    EXPECT_EQ(ctx.group_candidates[0], (std::vector<int>{3}));
+  }
+  {
+    // Forced group counts clamp to the layer's task count.
+    LayerSchedulerOptions options;
+    options.fixed_groups = 10;
+    PassContext ctx = make_ctx(graph, cost_, 8, options);
+    ContractChains().run(ctx);
+    Layerize().run(ctx);
+    GroupSearch().run(ctx);
+    EXPECT_EQ(ctx.group_candidates[0], (std::vector<int>{4}));
+  }
+}
+
+TEST_F(PassTest, AssignLptRequiresGroupSearch) {
+  const core::TaskGraph graph = independent_tasks({1e9, 1e9});
+  PassContext ctx = make_ctx(graph, cost_, 4);
+  ContractChains().run(ctx);
+  Layerize().run(ctx);
+  EXPECT_THROW(AssignLPT().run(ctx), std::logic_error);
+}
+
+TEST_F(PassTest, AssignLptSingleGroupAccumulatesInLptOrder) {
+  const std::vector<double> works = {4.0e9, 1.0e9, 3.0e9, 2.0e9};
+  const core::TaskGraph graph = independent_tasks(works);
+  LayerSchedulerOptions options;
+  options.fixed_groups = 1;
+  PassContext ctx = make_ctx(graph, cost_, 4, options);
+  ContractChains().run(ctx);
+  Layerize().run(ctx);
+  GroupSearch().run(ctx);
+  AssignLPT().run(ctx);
+  ASSERT_EQ(ctx.layers.size(), 1u);
+  const ScheduledLayer& layer = ctx.layers[0];
+  EXPECT_EQ(layer.group_sizes, std::vector<int>{4});
+  EXPECT_EQ(layer.task_group, (std::vector<int>{0, 0, 0, 0}));
+  // One group: the layer time is the sum of all task times on 4 cores,
+  // accumulated in decreasing-time order.
+  std::vector<double> times;
+  for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+    times.push_back(cost_.symbolic_task_time(
+        ctx.contraction.contracted.task(layer.tasks[i]), 4, 1, 4));
+  }
+  std::sort(times.begin(), times.end(), std::greater<double>());
+  double expected = 0.0;
+  for (double t : times) expected += t;
+  EXPECT_EQ(layer.predicted_time, expected);
+}
+
+TEST_F(PassTest, AdjustGroupsFollowsAccumulatedWork) {
+  const core::TaskGraph graph = independent_tasks({3.0e10, 1.0e10});
+  PassContext ctx = make_ctx(graph, cost_, 8);
+  ContractChains().run(ctx);
+  // Fabricate the AssignLPT outcome: two equal groups, one task each.
+  ScheduledLayer layer;
+  layer.tasks = {0, 1};
+  layer.group_sizes = {4, 4};
+  layer.task_group = {0, 1};
+  layer.predicted_time = 1.0;
+  ctx.layers.push_back(layer);
+  AdjustGroups().run(ctx);
+  // 3:1 work over 8 cores -> 6 and 2 (largest-remainder rounding).
+  EXPECT_EQ(ctx.layers[0].group_sizes, (std::vector<int>{6, 2}));
+  const double t0 = cost_.symbolic_task_time(graph.task(0), 6, 2, 8);
+  const double t1 = cost_.symbolic_task_time(graph.task(1), 2, 2, 8);
+  EXPECT_EQ(ctx.layers[0].predicted_time, std::max(t0, t1));
+}
+
+TEST_F(PassTest, AdjustGroupsIsANoOpWhenDisabledOrSingleGroup) {
+  const core::TaskGraph graph = independent_tasks({3.0e10, 1.0e10});
+  {
+    LayerSchedulerOptions options;
+    options.adjust_group_sizes = false;
+    PassContext ctx = make_ctx(graph, cost_, 8, options);
+    ContractChains().run(ctx);
+    ScheduledLayer layer;
+    layer.tasks = {0, 1};
+    layer.group_sizes = {4, 4};
+    layer.task_group = {0, 1};
+    layer.predicted_time = 1.0;
+    ctx.layers.push_back(layer);
+    AdjustGroups().run(ctx);
+    EXPECT_EQ(ctx.layers[0].group_sizes, (std::vector<int>{4, 4}));
+    EXPECT_EQ(ctx.layers[0].predicted_time, 1.0);
+  }
+  {
+    PassContext ctx = make_ctx(graph, cost_, 8);
+    ContractChains().run(ctx);
+    ScheduledLayer layer;
+    layer.tasks = {0, 1};
+    layer.group_sizes = {8};
+    layer.task_group = {0, 0};
+    layer.predicted_time = 1.0;
+    ctx.layers.push_back(layer);
+    AdjustGroups().run(ctx);
+    EXPECT_EQ(ctx.layers[0].group_sizes, std::vector<int>{8});
+    EXPECT_EQ(ctx.layers[0].predicted_time, 1.0);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline composition and canonical assembly.
+// ---------------------------------------------------------------------------
+
+class PipelineTest : public ::testing::Test {
+ protected:
+  PipelineTest() : machine_(machine()), cost_(machine_) {}
+
+  static core::TaskGraph solver_graph() {
+    ode::SolverGraphSpec spec;
+    spec.method = ode::Method::PABM;
+    spec.n = 1 << 12;
+    spec.stages = 4;
+    spec.iterations = 2;
+    return spec.step_graph();
+  }
+
+  arch::Machine machine_;
+  cost::CostModel cost_;
+};
+
+TEST_F(PipelineTest, Algorithm1ComposesTheFivePaperPasses) {
+  const Pipeline pipeline = Pipeline::algorithm1(cost_);
+  EXPECT_EQ(pipeline.name(), "layer");
+  ASSERT_EQ(pipeline.passes().size(), 5u);
+  const std::vector<std::string> expected = {
+      "contract-chains", "layerize", "group-search", "assign-lpt",
+      "adjust-groups"};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(pipeline.passes()[i]->name(), expected[i]);
+  }
+}
+
+TEST_F(PipelineTest, RunAssemblesCanonicalSchedule) {
+  const core::TaskGraph graph = solver_graph();
+  const Schedule s = Pipeline::algorithm1(cost_).run(graph, 16);
+  EXPECT_EQ(s.strategy, "layer");
+  EXPECT_TRUE(s.has_layers());
+  EXPECT_EQ(s.total_cores(), 16);
+  EXPECT_GT(s.makespan(), 0.0);
+  ASSERT_EQ(s.allocation.size(), s.gantt.slots.size());
+  for (core::TaskId id = 0; id < s.num_tasks(); ++id) {
+    EXPECT_EQ(s.task_width(id),
+              static_cast<int>(s.task_cores(id).size()));
+  }
+  // The lowered Gantt view agrees with the layered prediction up to
+  // floating-point association order.
+  EXPECT_NEAR(s.makespan(), s.layered.predicted_makespan,
+              1e-9 * s.layered.predicted_makespan);
+  EXPECT_THROW(Pipeline::algorithm1(cost_).run(graph, 0),
+               std::invalid_argument);
+}
+
+TEST_F(PipelineTest, MapCoresPassBindsPhysicalLayoutsAsSixthStage) {
+  const core::TaskGraph graph = solver_graph();
+  Pipeline pipeline = Pipeline::algorithm1(cost_);
+  pipeline.append(std::make_unique<map::MapCoresPass>());
+  const Schedule s = pipeline.run(graph, 16);
+  ASSERT_TRUE(s.has_layers());
+  EXPECT_EQ(s.layouts.size(), s.num_layers());
+  bool noted = false;
+  for (const std::string& note : s.notes) {
+    noted |= note.rfind("map-cores", 0) == 0;
+  }
+  EXPECT_TRUE(noted) << "mapping pass left no note";
+}
+
+TEST_F(PipelineTest, CanonicalMoldableResultKeepsGanttAndAllocation) {
+  const core::TaskGraph graph = solver_graph();
+  const CpaScheduler cpa(cost_);
+  MoldableResult result = cpa.schedule(graph, 16);
+  const std::vector<int> allocation = result.allocation;
+  const double makespan = result.schedule.makespan;
+  const Schedule s = canonical(graph, std::move(result), "cpa");
+  EXPECT_EQ(s.strategy, "cpa");
+  EXPECT_FALSE(s.has_layers());
+  EXPECT_EQ(s.allocation, allocation);
+  EXPECT_EQ(s.makespan(), makespan);
+  EXPECT_EQ(s.layered.predicted_makespan, makespan);
+  // Identity contraction: canonical ids are the original ids.
+  ASSERT_EQ(s.scheduled_graph().num_tasks(), graph.num_tasks());
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    EXPECT_EQ(s.layered.contraction.representative[static_cast<std::size_t>(
+                  id)],
+              id);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+TEST(RegistryTest, ListsBuiltinStrategiesInRegistrationOrder) {
+  const std::vector<std::string> names =
+      SchedulerRegistry::instance().names();
+  const std::vector<std::string> expected = {"layer", "cpa",      "mcpa",
+                                             "cpr",   "dp",       "portfolio"};
+  EXPECT_EQ(names, expected);
+  for (const std::string& name : expected) {
+    EXPECT_TRUE(SchedulerRegistry::instance().contains(name)) << name;
+  }
+  EXPECT_FALSE(SchedulerRegistry::instance().contains("nope"));
+}
+
+TEST(RegistryTest, MakeConstructsTheNamedStrategy) {
+  const arch::Machine m = machine();
+  const cost::CostModel cost(m);
+  for (const std::string& name : SchedulerRegistry::instance().names()) {
+    const std::unique_ptr<Scheduler> s =
+        SchedulerRegistry::instance().make(name, cost);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+  }
+  EXPECT_THROW(SchedulerRegistry::instance().make("nope", cost),
+               std::invalid_argument);
+}
+
+TEST(RegistryTest, EveryStrategyProducesAConsistentCanonicalSchedule) {
+  const arch::Machine m = machine();
+  const cost::CostModel cost(m);
+  ode::SolverGraphSpec spec;
+  spec.method = ode::Method::PAB;
+  spec.n = 1 << 12;
+  spec.stages = 4;
+  spec.iterations = 2;
+  const core::TaskGraph graph = spec.step_graph();
+  for (const std::string& name : SchedulerRegistry::instance().names()) {
+    const Schedule s =
+        SchedulerRegistry::instance().make(name, cost)->run(graph, 16);
+    EXPECT_FALSE(s.strategy.empty()) << name;
+    EXPECT_EQ(s.total_cores(), 16) << name;
+    EXPECT_GT(s.makespan(), 0.0) << name;
+    ASSERT_EQ(s.allocation.size(),
+              static_cast<std::size_t>(s.num_tasks()))
+        << name;
+    for (core::TaskId id = 0; id < s.num_tasks(); ++id) {
+      EXPECT_EQ(s.task_width(id), static_cast<int>(s.task_cores(id).size()))
+          << name << " task " << id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptask::sched

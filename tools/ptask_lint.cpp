@@ -15,7 +15,7 @@
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/npb/multizone.hpp"
 #include "ptask/ode/graph_gen.hpp"
-#include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/registry.hpp"
 #include "ptask/sched/schedule.hpp"
 
 namespace {
@@ -26,6 +26,7 @@ struct Options {
   std::vector<std::string> programs;  // empty = all
   int steps = 2;
   std::string machine = "chic";
+  std::string scheduler = "layer";
   int cores = 16;
   bool schedule = false;
   bool json = false;
@@ -47,8 +48,11 @@ void usage(std::ostream& os) {
         "  --machine NAME   machine preset: chic|juropa|altix (default: chic)\n"
         "  --cores N        symbolic core count P for cost checks and\n"
         "                   scheduling (default: 16)\n"
-        "  --schedule       also run the layer scheduler and the schedule\n"
+        "  --schedule       also run the selected scheduler and the schedule\n"
         "                   lints (PTA040/PTA041)\n"
+        "  --scheduler NAME scheduling strategy for --schedule, from the\n"
+        "                   registry: layer|cpa|mcpa|cpr|dp|portfolio\n"
+        "                   (default: layer)\n"
         "  --json           JSON output instead of text\n"
         "  --warnings-as-errors  exit 1 on warnings too\n"
         "  --codes          list all diagnostic codes and exit\n"
@@ -86,6 +90,25 @@ core::TaskGraph build_graph(const std::string& name, int steps) {
   return program;
 }
 
+/// Schedules `graph` with the registry strategy selected by --scheduler and
+/// merges the schedule lints: the canonical-schedule lint (native
+/// representation) plus, for layered strategies, the Gantt lints of the
+/// lowered view.
+void lint_schedule(analysis::Report& report, const analysis::Analyzer& analyzer,
+                   const core::TaskGraph& graph, const Options& opt,
+                   const cost::CostModel& cost) {
+  const sched::Schedule schedule =
+      sched::SchedulerRegistry::instance()
+          .make(opt.scheduler, cost)
+          ->run(graph, opt.cores);
+  report.merge(analyzer.lint(schedule, cost), "schedule");
+  if (schedule.has_layers()) {
+    report.merge(
+        analyzer.lint(schedule.scheduled_graph(), schedule.gantt, cost),
+        "gantt");
+  }
+}
+
 analysis::Report lint_program(const std::string& name, const Options& opt,
                               const arch::Machine& machine) {
   const analysis::Analyzer analyzer;
@@ -98,25 +121,14 @@ analysis::Report lint_program(const std::string& name, const Options& opt,
     core::TaskGraph flat = core::flatten(spec, opt.steps);
     flat.add_start_stop_markers();
     const cost::CostModel cost(machine);
-    const sched::LayerScheduler scheduler(cost);
-    const sched::LayeredSchedule schedule =
-        scheduler.schedule(flat, opt.cores);
-    report.merge(analyzer.lint(schedule, cost), "schedule");
+    lint_schedule(report, analyzer, flat, opt, cost);
     return report;
   }
   const core::TaskGraph graph = build_graph(name, opt.steps);
   report = analyzer.analyze(graph, machine, opt.cores);
   if (!opt.schedule) return report;
   const cost::CostModel cost(machine);
-  const sched::LayerScheduler scheduler(cost);
-  const sched::LayeredSchedule schedule = scheduler.schedule(graph, opt.cores);
-  report.merge(analyzer.lint(schedule, cost), "schedule");
-  const core::TaskGraph& contracted = schedule.contraction.contracted;
-  const sched::GanttSchedule gantt =
-      sched::to_gantt(schedule, [&](core::TaskId id, int q, int g) {
-        return cost.symbolic_task_time(contracted.task(id), q, g, opt.cores);
-      });
-  report.merge(analyzer.lint(contracted, gantt, cost), "gantt");
+  lint_schedule(report, analyzer, graph, opt, cost);
   return report;
 }
 
@@ -139,6 +151,8 @@ int main(int argc, char** argv) {
       opt.steps = std::atoi(value("--steps"));
     } else if (arg == "--machine") {
       opt.machine = value("--machine");
+    } else if (arg == "--scheduler") {
+      opt.scheduler = value("--scheduler");
     } else if (arg == "--cores") {
       opt.cores = std::atoi(value("--cores"));
     } else if (arg == "--schedule") {
@@ -165,6 +179,15 @@ int main(int argc, char** argv) {
   }
   if (opt.cores < 1) {
     std::cerr << "ptask_lint: --cores must be >= 1\n";
+    return 2;
+  }
+  if (!sched::SchedulerRegistry::instance().contains(opt.scheduler)) {
+    std::cerr << "ptask_lint: unknown scheduler '" << opt.scheduler
+              << "'; known:";
+    for (const std::string& n : sched::SchedulerRegistry::instance().names()) {
+      std::cerr << " " << n;
+    }
+    std::cerr << "\n";
     return 2;
   }
 

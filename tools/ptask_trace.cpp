@@ -34,6 +34,8 @@
 #include "ptask/ode/spmd_solvers.hpp"
 #include "ptask/rt/executor.hpp"
 #include "ptask/sched/layer_scheduler.hpp"
+#include "ptask/sched/pipeline.hpp"
+#include "ptask/sched/registry.hpp"
 #include "ptask/sched/timeline.hpp"
 
 namespace {
@@ -44,6 +46,7 @@ struct Options {
   std::string program = "ode_irk";
   std::string out;  // default: <program>.trace.json
   std::string machine = "chic";
+  std::string scheduler = "layer";
   int cores = 8;
   int steps = 2;
   bool selfcheck = false;
@@ -66,6 +69,9 @@ void usage(std::ostream& os) {
         "  --cores N       core count (default: 8)\n"
         "  --steps N       time steps to execute / unroll (default: 2)\n"
         "  --machine NAME  machine preset: chic|juropa|altix (default: chic)\n"
+        "  --scheduler NAME scheduling strategy from the registry:\n"
+        "                  layer|cpa|mcpa|cpr|dp|portfolio (default: layer);\n"
+        "                  real-execution programs need a layered strategy\n"
         "  --selfcheck     re-parse the emitted JSON and validate its\n"
         "                  structure (exit 1 on failure)\n"
         "  --quiet         suppress the summary and calibration output\n"
@@ -77,7 +83,36 @@ struct RunOutput {
   std::vector<obs::Span> trace_spans;        ///< what goes into the file
   std::vector<obs::Span> calibration_spans;  ///< what calibrate() joins
   sched::LayeredSchedule schedule;
+  bool has_calibration = true;  ///< allocation-only strategies skip the table
 };
+
+/// The strategy selected by --scheduler.  "layer" honours the
+/// program-specific pass options (e.g. ode_irk's fixed group count); every
+/// other name is instantiated from the registry with its defaults.
+std::unique_ptr<sched::Scheduler> make_scheduler(
+    const std::string& name, const cost::CostModel& cost,
+    sched::LayerSchedulerOptions layer_opts = {}) {
+  if (name == "layer") {
+    return std::make_unique<sched::Pipeline>(
+        sched::Pipeline::algorithm1(cost, layer_opts));
+  }
+  return sched::SchedulerRegistry::instance().make(name, cost);
+}
+
+/// Schedules `g` with the selected strategy for real execution; throws when
+/// the strategy yields no layer structure (the executor needs one).
+sched::LayeredSchedule schedule_for_execution(
+    const Options& opt, const cost::CostModel& cost, const core::TaskGraph& g,
+    sched::LayerSchedulerOptions layer_opts) {
+  sched::Schedule s =
+      make_scheduler(opt.scheduler, cost, layer_opts)->run(g, opt.cores);
+  if (!s.has_layers()) {
+    throw std::invalid_argument("scheduler '" + opt.scheduler +
+                                "' produces no layered schedule; real "
+                                "execution needs one (use layer|dp)");
+  }
+  return std::move(s.layered);
+}
 
 /// Executes a real ODE time-step program on the runtime with tracing on.
 RunOutput run_real(const Options& opt, const cost::CostModel& cost) {
@@ -98,8 +133,7 @@ RunOutput run_real(const Options& opt, const cost::CostModel& cost) {
       ode::SpmdEpolStep program(system, 4, t, h, y);
       const core::TaskGraph g = program.build_graph();
       if (!have_schedule) {
-        out.schedule =
-            sched::LayerScheduler(cost, sopts).schedule(g, opt.cores);
+        out.schedule = schedule_for_execution(opt, cost, g, sopts);
         have_schedule = true;
       }
       std::vector<rt::TaskFn> fns = program.build_functions(g);
@@ -119,8 +153,7 @@ RunOutput run_real(const Options& opt, const cost::CostModel& cost) {
       ode::SpmdIrkStep program(system, stages, 2, t, h, y);
       const core::TaskGraph g = program.build_graph();
       if (!have_schedule) {
-        out.schedule =
-            sched::LayerScheduler(cost, sopts).schedule(g, opt.cores);
+        out.schedule = schedule_for_execution(opt, cost, g, sopts);
         have_schedule = true;
       }
       std::vector<rt::TaskFn> fns = program.build_functions(g);
@@ -163,12 +196,40 @@ core::TaskGraph build_graph(const std::string& name, int steps) {
 /// Schedules + maps one specification program and runs the discrete-event
 /// simulator in trace mode.  The calibration spans come from the symbolic
 /// Gantt timeline, so the report is the exact-model differential oracle.
+/// Allocation-only strategies (cpa/mcpa/cpr) have no group structure to map
+/// into the simulator; their trace spans are synthesized straight from the
+/// Gantt slots and the calibration table is skipped.
 RunOutput run_simulated(const Options& opt, const arch::Machine& machine,
                         const cost::CostModel& cost) {
   RunOutput out;
   const core::TaskGraph graph = build_graph(opt.program, opt.steps);
-  out.schedule = sched::LayerScheduler(cost).schedule(graph, opt.cores);
+  sched::Schedule schedule =
+      make_scheduler(opt.scheduler, cost)->run(graph, opt.cores);
 
+  if (!schedule.has_layers()) {
+    const core::TaskGraph& g = schedule.scheduled_graph();
+    for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+      const sched::TaskSlot& slot =
+          schedule.gantt.slots[static_cast<std::size_t>(id)];
+      if (slot.cores.empty()) continue;  // marker
+      obs::Span span;
+      span.kind = obs::SpanKind::Task;
+      span.clock = obs::ClockDomain::Simulated;
+      span.name = g.task(id).name();
+      span.task = id;
+      span.contracted = id;
+      span.worker = slot.cores.front();
+      span.group_size = slot.num_cores();
+      span.begin_s = slot.start;
+      span.end_s = slot.finish;
+      out.trace_spans.push_back(std::move(span));
+    }
+    out.schedule = std::move(schedule.layered);
+    out.has_calibration = false;
+    return out;
+  }
+
+  out.schedule = std::move(schedule.layered);
   const std::vector<cost::LayerLayout> layouts = map::map_schedule(
       out.schedule, machine, map::Strategy::Consecutive);
   sched::TimelineOptions topts;
@@ -177,12 +238,9 @@ RunOutput run_simulated(const Options& opt, const arch::Machine& machine,
       sched::TimelineEvaluator(cost).simulate(out.schedule, layouts, topts);
   out.trace_spans = obs::spans_from_sim(result);
 
-  const core::TaskGraph& contracted = out.schedule.contraction.contracted;
-  const sched::GanttSchedule gantt =
-      sched::to_gantt(out.schedule, [&](core::TaskId id, int q, int g) {
-        return cost.symbolic_task_time(contracted.task(id), q, g, opt.cores);
-      });
-  out.calibration_spans = obs::spans_from_gantt(out.schedule, gantt);
+  // canonical() already lowered the layered schedule with the scheduler's
+  // own symbolic costs; its Gantt view is exactly the calibration timeline.
+  out.calibration_spans = obs::spans_from_gantt(out.schedule, schedule.gantt);
   return out;
 }
 
@@ -275,6 +333,8 @@ int main(int argc, char** argv) {
       opt.steps = std::atoi(value("--steps"));
     } else if (arg == "--machine") {
       opt.machine = value("--machine");
+    } else if (arg == "--scheduler") {
+      opt.scheduler = value("--scheduler");
     } else if (arg == "--selfcheck") {
       opt.selfcheck = true;
     } else if (arg == "--quiet") {
@@ -301,6 +361,22 @@ int main(int argc, char** argv) {
   }
   if (opt.cores < 1 || opt.steps < 1) {
     std::cerr << "ptask_trace: --cores and --steps must be >= 1\n";
+    return 2;
+  }
+  if (!sched::SchedulerRegistry::instance().contains(opt.scheduler)) {
+    std::cerr << "ptask_trace: unknown scheduler '" << opt.scheduler
+              << "'; known:";
+    for (const std::string& n : sched::SchedulerRegistry::instance().names()) {
+      std::cerr << " " << n;
+    }
+    std::cerr << "\n";
+    return 2;
+  }
+  if (opt.program == "ode_irk" && opt.scheduler != "layer") {
+    // The task-parallel IRK bodies communicate over orthogonal groups and
+    // require exactly K concurrent groups -- only the layer strategy's
+    // fixed-group mode produces that structure.
+    std::cerr << "ptask_trace: ode_irk requires --scheduler layer\n";
     return 2;
   }
   if (opt.out.empty()) opt.out = opt.program + ".trace.json";
@@ -343,8 +419,13 @@ int main(int argc, char** argv) {
     std::cout << "wrote " << run.trace_spans.size() << " spans to " << opt.out
               << " (open at ui.perfetto.dev)\n";
     std::cout << obs::render_summary(run.trace_spans, obs::metrics());
-    std::cout << obs::render_calibration(
-        obs::calibrate(run.calibration_spans, run.schedule, cost));
+    if (run.has_calibration) {
+      std::cout << obs::render_calibration(
+          obs::calibrate(run.calibration_spans, run.schedule, cost));
+    } else {
+      std::cout << "(no calibration table: scheduler '" << opt.scheduler
+                << "' produces no layered timeline)\n";
+    }
   }
 
   if (opt.selfcheck && !selfcheck(opt.out)) return 1;
