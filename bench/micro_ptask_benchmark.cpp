@@ -21,6 +21,8 @@
 #include "bench_common.hpp"
 #include "ptask/core/graph_algorithms.hpp"
 #include "ptask/dist/redistribution.hpp"
+#include "ptask/fuzz/generator.hpp"
+#include "ptask/fuzz/rng.hpp"
 #include "ptask/net/collectives.hpp"
 #include "ptask/ode/graph_gen.hpp"
 #include "ptask/rt/executor.hpp"
@@ -59,6 +61,119 @@ void BM_LayerScheduler(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LayerScheduler)->Arg(64)->Arg(256)->Arg(1024);
+
+// Large fuzz-family instances for the scheduler hot-path benchmarks
+// (ISSUE: memoized costs, heap LPT, pruned group search, parallel layers).
+// Seeds were probed so the graphs land in the 5k-50k task range with wide
+// layers; edge density is kept low so graph construction stays cheap
+// relative to scheduling.
+
+/// ~50k tasks, layers up to 1024 wide (fuzz Layered family, fixed seed).
+const core::TaskGraph& large_layered_graph() {
+  static const core::TaskGraph graph = [] {
+    fuzz::GeneratorParams params;
+    params.max_width = 1024;
+    params.max_depth = 150;
+    params.edge_density = 0.01;
+    fuzz::Rng rng(fuzz::substream(0xB16B00ull, 2));
+    return fuzz::layered_graph(rng, params);
+  }();
+  return graph;
+}
+
+/// ~6k tasks, layers up to 256 wide (portfolio-sized sibling).
+const core::TaskGraph& medium_layered_graph() {
+  static const core::TaskGraph graph = [] {
+    fuzz::GeneratorParams params;
+    params.max_width = 256;
+    params.max_depth = 40;
+    params.edge_density = 0.02;
+    fuzz::Rng rng(fuzz::substream(0x5CA1Eull, 1));
+    return fuzz::layered_graph(rng, params);
+  }();
+  return graph;
+}
+
+void BM_LayerSchedulerLarge(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 64);
+  const cost::CostModel cost(m);
+  const core::TaskGraph& g = large_layered_graph();
+  const sched::LayerScheduler scheduler(cost);  // all optimizations on
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g, cores));
+  }
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_LayerSchedulerLarge)->Arg(1024)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_LayerSchedulerLargeParallel(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 64);
+  const cost::CostModel cost(m);
+  const core::TaskGraph& g = large_layered_graph();
+  sched::LayerSchedulerOptions options;
+  options.parallel_layers = 8;
+  const sched::LayerScheduler scheduler(cost, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g, cores));
+  }
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_LayerSchedulerLargeParallel)->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+// The optimization-disabled reference path on the same instance -- the
+// denominator of the speedup recorded in BENCH_micro.json.  Pinned to one
+// iteration and one repetition (overriding --benchmark_repetitions): the
+// naive group search on 50k tasks x 4096 cores takes ~40 s, and a single
+// sample is plenty for a >20x headline ratio.
+void BM_LayerSchedulerLargeBaseline(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 64);
+  const cost::CostModel cost(m);
+  const core::TaskGraph& g = large_layered_graph();
+  sched::LayerSchedulerOptions options;
+  options.cost_cache = false;
+  options.heap_lpt = false;
+  options.prune_group_search = false;
+  options.parallel_layers = 1;
+  const sched::LayerScheduler scheduler(cost, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(g, cores));
+  }
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_LayerSchedulerLargeBaseline)->Arg(4096)->Iterations(1)
+    ->Repetitions(1)->Unit(benchmark::kMillisecond);
+
+void BM_PortfolioScheduleLarge(benchmark::State& state) {
+  const int cores = static_cast<int>(state.range(0));
+  const arch::Machine m = machine(cores / 64);
+  const cost::CostModel cost(m);
+  const core::TaskGraph& g = medium_layered_graph();
+  // Restricted to the strategies that stay tractable at this size: cpa is
+  // ~18 s and cpr runs into minutes on 6k tasks x 1024 cores, which would
+  // drown the hot-path + shared-cache signal this benchmark tracks.
+  sched::PortfolioOptions options;
+  options.strategies = {"layer", "dp", "mcpa"};
+  const sched::PortfolioScheduler scheduler(cost, options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.run(g, cores));
+  }
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_PortfolioScheduleLarge)->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_CpaScheduler(benchmark::State& state) {
   const int cores = static_cast<int>(state.range(0));

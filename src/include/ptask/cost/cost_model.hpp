@@ -51,6 +51,7 @@ struct LayerLayout {
 class CostModel {
  public:
   explicit CostModel(arch::Machine machine);
+  virtual ~CostModel() = default;
 
   const arch::Machine& machine() const { return machine_; }
 
@@ -66,9 +67,12 @@ class CostModel {
   double symbolic_comm_time(const core::MTask& task, int q, int num_groups,
                             int total_cores) const;
 
-  /// Tsymb(M, q) = compute + comm (paper Section 3.2).
-  double symbolic_task_time(const core::MTask& task, int q, int num_groups,
-                            int total_cores) const;
+  /// Tsymb(M, q) = compute + comm (paper Section 3.2).  Virtual so that
+  /// memoizing wrappers (cost::CachedCostModel) can substitute for the
+  /// plain model on scheduler hot paths; any override must return the
+  /// bit-identical value this implementation computes.
+  virtual double symbolic_task_time(const core::MTask& task, int q,
+                                    int num_groups, int total_cores) const;
 
   // ---- mapped costs (placement-aware) ----
 

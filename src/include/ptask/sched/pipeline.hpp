@@ -45,6 +45,14 @@ struct PassContext {
   int total_cores = 0;
   LayerSchedulerOptions options;
 
+  /// The model passes should price through: the invocation's shared
+  /// cost::CachedCostModel when options.cost_cache is on (owned below, or
+  /// a caller-provided cache such as the portfolio's), otherwise `cost`.
+  /// Null in hand-built contexts; passes fall back to `cost`.
+  const cost::CostModel* pricing = nullptr;
+  /// Keeps a pipeline-created cache alive for the invocation.
+  std::shared_ptr<const cost::CostModel> owned_cache;
+
   // ---- working state (produced/consumed along the pass chain) ----
   core::ChainContraction contraction;                 ///< ContractChains
   std::vector<std::vector<core::TaskId>> layer_tasks; ///< Layerize

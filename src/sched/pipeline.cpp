@@ -1,11 +1,18 @@
 #include "ptask/sched/pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
 #include <limits>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
+#include <unordered_map>
 #include <utility>
 
+#include "ptask/cost/cached_model.hpp"
 #include "ptask/obs/metrics.hpp"
 #include "ptask/obs/trace.hpp"
 
@@ -13,46 +20,259 @@ namespace ptask::sched {
 
 namespace {
 
-/// One LPT (modified Sahni) evaluation: sorts `order` by decreasing task
-/// time under `sizes` and greedily assigns each task to the least-loaded
-/// group.  `order` is carried across candidate group counts of the same
-/// layer, exactly like the pre-pass monolith did, so tie-breaks -- and
-/// therefore schedules -- are bit-identical to the historical algorithm.
-struct LptResult {
-  std::vector<int> task_group;
-  double time = 0.0;
+/// Non-virtual evaluation target for the layer sweep's row fills: calling
+/// `model.BaseModel::symbolic_task_time(...)` computes the plain-model
+/// double directly, bypassing CachedCostModel's shard lock and insert for
+/// keys the per-layer row memo already deduplicates (and that would never
+/// repeat in the shared cache anyway).
+using BaseModel = cost::CostModel;
+
+/// The model passes price through: the invocation's memoizing cache when
+/// the pipeline installed one, the plain cost model otherwise (hand-built
+/// contexts).  Either way the returned values are bit-identical.
+const cost::CostModel& pricing_model(const PassContext& ctx) {
+  return ctx.pricing != nullptr ? *ctx.pricing : *ctx.cost;
+}
+
+/// Per-layer working buffers, reused across the candidate group counts of
+/// the layer (and across layers of one worker) so the candidate loop does
+/// no per-candidate allocation.
+struct LayerScratch {
+  std::vector<std::size_t> order;     ///< LPT order, carried across candidates
+  std::vector<double> time;           ///< patched times at the large size
+  std::vector<double> time_lo;        ///< patched times at the small size
+  std::vector<double> accumulated;    ///< scan-mode group loads
+  std::vector<int> task_group;        ///< candidate assignment
+  std::vector<std::pair<double, int>> heap;  ///< (load, group) min-heap
+  /// Shared time rows: group size q -> per-task symbolic time.  Valid for
+  /// tasks without orthogonal collectives (their time is independent of
+  /// the candidate's group count), which is what lets the ~min(P, n)
+  /// candidate counts of a layer share only O(sqrt(P)) distinct rows.
+  std::unordered_map<int, std::vector<double>> rows;
+  std::vector<std::size_t> ortho;     ///< tasks with orthogonal collectives
+  /// Compute-only pruning bounds per group size: (max, sum) over tasks of
+  /// work / (min(q, max_cores) * flops).
+  std::unordered_map<int, std::pair<double, double>> compute_bounds;
 };
 
-LptResult lpt_assign(const core::TaskGraph& graph,
-                     const std::vector<core::TaskId>& tasks,
-                     const std::vector<int>& sizes, int num_groups,
-                     int total_cores, const cost::CostModel& cost,
-                     std::vector<std::size_t>& order) {
-  // Sort tasks by decreasing execution time on a group of this size.
-  std::vector<double> time(tasks.size());
-  for (std::size_t i = 0; i < tasks.size(); ++i) {
-    time[i] = cost.symbolic_task_time(graph.task(tasks[i]), sizes[0],
-                                      num_groups, total_cores);
-  }
-  std::sort(order.begin(), order.end(),
-            [&](std::size_t a, std::size_t b) { return time[a] > time[b]; });
+struct PruneStats {
+  std::uint64_t pruned = 0;
+  std::uint64_t evaluated = 0;
+};
 
-  // Greedy assignment: each task onto the group with the smallest
-  // accumulated execution time (modified Sahni algorithm, line 10).
-  std::vector<double> accumulated(static_cast<std::size_t>(num_groups), 0.0);
-  LptResult result;
-  result.task_group.assign(tasks.size(), 0);
-  for (std::size_t i : order) {
-    const std::size_t target = static_cast<std::size_t>(
-        std::min_element(accumulated.begin(), accumulated.end()) -
-        accumulated.begin());
-    const double t = cost.symbolic_task_time(graph.task(tasks[i]),
-                                             sizes[target], num_groups,
-                                             total_cores);
-    accumulated[target] += t;
-    result.task_group[i] = static_cast<int>(target);
+/// One layer of Algorithm 1: evaluate every candidate group count with an
+/// equal core split and the modified Sahni greedy assignment, keep the best.
+///
+/// Bit-identity contract: for any combination of the LayerSchedulerOptions
+/// performance knobs this computes the byte-identical ScheduledLayer of the
+/// historical monolith (tests/pipeline_test.cpp pins it against a verbatim
+/// copy).  The invariants that make that hold:
+///  * `order` is sorted for *every* candidate, pruned ones included --
+///    std::sort is unstable, so the carried order (and with it the
+///    placement of equal-time tasks in the winning candidate) depends on
+///    the full sort history;
+///  * the heap pops the lowest-index minimum load, exactly the group
+///    std::min_element scans to;
+///  * memoized times are the same doubles the plain model computes;
+///  * pruning uses true lower bounds (compute share at the largest group
+///    size; the averaged bound is deflated by the worst-case summation
+///    error), so a pruned candidate can never have beaten the incumbent.
+ScheduledLayer schedule_layer(const core::TaskGraph& graph,
+                              const std::vector<core::TaskId>& tasks,
+                              const std::vector<int>& candidates, int P,
+                              const cost::CostModel& cost,
+                              const LayerSchedulerOptions& opt,
+                              LayerScratch& s, PruneStats& stats) {
+  const std::size_t n = tasks.size();
+  ScheduledLayer best;
+  if (candidates.empty()) return best;
+
+  s.order.resize(n);
+  std::iota(s.order.begin(), s.order.end(), 0);
+  s.rows.clear();
+  s.compute_bounds.clear();
+  s.ortho.clear();
+  const bool cached = opt.cost_cache;
+  if (cached) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (cost::CachedCostModel::depends_on_num_groups(graph.task(tasks[i]))) {
+        s.ortho.push_back(i);
+      }
+    }
   }
-  result.time = *std::max_element(accumulated.begin(), accumulated.end());
+
+  // Fills (once) the shared time row for group size q; entries of tasks
+  // with orthogonal collectives stay 0 and are patched per candidate.
+  // Row fills and patches call the base model non-virtually: the rows ARE
+  // the memo here, and routing millions of never-repeating (task, q, g)
+  // keys through the shared CachedCostModel would be pure shard-lock and
+  // hash-insert overhead.  The qualified call computes the exact same
+  // doubles the cache would have stored.
+  const auto shared_row = [&](int q, int g) -> const std::vector<double>& {
+    auto [it, inserted] = s.rows.try_emplace(q);
+    if (inserted) {
+      it->second.assign(n, 0.0);
+      std::size_t next_ortho = 0;  // s.ortho is ascending
+      for (std::size_t i = 0; i < n; ++i) {
+        if (next_ortho < s.ortho.size() && s.ortho[next_ortho] == i) {
+          ++next_ortho;
+          continue;
+        }
+        it->second[i] =
+            cost.BaseModel::symbolic_task_time(graph.task(tasks[i]), q, g, P);
+      }
+    }
+    return it->second;
+  };
+  // The layer's times at group size q under g groups; `into` receives the
+  // patched copy when the layer has orthogonal tasks.
+  const auto times_at = [&](int q, int g,
+                            std::vector<double>& into) -> const double* {
+    const std::vector<double>& row = shared_row(q, g);
+    if (s.ortho.empty()) return row.data();
+    into = row;
+    for (const std::size_t i : s.ortho) {
+      into[i] =
+          cost.BaseModel::symbolic_task_time(graph.task(tasks[i]), q, g, P);
+    }
+    return into.data();
+  };
+
+  double best_time = std::numeric_limits<double>::infinity();
+  int best_g = 0;
+
+  for (const int g : candidates) {
+    const int q_lo = P / g;
+    const int rem = P % g;
+    const int q_top = rem > 0 ? q_lo + 1 : q_lo;  // == equal_group_sizes[0]
+
+    // Times at the first (largest) group size drive the LPT sort.
+    const double* time_top = nullptr;
+    if (cached) {
+      time_top = times_at(q_top, g, s.time);
+    } else {
+      s.time.resize(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        s.time[i] = cost.symbolic_task_time(graph.task(tasks[i]), q_top, g, P);
+      }
+      time_top = s.time.data();
+    }
+
+    // The sort runs for every candidate, pruned ones included: `order`
+    // carries across candidates (historical tie-break semantics), and
+    // skipping an unstable sort could permute equal-time tasks of a later
+    // winning candidate.
+    std::sort(s.order.begin(), s.order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return time_top[a] > time_top[b];
+              });
+
+    if (opt.prune_group_search &&
+        best_time < std::numeric_limits<double>::infinity()) {
+      auto [it, inserted] = s.compute_bounds.try_emplace(q_top);
+      if (inserted) {
+        double max_c = 0.0;
+        double sum_c = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double c =
+              cost.symbolic_compute_time(graph.task(tasks[i]), q_top);
+          max_c = std::max(max_c, c);
+          sum_c += c;
+        }
+        it->second = {max_c, sum_c};
+      }
+      // max_c lower-bounds the makespan exactly: every task's time is at
+      // least its compute share at the largest group size.  The averaged
+      // bound (total compute spread over g groups) is deflated by the
+      // worst-case summation error so rounding can never prune a candidate
+      // that would have won.
+      const double safety =
+          1.0 - 8.0 * static_cast<double>(n + 2) *
+                    std::numeric_limits<double>::epsilon();
+      const double lower_bound =
+          std::max(it->second.first,
+                   it->second.second / static_cast<double>(g) * safety);
+      if (lower_bound >= best_time) {
+        ++stats.pruned;
+        continue;
+      }
+    }
+    ++stats.evaluated;
+
+    const double* time_lo = time_top;
+    if (cached && rem > 0) time_lo = times_at(q_lo, g, s.time_lo);
+
+    s.task_group.assign(n, 0);
+    double layer_time = 0.0;
+    if (opt.heap_lpt) {
+      // Greedy assignment via a (load, group) min-heap: the heap minimum
+      // under lexicographic pair order is the lowest-index minimum load --
+      // exactly what the linear scan's std::min_element picks -- and each
+      // group accumulates the same time sequence, so the assignment is
+      // bit-identical at O(n log g) instead of O(n g).
+      s.heap.clear();
+      for (int gi = 0; gi < g; ++gi) s.heap.emplace_back(0.0, gi);
+      // All-zero loads with ascending indices already form a min-heap.
+      for (const std::size_t i : s.order) {
+        std::pop_heap(s.heap.begin(), s.heap.end(), std::greater<>{});
+        auto& [load, gi] = s.heap.back();
+        const double t =
+            cached ? (gi < rem ? time_top[i] : time_lo[i])
+                   : cost.symbolic_task_time(graph.task(tasks[i]),
+                                             q_lo + (gi < rem ? 1 : 0), g, P);
+        load += t;
+        s.task_group[i] = gi;
+        std::push_heap(s.heap.begin(), s.heap.end(), std::greater<>{});
+      }
+      for (const auto& [load, gi] : s.heap) {
+        layer_time = std::max(layer_time, load);
+      }
+    } else {
+      // Reference path: each task onto the group with the smallest
+      // accumulated execution time (modified Sahni algorithm, line 10).
+      s.accumulated.assign(static_cast<std::size_t>(g), 0.0);
+      for (const std::size_t i : s.order) {
+        const std::size_t target = static_cast<std::size_t>(
+            std::min_element(s.accumulated.begin(), s.accumulated.end()) -
+            s.accumulated.begin());
+        const int gi = static_cast<int>(target);
+        const double t =
+            cached ? (gi < rem ? time_top[i] : time_lo[i])
+                   : cost.symbolic_task_time(graph.task(tasks[i]),
+                                             q_lo + (gi < rem ? 1 : 0), g, P);
+        s.accumulated[target] += t;
+        s.task_group[i] = gi;
+      }
+      layer_time =
+          *std::max_element(s.accumulated.begin(), s.accumulated.end());
+    }
+
+    if (layer_time < best_time) {
+      best_time = layer_time;
+      best_g = g;
+      best.task_group.swap(s.task_group);
+      best.predicted_time = layer_time;
+    }
+  }
+
+  if (best_g > 0) {
+    // Materialized once for the winner instead of per improving candidate.
+    best.tasks = tasks;
+    best.group_sizes = equal_group_sizes(P, best_g);
+  }
+  return best;
+}
+
+/// Moves the pass results out of `ctx` and accumulates the predicted
+/// makespan -- the shared tail of Pipeline::run and Pipeline::run_layered.
+LayeredSchedule finalize_layered(PassContext& ctx) {
+  LayeredSchedule result;
+  result.total_cores = ctx.total_cores;
+  result.contraction = std::move(ctx.contraction);
+  result.layers = std::move(ctx.layers);
+  for (const ScheduledLayer& layer : result.layers) {
+    result.predicted_makespan += layer.predicted_time;
+  }
   return result;
 }
 
@@ -100,36 +320,69 @@ void AssignLPT::run(PassContext& ctx) const {
   if (ctx.group_candidates.size() != ctx.layer_tasks.size()) {
     throw std::logic_error("AssignLPT requires GroupSearch candidates");
   }
+  static obs::Counter& pruned_counter =
+      obs::metrics().counter("sched.prune.pruned");
+  static obs::Counter& evaluated_counter =
+      obs::metrics().counter("sched.prune.evaluated");
+
   const core::TaskGraph& contracted = ctx.contraction.contracted;
   const int P = ctx.total_cores;
+  const cost::CostModel& cost = pricing_model(ctx);
+  const std::size_t n_layers = ctx.layer_tasks.size();
   ctx.layers.clear();
-  ctx.layers.reserve(ctx.layer_tasks.size());
-  for (std::size_t li = 0; li < ctx.layer_tasks.size(); ++li) {
-    const std::vector<core::TaskId>& tasks = ctx.layer_tasks[li];
-    ScheduledLayer best;
-    double best_time = std::numeric_limits<double>::infinity();
-    std::vector<std::size_t> order(tasks.size());
-    std::iota(order.begin(), order.end(), 0);
-    for (const int g : ctx.group_candidates[li]) {
-      const std::vector<int> sizes = equal_group_sizes(P, g);
-      LptResult lpt =
-          lpt_assign(contracted, tasks, sizes, g, P, *ctx.cost, order);
-      if (lpt.time < best_time) {
-        best_time = lpt.time;
-        best.tasks = tasks;
-        best.group_sizes = sizes;
-        best.task_group = std::move(lpt.task_group);
-        best.predicted_time = lpt.time;
-      }
+  ctx.layers.resize(n_layers);
+
+  // Layers are independent and `order` is per-layer, so the worker split
+  // cannot change any tie-break: parallel == serial, byte for byte.
+  std::atomic<std::size_t> next{0};
+  const auto run_layers = [&](PruneStats& stats) {
+    LayerScratch scratch;
+    for (std::size_t li = next.fetch_add(1); li < n_layers;
+         li = next.fetch_add(1)) {
+      ctx.layers[li] =
+          schedule_layer(contracted, ctx.layer_tasks[li],
+                         ctx.group_candidates[li], P, cost, ctx.options,
+                         scratch, stats);
     }
-    ctx.layers.push_back(std::move(best));
+  };
+
+  PruneStats total;
+  const int workers =
+      std::min(ctx.options.parallel_layers, static_cast<int>(n_layers));
+  if (workers <= 1) {
+    run_layers(total);
+  } else {
+    std::vector<PruneStats> stats(static_cast<std::size_t>(workers));
+    std::mutex error_mutex;
+    std::exception_ptr error;
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          run_layers(stats[static_cast<std::size_t>(w)]);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!error) error = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+    if (error) std::rethrow_exception(error);
+    for (const PruneStats& s : stats) {
+      total.pruned += s.pruned;
+      total.evaluated += s.evaluated;
+    }
   }
+  pruned_counter.add(total.pruned);
+  evaluated_counter.add(total.evaluated);
 }
 
 void AdjustGroups::run(PassContext& ctx) const {
   if (!ctx.options.adjust_group_sizes) return;
   obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.adjust");
   const core::TaskGraph& contracted = ctx.contraction.contracted;
+  const cost::CostModel& cost = pricing_model(ctx);
   const int P = ctx.total_cores;
   for (ScheduledLayer& layer : ctx.layers) {
     if (layer.num_groups() <= 1) continue;
@@ -146,7 +399,7 @@ void AdjustGroups::run(PassContext& ctx) const {
         static_cast<std::size_t>(layer.num_groups()), 0.0);
     for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
       const std::size_t gidx = static_cast<std::size_t>(layer.task_group[i]);
-      accumulated[gidx] += ctx.cost->symbolic_task_time(
+      accumulated[gidx] += cost.symbolic_task_time(
           contracted.task(layer.tasks[i]), layer.group_sizes[gidx],
           layer.num_groups(), P);
     }
@@ -184,6 +437,19 @@ PassContext Pipeline::make_context(const core::TaskGraph& graph,
   ctx.cost = cost_;
   ctx.total_cores = total_cores;
   ctx.options = options_;
+  if (options_.cost_cache) {
+    if (dynamic_cast<const cost::CachedCostModel*>(cost_) != nullptr) {
+      // The caller already prices through a cache (e.g. the portfolio's
+      // shared one); reuse it instead of stacking a second level.
+      ctx.pricing = cost_;
+    } else {
+      auto cache = std::make_shared<cost::CachedCostModel>(*cost_);
+      ctx.pricing = cache.get();
+      ctx.owned_cache = std::move(cache);
+    }
+  } else {
+    ctx.pricing = cost_;
+  }
   return ctx;
 }
 
@@ -192,28 +458,17 @@ LayeredSchedule Pipeline::run_layered(const core::TaskGraph& graph,
   obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.schedule");
   PassContext ctx = make_context(graph, total_cores);
   for (const std::unique_ptr<Pass>& pass : passes_) pass->run(ctx);
-  LayeredSchedule result;
-  result.total_cores = total_cores;
-  result.contraction = std::move(ctx.contraction);
-  result.layers = std::move(ctx.layers);
-  for (const ScheduledLayer& layer : result.layers) {
-    result.predicted_makespan += layer.predicted_time;
-  }
-  return result;
+  return finalize_layered(ctx);
 }
 
 Schedule Pipeline::run(const core::TaskGraph& graph, int total_cores) const {
   obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.schedule");
   PassContext ctx = make_context(graph, total_cores);
   for (const std::unique_ptr<Pass>& pass : passes_) pass->run(ctx);
-  LayeredSchedule layered;
-  layered.total_cores = total_cores;
-  layered.contraction = std::move(ctx.contraction);
-  layered.layers = std::move(ctx.layers);
-  for (const ScheduledLayer& layer : layered.layers) {
-    layered.predicted_makespan += layer.predicted_time;
-  }
-  Schedule result = canonical(std::move(layered), *cost_, name_);
+  // Price the Gantt lowering through the same memo the passes filled (the
+  // contraction's task addresses are stable across the move).
+  Schedule result =
+      canonical(finalize_layered(ctx), pricing_model(ctx), name_);
   result.layouts = std::move(ctx.layouts);
   result.notes = std::move(ctx.notes);
   return result;

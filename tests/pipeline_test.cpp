@@ -247,7 +247,9 @@ core::TaskGraph family_graph(fuzz::GraphFamily family, fuzz::Rng& rng) {
 TEST(PipelineEquivalence, ReproducesMonolithOnAllFamilies) {
   // 5 families x 25 seeds = 125 cases with the default options, plus one
   // rotating non-default option set per case (forced groups, no chain
-  // contraction, no adjustment, clipped search).
+  // contraction, no adjustment, clipped search, and each performance knob
+  // flipped away from its default -- the knobs are bit-transparent by
+  // contract, so the reference must still be reproduced exactly).
   const std::uint64_t base =
       fuzz::substream(fuzz::seed_from_env(fuzz::kDefaultFuzzSeed), 0x9191);
   const std::vector<fuzz::GraphFamily> families = {
@@ -255,11 +257,15 @@ TEST(PipelineEquivalence, ReproducesMonolithOnAllFamilies) {
       fuzz::GraphFamily::RandomDag,     fuzz::GraphFamily::OdeSolver,
       fuzz::GraphFamily::NpbMultiZone};
   const std::vector<LayerSchedulerOptions> variants = [] {
-    std::vector<LayerSchedulerOptions> v(4);
+    std::vector<LayerSchedulerOptions> v(8);
     v[0].fixed_groups = 2;
     v[1].contract_chains = false;
     v[2].adjust_group_sizes = false;
     v[3].max_groups = 3;
+    v[4].parallel_layers = 4;
+    v[5].cost_cache = false;
+    v[6].heap_lpt = false;
+    v[7].prune_group_search = false;
     return v;
   }();
 

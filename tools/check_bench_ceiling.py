@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Smoke guard over a BENCH_*.json result file.
+
+Reads the {"benchmarks": [{"name", "median_s", ...}]} document written by
+the benchmark binaries (--json PATH) and fails when any guarded benchmark's
+median wall time exceeds its ceiling.  Ceilings are deliberately generous
+-- an order of magnitude above the expected time on CI hardware -- so the
+guard only trips on genuine regressions (e.g. the scheduler hot-path
+optimizations being disabled or broken), not on runner noise.
+
+Usage:
+  check_bench_ceiling.py BENCH_micro.json \
+      --ceiling BM_LayerSchedulerLarge=30 [--ceiling PREFIX=SECONDS ...]
+
+A PREFIX matches every benchmark whose name equals PREFIX or starts with
+"PREFIX/" (google-benchmark appends "/<arg>" and "/iterations:<n>").
+Exits 1 when a ceiling is exceeded or matches no benchmark at all.
+"""
+
+import argparse
+import json
+import sys
+
+
+def matches(name: str, prefix: str) -> bool:
+    return name == prefix or name.startswith(prefix + "/")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark medians exceed their ceilings.")
+    parser.add_argument("json_path", help="BENCH_*.json result file")
+    parser.add_argument(
+        "--ceiling", action="append", default=[], metavar="PREFIX=SECONDS",
+        help="fail if a matching benchmark's median_s exceeds SECONDS; "
+             "may be repeated")
+    args = parser.parse_args()
+
+    with open(args.json_path, encoding="utf-8") as f:
+        benchmarks = json.load(f).get("benchmarks", [])
+
+    failures = []
+    for spec in args.ceiling:
+        prefix, sep, limit_text = spec.partition("=")
+        if not sep:
+            print(f"error: bad --ceiling '{spec}' (want PREFIX=SECONDS)")
+            return 2
+        limit = float(limit_text)
+        rows = [b for b in benchmarks if matches(b["name"], prefix)]
+        if not rows:
+            failures.append(f"no benchmark in {args.json_path} "
+                            f"matches '{prefix}'")
+            continue
+        for row in rows:
+            median = float(row["median_s"])
+            ok = median <= limit
+            print(f"{'ok  ' if ok else 'FAIL'} {row['name']}: "
+                  f"median {median:.3f}s (ceiling {limit:g}s)")
+            if not ok:
+                failures.append(f"{row['name']} median {median:.3f}s "
+                                f"exceeds ceiling {limit:g}s")
+
+    for failure in failures:
+        print(f"error: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

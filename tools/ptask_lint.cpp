@@ -4,8 +4,10 @@
 // Exit codes: 0 = no findings at the failure threshold, 1 = findings,
 // 2 = usage error.
 
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -15,6 +17,7 @@
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/npb/multizone.hpp"
 #include "ptask/ode/graph_gen.hpp"
+#include "ptask/sched/pipeline.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/sched/schedule.hpp"
 
@@ -56,7 +59,10 @@ void usage(std::ostream& os) {
         "  --json           JSON output instead of text\n"
         "  --warnings-as-errors  exit 1 on warnings too\n"
         "  --codes          list all diagnostic codes and exit\n"
-        "  --help           this message\n";
+        "  --help           this message\n"
+        "environment:\n"
+        "  PTASK_SCHED_PARALLEL_LAYERS=N  schedule independent layers on N\n"
+        "                   threads (layer strategy; same output)\n";
 }
 
 void print_codes() {
@@ -90,17 +96,34 @@ core::TaskGraph build_graph(const std::string& name, int steps) {
   return program;
 }
 
+/// PTASK_SCHED_PARALLEL_LAYERS=N (N > 1) schedules independent layers on N
+/// threads in the layer pipeline; the output is bit-identical either way
+/// (LayerSchedulerOptions::parallel_layers contract).
+int env_parallel_layers() {
+  if (const char* env = std::getenv("PTASK_SCHED_PARALLEL_LAYERS")) {
+    const int n = std::atoi(env);
+    if (n > 1) return n;
+  }
+  return 1;
+}
+
 /// Schedules `graph` with the registry strategy selected by --scheduler and
 /// merges the schedule lints: the canonical-schedule lint (native
 /// representation) plus, for layered strategies, the Gantt lints of the
-/// lowered view.
+/// lowered view.  "layer" honours PTASK_SCHED_PARALLEL_LAYERS.
 void lint_schedule(analysis::Report& report, const analysis::Analyzer& analyzer,
                    const core::TaskGraph& graph, const Options& opt,
                    const cost::CostModel& cost) {
-  const sched::Schedule schedule =
-      sched::SchedulerRegistry::instance()
-          .make(opt.scheduler, cost)
-          ->run(graph, opt.cores);
+  std::unique_ptr<sched::Scheduler> scheduler;
+  if (opt.scheduler == "layer") {
+    sched::LayerSchedulerOptions sopts;
+    sopts.parallel_layers = env_parallel_layers();
+    scheduler = std::make_unique<sched::Pipeline>(
+        sched::Pipeline::algorithm1(cost, sopts));
+  } else {
+    scheduler = sched::SchedulerRegistry::instance().make(opt.scheduler, cost);
+  }
+  const sched::Schedule schedule = scheduler->run(graph, opt.cores);
   report.merge(analyzer.lint(schedule, cost), "schedule");
   if (schedule.has_layers()) {
     report.merge(

@@ -76,7 +76,11 @@ void usage(std::ostream& os) {
         "                  structure (exit 1 on failure)\n"
         "  --quiet         suppress the summary and calibration output\n"
         "  --list          list the built-in programs and exit\n"
-        "  --help          this message\n";
+        "  --help          this message\n"
+        "environment:\n"
+        "  PTASK_SCHED_PARALLEL_LAYERS=N  schedule independent layers on N\n"
+        "                  threads (layer strategy; same output, less wall\n"
+        "                  time on deep graphs)\n";
 }
 
 struct RunOutput {
@@ -86,13 +90,26 @@ struct RunOutput {
   bool has_calibration = true;  ///< allocation-only strategies skip the table
 };
 
+/// PTASK_SCHED_PARALLEL_LAYERS=N (N > 1) schedules independent layers on N
+/// threads in the layer pipeline; the output is bit-identical either way
+/// (LayerSchedulerOptions::parallel_layers contract).
+int env_parallel_layers() {
+  if (const char* env = std::getenv("PTASK_SCHED_PARALLEL_LAYERS")) {
+    const int n = std::atoi(env);
+    if (n > 1) return n;
+  }
+  return 1;
+}
+
 /// The strategy selected by --scheduler.  "layer" honours the
-/// program-specific pass options (e.g. ode_irk's fixed group count); every
-/// other name is instantiated from the registry with its defaults.
+/// program-specific pass options (e.g. ode_irk's fixed group count) plus
+/// the PTASK_SCHED_PARALLEL_LAYERS environment knob; every other name is
+/// instantiated from the registry with its defaults.
 std::unique_ptr<sched::Scheduler> make_scheduler(
     const std::string& name, const cost::CostModel& cost,
     sched::LayerSchedulerOptions layer_opts = {}) {
   if (name == "layer") {
+    layer_opts.parallel_layers = env_parallel_layers();
     return std::make_unique<sched::Pipeline>(
         sched::Pipeline::algorithm1(cost, layer_opts));
   }
