@@ -1,0 +1,71 @@
+#pragma once
+/// \file client.hpp
+/// Blocking client for the ptask_served wire protocol -- used by
+/// `tools/ptask_loadgen`, the serve tests, and anything else that wants a
+/// schedule from a running daemon.
+///
+/// One `Client` owns one persistent connection and issues framed
+/// request/response round trips.  It also exposes the raw byte interface
+/// (`send_raw` + `read_response`) so the fault-injecting load generator can
+/// deliberately send malformed, oversized, or truncated frames and assert
+/// the daemon's structured error behavior.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ptask/serve/protocol.hpp"
+
+namespace ptask::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects to the daemon on `host:port` (throws std::runtime_error).
+  void connect(const std::string& host, int port);
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// One framed round trip: sends `payload`, returns the response payload.
+  /// Throws std::runtime_error when the connection breaks.
+  std::string call(std::string_view payload);
+
+  /// Convenience: serialize + send a schedule request, return the raw
+  /// response payload (JSON text; parse with obs::json or check_ok).
+  std::string schedule(const ScheduleRequest& request);
+
+  /// {"type":"stats"} round trip.
+  std::string stats();
+
+  /// Sends raw bytes without framing (for protocol fault injection).
+  void send_raw(std::string_view bytes);
+
+  /// Reads one framed response; std::nullopt on EOF (server closed the
+  /// connection, e.g. after an oversized frame).
+  std::optional<std::string> read_response();
+
+ private:
+  int fd_ = -1;
+};
+
+/// True when a response payload parses and carries {"ok":true}.
+bool response_ok(std::string_view payload);
+
+/// The "PTS00x" code of an error response, or "" for success/unparseable.
+std::string response_error_code(std::string_view payload);
+
+/// The serialized schedule body of a success response ("" when absent).
+/// Byte-exact extraction: the returned text is the exact sub-range the
+/// server produced with serialize_schedule, so it can be compared against a
+/// local run byte for byte.
+std::string response_schedule_json(std::string_view payload);
+
+}  // namespace ptask::serve

@@ -1,0 +1,144 @@
+#pragma once
+/// \file protocol.hpp
+/// Wire protocol of the scheduling service (`tools/ptask_served`).
+///
+/// Transport: length-prefixed JSON over a byte stream.  Every frame is a
+/// 4-byte big-endian payload length followed by that many bytes of UTF-8
+/// JSON.  A request is one frame; the matching response is one frame on the
+/// same connection; connections are persistent (many request/response pairs
+/// back to back).
+///
+/// Request kinds (the "type" member; default "schedule"):
+///
+///   schedule -- {"type":"schedule", "scheduler":"portfolio",
+///                "total_cores":N, "machine":{...}, "graph":{...}}
+///               Schedules the graph and returns {"ok":true,
+///               "schedule":{...}}.  The schedule body is produced by
+///               `serialize_schedule` and is *canonical*: the same request
+///               content always yields byte-identical bytes, whether the
+///               answer was computed or served from the daemon's cache.
+///   stats    -- {"type":"stats"}  Returns the service counters (requests,
+///               cache hits/misses, per-code error counts, latency
+///               quantiles, in-flight requests).
+///   ping     -- {"type":"ping"}  Returns {"ok":true,"pong":true}.
+///
+/// Errors: {"ok":false, "error":{"code":"PTS00x", "message":"..."}}.
+/// Codes are stable (match on the code, not the message), mirroring the
+/// analyzer's PTA0xx convention:
+///
+///   PTS001  malformed JSON payload
+///   PTS002  bad request (missing/ill-typed fields, bad edge ids, cycle)
+///   PTS003  unknown scheduler name
+///   PTS004  empty graph (zero tasks)
+///   PTS005  request frame larger than the server's configured limit
+///
+/// Every error increments a `serve.error.PTS00x` counter in the metrics
+/// registry.  See docs/SERVICE.md for the full field tables.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "ptask/arch/machine.hpp"
+#include "ptask/core/task_graph.hpp"
+#include "ptask/obs/json.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::serve {
+
+// Stable protocol error codes (use the constants, not string literals).
+inline constexpr std::string_view kErrMalformedJson = "PTS001";
+inline constexpr std::string_view kErrBadRequest = "PTS002";
+inline constexpr std::string_view kErrUnknownScheduler = "PTS003";
+inline constexpr std::string_view kErrEmptyGraph = "PTS004";
+inline constexpr std::string_view kErrTooLarge = "PTS005";
+
+/// One-line description of a protocol error code; empty for unknown codes.
+std::string_view describe_error(std::string_view code);
+
+/// Thrown by request parsing; carries the stable code for the error
+/// response.
+class ProtocolError : public std::runtime_error {
+ public:
+  ProtocolError(std::string_view code, const std::string& message)
+      : std::runtime_error(message), code_(code) {}
+  std::string_view code() const { return code_; }
+
+ private:
+  std::string_view code_;
+};
+
+/// A parsed "schedule" request: everything one scheduler run needs.
+struct ScheduleRequest {
+  std::string scheduler = "portfolio";  ///< SchedulerRegistry name
+  int total_cores = 1;
+  arch::MachineSpec machine;
+  core::TaskGraph graph;
+};
+
+// ---- framing ----
+
+/// Maximum frame length the protocol itself allows (the server usually
+/// configures a smaller limit).
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024u * 1024u;
+
+/// Prepends the 4-byte big-endian length header to `payload`.
+std::string encode_frame(std::string_view payload);
+
+/// Decodes the 4-byte big-endian length header.
+std::uint32_t decode_frame_length(const unsigned char header[4]);
+
+// ---- request serialization (client side) ----
+
+/// Renders a "schedule" request payload (without the frame header).  The
+/// rendering is canonical: field order and number formatting are fixed, and
+/// doubles round-trip exactly (max_digits10), so re-serializing a parsed
+/// request reproduces the same bytes.
+std::string serialize_request(const ScheduleRequest& request);
+
+std::string serialize_machine(const arch::MachineSpec& machine);
+std::string serialize_graph(const core::TaskGraph& graph);
+
+// ---- request parsing (server side) ----
+
+/// Parses a "schedule" request payload.  Throws ProtocolError with the
+/// matching PTS00x code on malformed JSON, missing/ill-typed fields, edge
+/// ids out of range or closing a cycle, unknown scheduler names, and
+/// zero-task graphs.
+ScheduleRequest parse_request(std::string_view payload);
+
+/// The cache key of a request: its canonical re-serialization.  Two
+/// requests get the same key iff they have identical content (scheduler,
+/// cores, machine, graph -- including every task weight), so near-collision
+/// graphs that differ in one weight never share an entry.
+std::string canonical_key(const ScheduleRequest& request);
+
+// ---- response serialization ----
+
+/// Canonical JSON of a schedule: strategy, total cores, makespan, per-task
+/// allocation and Gantt slots, the chain contraction (original-task
+/// members per contracted node), and the layered structure when present.
+/// Diagnostic notes are deliberately excluded -- they may carry wall-clock
+/// timings (portfolio scoreboard) and would break byte-identity between
+/// cached and uncached responses.
+std::string serialize_schedule(const sched::Schedule& schedule);
+
+/// {"ok":true,"schedule":<schedule_json>}
+std::string ok_response(std::string_view schedule_json);
+
+/// {"ok":false,"error":{"code":...,"message":...}}
+std::string error_response(std::string_view code, std::string_view message);
+
+/// {"ok":true,"pong":true}
+std::string pong_response();
+
+// ---- low-level JSON helpers (shared with the stats rendering) ----
+
+/// Appends `text` as a JSON string literal (quoted, escaped).
+void append_json_string(std::string& out, std::string_view text);
+
+/// Appends a double with round-trip precision ("%.17g").
+void append_json_double(std::string& out, double value);
+
+}  // namespace ptask::serve

@@ -1,0 +1,86 @@
+#pragma once
+/// \file schedule_cache.hpp
+/// Sharded whole-schedule memo of the scheduling service.
+///
+/// The cache generalizes `cost::CachedCostModel`'s content-fingerprint idea
+/// from single task times to whole schedules: the key is the request's
+/// *canonical serialization* (scheduler name, core count, machine spec, and
+/// the full graph including every task weight -- see
+/// `serve::canonical_key`), so two requests share an entry iff their
+/// content is identical.  The full key string is compared on lookup (the
+/// hash only picks the shard and bucket), so near-collision requests --
+/// same shape, one weight different -- can never alias.
+///
+/// Entries are *single-flight*: when N threads ask for the same absent key
+/// concurrently, exactly one runs the compute function while the others
+/// block on a shared future and then return the identical bytes.  That
+/// bounds a burst of identical requests to at most one cache miss, the
+/// property the concurrent-correctness test (and the TSan CI preset) pins.
+/// A compute function that throws propagates the exception to every waiter
+/// and removes the entry, so a later request retries instead of caching a
+/// failure.
+///
+/// Values are immutable shared strings (the serialized schedule body), so a
+/// hit hands out the exact bytes the miss computed -- cached responses are
+/// bit-identical to uncached ones by construction.  Hits and misses are
+/// counted per instance and in the global metrics registry
+/// (`serve.cache.hit` / `serve.cache.miss`).
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ptask::serve {
+
+class ScheduleCache {
+ public:
+  static constexpr std::size_t kShards = 16;
+
+  using Entry = std::shared_ptr<const std::string>;
+
+  /// Returns the cached value for `key`, computing it via `compute` when
+  /// absent.  Concurrent callers with the same key block until the single
+  /// in-flight computation finishes.  Exceptions from `compute` propagate
+  /// to all waiters and evict the placeholder entry.
+  Entry get_or_compute(const std::string& key,
+                       const std::function<std::string()>& compute);
+
+  /// Hit/miss accounting (a miss is counted once per computed entry).
+  std::uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::uint64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of completed entries (in-flight placeholders excluded).
+  std::size_t entries() const;
+  /// Total bytes of completed cached values.
+  std::size_t value_bytes() const;
+
+  /// Drops every completed entry (in-flight computations finish and insert
+  /// normally; counters are kept).
+  void clear();
+
+ private:
+  struct Slot {
+    std::shared_future<Entry> future;
+    bool ready = false;  ///< set once the computing thread stored the value
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Slot> entries;
+  };
+
+  Shard& shard_for(const std::string& key);
+
+  std::vector<Shard> shards_{kShards};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace ptask::serve

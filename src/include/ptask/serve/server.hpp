@@ -1,0 +1,111 @@
+#pragma once
+/// \file server.hpp
+/// The scheduling-as-a-service daemon core (`tools/ptask_served` is a thin
+/// main() around this class).
+///
+/// A `Server` listens on a loopback TCP port and answers the length-prefixed
+/// JSON protocol of protocol.hpp.  Connections are handled by a worker-
+/// thread pool (one connection per worker at a time; the pool size bounds
+/// the number of concurrently served clients).  "schedule" requests are
+/// keyed by their canonical serialization and answered from a single-flight
+/// `ScheduleCache`, so a repeated graph/machine/scheduler request costs one
+/// scheduler run process-wide and every response carries byte-identical
+/// schedule bytes.
+///
+/// Shutdown is graceful: `stop()` closes the listener, lets every worker
+/// finish the frame it is processing, answers nothing new, and joins the
+/// pool -- in-flight work is drained, never aborted mid-schedule.
+///
+/// Observability: the server reports through the global metrics registry --
+///   serve.requests          frames successfully read
+///   serve.responses.ok      successful schedule/stats/ping responses
+///   serve.error.PTS00x      one counter per protocol error code
+///   serve.cache.hit/miss    schedule cache accounting (via ScheduleCache)
+///   serve.latency_us        histogram of schedule-request service time
+///   serve.connections       accepted connections
+/// A "stats" request renders these (plus in-flight gauge and uptime) as the
+/// service dashboard.  `rt::FaultOptions::from_env` is honored: with
+/// PTASK_FAULT_* set, workers perturb themselves at request-handling
+/// synchronization points, widening the interleavings the soak test
+/// explores.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptask/rt/fault_injection.hpp"
+#include "ptask/serve/schedule_cache.hpp"
+
+namespace ptask::serve {
+
+struct ServerOptions {
+  /// TCP port to listen on (loopback only); 0 picks an ephemeral port,
+  /// readable via Server::port() once started.
+  int port = 0;
+  /// Worker pool size = max concurrently served connections.
+  int num_workers = 8;
+  /// Frames longer than this are answered with PTS005 and the connection is
+  /// closed (the oversized payload is drained without buffering it).
+  std::uint32_t max_request_bytes = 4u * 1024u * 1024u;
+  /// Fault injection for the soak harness (default: from PTASK_FAULT_* env).
+  rt::FaultOptions faults = rt::FaultOptions::from_env();
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the accept loop + worker pool.  Throws
+  /// std::runtime_error when the port cannot be bound.
+  void start();
+
+  /// Graceful shutdown: stop accepting, drain in-flight frames, join all
+  /// threads.  Idempotent; also run by the destructor.
+  void stop();
+
+  /// The bound port (valid after start()).
+  int port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Requests currently being served (the "stats" in-flight gauge).
+  int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  const ScheduleCache& cache() const { return cache_; }
+
+  /// Renders the stats-response JSON (also used by the daemon's shutdown
+  /// summary and the loadgen artifact).
+  std::string render_stats() const;
+
+ private:
+  void accept_loop();
+  void worker_loop();
+  /// Serves one connection until EOF, error, or shutdown.
+  void serve_connection(int fd);
+  /// Handles one request payload; returns the response payload.
+  std::string handle_payload(std::string_view payload);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> in_flight_{0};
+  std::atomic<std::uint64_t> served_requests_{0};
+  rt::FaultInjector injector_;
+  ScheduleCache cache_;
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  struct ConnectionQueue;
+  std::unique_ptr<ConnectionQueue> queue_;
+};
+
+}  // namespace ptask::serve

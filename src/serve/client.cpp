@@ -1,0 +1,155 @@
+#include "ptask/serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "ptask/obs/json.hpp"
+
+namespace ptask::serve {
+
+namespace {
+
+bool read_exact(int fd, void* buffer, std::size_t length) {
+  auto* out = static_cast<unsigned char*>(buffer);
+  while (length > 0) {
+    const ssize_t n = ::recv(fd, out, length, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out += n;
+    length -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_all(int fd, std::string_view data) {
+  const char* out = data.data();
+  std::size_t length = data.size();
+  while (length > 0) {
+    const ssize_t n = ::send(fd, out, length, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("ptask serve client: send failed");
+    }
+    out += n;
+    length -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+Client::Client(Client&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+void Client::connect(const std::string& host, int port) {
+  close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("ptask serve client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("ptask serve client: bad host '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("ptask serve client: cannot connect to " + host +
+                             ":" + std::to_string(port));
+  }
+}
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::string Client::call(std::string_view payload) {
+  send_raw(encode_frame(payload));
+  std::optional<std::string> response = read_response();
+  if (!response.has_value()) {
+    throw std::runtime_error("ptask serve client: connection closed");
+  }
+  return *std::move(response);
+}
+
+std::string Client::schedule(const ScheduleRequest& request) {
+  return call(serialize_request(request));
+}
+
+std::string Client::stats() { return call("{\"type\":\"stats\"}"); }
+
+void Client::send_raw(std::string_view bytes) {
+  if (fd_ < 0) throw std::runtime_error("ptask serve client: not connected");
+  write_all(fd_, bytes);
+}
+
+std::optional<std::string> Client::read_response() {
+  unsigned char header[4];
+  if (!read_exact(fd_, header, sizeof(header))) return std::nullopt;
+  const std::uint32_t length = decode_frame_length(header);
+  if (length > kMaxFrameBytes) return std::nullopt;
+  std::string payload(length, '\0');
+  if (length > 0 && !read_exact(fd_, payload.data(), payload.size())) {
+    return std::nullopt;
+  }
+  return payload;
+}
+
+bool response_ok(std::string_view payload) {
+  try {
+    const obs::json::Value document = obs::json::parse(payload);
+    const obs::json::Value* ok = document.find("ok");
+    return ok != nullptr && ok->is_bool() && ok->boolean;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+std::string response_error_code(std::string_view payload) {
+  try {
+    const obs::json::Value document = obs::json::parse(payload);
+    if (const obs::json::Value* error = document.find("error")) {
+      if (const obs::json::Value* code = error->find("code")) {
+        if (code->is_string()) return code->string;
+      }
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return {};
+}
+
+std::string response_schedule_json(std::string_view payload) {
+  // ok_response produces exactly {"ok":true,"schedule":<body>}; slicing the
+  // known envelope off preserves the body's bytes untouched.
+  constexpr std::string_view kPrefix = "{\"ok\":true,\"schedule\":";
+  if (payload.size() < kPrefix.size() + 1 ||
+      payload.substr(0, kPrefix.size()) != kPrefix || payload.back() != '}') {
+    return {};
+  }
+  return std::string(
+      payload.substr(kPrefix.size(), payload.size() - kPrefix.size() - 1));
+}
+
+}  // namespace ptask::serve

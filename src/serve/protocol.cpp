@@ -1,0 +1,411 @@
+#include "ptask/serve/protocol.hpp"
+
+#include <cinttypes>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "ptask/sched/registry.hpp"
+
+namespace ptask::serve {
+
+namespace {
+
+using obs::json::Value;
+
+constexpr std::string_view kKindNames[] = {"bcast", "allgather", "allreduce",
+                                           "barrier", "exchange"};
+constexpr std::string_view kScopeNames[] = {"global", "group", "orthogonal"};
+
+[[noreturn]] void bad_request(const std::string& message) {
+  throw ProtocolError(kErrBadRequest, message);
+}
+
+/// Member lookup with a type check; `where` names the enclosing object in
+/// error messages.
+const Value& require(const Value& object, std::string_view key,
+                     Value::Type type, const char* where) {
+  const Value* member = object.find(key);
+  if (member == nullptr) {
+    bad_request(std::string(where) + " is missing member '" +
+                std::string(key) + "'");
+  }
+  if (member->type != type) {
+    bad_request(std::string(where) + " member '" + std::string(key) +
+                "' has the wrong type");
+  }
+  return *member;
+}
+
+double require_number(const Value& object, std::string_view key,
+                      const char* where) {
+  return require(object, key, Value::Type::Number, where).number;
+}
+
+/// A JSON number that must be a finite integer in [lo, hi].
+long long require_int(const Value& object, std::string_view key,
+                      const char* where, long long lo, long long hi) {
+  const double number = require_number(object, key, where);
+  if (!std::isfinite(number) || number != std::floor(number) || number < lo ||
+      number > hi) {
+    bad_request(std::string(where) + " member '" + std::string(key) +
+                "' is not an integer in range");
+  }
+  return static_cast<long long>(number);
+}
+
+core::CollectiveKind parse_kind(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (kKindNames[i] == name) return static_cast<core::CollectiveKind>(i);
+  }
+  bad_request("unknown collective kind '" + name + "'");
+}
+
+core::CommScope parse_scope(const std::string& name) {
+  for (std::size_t i = 0; i < std::size(kScopeNames); ++i) {
+    if (kScopeNames[i] == name) return static_cast<core::CommScope>(i);
+  }
+  bad_request("unknown collective scope '" + name + "'");
+}
+
+core::MTask parse_task(const Value& value, int index) {
+  if (!value.is_object()) bad_request("graph.tasks entries must be objects");
+  const char* where = "task";
+  core::MTask task(require(value, "name", Value::Type::String, where).string,
+                   require_number(value, "work", where));
+  if (!std::isfinite(task.work_flop()) || task.work_flop() < 0.0) {
+    bad_request("task " + std::to_string(index) +
+                " has negative or non-finite work");
+  }
+  task.set_max_cores(
+      static_cast<int>(require_int(value, "max_cores", where, 1, INT_MAX)));
+  task.set_marker(require(value, "marker", Value::Type::Bool, where).boolean);
+  const Value& comms = require(value, "comms", Value::Type::Array, where);
+  for (const Value& comm : comms.array) {
+    if (!comm.is_object()) bad_request("task comms entries must be objects");
+    core::CollectiveOp op;
+    op.kind =
+        parse_kind(require(comm, "kind", Value::Type::String, "comm").string);
+    op.scope =
+        parse_scope(require(comm, "scope", Value::Type::String, "comm").string);
+    op.data_bytes = static_cast<std::size_t>(
+        require_int(comm, "bytes", "comm", 0, (1ll << 53)));
+    op.repeat =
+        static_cast<int>(require_int(comm, "repeat", "comm", 0, INT_MAX));
+    task.add_comm(op);
+  }
+  return task;
+}
+
+arch::MachineSpec parse_machine(const Value& value) {
+  if (!value.is_object()) bad_request("'machine' must be an object");
+  const char* where = "machine";
+  arch::MachineSpec spec;
+  spec.name = require(value, "name", Value::Type::String, where).string;
+  spec.num_nodes =
+      static_cast<int>(require_int(value, "num_nodes", where, 1, 1 << 20));
+  spec.procs_per_node =
+      static_cast<int>(require_int(value, "procs_per_node", where, 1, 1 << 20));
+  spec.cores_per_proc =
+      static_cast<int>(require_int(value, "cores_per_proc", where, 1, 1 << 20));
+  spec.core_flops = require_number(value, "core_flops", where);
+  spec.core_efficiency = require_number(value, "core_efficiency", where);
+  spec.omp_region_overhead_s =
+      require_number(value, "omp_region_overhead_s", where);
+  if (!(spec.core_flops > 0.0) || !std::isfinite(spec.core_flops) ||
+      !(spec.core_efficiency > 0.0) || !std::isfinite(spec.core_efficiency)) {
+    bad_request("machine core_flops / core_efficiency must be positive");
+  }
+  const auto parse_link = [&](std::string_view key) {
+    const Value& link = require(value, key, Value::Type::Object, where);
+    arch::LinkParams params;
+    params.latency_s = require_number(link, "latency_s", "link");
+    params.bandwidth_Bps = require_number(link, "bandwidth_Bps", "link");
+    if (!(params.bandwidth_Bps > 0.0) || params.latency_s < 0.0) {
+      bad_request("link parameters must have positive bandwidth and "
+                  "non-negative latency");
+    }
+    return params;
+  };
+  spec.intra_processor = parse_link("intra_processor");
+  spec.intra_node = parse_link("intra_node");
+  spec.inter_node = parse_link("inter_node");
+  return spec;
+}
+
+core::TaskGraph parse_graph(const Value& value) {
+  if (!value.is_object()) bad_request("'graph' must be an object");
+  const Value& tasks = require(value, "tasks", Value::Type::Array, "graph");
+  core::TaskGraph graph;
+  int index = 0;
+  for (const Value& task : tasks.array) {
+    graph.add_task(parse_task(task, index++));
+  }
+  const Value& edges = require(value, "edges", Value::Type::Array, "graph");
+  for (const Value& edge : edges.array) {
+    if (!edge.is_array() || edge.array.size() != 2 ||
+        !edge.array[0].is_number() || !edge.array[1].is_number()) {
+      bad_request("graph.edges entries must be [from, to] pairs");
+    }
+    const double from_d = edge.array[0].number;
+    const double to_d = edge.array[1].number;
+    if (from_d != std::floor(from_d) || to_d != std::floor(to_d) ||
+        from_d < 0 || to_d < 0 || from_d >= graph.num_tasks() ||
+        to_d >= graph.num_tasks()) {
+      bad_request("graph edge endpoint out of range");
+    }
+    try {
+      graph.add_edge(static_cast<core::TaskId>(from_d),
+                     static_cast<core::TaskId>(to_d));
+    } catch (const std::invalid_argument& e) {
+      bad_request(std::string("graph edge rejected: ") + e.what());
+    }
+  }
+  return graph;
+}
+
+void append_link(std::string& out, std::string_view key,
+                 const arch::LinkParams& link) {
+  out += '"';
+  out += key;
+  out += "\":{\"latency_s\":";
+  append_json_double(out, link.latency_s);
+  out += ",\"bandwidth_Bps\":";
+  append_json_double(out, link.bandwidth_Bps);
+  out += '}';
+}
+
+void append_int_array(std::string& out, const std::vector<int>& values) {
+  out += '[';
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string_view describe_error(std::string_view code) {
+  if (code == kErrMalformedJson) return "malformed JSON payload";
+  if (code == kErrBadRequest) return "bad request (missing/invalid fields)";
+  if (code == kErrUnknownScheduler) return "unknown scheduler name";
+  if (code == kErrEmptyGraph) return "empty graph (zero tasks)";
+  if (code == kErrTooLarge) return "request exceeds the configured size limit";
+  return {};
+}
+
+std::string encode_frame(std::string_view payload) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  frame.push_back(static_cast<char>((length >> 24) & 0xff));
+  frame.push_back(static_cast<char>((length >> 16) & 0xff));
+  frame.push_back(static_cast<char>((length >> 8) & 0xff));
+  frame.push_back(static_cast<char>(length & 0xff));
+  frame.append(payload);
+  return frame;
+}
+
+std::uint32_t decode_frame_length(const unsigned char header[4]) {
+  return (static_cast<std::uint32_t>(header[0]) << 24) |
+         (static_cast<std::uint32_t>(header[1]) << 16) |
+         (static_cast<std::uint32_t>(header[2]) << 8) |
+         static_cast<std::uint32_t>(header[3]);
+}
+
+void append_json_string(std::string& out, std::string_view text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_json_double(std::string& out, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out += buf;
+}
+
+std::string serialize_machine(const arch::MachineSpec& machine) {
+  std::string out = "{\"name\":";
+  append_json_string(out, machine.name);
+  out += ",\"num_nodes\":" + std::to_string(machine.num_nodes);
+  out += ",\"procs_per_node\":" + std::to_string(machine.procs_per_node);
+  out += ",\"cores_per_proc\":" + std::to_string(machine.cores_per_proc);
+  out += ",\"core_flops\":";
+  append_json_double(out, machine.core_flops);
+  out += ",\"core_efficiency\":";
+  append_json_double(out, machine.core_efficiency);
+  out += ",\"omp_region_overhead_s\":";
+  append_json_double(out, machine.omp_region_overhead_s);
+  out += ',';
+  append_link(out, "intra_processor", machine.intra_processor);
+  out += ',';
+  append_link(out, "intra_node", machine.intra_node);
+  out += ',';
+  append_link(out, "inter_node", machine.inter_node);
+  out += '}';
+  return out;
+}
+
+std::string serialize_graph(const core::TaskGraph& graph) {
+  std::string out = "{\"tasks\":[";
+  for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
+    if (id != 0) out += ',';
+    const core::MTask& task = graph.task(id);
+    out += "{\"name\":";
+    append_json_string(out, task.name());
+    out += ",\"work\":";
+    append_json_double(out, task.work_flop());
+    out += ",\"max_cores\":" + std::to_string(task.max_cores());
+    out += ",\"marker\":";
+    out += task.is_marker() ? "true" : "false";
+    out += ",\"comms\":[";
+    for (std::size_t i = 0; i < task.comms().size(); ++i) {
+      if (i != 0) out += ',';
+      const core::CollectiveOp& op = task.comms()[i];
+      out += "{\"kind\":\"";
+      out += kKindNames[static_cast<std::size_t>(op.kind)];
+      out += "\",\"scope\":\"";
+      out += kScopeNames[static_cast<std::size_t>(op.scope)];
+      out += "\",\"bytes\":" + std::to_string(op.data_bytes);
+      out += ",\"repeat\":" + std::to_string(op.repeat) + '}';
+    }
+    out += "]}";
+  }
+  out += "],\"edges\":[";
+  bool first = true;
+  for (core::TaskId from = 0; from < graph.num_tasks(); ++from) {
+    for (const core::TaskId to : graph.successors(from)) {
+      if (!first) out += ',';
+      first = false;
+      out += '[' + std::to_string(from) + ',' + std::to_string(to) + ']';
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string serialize_request(const ScheduleRequest& request) {
+  std::string out = "{\"type\":\"schedule\",\"scheduler\":";
+  append_json_string(out, request.scheduler);
+  out += ",\"total_cores\":" + std::to_string(request.total_cores);
+  out += ",\"machine\":" + serialize_machine(request.machine);
+  out += ",\"graph\":" + serialize_graph(request.graph);
+  out += '}';
+  return out;
+}
+
+ScheduleRequest parse_request(std::string_view payload) {
+  Value document;
+  try {
+    document = obs::json::parse(payload);
+  } catch (const std::runtime_error& e) {
+    throw ProtocolError(kErrMalformedJson, e.what());
+  }
+  if (!document.is_object()) bad_request("request must be a JSON object");
+
+  ScheduleRequest request;
+  request.scheduler =
+      require(document, "scheduler", Value::Type::String, "request").string;
+  if (!sched::SchedulerRegistry::instance().contains(request.scheduler)) {
+    throw ProtocolError(kErrUnknownScheduler,
+                        "unknown scheduler '" + request.scheduler + "'");
+  }
+  request.total_cores = static_cast<int>(
+      require_int(document, "total_cores", "request", 1, 1 << 24));
+  request.machine =
+      parse_machine(require(document, "machine", Value::Type::Object, "request"));
+  request.graph =
+      parse_graph(require(document, "graph", Value::Type::Object, "request"));
+  if (request.graph.num_tasks() == 0) {
+    throw ProtocolError(kErrEmptyGraph, "graph has zero tasks");
+  }
+  return request;
+}
+
+std::string canonical_key(const ScheduleRequest& request) {
+  return serialize_request(request);
+}
+
+std::string serialize_schedule(const sched::Schedule& schedule) {
+  std::string out = "{\"strategy\":";
+  append_json_string(out, schedule.strategy);
+  out += ",\"total_cores\":" + std::to_string(schedule.total_cores());
+  out += ",\"makespan\":";
+  append_json_double(out, schedule.makespan());
+  out += ",\"allocation\":";
+  append_int_array(out, schedule.allocation);
+  out += ",\"contraction\":[";
+  const core::ChainContraction& contraction = schedule.layered.contraction;
+  for (std::size_t c = 0; c < contraction.members.size(); ++c) {
+    if (c != 0) out += ',';
+    append_int_array(out, contraction.members[c]);
+  }
+  out += "],\"slots\":[";
+  for (std::size_t i = 0; i < schedule.gantt.slots.size(); ++i) {
+    if (i != 0) out += ',';
+    const sched::TaskSlot& slot = schedule.gantt.slots[i];
+    out += "{\"cores\":";
+    append_int_array(out, slot.cores);
+    out += ",\"start\":";
+    append_json_double(out, slot.start);
+    out += ",\"finish\":";
+    append_json_double(out, slot.finish);
+    out += '}';
+  }
+  out += "],\"layers\":[";
+  for (std::size_t l = 0; l < schedule.layered.layers.size(); ++l) {
+    if (l != 0) out += ',';
+    const sched::ScheduledLayer& layer = schedule.layered.layers[l];
+    out += "{\"tasks\":";
+    append_int_array(out, layer.tasks);
+    out += ",\"group_sizes\":";
+    append_int_array(out, layer.group_sizes);
+    out += ",\"task_group\":";
+    append_int_array(out, layer.task_group);
+    out += ",\"predicted_time\":";
+    append_json_double(out, layer.predicted_time);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string ok_response(std::string_view schedule_json) {
+  std::string out = "{\"ok\":true,\"schedule\":";
+  out += schedule_json;
+  out += '}';
+  return out;
+}
+
+std::string error_response(std::string_view code, std::string_view message) {
+  std::string out = "{\"ok\":false,\"error\":{\"code\":";
+  append_json_string(out, code);
+  out += ",\"message\":";
+  append_json_string(out, message);
+  out += "}}";
+  return out;
+}
+
+std::string pong_response() { return "{\"ok\":true,\"pong\":true}"; }
+
+}  // namespace ptask::serve

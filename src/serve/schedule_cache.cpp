@@ -1,0 +1,96 @@
+#include "ptask/serve/schedule_cache.hpp"
+
+#include <iterator>
+
+#include "ptask/obs/metrics.hpp"
+
+namespace ptask::serve {
+
+ScheduleCache::Shard& ScheduleCache::shard_for(const std::string& key) {
+  const std::size_t hash = std::hash<std::string>{}(key);
+  return shards_[hash % kShards];
+}
+
+ScheduleCache::Entry ScheduleCache::get_or_compute(
+    const std::string& key, const std::function<std::string()>& compute) {
+  static obs::Counter& hit_counter = obs::metrics().counter("serve.cache.hit");
+  static obs::Counter& miss_counter =
+      obs::metrics().counter("serve.cache.miss");
+
+  Shard& shard = shard_for(key);
+  std::promise<Entry> promise;
+  std::shared_future<Entry> future;
+  bool owner = false;
+  {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      hit_counter.add();
+      future = it->second.future;
+    } else {
+      owner = true;
+      future = promise.get_future().share();
+      shard.entries.emplace(key, Slot{future, false});
+    }
+  }
+  if (!owner) {
+    // Another thread owns the computation: wait for its result.  get() on
+    // the shared future rethrows the computing thread's exception.
+    return future.get();
+  }
+
+  // This thread created the placeholder: run the computation (outside the
+  // shard lock) and publish the result -- or the exception -- to every
+  // waiter.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  miss_counter.add();
+  try {
+    Entry value = std::make_shared<const std::string>(compute());
+    promise.set_value(value);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(key);
+    if (it != shard.entries.end()) it->second.ready = true;
+    return value;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.entries.erase(key);
+    }
+    throw;
+  }
+}
+
+std::size_t ScheduleCache::entries() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, slot] : shard.entries) {
+      if (slot.ready) ++total;
+    }
+  }
+  return total;
+}
+
+std::size_t ScheduleCache::value_bytes() const {
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, slot] : shard.entries) {
+      if (slot.ready) total += slot.future.get()->size();
+    }
+  }
+  return total;
+}
+
+void ScheduleCache::clear() {
+  for (Shard& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto it = shard.entries.begin(); it != shard.entries.end();) {
+      it = it->second.ready ? shard.entries.erase(it) : std::next(it);
+    }
+  }
+}
+
+}  // namespace ptask::serve

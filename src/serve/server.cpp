@@ -1,0 +1,347 @@
+#include "ptask/serve/server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/obs/metrics.hpp"
+#include "ptask/sched/registry.hpp"
+#include "ptask/serve/protocol.hpp"
+
+namespace ptask::serve {
+
+namespace {
+
+/// Reads exactly `length` bytes; returns false on EOF/error.
+bool read_exact(int fd, void* buffer, std::size_t length) {
+  auto* out = static_cast<unsigned char*>(buffer);
+  while (length > 0) {
+    const ssize_t n = ::recv(fd, out, length, 0);
+    if (n == 0) return false;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out += n;
+    length -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Writes the whole buffer; returns false on error (peer gone).
+bool write_all(int fd, std::string_view data) {
+  const char* out = data.data();
+  std::size_t length = data.size();
+  while (length > 0) {
+    const ssize_t n = ::send(fd, out, length, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    out += n;
+    length -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// serve.error.<code> counter (codes are a small fixed set, so the name
+/// lookup per error is fine -- errors are off the hot path).
+void count_error(std::string_view code) {
+  obs::metrics().counter("serve.error." + std::string(code)).add();
+}
+
+}  // namespace
+
+/// Bounded-less handoff of accepted connections to the worker pool.
+struct Server::ConnectionQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<int> fds;
+  bool closed = false;
+
+  void push(int fd) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      if (closed) {
+        ::close(fd);
+        return;
+      }
+      fds.push_back(fd);
+    }
+    cv.notify_one();
+  }
+
+  /// Blocks until a connection or queue shutdown; returns -1 on shutdown.
+  int pop() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return closed || !fds.empty(); });
+    if (fds.empty()) return -1;
+    const int fd = fds.front();
+    fds.pop_front();
+    return fd;
+  }
+
+  void close_all() {
+    std::deque<int> drained;
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      closed = true;
+      drained.swap(fds);
+    }
+    for (const int fd : drained) ::close(fd);
+    cv.notify_all();
+  }
+};
+
+Server::Server(const ServerOptions& options)
+    : options_(options), injector_(options.faults) {
+  if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.max_request_bytes > kMaxFrameBytes) {
+    options_.max_request_bytes = kMaxFrameBytes;
+  }
+  queue_ = std::make_unique<ConnectionQueue>();
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  if (running_.exchange(true)) return;
+  stopping_.store(false);
+  // A previous stop() left the queue closed; restart needs a fresh one.
+  queue_ = std::make_unique<ConnectionQueue>();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    running_.store(false);
+    throw std::runtime_error("ptask_served: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw std::runtime_error("ptask_served: cannot listen on port " +
+                             std::to_string(options_.port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+  port_ = ntohs(addr.sin_port);
+
+  acceptor_ = std::thread([this] { accept_loop(); });
+  workers_.reserve(static_cast<std::size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void Server::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (acceptor_.joinable()) acceptor_.join();
+  queue_->close_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::accept_loop() {
+  static obs::Counter& connections =
+      obs::metrics().counter("serve.connections");
+  while (!stopping_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections.add();
+    queue_->push(fd);
+  }
+}
+
+void Server::worker_loop() {
+  while (true) {
+    const int fd = queue_->pop();
+    if (fd < 0) return;
+    serve_connection(fd);
+    ::close(fd);
+  }
+}
+
+void Server::serve_connection(int fd) {
+  static obs::Counter& truncated = obs::metrics().counter("serve.truncated");
+  while (true) {
+    // Between frames, poll so shutdown is noticed on idle connections.
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (ready < 0) return;
+    if (ready == 0) continue;
+    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) return;
+
+    unsigned char header[4];
+    if (!read_exact(fd, header, sizeof(header))) return;  // clean EOF
+    const std::uint32_t length = decode_frame_length(header);
+    if (length > options_.max_request_bytes) {
+      // Oversized: answer with the structured error, then drop the
+      // connection (the payload is not read; resynchronization inside the
+      // stream is not possible).
+      count_error(kErrTooLarge);
+      const std::string response = error_response(
+          kErrTooLarge, "request of " + std::to_string(length) +
+                            " bytes exceeds the limit of " +
+                            std::to_string(options_.max_request_bytes));
+      write_all(fd, encode_frame(response));
+      return;
+    }
+    std::string payload(length, '\0');
+    if (length > 0 && !read_exact(fd, payload.data(), payload.size())) {
+      truncated.add();  // peer vanished mid-frame; never a crash
+      return;
+    }
+
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    std::string response;
+    try {
+      response = handle_payload(payload);
+    } catch (...) {
+      in_flight_.fetch_sub(1, std::memory_order_relaxed);
+      throw;
+    }
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    if (!write_all(fd, encode_frame(response))) return;
+  }
+}
+
+std::string Server::handle_payload(std::string_view payload) {
+  static obs::Counter& requests = obs::metrics().counter("serve.requests");
+  static obs::Counter& responses_ok =
+      obs::metrics().counter("serve.responses.ok");
+  static obs::Histogram& latency =
+      obs::metrics().histogram("serve.latency_us");
+  requests.add();
+  const std::uint64_t request_id =
+      served_requests_.fetch_add(1, std::memory_order_relaxed);
+  injector_.perturb(rt::FaultInjector::point(
+      0, static_cast<std::int64_t>(request_id), /*phase=*/0));
+
+  // Cheap dispatch on "type" without a full parse: stats/ping payloads are
+  // tiny, so parsing them twice would also be fine -- this just keeps the
+  // scheduling path's parse the only heavy one.
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    obs::json::Value document;
+    try {
+      document = obs::json::parse(payload);
+    } catch (const std::runtime_error& e) {
+      throw ProtocolError(kErrMalformedJson, e.what());
+    }
+    if (document.is_object()) {
+      if (const obs::json::Value* type = document.find("type")) {
+        if (type->is_string() && type->string == "stats") {
+          responses_ok.add();
+          return render_stats();
+        }
+        if (type->is_string() && type->string == "ping") {
+          responses_ok.add();
+          return pong_response();
+        }
+      }
+    }
+
+    const ScheduleRequest request = parse_request(payload);
+    const std::string key = canonical_key(request);
+    injector_.perturb(rt::FaultInjector::point(
+        1, static_cast<std::int64_t>(request_id), /*phase=*/1));
+    const ScheduleCache::Entry schedule_json =
+        cache_.get_or_compute(key, [&request] {
+          const cost::CostModel cost{arch::Machine(request.machine)};
+          const std::unique_ptr<sched::Scheduler> scheduler =
+              sched::SchedulerRegistry::instance().make(request.scheduler,
+                                                        cost);
+          return serialize_schedule(
+              scheduler->run(request.graph, request.total_cores));
+        });
+    responses_ok.add();
+    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    latency.observe(static_cast<std::uint64_t>(micros.count()));
+    return ok_response(*schedule_json);
+  } catch (const ProtocolError& e) {
+    count_error(e.code());
+    return error_response(e.code(), e.what());
+  } catch (const std::exception& e) {
+    // Scheduler/cost-model rejections (e.g. invalid core counts for the
+    // machine) map to bad-request: the graph/machine combination cannot be
+    // scheduled.
+    count_error(kErrBadRequest);
+    return error_response(kErrBadRequest, e.what());
+  }
+}
+
+std::string Server::render_stats() const {
+  const obs::MetricsRegistry& registry = obs::metrics();
+  std::uint64_t requests = 0;
+  std::uint64_t responses_ok = 0;
+  std::uint64_t truncated = 0;
+  std::vector<std::pair<std::string, std::uint64_t>> errors;
+  for (const obs::CounterSample& row : registry.counters()) {
+    if (row.name == "serve.requests") requests = row.value;
+    if (row.name == "serve.responses.ok") responses_ok = row.value;
+    if (row.name == "serve.truncated") truncated = row.value;
+    if (row.name.rfind("serve.error.", 0) == 0) {
+      errors.emplace_back(row.name.substr(sizeof("serve.error.") - 1),
+                          row.value);
+    }
+  }
+  obs::HistogramSample latency;
+  for (const obs::HistogramSample& row : registry.histograms()) {
+    if (row.name == "serve.latency_us") latency = row;
+  }
+
+  std::string out = "{\"ok\":true,\"stats\":{";
+  out += "\"requests\":" + std::to_string(requests);
+  out += ",\"responses_ok\":" + std::to_string(responses_ok);
+  out += ",\"truncated\":" + std::to_string(truncated);
+  out += ",\"in_flight\":" + std::to_string(in_flight());
+  out += ",\"cache\":{\"hits\":" + std::to_string(cache_.hits());
+  out += ",\"misses\":" + std::to_string(cache_.misses());
+  out += ",\"entries\":" + std::to_string(cache_.entries());
+  out += ",\"value_bytes\":" + std::to_string(cache_.value_bytes()) + '}';
+  out += ",\"latency_us\":{\"count\":" + std::to_string(latency.count);
+  out += ",\"sum\":" + std::to_string(latency.sum);
+  out += ",\"p50\":" + std::to_string(latency.p50);
+  out += ",\"p90\":" + std::to_string(latency.p90) + '}';
+  out += ",\"errors\":{";
+  for (std::size_t i = 0; i < errors.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, errors[i].first);
+    out += ':' + std::to_string(errors[i].second);
+  }
+  out += "}}}";
+  return out;
+}
+
+}  // namespace ptask::serve

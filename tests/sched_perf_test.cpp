@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdint>
 #include <stdexcept>
 #include <string>
@@ -243,6 +244,99 @@ TEST(CachedCostModelTest, MutationAtTheSameAddressIsNotServedStale) {
             plain.symbolic_task_time(task, 4, 1, 16));
 
   EXPECT_EQ(cached.misses(), 4u);
+  EXPECT_EQ(cached.hits(), 0u);
+}
+
+TEST(CachedCostModelTest, NearCollisionOneUlpWeightChangeIsNotServedStale) {
+  // Negative test for fingerprint near-collisions: the same task object
+  // (same address, so only the content fingerprint separates the entries)
+  // re-priced after the *smallest representable* weight change.  A
+  // fingerprint that truncated, rounded, or only sampled the weight would
+  // serve the stale time here.
+  const arch::Machine m = machine(4);
+  const cost::CostModel plain(m);
+  const cost::CachedCostModel cached(plain);
+
+  core::MTask task("ulp", 1.0e9);
+  const double first = cached.symbolic_task_time(task, 4, 1, 16);
+  EXPECT_EQ(first, plain.symbolic_task_time(task, 4, 1, 16));
+
+  task.set_work_flop(std::nextafter(1.0e9, 2.0e9));
+  const double second = cached.symbolic_task_time(task, 4, 1, 16);
+  EXPECT_EQ(second, plain.symbolic_task_time(task, 4, 1, 16));
+  EXPECT_NE(first, second);
+  EXPECT_EQ(cached.misses(), 2u);
+  EXPECT_EQ(cached.hits(), 0u);
+}
+
+TEST(CachedCostModelTest, NearCollisionGraphsSameShapeOneWeightDiffers) {
+  // Two structurally identical graphs -- same tasks, same collectives, same
+  // edges -- where exactly one task's weight differs.  Priced through one
+  // shared cache, every task of both graphs must come back bit-identical to
+  // the plain model; the twin of the differing task must be a fresh miss,
+  // never a hit on its near-collision sibling.
+  const arch::Machine m = machine(4);
+  const cost::CostModel plain(m);
+  const cost::CachedCostModel cached(plain);
+
+  const auto build = [](double pivot_work) {
+    core::TaskGraph graph;
+    core::TaskId previous = core::kInvalidTask;
+    for (int i = 0; i < 6; ++i) {
+      core::MTask task("t" + std::to_string(i),
+                       i == 3 ? pivot_work : 1.0e8 * (i + 1));
+      task.add_comm({core::CollectiveKind::Allgather, core::CommScope::Group,
+                     1u << 18, 1});
+      const core::TaskId id = graph.add_task(task);
+      if (i > 0) graph.add_edge(previous, id);
+      previous = id;
+    }
+    return graph;
+  };
+
+  const core::TaskGraph a = build(5.0e8);
+  const core::TaskGraph b = build(std::nextafter(5.0e8, 1.0e9));
+  for (const core::TaskGraph* graph : {&a, &b}) {
+    for (core::TaskId id = 0; id < graph->num_tasks(); ++id) {
+      for (int q : {1, 4, 16}) {
+        EXPECT_EQ(cached.symbolic_task_time(graph->task(id), q, 1, 64),
+                  plain.symbolic_task_time(graph->task(id), q, 1, 64))
+            << "task " << id << " q=" << q;
+      }
+    }
+  }
+  // Distinct task objects never share entries (keys carry the address), so
+  // all 36 evaluations are misses -- and in particular the pivot twin was
+  // not answered from its near-collision sibling's entry.
+  EXPECT_EQ(cached.misses(), 36u);
+  EXPECT_EQ(cached.hits(), 0u);
+}
+
+TEST(CachedCostModelTest, NearCollisionSwappedCollectiveFieldsStayDistinct) {
+  // Field-transposition near-collisions: the same numeric values moved
+  // between fields (bytes<->repeat, and a kind/scope swap).  A fingerprint
+  // that summed or XOR-folded fields order-insensitively would alias these;
+  // the sequential byte mix must keep them apart.
+  const arch::Machine m = machine(4);
+  const cost::CostModel plain(m);
+  const cost::CachedCostModel cached(plain);
+
+  core::MTask task("swap", 1.0e9);
+  task.add_comm({core::CollectiveKind::Allgather, core::CommScope::Group,
+                 4096, 8});
+  const double first = cached.symbolic_task_time(task, 4, 1, 16);
+  EXPECT_EQ(first, plain.symbolic_task_time(task, 4, 1, 16));
+
+  // bytes=8, repeat=4096: same numbers, transposed fields, written into the
+  // SAME object (assignment keeps the address, i.e. real address reuse).
+  core::MTask transposed("swap", 1.0e9);
+  transposed.add_comm({core::CollectiveKind::Allgather, core::CommScope::Group,
+                       8, 4096});
+  task = transposed;
+  const double second = cached.symbolic_task_time(task, 4, 1, 16);
+  EXPECT_EQ(second, plain.symbolic_task_time(task, 4, 1, 16));
+
+  EXPECT_EQ(cached.misses(), 2u);
   EXPECT_EQ(cached.hits(), 0u);
 }
 

@@ -1,0 +1,556 @@
+// Tests for the scheduling service (ptask::serve): wire protocol framing
+// and parsing, canonical schedule serialization, the single-flight schedule
+// cache, the server's protocol error paths (one positive and one negative
+// test per PTS00x code, mirroring the analyzer's PTA0xx convention), the
+// differential oracle (served bytes == direct Pipeline run) across all five
+// fuzz graph families, concurrent cache correctness, and a bounded
+// fault-injecting soak.  The TSan CI preset re-runs this binary, so the
+// concurrency tests double as race detectors.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/fuzz/generator.hpp"
+#include "ptask/fuzz/rng.hpp"
+#include "ptask/obs/json.hpp"
+#include "ptask/obs/metrics.hpp"
+#include "ptask/sched/registry.hpp"
+#include "ptask/serve/client.hpp"
+#include "ptask/serve/protocol.hpp"
+#include "ptask/serve/schedule_cache.hpp"
+#include "ptask/serve/server.hpp"
+
+namespace ptask::serve {
+namespace {
+
+/// A small deterministic request (two-task chain on a CHiC slice).
+ScheduleRequest tiny_request(const std::string& scheduler = "layer") {
+  ScheduleRequest request;
+  request.scheduler = scheduler;
+  request.total_cores = 8;
+  arch::MachineSpec spec = arch::chic();
+  spec.num_nodes = 2;
+  request.machine = spec;
+  core::MTask a("a", 1.0e8);
+  a.add_comm(core::CollectiveOp{core::CollectiveKind::Allgather,
+                                core::CommScope::Group, 4096, 2});
+  const core::TaskId ia = request.graph.add_task(a);
+  const core::TaskId ib = request.graph.add_task(core::MTask("b", 2.0e8));
+  request.graph.add_edge(ia, ib);
+  return request;
+}
+
+/// Request built from a fuzz instance.
+ScheduleRequest fuzz_request(const fuzz::Instance& instance,
+                             const std::string& scheduler) {
+  ScheduleRequest request;
+  request.scheduler = scheduler;
+  request.total_cores = instance.total_cores;
+  request.machine = instance.machine;
+  request.graph = instance.graph;
+  return request;
+}
+
+std::string direct_schedule_bytes(const ScheduleRequest& request) {
+  const cost::CostModel cost{arch::Machine(request.machine)};
+  const auto scheduler =
+      sched::SchedulerRegistry::instance().make(request.scheduler, cost);
+  return serialize_schedule(scheduler->run(request.graph, request.total_cores));
+}
+
+std::uint64_t error_counter(std::string_view code) {
+  return obs::metrics().counter("serve.error." + std::string(code)).value();
+}
+
+/// Server + connected client fixture (ephemeral port, default options).
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.num_workers = 8;
+    options.max_request_bytes = 1u << 20;
+    server_ = std::make_unique<Server>(options);
+    server_->start();
+    client_.connect("127.0.0.1", server_->port());
+  }
+
+  void TearDown() override {
+    client_.close();
+    server_->stop();
+  }
+
+  std::unique_ptr<Server> server_;
+  Client client_;
+};
+
+// ---- framing ----
+
+TEST(ServeProtocol, FrameHeaderRoundTrips) {
+  const std::string frame = encode_frame("hello");
+  ASSERT_EQ(frame.size(), 9u);
+  unsigned char header[4];
+  std::copy(frame.begin(), frame.begin() + 4, header);
+  EXPECT_EQ(decode_frame_length(header), 5u);
+  EXPECT_EQ(frame.substr(4), "hello");
+
+  const std::string big(300, 'x');
+  const std::string big_frame = encode_frame(big);
+  std::copy(big_frame.begin(), big_frame.begin() + 4, header);
+  EXPECT_EQ(decode_frame_length(header), 300u);
+}
+
+// ---- request serialization / parsing ----
+
+TEST(ServeProtocol, RequestRoundTripsCanonically) {
+  for (const std::uint64_t seed : {1ull, 7ull, 23ull, 99ull}) {
+    const fuzz::Instance instance = fuzz::random_instance(seed);
+    const ScheduleRequest request = fuzz_request(instance, "layer");
+    const std::string payload = serialize_request(request);
+    const ScheduleRequest parsed = parse_request(payload);
+    // Canonicality: re-serializing the parsed request reproduces the exact
+    // bytes, so the cache key is stable across client and server.
+    EXPECT_EQ(serialize_request(parsed), payload) << instance.name;
+    EXPECT_EQ(parsed.graph.num_tasks(), request.graph.num_tasks());
+    EXPECT_EQ(parsed.graph.num_edges(), request.graph.num_edges());
+    EXPECT_EQ(parsed.total_cores, request.total_cores);
+  }
+}
+
+TEST(ServeProtocol, RequestPreservesTaskContentExactly) {
+  const ScheduleRequest request = tiny_request();
+  const ScheduleRequest parsed = parse_request(serialize_request(request));
+  const core::MTask& a = parsed.graph.task(0);
+  EXPECT_EQ(a.name(), "a");
+  EXPECT_EQ(a.work_flop(), 1.0e8);  // bit-exact, not approximate
+  ASSERT_EQ(a.comms().size(), 1u);
+  EXPECT_EQ(a.comms()[0].kind, core::CollectiveKind::Allgather);
+  EXPECT_EQ(a.comms()[0].scope, core::CommScope::Group);
+  EXPECT_EQ(a.comms()[0].data_bytes, 4096u);
+  EXPECT_EQ(a.comms()[0].repeat, 2);
+}
+
+TEST(ServeProtocol, NearCollisionRequestsGetDistinctKeys) {
+  // Same shape, one weight differs by one part in 2^52: the canonical keys
+  // must differ (the schedule cache can never alias them).
+  ScheduleRequest a = tiny_request();
+  ScheduleRequest b = tiny_request();
+  const double work = b.graph.task(0).work_flop();
+  b.graph.task(0).set_work_flop(
+      std::nextafter(work, 2.0 * work));
+  EXPECT_NE(canonical_key(a), canonical_key(b));
+}
+
+TEST(ServeProtocol, ScheduleSerializationIsDeterministic) {
+  const ScheduleRequest request = tiny_request("portfolio");
+  const std::string first = direct_schedule_bytes(request);
+  const std::string second = direct_schedule_bytes(request);
+  EXPECT_EQ(first, second);
+  EXPECT_FALSE(first.empty());
+  // And it parses as JSON with the documented members.
+  const obs::json::Value document = obs::json::parse(first);
+  ASSERT_TRUE(document.is_object());
+  EXPECT_NE(document.find("strategy"), nullptr);
+  EXPECT_NE(document.find("makespan"), nullptr);
+  EXPECT_NE(document.find("slots"), nullptr);
+  EXPECT_NE(document.find("contraction"), nullptr);
+}
+
+// ---- schedule cache ----
+
+TEST(ScheduleCache, SingleFlightComputesOnce) {
+  ScheduleCache cache;
+  std::atomic<int> computations{0};
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<ScheduleCache::Entry> results(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] = cache.get_or_compute("key", [&] {
+        computations.fetch_add(1);
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        return std::string("value");
+      });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(computations.load(), 1);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), static_cast<std::uint64_t>(kThreads - 1));
+  for (const ScheduleCache::Entry& entry : results) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(*entry, "value");
+  }
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.value_bytes(), 5u);
+}
+
+TEST(ScheduleCache, FailedComputationIsRetriable) {
+  ScheduleCache cache;
+  EXPECT_THROW(cache.get_or_compute(
+                   "key", []() -> std::string { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The failure was not cached: the next call computes again and succeeds.
+  const ScheduleCache::Entry entry =
+      cache.get_or_compute("key", [] { return std::string("ok"); });
+  EXPECT_EQ(*entry, "ok");
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(ScheduleCache, DistinctKeysDistinctEntries) {
+  ScheduleCache cache;
+  const ScheduleCache::Entry a =
+      cache.get_or_compute("a", [] { return std::string("A"); });
+  const ScheduleCache::Entry b =
+      cache.get_or_compute("b", [] { return std::string("B"); });
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(cache.entries(), 2u);
+  cache.clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  // Counters survive clear().
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+// ---- protocol error paths (one positive + one negative per code) ----
+
+TEST_F(ServeTest, Pts001MalformedJson) {
+  const std::uint64_t before = error_counter(kErrMalformedJson);
+  const std::string response = client_.call("{this is not json");
+  EXPECT_FALSE(response_ok(response));
+  EXPECT_EQ(response_error_code(response), kErrMalformedJson);
+  EXPECT_EQ(error_counter(kErrMalformedJson), before + 1);
+}
+
+TEST_F(ServeTest, Pts001NegativeValidJsonIsNotMalformed) {
+  const std::uint64_t before = error_counter(kErrMalformedJson);
+  const std::string response = client_.call(serialize_request(tiny_request()));
+  EXPECT_TRUE(response_ok(response));
+  EXPECT_EQ(error_counter(kErrMalformedJson), before);
+}
+
+TEST_F(ServeTest, Pts002BadRequestMissingFields) {
+  const std::uint64_t before = error_counter(kErrBadRequest);
+  const std::string response =
+      client_.call("{\"scheduler\":\"layer\",\"total_cores\":4}");
+  EXPECT_EQ(response_error_code(response), kErrBadRequest);
+  EXPECT_EQ(error_counter(kErrBadRequest), before + 1);
+}
+
+TEST_F(ServeTest, Pts002BadRequestEdgeOutOfRange) {
+  ScheduleRequest request = tiny_request();
+  std::string payload = serialize_request(request);
+  // Rewrite the edge list to point outside the task array.
+  const std::string needle = "\"edges\":[[0,1]]";
+  const std::size_t at = payload.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  payload.replace(at, needle.size(), "\"edges\":[[0,9]]");
+  EXPECT_EQ(response_error_code(client_.call(payload)), kErrBadRequest);
+}
+
+TEST_F(ServeTest, Pts002BadRequestCycle) {
+  ScheduleRequest request = tiny_request();
+  std::string payload = serialize_request(request);
+  const std::string needle = "\"edges\":[[0,1]]";
+  const std::size_t at = payload.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  payload.replace(at, needle.size(), "\"edges\":[[0,1],[1,0]]");
+  EXPECT_EQ(response_error_code(client_.call(payload)), kErrBadRequest);
+}
+
+TEST_F(ServeTest, Pts002NegativeCompleteRequestPasses) {
+  const std::uint64_t before = error_counter(kErrBadRequest);
+  EXPECT_TRUE(response_ok(client_.call(serialize_request(tiny_request()))));
+  EXPECT_EQ(error_counter(kErrBadRequest), before);
+}
+
+TEST_F(ServeTest, Pts003UnknownScheduler) {
+  const std::uint64_t before = error_counter(kErrUnknownScheduler);
+  ScheduleRequest request = tiny_request();
+  request.scheduler = "no-such-strategy";
+  const std::string response = client_.call(serialize_request(request));
+  EXPECT_EQ(response_error_code(response), kErrUnknownScheduler);
+  EXPECT_EQ(error_counter(kErrUnknownScheduler), before + 1);
+}
+
+TEST_F(ServeTest, Pts003NegativeEveryRegisteredSchedulerIsAccepted) {
+  for (const std::string& name : sched::SchedulerRegistry::instance().names()) {
+    const std::string response =
+        client_.call(serialize_request(tiny_request(name)));
+    EXPECT_TRUE(response_ok(response)) << name << ": " << response;
+  }
+}
+
+TEST_F(ServeTest, Pts004EmptyGraph) {
+  const std::uint64_t before = error_counter(kErrEmptyGraph);
+  ScheduleRequest request = tiny_request();
+  request.graph = core::TaskGraph();
+  const std::string response = client_.call(serialize_request(request));
+  EXPECT_EQ(response_error_code(response), kErrEmptyGraph);
+  EXPECT_EQ(error_counter(kErrEmptyGraph), before + 1);
+}
+
+TEST_F(ServeTest, Pts004NegativeSingleTaskGraphPasses) {
+  ScheduleRequest request;
+  request.scheduler = "layer";
+  request.total_cores = 4;
+  arch::MachineSpec spec = arch::chic();
+  spec.num_nodes = 1;
+  request.machine = spec;
+  request.graph.add_task(core::MTask("only", 1.0e7));
+  EXPECT_TRUE(response_ok(client_.call(serialize_request(request))));
+}
+
+TEST_F(ServeTest, Pts005OversizedRequest) {
+  const std::uint64_t before = error_counter(kErrTooLarge);
+  // Header announcing 2 MiB on a server limited to 1 MiB: structured error,
+  // then the server hangs up (no resynchronization inside the stream).
+  const unsigned char header[4] = {0x00, 0x20, 0x00, 0x00};
+  client_.send_raw(std::string_view(
+      reinterpret_cast<const char*>(header), sizeof(header)));
+  const std::optional<std::string> response = client_.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response_error_code(*response), kErrTooLarge);
+  EXPECT_EQ(error_counter(kErrTooLarge), before + 1);
+  EXPECT_FALSE(client_.read_response().has_value());  // connection closed
+}
+
+TEST_F(ServeTest, Pts005NegativeFrameWithinLimitPasses) {
+  const std::uint64_t before = error_counter(kErrTooLarge);
+  EXPECT_TRUE(response_ok(client_.call(serialize_request(tiny_request()))));
+  EXPECT_EQ(error_counter(kErrTooLarge), before);
+}
+
+TEST_F(ServeTest, TruncatedFrameNeverCrashesTheServer) {
+  // Announce 64 bytes, deliver 10, hang up.  The server must treat it as a
+  // disconnect and keep serving other connections.
+  const unsigned char header[4] = {0x00, 0x00, 0x00, 0x40};
+  client_.send_raw(std::string_view(
+      reinterpret_cast<const char*>(header), sizeof(header)));
+  client_.send_raw("0123456789");
+  client_.close();
+  Client fresh;
+  fresh.connect("127.0.0.1", server_->port());
+  EXPECT_TRUE(response_ok(fresh.call(serialize_request(tiny_request()))));
+}
+
+// ---- stats / ping ----
+
+TEST_F(ServeTest, PingAndStatsRespond) {
+  EXPECT_TRUE(response_ok(client_.call("{\"type\":\"ping\"}")));
+  const std::string stats = client_.stats();
+  EXPECT_TRUE(response_ok(stats));
+  const obs::json::Value document = obs::json::parse(stats);
+  const obs::json::Value* body = document.find("stats");
+  ASSERT_NE(body, nullptr);
+  EXPECT_NE(body->find("requests"), nullptr);
+  EXPECT_NE(body->find("cache"), nullptr);
+  EXPECT_NE(body->find("latency_us"), nullptr);
+  EXPECT_NE(body->find("in_flight"), nullptr);
+}
+
+// ---- cache semantics through the wire ----
+
+TEST_F(ServeTest, RepeatedRequestIsServedFromCacheByteIdentically) {
+  const std::string payload = serialize_request(tiny_request("portfolio"));
+  const std::string first = client_.call(payload);
+  ASSERT_TRUE(response_ok(first));
+  EXPECT_EQ(server_->cache().misses(), 1u);
+  const std::string second = client_.call(payload);
+  EXPECT_EQ(first, second);  // cached response is bit-identical
+  EXPECT_EQ(server_->cache().hits(), 1u);
+}
+
+TEST_F(ServeTest, ConcurrentIdenticalRequestsAtMostOneMiss) {
+  // N threads submit the identical graph concurrently: every response must
+  // carry byte-identical schedule bytes and the schedule is computed at
+  // most once (single-flight cache).  The TSan CI preset re-runs this.
+  const std::string payload = serialize_request(tiny_request("portfolio"));
+  constexpr int kThreads = 8;
+  std::vector<std::string> responses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      client.connect("127.0.0.1", server_->port());
+      responses[static_cast<std::size_t>(t)] = client.call(payload);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (const std::string& response : responses) {
+    ASSERT_TRUE(response_ok(response));
+    EXPECT_EQ(response, responses[0]);
+  }
+  EXPECT_EQ(server_->cache().misses(), 1u);
+  EXPECT_EQ(server_->cache().hits(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---- differential oracle across the five fuzz families ----
+
+TEST_F(ServeTest, ServedSchedulesMatchDirectPipelineRunsAcrossFamilies) {
+  // For every graph family, find a couple of instances and require the
+  // served schedule bytes to equal a direct in-process run of the same
+  // strategy -- the end-to-end bit-identity contract of the service.
+  std::map<fuzz::GraphFamily, int> covered;
+  std::uint64_t seed = 1;
+  const int per_family = 2;
+  while (covered.size() < 5u ||
+         std::any_of(covered.begin(), covered.end(),
+                     [&](const auto& kv) { return kv.second < per_family; })) {
+    const fuzz::Instance instance = fuzz::random_instance(seed++);
+    if (covered[instance.family] >= per_family) continue;
+    if (instance.graph.num_tasks() > 300) continue;  // keep the test quick
+    ++covered[instance.family];
+    for (const std::string scheduler : {"layer", "portfolio"}) {
+      const ScheduleRequest request = fuzz_request(instance, scheduler);
+      const std::string response = client_.call(serialize_request(request));
+      ASSERT_TRUE(response_ok(response))
+          << instance.name << " via " << scheduler << ": " << response;
+      EXPECT_EQ(response_schedule_json(response),
+                direct_schedule_bytes(request))
+          << instance.name << " via " << scheduler;
+    }
+  }
+}
+
+// ---- graceful shutdown ----
+
+TEST(ServeShutdown, StopDrainsAndJoinsWithOpenConnections) {
+  Server server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  // A served request, then the connection stays open while we stop.
+  ASSERT_TRUE(response_ok(client.call(serialize_request(tiny_request()))));
+  server.stop();  // must not hang on the idle open connection
+  EXPECT_FALSE(server.running());
+  // And the socket is really gone: a new connect must fail.
+  Client again;
+  EXPECT_THROW(again.connect("127.0.0.1", server.port()), std::runtime_error);
+}
+
+TEST(ServeShutdown, StartStopStartWorks) {
+  Server server;
+  server.start();
+  const int first_port = server.port();
+  server.stop();
+  server.start();
+  EXPECT_GT(server.port(), 0);
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(response_ok(client.call("{\"type\":\"ping\"}")));
+  server.stop();
+  (void)first_port;
+}
+
+// ---- bounded soak with protocol fault injection ----
+
+TEST(ServeSoak, FaultInjectedSoakNeverCrashesOrServesStaleBytes) {
+  // A scaled-down in-process version of the loadgen soak (the 10k-request
+  // run lives in the serve_loadgen_smoke CTest entry and the CI smoke job):
+  // a mixed stream of valid repeat-heavy traffic and protocol garbage, with
+  // every valid response checked for byte-stability against the first
+  // response for that instance -- a stale or aliased cache entry fails here.
+  ServerOptions options;
+  options.max_request_bytes = 1u << 20;
+  options.num_workers = 4;
+  Server server(options);
+  server.start();
+
+  // Unique pool: 12 instances across families, repeat-heavy traffic.
+  std::vector<std::string> payloads;
+  std::uint64_t seed = 101;
+  while (payloads.size() < 12u) {
+    const fuzz::Instance instance = fuzz::random_instance(seed++);
+    if (instance.graph.num_tasks() > 150) continue;
+    payloads.push_back(
+        serialize_request(fuzz_request(instance, "layer")));
+  }
+
+  const char* env_requests = std::getenv("PTASK_SERVE_SOAK_REQUESTS");
+  const int total_requests =
+      env_requests != nullptr ? std::atoi(env_requests) : 600;
+  constexpr int kThreads = 4;
+  std::vector<std::string> first_response(payloads.size());
+  std::mutex first_mutex;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      fuzz::Rng rng(0xabcdef * static_cast<std::uint64_t>(t + 1));
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      for (int i = 0; i < total_requests / kThreads; ++i) {
+        try {
+          if (rng.chance(0.1)) {
+            // Garbage traffic: malformed JSON or a truncated frame.
+            if (rng.chance(0.5)) {
+              const std::string response = client.call("{broken");
+              if (response_error_code(response) != kErrMalformedJson) {
+                failures.fetch_add(1);
+              }
+            } else {
+              const unsigned char header[4] = {0x00, 0x00, 0x01, 0x00};
+              client.send_raw(std::string_view(
+                  reinterpret_cast<const char*>(header), sizeof(header)));
+              client.send_raw("short");
+              client.connect("127.0.0.1", server.port());
+            }
+            continue;
+          }
+          const std::size_t index = static_cast<std::size_t>(
+              rng.uniform(0, static_cast<int>(payloads.size()) - 1));
+          const std::string response = client.call(payloads[index]);
+          if (!response_ok(response)) {
+            failures.fetch_add(1);
+            continue;
+          }
+          const std::lock_guard<std::mutex> lock(first_mutex);
+          std::string& expected = first_response[index];
+          if (expected.empty()) {
+            expected = response;
+          } else if (expected != response) {
+            failures.fetch_add(1);  // stale or aliased cache entry
+          }
+        } catch (const std::exception&) {
+          // Connection hiccup: reconnect and continue the soak.
+          try {
+            client.connect("127.0.0.1", server.port());
+          } catch (const std::exception&) {
+            failures.fetch_add(1);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  // Repeat-heavy mix over 12 unique instances: the cache hit rate must
+  // clear the service-contract floor by a wide margin.
+  const std::uint64_t hits = server.cache().hits();
+  const std::uint64_t misses = server.cache().misses();
+  ASSERT_GT(hits + misses, 0u);
+  EXPECT_GE(static_cast<double>(hits) / static_cast<double>(hits + misses),
+            0.5);
+  EXPECT_LE(misses, payloads.size());
+  server.stop();
+}
+
+}  // namespace
+}  // namespace ptask::serve

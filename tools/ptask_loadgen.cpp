@@ -1,0 +1,433 @@
+// ptask_loadgen -- fuzz-driven load/soak harness for ptask_served.
+//
+// Replays the fuzz generator's graph families (layered, series-parallel,
+// random-dag, ode-solver, npb-multizone) as service traffic with
+// configurable concurrency, family mix, and repeat ratio (the fraction of
+// requests drawn from a fixed pool of unique instances -- high repeat
+// ratios exercise the whole-schedule cache the way repetitive time-step
+// graphs do in production).
+//
+// Verification modes:
+//   --oracle    differential oracle: every served schedule must be
+//               byte-identical to a direct in-process run of the same
+//               registry scheduler on the same instance;
+//   --faults F  protocol fault injection: fraction F of requests is
+//               replaced by a malformed / invalid / oversized / truncated
+//               frame, and the response (or clean disconnect) is checked
+//               against the expected PTS00x error code.
+//
+// Gates (non-zero exit when violated): any oracle mismatch, any unexpected
+// response, and --min-hit-rate R (server-side schedule cache hit rate over
+// the run, from the stats endpoint).
+//
+// --spawn hosts the server in-process on an ephemeral port instead of
+// connecting to an external daemon -- that is what the `serve_loadgen_smoke`
+// CTest entry uses; CI's smoke job drives a real detached daemon instead.
+//
+// Usage:
+//   ptask_loadgen (--spawn | --port N [--host H]) [--requests N]
+//       [--concurrency N] [--repeat-ratio R] [--seed S] [--scheduler NAME]
+//       [--family NAME] [--max-tasks N] [--oracle] [--faults F]
+//       [--min-hit-rate R] [--stats-out FILE] [--quiet]
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/fuzz/generator.hpp"
+#include "ptask/fuzz/rng.hpp"
+#include "ptask/obs/json.hpp"
+#include "ptask/sched/registry.hpp"
+#include "ptask/serve/client.hpp"
+#include "ptask/serve/server.hpp"
+
+namespace {
+
+using ptask::serve::Client;
+using ptask::serve::ScheduleRequest;
+
+struct Options {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  bool spawn = false;
+  int requests = 1000;
+  int concurrency = 4;
+  double repeat_ratio = 0.7;
+  std::uint64_t seed = 1;
+  std::string scheduler = "portfolio";
+  std::string family = "all";  // all | layered | series-parallel | ...
+  int max_tasks = 400;
+  bool oracle = false;
+  double faults = 0.0;
+  double min_hit_rate = -1.0;
+  std::string stats_out;
+  bool quiet = false;
+};
+
+/// One unique traffic instance: the pre-serialized request plus (when the
+/// oracle is on) the expected response bytes from a direct in-process run.
+struct PoolEntry {
+  std::string payload;          ///< serialized schedule request
+  std::string expected;         ///< expected schedule bytes ("" = expect error)
+  bool expect_error = false;
+};
+
+bool family_matches(const Options& options, ptask::fuzz::GraphFamily family) {
+  return options.family == "all" ||
+         options.family == ptask::fuzz::to_string(family);
+}
+
+/// Deterministically generates the pool of unique instances (seed-chained;
+/// instances too large for --max-tasks or outside the family mix are
+/// skipped, not shrunk, so every family keeps its natural shapes).
+std::vector<ScheduleRequest> build_pool(const Options& options,
+                                        std::size_t pool_size) {
+  std::vector<ScheduleRequest> pool;
+  pool.reserve(pool_size);
+  std::uint64_t seed = options.seed;
+  while (pool.size() < pool_size) {
+    const ptask::fuzz::Instance instance = ptask::fuzz::random_instance(seed++);
+    if (!family_matches(options, instance.family)) continue;
+    if (instance.graph.num_tasks() > options.max_tasks) continue;
+    ScheduleRequest request;
+    request.scheduler = options.scheduler;
+    request.total_cores = instance.total_cores;
+    request.machine = instance.machine;
+    request.graph = instance.graph;
+    pool.push_back(std::move(request));
+  }
+  return pool;
+}
+
+/// Direct in-process run of the same scheduler -- the differential oracle's
+/// ground truth.
+std::string local_schedule_bytes(const ScheduleRequest& request) {
+  const ptask::cost::CostModel cost{ptask::arch::Machine(request.machine)};
+  const std::unique_ptr<ptask::sched::Scheduler> scheduler =
+      ptask::sched::SchedulerRegistry::instance().make(request.scheduler, cost);
+  return ptask::serve::serialize_schedule(
+      scheduler->run(request.graph, request.total_cores));
+}
+
+struct Tally {
+  std::atomic<std::uint64_t> sent{0};
+  std::atomic<std::uint64_t> ok{0};
+  std::atomic<std::uint64_t> oracle_mismatches{0};
+  std::atomic<std::uint64_t> unexpected{0};
+  std::atomic<std::uint64_t> fault_frames{0};
+  std::atomic<std::uint64_t> reconnects{0};
+  std::mutex log_mutex;
+};
+
+void log_failure(Tally& tally, const std::string& message) {
+  const std::lock_guard<std::mutex> lock(tally.log_mutex);
+  std::cerr << "ptask_loadgen: " << message << "\n";
+}
+
+/// Sends one deliberately broken interaction and checks the daemon's
+/// reaction.  Returns true when the connection must be re-established.
+bool inject_fault(Client& client, ptask::fuzz::Rng& rng, Tally& tally) {
+  namespace serve = ptask::serve;
+  tally.fault_frames.fetch_add(1);
+  const int kind = rng.uniform(0, 4);
+  switch (kind) {
+    case 0: {  // malformed JSON -> PTS001
+      const std::string response = client.call("{broken json!");
+      if (serve::response_error_code(response) != serve::kErrMalformedJson) {
+        tally.unexpected.fetch_add(1);
+        log_failure(tally, "malformed frame: expected PTS001, got: " + response);
+      }
+      return false;
+    }
+    case 1: {  // valid JSON, missing fields -> PTS002
+      const std::string response = client.call("{\"scheduler\":\"layer\"}");
+      if (serve::response_error_code(response) != serve::kErrBadRequest) {
+        tally.unexpected.fetch_add(1);
+        log_failure(tally, "bad request: expected PTS002, got: " + response);
+      }
+      return false;
+    }
+    case 2: {  // unknown scheduler -> PTS003
+      const std::string response =
+          client.call("{\"scheduler\":\"no-such-strategy\"}");
+      if (serve::response_error_code(response) !=
+          serve::kErrUnknownScheduler) {
+        tally.unexpected.fetch_add(1);
+        log_failure(tally,
+                    "unknown scheduler: expected PTS003, got: " + response);
+      }
+      return false;
+    }
+    case 3: {  // oversized frame -> PTS005, then the server closes
+      unsigned char header[4] = {0xff, 0xff, 0xff, 0xff};
+      client.send_raw(std::string_view(
+          reinterpret_cast<const char*>(header), sizeof(header)));
+      const std::optional<std::string> response = client.read_response();
+      if (!response.has_value() ||
+          serve::response_error_code(*response) != serve::kErrTooLarge) {
+        tally.unexpected.fetch_add(1);
+        log_failure(tally, "oversized frame: expected PTS005 response");
+      }
+      return true;
+    }
+    default: {  // truncated frame, then hang up -> server must just cope
+      const std::string garbage = "{\"type\":\"sched";
+      client.send_raw(serve::encode_frame(
+          garbage + std::string(64, 'x')).substr(0, garbage.size()));
+      return true;
+    }
+  }
+}
+
+void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
+                 int thread_index, int request_count, Tally& tally) {
+  namespace serve = ptask::serve;
+  ptask::fuzz::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull *
+                                       static_cast<std::uint64_t>(
+                                           thread_index + 1)));
+  Client client;
+  client.connect(options.host, options.port);
+
+  for (int i = 0; i < request_count; ++i) {
+    try {
+      if (options.faults > 0.0 && rng.chance(options.faults)) {
+        if (inject_fault(client, rng, tally)) {
+          client.connect(options.host, options.port);
+          tally.reconnects.fetch_add(1);
+        }
+        continue;
+      }
+      const std::size_t index =
+          static_cast<std::size_t>(rng.uniform(0, static_cast<int>(pool.size()) - 1));
+      const PoolEntry& entry = pool[index];
+      tally.sent.fetch_add(1);
+      const std::string response = client.call(entry.payload);
+      if (entry.expect_error) {
+        if (serve::response_ok(response)) {
+          tally.unexpected.fetch_add(1);
+          log_failure(tally, "instance expected to fail scheduled fine");
+        }
+        continue;
+      }
+      if (!serve::response_ok(response)) {
+        tally.unexpected.fetch_add(1);
+        log_failure(tally, "request failed: " + response);
+        continue;
+      }
+      tally.ok.fetch_add(1);
+      if (!entry.expected.empty()) {
+        const std::string served = serve::response_schedule_json(response);
+        if (served != entry.expected) {
+          tally.oracle_mismatches.fetch_add(1);
+          log_failure(tally, "ORACLE MISMATCH (pool index " +
+                                 std::to_string(index) + "): served bytes " +
+                                 "differ from direct Pipeline run");
+        }
+      }
+    } catch (const std::exception& e) {
+      tally.unexpected.fetch_add(1);
+      log_failure(tally, std::string("client error: ") + e.what());
+      try {
+        client.connect(options.host, options.port);
+        tally.reconnects.fetch_add(1);
+      } catch (const std::exception&) {
+        return;  // server gone; remaining requests count as unexpected below
+      }
+    }
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " (--spawn | --port N [--host H]) [--requests N] [--concurrency N]"
+         " [--repeat-ratio R] [--seed S] [--scheduler NAME] [--family NAME]"
+         " [--max-tasks N] [--oracle] [--faults F] [--min-hit-rate R]"
+         " [--stats-out FILE] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--host") {
+      options.host = next();
+    } else if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--spawn") {
+      options.spawn = true;
+    } else if (arg == "--requests") {
+      options.requests = std::atoi(next());
+    } else if (arg == "--concurrency") {
+      options.concurrency = std::atoi(next());
+    } else if (arg == "--repeat-ratio") {
+      options.repeat_ratio = std::atof(next());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(next(), nullptr, 0);
+    } else if (arg == "--scheduler") {
+      options.scheduler = next();
+    } else if (arg == "--family") {
+      options.family = next();
+    } else if (arg == "--max-tasks") {
+      options.max_tasks = std::atoi(next());
+    } else if (arg == "--oracle") {
+      options.oracle = true;
+    } else if (arg == "--faults") {
+      options.faults = std::atof(next());
+    } else if (arg == "--min-hit-rate") {
+      options.min_hit_rate = std::atof(next());
+    } else if (arg == "--stats-out") {
+      options.stats_out = next();
+    } else if (arg == "--quiet") {
+      options.quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+  if (!options.spawn && options.port == 0) {
+    std::cerr << "either --spawn or --port is required\n";
+    return usage(argv[0]);
+  }
+  if (options.requests < 1 || options.concurrency < 1 ||
+      options.repeat_ratio < 0.0 || options.repeat_ratio >= 1.0) {
+    std::cerr << "invalid --requests/--concurrency/--repeat-ratio\n";
+    return usage(argv[0]);
+  }
+
+  // Optional in-process server (CTest smoke / ad-hoc runs without a daemon).
+  std::unique_ptr<ptask::serve::Server> spawned;
+  if (options.spawn) {
+    ptask::serve::ServerOptions server_options;
+    server_options.num_workers = options.concurrency;
+    spawned = std::make_unique<ptask::serve::Server>(server_options);
+    spawned->start();
+    options.port = spawned->port();
+    if (!options.quiet) {
+      std::cout << "ptask_loadgen: spawned in-process server on port "
+                << options.port << "\n";
+    }
+  }
+
+  // The unique-instance pool: repeat-ratio R over N requests means the pool
+  // holds ~N*(1-R) unique instances, so the server-side cache sees at least
+  // an R hit rate once warm.
+  const auto pool_size = static_cast<std::size_t>(std::max(
+      1.0, static_cast<double>(options.requests) * (1.0 - options.repeat_ratio)));
+  const std::vector<ScheduleRequest> requests = build_pool(options, pool_size);
+  std::vector<PoolEntry> pool(requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    pool[i].payload = ptask::serve::serialize_request(requests[i]);
+    if (options.oracle) {
+      try {
+        pool[i].expected = local_schedule_bytes(requests[i]);
+      } catch (const std::exception&) {
+        pool[i].expect_error = true;
+      }
+    }
+  }
+  if (!options.quiet) {
+    std::cout << "ptask_loadgen: " << options.requests << " requests, "
+              << pool.size() << " unique instances, concurrency "
+              << options.concurrency << ", scheduler " << options.scheduler
+              << (options.oracle ? ", oracle on" : "")
+              << (options.faults > 0.0 ? ", protocol faults on" : "") << "\n";
+  }
+
+  Tally tally;
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(options.concurrency));
+    const int per_thread = options.requests / options.concurrency;
+    const int remainder = options.requests % options.concurrency;
+    for (int t = 0; t < options.concurrency; ++t) {
+      const int count = per_thread + (t < remainder ? 1 : 0);
+      threads.emplace_back([&, t, count] {
+        client_loop(options, pool, t, count, tally);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Pull the server's stats for the hit-rate gate and the artifact.
+  std::string stats_json;
+  double hit_rate = -1.0;
+  try {
+    Client client;
+    client.connect(options.host, options.port);
+    stats_json = client.stats();
+    const ptask::obs::json::Value document =
+        ptask::obs::json::parse(stats_json);
+    if (const auto* stats = document.find("stats")) {
+      if (const auto* cache = stats->find("cache")) {
+        const auto* hits = cache->find("hits");
+        const auto* misses = cache->find("misses");
+        if (hits != nullptr && misses != nullptr &&
+            hits->number + misses->number > 0) {
+          hit_rate = hits->number / (hits->number + misses->number);
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "ptask_loadgen: stats fetch failed: " << e.what() << "\n";
+  }
+  if (!options.stats_out.empty() && !stats_json.empty()) {
+    std::ofstream out(options.stats_out);
+    out << stats_json << "\n";
+  }
+
+  const std::uint64_t sent = tally.sent.load();
+  if (!options.quiet) {
+    std::cout << "ptask_loadgen: " << sent << " schedule requests ("
+              << tally.fault_frames.load() << " injected fault frames, "
+              << tally.reconnects.load() << " reconnects) in " << seconds
+              << "s (" << (seconds > 0 ? static_cast<double>(sent) / seconds
+                                       : 0.0)
+              << " qps)\n";
+    std::cout << "ptask_loadgen: ok=" << tally.ok.load()
+              << " oracle_mismatches=" << tally.oracle_mismatches.load()
+              << " unexpected=" << tally.unexpected.load();
+    if (hit_rate >= 0) std::cout << " cache_hit_rate=" << hit_rate;
+    std::cout << "\n";
+  }
+
+  if (spawned) spawned->stop();
+
+  bool failed = false;
+  if (tally.oracle_mismatches.load() != 0 || tally.unexpected.load() != 0) {
+    failed = true;
+  }
+  if (options.min_hit_rate >= 0.0 && hit_rate < options.min_hit_rate) {
+    std::cerr << "ptask_loadgen: cache hit rate " << hit_rate
+              << " below required " << options.min_hit_rate << "\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,105 @@
+// ptask_served -- the scheduling-as-a-service daemon.
+//
+// Listens on a loopback TCP port for length-prefixed JSON schedule requests
+// (see docs/SERVICE.md and src/include/ptask/serve/protocol.hpp), schedules
+// them through the SchedulerRegistry on a worker pool, and answers repeated
+// requests from the whole-schedule cache.  SIGINT/SIGTERM trigger a
+// graceful shutdown: in-flight requests drain, then the service stats are
+// printed (and optionally written to --stats-out as JSON).
+//
+// Usage:
+//   ptask_served [--port N] [--workers N] [--max-request-bytes N]
+//                [--stats-out FILE] [--quiet]
+//
+// --port 0 (the default) picks an ephemeral port; the bound port is always
+// printed as "ptask_served: listening on 127.0.0.1:<port>" so wrappers
+// (the CI smoke job, the loadgen --spawn mode) can scrape it.
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "ptask/serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_signal(int) { g_stop = 1; }
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--port N] [--workers N] [--max-request-bytes N]"
+               " [--stats-out FILE] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ptask::serve::ServerOptions options;
+  std::string stats_out;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "missing value for " << arg << "\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--port") {
+      options.port = std::atoi(next());
+    } else if (arg == "--workers") {
+      options.num_workers = std::atoi(next());
+    } else if (arg == "--max-request-bytes") {
+      options.max_request_bytes =
+          static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--stats-out") {
+      stats_out = next();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::cerr << "unknown argument '" << arg << "'\n";
+      return usage(argv[0]);
+    }
+  }
+
+  ptask::serve::Server server(options);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "ptask_served: " << e.what() << "\n";
+    return 1;
+  }
+  // Printed unconditionally (wrappers scrape it); --quiet only silences the
+  // shutdown summary.
+  std::cout << "ptask_served: listening on 127.0.0.1:" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  if (!quiet) std::cout << "ptask_served: draining and shutting down\n";
+  server.stop();
+
+  const std::string stats = server.render_stats();
+  if (!stats_out.empty()) {
+    std::ofstream out(stats_out);
+    out << stats << "\n";
+  }
+  if (!quiet) std::cout << stats << std::endl;
+  return 0;
+}
