@@ -560,6 +560,176 @@ Report Analyzer::lint(const core::TaskGraph& graph,
   return report;
 }
 
+// ---- pass 6: ordering / deadlock (PTA050, PTA051) ----
+
+namespace {
+
+/// PTA050: the *combined* precedence order -- graph edges plus the
+/// execution order the schedule imposes on every core -- must be acyclic,
+/// or the schedule deadlocks under a faithful runtime (each task waits for
+/// both its graph predecessors and the previous slot on its cores).
+void ordering_pass(const sched::Schedule& schedule, Emitter& out) {
+  const TaskGraph& g = schedule.scheduled_graph();
+  const int n = g.num_tasks();
+  if (static_cast<int>(schedule.gantt.slots.size()) != n) return;
+
+  // Tie-break equal start times (zero-duration tasks) by the plain graph's
+  // topological order so a valid schedule never yields a spurious cycle.
+  std::vector<int> rank(static_cast<std::size_t>(n), 0);
+  {
+    const std::vector<TaskId> order = g.topological_order();
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      rank[static_cast<std::size_t>(order[i])] = static_cast<int>(i);
+    }
+  }
+
+  std::vector<std::vector<TaskId>> adjacency(static_cast<std::size_t>(n));
+  std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+  const auto add_edge = [&](TaskId u, TaskId v) {
+    adjacency[static_cast<std::size_t>(u)].push_back(v);
+    ++indegree[static_cast<std::size_t>(v)];
+  };
+  for (TaskId u = 0; u < n; ++u) {
+    for (const TaskId v : g.successors(u)) add_edge(u, v);
+  }
+  std::map<int, std::vector<TaskId>> per_core;
+  for (TaskId id = 0; id < n; ++id) {
+    if (g.task(id).is_marker()) continue;
+    for (const int c : schedule.gantt.slots[static_cast<std::size_t>(id)].cores) {
+      per_core[c].push_back(id);
+    }
+  }
+  for (auto& [c, tasks] : per_core) {
+    std::sort(tasks.begin(), tasks.end(), [&](TaskId a, TaskId b) {
+      const double sa = schedule.gantt.slots[static_cast<std::size_t>(a)].start;
+      const double sb = schedule.gantt.slots[static_cast<std::size_t>(b)].start;
+      if (sa != sb) return sa < sb;
+      return rank[static_cast<std::size_t>(a)] <
+             rank[static_cast<std::size_t>(b)];
+    });
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      add_edge(tasks[i - 1], tasks[i]);
+    }
+  }
+
+  std::vector<TaskId> ready;
+  for (TaskId id = 0; id < n; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+  }
+  int visited = 0;
+  while (!ready.empty()) {
+    const TaskId u = ready.back();
+    ready.pop_back();
+    ++visited;
+    for (const TaskId v : adjacency[static_cast<std::size_t>(u)]) {
+      if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+    }
+  }
+  if (visited == n) return;
+  std::vector<TaskId> stuck;
+  for (TaskId id = 0; id < n && stuck.size() < 8; ++id) {
+    if (indegree[static_cast<std::size_t>(id)] > 0) stuck.push_back(id);
+  }
+  std::ostringstream os;
+  os << "the combined schedule+graph precedence order has a cycle through "
+     << (n - visited) << " task(s):";
+  for (const TaskId id : stuck) os << " " << task_ref(g, id);
+  os << "; the schedule deadlocks under dependency-driven execution";
+  out.emit(kOrderingDeadlock, Severity::Error, stuck, {}, os.str());
+}
+
+/// PTA051: cross-group re-distribution must flow forward in layer order --
+/// a consumer in the same or an earlier layer than its producer would need
+/// data that does not exist yet when its layer starts.
+void layer_order_pass(const sched::Schedule& schedule, Emitter& out) {
+  const TaskGraph& g = schedule.scheduled_graph();
+  for (const sched::RedistributionEdge& e :
+       sched::redistribution_edges(schedule.layered)) {
+    if (e.consumer_layer > e.producer_layer) continue;
+    std::ostringstream os;
+    os << "re-distribution of '" << e.param_name << "' from "
+       << task_ref(g, e.producer) << " (layer " << e.producer_layer
+       << ") into " << task_ref(g, e.consumer) << " (layer "
+       << e.consumer_layer << ") reverses the layer order";
+    out.emit(kLayerOrderReversal, Severity::Error, {e.producer, e.consumer},
+             {e.param_name}, os.str());
+  }
+}
+
+// ---- pass 7: allocation sanity (PTA060, PTA061) ----
+
+/// PTA060: the schedule's makespan against the strategy-independent symbolic
+/// lower bound max(total work / P, critical path at each task's best width).
+/// PTA061: tasks whose group is wider than the monotonic-speedup region of
+/// their profile -- the extra cores add no speedup, only occupancy.
+void allocation_pass(const sched::Schedule& schedule,
+                     const cost::CostModel& cost, double alpha, Emitter& out) {
+  const TaskGraph& g = schedule.scheduled_graph();
+  const int n = g.num_tasks();
+  const int total = schedule.total_cores();
+  if (static_cast<int>(schedule.gantt.slots.size()) != n ||
+      static_cast<int>(schedule.allocation.size()) != n || total < 1) {
+    return;
+  }
+
+  try {
+    double work = 0.0;
+    std::vector<double> best(static_cast<std::size_t>(n), 0.0);
+    for (TaskId id = 0; id < n; ++id) {
+      const core::MTask& t = g.task(id);
+      if (t.is_marker()) continue;
+      work += cost.symbolic_compute_time(t, 1);
+      best[static_cast<std::size_t>(id)] =
+          cost.symbolic_compute_time(t, std::min(total, t.max_cores()));
+    }
+    std::vector<double> path(static_cast<std::size_t>(n), 0.0);
+    double critical_path = 0.0;
+    for (const TaskId u : g.topological_order()) {
+      const double here =
+          path[static_cast<std::size_t>(u)] + best[static_cast<std::size_t>(u)];
+      critical_path = std::max(critical_path, here);
+      for (const TaskId v : g.successors(u)) {
+        path[static_cast<std::size_t>(v)] =
+            std::max(path[static_cast<std::size_t>(v)], here);
+      }
+    }
+    const double lower_bound = std::max(work / total, critical_path);
+    if (lower_bound > 0.0 && schedule.makespan() > alpha * lower_bound) {
+      std::ostringstream os;
+      os << "makespan " << schedule.makespan() << " s exceeds " << alpha
+         << " x the symbolic lower bound " << lower_bound
+         << " s (max of work/P and the best-width critical path)";
+      out.emit(kMakespanBlowup, Severity::Warning, {}, {}, os.str());
+    }
+  } catch (const std::exception&) {
+    // Broken profiles are PTA030/031 territory; nothing to lint here.
+  }
+
+  for (TaskId id = 0; id < n; ++id) {
+    const core::MTask& t = g.task(id);
+    if (t.is_marker()) continue;
+    const int q = schedule.allocation[static_cast<std::size_t>(id)];
+    if (q <= 1) continue;
+    try {
+      const double at_q = cost.symbolic_task_time(t, q, 1, total);
+      const double at_qm1 = cost.symbolic_task_time(t, q - 1, 1, total);
+      if (at_q + 1e-12 >= at_qm1) {
+        std::ostringstream os;
+        os << "task " << task_ref(g, id) << " runs on " << q
+           << " cores but gains nothing over " << q - 1 << " (" << at_q
+           << " s vs " << at_qm1
+           << " s); the group is past the monotonic-speedup region";
+        out.emit(kNonMonotonicAllocation, Severity::Warning, {id}, {},
+                 os.str());
+      }
+    } catch (const std::exception&) {
+      continue;  // broken profile; reported by the analyze() passes
+    }
+  }
+}
+
+}  // namespace
+
 Report Analyzer::lint(const sched::Schedule& schedule,
                       const cost::CostModel& cost) const {
   Report report;
@@ -569,6 +739,16 @@ Report Analyzer::lint(const sched::Schedule& schedule,
     report.merge(lint(schedule.scheduled_graph(), schedule.gantt, cost),
                  schedule.strategy);
   }
+  Report tiers;
+  Emitter out(schedule.scheduled_graph(), tiers);
+  if (options_.ordering_checks) {
+    ordering_pass(schedule, out);
+    if (schedule.has_layers()) layer_order_pass(schedule, out);
+  }
+  if (options_.allocation_sanity) {
+    allocation_pass(schedule, cost, options_.makespan_alpha, out);
+  }
+  report.merge(std::move(tiers), schedule.strategy);
   return report;
 }
 

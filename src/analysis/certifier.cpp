@@ -1,0 +1,551 @@
+#include "ptask/analysis/certifier.hpp"
+
+// Independence contract: this translation unit re-derives every certified
+// quantity from the schedule bytes alone.  It must not include (or call)
+// sched/validation.hpp, sched/pipeline.hpp, or any cost-model pricing --
+// serve/protocol.hpp is pulled in only for the canonical serialization the
+// schedule hash is computed over.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "ptask/serve/protocol.hpp"
+
+namespace ptask::analysis {
+
+namespace {
+
+using core::TaskGraph;
+using core::TaskId;
+
+std::string task_ref(const TaskGraph& g, TaskId id) {
+  std::ostringstream os;
+  os << "'" << g.task(id).name() << "' (id " << id << ")";
+  return os.str();
+}
+
+/// Absolute + relative comparison slack between two times.
+double slack(double a, double b, double rel_tol) {
+  return 1e-12 + rel_tol * std::max(std::fabs(a), std::fabs(b));
+}
+
+class Certifier {
+ public:
+  Certifier(const TaskGraph& original, const sched::Schedule& schedule,
+            const CertifierOptions& options, Certificate& cert)
+      : original_(original),
+        schedule_(schedule),
+        contracted_(schedule.scheduled_graph()),
+        options_(options),
+        cert_(cert) {}
+
+  void run() {
+    cert_.makespan = schedule_.gantt.makespan;
+    cert_.schedule_hash = fnv1a64(serve::serialize_schedule(schedule_));
+    if (!check_structure()) return;  // index tables unusable; stop here
+    check_allocation();
+    check_precedence();
+    check_occupancy();
+    check_makespan_arithmetic();
+    check_lower_bounds();
+    collect_layer_bounds();
+  }
+
+ private:
+  void emit(std::string_view code, std::vector<TaskId> tasks,
+            std::string message) {
+    Diagnostic d;
+    d.code = std::string(code);
+    d.severity = Severity::Error;
+    d.tasks = std::move(tasks);
+    d.task_names.reserve(d.tasks.size());
+    for (const TaskId id : d.tasks) {
+      d.task_names.push_back(id >= 0 && id < contracted_.num_tasks()
+                                 ? contracted_.task(id).name()
+                                 : std::string());
+    }
+    d.message = std::move(message);
+    cert_.report.diagnostics.push_back(std::move(d));
+  }
+
+  bool scheduled(TaskId id) const { return !contracted_.task(id).is_marker(); }
+
+  const sched::TaskSlot& slot(TaskId id) const {
+    return schedule_.gantt.slots[static_cast<std::size_t>(id)];
+  }
+
+  double duration(TaskId id) const {
+    return slot(id).finish - slot(id).start;
+  }
+
+  // ---- PTC006: contraction / table structure ----
+
+  bool check_structure() {
+    const core::ChainContraction& con = schedule_.layered.contraction;
+    const int n = contracted_.num_tasks();
+    bool tables_ok = true;
+    if (static_cast<int>(schedule_.gantt.slots.size()) != n) {
+      emit(kCertStructure, {},
+           "slot table has " + std::to_string(schedule_.gantt.slots.size()) +
+               " entries for " + std::to_string(n) + " contracted tasks");
+      tables_ok = false;
+    }
+    if (static_cast<int>(schedule_.allocation.size()) != n) {
+      emit(kCertStructure, {},
+           "allocation table has " + std::to_string(schedule_.allocation.size()) +
+               " entries for " + std::to_string(n) + " contracted tasks");
+      tables_ok = false;
+    }
+
+    if (static_cast<int>(con.representative.size()) != original_.num_tasks()) {
+      emit(kCertStructure, {},
+           "contraction covers " + std::to_string(con.representative.size()) +
+               " original tasks, graph has " +
+               std::to_string(original_.num_tasks()));
+      return false;
+    }
+    if (static_cast<int>(con.members.size()) != n) {
+      emit(kCertStructure, {},
+           "contraction lists " + std::to_string(con.members.size()) +
+               " member chains for " + std::to_string(n) + " contracted tasks");
+      return false;
+    }
+
+    // Every original task in exactly one members list, with a consistent
+    // representative mapping.
+    std::vector<int> appearances(
+        static_cast<std::size_t>(original_.num_tasks()), 0);
+    for (TaskId c = 0; c < n; ++c) {
+      const std::vector<TaskId>& chain =
+          con.members[static_cast<std::size_t>(c)];
+      if (chain.empty()) {
+        emit(kCertStructure, {c},
+             "contracted task " + task_ref(contracted_, c) +
+                 " has an empty member chain");
+        continue;
+      }
+      for (const TaskId o : chain) {
+        if (o < 0 || o >= original_.num_tasks()) {
+          emit(kCertStructure, {c}, "member id " + std::to_string(o) +
+                                        " is outside the original graph");
+          continue;
+        }
+        ++appearances[static_cast<std::size_t>(o)];
+        if (con.representative[static_cast<std::size_t>(o)] != c) {
+          emit(kCertStructure, {c},
+               "original task " + task_ref(original_, o) + " is a member of " +
+                   std::to_string(c) + " but its representative is " +
+                   std::to_string(
+                       con.representative[static_cast<std::size_t>(o)]));
+        }
+      }
+    }
+    for (TaskId o = 0; o < original_.num_tasks(); ++o) {
+      if (appearances[static_cast<std::size_t>(o)] != 1) {
+        emit(kCertStructure, {},
+             "original task " + task_ref(original_, o) + " appears in " +
+                 std::to_string(appearances[static_cast<std::size_t>(o)]) +
+                 " member chains (expected exactly 1)");
+      }
+    }
+
+    // Every original edge must survive the contraction: either both
+    // endpoints merged into one node, or a contracted edge between their
+    // representatives.
+    for (TaskId u = 0; u < original_.num_tasks(); ++u) {
+      const TaskId ru = con.representative[static_cast<std::size_t>(u)];
+      if (ru < 0 || ru >= n) continue;  // reported above
+      for (const TaskId v : original_.successors(u)) {
+        const TaskId rv = con.representative[static_cast<std::size_t>(v)];
+        if (rv < 0 || rv >= n || ru == rv) continue;
+        const auto succ = contracted_.successors(ru);
+        if (std::find(succ.begin(), succ.end(), rv) == succ.end()) {
+          emit(kCertStructure, {ru, rv},
+               "original edge " + task_ref(original_, u) + " -> " +
+                   task_ref(original_, v) +
+                   " has no contracted counterpart " + std::to_string(ru) +
+                   " -> " + std::to_string(rv));
+        }
+      }
+    }
+
+    // Layered structure: every scheduled task in exactly one layer.
+    if (tables_ok && schedule_.has_layers()) {
+      std::vector<int> layer_appearances(static_cast<std::size_t>(n), 0);
+      for (const sched::ScheduledLayer& layer : schedule_.layered.layers) {
+        for (const TaskId id : layer.tasks) {
+          if (id < 0 || id >= n) {
+            emit(kCertStructure, {},
+                 "layer task id " + std::to_string(id) + " is out of range");
+            continue;
+          }
+          ++layer_appearances[static_cast<std::size_t>(id)];
+        }
+      }
+      for (TaskId id = 0; id < n; ++id) {
+        if (!scheduled(id)) continue;
+        if (layer_appearances[static_cast<std::size_t>(id)] != 1) {
+          emit(kCertStructure, {id},
+               "task " + task_ref(contracted_, id) + " appears in " +
+                   std::to_string(
+                       layer_appearances[static_cast<std::size_t>(id)]) +
+                   " layers (expected exactly 1)");
+        }
+      }
+    }
+    return tables_ok;
+  }
+
+  // ---- PTC003: allocation / group bounds ----
+
+  void check_allocation() {
+    const int total = schedule_.total_cores();
+    for (TaskId id = 0; id < contracted_.num_tasks(); ++id) {
+      if (!scheduled(id)) continue;
+      const sched::TaskSlot& s = slot(id);
+      if (s.cores.empty()) {
+        emit(kCertAllocation, {id},
+             "task " + task_ref(contracted_, id) + " is allocated no cores");
+        continue;
+      }
+      if (schedule_.allocation[static_cast<std::size_t>(id)] !=
+          s.num_cores()) {
+        emit(kCertAllocation, {id},
+             "task " + task_ref(contracted_, id) + " declares allocation " +
+                 std::to_string(
+                     schedule_.allocation[static_cast<std::size_t>(id)]) +
+                 " but its slot spans " + std::to_string(s.num_cores()) +
+                 " cores");
+      }
+      std::vector<int> cores = s.cores;
+      std::sort(cores.begin(), cores.end());
+      for (std::size_t i = 0; i < cores.size(); ++i) {
+        if (cores[i] < 0 || cores[i] >= total) {
+          emit(kCertAllocation, {id},
+               "task " + task_ref(contracted_, id) + " uses core " +
+                   std::to_string(cores[i]) + " outside the machine [0, " +
+                   std::to_string(total) + ")");
+          break;
+        }
+        if (i > 0 && cores[i] == cores[i - 1]) {
+          emit(kCertAllocation, {id},
+               "task " + task_ref(contracted_, id) + " lists core " +
+                   std::to_string(cores[i]) + " twice");
+          break;
+        }
+      }
+    }
+
+    if (!schedule_.has_layers()) return;
+    for (std::size_t li = 0; li < schedule_.layered.layers.size(); ++li) {
+      const sched::ScheduledLayer& layer = schedule_.layered.layers[li];
+      long long sum = 0;
+      for (const int g : layer.group_sizes) {
+        if (g <= 0) {
+          emit(kCertAllocation, {},
+               "layer " + std::to_string(li) + " has a non-positive group "
+               "size " + std::to_string(g));
+        }
+        sum += g;
+      }
+      if (sum != total) {
+        emit(kCertAllocation, {},
+             "layer " + std::to_string(li) + " group sizes sum to " +
+                 std::to_string(sum) + " symbolic cores, machine has " +
+                 std::to_string(total) +
+                 (sum > total ? " (oversubscribed)" : " (undersubscribed)"));
+      }
+      if (layer.task_group.size() != layer.tasks.size()) {
+        emit(kCertAllocation, {},
+             "layer " + std::to_string(li) +
+                 " assignment table does not match its task list");
+        continue;
+      }
+      for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+        const TaskId id = layer.tasks[i];
+        const int g = layer.task_group[i];
+        if (g < 0 || g >= layer.num_groups()) {
+          emit(kCertAllocation, {id},
+               "task " + task_ref(contracted_, id) +
+                   " is assigned to missing group " + std::to_string(g) +
+                   " of layer " + std::to_string(li));
+          continue;
+        }
+        const int width = layer.group_sizes[static_cast<std::size_t>(g)];
+        if (id >= 0 && id < contracted_.num_tasks() &&
+            schedule_.allocation[static_cast<std::size_t>(id)] != width) {
+          emit(kCertAllocation, {id},
+               "task " + task_ref(contracted_, id) + " sits on a group of " +
+                   std::to_string(width) + " cores but is allocated " +
+                   std::to_string(
+                       schedule_.allocation[static_cast<std::size_t>(id)]));
+        }
+      }
+    }
+  }
+
+  // ---- PTC001: precedence ----
+
+  void check_precedence() {
+    for (TaskId u = 0; u < contracted_.num_tasks(); ++u) {
+      if (!scheduled(u)) continue;
+      for (const TaskId v : contracted_.successors(u)) {
+        if (!scheduled(v)) continue;
+        const double finish_u = slot(u).finish;
+        const double start_v = slot(v).start;
+        if (start_v + slack(start_v, finish_u, options_.rel_tol) < finish_u) {
+          std::ostringstream os;
+          os << "edge " << task_ref(contracted_, u) << " -> "
+             << task_ref(contracted_, v) << " violated: successor starts at "
+             << start_v << " before its predecessor finishes at " << finish_u;
+          emit(kCertPrecedence, {u, v}, os.str());
+        }
+      }
+    }
+  }
+
+  // ---- PTC002: per-core occupancy ----
+
+  void check_occupancy() {
+    std::vector<Certificate::CoreInterval> intervals;
+    for (TaskId id = 0; id < contracted_.num_tasks(); ++id) {
+      if (!scheduled(id)) continue;
+      const sched::TaskSlot& s = slot(id);
+      for (const int c : s.cores) {
+        if (c < 0 || c >= schedule_.total_cores()) continue;  // PTC003
+        intervals.push_back({c, id, s.start, s.finish});
+      }
+    }
+    std::sort(intervals.begin(), intervals.end(),
+              [](const Certificate::CoreInterval& a,
+                 const Certificate::CoreInterval& b) {
+                return std::tie(a.core, a.start, a.finish, a.task) <
+                       std::tie(b.core, b.start, b.finish, b.task);
+              });
+    int reported_core = -1;
+    for (std::size_t i = 1; i < intervals.size(); ++i) {
+      const Certificate::CoreInterval& prev = intervals[i - 1];
+      const Certificate::CoreInterval& cur = intervals[i];
+      if (cur.core != prev.core || cur.core == reported_core) continue;
+      if (cur.start + slack(cur.start, prev.finish, options_.rel_tol) <
+          prev.finish) {
+        std::ostringstream os;
+        os << "core " << cur.core << " executes " << task_ref(contracted_, prev.task)
+           << " until " << prev.finish << " but "
+           << task_ref(contracted_, cur.task) << " starts at " << cur.start;
+        emit(kCertOverlap, {prev.task, cur.task}, os.str());
+        reported_core = cur.core;  // one finding per core keeps reports short
+      }
+    }
+    if (options_.record_intervals) cert_.intervals = std::move(intervals);
+  }
+
+  // ---- PTC004: makespan arithmetic ----
+
+  void check_makespan_arithmetic() {
+    const double makespan = schedule_.gantt.makespan;
+    double max_finish = 0.0;
+    for (TaskId id = 0; id < contracted_.num_tasks(); ++id) {
+      if (!scheduled(id)) continue;
+      const sched::TaskSlot& s = slot(id);
+      if (s.finish + slack(s.finish, s.start, options_.rel_tol) < s.start) {
+        std::ostringstream os;
+        os << "task " << task_ref(contracted_, id) << " finishes at "
+           << s.finish << " before it starts at " << s.start;
+        emit(kCertMakespan, {id}, os.str());
+      }
+      if (s.start < -slack(s.start, 0.0, options_.rel_tol)) {
+        std::ostringstream os;
+        os << "task " << task_ref(contracted_, id) << " starts at " << s.start
+           << " (before time 0)";
+        emit(kCertMakespan, {id}, os.str());
+      }
+      if (s.finish > makespan + slack(s.finish, makespan, options_.rel_tol)) {
+        std::ostringstream os;
+        os << "task " << task_ref(contracted_, id) << " finishes at "
+           << s.finish << ", past the declared makespan " << makespan;
+        emit(kCertMakespan, {id}, os.str());
+      }
+      max_finish = std::max(max_finish, s.finish);
+    }
+    if (std::fabs(makespan - max_finish) >
+        slack(makespan, max_finish, options_.rel_tol)) {
+      std::ostringstream os;
+      os << "declared makespan " << makespan
+         << " does not equal the last slot finish " << max_finish;
+      emit(kCertMakespan, {}, os.str());
+    }
+  }
+
+  // ---- PTC005: symbolic lower bounds from the schedule's own durations ----
+
+  void check_lower_bounds() {
+    const int n = contracted_.num_tasks();
+    // Longest dependency chain, via a local Kahn topological sweep (no graph
+    // utility shared with the schedulers is used).
+    std::vector<int> indegree(static_cast<std::size_t>(n), 0);
+    for (TaskId u = 0; u < n; ++u) {
+      for (const TaskId v : contracted_.successors(u)) {
+        ++indegree[static_cast<std::size_t>(v)];
+      }
+    }
+    std::deque<TaskId> ready;
+    for (TaskId id = 0; id < n; ++id) {
+      if (indegree[static_cast<std::size_t>(id)] == 0) ready.push_back(id);
+    }
+    std::vector<double> longest(static_cast<std::size_t>(n), 0.0);
+    double critical_path = 0.0;
+    int visited = 0;
+    while (!ready.empty()) {
+      const TaskId u = ready.front();
+      ready.pop_front();
+      ++visited;
+      const double here = longest[static_cast<std::size_t>(u)] +
+                          (scheduled(u) ? std::max(0.0, duration(u)) : 0.0);
+      critical_path = std::max(critical_path, here);
+      for (const TaskId v : contracted_.successors(u)) {
+        longest[static_cast<std::size_t>(v)] =
+            std::max(longest[static_cast<std::size_t>(v)], here);
+        if (--indegree[static_cast<std::size_t>(v)] == 0) ready.push_back(v);
+      }
+    }
+    if (visited != n) {
+      emit(kCertStructure, {},
+           "contracted graph is not acyclic (" + std::to_string(n - visited) +
+               " tasks unreachable in the topological sweep)");
+      return;
+    }
+
+    // Total-work bound: every core-second a slot occupies must fit into the
+    // P x makespan rectangle.
+    long double core_time = 0.0;
+    const int total = schedule_.total_cores();
+    for (TaskId id = 0; id < n; ++id) {
+      if (!scheduled(id)) continue;
+      core_time += static_cast<long double>(std::max(0.0, duration(id))) *
+                   static_cast<long double>(slot(id).num_cores());
+    }
+    const double work_bound =
+        total > 0 ? static_cast<double>(core_time / total) : 0.0;
+
+    cert_.critical_path_bound = critical_path;
+    cert_.work_bound = work_bound;
+    const double makespan = schedule_.gantt.makespan;
+    if (makespan + slack(makespan, critical_path, options_.rel_tol) <
+        critical_path) {
+      std::ostringstream os;
+      os << "makespan " << makespan
+         << " is below the critical-path lower bound " << critical_path;
+      emit(kCertLowerBound, {}, os.str());
+    }
+    if (makespan + slack(makespan, work_bound, options_.rel_tol) <
+        work_bound) {
+      std::ostringstream os;
+      os << "makespan " << makespan << " is below the total-work bound "
+         << work_bound << " (core-time / " << total << " cores)";
+      emit(kCertLowerBound, {}, os.str());
+    }
+  }
+
+  // ---- evidence: per-layer time bounds ----
+
+  void collect_layer_bounds() {
+    if (!schedule_.has_layers()) return;
+    cert_.layer_bounds.reserve(schedule_.layered.layers.size());
+    for (const sched::ScheduledLayer& layer : schedule_.layered.layers) {
+      Certificate::LayerBound bound;
+      bool first = true;
+      for (const TaskId id : layer.tasks) {
+        if (id < 0 || id >= contracted_.num_tasks() || !scheduled(id)) {
+          continue;
+        }
+        const sched::TaskSlot& s = slot(id);
+        if (first) {
+          bound.start = s.start;
+          bound.finish = s.finish;
+          first = false;
+        } else {
+          bound.start = std::min(bound.start, s.start);
+          bound.finish = std::max(bound.finish, s.finish);
+        }
+      }
+      cert_.layer_bounds.push_back(bound);
+    }
+  }
+
+  const TaskGraph& original_;
+  const sched::Schedule& schedule_;
+  const TaskGraph& contracted_;
+  const CertifierOptions& options_;
+  Certificate& cert_;
+};
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 14695981039346656037ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+Certificate certify(const core::TaskGraph& original,
+                    const sched::Schedule& schedule,
+                    const CertifierOptions& options) {
+  Certificate cert;
+  Certifier(original, schedule, options, cert).run();
+  return cert;
+}
+
+std::string render_json(const Certificate& certificate) {
+  std::string out = "{\"ok\":";
+  out += certificate.ok() ? "true" : "false";
+  out += ",\"schedule_hash\":";
+  serve::append_json_string(out, hash_hex(certificate.schedule_hash));
+  out += ",\"makespan\":";
+  serve::append_json_double(out, certificate.makespan);
+  out += ",\"bounds\":{\"critical_path\":";
+  serve::append_json_double(out, certificate.critical_path_bound);
+  out += ",\"work_over_p\":";
+  serve::append_json_double(out, certificate.work_bound);
+  out += "},\"layers\":[";
+  for (std::size_t i = 0; i < certificate.layer_bounds.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"start\":";
+    serve::append_json_double(out, certificate.layer_bounds[i].start);
+    out += ",\"finish\":";
+    serve::append_json_double(out, certificate.layer_bounds[i].finish);
+    out += '}';
+  }
+  out += "],\"intervals\":[";
+  for (std::size_t i = 0; i < certificate.intervals.size(); ++i) {
+    if (i != 0) out += ',';
+    const Certificate::CoreInterval& iv = certificate.intervals[i];
+    out += "{\"core\":" + std::to_string(iv.core);
+    out += ",\"task\":" + std::to_string(iv.task);
+    out += ",\"start\":";
+    serve::append_json_double(out, iv.start);
+    out += ",\"finish\":";
+    serve::append_json_double(out, iv.finish);
+    out += '}';
+  }
+  out += "],\"report\":";
+  out += analysis::render_json(certificate.report);
+  out += '}';
+  return out;
+}
+
+}  // namespace ptask::analysis

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "ptask/analysis/certifier.hpp"
+
 namespace ptask::analysis {
 
 const char* to_string(Severity severity) {
@@ -53,6 +55,35 @@ constexpr CodeEntry kCodeTable[] = {
     {kRedistributionDominated,
      "re-distribution-dominated: cross-group data movement exceeds the "
      "useful work it feeds"},
+    {kOrderingDeadlock,
+     "ordering deadlock: the combined schedule+graph precedence order "
+     "contains a cycle"},
+    {kLayerOrderReversal,
+     "layer-order reversal: a cross-group re-distribution edge whose "
+     "consumer layer does not come after its producer layer"},
+    {kMakespanBlowup,
+     "makespan blow-up: the makespan exceeds alpha x the symbolic lower "
+     "bound max(work/P, longest single task)"},
+    {kNonMonotonicAllocation,
+     "non-monotonic allocation: a task's group is wider than the "
+     "monotonic-speedup region of its profile"},
+    {kCertPrecedence,
+     "certifier: a graph edge's successor starts before its predecessor "
+     "finishes"},
+    {kCertOverlap,
+     "certifier: a symbolic core executes two overlapping slots"},
+    {kCertAllocation,
+     "certifier: core allocation outside the machine, duplicated cores, or "
+     "layer group sizes not partitioning the machine"},
+    {kCertMakespan,
+     "certifier: makespan arithmetic broken (slot outside [0, makespan] or "
+     "declared makespan not equal to the last finish)"},
+    {kCertLowerBound,
+     "certifier: makespan below a symbolic lower bound (critical path or "
+     "total work / P)"},
+    {kCertStructure,
+     "certifier: contraction/slot/layer tables structurally inconsistent "
+     "with the original graph"},
 };
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "ptask/analysis/analyzer.hpp"
+#include "ptask/analysis/certifier.hpp"
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/map/mapping.hpp"
 #include "ptask/rt/executor.hpp"
@@ -147,6 +148,7 @@ class Checker {
 
     if (options_.check_executor) check_executor();
     if (options_.check_lint) check_lint(layered, candidates);
+    if (options_.check_certifier) check_certifier_mutations(candidates);
   }
 
  private:
@@ -232,6 +234,163 @@ class Checker {
 
     if (simulate && schedule.has_layers()) {
       check_simulation(label, schedule.layered);
+    }
+
+    // Oracle 7 (clean half): the independent certifier must agree that the
+    // schedule is feasible.  Running it here covers every candidate of the
+    // sweep, the layer variants, and the portfolio winner alike.
+    if (options_.check_certifier) {
+      ++report_.certificates_checked;
+      const analysis::Certificate cert =
+          analysis::certify(instance_.graph, schedule, certifier_options());
+      if (!cert.ok()) {
+        fail(label,
+             "certifier rejected the schedule:\n" +
+                 analysis::render_text(cert.report));
+      }
+    }
+  }
+
+  analysis::CertifierOptions certifier_options() const {
+    analysis::CertifierOptions copts;
+    copts.rel_tol = options_.rel_tol;
+    copts.record_intervals = false;  // evidence unused; keep the sweep lean
+    return copts;
+  }
+
+  /// Oracle 7 (mutation half): each schedule-corruption class must be caught
+  /// by its matching PTC code.  Corruptions are surgical -- they perturb one
+  /// invariant while keeping the tables otherwise consistent -- so the
+  /// *distinct* diagnostic is what proves the certifier attributes failures
+  /// correctly (collateral co-firing of other codes is legitimate, e.g. a
+  /// moved slot can also shift the makespan).
+  void check_certifier_mutations(
+      const std::vector<std::pair<std::string, sched::Schedule>>& candidates) {
+    const sched::Schedule& base = find(candidates, "layer");
+    const core::TaskGraph& g = base.scheduled_graph();
+    const auto slot_of = [](sched::Schedule& s,
+                            core::TaskId id) -> sched::TaskSlot& {
+      return s.gantt.slots[static_cast<std::size_t>(id)];
+    };
+    const auto duration = [&](const sched::Schedule& s, core::TaskId id) {
+      const auto& slot = s.gantt.slots[static_cast<std::size_t>(id)];
+      return slot.finish - slot.start;
+    };
+
+    // PTC001: shift a successor to start alongside its still-running
+    // predecessor.
+    {
+      sched::Schedule m = base;
+      bool applied = false;
+      for (core::TaskId u = 0; u < g.num_tasks() && !applied; ++u) {
+        if (g.task(u).is_marker() || duration(m, u) <= 0.0) continue;
+        for (const core::TaskId v : g.successors(u)) {
+          if (g.task(v).is_marker()) continue;
+          sched::TaskSlot& sv = slot_of(m, v);
+          const double d = sv.finish - sv.start;
+          sv.start = slot_of(m, u).start;
+          sv.finish = sv.start + d;
+          applied = true;
+          break;
+        }
+      }
+      if (applied) expect_code("precedence", m, analysis::kCertPrecedence);
+    }
+
+    // PTC002: point one of a task's cores at a concurrently running task's
+    // core (widths untouched, so the allocation tables stay consistent).
+    {
+      sched::Schedule m = base;
+      bool applied = false;
+      for (core::TaskId a = 0; a < g.num_tasks() && !applied; ++a) {
+        if (g.task(a).is_marker() || duration(m, a) <= 0.0) continue;
+        for (core::TaskId b = a + 1; b < g.num_tasks() && !applied; ++b) {
+          if (g.task(b).is_marker() || duration(m, b) <= 0.0) continue;
+          const sched::TaskSlot& sa = slot_of(m, a);
+          const sched::TaskSlot& sb = slot_of(m, b);
+          if (std::max(sa.start, sb.start) + 1e-12 >=
+              std::min(sa.finish, sb.finish)) {
+            continue;  // no temporal overlap
+          }
+          bool disjoint = true;
+          for (const int c : sa.cores) {
+            for (const int d : sb.cores) {
+              if (c == d) disjoint = false;
+            }
+          }
+          if (!disjoint || sa.cores.empty() || sb.cores.empty()) continue;
+          slot_of(m, a).cores[0] = sb.cores[0];
+          applied = true;
+        }
+      }
+      if (applied) expect_code("overlap", m, analysis::kCertOverlap);
+    }
+
+    // PTC003: oversubscribe a layer group past the machine size.
+    if (base.has_layers() && !base.layered.layers.empty() &&
+        !base.layered.layers.front().group_sizes.empty()) {
+      sched::Schedule m = base;
+      m.layered.layers.front().group_sizes.front() += 1;
+      expect_code("oversubscribed-group", m, analysis::kCertAllocation);
+    }
+
+    // PTC004: edit the declared makespan away from the last slot finish.
+    {
+      sched::Schedule m = base;
+      m.gantt.makespan = m.gantt.makespan > 0.0 ? m.gantt.makespan * 1.5 : 1.0;
+      expect_code("makespan-edit", m, analysis::kCertMakespan);
+    }
+
+    // PTC005: collapse every start to 0 and declare the longest single slot
+    // as the makespan -- internally consistent arithmetic, but below the
+    // critical-path lower bound whenever some dependent pair's combined work
+    // exceeds every individual slot.  (If the longest *independent* task
+    // dominates every chain, the collapsed makespan still meets the bound
+    // and the corruption is undetectable by construction -- skip it then.)
+    {
+      double longest = 0.0;
+      for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+        if (!g.task(id).is_marker())
+          longest = std::max(longest, duration(base, id));
+      }
+      double best_chain = 0.0;
+      for (core::TaskId u = 0; u < g.num_tasks(); ++u) {
+        if (g.task(u).is_marker() || duration(base, u) <= 0.0) continue;
+        for (const core::TaskId v : g.successors(u)) {
+          if (!g.task(v).is_marker() && duration(base, v) > 0.0) {
+            best_chain =
+                std::max(best_chain, duration(base, u) + duration(base, v));
+          }
+        }
+      }
+      // Clear the certifier's slack (rel_tol ~1e-9) by a wide margin so the
+      // violation is unambiguous.
+      if (best_chain > longest * (1.0 + 1e-6) + 1e-9) {
+        sched::Schedule m = base;
+        double longest = 0.0;
+        for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+          if (g.task(id).is_marker()) continue;
+          sched::TaskSlot& s = slot_of(m, id);
+          const double d = s.finish - s.start;
+          s.start = 0.0;
+          s.finish = d;
+          longest = std::max(longest, d);
+        }
+        m.gantt.makespan = longest;
+        expect_code("bound-violation", m, analysis::kCertLowerBound);
+      }
+    }
+  }
+
+  void expect_code(const std::string& name, const sched::Schedule& mutated,
+                   std::string_view code) {
+    ++report_.certifier_mutations;
+    const analysis::Certificate cert =
+        analysis::certify(instance_.graph, mutated, certifier_options());
+    if (!cert.report.has(code)) {
+      fail("certifier-mutation[" + name + "]",
+           "schedule corruption was not flagged as " + std::string(code) +
+               "; certifier said:\n" + analysis::render_text(cert.report));
     }
   }
 

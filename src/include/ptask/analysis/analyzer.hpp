@@ -21,7 +21,13 @@
 ///  4. cost-model sanity -- negative or non-monotone T(M, q) over
 ///     q in {1..P}, zero-cost tasks that make LPT assignment arbitrary;
 ///  5. schedule lints (warning tier) -- idle-core layers and
-///     re-distribution-dominated edges that indicate a bad group count.
+///     re-distribution-dominated edges that indicate a bad group count;
+///  6. ordering/deadlock (error tier, PTA05x) -- cycles in the combined
+///     schedule+graph precedence order and cross-group re-distribution that
+///     reverses the layer order;
+///  7. allocation sanity (warning tier, PTA06x) -- makespans blowing past
+///     alpha x the symbolic lower bound and group widths outside the
+///     monotonic-speedup region of a task's profile.
 ///
 /// All entry points return a `Report` of `Diagnostic`s with stable PTA0xx
 /// codes (see diagnostics.hpp); none of them throws on a bad graph.
@@ -40,6 +46,8 @@ struct AnalyzerOptions {
   bool size_consistency = true;  ///< pass 2 (PTA010, PTA011)
   bool graph_hygiene = true;     ///< pass 3 (PTA020..PTA023)
   bool cost_sanity = true;       ///< pass 4 (PTA030..PTA032)
+  bool ordering_checks = true;     ///< pass 6 (PTA050, PTA051)
+  bool allocation_sanity = true;   ///< pass 7 (PTA060, PTA061)
 
   /// Element granularity of re-distribution payloads (the re-distribution
   /// machinery moves sizeof(double)-element vectors).
@@ -50,6 +58,11 @@ struct AnalyzerOptions {
   /// PTA041 fires when re-distribution exceeds this fraction of the consumer
   /// task's time (per edge) or of the makespan (whole schedule).
   double redistribution_dominance = 0.5;
+  /// PTA060 fires when the makespan exceeds this factor times the symbolic
+  /// lower bound max(total work / P, critical path at best widths).  The
+  /// default is deliberately loose: only schedules that are wasteful beyond
+  /// any strategy trade-off are flagged.
+  double makespan_alpha = 24.0;
 };
 
 class Analyzer {
@@ -81,9 +94,11 @@ class Analyzer {
   Report lint(const core::TaskGraph& graph, const sched::GanttSchedule& schedule,
               const cost::CostModel& cost) const;
 
-  /// Pass 5 on a canonical schedule: lints the strategy's native
+  /// Passes 5-7 on a canonical schedule: lints the strategy's native
   /// representation (the layered view when the strategy produced layers,
-  /// the Gantt view otherwise), scoped by the strategy name.
+  /// the Gantt view otherwise), then runs the ordering/deadlock tier
+  /// (PTA050, PTA051) and the allocation-sanity tier (PTA060, PTA061) on
+  /// the uniform Gantt view.  Scoped by the strategy name.
   Report lint(const sched::Schedule& schedule,
               const cost::CostModel& cost) const;
 

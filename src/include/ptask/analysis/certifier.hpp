@@ -1,0 +1,128 @@
+#pragma once
+/// \file certifier.hpp
+/// Independent schedule certifier (ptask::analysis::certify).
+///
+/// Every other correctness signal in the tree shares code with the
+/// schedulers it audits: `sched::validate` lives next to the pipeline, the
+/// fuzz oracles price schedules through the same `cost::CostModel`, and the
+/// serve differential replays the same `Pipeline`.  The certifier is the
+/// minimal-trust auditor that closes the loop: it re-derives feasibility of
+/// a canonical `sched::Schedule` from first principles, calling *none* of
+/// `sched::validate`, `sched::Pipeline`, or any cost-model pricing path.
+/// Every quantity it checks is recomputed from the schedule bytes
+/// themselves (slot start/finish/cores, group sizes, the contraction
+/// tables) -- so a scheduler bug and a validator bug would have to agree
+/// byte-for-byte to slip a bad schedule past it.
+///
+/// Certified invariants, each with a stable PTC00x code:
+///
+///   PTC001  precedence: for every contracted-graph edge u -> v between
+///           scheduled tasks, v starts no earlier than u finishes
+///   PTC002  occupancy: no symbolic core executes two overlapping slots
+///   PTC003  allocation: slots within [0, P), no duplicate cores, the
+///           per-task allocation restates the slot width, layered group
+///           sizes positive and summing exactly to P (no oversubscription),
+///           every layer task assigned to an existing group of its width
+///   PTC004  makespan arithmetic: finish >= start >= 0 per slot, no slot
+///           past the declared makespan, and the declared makespan equals
+///           the last slot finish exactly (up to FP round-off)
+///   PTC005  lower bounds: the certified makespan is >= both symbolic
+///           lower bounds derived from the schedule's own slot durations --
+///           the longest dependency chain (critical path) and
+///           total core-time / P (total-work bound)
+///   PTC006  structure: the chain contraction covers the original graph
+///           (every original task in exactly one members list, consistent
+///           representatives), slot/allocation tables sized to the
+///           contracted graph, original edges preserved across the
+///           contraction, layered tasks appearing in exactly one layer
+///
+/// `certify` returns a `Certificate`: the diagnostic report plus the
+/// machine-checkable evidence -- per-layer time bounds, per-core occupancy
+/// intervals, both lower bounds, and an FNV-1a 64-bit hash of the canonical
+/// schedule serialization (`serve::serialize_schedule`), so a certificate
+/// can be matched to the exact schedule bytes the service cached.
+/// `render_json` emits the certificate as JSON for tooling and CI
+/// artifacts.  See docs/ANALYSIS.md for the full code table.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ptask/analysis/diagnostics.hpp"
+#include "ptask/core/task_graph.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::analysis {
+
+// Stable certifier codes (use the constants, not string literals).
+inline constexpr std::string_view kCertPrecedence = "PTC001";
+inline constexpr std::string_view kCertOverlap = "PTC002";
+inline constexpr std::string_view kCertAllocation = "PTC003";
+inline constexpr std::string_view kCertMakespan = "PTC004";
+inline constexpr std::string_view kCertLowerBound = "PTC005";
+inline constexpr std::string_view kCertStructure = "PTC006";
+
+struct CertifierOptions {
+  /// Relative tolerance for floating-point comparisons between quantities
+  /// the schedulers compute with a different association order (matches the
+  /// fuzz oracles' rel_tol).  Absolute slack of 1e-12 is always granted.
+  double rel_tol = 1e-9;
+  /// Record the per-core occupancy intervals in the certificate (the checks
+  /// always run; this only controls the evidence payload size).
+  bool record_intervals = true;
+};
+
+/// The certifier's output: the findings plus the re-derived evidence.
+struct Certificate {
+  Report report;  ///< PTC00x diagnostics; empty == certified
+
+  bool ok() const { return report.clean(); }
+
+  double makespan = 0.0;             ///< declared makespan under audit
+  double critical_path_bound = 0.0;  ///< longest chain of slot durations
+  double work_bound = 0.0;           ///< sum(duration x width) / P
+
+  /// FNV-1a 64-bit hash of serve::serialize_schedule(schedule): ties the
+  /// certificate to the exact canonical schedule bytes.
+  std::uint64_t schedule_hash = 0;
+
+  /// Time bounds of each layer (layered strategies only): earliest start
+  /// and latest finish over the layer's tasks.
+  struct LayerBound {
+    double start = 0.0;
+    double finish = 0.0;
+  };
+  std::vector<LayerBound> layer_bounds;
+
+  /// One slot's occupancy of one core; `intervals` is sorted by
+  /// (core, start, finish) and covers every scheduled (non-marker) task.
+  struct CoreInterval {
+    int core = 0;
+    core::TaskId task = core::kInvalidTask;
+    double start = 0.0;
+    double finish = 0.0;
+  };
+  std::vector<CoreInterval> intervals;
+};
+
+/// FNV-1a 64-bit hash (the certificate/schedule fingerprint; no external
+/// dependency, stable across platforms).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Lower-case hex rendering of a 64-bit hash ("0x" prefixed, 16 digits).
+std::string hash_hex(std::uint64_t hash);
+
+/// Certifies `schedule` against the *original* (pre-contraction) graph it
+/// was computed from.  Never throws on a bad schedule -- every problem
+/// becomes a PTC00x diagnostic in the certificate's report.
+Certificate certify(const core::TaskGraph& original,
+                    const sched::Schedule& schedule,
+                    const CertifierOptions& options = {});
+
+/// Machine-checkable JSON rendering of a certificate: verdict, schedule
+/// hash, makespan and both lower bounds, per-layer bounds, per-core
+/// intervals, and the diagnostics.
+std::string render_json(const Certificate& certificate);
+
+}  // namespace ptask::analysis

@@ -31,6 +31,22 @@
 ///   PTA041  warning  re-distribution-dominated: a cross-group edge (or the
 ///                    whole schedule) pays more re-distribution than compute,
 ///                    indicating a bad group count
+///   PTA050  error    ordering deadlock: the combined schedule+graph
+///                    precedence order (graph edges plus same-core execution
+///                    order) contains a cycle
+///   PTA051  error    layer-order reversal: a cross-group re-distribution
+///                    edge whose consumer layer does not come after its
+///                    producer layer
+///   PTA060  warning  makespan blow-up: the schedule's makespan exceeds
+///                    alpha x the symbolic lower bound max(work/P, longest
+///                    single task)
+///   PTA061  warning  non-monotonic allocation: a task's group is wider than
+///                    the monotonic-speedup region of its profile (the last
+///                    core(s) add no speedup)
+///
+/// The independent schedule certifier (certifier.hpp) emits PTC001..PTC006
+/// into the same Report type; those codes are registered here as well so
+/// describe()/all_codes() cover every diagnostic the tree can produce.
 ///
 /// See docs/ANALYSIS.md for a minimal triggering example per code.
 
@@ -60,6 +76,10 @@ inline constexpr std::string_view kBadCostModel = "PTA031";
 inline constexpr std::string_view kZeroCostTask = "PTA032";
 inline constexpr std::string_view kIdleCores = "PTA040";
 inline constexpr std::string_view kRedistributionDominated = "PTA041";
+inline constexpr std::string_view kOrderingDeadlock = "PTA050";
+inline constexpr std::string_view kLayerOrderReversal = "PTA051";
+inline constexpr std::string_view kMakespanBlowup = "PTA060";
+inline constexpr std::string_view kNonMonotonicAllocation = "PTA061";
 
 /// One-line description of a diagnostic code; empty for unknown codes.
 std::string_view describe(std::string_view code);

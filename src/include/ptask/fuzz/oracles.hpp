@@ -34,7 +34,15 @@
 ///     by construction), and seeded mutations must be flagged: corrupting a
 ///     matched parameter's byte size must raise PTA010, and removing (or
 ///     omitting) an ordering edge between conflicting tasks must raise
-///     PTA001/PTA002.
+///     PTA001/PTA002;
+///  7. independent certification -- every candidate schedule of the sweep
+///     (registry strategies, layer variants, the portfolio winner) must
+///     pass `analysis::certify`, the minimal-trust checker that shares no
+///     code with the schedulers or the validator; and seeded schedule
+///     corruptions must each be caught by the matching PTC code: a
+///     precedence swap by PTC001, a core-occupancy overlap by PTC002, an
+///     oversubscribed layer group by PTC003, a makespan edit by PTC004,
+///     and a lower-bound violation by PTC005.
 ///
 /// A failed oracle appends a message (with the instance seed and name) to
 /// the report instead of asserting, so one harness run reports every
@@ -75,6 +83,9 @@ struct OracleOptions {
   rt::FaultOptions executor_faults{};
   /// Run the static analyzer as oracle 6 (lint-clean + seeded mutations).
   bool check_lint = true;
+  /// Run the independent certifier as oracle 7 (every candidate schedule
+  /// certifies clean + seeded schedule corruptions are caught).
+  bool check_certifier = true;
 };
 
 struct OracleReport {
@@ -83,6 +94,8 @@ struct OracleReport {
   int executor_runs = 0;      ///< distinct schedules executed for real
   int lints_checked = 0;      ///< graphs analyzed by the lint-clean oracle
   int lint_mutations = 0;     ///< seeded mutations checked for detection
+  int certificates_checked = 0;  ///< schedules put through analysis::certify
+  int certifier_mutations = 0;   ///< seeded schedule corruptions checked
   bool ok() const { return errors.empty(); }
   /// All error messages joined, for test failure output.
   std::string summary() const;

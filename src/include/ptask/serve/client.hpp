@@ -65,7 +65,11 @@ std::string response_error_code(std::string_view payload);
 /// The serialized schedule body of a success response ("" when absent).
 /// Byte-exact extraction: the returned text is the exact sub-range the
 /// server produced with serialize_schedule, so it can be compared against a
-/// local run byte for byte.
+/// local run byte for byte.  A trailing "certificate_hash" member (certified
+/// responses) is sliced off along with the envelope.
 std::string response_schedule_json(std::string_view payload);
+
+/// The "certificate_hash" of a certified success response ("" when absent).
+std::string response_certificate_hash(std::string_view payload);
 
 }  // namespace ptask::serve

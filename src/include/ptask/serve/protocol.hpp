@@ -17,6 +17,14 @@
 ///               `serialize_schedule` and is *canonical*: the same request
 ///               content always yields byte-identical bytes, whether the
 ///               answer was computed or served from the daemon's cache.
+///               With the opt-in member "certify":true, the schedule is
+///               additionally audited by the independent certifier
+///               (analysis::certify) before it is cached; the response then
+///               carries "certificate_hash", the FNV-1a 64-bit hash of the
+///               schedule bytes, and a failed audit is the PTS006 error
+///               (never cached -- a later request recomputes).  The certify
+///               flag is part of the canonical cache key, so certified and
+///               uncertified answers never alias.
 ///   stats    -- {"type":"stats"}  Returns the service counters (requests,
 ///               cache hits/misses, per-code error counts, latency
 ///               quantiles, in-flight requests).
@@ -31,6 +39,8 @@
 ///   PTS003  unknown scheduler name
 ///   PTS004  empty graph (zero tasks)
 ///   PTS005  request frame larger than the server's configured limit
+///   PTS006  certification failure: a requested independent audit of the
+///           computed schedule found a PTC00x violation
 ///
 /// Every error increments a `serve.error.PTS00x` counter in the metrics
 /// registry.  See docs/SERVICE.md for the full field tables.
@@ -53,6 +63,7 @@ inline constexpr std::string_view kErrBadRequest = "PTS002";
 inline constexpr std::string_view kErrUnknownScheduler = "PTS003";
 inline constexpr std::string_view kErrEmptyGraph = "PTS004";
 inline constexpr std::string_view kErrTooLarge = "PTS005";
+inline constexpr std::string_view kErrCertification = "PTS006";
 
 /// One-line description of a protocol error code; empty for unknown codes.
 std::string_view describe_error(std::string_view code);
@@ -75,6 +86,9 @@ struct ScheduleRequest {
   int total_cores = 1;
   arch::MachineSpec machine;
   core::TaskGraph graph;
+  /// Opt-in independent audit: run analysis::certify on the computed
+  /// schedule and fail the request with PTS006 when it does not certify.
+  bool certify = false;
 };
 
 // ---- framing ----
@@ -126,6 +140,12 @@ std::string serialize_schedule(const sched::Schedule& schedule);
 
 /// {"ok":true,"schedule":<schedule_json>}
 std::string ok_response(std::string_view schedule_json);
+
+/// {"ok":true,"schedule":<schedule_json>,"certificate_hash":"0x..."} -- the
+/// certified variant; `certificate_hash` is hash_hex(fnv1a64(bytes)) of the
+/// schedule body, so any holder of the response can re-verify the binding.
+std::string ok_response(std::string_view schedule_json,
+                        std::string_view certificate_hash);
 
 /// {"ok":false,"error":{"code":...,"message":...}}
 std::string error_response(std::string_view code, std::string_view message);

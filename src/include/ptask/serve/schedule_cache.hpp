@@ -25,11 +25,22 @@
 /// bit-identical to uncached ones by construction.  Hits and misses are
 /// counted per instance and in the global metrics registry
 /// (`serve.cache.hit` / `serve.cache.miss`).
+///
+/// The cache is optionally *bounded*: with `max_entries > 0`, completed
+/// entries past the cap are evicted least-recently-used (every publish and
+/// every ready hit refreshes recency).  Only READY entries live on the LRU
+/// list, so an in-flight single-flight placeholder can never be evicted --
+/// a burst of identical requests still costs exactly one compute even while
+/// eviction is churning the rest of the cache.  Evictions are counted per
+/// instance and as `serve.cache.evictions`.  Handed-out values are shared
+/// pointers, so evicting an entry never invalidates bytes a response is
+/// still writing.
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -44,6 +55,10 @@ class ScheduleCache {
 
   using Entry = std::shared_ptr<const std::string>;
 
+  /// `max_entries` == 0 means unbounded (no LRU bookkeeping at all).
+  explicit ScheduleCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
   /// Returns the cached value for `key`, computing it via `compute` when
   /// absent.  Concurrent callers with the same key block until the single
   /// in-flight computation finishes.  Exceptions from `compute` propagate
@@ -56,6 +71,13 @@ class ScheduleCache {
   std::uint64_t misses() const {
     return misses_.load(std::memory_order_relaxed);
   }
+  /// Completed entries dropped by the LRU cap (0 when unbounded).
+  std::uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+  /// The configured cap (0 = unbounded).
+  std::size_t max_entries() const { return max_entries_; }
 
   /// Number of completed entries (in-flight placeholders excluded).
   std::size_t entries() const;
@@ -78,9 +100,24 @@ class ScheduleCache {
 
   Shard& shard_for(const std::string& key);
 
+  /// Moves `key` to the most-recently-used position (inserting it if new).
+  /// Called only while holding no locks; takes the LRU mutex alone.
+  void touch(const std::string& key);
+  /// Evicts least-recently-used ready entries until the cap is met.  Takes
+  /// the LRU mutex and a shard mutex strictly in sequence, never nested.
+  void enforce_cap();
+
+  std::size_t max_entries_ = 0;
   std::vector<Shard> shards_{kShards};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+
+  /// LRU bookkeeping (only used when bounded): `lru_` front is most recent,
+  /// `lru_pos_` maps a key to its list node.  Only READY entries appear.
+  mutable std::mutex lru_mutex_;
+  std::list<std::string> lru_;
+  std::unordered_map<std::string, std::list<std::string>::iterator> lru_pos_;
 };
 
 }  // namespace ptask::serve

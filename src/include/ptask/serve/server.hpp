@@ -50,6 +50,9 @@ struct ServerOptions {
   /// Frames longer than this are answered with PTS005 and the connection is
   /// closed (the oversized payload is drained without buffering it).
   std::uint32_t max_request_bytes = 4u * 1024u * 1024u;
+  /// LRU cap on completed schedule-cache entries; 0 = unbounded.  Evictions
+  /// are reported as `serve.cache.evictions` and in the stats response.
+  std::size_t cache_max_entries = 0;
   /// Fault injection for the soak harness (default: from PTASK_FAULT_* env).
   rt::FaultOptions faults = rt::FaultOptions::from_env();
 };

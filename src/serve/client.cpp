@@ -141,15 +141,36 @@ std::string response_error_code(std::string_view payload) {
 }
 
 std::string response_schedule_json(std::string_view payload) {
-  // ok_response produces exactly {"ok":true,"schedule":<body>}; slicing the
-  // known envelope off preserves the body's bytes untouched.
+  // ok_response produces exactly {"ok":true,"schedule":<body>} or, for a
+  // certified request, {"ok":true,"schedule":<body>,"certificate_hash":
+  // "0x<16 hex>"}; slicing the known envelope off preserves the body's
+  // bytes untouched.
   constexpr std::string_view kPrefix = "{\"ok\":true,\"schedule\":";
   if (payload.size() < kPrefix.size() + 1 ||
       payload.substr(0, kPrefix.size()) != kPrefix || payload.back() != '}') {
     return {};
   }
-  return std::string(
-      payload.substr(kPrefix.size(), payload.size() - kPrefix.size() - 1));
+  std::string_view body =
+      payload.substr(kPrefix.size(), payload.size() - kPrefix.size() - 1);
+  constexpr std::string_view kCertKey = ",\"certificate_hash\":\"";
+  constexpr std::size_t kCertSuffix = kCertKey.size() + 18 + 1;  // "0x"+16, '"'
+  if (body.size() > kCertSuffix &&
+      body.substr(body.size() - kCertSuffix, kCertKey.size()) == kCertKey &&
+      body.back() == '"') {
+    body.remove_suffix(kCertSuffix);
+  }
+  return std::string(body);
+}
+
+std::string response_certificate_hash(std::string_view payload) {
+  try {
+    const obs::json::Value document = obs::json::parse(payload);
+    if (const obs::json::Value* hash = document.find("certificate_hash")) {
+      if (hash->is_string()) return hash->string;
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return {};
 }
 
 }  // namespace ptask::serve

@@ -193,6 +193,9 @@ std::string_view describe_error(std::string_view code) {
   if (code == kErrUnknownScheduler) return "unknown scheduler name";
   if (code == kErrEmptyGraph) return "empty graph (zero tasks)";
   if (code == kErrTooLarge) return "request exceeds the configured size limit";
+  if (code == kErrCertification) {
+    return "schedule failed independent certification";
+  }
   return {};
 }
 
@@ -310,6 +313,9 @@ std::string serialize_request(const ScheduleRequest& request) {
   out += ",\"total_cores\":" + std::to_string(request.total_cores);
   out += ",\"machine\":" + serialize_machine(request.machine);
   out += ",\"graph\":" + serialize_graph(request.graph);
+  // Emitted only when set: pre-certification request bytes stay stable, and
+  // parse -> serialize still round-trips exactly.
+  if (request.certify) out += ",\"certify\":true";
   out += '}';
   return out;
 }
@@ -338,6 +344,12 @@ ScheduleRequest parse_request(std::string_view payload) {
       parse_graph(require(document, "graph", Value::Type::Object, "request"));
   if (request.graph.num_tasks() == 0) {
     throw ProtocolError(kErrEmptyGraph, "graph has zero tasks");
+  }
+  if (const Value* certify = document.find("certify")) {
+    if (!certify->is_bool()) {
+      bad_request("request member 'certify' has the wrong type");
+    }
+    request.certify = certify->boolean;
   }
   return request;
 }
@@ -393,6 +405,16 @@ std::string serialize_schedule(const sched::Schedule& schedule) {
 std::string ok_response(std::string_view schedule_json) {
   std::string out = "{\"ok\":true,\"schedule\":";
   out += schedule_json;
+  out += '}';
+  return out;
+}
+
+std::string ok_response(std::string_view schedule_json,
+                        std::string_view certificate_hash) {
+  std::string out = "{\"ok\":true,\"schedule\":";
+  out += schedule_json;
+  out += ",\"certificate_hash\":";
+  append_json_string(out, certificate_hash);
   out += '}';
   return out;
 }

@@ -21,6 +21,7 @@ ScheduleCache::Entry ScheduleCache::get_or_compute(
   std::promise<Entry> promise;
   std::shared_future<Entry> future;
   bool owner = false;
+  bool ready_hit = false;
   {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     const auto it = shard.entries.find(key);
@@ -28,6 +29,7 @@ ScheduleCache::Entry ScheduleCache::get_or_compute(
       hits_.fetch_add(1, std::memory_order_relaxed);
       hit_counter.add();
       future = it->second.future;
+      ready_hit = it->second.ready;
     } else {
       owner = true;
       future = promise.get_future().share();
@@ -35,6 +37,11 @@ ScheduleCache::Entry ScheduleCache::get_or_compute(
     }
   }
   if (!owner) {
+    // A hit on a completed entry refreshes its LRU recency (outside the
+    // shard lock; the LRU mutex is never nested inside a shard mutex).  A
+    // hit on an in-flight placeholder is not on the LRU list yet -- the
+    // owner adds it when it publishes.
+    if (ready_hit) touch(key);
     // Another thread owns the computation: wait for its result.  get() on
     // the shared future rethrows the computing thread's exception.
     return future.get();
@@ -48,9 +55,15 @@ ScheduleCache::Entry ScheduleCache::get_or_compute(
   try {
     Entry value = std::make_shared<const std::string>(compute());
     promise.set_value(value);
-    const std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.entries.find(key);
-    if (it != shard.entries.end()) it->second.ready = true;
+    {
+      const std::lock_guard<std::mutex> lock(shard.mutex);
+      const auto it = shard.entries.find(key);
+      if (it != shard.entries.end()) it->second.ready = true;
+    }
+    // Now that the entry is READY it becomes evictable: register its
+    // recency and apply the cap.
+    touch(key);
+    enforce_cap();
     return value;
   } catch (...) {
     promise.set_exception(std::current_exception());
@@ -59,6 +72,46 @@ ScheduleCache::Entry ScheduleCache::get_or_compute(
       shard.entries.erase(key);
     }
     throw;
+  }
+}
+
+void ScheduleCache::touch(const std::string& key) {
+  if (max_entries_ == 0) return;
+  const std::lock_guard<std::mutex> lock(lru_mutex_);
+  const auto it = lru_pos_.find(key);
+  if (it != lru_pos_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(key);
+    lru_pos_[key] = lru_.begin();
+  }
+}
+
+void ScheduleCache::enforce_cap() {
+  if (max_entries_ == 0) return;
+  static obs::Counter& eviction_counter =
+      obs::metrics().counter("serve.cache.evictions");
+  while (true) {
+    std::string victim;
+    {
+      const std::lock_guard<std::mutex> lock(lru_mutex_);
+      if (lru_.size() <= max_entries_) return;
+      victim = std::move(lru_.back());
+      lru_.pop_back();
+      lru_pos_.erase(victim);
+    }
+    // The shard lock is taken only after the LRU lock is released.  Only a
+    // READY entry is dropped: a concurrent clear()/eviction may have
+    // removed it already, and an in-flight placeholder under the same key
+    // (recomputed after a clear) must not lose its single flight.
+    Shard& shard = shard_for(victim);
+    const std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.entries.find(victim);
+    if (it != shard.entries.end() && it->second.ready) {
+      shard.entries.erase(it);
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+      eviction_counter.add();
+    }
   }
 }
 
@@ -85,6 +138,11 @@ std::size_t ScheduleCache::value_bytes() const {
 }
 
 void ScheduleCache::clear() {
+  {
+    const std::lock_guard<std::mutex> lock(lru_mutex_);
+    lru_.clear();
+    lru_pos_.clear();
+  }
   for (Shard& shard : shards_) {
     const std::lock_guard<std::mutex> lock(shard.mutex);
     for (auto it = shard.entries.begin(); it != shard.entries.end();) {

@@ -13,6 +13,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "ptask/analysis/certifier.hpp"
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/obs/metrics.hpp"
 #include "ptask/sched/registry.hpp"
@@ -104,7 +105,9 @@ struct Server::ConnectionQueue {
 };
 
 Server::Server(const ServerOptions& options)
-    : options_(options), injector_(options.faults) {
+    : options_(options),
+      injector_(options.faults),
+      cache_(options.cache_max_entries) {
   if (options_.num_workers < 1) options_.num_workers = 1;
   if (options_.max_request_bytes > kMaxFrameBytes) {
     options_.max_request_bytes = kMaxFrameBytes;
@@ -281,13 +284,35 @@ std::string Server::handle_payload(std::string_view payload) {
           const std::unique_ptr<sched::Scheduler> scheduler =
               sched::SchedulerRegistry::instance().make(request.scheduler,
                                                         cost);
-          return serialize_schedule(
-              scheduler->run(request.graph, request.total_cores));
+          const sched::Schedule schedule =
+              scheduler->run(request.graph, request.total_cores);
+          // Opt-in audit before the bytes become cacheable: a certification
+          // failure throws, which evicts the single-flight placeholder --
+          // uncertifiable schedules are never served from the cache.  A
+          // cache *hit* under a certify key was therefore certified when it
+          // was computed (the flag is part of the canonical key).
+          if (request.certify) {
+            const analysis::Certificate certificate =
+                analysis::certify(request.graph, schedule, {});
+            if (!certificate.ok()) {
+              throw ProtocolError(
+                  kErrCertification,
+                  "schedule failed independent certification: " +
+                      analysis::render_text(certificate.report));
+            }
+          }
+          return serialize_schedule(schedule);
         });
     responses_ok.add();
     const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - t0);
     latency.observe(static_cast<std::uint64_t>(micros.count()));
+    if (request.certify) {
+      // The hash is a pure function of the canonical bytes, so cached hits
+      // carry the same certificate hash as the original miss.
+      return ok_response(*schedule_json,
+                         analysis::hash_hex(analysis::fnv1a64(*schedule_json)));
+    }
     return ok_response(*schedule_json);
   } catch (const ProtocolError& e) {
     count_error(e.code());
@@ -329,6 +354,8 @@ std::string Server::render_stats() const {
   out += ",\"cache\":{\"hits\":" + std::to_string(cache_.hits());
   out += ",\"misses\":" + std::to_string(cache_.misses());
   out += ",\"entries\":" + std::to_string(cache_.entries());
+  out += ",\"evictions\":" + std::to_string(cache_.evictions());
+  out += ",\"max_entries\":" + std::to_string(cache_.max_entries());
   out += ",\"value_bytes\":" + std::to_string(cache_.value_bytes()) + '}';
   out += ",\"latency_us\":{\"count\":" + std::to_string(latency.count);
   out += ",\"sum\":" + std::to_string(latency.sum);

@@ -14,6 +14,7 @@
 #include "ptask/analysis/analyzer.hpp"
 #include "ptask/arch/machine.hpp"
 #include "ptask/cost/cost_model.hpp"
+#include "ptask/sched/registry.hpp"
 #include "ptask/sched/schedule.hpp"
 
 namespace ptask::analysis {
@@ -454,6 +455,177 @@ TEST(ScheduleLint, RedistributionSmallAgainstTheMakespanIsClean) {
   s.makespan = 20.0;  // seconds; the 1 MiB move is negligible
   const cost::CostModel cm{arch::Machine(arch::chic())};
   EXPECT_EQ(Analyzer().lint(g, s, cm).count(kRedistributionDominated), 0);
+}
+
+// ---- PTA050/051/060/061: ordering and allocation-sanity tiers ----
+
+/// Canonical Schedule over `g` with an identity contraction; the caller
+/// fills in slots, allocation, and (optionally) layers.
+sched::Schedule canonical_schedule(const core::TaskGraph& g, int total_cores) {
+  sched::Schedule s;
+  s.strategy = "test";
+  s.layered = identity_schedule(g, total_cores);
+  s.gantt.total_cores = total_cores;
+  s.gantt.slots.resize(static_cast<std::size_t>(g.num_tasks()));
+  s.allocation.assign(static_cast<std::size_t>(g.num_tasks()), 1);
+  return s;
+}
+
+TEST(OrderingPass, CoreOrderContradictingPrecedenceIsADeadlock) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0e9));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0e9));
+  g.add_edge(a, b);
+  sched::Schedule s = canonical_schedule(g, 1);
+  // Core 0 runs b before a, but the graph orders a before b: the combined
+  // precedence order has the cycle a -> b -> a.
+  s.gantt.slots[0] = {{0}, 1.0, 2.0};
+  s.gantt.slots[1] = {{0}, 0.0, 1.0};
+  s.gantt.makespan = 2.0;
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  const Report r = Analyzer().lint(s, cm);
+  ASSERT_GE(r.count(kOrderingDeadlock), 1);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(OrderingPass, CoreOrderAgreeingWithPrecedenceIsClean) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0e9));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0e9));
+  g.add_edge(a, b);
+  sched::Schedule s = canonical_schedule(g, 1);
+  s.gantt.slots[0] = {{0}, 0.0, 1.0};
+  s.gantt.slots[1] = {{0}, 1.0, 2.0};
+  s.gantt.makespan = 2.0;
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  EXPECT_EQ(Analyzer().lint(s, cm).count(kOrderingDeadlock), 0);
+}
+
+TEST(OrderingPass, RedistributionAgainstTheLayerOrderIsReported) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(task_with("a", {output("x", 64)}));
+  const core::TaskId b = g.add_task(task_with("b", {input("x", 64)}));
+  g.add_edge(a, b);
+  sched::Schedule s = canonical_schedule(g, 1);
+  // Slots respect precedence, but the layer list is reversed: 'x' would be
+  // re-distributed from layer 1 back into layer 0.
+  s.gantt.slots[static_cast<std::size_t>(a)] = {{0}, 0.0, 1.0};
+  s.gantt.slots[static_cast<std::size_t>(b)] = {{0}, 1.0, 2.0};
+  s.gantt.makespan = 2.0;
+  sched::ScheduledLayer first;
+  first.tasks = {b};
+  first.group_sizes = {1};
+  first.task_group = {0};
+  sched::ScheduledLayer second;
+  second.tasks = {a};
+  second.group_sizes = {1};
+  second.task_group = {0};
+  s.layered.layers = {first, second};
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  const Report r = Analyzer().lint(s, cm);
+  ASSERT_GE(r.count(kLayerOrderReversal), 1);
+  EXPECT_EQ(r.count(kOrderingDeadlock), 0);  // the Gantt order itself is fine
+}
+
+TEST(OrderingPass, RedistributionAlongTheLayerOrderIsClean) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(task_with("a", {output("x", 64)}));
+  const core::TaskId b = g.add_task(task_with("b", {input("x", 64)}));
+  g.add_edge(a, b);
+  sched::Schedule s = canonical_schedule(g, 1);
+  s.gantt.slots[static_cast<std::size_t>(a)] = {{0}, 0.0, 1.0};
+  s.gantt.slots[static_cast<std::size_t>(b)] = {{0}, 1.0, 2.0};
+  s.gantt.makespan = 2.0;
+  sched::ScheduledLayer first;
+  first.tasks = {a};
+  first.group_sizes = {1};
+  first.task_group = {0};
+  sched::ScheduledLayer second;
+  second.tasks = {b};
+  second.group_sizes = {1};
+  second.task_group = {0};
+  s.layered.layers = {first, second};
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  EXPECT_EQ(Analyzer().lint(s, cm).count(kLayerOrderReversal), 0);
+}
+
+TEST(AllocationSanity, MakespanFarPastTheLowerBoundIsWarned) {
+  core::TaskGraph g;
+  g.add_task(core::MTask("a", 1.0e9));
+  sched::Schedule s = canonical_schedule(g, 2);
+  // 1e9 seconds for a task a single CHiC core finishes in well under a
+  // second: orders of magnitude past alpha x the symbolic lower bound.
+  s.gantt.slots[0] = {{0}, 0.0, 1.0e9};
+  s.gantt.makespan = 1.0e9;
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  const Report r = Analyzer().lint(s, cm);
+  ASSERT_GE(r.count(kMakespanBlowup), 1);
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code == kMakespanBlowup) EXPECT_EQ(d.severity, Severity::Warning);
+  }
+}
+
+TEST(AllocationSanity, GroupPastTheMonotonicSpeedupRegionIsWarned) {
+  core::TaskGraph g;
+  core::MTask t("chatty", 1.0);  // one flop of work...
+  t.add_comm(core::CollectiveOp{core::CollectiveKind::Allgather,
+                                core::CommScope::Group,
+                                std::size_t{1} << 20, 8});  // ...8 MiB moved
+  g.add_task(std::move(t));
+  sched::Schedule s = canonical_schedule(g, 2);
+  // Two cores spend longer on the collective than one core would on the
+  // whole task: the second core slows the task down.
+  s.gantt.slots[0] = {{0, 1}, 0.0, 1.0};
+  s.gantt.makespan = 1.0;
+  s.allocation = {2};
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  const Report r = Analyzer().lint(s, cm);
+  ASSERT_GE(r.count(kNonMonotonicAllocation), 1);
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.code == kNonMonotonicAllocation) {
+      EXPECT_EQ(d.severity, Severity::Warning);
+    }
+  }
+}
+
+TEST(AllocationSanity, RealLayerScheduleHasNoOrderingOrAllocationFindings) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 2.0e9));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0e9));
+  const core::TaskId c = g.add_task(core::MTask("c", 1.5e9));
+  const core::TaskId d = g.add_task(core::MTask("d", 2.5e9));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.add_start_stop_markers();
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  const sched::Schedule s =
+      sched::SchedulerRegistry::instance().make("layer", cm)->run(g, 4);
+  const Report r = Analyzer().lint(s, cm);
+  EXPECT_EQ(r.count(kOrderingDeadlock), 0);
+  EXPECT_EQ(r.count(kLayerOrderReversal), 0);
+  EXPECT_EQ(r.count(kMakespanBlowup), 0);
+  EXPECT_EQ(r.count(kNonMonotonicAllocation), 0);
+}
+
+TEST(AllocationSanity, DisabledTiersEmitNothing) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0e9));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0e9));
+  g.add_edge(a, b);
+  sched::Schedule s = canonical_schedule(g, 1);
+  s.gantt.slots[0] = {{0}, 1.0, 2.0};   // deadlock shape...
+  s.gantt.slots[1] = {{0}, 0.0, 1.0};
+  s.gantt.makespan = 1.0e9;             // ...and a makespan blowup
+  AnalyzerOptions options;
+  options.ordering_checks = false;
+  options.allocation_sanity = false;
+  const cost::CostModel cm{arch::Machine(arch::chic())};
+  const Report r = Analyzer(options).lint(s, cm);
+  EXPECT_EQ(r.count(kOrderingDeadlock), 0);
+  EXPECT_EQ(r.count(kMakespanBlowup), 0);
+  EXPECT_EQ(r.count(kNonMonotonicAllocation), 0);
 }
 
 // ---- report plumbing and rendering ----

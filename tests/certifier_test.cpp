@@ -1,0 +1,350 @@
+// Unit coverage for ptask::analysis::certify, the independent schedule
+// certifier: a handmade feasible schedule certifies clean (the negative for
+// every PTC00x code at once), and one targeted corruption per code triggers
+// exactly that diagnostic.  Real registry schedulers must certify clean on
+// a real graph, the certificate hash must tie to the canonical schedule
+// bytes, and render_json must carry the machine-checkable evidence.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ptask/analysis/certifier.hpp"
+#include "ptask/arch/machine.hpp"
+#include "ptask/cost/cost_model.hpp"
+#include "ptask/sched/registry.hpp"
+#include "ptask/sched/schedule.hpp"
+#include "ptask/serve/protocol.hpp"
+
+namespace ptask::analysis {
+namespace {
+
+/// Original graph of the handmade fixture: a -> b plus an independent c.
+core::TaskGraph fixture_graph() {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 1.0e9));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0e9));
+  g.add_task(core::MTask("c", 1.0e9));
+  g.add_edge(a, b);
+  return g;
+}
+
+/// A feasible two-layer schedule over 3 symbolic cores, built by hand so
+/// tests can corrupt exactly one invariant at a time:
+///   layer 0: a on core {0} at [0, 1), c on cores {1, 2} at [0, 1.5)
+///   layer 1: b on core {0} at [1, 2)
+sched::Schedule fixture_schedule(const core::TaskGraph& g) {
+  sched::Schedule s;
+  s.strategy = "handmade";
+  s.layered.total_cores = 3;
+  s.layered.contraction.contracted = g;
+  for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+    s.layered.contraction.members.push_back({id});
+    s.layered.contraction.representative.push_back(id);
+  }
+  sched::ScheduledLayer layer0;
+  layer0.tasks = {0, 2};
+  layer0.group_sizes = {1, 2};
+  layer0.task_group = {0, 1};
+  sched::ScheduledLayer layer1;
+  layer1.tasks = {1};
+  layer1.group_sizes = {1, 2};
+  layer1.task_group = {0};
+  s.layered.layers = {layer0, layer1};
+  s.gantt.total_cores = 3;
+  s.gantt.slots = {{{0}, 0.0, 1.0}, {{0}, 1.0, 2.0}, {{1, 2}, 0.0, 1.5}};
+  s.gantt.makespan = 2.0;
+  s.allocation = {1, 1, 2};
+  return s;
+}
+
+const std::vector<std::string_view>& all_ptc_codes() {
+  static const std::vector<std::string_view> codes = {
+      kCertPrecedence, kCertOverlap,    kCertAllocation,
+      kCertMakespan,   kCertLowerBound, kCertStructure};
+  return codes;
+}
+
+// ---- the feasible fixture is the negative case for every code ----
+
+TEST(Certifier, FeasibleHandmadeScheduleCertifiesClean) {
+  const core::TaskGraph g = fixture_graph();
+  const Certificate cert = certify(g, fixture_schedule(g));
+  EXPECT_TRUE(cert.ok()) << render_text(cert.report);
+  for (const std::string_view code : all_ptc_codes()) {
+    EXPECT_FALSE(cert.report.has(code)) << code;
+  }
+  EXPECT_DOUBLE_EQ(cert.makespan, 2.0);
+  // Critical path a -> b from the slot durations: 1 + 1.
+  EXPECT_DOUBLE_EQ(cert.critical_path_bound, 2.0);
+  // Core-time (1*1 + 1*1 + 1.5*2) over 3 cores.
+  EXPECT_DOUBLE_EQ(cert.work_bound, 5.0 / 3.0);
+  ASSERT_EQ(cert.layer_bounds.size(), 2u);
+  EXPECT_DOUBLE_EQ(cert.layer_bounds[0].start, 0.0);
+  EXPECT_DOUBLE_EQ(cert.layer_bounds[0].finish, 1.5);
+  EXPECT_DOUBLE_EQ(cert.layer_bounds[1].start, 1.0);
+  EXPECT_DOUBLE_EQ(cert.layer_bounds[1].finish, 2.0);
+  // One interval per occupied core: a@0, b@0, c@1, c@2.
+  EXPECT_EQ(cert.intervals.size(), 4u);
+}
+
+// ---- PTC001: precedence ----
+
+TEST(Certifier, Ptc001SuccessorStartingEarlyIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  // b (successor of a) rescheduled onto free core 1 starting at 0.5, before
+  // a finishes at 1.0.  Every other invariant is kept intact: one task per
+  // core, groups of width 1, makespan equal to the last finish (1.5) and
+  // still >= both lower bounds (critical path 1 + 0.5, work 3.0 / 3).
+  s.gantt.slots = {{{0}, 0.0, 1.0}, {{1}, 0.5, 1.0}, {{2}, 0.0, 1.5}};
+  s.gantt.makespan = 1.5;
+  s.allocation = {1, 1, 1};
+  s.layered.layers[0].group_sizes = {1, 1, 1};
+  s.layered.layers[0].task_group = {0, 1};
+  s.layered.layers[1].group_sizes = {1, 1, 1};
+  s.layered.layers[1].task_group = {0};
+  const Certificate cert = certify(g, s);
+  EXPECT_FALSE(cert.ok());
+  EXPECT_TRUE(cert.report.has(kCertPrecedence)) << render_text(cert.report);
+  // The corruption is caught by a *distinct* diagnostic: nothing else fires.
+  for (const std::string_view code : all_ptc_codes()) {
+    if (code == kCertPrecedence) continue;
+    EXPECT_FALSE(cert.report.has(code)) << code << "\n"
+                                        << render_text(cert.report);
+  }
+}
+
+// ---- PTC002: per-core occupancy ----
+
+TEST(Certifier, Ptc002OverlappingSlotsOnOneCoreAreReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  // c moves onto core 0 where a occupies [0, 1).
+  s.gantt.slots[2] = {{0}, 0.0, 1.5};
+  s.allocation[2] = 1;
+  s.layered.layers[0].group_sizes = {1, 2};
+  s.layered.layers[0].task_group = {0, 0};
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertOverlap)) << render_text(cert.report);
+}
+
+TEST(Certifier, Ptc002BackToBackSlotsAreNotAnOverlap) {
+  const core::TaskGraph g = fixture_graph();
+  const Certificate cert = certify(g, fixture_schedule(g));
+  // a [0,1) and b [1,2) share core 0 back-to-back: no overlap.
+  EXPECT_FALSE(cert.report.has(kCertOverlap));
+}
+
+// ---- PTC003: allocation / group bounds ----
+
+TEST(Certifier, Ptc003AllocationDisagreeingWithSlotWidthIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.allocation[0] = 2;  // slot of a spans one core
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertAllocation)) << render_text(cert.report);
+}
+
+TEST(Certifier, Ptc003CoreOutsideTheMachineIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.gantt.slots[0].cores = {7};  // machine is [0, 3)
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertAllocation));
+}
+
+TEST(Certifier, Ptc003OversubscribedLayerGroupsAreReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.layered.layers[0].group_sizes = {2, 2};  // sums to 4 on a 3-core machine
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertAllocation));
+  bool oversubscribed_mentioned = false;
+  for (const Diagnostic& d : cert.report.diagnostics) {
+    oversubscribed_mentioned |=
+        d.message.find("oversubscribed") != std::string::npos;
+  }
+  EXPECT_TRUE(oversubscribed_mentioned) << render_text(cert.report);
+}
+
+// ---- PTC004: makespan arithmetic ----
+
+TEST(Certifier, Ptc004MakespanNotEqualToLastFinishIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.gantt.makespan = 5.0;  // last slot finishes at 2.0
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertMakespan)) << render_text(cert.report);
+}
+
+TEST(Certifier, Ptc004SlotFinishingPastTheMakespanIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.gantt.makespan = 1.6;  // b finishes at 2.0
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertMakespan));
+}
+
+TEST(Certifier, Ptc004NegativeStartAndInvertedSlotAreReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.gantt.slots[2] = {{1, 2}, 1.5, 0.0};  // finish before start
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertMakespan));
+}
+
+// ---- PTC005: symbolic lower bounds ----
+
+TEST(Certifier, Ptc005MakespanBelowTheCriticalPathIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  // Collapse every start to 0 (the fuzz oracle's "bound violation"
+  // corruption): makespan 1.5 < critical path a->b of 2.0.
+  s.gantt.slots[0] = {{0}, 0.0, 1.0};
+  s.gantt.slots[1] = {{2}, 0.0, 1.0};
+  s.gantt.slots[2] = {{1}, 0.0, 1.5};
+  s.allocation = {1, 1, 1};
+  s.layered.layers.clear();
+  s.gantt.makespan = 1.5;
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertLowerBound)) << render_text(cert.report);
+}
+
+TEST(Certifier, Ptc005MakespanAboveBothBoundsIsClean) {
+  const core::TaskGraph g = fixture_graph();
+  const Certificate cert = certify(g, fixture_schedule(g));
+  EXPECT_FALSE(cert.report.has(kCertLowerBound));
+  EXPECT_GE(cert.makespan, cert.critical_path_bound);
+  EXPECT_GE(cert.makespan, cert.work_bound);
+}
+
+// ---- PTC006: structure ----
+
+TEST(Certifier, Ptc006TruncatedSlotTableIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.gantt.slots.resize(2);
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertStructure)) << render_text(cert.report);
+}
+
+TEST(Certifier, Ptc006ContractionNotCoveringTheGraphIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.layered.contraction.representative.resize(2);
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertStructure));
+}
+
+TEST(Certifier, Ptc006TaskMissingFromEveryLayerIsReported) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  s.layered.layers[1].tasks.clear();  // b no longer appears in any layer
+  s.layered.layers[1].task_group.clear();
+  const Certificate cert = certify(g, s);
+  EXPECT_TRUE(cert.report.has(kCertStructure)) << render_text(cert.report);
+}
+
+TEST(Certifier, Ptc006DroppedOriginalEdgeIsReported) {
+  core::TaskGraph original = fixture_graph();
+  const core::TaskGraph contracted_without_edge = [] {
+    core::TaskGraph g;
+    g.add_task(core::MTask("a", 1.0e9));
+    g.add_task(core::MTask("b", 1.0e9));
+    g.add_task(core::MTask("c", 1.0e9));
+    return g;  // a -> b silently dropped
+  }();
+  sched::Schedule s = fixture_schedule(contracted_without_edge);
+  const Certificate cert = certify(original, s);
+  EXPECT_TRUE(cert.report.has(kCertStructure)) << render_text(cert.report);
+}
+
+// ---- hashing ----
+
+TEST(CertifierHash, Fnv1a64MatchesTheReferenceConstants) {
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  // One step by hand: (basis ^ 'a') * prime.
+  EXPECT_EQ(fnv1a64("a"),
+            (14695981039346656037ull ^ static_cast<std::uint64_t>('a')) *
+                1099511628211ull);
+  EXPECT_NE(fnv1a64("schedule"), fnv1a64("schedulf"));
+}
+
+TEST(CertifierHash, HashHexIsZeroPaddedLowercase) {
+  EXPECT_EQ(hash_hex(0), "0x0000000000000000");
+  EXPECT_EQ(hash_hex(0xdeadbeefull), "0x00000000deadbeef");
+  EXPECT_EQ(hash_hex(fnv1a64("x")).size(), 18u);
+}
+
+TEST(CertifierHash, CertificateHashTiesToTheCanonicalScheduleBytes) {
+  const core::TaskGraph g = fixture_graph();
+  const sched::Schedule s = fixture_schedule(g);
+  const Certificate cert = certify(g, s);
+  EXPECT_EQ(cert.schedule_hash, fnv1a64(serve::serialize_schedule(s)));
+  EXPECT_NE(cert.schedule_hash, 0u);
+  // Deterministic: certifying again yields the identical fingerprint.
+  EXPECT_EQ(certify(g, s).schedule_hash, cert.schedule_hash);
+}
+
+// ---- real schedulers certify clean ----
+
+TEST(Certifier, EveryRegistrySchedulerProducesACertifiableSchedule) {
+  core::TaskGraph g;
+  const core::TaskId a = g.add_task(core::MTask("a", 2.0e9));
+  const core::TaskId b = g.add_task(core::MTask("b", 1.0e9));
+  const core::TaskId c = g.add_task(core::MTask("c", 1.5e9));
+  const core::TaskId d = g.add_task(core::MTask("d", 2.5e9));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.add_start_stop_markers();
+  const cost::CostModel cost{arch::Machine(arch::chic())};
+  for (const std::string& name : sched::SchedulerRegistry::instance().names()) {
+    const sched::Schedule schedule =
+        sched::SchedulerRegistry::instance().make(name, cost)->run(g, 8);
+    const Certificate cert = certify(g, schedule);
+    EXPECT_TRUE(cert.ok()) << name << ":\n" << render_text(cert.report);
+  }
+}
+
+// ---- options and rendering ----
+
+TEST(Certifier, RecordIntervalsOffKeepsTheChecksButDropsTheEvidence) {
+  const core::TaskGraph g = fixture_graph();
+  sched::Schedule s = fixture_schedule(g);
+  CertifierOptions options;
+  options.record_intervals = false;
+  EXPECT_TRUE(certify(g, s, options).intervals.empty());
+  // The occupancy check itself still runs.
+  s.gantt.slots[2] = {{0}, 0.0, 1.5};
+  s.allocation[2] = 1;
+  s.layered.layers[0].task_group = {0, 0};
+  const Certificate corrupt = certify(g, s, options);
+  EXPECT_TRUE(corrupt.report.has(kCertOverlap));
+  EXPECT_TRUE(corrupt.intervals.empty());
+}
+
+TEST(Certifier, RenderJsonCarriesVerdictHashBoundsAndEvidence) {
+  const core::TaskGraph g = fixture_graph();
+  const Certificate cert = certify(g, fixture_schedule(g));
+  const std::string json = render_json(cert);
+  EXPECT_NE(json.find("\"ok\":true"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"schedule_hash\":\"0x"), std::string::npos);
+  EXPECT_NE(json.find("\"bounds\":{\"critical_path\":"), std::string::npos);
+  EXPECT_NE(json.find("\"work_over_p\":"), std::string::npos);
+  EXPECT_NE(json.find("\"layers\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"intervals\":[{"), std::string::npos);
+  EXPECT_NE(json.find("\"report\":{"), std::string::npos);
+}
+
+TEST(Certifier, EveryPtcCodeHasADescription) {
+  for (const std::string_view code : all_ptc_codes()) {
+    EXPECT_FALSE(describe(code).empty()) << code;
+  }
+}
+
+}  // namespace
+}  // namespace ptask::analysis

@@ -160,6 +160,44 @@ TEST_F(FuzzScheduler, LintOracleCoversEveryGraphFamily) {
   }
 }
 
+TEST_F(FuzzScheduler, CertifierOracleCertifiesEveryFamilyAndCatchesCorruption) {
+  // The independent-certifier oracle (oracle 7): every candidate schedule of
+  // every registry strategy must certify clean across all five graph
+  // families (zero false positives), and the seeded corruption classes --
+  // precedence swap, core overlap, oversubscribed group, makespan edit,
+  // lower-bound violation -- must each be caught by their distinct PTC code
+  // (check_certifier_mutations fails the oracle otherwise).  CI runs this
+  // test standalone with a raised instance count (gtest filter '*Certifier*').
+  const std::uint64_t base = substream(base_seed(), 0xCE27);
+  const int count = instance_count();
+  std::map<GraphFamily, int> certificates_by_family;
+  int mutations = 0;
+  for (int i = 0; i < count; ++i) {
+    const Instance instance =
+        random_instance(substream(base, static_cast<std::uint64_t>(i)));
+    OracleOptions options;
+    options.check_executor = false;       // certification is the subject here
+    options.check_sim_determinism = false;
+    const OracleReport report = check_instance(instance, options);
+    EXPECT_TRUE(report.ok())
+        << "instance " << i << " (seed " << instance.seed << ", "
+        << instance.name << "):\n"
+        << report.summary()
+        << "reproduce with PTASK_FUZZ_SEED=" << base_seed();
+    certificates_by_family[instance.family] += report.certificates_checked;
+    mutations += report.certifier_mutations;
+  }
+  ASSERT_EQ(certificates_by_family.size(), 5u) << "family mix degenerated";
+  for (const auto& [family, certified] : certificates_by_family) {
+    // Every candidate schedule (at least the 9 per instance) was certified.
+    EXPECT_GE(certified, 9) << "certifier did not engage for family "
+                            << to_string(family);
+  }
+  // The makespan-edit corruption applies to every instance; most instances
+  // support all five classes.
+  EXPECT_GE(mutations, count * 2);
+}
+
 TEST_F(FuzzScheduler, EveryGraphFamilyIsGenerated) {
   const std::uint64_t base = base_seed();
   std::set<GraphFamily> seen;

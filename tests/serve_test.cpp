@@ -15,12 +15,14 @@
 #include <cmath>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "ptask/analysis/certifier.hpp"
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/fuzz/generator.hpp"
 #include "ptask/fuzz/rng.hpp"
@@ -345,6 +347,87 @@ TEST_F(ServeTest, TruncatedFrameNeverCrashesTheServer) {
   EXPECT_TRUE(response_ok(fresh.call(serialize_request(tiny_request()))));
 }
 
+// ---- schedule cache: bounded LRU ----
+
+TEST(ScheduleCache, LruCapEvictsTheLeastRecentlyUsedReadyEntry) {
+  ScheduleCache cache(2);
+  EXPECT_EQ(cache.max_entries(), 2u);
+  int computed_a = 0;
+  int computed_b = 0;
+  int computed_c = 0;
+  const auto get = [&](const std::string& key, int& counter) {
+    return cache.get_or_compute(key, [&] {
+      ++counter;
+      return "v-" + key;
+    });
+  };
+  get("a", computed_a);
+  get("b", computed_b);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  get("a", computed_a);  // touch: b becomes least recently used
+  get("c", computed_c);  // over the cap: b is evicted
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  get("a", computed_a);
+  EXPECT_EQ(computed_a, 1);  // a was touched, so it survived
+  get("b", computed_b);
+  EXPECT_EQ(computed_b, 2);  // b was evicted and had to be recomputed
+}
+
+TEST(ScheduleCache, UnboundedByDefaultNeverEvicts) {
+  ScheduleCache cache;
+  EXPECT_EQ(cache.max_entries(), 0u);
+  for (int i = 0; i < 50; ++i) {
+    cache.get_or_compute("key" + std::to_string(i),
+                         [] { return std::string("v"); });
+  }
+  EXPECT_EQ(cache.entries(), 50u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ScheduleCache, EvictionPreservesSingleFlight) {
+  // An in-flight computation must never be evicted (only completed entries
+  // sit on the LRU list), so concurrent requesters still coalesce onto one
+  // computation while the capped cache churns around them.
+  ScheduleCache cache(1);
+  std::atomic<int> computations{0};
+  std::atomic<bool> started{false};
+  constexpr int kThreads = 6;
+  std::vector<ScheduleCache::Entry> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  threads.emplace_back([&] {
+    results[0] = cache.get_or_compute("slow", [&] {
+      computations.fetch_add(1);
+      started.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      return std::string("slow-value");
+    });
+  });
+  while (!started.load()) std::this_thread::yield();
+  for (int i = 0; i < 4; ++i) {  // churn far past the cap of 1
+    cache.get_or_compute("churn" + std::to_string(i),
+                         [] { return std::string("x"); });
+  }
+  for (int t = 1; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[static_cast<std::size_t>(t)] =
+          cache.get_or_compute("slow", [&] {
+            computations.fetch_add(1);
+            return std::string("slow-value");
+          });
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(computations.load(), 1);
+  for (const ScheduleCache::Entry& entry : results) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(*entry, "slow-value");
+  }
+  EXPECT_GE(cache.evictions(), 3u);
+}
+
 // ---- stats / ping ----
 
 TEST_F(ServeTest, PingAndStatsRespond) {
@@ -395,6 +478,141 @@ TEST_F(ServeTest, ConcurrentIdenticalRequestsAtMostOneMiss) {
   }
   EXPECT_EQ(server_->cache().misses(), 1u);
   EXPECT_EQ(server_->cache().hits(), static_cast<std::uint64_t>(kThreads - 1));
+}
+
+// ---- opt-in certification (PTS006, certificate_hash) ----
+
+/// Registers a deliberately infeasible scheduler ("broken-cert-test"): every
+/// task lands on core 0 over [0, 1), so precedence and occupancy are both
+/// violated and the independent certifier must reject the result.
+void register_broken_scheduler() {
+  class BrokenScheduler final : public sched::Scheduler {
+   public:
+    std::string_view name() const override { return "broken-cert-test"; }
+    sched::Schedule run(const core::TaskGraph& g,
+                        int total_cores) const override {
+      sched::Schedule s;
+      s.strategy = std::string(name());
+      s.layered.total_cores = total_cores;
+      s.layered.contraction.contracted = g;
+      for (core::TaskId id = 0; id < g.num_tasks(); ++id) {
+        s.layered.contraction.members.push_back({id});
+        s.layered.contraction.representative.push_back(id);
+      }
+      s.gantt.total_cores = total_cores;
+      s.gantt.slots.assign(static_cast<std::size_t>(g.num_tasks()),
+                           sched::TaskSlot{{0}, 0.0, 1.0});
+      s.gantt.makespan = 1.0;
+      s.allocation.assign(static_cast<std::size_t>(g.num_tasks()), 1);
+      return s;
+    }
+  };
+  sched::SchedulerRegistry::instance().register_strategy(
+      "broken-cert-test",
+      [](const cost::CostModel&) { return std::make_unique<BrokenScheduler>(); });
+}
+
+TEST(ServeProtocol, CertifyFlagRoundTripsAndKeysTheCacheSeparately) {
+  ScheduleRequest plain = tiny_request();
+  ScheduleRequest certified = tiny_request();
+  certified.certify = true;
+  // "certify":true is emitted only when set, so legacy payloads stay stable.
+  const std::string plain_payload = serialize_request(plain);
+  const std::string certified_payload = serialize_request(certified);
+  EXPECT_EQ(plain_payload.find("certify"), std::string::npos);
+  EXPECT_NE(certified_payload.find("\"certify\":true"), std::string::npos);
+  EXPECT_TRUE(parse_request(certified_payload).certify);
+  EXPECT_FALSE(parse_request(plain_payload).certify);
+  EXPECT_EQ(serialize_request(parse_request(certified_payload)),
+            certified_payload);
+  // Distinct canonical keys: a certified cache hit was certified at miss
+  // time, never aliased with an unaudited entry.
+  EXPECT_NE(canonical_key(plain), canonical_key(certified));
+  EXPECT_FALSE(describe_error(kErrCertification).empty());
+}
+
+TEST_F(ServeTest, CertifiedResponseCarriesAMatchingCertificateHash) {
+  ScheduleRequest request = tiny_request("layer");
+  request.certify = true;
+  const std::string response = client_.call(serialize_request(request));
+  ASSERT_TRUE(response_ok(response)) << response;
+  const std::string schedule_json = response_schedule_json(response);
+  // The envelope slice stays byte-exact despite the certificate suffix.
+  ScheduleRequest uncertified = tiny_request("layer");
+  EXPECT_EQ(schedule_json, direct_schedule_bytes(uncertified));
+  const std::string hash = response_certificate_hash(response);
+  ASSERT_EQ(hash.size(), 18u) << hash;
+  EXPECT_EQ(hash, analysis::hash_hex(analysis::fnv1a64(schedule_json)));
+  // An uncertified response has no hash member.
+  const std::string plain = client_.call(serialize_request(uncertified));
+  EXPECT_TRUE(response_certificate_hash(plain).empty());
+}
+
+TEST_F(ServeTest, Pts006CertificationFailureIsNeverCached) {
+  register_broken_scheduler();
+  ScheduleRequest request = tiny_request("broken-cert-test");
+  request.certify = true;
+  const std::uint64_t before = error_counter(kErrCertification);
+  const std::string response = client_.call(serialize_request(request));
+  EXPECT_FALSE(response_ok(response));
+  EXPECT_EQ(response_error_code(response), kErrCertification);
+  EXPECT_EQ(error_counter(kErrCertification), before + 1);
+  // The rejection is not cached: an identical retry re-certifies (and is
+  // rejected again) instead of serving a poisoned entry.
+  EXPECT_EQ(response_error_code(client_.call(serialize_request(request))),
+            kErrCertification);
+  EXPECT_EQ(error_counter(kErrCertification), before + 2);
+}
+
+TEST_F(ServeTest, Pts006NegativeCertificationIsStrictlyOptIn) {
+  register_broken_scheduler();
+  const std::uint64_t before = error_counter(kErrCertification);
+  // Without "certify":true even an infeasible schedule is served (the
+  // pre-certifier contract), so certification cannot break legacy clients.
+  const std::string response =
+      client_.call(serialize_request(tiny_request("broken-cert-test")));
+  EXPECT_TRUE(response_ok(response)) << response;
+  EXPECT_EQ(error_counter(kErrCertification), before);
+}
+
+TEST_F(ServeTest, Pts006NegativeEveryRealSchedulerCertifies) {
+  const std::uint64_t before = error_counter(kErrCertification);
+  for (const std::string& name : sched::SchedulerRegistry::instance().names()) {
+    if (name == "broken-cert-test") continue;
+    ScheduleRequest request = tiny_request(name);
+    request.certify = true;
+    const std::string response = client_.call(serialize_request(request));
+    EXPECT_TRUE(response_ok(response)) << name << ": " << response;
+    EXPECT_FALSE(response_certificate_hash(response).empty()) << name;
+  }
+  EXPECT_EQ(error_counter(kErrCertification), before);
+}
+
+TEST(ServeOptions, CacheMaxEntriesBoundsTheServerCache) {
+  ServerOptions options;
+  options.cache_max_entries = 1;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const std::string first = serialize_request(tiny_request("layer"));
+  const std::string second = serialize_request(tiny_request("cpa"));
+  ASSERT_TRUE(response_ok(client.call(first)));
+  ASSERT_TRUE(response_ok(client.call(second)));  // evicts the first entry
+  EXPECT_EQ(server.cache().entries(), 1u);
+  EXPECT_EQ(server.cache().evictions(), 1u);
+  const std::uint64_t misses_before = server.cache().misses();
+  ASSERT_TRUE(response_ok(client.call(first)));  // recomputed, not a hit
+  EXPECT_EQ(server.cache().misses(), misses_before + 1);
+  // The stats response reports the bound and the eviction count.
+  const obs::json::Value document = obs::json::parse(client.stats());
+  const obs::json::Value* cache = document.find("stats")->find("cache");
+  ASSERT_NE(cache, nullptr);
+  ASSERT_NE(cache->find("evictions"), nullptr);
+  EXPECT_EQ(cache->find("evictions")->number, 2.0);
+  ASSERT_NE(cache->find("max_entries"), nullptr);
+  EXPECT_EQ(cache->find("max_entries")->number, 1.0);
+  server.stop();
 }
 
 // ---- differential oracle across the five fuzz families ----

@@ -1,17 +1,21 @@
 // ptask_lint: static analysis driver for the built-in specification
-// programs (ODE solvers, NPB multi-zone benchmarks) and ad-hoc graphs.
+// programs (ODE solvers, NPB multi-zone benchmarks), serve-protocol request
+// files, and ad-hoc graphs.
 //
 // Exit codes: 0 = no findings at the failure threshold, 1 = findings,
 // 2 = usage error.
 
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "ptask/analysis/analyzer.hpp"
+#include "ptask/analysis/certifier.hpp"
 #include "ptask/arch/machine.hpp"
 #include "ptask/core/graph_algorithms.hpp"
 #include "ptask/cost/cost_model.hpp"
@@ -20,6 +24,7 @@
 #include "ptask/sched/pipeline.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/sched/schedule.hpp"
+#include "ptask/serve/protocol.hpp"
 
 namespace {
 
@@ -27,11 +32,14 @@ using namespace ptask;
 
 struct Options {
   std::vector<std::string> programs;  // empty = all
+  std::vector<std::string> requests;  // serve-protocol request JSON files
   int steps = 2;
   std::string machine = "chic";
   std::string scheduler = "layer";
   int cores = 16;
   bool schedule = false;
+  bool certify = false;
+  std::string certificate_out;  // write the first certificate's JSON here
   bool json = false;
   bool warnings_as_errors = false;
 };
@@ -52,7 +60,17 @@ void usage(std::ostream& os) {
         "  --cores N        symbolic core count P for cost checks and\n"
         "                   scheduling (default: 16)\n"
         "  --schedule       also run the selected scheduler and the schedule\n"
-        "                   lints (PTA040/PTA041)\n"
+        "                   lints (PTA040/041, PTA050/051, PTA060/061)\n"
+        "  --certify        additionally audit every produced schedule with\n"
+        "                   the independent certifier (PTC001..PTC006);\n"
+        "                   implies --schedule\n"
+        "  --certificate-out FILE  write the first schedule's certificate as\n"
+        "                   machine-checkable JSON (requires --certify)\n"
+        "  --request FILE   lint a serve-protocol \"schedule\" request JSON\n"
+        "                   file (the exact bytes ptask_served accepts);\n"
+        "                   uses the request's own scheduler/cores/machine;\n"
+        "                   may be repeated; suppresses the built-in\n"
+        "                   programs unless --program is also given\n"
         "  --scheduler NAME scheduling strategy for --schedule, from the\n"
         "                   registry: layer|cpa|mcpa|cpr|dp|portfolio\n"
         "                   (default: layer)\n"
@@ -107,33 +125,47 @@ int env_parallel_layers() {
   return 1;
 }
 
-/// Schedules `graph` with the registry strategy selected by --scheduler and
-/// merges the schedule lints: the canonical-schedule lint (native
+/// Schedules `graph` with the registry strategy named by `scheduler_name`
+/// and merges the schedule lints: the canonical-schedule lint (native
 /// representation) plus, for layered strategies, the Gantt lints of the
-/// lowered view.  "layer" honours PTASK_SCHED_PARALLEL_LAYERS.
+/// lowered view.  "layer" honours PTASK_SCHED_PARALLEL_LAYERS.  With
+/// --certify, also audits the schedule with the independent certifier,
+/// merges its PTC findings under "certificate", and captures the first
+/// certificate's JSON for --certificate-out.
 void lint_schedule(analysis::Report& report, const analysis::Analyzer& analyzer,
-                   const core::TaskGraph& graph, const Options& opt,
-                   const cost::CostModel& cost) {
+                   const core::TaskGraph& graph,
+                   const std::string& scheduler_name, int cores,
+                   const Options& opt, const cost::CostModel& cost,
+                   std::string* certificate_json) {
   std::unique_ptr<sched::Scheduler> scheduler;
-  if (opt.scheduler == "layer") {
+  if (scheduler_name == "layer") {
     sched::LayerSchedulerOptions sopts;
     sopts.parallel_layers = env_parallel_layers();
     scheduler = std::make_unique<sched::Pipeline>(
         sched::Pipeline::algorithm1(cost, sopts));
   } else {
-    scheduler = sched::SchedulerRegistry::instance().make(opt.scheduler, cost);
+    scheduler =
+        sched::SchedulerRegistry::instance().make(scheduler_name, cost);
   }
-  const sched::Schedule schedule = scheduler->run(graph, opt.cores);
+  const sched::Schedule schedule = scheduler->run(graph, cores);
   report.merge(analyzer.lint(schedule, cost), "schedule");
   if (schedule.has_layers()) {
     report.merge(
         analyzer.lint(schedule.scheduled_graph(), schedule.gantt, cost),
         "gantt");
   }
+  if (opt.certify) {
+    const analysis::Certificate certificate = analysis::certify(graph, schedule);
+    report.merge(certificate.report, "certificate");
+    if (certificate_json != nullptr && certificate_json->empty()) {
+      *certificate_json = analysis::render_json(certificate);
+    }
+  }
 }
 
 analysis::Report lint_program(const std::string& name, const Options& opt,
-                              const arch::Machine& machine) {
+                              const arch::Machine& machine,
+                              std::string* certificate_json) {
   const analysis::Analyzer analyzer;
   analysis::Report report;
   if (name == "epol-spec") {
@@ -144,14 +176,53 @@ analysis::Report lint_program(const std::string& name, const Options& opt,
     core::TaskGraph flat = core::flatten(spec, opt.steps);
     flat.add_start_stop_markers();
     const cost::CostModel cost(machine);
-    lint_schedule(report, analyzer, flat, opt, cost);
+    lint_schedule(report, analyzer, flat, opt.scheduler, opt.cores, opt, cost,
+                  certificate_json);
     return report;
   }
   const core::TaskGraph graph = build_graph(name, opt.steps);
   report = analyzer.analyze(graph, machine, opt.cores);
   if (!opt.schedule) return report;
   const cost::CostModel cost(machine);
-  lint_schedule(report, analyzer, graph, opt, cost);
+  lint_schedule(report, analyzer, graph, opt.scheduler, opt.cores, opt, cost,
+                certificate_json);
+  return report;
+}
+
+/// Lints a serve-protocol "schedule" request file: the exact JSON bytes a
+/// ptask_served client would frame.  The request's own scheduler, core
+/// count, and machine drive the analysis, so a request can be vetted
+/// offline before it is ever sent to the daemon.  Parse failures surface as
+/// the protocol's own PTS00x codes.
+analysis::Report lint_request(const std::string& path, const Options& opt,
+                              std::string* certificate_json) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "ptask_lint: cannot read request file '" << path << "'\n";
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  serve::ScheduleRequest request = [&] {
+    try {
+      return serve::parse_request(buffer.str());
+    } catch (const serve::ProtocolError& e) {
+      std::cerr << "ptask_lint: " << path << ": " << e.code() << ": "
+                << e.what() << "\n";
+      std::exit(2);
+    }
+  }();
+  const arch::Machine machine(request.machine);
+  const analysis::Analyzer analyzer;
+  analysis::Report report =
+      analyzer.analyze(request.graph, machine, request.total_cores);
+  if (opt.schedule || opt.certify || request.certify) {
+    const cost::CostModel cost(machine);
+    Options sub = opt;
+    sub.certify = opt.certify || request.certify;
+    lint_schedule(report, analyzer, request.graph, request.scheduler,
+                  request.total_cores, sub, cost, certificate_json);
+  }
   return report;
 }
 
@@ -180,6 +251,13 @@ int main(int argc, char** argv) {
       opt.cores = std::atoi(value("--cores"));
     } else if (arg == "--schedule") {
       opt.schedule = true;
+    } else if (arg == "--certify") {
+      opt.certify = true;
+      opt.schedule = true;  // a certificate needs a schedule
+    } else if (arg == "--certificate-out") {
+      opt.certificate_out = value("--certificate-out");
+    } else if (arg == "--request") {
+      opt.requests.emplace_back(value("--request"));
     } else if (arg == "--json") {
       opt.json = true;
     } else if (arg == "--warnings-as-errors") {
@@ -214,6 +292,11 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!opt.certificate_out.empty() && !opt.certify) {
+    std::cerr << "ptask_lint: --certificate-out requires --certify\n";
+    return 2;
+  }
+
   std::vector<std::string> programs;
   for (const std::string& p : opt.programs) {
     if (p == "all") {
@@ -228,7 +311,9 @@ int main(int argc, char** argv) {
     }
     programs.push_back(p);
   }
-  if (programs.empty()) programs = all_programs();
+  // Request files replace the built-in default program set; --program adds
+  // built-ins back alongside them.
+  if (programs.empty() && opt.requests.empty()) programs = all_programs();
 
   arch::Machine machine = [&] {
     try {
@@ -239,9 +324,28 @@ int main(int argc, char** argv) {
     }
   }();
 
+  std::string certificate_json;
   analysis::Report combined;
   for (const std::string& name : programs) {
-    combined.merge(lint_program(name, opt, machine), name);
+    combined.merge(lint_program(name, opt, machine, &certificate_json), name);
+  }
+  for (const std::string& path : opt.requests) {
+    combined.merge(lint_request(path, opt, &certificate_json),
+                   "request:" + path);
+  }
+
+  if (!opt.certificate_out.empty()) {
+    if (certificate_json.empty()) {
+      std::cerr << "ptask_lint: no certificate produced (nothing scheduled)\n";
+      return 2;
+    }
+    std::ofstream out(opt.certificate_out, std::ios::binary);
+    out << certificate_json << "\n";
+    if (!out) {
+      std::cerr << "ptask_lint: cannot write '" << opt.certificate_out
+                << "'\n";
+      return 2;
+    }
   }
 
   if (opt.json) {

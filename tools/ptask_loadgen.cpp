@@ -15,6 +15,10 @@
 //               replaced by a malformed / invalid / oversized / truncated
 //               frame, and the response (or clean disconnect) is checked
 //               against the expected PTS00x error code.
+//   --certify   sets "certify":true on every pool request, so the server
+//               audits each schedule with the independent certifier before
+//               caching it; the returned certificate_hash is re-derived
+//               from the served schedule bytes and must match.
 //
 // Gates (non-zero exit when violated): any oracle mismatch, any unexpected
 // response, and --min-hit-rate R (server-side schedule cache hit rate over
@@ -43,6 +47,7 @@
 #include <thread>
 #include <vector>
 
+#include "ptask/analysis/certifier.hpp"
 #include "ptask/cost/cost_model.hpp"
 #include "ptask/fuzz/generator.hpp"
 #include "ptask/fuzz/rng.hpp"
@@ -68,6 +73,7 @@ struct Options {
   std::string family = "all";  // all | layered | series-parallel | ...
   int max_tasks = 400;
   bool oracle = false;
+  bool certify = false;
   double faults = 0.0;
   double min_hit_rate = -1.0;
   std::string stats_out;
@@ -104,6 +110,7 @@ std::vector<ScheduleRequest> build_pool(const Options& options,
     request.total_cores = instance.total_cores;
     request.machine = instance.machine;
     request.graph = instance.graph;
+    request.certify = options.certify;
     pool.push_back(std::move(request));
   }
   return pool;
@@ -123,6 +130,7 @@ struct Tally {
   std::atomic<std::uint64_t> sent{0};
   std::atomic<std::uint64_t> ok{0};
   std::atomic<std::uint64_t> oracle_mismatches{0};
+  std::atomic<std::uint64_t> certificate_mismatches{0};
   std::atomic<std::uint64_t> unexpected{0};
   std::atomic<std::uint64_t> fault_frames{0};
   std::atomic<std::uint64_t> reconnects{0};
@@ -234,6 +242,19 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
                                  "differ from direct Pipeline run");
         }
       }
+      if (options.certify) {
+        // The server certified before caching; the hash it returns must be
+        // the FNV-1a of exactly the schedule bytes it served.
+        const std::string served = serve::response_schedule_json(response);
+        const std::string hash = serve::response_certificate_hash(response);
+        if (hash.empty() ||
+            hash != ptask::analysis::hash_hex(ptask::analysis::fnv1a64(served))) {
+          tally.certificate_mismatches.fetch_add(1);
+          log_failure(tally, "CERTIFICATE MISMATCH (pool index " +
+                                 std::to_string(index) + "): hash '" + hash +
+                                 "' does not match served schedule bytes");
+        }
+      }
     } catch (const std::exception& e) {
       tally.unexpected.fetch_add(1);
       log_failure(tally, std::string("client error: ") + e.what());
@@ -252,7 +273,8 @@ int usage(const char* argv0) {
       << "usage: " << argv0
       << " (--spawn | --port N [--host H]) [--requests N] [--concurrency N]"
          " [--repeat-ratio R] [--seed S] [--scheduler NAME] [--family NAME]"
-         " [--max-tasks N] [--oracle] [--faults F] [--min-hit-rate R]"
+         " [--max-tasks N] [--oracle] [--certify] [--faults F]"
+         " [--min-hit-rate R]"
          " [--stats-out FILE] [--quiet]\n";
   return 2;
 }
@@ -292,6 +314,8 @@ int main(int argc, char** argv) {
       options.max_tasks = std::atoi(next());
     } else if (arg == "--oracle") {
       options.oracle = true;
+    } else if (arg == "--certify") {
+      options.certify = true;
     } else if (arg == "--faults") {
       options.faults = std::atof(next());
     } else if (arg == "--min-hit-rate") {
@@ -354,6 +378,7 @@ int main(int argc, char** argv) {
               << pool.size() << " unique instances, concurrency "
               << options.concurrency << ", scheduler " << options.scheduler
               << (options.oracle ? ", oracle on" : "")
+              << (options.certify ? ", certify on" : "")
               << (options.faults > 0.0 ? ", protocol faults on" : "") << "\n";
   }
 
@@ -413,6 +438,8 @@ int main(int argc, char** argv) {
               << " qps)\n";
     std::cout << "ptask_loadgen: ok=" << tally.ok.load()
               << " oracle_mismatches=" << tally.oracle_mismatches.load()
+              << " certificate_mismatches="
+              << tally.certificate_mismatches.load()
               << " unexpected=" << tally.unexpected.load();
     if (hit_rate >= 0) std::cout << " cache_hit_rate=" << hit_rate;
     std::cout << "\n";
@@ -421,7 +448,9 @@ int main(int argc, char** argv) {
   if (spawned) spawned->stop();
 
   bool failed = false;
-  if (tally.oracle_mismatches.load() != 0 || tally.unexpected.load() != 0) {
+  if (tally.oracle_mismatches.load() != 0 ||
+      tally.certificate_mismatches.load() != 0 ||
+      tally.unexpected.load() != 0) {
     failed = true;
   }
   if (options.min_hit_rate >= 0.0 && hit_rate < options.min_hit_rate) {

@@ -9,7 +9,10 @@
 //
 // Usage:
 //   ptask_served [--port N] [--workers N] [--max-request-bytes N]
-//                [--stats-out FILE] [--quiet]
+//                [--cache-max-entries N] [--stats-out FILE] [--quiet]
+//
+// --cache-max-entries bounds the schedule cache to N completed entries
+// (LRU eviction, reported as serve.cache.evictions); 0 = unbounded.
 //
 // --port 0 (the default) picks an ephemeral port; the bound port is always
 // printed as "ptask_served: listening on 127.0.0.1:<port>" so wrappers
@@ -34,7 +37,7 @@ void handle_signal(int) { g_stop = 1; }
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
             << " [--port N] [--workers N] [--max-request-bytes N]"
-               " [--stats-out FILE] [--quiet]\n";
+               " [--cache-max-entries N] [--stats-out FILE] [--quiet]\n";
   return 2;
 }
 
@@ -61,6 +64,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-request-bytes") {
       options.max_request_bytes =
           static_cast<std::uint32_t>(std::atoll(next()));
+    } else if (arg == "--cache-max-entries") {
+      options.cache_max_entries =
+          static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--stats-out") {
       stats_out = next();
     } else if (arg == "--quiet") {
