@@ -12,8 +12,11 @@
 #include <string>
 #include <vector>
 
+#include <utility>
+
 #include "ptask/arch/machine.hpp"
 #include "ptask/cost/cost_model.hpp"
+#include "ptask/obs/metrics.hpp"
 #include "ptask/map/mapping.hpp"
 #include "ptask/ode/graph_gen.hpp"
 #include "ptask/sched/data_parallel.hpp"
@@ -146,14 +149,10 @@ struct BenchStat {
 };
 
 /// Nearest-rank percentile (q in [0, 1]) of an unsorted sample vector.
+/// Thin alias over the shared obs reference implementation so bench JSON
+/// and the metrics layer agree on percentile semantics.
 inline double percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  q = std::min(1.0, std::max(0.0, q));
-  const std::size_t rank = std::min(
-      values.size() - 1,
-      static_cast<std::size_t>(q * static_cast<double>(values.size())));
-  return values[rank];
+  return ptask::obs::percentile_nearest_rank(std::move(values), q);
 }
 
 /// Groups samples by benchmark name (preserving first-seen order) and

@@ -14,6 +14,7 @@
 
 #include "ptask/core/graph_algorithms.hpp"
 #include "ptask/dist/redistribution.hpp"
+#include "ptask/obs/trace.hpp"
 #include "ptask/sched/timeline.hpp"
 
 namespace ptask::analysis {
@@ -732,6 +733,7 @@ void allocation_pass(const sched::Schedule& schedule,
 
 Report Analyzer::lint(const sched::Schedule& schedule,
                       const cost::CostModel& cost) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "analysis.lint");
   Report report;
   if (schedule.has_layers()) {
     report.merge(lint(schedule.layered, cost), schedule.strategy);

@@ -13,6 +13,7 @@
 #include <tuple>
 #include <utility>
 
+#include "ptask/obs/trace.hpp"
 #include "ptask/serve/protocol.hpp"
 
 namespace ptask::analysis {
@@ -505,6 +506,7 @@ std::string hash_hex(std::uint64_t hash) {
 Certificate certify(const core::TaskGraph& original,
                     const sched::Schedule& schedule,
                     const CertifierOptions& options) {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "analysis.certify");
   Certificate cert;
   Certifier(original, schedule, options, cert).run();
   return cert;

@@ -51,6 +51,15 @@ class Histogram {
   /// quantile lies within a factor of two below the returned bound.
   std::uint64_t quantile_upper_bound(double q) const;
 
+  /// Point estimate of the q-quantile (q in [0, 1]); 0 when empty.
+  /// Finds the bucket holding the nearest-rank sample and interpolates
+  /// linearly inside its range.  Error bound (inherent to the log-scale
+  /// buckets): the estimate lies in the same power-of-two bucket as the
+  /// true quantile, so for a true quantile v >= 1 the returned value e
+  /// satisfies v/2 < e < 2v -- within a factor of two, and exact for
+  /// v == 0.  Estimates are monotone non-decreasing in q.
+  double percentile(double q) const;
+
   void reset();
 
  private:
@@ -68,8 +77,12 @@ struct HistogramSample {
   std::string name;
   std::uint64_t count = 0;
   std::uint64_t sum = 0;
-  std::uint64_t p50 = 0;  ///< quantile_upper_bound(0.5)
-  std::uint64_t p90 = 0;  ///< quantile_upper_bound(0.9)
+  double p50 = 0.0;  ///< percentile(0.5)
+  double p90 = 0.0;  ///< percentile(0.9)
+  double p99 = 0.0;  ///< percentile(0.99)
+  /// Non-empty buckets as (index, count); bucket 0 holds zeros, bucket
+  /// i >= 1 holds v in [2^(i-1), 2^i) -- upper bound 2^i - 1 inclusive.
+  std::vector<std::pair<int, std::uint64_t>> buckets;
 };
 
 /// Named registry.  Lookup is mutex-protected; returned references stay
@@ -93,5 +106,10 @@ class MetricsRegistry {
 
 /// The process-wide registry all built-in instrumentation reports to.
 MetricsRegistry& metrics();
+
+/// Exact nearest-rank percentile (q in [0, 1]) of a raw sample vector;
+/// 0 when empty.  This is the reference the log-scale Histogram::percentile
+/// approximates, and the one place bench/tool sample statistics compute it.
+double percentile_nearest_rank(std::vector<double> values, double q);
 
 }  // namespace ptask::obs

@@ -1,0 +1,64 @@
+#pragma once
+/// \file prometheus.hpp
+/// Prometheus text-exposition (format 0.0.4) over the metrics registry,
+/// plus the parsing side tools need to read percentiles back out of a
+/// scraped exposition.
+///
+/// Mapping: every registry metric becomes `ptask_<sanitized name>`
+/// (characters outside [a-zA-Z0-9_:] turn into '_').  Counters get the
+/// conventional `_total` suffix.  Log-scale histograms are rendered as
+/// native Prometheus histograms with cumulative `_bucket{le="..."}`
+/// series: bucket i's inclusive upper bound is 2^i - 1 (bucket 0 holds
+/// exactly the zeros), ending with `le="+Inf"`, then `_sum` and `_count`.
+/// Buckets above the highest non-empty one are elided -- the cumulative
+/// encoding keeps that lossless.
+///
+/// The parser (`parse_prometheus_histogram`) and bucket-percentile
+/// estimator are shared by ptask_top, ptask_loadgen's --slo-p99-us gate,
+/// and the tests that cross-check exposition percentiles against
+/// Histogram::percentile.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "ptask/obs/metrics.hpp"
+
+namespace ptask::obs {
+
+/// Sanitized exposition name for a registry metric ("serve.latency_us"
+/// -> "ptask_serve_latency_us").  Pass the registry name WITHOUT any
+/// counter `_total` suffix; the renderer appends that itself.
+std::string prometheus_name(std::string_view name);
+
+/// Renders every counter and histogram in the registry as one
+/// text-exposition document (HELP + TYPE + samples per metric).
+std::string render_prometheus(const MetricsRegistry& registry);
+
+/// One histogram read back out of an exposition document.
+struct PromHistogram {
+  bool found = false;
+  /// Cumulative buckets in exposition order: (inclusive upper bound,
+  /// cumulative count).  The final entry is the +Inf bucket, stored with
+  /// an infinite bound.
+  std::vector<std::pair<double, std::uint64_t>> buckets;
+  double sum = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Extracts the histogram named `metric` (the full exposition name, e.g.
+/// "ptask_serve_latency_us") from a text exposition.  Returns
+/// found == false when no `_count` sample for the metric exists.
+PromHistogram parse_prometheus_histogram(std::string_view text,
+                                         std::string_view metric);
+
+/// q-quantile estimate from cumulative buckets: locates the bucket that
+/// holds the nearest-rank sample and interpolates linearly between the
+/// previous and current upper bounds.  Carries the same factor-of-two
+/// log-bucket error bound as Histogram::percentile.  When the rank lands
+/// in the +Inf bucket the last finite bound is returned (a lower bound).
+double prometheus_percentile(const PromHistogram& hist, double q);
+
+}  // namespace ptask::obs

@@ -3,14 +3,18 @@
 /// Low-overhead runtime tracing: typed spans in per-thread append-only
 /// buffers.
 ///
-/// Hot-path contract: recording a span takes no locks.  Every thread
-/// appends to its own buffer, which registers itself with the owning
-/// Tracer once (under a mutex) on first use; after that, recording is a
-/// thread-local pointer check plus a vector push_back.  Draining -- moving
-/// all thread buffers into one collected vector -- is only legal at
-/// *quiescent* points, when no instrumented thread is between span begin
-/// and end.  The runtime drains at Executor::run exit and
-/// DynamicScheduler::wait, both of which synchronize with their workers
+/// Hot-path contract: recording a span never contends with other
+/// recording threads.  Every thread appends to its own buffer, which
+/// registers itself with the owning Tracer once (under the tracer mutex)
+/// on first use; after that, recording is a thread-local pointer check
+/// plus a push_back under the buffer's *own* mutex -- uncontended except
+/// for the brief moment a concurrent drain moves that buffer out.  That
+/// per-buffer lock is what makes draining safe at *any* time, not just
+/// quiescent points: the serve daemon dumps live traces from its trace
+/// endpoint while worker threads keep recording.  (A drain can only race
+/// with spans still being recorded, which land in the next drain; closed
+/// spans are never torn.)  The runtime still drains at Executor::run exit
+/// and DynamicScheduler::wait, which synchronize with their workers
 /// before returning.
 ///
 /// Disabled cost: every instrumentation site first checks obs::enabled(),
@@ -57,6 +61,7 @@ enum class SpanKind {
   Scheduler,       ///< a scheduling phase (static scheduler, simulator)
   Dispatch,        ///< runtime dispatch (team job, dynamic assignment)
   Fault,           ///< injected fault delay (so delays are not mystery gaps)
+  Serve,           ///< one serve-daemon request phase (recv, parse, ...)
 };
 
 const char* to_string(SpanKind kind);
@@ -101,12 +106,15 @@ class Tracer {
   /// every recorded span).
   double now() const;
 
-  /// Appends to the calling thread's buffer.  Lock-free after the thread's
-  /// first record.  Spans beyond the per-thread cap are counted as dropped.
+  /// Appends to the calling thread's buffer; takes only that buffer's own
+  /// (normally uncontended) mutex after the thread's first record.  Spans
+  /// beyond the per-thread cap are counted as dropped.
   void record(Span span);
 
-  /// Moves every thread buffer's spans into the collected store.  Only
-  /// call at quiescent points (no instrumented thread mid-span).
+  /// Moves every thread buffer's spans into the collected store.  Safe to
+  /// call concurrently with record(): each buffer is moved under its own
+  /// mutex, so a live service can drain while requests are in flight
+  /// (spans still open at drain time simply land in the next drain).
   void drain();
 
   /// drain() + returns (and removes) everything collected so far.
@@ -123,6 +131,7 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
+    std::mutex mutex;  ///< guards spans/dropped against a concurrent drain
     std::vector<Span> spans;
     std::uint64_t dropped = 0;
   };
@@ -132,7 +141,7 @@ class Tracer {
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
   std::uint64_t instance_id_;  ///< globally unique, for thread-cache keying
-  std::size_t max_spans_per_thread_{std::size_t{1} << 20};
+  std::atomic<std::size_t> max_spans_per_thread_{std::size_t{1} << 20};
   mutable std::mutex mutex_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::vector<Span> collected_;

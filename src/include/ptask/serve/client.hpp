@@ -45,6 +45,14 @@ class Client {
   /// {"type":"stats"} round trip.
   std::string stats();
 
+  /// {"type":"metrics"} round trip (raw response payload; use
+  /// response_metrics_text to unwrap the exposition string).
+  std::string metrics();
+
+  /// {"type":"trace"} round trip (raw response payload; use
+  /// response_trace_json to unwrap the Chrome trace object).
+  std::string trace();
+
   /// Sends raw bytes without framing (for protocol fault injection).
   void send_raw(std::string_view bytes);
 
@@ -71,5 +79,15 @@ std::string response_schedule_json(std::string_view payload);
 
 /// The "certificate_hash" of a certified success response ("" when absent).
 std::string response_certificate_hash(std::string_view payload);
+
+/// The "request_id" member of any response ("" when absent/unparseable).
+std::string response_request_id(std::string_view payload);
+
+/// The Prometheus exposition text of a "metrics" response ("" when absent).
+std::string response_metrics_text(std::string_view payload);
+
+/// The Chrome trace object of a "trace" response as raw JSON text (the
+/// exact sub-range of the payload; "" when absent).
+std::string response_trace_json(std::string_view payload);
 
 }  // namespace ptask::serve

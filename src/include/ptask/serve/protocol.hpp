@@ -27,8 +27,28 @@
 ///               uncertified answers never alias.
 ///   stats    -- {"type":"stats"}  Returns the service counters (requests,
 ///               cache hits/misses, per-code error counts, latency
-///               quantiles, in-flight requests).
+///               quantiles with full log-bucket boundaries, in-flight
+///               requests, and a dump of every registry counter/histogram).
+///   metrics  -- {"type":"metrics"}  Returns {"ok":true,"metrics":"..."}
+///               where the string is the Prometheus text exposition of the
+///               whole metrics registry (see obs/prometheus.hpp) plus the
+///               server gauges.
+///   trace    -- {"type":"trace"}  Drains the live tracer and returns
+///               {"ok":true,"trace":{...}} with a Chrome/Perfetto trace
+///               object (empty when tracing is disabled or compiled out).
 ///   ping     -- {"type":"ping"}  Returns {"ok":true,"pong":true}.
+///
+/// Request correlation: every response (ok, error, stats, ...) carries a
+/// "request_id" string member right after "ok".  Clients may supply their
+/// own top-level "request_id" (echoed verbatim); otherwise the server
+/// mints one.  A client id is recovered even from malformed-JSON payloads
+/// on a best-effort scan, so PTS001 errors stay correlatable; the one
+/// path that cannot echo a client id is PTS005 (the oversized payload is
+/// never read), which carries a server-minted id.  An optional "family"
+/// string tags the request's workload family for per-family metrics.
+/// Both members are pure annotations: they are excluded from the cache
+/// key, so responses differing only in request_id/family are served from
+/// one cache entry with byte-identical schedule bytes.
 ///
 /// Errors: {"ok":false, "error":{"code":"PTS00x", "message":"..."}}.
 /// Codes are stable (match on the code, not the message), mirroring the
@@ -89,6 +109,13 @@ struct ScheduleRequest {
   /// Opt-in independent audit: run analysis::certify on the computed
   /// schedule and fail the request with PTS006 when it does not certify.
   bool certify = false;
+  /// Client-chosen correlation id, echoed in the response; empty lets the
+  /// server mint one.  Annotation only: excluded from the cache key.
+  std::string request_id;
+  /// Workload-family tag for per-family service metrics
+  /// (serve.family.<family>.*).  Annotation only: excluded from the
+  /// cache key.
+  std::string family;
 };
 
 // ---- framing ----
@@ -108,8 +135,12 @@ std::uint32_t decode_frame_length(const unsigned char header[4]);
 /// Renders a "schedule" request payload (without the frame header).  The
 /// rendering is canonical: field order and number formatting are fixed, and
 /// doubles round-trip exactly (max_digits10), so re-serializing a parsed
-/// request reproduces the same bytes.
-std::string serialize_request(const ScheduleRequest& request);
+/// request reproduces the same bytes.  With include_annotations == false
+/// the request_id/family annotation members are omitted -- that variant is
+/// the cache key, which is how two requests differing only in annotations
+/// share one cache entry.
+std::string serialize_request(const ScheduleRequest& request,
+                              bool include_annotations = true);
 
 std::string serialize_machine(const arch::MachineSpec& machine);
 std::string serialize_graph(const core::TaskGraph& graph);
@@ -122,11 +153,18 @@ std::string serialize_graph(const core::TaskGraph& graph);
 /// zero-task graphs.
 ScheduleRequest parse_request(std::string_view payload);
 
-/// The cache key of a request: its canonical re-serialization.  Two
-/// requests get the same key iff they have identical content (scheduler,
-/// cores, machine, graph -- including every task weight), so near-collision
-/// graphs that differ in one weight never share an entry.
+/// The cache key of a request: its canonical re-serialization WITHOUT the
+/// request_id/family annotations.  Two requests get the same key iff they
+/// have identical schedulable content (scheduler, cores, machine, graph --
+/// including every task weight), so near-collision graphs that differ in
+/// one weight never share an entry, while requests differing only in
+/// correlation ids do.
 std::string canonical_key(const ScheduleRequest& request);
+
+/// Best-effort extraction of a top-level "request_id" string from a payload
+/// that may not parse as JSON (used to keep PTS001 errors correlatable).
+/// Returns "" when no id is found.
+std::string extract_request_id_loose(std::string_view payload);
 
 // ---- response serialization ----
 
@@ -152,6 +190,21 @@ std::string error_response(std::string_view code, std::string_view message);
 
 /// {"ok":true,"pong":true}
 std::string pong_response();
+
+/// Inserts `,"request_id":"<id>"` right after the leading "ok" member of a
+/// rendered response ({"ok":true,...} or {"ok":false,...}); responses not
+/// of that shape are returned unchanged.  The fixed position keeps the rest
+/// of the response -- notably the schedule bytes -- untouched, so cached
+/// responses stay byte-identical modulo this one member.
+std::string with_request_id(std::string_view response, std::string_view id);
+
+/// {"ok":true,"metrics":"<exposition>"} -- the Prometheus text exposition
+/// as one JSON string.
+std::string metrics_response(std::string_view exposition);
+
+/// {"ok":true,"trace":<trace_object>} -- `trace_object` must already be a
+/// self-contained JSON value (a Chrome trace document).
+std::string trace_response(std::string_view trace_object);
 
 // ---- low-level JSON helpers (shared with the stats rendering) ----
 

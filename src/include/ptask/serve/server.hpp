@@ -23,15 +23,33 @@
 ///   serve.cache.hit/miss    schedule cache accounting (via ScheduleCache)
 ///   serve.latency_us        histogram of schedule-request service time
 ///   serve.connections       accepted connections
-/// A "stats" request renders these (plus in-flight gauge and uptime) as the
-/// service dashboard.  `rt::FaultOptions::from_env` is honored: with
-/// PTASK_FAULT_* set, workers perturb themselves at request-handling
+///   serve.phase.*_us        per-phase latency histograms: recv, parse,
+///                           cache (lookup incl. single-flight wait),
+///                           schedule/certify/serialize (cache misses
+///                           only), send
+///   serve.strategy.<s>.*    per-scheduler latency_us + requests
+///   serve.family.<f>.*      per-workload-family latency_us + requests
+///                           (from the request's "family" annotation)
+///   serve.slow_requests     requests at/over the slow-log threshold
+///   serve.request_ids.minted  ids the server generated (vs client-supplied)
+/// A "stats" request renders the registry (plus in-flight gauge, cache
+/// gauges, and uptime) as the service dashboard; a "metrics" request
+/// returns the same registry as a Prometheus text exposition
+/// (render_metrics); a "trace" request drains the live tracer into a
+/// Chrome/Perfetto trace.  Every request is tagged with a request id and,
+/// when tracing is enabled, a span tree
+/// serve.request -> recv/parse/cache.lookup[/schedule/certify/serialize]/
+/// send on the worker's track.  `rt::FaultOptions::from_env` is honored:
+/// with PTASK_FAULT_* set, workers perturb themselves at request-handling
 /// synchronization points, widening the interleavings the soak test
 /// explores.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -55,6 +73,13 @@ struct ServerOptions {
   std::size_t cache_max_entries = 0;
   /// Fault injection for the soak harness (default: from PTASK_FAULT_* env).
   rt::FaultOptions faults = rt::FaultOptions::from_env();
+  /// Path of the slow-request log (JSON lines; see docs/OBSERVABILITY.md).
+  /// Empty disables logging.  The file is truncated at start().
+  std::string slow_log_path;
+  /// Requests whose total service time (recv through send) is at least
+  /// this many microseconds get a slow-log line and count into
+  /// serve.slow_requests.  0 disables the threshold even with a log path.
+  std::uint64_t slow_threshold_us = 0;
 };
 
 class Server {
@@ -84,16 +109,36 @@ class Server {
   const ScheduleCache& cache() const { return cache_; }
 
   /// Renders the stats-response JSON (also used by the daemon's shutdown
-  /// summary and the loadgen artifact).
+  /// summary and the loadgen artifact).  The payload parses cleanly with
+  /// obs::json::parse: metric names are escaped and histograms carry their
+  /// full log-bucket boundaries.
   std::string render_stats() const;
 
+  /// Renders the Prometheus text exposition served by the "metrics"
+  /// request type: the whole registry plus server gauges (in-flight,
+  /// cache entries/bytes, uptime).
+  std::string render_metrics() const;
+
+  /// Seconds since start().
+  double uptime_s() const;
+
+  /// Mints a process-unique server request id ("s-<nonce>-<seq>").
+  std::string mint_request_id();
+
  private:
+  struct RequestTrace;
+
   void accept_loop();
-  void worker_loop();
+  void worker_loop(int worker_index);
   /// Serves one connection until EOF, error, or shutdown.
   void serve_connection(int fd);
-  /// Handles one request payload; returns the response payload.
-  std::string handle_payload(std::string_view payload);
+  /// Handles one request payload; returns the response payload and fills
+  /// the per-request trace record (id, phases, cache outcome, error).
+  std::string handle_payload(std::string_view payload, RequestTrace& trace);
+  /// Request epilogue: records the root request span and, when the total
+  /// time crosses the threshold, the slow-log line.
+  void finish_request(const RequestTrace& trace, double span_begin_s,
+                      bool tracing);
 
   ServerOptions options_;
   int listen_fd_ = -1;
@@ -102,10 +147,15 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<int> in_flight_{0};
   std::atomic<std::uint64_t> served_requests_{0};
+  std::atomic<std::uint64_t> next_request_id_{1};
+  std::uint64_t id_nonce_ = 0;  ///< start()-time nonce in minted ids
+  std::chrono::steady_clock::time_point start_time_{};
   rt::FaultInjector injector_;
   ScheduleCache cache_;
   std::thread acceptor_;
   std::vector<std::thread> workers_;
+  std::mutex slow_log_mutex_;
+  std::ofstream slow_log_;
 
   struct ConnectionQueue;
   std::unique_ptr<ConnectionQueue> queue_;

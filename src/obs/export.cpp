@@ -179,7 +179,8 @@ std::string render_summary(const std::vector<Span>& spans,
   }
   for (const HistogramSample& h : registry.histograms()) {
     out << "  " << h.name << ": count=" << h.count << " sum=" << h.sum
-        << " p50<=" << h.p50 << " p90<=" << h.p90 << "\n";
+        << " p50~=" << h.p50 << " p90~=" << h.p90 << " p99~=" << h.p99
+        << "\n";
   }
   return out.str();
 }

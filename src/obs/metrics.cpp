@@ -1,6 +1,8 @@
 #include "ptask/obs/metrics.hpp"
 
+#include <algorithm>
 #include <bit>
+#include <cmath>
 
 namespace ptask::obs {
 
@@ -28,6 +30,34 @@ std::uint64_t Histogram::quantile_upper_bound(double q) const {
     }
   }
   return ~std::uint64_t{0};
+}
+
+double Histogram::percentile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank target in [1, n].
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(n))));
+  std::uint64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::uint64_t in_bucket = bucket(i);
+    if (in_bucket == 0) continue;
+    if (seen + in_bucket >= target) {
+      if (i == 0) return 0.0;  // the zero bucket is exact
+      // Interpolate linearly across [2^(i-1), 2^i): the target rank sits
+      // (target - seen) samples into this bucket's in_bucket samples.
+      const double lo = std::ldexp(1.0, i - 1);
+      const double hi = std::ldexp(1.0, i);
+      const double frac = (static_cast<double>(target - seen) - 0.5) /
+                          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * frac;
+    }
+    seen += in_bucket;
+  }
+  return std::ldexp(1.0, 64);
 }
 
 void Histogram::reset() {
@@ -71,9 +101,19 @@ std::vector<HistogramSample> MetricsRegistry::histograms() const {
   std::vector<HistogramSample> out;
   out.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    out.push_back(HistogramSample{name, h->count(), h->sum(),
-                                  h->quantile_upper_bound(0.5),
-                                  h->quantile_upper_bound(0.9)});
+    HistogramSample sample;
+    sample.name = name;
+    sample.count = h->count();
+    sample.sum = h->sum();
+    sample.p50 = h->percentile(0.5);
+    sample.p90 = h->percentile(0.9);
+    sample.p99 = h->percentile(0.99);
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      if (const std::uint64_t c = h->bucket(i); c > 0) {
+        sample.buckets.emplace_back(i, c);
+      }
+    }
+    out.push_back(std::move(sample));
   }
   return out;
 }
@@ -87,6 +127,17 @@ void MetricsRegistry::reset() {
 MetricsRegistry& metrics() {
   static MetricsRegistry registry;
   return registry;
+}
+
+double percentile_nearest_rank(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::sort(values.begin(), values.end());
+  const std::size_t rank = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(values.size())));
+  return values[rank];
 }
 
 }  // namespace ptask::obs

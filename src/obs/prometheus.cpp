@@ -1,0 +1,189 @@
+#include "ptask/obs/prometheus.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+
+namespace ptask::obs {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_' || c == ':';
+}
+
+/// Inclusive upper bound of log-histogram bucket i, as the exposition
+/// label string ("0", "1", "3", ..., "18446744073709551615").
+std::string bucket_le(int i) {
+  if (i == 0) return "0";
+  if (i >= 64) return std::to_string(~std::uint64_t{0});
+  return std::to_string((std::uint64_t{1} << i) - 1);
+}
+
+/// HELP text: the original registry name with exposition escapes applied
+/// (backslash and newline are the only characters HELP lines escape).
+void append_help_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+/// Returns the first line in `text` at or after `pos` and advances `pos`
+/// past it (and its newline).
+std::string_view next_line(std::string_view text, std::size_t& pos) {
+  const std::size_t start = pos;
+  const std::size_t nl = text.find('\n', start);
+  if (nl == std::string_view::npos) {
+    pos = text.size();
+    return text.substr(start);
+  }
+  pos = nl + 1;
+  return text.substr(start, nl - start);
+}
+
+bool parse_value_u64(std::string_view s, std::uint64_t& out) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_value_double(std::string_view s, double& out) {
+  while (!s.empty() && s.front() == ' ') s.remove_prefix(1);
+  char* end = nullptr;
+  const std::string copy(s);
+  out = std::strtod(copy.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != copy.c_str();
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "ptask_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    out.push_back(valid_name_char(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricsRegistry& registry) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const CounterSample& c : registry.counters()) {
+    const std::string name = prometheus_name(c.name) + "_total";
+    out += "# HELP " + name + " ptask counter ";
+    append_help_escaped(out, c.name);
+    out += "\n# TYPE " + name + " counter\n";
+    out += name + " " + std::to_string(c.value) + "\n";
+  }
+
+  for (const HistogramSample& h : registry.histograms()) {
+    const std::string name = prometheus_name(h.name);
+    out += "# HELP " + name + " ptask log2 histogram ";
+    append_help_escaped(out, h.name);
+    out += "\n# TYPE " + name + " histogram\n";
+    // Cumulative buckets through the highest non-empty one; the
+    // HistogramSample bucket list is sparse (non-empty buckets only),
+    // so walk the full index range and carry the running total.
+    std::uint64_t cumulative = 0;
+    std::size_t next = 0;
+    const int last_index = h.buckets.empty() ? -1 : h.buckets.back().first;
+    for (int i = 0; i <= last_index; ++i) {
+      if (next < h.buckets.size() && h.buckets[next].first == i) {
+        cumulative += h.buckets[next].second;
+        ++next;
+      }
+      out += name + "_bucket{le=\"" + bucket_le(i) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += name + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) + "\n";
+    out += name + "_sum " + std::to_string(h.sum) + "\n";
+    out += name + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+PromHistogram parse_prometheus_histogram(std::string_view text,
+                                         std::string_view metric) {
+  PromHistogram hist;
+  const std::string bucket_prefix =
+      std::string(metric) + "_bucket{le=\"";
+  const std::string sum_prefix = std::string(metric) + "_sum";
+  const std::string count_prefix = std::string(metric) + "_count";
+
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::string_view line = next_line(text, pos);
+    if (line.empty() || line.front() == '#') continue;
+    if (line.substr(0, bucket_prefix.size()) == bucket_prefix) {
+      std::string_view rest = line.substr(bucket_prefix.size());
+      const std::size_t quote = rest.find('"');
+      if (quote == std::string_view::npos) continue;
+      const std::string_view le_text = rest.substr(0, quote);
+      rest.remove_prefix(quote);
+      if (rest.substr(0, 2) != "\"}") continue;
+      rest.remove_prefix(2);
+      double le = 0.0;
+      if (le_text == "+Inf") {
+        le = std::numeric_limits<double>::infinity();
+      } else if (!parse_value_double(std::string(le_text), le)) {
+        continue;
+      }
+      std::uint64_t value = 0;
+      if (parse_value_u64(rest, value)) {
+        hist.buckets.emplace_back(le, value);
+      }
+    } else if (line.substr(0, sum_prefix.size()) == sum_prefix &&
+               line.size() > sum_prefix.size() &&
+               line[sum_prefix.size()] == ' ') {
+      parse_value_double(line.substr(sum_prefix.size() + 1), hist.sum);
+    } else if (line.substr(0, count_prefix.size()) == count_prefix &&
+               line.size() > count_prefix.size() &&
+               line[count_prefix.size()] == ' ') {
+      if (parse_value_u64(line.substr(count_prefix.size() + 1),
+                          hist.count)) {
+        hist.found = true;
+      }
+    }
+  }
+  return hist;
+}
+
+double prometheus_percentile(const PromHistogram& hist, double q) {
+  if (!hist.found || hist.count == 0 || hist.buckets.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(hist.count))));
+  double prev_le = 0.0;
+  std::uint64_t prev_cum = 0;
+  for (const auto& [le, cum] : hist.buckets) {
+    if (cum >= target) {
+      if (std::isinf(le)) return prev_le;  // rank beyond the last finite bound
+      const std::uint64_t in_bucket = cum - prev_cum;
+      if (in_bucket == 0) return le;
+      const double frac = (static_cast<double>(target - prev_cum) - 0.5) /
+                          static_cast<double>(in_bucket);
+      // The first bucket's lower bound is 0 (it holds only zeros in the
+      // log-scale scheme, where le == 0).
+      return prev_le + (le - prev_le) * frac;
+    }
+    prev_le = le;
+    prev_cum = cum;
+  }
+  return prev_le;
+}
+
+}  // namespace ptask::obs

@@ -16,6 +16,7 @@ const char* to_string(SpanKind kind) {
     case SpanKind::Scheduler: return "scheduler";
     case SpanKind::Dispatch: return "dispatch";
     case SpanKind::Fault: return "fault";
+    case SpanKind::Serve: return "serve";
   }
   return "unknown";
 }
@@ -61,7 +62,12 @@ void Tracer::record(Span span) {
     cache.instance = instance_id_;
   }
   ThreadBuffer* buf = cache.buffer;
-  if (buf->spans.size() >= max_spans_per_thread_) {
+  // The buffer mutex is owned by this thread except while a concurrent
+  // drain briefly moves the spans out, so this lock is normally
+  // uncontended and never blocks on other recording threads.
+  std::lock_guard<std::mutex> lock(buf->mutex);
+  if (buf->spans.size() >=
+      max_spans_per_thread_.load(std::memory_order_relaxed)) {
     ++buf->dropped;
     return;
   }
@@ -71,6 +77,7 @@ void Tracer::record(Span span) {
 void Tracer::drain() {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const std::unique_ptr<ThreadBuffer>& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mutex);
     if (!buf->spans.empty()) {
       collected_.insert(collected_.end(),
                         std::make_move_iterator(buf->spans.begin()),
@@ -103,8 +110,7 @@ std::uint64_t Tracer::dropped() const {
 }
 
 void Tracer::set_max_spans_per_thread(std::size_t cap) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  max_spans_per_thread_ = cap;
+  max_spans_per_thread_.store(cap, std::memory_order_relaxed);
 }
 
 Tracer& tracer() {

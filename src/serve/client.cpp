@@ -100,6 +100,10 @@ std::string Client::schedule(const ScheduleRequest& request) {
 
 std::string Client::stats() { return call("{\"type\":\"stats\"}"); }
 
+std::string Client::metrics() { return call("{\"type\":\"metrics\"}"); }
+
+std::string Client::trace() { return call("{\"type\":\"trace\"}"); }
+
 void Client::send_raw(std::string_view bytes) {
   if (fd_ < 0) throw std::runtime_error("ptask serve client: not connected");
   write_all(fd_, bytes);
@@ -141,17 +145,24 @@ std::string response_error_code(std::string_view payload) {
 }
 
 std::string response_schedule_json(std::string_view payload) {
-  // ok_response produces exactly {"ok":true,"schedule":<body>} or, for a
-  // certified request, {"ok":true,"schedule":<body>,"certificate_hash":
-  // "0x<16 hex>"}; slicing the known envelope off preserves the body's
-  // bytes untouched.
-  constexpr std::string_view kPrefix = "{\"ok\":true,\"schedule\":";
-  if (payload.size() < kPrefix.size() + 1 ||
-      payload.substr(0, kPrefix.size()) != kPrefix || payload.back() != '}') {
+  // The server produces exactly {"ok":true[,"request_id":"..."],
+  // "schedule":<body>[,"certificate_hash":"0x<16 hex>"]}; slicing the known
+  // envelope off preserves the body's bytes untouched.  Locating the
+  // schedule member by the literal `,"schedule":` is safe even against a
+  // hostile request_id: inside a JSON string every raw quote is escaped as
+  // \", so the bare-quote byte sequence of the key cannot occur there.
+  constexpr std::string_view kOkPrefix = "{\"ok\":true";
+  constexpr std::string_view kScheduleKey = ",\"schedule\":";
+  if (payload.size() < kOkPrefix.size() + kScheduleKey.size() + 1 ||
+      payload.substr(0, kOkPrefix.size()) != kOkPrefix ||
+      payload.back() != '}') {
     return {};
   }
+  const std::size_t key_pos = payload.find(kScheduleKey, kOkPrefix.size());
+  if (key_pos == std::string_view::npos) return {};
+  const std::size_t body_pos = key_pos + kScheduleKey.size();
   std::string_view body =
-      payload.substr(kPrefix.size(), payload.size() - kPrefix.size() - 1);
+      payload.substr(body_pos, payload.size() - body_pos - 1);
   constexpr std::string_view kCertKey = ",\"certificate_hash\":\"";
   constexpr std::size_t kCertSuffix = kCertKey.size() + 18 + 1;  // "0x"+16, '"'
   if (body.size() > kCertSuffix &&
@@ -171,6 +182,45 @@ std::string response_certificate_hash(std::string_view payload) {
   } catch (const std::runtime_error&) {
   }
   return {};
+}
+
+std::string response_request_id(std::string_view payload) {
+  try {
+    const obs::json::Value document = obs::json::parse(payload);
+    if (const obs::json::Value* id = document.find("request_id")) {
+      if (id->is_string()) return id->string;
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return {};
+}
+
+std::string response_metrics_text(std::string_view payload) {
+  try {
+    const obs::json::Value document = obs::json::parse(payload);
+    if (const obs::json::Value* metrics = document.find("metrics")) {
+      if (metrics->is_string()) return metrics->string;
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return {};
+}
+
+std::string response_trace_json(std::string_view payload) {
+  // The trace object is embedded raw; return the exact sub-range between
+  // the "trace": key and the closing brace of the envelope.  The key
+  // cannot occur earlier inside a string member (raw quotes are escaped
+  // there), so the first match is the real member.
+  constexpr std::string_view kTraceKey = "\"trace\":";
+  const std::size_t key_pos = payload.find(kTraceKey);
+  if (key_pos == std::string_view::npos || payload.empty() ||
+      payload.back() != '}') {
+    return {};
+  }
+  const std::size_t body_pos = key_pos + kTraceKey.size();
+  if (body_pos >= payload.size() - 1) return {};
+  return std::string(
+      payload.substr(body_pos, payload.size() - body_pos - 1));
 }
 
 }  // namespace ptask::serve

@@ -307,15 +307,26 @@ std::string serialize_graph(const core::TaskGraph& graph) {
   return out;
 }
 
-std::string serialize_request(const ScheduleRequest& request) {
+std::string serialize_request(const ScheduleRequest& request,
+                              bool include_annotations) {
   std::string out = "{\"type\":\"schedule\",\"scheduler\":";
   append_json_string(out, request.scheduler);
   out += ",\"total_cores\":" + std::to_string(request.total_cores);
   out += ",\"machine\":" + serialize_machine(request.machine);
   out += ",\"graph\":" + serialize_graph(request.graph);
-  // Emitted only when set: pre-certification request bytes stay stable, and
-  // parse -> serialize still round-trips exactly.
+  // Optional members are emitted only when set: pre-certification request
+  // bytes stay stable, and parse -> serialize still round-trips exactly.
   if (request.certify) out += ",\"certify\":true";
+  if (include_annotations) {
+    if (!request.request_id.empty()) {
+      out += ",\"request_id\":";
+      append_json_string(out, request.request_id);
+    }
+    if (!request.family.empty()) {
+      out += ",\"family\":";
+      append_json_string(out, request.family);
+    }
+  }
   out += '}';
   return out;
 }
@@ -351,11 +362,60 @@ ScheduleRequest parse_request(std::string_view payload) {
     }
     request.certify = certify->boolean;
   }
+  if (const Value* id = document.find("request_id")) {
+    if (!id->is_string()) {
+      bad_request("request member 'request_id' has the wrong type");
+    }
+    request.request_id = id->string;
+  }
+  if (const Value* family = document.find("family")) {
+    if (!family->is_string()) {
+      bad_request("request member 'family' has the wrong type");
+    }
+    request.family = family->string;
+  }
   return request;
 }
 
 std::string canonical_key(const ScheduleRequest& request) {
-  return serialize_request(request);
+  return serialize_request(request, /*include_annotations=*/false);
+}
+
+std::string extract_request_id_loose(std::string_view payload) {
+  constexpr std::string_view kKey = "\"request_id\"";
+  const std::size_t key_pos = payload.find(kKey);
+  if (key_pos == std::string_view::npos) return {};
+  std::size_t pos = key_pos + kKey.size();
+  const auto skip_ws = [&] {
+    while (pos < payload.size() &&
+           (payload[pos] == ' ' || payload[pos] == '\t' ||
+            payload[pos] == '\n' || payload[pos] == '\r')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos >= payload.size() || payload[pos] != ':') return {};
+  ++pos;
+  skip_ws();
+  if (pos >= payload.size() || payload[pos] != '"') return {};
+  ++pos;
+  std::string id;
+  while (pos < payload.size() && payload[pos] != '"') {
+    char c = payload[pos];
+    if (c == '\\' && pos + 1 < payload.size()) {
+      ++pos;
+      switch (payload[pos]) {
+        case 'n': c = '\n'; break;
+        case 'r': c = '\r'; break;
+        case 't': c = '\t'; break;
+        default: c = payload[pos];
+      }
+    }
+    id.push_back(c);
+    ++pos;
+  }
+  if (pos >= payload.size()) return {};  // unterminated string
+  return id;
 }
 
 std::string serialize_schedule(const sched::Schedule& schedule) {
@@ -429,5 +489,37 @@ std::string error_response(std::string_view code, std::string_view message) {
 }
 
 std::string pong_response() { return "{\"ok\":true,\"pong\":true}"; }
+
+std::string with_request_id(std::string_view response, std::string_view id) {
+  constexpr std::string_view kOk = "{\"ok\":true";
+  constexpr std::string_view kErr = "{\"ok\":false";
+  std::size_t pos = 0;
+  if (response.substr(0, kOk.size()) == kOk) {
+    pos = kOk.size();
+  } else if (response.substr(0, kErr.size()) == kErr) {
+    pos = kErr.size();
+  } else {
+    return std::string(response);
+  }
+  std::string out(response.substr(0, pos));
+  out += ",\"request_id\":";
+  append_json_string(out, id);
+  out += response.substr(pos);
+  return out;
+}
+
+std::string metrics_response(std::string_view exposition) {
+  std::string out = "{\"ok\":true,\"metrics\":";
+  append_json_string(out, exposition);
+  out += '}';
+  return out;
+}
+
+std::string trace_response(std::string_view trace_object) {
+  std::string out = "{\"ok\":true,\"trace\":";
+  out += trace_object;
+  out += '}';
+  return out;
+}
 
 }  // namespace ptask::serve

@@ -8,14 +8,19 @@
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
+#include <cstdio>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 
 #include "ptask/analysis/certifier.hpp"
 #include "ptask/cost/cost_model.hpp"
+#include "ptask/obs/export.hpp"
 #include "ptask/obs/metrics.hpp"
+#include "ptask/obs/prometheus.hpp"
+#include "ptask/obs/trace.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/protocol.hpp"
 
@@ -60,6 +65,104 @@ bool write_all(int fd, std::string_view data) {
 void count_error(std::string_view code) {
   obs::metrics().counter("serve.error." + std::string(code)).add();
 }
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_us(Clock::time_point since) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - since)
+      .count();
+}
+
+void append_us_field(std::string& out, double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", us);
+  out += buf;
+}
+
+/// Inclusive upper bound of log-histogram bucket i (see obs::Histogram).
+std::string bucket_upper_bound(int i) {
+  if (i == 0) return "0";
+  if (i >= 64) return std::to_string(~std::uint64_t{0});
+  return std::to_string((std::uint64_t{1} << i) - 1);
+}
+
+void append_histogram_json(std::string& out, const obs::HistogramSample& h) {
+  out += "{\"count\":" + std::to_string(h.count);
+  out += ",\"sum\":" + std::to_string(h.sum);
+  out += ",\"p50\":";
+  append_json_double(out, h.p50);
+  out += ",\"p90\":";
+  append_json_double(out, h.p90);
+  out += ",\"p99\":";
+  append_json_double(out, h.p99);
+  out += ",\"buckets\":[";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[' + bucket_upper_bound(h.buckets[i].first) + ',' +
+           std::to_string(h.buckets[i].second) + ']';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+/// Per-request trace record threaded through serve_connection and
+/// handle_payload: request id, cache outcome, phase timings (microseconds;
+/// a negative value means the phase never ran), and the error code.  This
+/// is what the slow-request log serializes.
+struct Server::RequestTrace {
+  std::string request_id;
+  std::string kind = "schedule";  ///< schedule|stats|ping|metrics|trace
+  std::string scheduler;
+  std::string family;
+  std::string error_code;  ///< "" on success
+  bool cache_used = false;
+  bool cache_hit = false;
+  double recv_us = -1.0;
+  double parse_us = -1.0;
+  double cache_us = -1.0;
+  double schedule_us = -1.0;
+  double certify_us = -1.0;
+  double serialize_us = -1.0;
+  double send_us = -1.0;
+  double total_us = 0.0;
+};
+
+namespace {
+
+/// RAII phase scope: times one request phase into its serve.phase.*
+/// histogram (and the RequestTrace field) and, when tracing is enabled,
+/// wraps it in a Serve span.  Phase metrics use the steady clock directly,
+/// so they survive PTASK_OBS=OFF builds where span instrumentation
+/// compiles out.
+class ServePhase {
+ public:
+  ServePhase(const std::string& span_name, obs::Histogram& hist,
+             double& out_us)
+      : hist_(hist), out_us_(&out_us) {
+    if (obs::enabled()) span_.emplace(obs::SpanKind::Serve, span_name);
+    t0_ = Clock::now();
+  }
+  ~ServePhase() { finish(); }
+  ServePhase(const ServePhase&) = delete;
+  ServePhase& operator=(const ServePhase&) = delete;
+
+  void finish() {
+    if (done_) return;
+    done_ = true;
+    const double us = elapsed_us(t0_);
+    *out_us_ = us;
+    hist_.observe(us > 0.0 ? static_cast<std::uint64_t>(us) : 0);
+    span_.reset();
+  }
+
+ private:
+  std::optional<obs::ScopedSpan> span_;
+  obs::Histogram& hist_;
+  double* out_us_;
+  Clock::time_point t0_{};
+  bool done_ = false;
+};
 
 }  // namespace
 
@@ -147,10 +250,24 @@ void Server::start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len);
   port_ = ntohs(addr.sin_port);
 
+  start_time_ = std::chrono::steady_clock::now();
+  // Nonce in minted request ids: distinguishes ids across server
+  // restarts/instances without any global coordination.
+  id_nonce_ = static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<std::chrono::microseconds>(
+                      start_time_.time_since_epoch())
+                      .count()) &
+              0xffffffffu;
+  if (!options_.slow_log_path.empty()) {
+    const std::lock_guard<std::mutex> lock(slow_log_mutex_);
+    slow_log_.open(options_.slow_log_path,
+                   std::ios::out | std::ios::trunc);
+  }
+
   acceptor_ = std::thread([this] { accept_loop(); });
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -166,6 +283,10 @@ void Server::stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(slow_log_mutex_);
+    if (slow_log_.is_open()) slow_log_.close();
   }
   running_.store(false, std::memory_order_release);
 }
@@ -184,7 +305,11 @@ void Server::accept_loop() {
   }
 }
 
-void Server::worker_loop() {
+void Server::worker_loop(int worker_index) {
+  // Tag this worker's ambient span context once: every span this thread
+  // records (request phases, scheduler passes) lands on the worker's own
+  // trace track, so concurrent requests never interleave on one track.
+  obs::thread_context().worker = worker_index;
   while (true) {
     const int fd = queue_->pop();
     if (fd < 0) return;
@@ -195,6 +320,10 @@ void Server::worker_loop() {
 
 void Server::serve_connection(int fd) {
   static obs::Counter& truncated = obs::metrics().counter("serve.truncated");
+  static obs::Histogram& phase_recv =
+      obs::metrics().histogram("serve.phase.recv_us");
+  static obs::Histogram& phase_send =
+      obs::metrics().histogram("serve.phase.send_us");
   while (true) {
     // Between frames, poll so shutdown is noticed on idle connections.
     pollfd pfd{fd, POLLIN, 0};
@@ -206,17 +335,35 @@ void Server::serve_connection(int fd) {
 
     unsigned char header[4];
     if (!read_exact(fd, header, sizeof(header))) return;  // clean EOF
+    // The request clock starts once the header is in: idle time between
+    // frames never counts into any phase.
+    const Clock::time_point t_request = Clock::now();
+    const bool tracing = obs::enabled();
+    const double span_begin = tracing ? obs::tracer().now() : 0.0;
+    RequestTrace trace;
+
     const std::uint32_t length = decode_frame_length(header);
     if (length > options_.max_request_bytes) {
       // Oversized: answer with the structured error, then drop the
       // connection (the payload is not read; resynchronization inside the
-      // stream is not possible).
+      // stream is not possible).  The client's request id -- if any -- sits
+      // in the unread payload, so this one error path carries a minted id.
       count_error(kErrTooLarge);
-      const std::string response = error_response(
-          kErrTooLarge, "request of " + std::to_string(length) +
-                            " bytes exceeds the limit of " +
-                            std::to_string(options_.max_request_bytes));
+      trace.error_code = kErrTooLarge;
+      trace.request_id = mint_request_id();
+      const std::string response = with_request_id(
+          error_response(kErrTooLarge,
+                         "request of " + std::to_string(length) +
+                             " bytes exceeds the limit of " +
+                             std::to_string(options_.max_request_bytes)),
+          trace.request_id);
+      const Clock::time_point t_send = Clock::now();
       write_all(fd, encode_frame(response));
+      trace.send_us = elapsed_us(t_send);
+      phase_send.observe(static_cast<std::uint64_t>(
+          trace.send_us > 0.0 ? trace.send_us : 0.0));
+      trace.total_us = elapsed_us(t_request);
+      finish_request(trace, span_begin, tracing);
       return;
     }
     std::string payload(length, '\0');
@@ -224,115 +371,238 @@ void Server::serve_connection(int fd) {
       truncated.add();  // peer vanished mid-frame; never a crash
       return;
     }
+    trace.recv_us = elapsed_us(t_request);
+    phase_recv.observe(static_cast<std::uint64_t>(
+        trace.recv_us > 0.0 ? trace.recv_us : 0.0));
+    if (tracing) {
+      obs::Span recv_span;
+      recv_span.kind = obs::SpanKind::Serve;
+      recv_span.name = "serve.recv";
+      recv_span.worker = obs::thread_context().worker;
+      recv_span.bytes = length;
+      recv_span.begin_s = span_begin;
+      recv_span.end_s = obs::tracer().now();
+      obs::tracer().record(std::move(recv_span));
+    }
 
     in_flight_.fetch_add(1, std::memory_order_relaxed);
     std::string response;
     try {
-      response = handle_payload(payload);
+      response = handle_payload(payload, trace);
     } catch (...) {
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
       throw;
     }
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
-    if (!write_all(fd, encode_frame(response))) return;
+
+    bool sent = false;
+    {
+      ServePhase send_phase("serve.send", phase_send, trace.send_us);
+      sent = write_all(fd, encode_frame(response));
+    }
+    trace.total_us = elapsed_us(t_request);
+    finish_request(trace, span_begin, tracing);
+    if (!sent) return;
   }
 }
 
-std::string Server::handle_payload(std::string_view payload) {
+std::string Server::handle_payload(std::string_view payload,
+                                   RequestTrace& trace) {
   static obs::Counter& requests = obs::metrics().counter("serve.requests");
   static obs::Counter& responses_ok =
       obs::metrics().counter("serve.responses.ok");
   static obs::Histogram& latency =
       obs::metrics().histogram("serve.latency_us");
+  static obs::Histogram& phase_parse =
+      obs::metrics().histogram("serve.phase.parse_us");
+  static obs::Histogram& phase_cache =
+      obs::metrics().histogram("serve.phase.cache_us");
+  static obs::Histogram& phase_schedule =
+      obs::metrics().histogram("serve.phase.schedule_us");
+  static obs::Histogram& phase_certify =
+      obs::metrics().histogram("serve.phase.certify_us");
+  static obs::Histogram& phase_serialize =
+      obs::metrics().histogram("serve.phase.serialize_us");
   requests.add();
-  const std::uint64_t request_id =
+  const std::uint64_t sequence =
       served_requests_.fetch_add(1, std::memory_order_relaxed);
   injector_.perturb(rt::FaultInjector::point(
-      0, static_cast<std::int64_t>(request_id), /*phase=*/0));
+      0, static_cast<std::int64_t>(sequence), /*phase=*/0));
+
+  const auto ensure_request_id = [&] {
+    if (trace.request_id.empty()) trace.request_id = mint_request_id();
+  };
 
   // Cheap dispatch on "type" without a full parse: stats/ping payloads are
   // tiny, so parsing them twice would also be fine -- this just keeps the
   // scheduling path's parse the only heavy one.
-  const auto t0 = std::chrono::steady_clock::now();
+  const Clock::time_point t0 = Clock::now();
   try {
+    // The parse phase covers the document parse plus (for schedule
+    // requests) the typed request parse below.
+    ServePhase parse_phase("serve.parse", phase_parse, trace.parse_us);
     obs::json::Value document;
     try {
       document = obs::json::parse(payload);
     } catch (const std::runtime_error& e) {
+      // Best-effort id recovery keeps even PTS001 errors correlatable.
+      parse_phase.finish();
+      trace.request_id = extract_request_id_loose(payload);
       throw ProtocolError(kErrMalformedJson, e.what());
     }
+    if (const obs::json::Value* id = document.find("request_id")) {
+      if (id->is_string()) trace.request_id = id->string;
+    }
+    ensure_request_id();
     if (document.is_object()) {
       if (const obs::json::Value* type = document.find("type")) {
         if (type->is_string() && type->string == "stats") {
+          parse_phase.finish();
+          trace.kind = "stats";
           responses_ok.add();
-          return render_stats();
+          return with_request_id(render_stats(), trace.request_id);
+        }
+        if (type->is_string() && type->string == "metrics") {
+          parse_phase.finish();
+          trace.kind = "metrics";
+          responses_ok.add();
+          return with_request_id(metrics_response(render_metrics()),
+                                 trace.request_id);
+        }
+        if (type->is_string() && type->string == "trace") {
+          parse_phase.finish();
+          trace.kind = "trace";
+          responses_ok.add();
+          // Drain the live tracer: safe concurrently with recording
+          // workers (per-buffer locking; see obs/trace.hpp).  Spans still
+          // open land in the next dump.
+          std::string chrome = obs::render_chrome_trace(obs::tracer().take());
+          while (!chrome.empty() && chrome.back() == '\n') chrome.pop_back();
+          return with_request_id(trace_response(chrome), trace.request_id);
         }
         if (type->is_string() && type->string == "ping") {
+          parse_phase.finish();
+          trace.kind = "ping";
           responses_ok.add();
-          return pong_response();
+          return with_request_id(pong_response(), trace.request_id);
         }
       }
     }
 
     const ScheduleRequest request = parse_request(payload);
+    parse_phase.finish();
+    trace.scheduler = request.scheduler;
+    trace.family = request.family;
     const std::string key = canonical_key(request);
     injector_.perturb(rt::FaultInjector::point(
-        1, static_cast<std::int64_t>(request_id), /*phase=*/1));
-    const ScheduleCache::Entry schedule_json =
-        cache_.get_or_compute(key, [&request] {
+        1, static_cast<std::int64_t>(sequence), /*phase=*/1));
+
+    bool computed = false;
+    ScheduleCache::Entry schedule_json;
+    {
+      // The cache phase covers the whole lookup including any
+      // single-flight wait; on a miss the compute phases below run nested
+      // inside it (so cache_us >= schedule_us + certify_us + serialize_us
+      // on misses, and is pure lookup/wait cost on hits).
+      ServePhase cache_phase("serve.cache.lookup", phase_cache,
+                             trace.cache_us);
+      schedule_json = cache_.get_or_compute(key, [&] {
+        computed = true;
+        std::optional<sched::Schedule> schedule;
+        {
+          ServePhase schedule_phase("serve.schedule[" + request.scheduler +
+                                        "]",
+                                    phase_schedule, trace.schedule_us);
           const cost::CostModel cost{arch::Machine(request.machine)};
           const std::unique_ptr<sched::Scheduler> scheduler =
               sched::SchedulerRegistry::instance().make(request.scheduler,
                                                         cost);
-          const sched::Schedule schedule =
-              scheduler->run(request.graph, request.total_cores);
-          // Opt-in audit before the bytes become cacheable: a certification
-          // failure throws, which evicts the single-flight placeholder --
-          // uncertifiable schedules are never served from the cache.  A
-          // cache *hit* under a certify key was therefore certified when it
-          // was computed (the flag is part of the canonical key).
-          if (request.certify) {
-            const analysis::Certificate certificate =
-                analysis::certify(request.graph, schedule, {});
-            if (!certificate.ok()) {
-              throw ProtocolError(
-                  kErrCertification,
-                  "schedule failed independent certification: " +
-                      analysis::render_text(certificate.report));
-            }
+          schedule = scheduler->run(request.graph, request.total_cores);
+        }
+        // Opt-in audit before the bytes become cacheable: a certification
+        // failure throws, which evicts the single-flight placeholder --
+        // uncertifiable schedules are never served from the cache.  A
+        // cache *hit* under a certify key was therefore certified when it
+        // was computed (the flag is part of the canonical key).
+        if (request.certify) {
+          ServePhase certify_phase("serve.certify", phase_certify,
+                                   trace.certify_us);
+          const analysis::Certificate certificate =
+              analysis::certify(request.graph, *schedule, {});
+          if (!certificate.ok()) {
+            throw ProtocolError(
+                kErrCertification,
+                "schedule failed independent certification: " +
+                    analysis::render_text(certificate.report));
           }
-          return serialize_schedule(schedule);
-        });
+        }
+        ServePhase serialize_phase("serve.serialize", phase_serialize,
+                                   trace.serialize_us);
+        return serialize_schedule(*schedule);
+      });
+    }
+    trace.cache_used = true;
+    trace.cache_hit = !computed;
+
     responses_ok.add();
-    const auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - t0);
-    latency.observe(static_cast<std::uint64_t>(micros.count()));
+    const double total_us = elapsed_us(t0);
+    const auto observed_us =
+        static_cast<std::uint64_t>(total_us > 0.0 ? total_us : 0.0);
+    latency.observe(observed_us);
+    // Per-strategy and per-family breakdowns.  Name lookup per request is
+    // a mutex-protected map probe -- noise against a scheduler run.
+    obs::metrics()
+        .histogram("serve.strategy." + request.scheduler + ".latency_us")
+        .observe(observed_us);
+    obs::metrics()
+        .counter("serve.strategy." + request.scheduler + ".requests")
+        .add();
+    if (!request.family.empty()) {
+      obs::metrics()
+          .histogram("serve.family." + request.family + ".latency_us")
+          .observe(observed_us);
+      obs::metrics()
+          .counter("serve.family." + request.family + ".requests")
+          .add();
+    }
     if (request.certify) {
       // The hash is a pure function of the canonical bytes, so cached hits
       // carry the same certificate hash as the original miss.
-      return ok_response(*schedule_json,
-                         analysis::hash_hex(analysis::fnv1a64(*schedule_json)));
+      return with_request_id(
+          ok_response(*schedule_json,
+                      analysis::hash_hex(analysis::fnv1a64(*schedule_json))),
+          trace.request_id);
     }
-    return ok_response(*schedule_json);
+    return with_request_id(ok_response(*schedule_json), trace.request_id);
   } catch (const ProtocolError& e) {
+    ensure_request_id();
+    trace.error_code = e.code();
     count_error(e.code());
-    return error_response(e.code(), e.what());
+    return with_request_id(error_response(e.code(), e.what()),
+                           trace.request_id);
   } catch (const std::exception& e) {
     // Scheduler/cost-model rejections (e.g. invalid core counts for the
     // machine) map to bad-request: the graph/machine combination cannot be
     // scheduled.
+    ensure_request_id();
+    trace.error_code = kErrBadRequest;
     count_error(kErrBadRequest);
-    return error_response(kErrBadRequest, e.what());
+    return with_request_id(error_response(kErrBadRequest, e.what()),
+                           trace.request_id);
   }
 }
 
 std::string Server::render_stats() const {
   const obs::MetricsRegistry& registry = obs::metrics();
+  const std::vector<obs::CounterSample> counters = registry.counters();
+  const std::vector<obs::HistogramSample> histograms =
+      registry.histograms();
+
   std::uint64_t requests = 0;
   std::uint64_t responses_ok = 0;
   std::uint64_t truncated = 0;
   std::vector<std::pair<std::string, std::uint64_t>> errors;
-  for (const obs::CounterSample& row : registry.counters()) {
+  for (const obs::CounterSample& row : counters) {
     if (row.name == "serve.requests") requests = row.value;
     if (row.name == "serve.responses.ok") responses_ok = row.value;
     if (row.name == "serve.truncated") truncated = row.value;
@@ -342,7 +612,7 @@ std::string Server::render_stats() const {
     }
   }
   obs::HistogramSample latency;
-  for (const obs::HistogramSample& row : registry.histograms()) {
+  for (const obs::HistogramSample& row : histograms) {
     if (row.name == "serve.latency_us") latency = row;
   }
 
@@ -351,24 +621,158 @@ std::string Server::render_stats() const {
   out += ",\"responses_ok\":" + std::to_string(responses_ok);
   out += ",\"truncated\":" + std::to_string(truncated);
   out += ",\"in_flight\":" + std::to_string(in_flight());
+  out += ",\"uptime_s\":";
+  append_json_double(out, uptime_s());
   out += ",\"cache\":{\"hits\":" + std::to_string(cache_.hits());
   out += ",\"misses\":" + std::to_string(cache_.misses());
   out += ",\"entries\":" + std::to_string(cache_.entries());
   out += ",\"evictions\":" + std::to_string(cache_.evictions());
   out += ",\"max_entries\":" + std::to_string(cache_.max_entries());
   out += ",\"value_bytes\":" + std::to_string(cache_.value_bytes()) + '}';
-  out += ",\"latency_us\":{\"count\":" + std::to_string(latency.count);
-  out += ",\"sum\":" + std::to_string(latency.sum);
-  out += ",\"p50\":" + std::to_string(latency.p50);
-  out += ",\"p90\":" + std::to_string(latency.p90) + '}';
+  out += ",\"latency_us\":";
+  append_histogram_json(out, latency);
   out += ",\"errors\":{";
   for (std::size_t i = 0; i < errors.size(); ++i) {
     if (i != 0) out += ',';
     append_json_string(out, errors[i].first);
     out += ':' + std::to_string(errors[i].second);
   }
+  // Full registry dump: every counter and every histogram (with its
+  // log-bucket boundaries), names JSON-escaped, so the payload always
+  // parses round-trip clean no matter what metric names exist.
+  out += "},\"counters\":{";
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, counters[i].name);
+    out += ':' + std::to_string(counters[i].value);
+  }
+  out += "},\"histograms\":{";
+  for (std::size_t i = 0; i < histograms.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_string(out, histograms[i].name);
+    out += ':';
+    append_histogram_json(out, histograms[i]);
+  }
   out += "}}}";
   return out;
+}
+
+std::string Server::render_metrics() const {
+  std::string out = obs::render_prometheus(obs::metrics());
+  const auto gauge = [&out](const char* name, const std::string& value,
+                            const char* help) {
+    out += std::string("# HELP ") + name + " " + help + "\n";
+    out += std::string("# TYPE ") + name + " gauge\n";
+    out += std::string(name) + " " + value + "\n";
+  };
+  gauge("ptask_serve_in_flight", std::to_string(in_flight()),
+        "requests currently being served");
+  gauge("ptask_serve_cache_entries", std::to_string(cache_.entries()),
+        "completed schedule cache entries");
+  gauge("ptask_serve_cache_value_bytes",
+        std::to_string(cache_.value_bytes()),
+        "bytes held by cached schedule responses");
+  gauge("ptask_serve_cache_max_entries",
+        std::to_string(cache_.max_entries()),
+        "configured cache entry cap (0 = unbounded)");
+  char uptime[32];
+  std::snprintf(uptime, sizeof(uptime), "%.3f", uptime_s());
+  gauge("ptask_serve_uptime_seconds", uptime, "seconds since start()");
+  return out;
+}
+
+double Server::uptime_s() const {
+  if (start_time_ == std::chrono::steady_clock::time_point{}) return 0.0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+std::string Server::mint_request_id() {
+  static obs::Counter& minted =
+      obs::metrics().counter("serve.request_ids.minted");
+  minted.add();
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "s-%08llx-%llu",
+                static_cast<unsigned long long>(id_nonce_),
+                static_cast<unsigned long long>(
+                    next_request_id_.fetch_add(1, std::memory_order_relaxed)));
+  return buf;
+}
+
+void Server::finish_request(const RequestTrace& trace, double span_begin_s,
+                            bool tracing) {
+  static obs::Counter& slow_requests =
+      obs::metrics().counter("serve.slow_requests");
+  if (tracing) {
+    // The root span is recorded last but begins first (at header read);
+    // exporters sort by begin time, so it parents the phase spans by time
+    // containment on this worker's track.
+    obs::Span root;
+    root.kind = obs::SpanKind::Serve;
+    root.name = "serve.request " + trace.request_id;
+    root.worker = obs::thread_context().worker;
+    root.begin_s = span_begin_s;
+    root.end_s = obs::tracer().now();
+    obs::tracer().record(std::move(root));
+  }
+  if (options_.slow_threshold_us == 0 ||
+      trace.total_us < static_cast<double>(options_.slow_threshold_us)) {
+    return;
+  }
+  slow_requests.add();
+  if (options_.slow_log_path.empty()) return;
+
+  // One self-contained JSON line per slow request (docs/OBSERVABILITY.md
+  // documents the schema).  Phases that never ran are omitted.
+  std::string line = "{\"request_id\":";
+  append_json_string(line, trace.request_id);
+  line += ",\"kind\":";
+  append_json_string(line, trace.kind);
+  if (!trace.scheduler.empty()) {
+    line += ",\"scheduler\":";
+    append_json_string(line, trace.scheduler);
+  }
+  if (!trace.family.empty()) {
+    line += ",\"family\":";
+    append_json_string(line, trace.family);
+  }
+  line += ",\"cache\":";
+  append_json_string(
+      line, trace.cache_used ? (trace.cache_hit ? "hit" : "miss") : "none");
+  line += ",\"error\":";
+  if (trace.error_code.empty()) {
+    line += "null";
+  } else {
+    append_json_string(line, trace.error_code);
+  }
+  line += ",\"total_us\":";
+  append_us_field(line, trace.total_us);
+  line += ",\"phases\":{";
+  bool first = true;
+  const auto phase = [&line, &first](const char* name, double us) {
+    if (us < 0.0) return;
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += name;
+    line += "\":";
+    append_us_field(line, us);
+  };
+  phase("recv_us", trace.recv_us);
+  phase("parse_us", trace.parse_us);
+  phase("cache_us", trace.cache_us);
+  phase("schedule_us", trace.schedule_us);
+  phase("certify_us", trace.certify_us);
+  phase("serialize_us", trace.serialize_us);
+  phase("send_us", trace.send_us);
+  line += "}}";
+
+  const std::lock_guard<std::mutex> lock(slow_log_mutex_);
+  if (slow_log_.is_open()) {
+    slow_log_ << line << '\n';
+    slow_log_.flush();  // slow requests are rare; readers see lines live
+  }
 }
 
 }  // namespace ptask::serve

@@ -17,6 +17,7 @@
 #include "ptask/obs/export.hpp"
 #include "ptask/obs/json.hpp"
 #include "ptask/obs/metrics.hpp"
+#include "ptask/obs/prometheus.hpp"
 #include "ptask/obs/trace.hpp"
 #include "ptask/ode/graph_gen.hpp"
 #include "ptask/rt/dynamic_scheduler.hpp"
@@ -58,6 +59,146 @@ TEST(Metrics, HistogramBucketsByPowerOfTwo) {
   h.reset();
   EXPECT_EQ(h.count(), 0u);
   EXPECT_EQ(h.quantile_upper_bound(0.5), 0u);
+}
+
+TEST(Metrics, PercentileMatchesExactReferencesWithinLogBucketError) {
+  // Exact references via the shared nearest-rank helper; the histogram's
+  // interpolated estimate must stay within the documented factor-of-two
+  // bound (same power-of-two bucket as the true quantile).
+  const auto check = [](const std::vector<std::uint64_t>& values) {
+    Histogram h;
+    std::vector<double> exact;
+    exact.reserve(values.size());
+    for (const std::uint64_t v : values) {
+      h.observe(v);
+      exact.push_back(static_cast<double>(v));
+    }
+    for (const double q : {0.5, 0.9, 0.99}) {
+      const double reference = percentile_nearest_rank(exact, q);
+      const double estimate = h.percentile(q);
+      if (reference == 0.0) {
+        EXPECT_EQ(estimate, 0.0) << "q=" << q;
+      } else {
+        EXPECT_GT(estimate, reference / 2.0) << "q=" << q;
+        EXPECT_LT(estimate, reference * 2.0) << "q=" << q;
+      }
+    }
+  };
+
+  // Constant distribution: every quantile sits in value's bucket.
+  check(std::vector<std::uint64_t>(100, 750));
+  // Uniform 1..1024 (spans eleven buckets).
+  std::vector<std::uint64_t> uniform;
+  for (std::uint64_t v = 1; v <= 1024; ++v) uniform.push_back(v);
+  check(uniform);
+  // Two-point distribution with a heavy tail.
+  std::vector<std::uint64_t> two_point(95, 10);
+  two_point.insert(two_point.end(), 5, 10'000);
+  check(two_point);
+  // All zeros: percentiles are exactly 0.
+  check(std::vector<std::uint64_t>(10, 0));
+}
+
+TEST(Metrics, PercentileEdgeCasesAndMonotonicity) {
+  Histogram empty;
+  EXPECT_EQ(empty.percentile(0.5), 0.0);
+
+  Histogram h;
+  h.observe(0);
+  h.observe(6);
+  h.observe(100);
+  h.observe(5'000);
+  // Monotone non-decreasing in q across the whole range.
+  double previous = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.01) {
+    const double estimate = h.percentile(q);
+    EXPECT_GE(estimate, previous) << "q=" << q;
+    previous = estimate;
+  }
+  // q clamps: below 0 and above 1 behave like the endpoints.
+  EXPECT_EQ(h.percentile(-1.0), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(2.0), h.percentile(1.0));
+  // A single zero observation keeps every quantile exactly zero.
+  Histogram zeros;
+  zeros.observe(0);
+  EXPECT_EQ(zeros.percentile(0.99), 0.0);
+}
+
+TEST(Metrics, PercentileNearestRankIsExact) {
+  // The shared reference helper used by bench JSON and ptask_loadgen:
+  // rank = min(n - 1, floor(q * n)) on the sorted sample.
+  const std::vector<double> values{5.0, 1.0, 4.0, 2.0, 3.0};
+  EXPECT_EQ(percentile_nearest_rank(values, 0.0), 1.0);
+  EXPECT_EQ(percentile_nearest_rank(values, 0.5), 3.0);
+  EXPECT_EQ(percentile_nearest_rank(values, 0.9), 5.0);
+  EXPECT_EQ(percentile_nearest_rank(values, 1.0), 5.0);
+  EXPECT_EQ(percentile_nearest_rank({}, 0.5), 0.0);
+  EXPECT_EQ(percentile_nearest_rank({42.0}, 0.99), 42.0);
+}
+
+// ---- Prometheus exposition ----
+
+TEST(Prometheus, NamesAreSanitizedWithThePtaskPrefix) {
+  EXPECT_EQ(prometheus_name("serve.latency_us"), "ptask_serve_latency_us");
+  EXPECT_EQ(prometheus_name("serve.strategy.portfolio.requests"),
+            "ptask_serve_strategy_portfolio_requests");
+  EXPECT_EQ(prometheus_name("weird \"name\"\\x"), "ptask_weird__name__x");
+}
+
+TEST(Prometheus, RenderParsesBackAndPercentilesAgree) {
+  MetricsRegistry reg;
+  reg.counter("serve.requests").add(17);
+  Histogram& h = reg.histogram("serve.latency_us");
+  for (std::uint64_t v = 1; v <= 512; ++v) h.observe(v);
+  h.observe(0);
+
+  const std::string text = render_prometheus(reg);
+  // Counters: TYPE line + _total sample.
+  EXPECT_NE(text.find("# TYPE ptask_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptask_serve_requests_total 17"), std::string::npos);
+  // Histograms: TYPE line, cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(text.find("# TYPE ptask_serve_latency_us histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("ptask_serve_latency_us_bucket{le=\"+Inf\"} 513"),
+            std::string::npos);
+
+  const PromHistogram parsed =
+      parse_prometheus_histogram(text, "ptask_serve_latency_us");
+  ASSERT_TRUE(parsed.found);
+  EXPECT_EQ(parsed.count, 513u);
+  EXPECT_EQ(parsed.sum, static_cast<double>(h.sum()));
+  ASSERT_FALSE(parsed.buckets.empty());
+  for (std::size_t i = 1; i < parsed.buckets.size(); ++i) {
+    EXPECT_GT(parsed.buckets[i].first, parsed.buckets[i - 1].first);
+    EXPECT_GE(parsed.buckets[i].second, parsed.buckets[i - 1].second);
+  }
+  EXPECT_TRUE(std::isinf(parsed.buckets.back().first));
+  EXPECT_EQ(parsed.buckets.back().second, parsed.count);
+
+  // The exposition-side estimator reproduces Histogram::percentile up to
+  // the inclusive-bound shift: exposition buckets interpolate across
+  // (2^(i-1)-1, 2^i-1] while the histogram uses [2^(i-1), 2^i), so the two
+  // estimates differ by exactly 1 -- far inside the shared factor-of-two
+  // bucket error bound.
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(prometheus_percentile(parsed, q), h.percentile(q), 1.0)
+        << "q=" << q;
+  }
+}
+
+TEST(Prometheus, EmptyHistogramAndMissingMetric) {
+  MetricsRegistry reg;
+  reg.histogram("serve.untouched_us");
+  const std::string text = render_prometheus(reg);
+  const PromHistogram parsed =
+      parse_prometheus_histogram(text, "ptask_serve_untouched_us");
+  ASSERT_TRUE(parsed.found);
+  EXPECT_EQ(parsed.count, 0u);
+  EXPECT_EQ(prometheus_percentile(parsed, 0.99), 0.0);
+  const PromHistogram missing =
+      parse_prometheus_histogram(text, "ptask_no_such_metric");
+  EXPECT_FALSE(missing.found);
 }
 
 TEST(Metrics, RegistryHandsOutStableReferences) {

@@ -13,11 +13,14 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,6 +31,8 @@
 #include "ptask/fuzz/rng.hpp"
 #include "ptask/obs/json.hpp"
 #include "ptask/obs/metrics.hpp"
+#include "ptask/obs/prometheus.hpp"
+#include "ptask/obs/trace.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/client.hpp"
 #include "ptask/serve/protocol.hpp"
@@ -451,7 +456,11 @@ TEST_F(ServeTest, RepeatedRequestIsServedFromCacheByteIdentically) {
   ASSERT_TRUE(response_ok(first));
   EXPECT_EQ(server_->cache().misses(), 1u);
   const std::string second = client_.call(payload);
-  EXPECT_EQ(first, second);  // cached response is bit-identical
+  // The cached schedule bytes are bit-identical; only the per-request
+  // correlation ID (minted fresh per response) may differ.
+  EXPECT_EQ(response_schedule_json(first), response_schedule_json(second));
+  EXPECT_FALSE(response_schedule_json(first).empty());
+  EXPECT_NE(response_request_id(first), response_request_id(second));
   EXPECT_EQ(server_->cache().hits(), 1u);
 }
 
@@ -474,8 +483,10 @@ TEST_F(ServeTest, ConcurrentIdenticalRequestsAtMostOneMiss) {
   for (std::thread& thread : threads) thread.join();
   for (const std::string& response : responses) {
     ASSERT_TRUE(response_ok(response));
-    EXPECT_EQ(response, responses[0]);
+    EXPECT_EQ(response_schedule_json(response),
+              response_schedule_json(responses[0]));
   }
+  EXPECT_FALSE(response_schedule_json(responses[0]).empty());
   EXPECT_EQ(server_->cache().misses(), 1u);
   EXPECT_EQ(server_->cache().hits(), static_cast<std::uint64_t>(kThreads - 1));
 }
@@ -586,6 +597,330 @@ TEST_F(ServeTest, Pts006NegativeEveryRealSchedulerCertifies) {
     EXPECT_FALSE(response_certificate_hash(response).empty()) << name;
   }
   EXPECT_EQ(error_counter(kErrCertification), before);
+}
+
+// ---- request correlation (request IDs) ----
+
+TEST_F(ServeTest, ClientRequestIdIsEchoedVerbatimOnSuccess) {
+  ScheduleRequest request = tiny_request();
+  request.request_id = "cli-ok-1";
+  const std::string response = client_.call(serialize_request(request));
+  ASSERT_TRUE(response_ok(response)) << response;
+  EXPECT_EQ(response_request_id(response), "cli-ok-1");
+}
+
+TEST(ServeProtocol, AnnotationsAreExcludedFromTheCanonicalKey) {
+  ScheduleRequest plain = tiny_request();
+  ScheduleRequest annotated = tiny_request();
+  annotated.request_id = "cli-key";
+  annotated.family = "layered";
+  // Same cache identity, different wire bytes: the annotations travel but
+  // never alias or split cache entries.
+  EXPECT_EQ(canonical_key(plain), canonical_key(annotated));
+  EXPECT_NE(serialize_request(plain), serialize_request(annotated));
+  // And they round-trip through parse_request.
+  const ScheduleRequest parsed = parse_request(serialize_request(annotated));
+  EXPECT_EQ(parsed.request_id, "cli-key");
+  EXPECT_EQ(parsed.family, "layered");
+  EXPECT_EQ(serialize_request(parsed), serialize_request(annotated));
+}
+
+TEST_F(ServeTest, RequestIdNeverSplitsTheCacheAndResponsesMatchModuloId) {
+  ScheduleRequest a = tiny_request("portfolio");
+  a.request_id = "cli-a";
+  ScheduleRequest b = tiny_request("portfolio");
+  b.request_id = "cli-b";
+  const std::string ra = client_.call(serialize_request(a));
+  const std::string rb = client_.call(serialize_request(b));
+  ASSERT_TRUE(response_ok(ra));
+  ASSERT_TRUE(response_ok(rb));
+  // One miss, one hit: the distinct IDs did not split the cache key.
+  EXPECT_EQ(server_->cache().misses(), 1u);
+  EXPECT_EQ(server_->cache().hits(), 1u);
+  EXPECT_EQ(response_request_id(ra), "cli-a");
+  EXPECT_EQ(response_request_id(rb), "cli-b");
+  // The responses are byte-identical modulo the ID member.
+  std::string rb_as_a = rb;
+  const std::string needle = "\"request_id\":\"cli-b\"";
+  const std::size_t at = rb_as_a.find(needle);
+  ASSERT_NE(at, std::string::npos);
+  rb_as_a.replace(at, needle.size(), "\"request_id\":\"cli-a\"");
+  EXPECT_EQ(ra, rb_as_a);
+}
+
+TEST_F(ServeTest, ClientRequestIdIsEchoedOnEveryErrorPath) {
+  // PTS001: the payload never parses, but best-effort extraction still
+  // recovers the ID for correlation.
+  std::string response =
+      client_.call("{\"request_id\":\"cli-e1\", this is not json");
+  EXPECT_EQ(response_error_code(response), kErrMalformedJson);
+  EXPECT_EQ(response_request_id(response), "cli-e1");
+
+  // PTS002: valid JSON, incomplete request.
+  response = client_.call(
+      "{\"request_id\":\"cli-e2\",\"scheduler\":\"layer\",\"total_cores\":4}");
+  EXPECT_EQ(response_error_code(response), kErrBadRequest);
+  EXPECT_EQ(response_request_id(response), "cli-e2");
+
+  // PTS003: unknown scheduler.
+  ScheduleRequest unknown = tiny_request("no-such-strategy");
+  unknown.request_id = "cli-e3";
+  response = client_.call(serialize_request(unknown));
+  EXPECT_EQ(response_error_code(response), kErrUnknownScheduler);
+  EXPECT_EQ(response_request_id(response), "cli-e3");
+
+  // PTS004: empty graph.
+  ScheduleRequest empty = tiny_request();
+  empty.graph = core::TaskGraph();
+  empty.request_id = "cli-e4";
+  response = client_.call(serialize_request(empty));
+  EXPECT_EQ(response_error_code(response), kErrEmptyGraph);
+  EXPECT_EQ(response_request_id(response), "cli-e4");
+
+  // PTS006: certification failure.
+  register_broken_scheduler();
+  ScheduleRequest broken = tiny_request("broken-cert-test");
+  broken.certify = true;
+  broken.request_id = "cli-e6";
+  response = client_.call(serialize_request(broken));
+  EXPECT_EQ(response_error_code(response), kErrCertification);
+  EXPECT_EQ(response_request_id(response), "cli-e6");
+}
+
+TEST_F(ServeTest, Pts005ResponseCarriesAMintedRequestId) {
+  // The oversized frame's payload is never read, so the client ID cannot be
+  // echoed -- the documented exception; the error still carries a minted ID.
+  const unsigned char header[4] = {0x00, 0x20, 0x00, 0x00};
+  client_.send_raw(std::string_view(
+      reinterpret_cast<const char*>(header), sizeof(header)));
+  const std::optional<std::string> response = client_.read_response();
+  ASSERT_TRUE(response.has_value());
+  EXPECT_EQ(response_error_code(*response), kErrTooLarge);
+  const std::string id = response_request_id(*response);
+  EXPECT_EQ(id.rfind("s-", 0), 0u) << "not a minted ID: " << id;
+}
+
+TEST_F(ServeTest, MintedRequestIdsAreUniqueAcrossAConcurrentBurst) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 16;
+  const std::string payload = serialize_request(tiny_request());
+  std::vector<std::vector<std::string>> ids(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      client.connect("127.0.0.1", server_->port());
+      for (int i = 0; i < kPerThread; ++i) {
+        ids[static_cast<std::size_t>(t)].push_back(
+            response_request_id(client.call(payload)));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  std::set<std::string> unique;
+  for (const std::vector<std::string>& thread_ids : ids) {
+    for (const std::string& id : thread_ids) {
+      ASSERT_FALSE(id.empty());
+      EXPECT_EQ(id.rfind("s-", 0), 0u) << id;
+      unique.insert(id);
+    }
+  }
+  EXPECT_EQ(unique.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+// ---- stats payload round-trip (hostile metric names, histogram buckets) ----
+
+TEST_F(ServeTest, StatsEscapesMetricNamesAndEmitsHistogramBuckets) {
+  // Metric names containing JSON-hostile characters must not break the
+  // stats payload.
+  const std::string weird_counter = "serve.test.\"quoted\\name\"";
+  const std::string weird_histogram = "serve.test.\"quoted\\histo\"";
+  obs::metrics().counter(weird_counter).add();
+  obs::metrics().histogram(weird_histogram).observe(7);
+  ASSERT_TRUE(response_ok(client_.call(serialize_request(tiny_request()))));
+
+  const std::string stats = client_.stats();
+  const obs::json::Value document = obs::json::parse(stats);  // must not throw
+  const obs::json::Value* body = document.find("stats");
+  ASSERT_NE(body, nullptr);
+  const obs::json::Value* counters = body->find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_NE(counters->find(weird_counter), nullptr);
+  const obs::json::Value* histograms = body->find("histograms");
+  ASSERT_NE(histograms, nullptr);
+  const obs::json::Value* weird = histograms->find(weird_histogram);
+  ASSERT_NE(weird, nullptr);
+  // Histograms carry count, percentile estimates, and the log-bucket
+  // boundaries as [upper_bound, count] pairs.
+  ASSERT_NE(weird->find("count"), nullptr);
+  EXPECT_GE(weird->find("count")->number, 1.0);
+  EXPECT_NE(weird->find("p50"), nullptr);
+  EXPECT_NE(weird->find("p99"), nullptr);
+  const obs::json::Value* buckets = weird->find("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_TRUE(buckets->is_array());
+  ASSERT_FALSE(buckets->array.empty());
+  // 7 lands in bucket [4, 8) whose inclusive upper bound is 7.
+  EXPECT_EQ(buckets->array[0].array[0].number, 7.0);
+  EXPECT_EQ(buckets->array[0].array[1].number, 1.0);
+  // The headline latency summary has the same shape.
+  const obs::json::Value* latency = body->find("latency_us");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_NE(latency->find("p50"), nullptr);
+  EXPECT_NE(latency->find("buckets"), nullptr);
+}
+
+// ---- metrics endpoint (Prometheus exposition) ----
+
+TEST_F(ServeTest, MetricsEndpointServesAConsistentExposition) {
+  const std::string payload = serialize_request(tiny_request("portfolio"));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(response_ok(client_.call(payload)));
+  }
+  const std::string response = client_.metrics();
+  ASSERT_TRUE(response_ok(response));
+  EXPECT_FALSE(response_request_id(response).empty());
+  const std::string exposition = response_metrics_text(response);
+  ASSERT_FALSE(exposition.empty());
+
+  const obs::PromHistogram latency = obs::parse_prometheus_histogram(
+      exposition, "ptask_serve_latency_us");
+  ASSERT_TRUE(latency.found);
+  EXPECT_GE(latency.count, 3u);  // registry is process-global: >=, not ==
+  ASSERT_FALSE(latency.buckets.empty());
+  // Cumulative buckets: bounds strictly increasing, counts monotone
+  // non-decreasing, terminated by +Inf == _count.
+  for (std::size_t i = 1; i < latency.buckets.size(); ++i) {
+    EXPECT_GT(latency.buckets[i].first, latency.buckets[i - 1].first);
+    EXPECT_GE(latency.buckets[i].second, latency.buckets[i - 1].second);
+  }
+  EXPECT_TRUE(std::isinf(latency.buckets.back().first));
+  EXPECT_EQ(latency.buckets.back().second, latency.count);
+
+  // Phase histograms sum consistently with the request latency: every
+  // latency observation passed through the parse and cache phases (both
+  // also observe on error paths, hence >=).
+  const obs::PromHistogram parse = obs::parse_prometheus_histogram(
+      exposition, "ptask_serve_phase_parse_us");
+  const obs::PromHistogram cache = obs::parse_prometheus_histogram(
+      exposition, "ptask_serve_phase_cache_us");
+  ASSERT_TRUE(parse.found);
+  ASSERT_TRUE(cache.found);
+  EXPECT_GE(parse.count, latency.count);
+  EXPECT_GE(cache.count, latency.count);
+
+  // Exposition percentiles are monotone in q (same log-bucket estimator as
+  // Histogram::percentile).
+  const double p50 = obs::prometheus_percentile(latency, 0.5);
+  const double p99 = obs::prometheus_percentile(latency, 0.99);
+  EXPECT_LE(p50, p99);
+  EXPECT_GT(p99, 0.0);
+
+  // Per-strategy breakdown exists for the strategy we used.
+  EXPECT_NE(exposition.find("ptask_serve_strategy_portfolio_requests_total"),
+            std::string::npos);
+}
+
+// ---- slow-request log ----
+
+TEST(ServeSlowLog, ThresholdGatedStructuredLogCapturesSlowRequests) {
+  const std::string path =
+      ::testing::TempDir() + "ptask_slow_log_test.jsonl";
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.slow_threshold_us = 1;  // effectively everything is slow
+  options.slow_log_path = path;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  ScheduleRequest request = tiny_request();
+  request.request_id = "slow-1";
+  ASSERT_TRUE(response_ok(client.call(serialize_request(request))));
+  server.stop();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::string line;
+  bool saw_slow_request = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const obs::json::Value entry = obs::json::parse(line);  // JSON lines
+    ASSERT_TRUE(entry.is_object());
+    ASSERT_NE(entry.find("request_id"), nullptr);
+    ASSERT_NE(entry.find("total_us"), nullptr);
+    ASSERT_NE(entry.find("phases"), nullptr);
+    ASSERT_NE(entry.find("cache"), nullptr);
+    if (entry.find("request_id")->string != "slow-1") continue;
+    saw_slow_request = true;
+    EXPECT_EQ(entry.find("kind")->string, "schedule");
+    EXPECT_EQ(entry.find("scheduler")->string, "layer");
+    EXPECT_EQ(entry.find("cache")->string, "miss");
+    EXPECT_TRUE(entry.find("error")->is_null());
+    EXPECT_GT(entry.find("total_us")->number, 0.0);
+    const obs::json::Value* phases = entry.find("phases");
+    EXPECT_NE(phases->find("parse_us"), nullptr);
+    EXPECT_NE(phases->find("schedule_us"), nullptr);
+  }
+  EXPECT_TRUE(saw_slow_request);
+  std::remove(path.c_str());
+}
+
+TEST(ServeSlowLog, RequestsUnderTheThresholdAreNotLogged) {
+  const std::string path =
+      ::testing::TempDir() + "ptask_slow_log_quiet_test.jsonl";
+  std::remove(path.c_str());
+  ServerOptions options;
+  options.slow_threshold_us = 60'000'000;  // one minute: nothing qualifies
+  options.slow_log_path = path;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(response_ok(client.call(serialize_request(tiny_request()))));
+  server.stop();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open()) << path;  // the file exists (truncated at start)
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(line.empty()) << "unexpected slow-log entry: " << line;
+  }
+  std::remove(path.c_str());
+}
+
+// ---- live trace endpoint ----
+
+TEST(ServeTraceEndpoint, LiveTraceCarriesPerRequestSpanTrees) {
+  if (!obs::kTracingCompiledIn) {
+    GTEST_SKIP() << "tracing compiled out (PTASK_OBS=OFF)";
+  }
+  obs::tracer().set_enabled(true);
+  obs::tracer().take();  // drop spans accumulated by earlier tests
+  Server server;
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  ScheduleRequest request = tiny_request();
+  request.request_id = "trace-me";
+  ASSERT_TRUE(response_ok(client.call(serialize_request(request))));
+  const std::string response = client.trace();
+  obs::tracer().set_enabled(false);
+  ASSERT_TRUE(response_ok(response));
+  const std::string trace_json = response_trace_json(response);
+  ASSERT_FALSE(trace_json.empty());
+  const obs::json::Value document = obs::json::parse(trace_json);
+  EXPECT_TRUE(document.is_object());
+  // The request's span tree: a root named after the request ID plus the
+  // phase spans recorded on the same worker track.
+  EXPECT_NE(trace_json.find("serve.request trace-me"), std::string::npos);
+  EXPECT_NE(trace_json.find("serve.recv"), std::string::npos);
+  EXPECT_NE(trace_json.find("serve.parse"), std::string::npos);
+  EXPECT_NE(trace_json.find("serve.cache.lookup"), std::string::npos);
+  EXPECT_NE(trace_json.find("serve.schedule[layer]"), std::string::npos);
+  EXPECT_NE(trace_json.find("serve.serialize"), std::string::npos);
+  server.stop();
 }
 
 TEST(ServeOptions, CacheMaxEntriesBoundsTheServerCache) {
@@ -737,11 +1072,14 @@ TEST(ServeSoak, FaultInjectedSoakNeverCrashesOrServesStaleBytes) {
             failures.fetch_add(1);
             continue;
           }
+          // Byte-stability modulo the per-response correlation ID: compare
+          // the schedule bytes, not the envelope.
+          const std::string schedule = response_schedule_json(response);
           const std::lock_guard<std::mutex> lock(first_mutex);
           std::string& expected = first_response[index];
           if (expected.empty()) {
-            expected = response;
-          } else if (expected != response) {
+            expected = schedule;
+          } else if (expected != schedule) {
             failures.fetch_add(1);  // stale or aliased cache entry
           }
         } catch (const std::exception&) {

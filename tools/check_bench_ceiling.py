@@ -9,12 +9,17 @@ guard only trips on genuine regressions (e.g. the scheduler hot-path
 optimizations being disabled or broken), not on runner noise.
 
 A second mode diffs the results against a checked-in baseline (the repo
-ships one as BENCH_micro.json): every benchmark present in the baseline
-must still exist in the fresh results (coverage loss is a failure) and its
-median must stay within --max-regression times the baseline median.  The
-factor is generous by default because the baseline and CI run on different
-hardware; the diff catches order-of-magnitude cliffs and silently dropped
-benchmarks, not percent-level drift.
+ships BENCH_micro.json and BENCH_serve.json): every benchmark present in
+the baseline must still exist in the fresh results (coverage loss is a
+failure) and its median must stay within --max-regression times the
+baseline median.  The factor is generous by default because the baseline
+and CI run on different hardware; the diff catches order-of-magnitude
+cliffs and silently dropped benchmarks, not percent-level drift.
+
+Rows may carry "direction": "up" (e.g. the loadgen cache hit-rate row in
+BENCH_serve.json, where median_s holds a ratio and HIGHER is better); for
+those the diff direction flips -- the run fails when the fresh value drops
+below baseline / --max-regression.
 
 Usage:
   check_bench_ceiling.py BENCH_micro.json \
@@ -79,6 +84,19 @@ def check_baseline(benchmarks: list, baseline: list, factor: float) -> list:
             print(f"GONE {name}: in baseline, not in results")
             continue
         new = current[name]
+        if row.get("direction") == "up":
+            # Higher is better (e.g. the hit-rate row in BENCH_serve.json,
+            # where median_s holds a ratio): fail when the fresh value
+            # collapses below baseline / factor.
+            drop = old / new if new > 0 else float("inf" if old > 0 else 1)
+            ok = drop <= factor
+            print(f"{'ok  ' if ok else 'FAIL'} {name} (up): "
+                  f"{old:.4g} -> {new:.4g} "
+                  f"({drop:.2f}x drop, limit {factor:g}x)")
+            if not ok:
+                failures.append(f"{name} dropped {drop:.2f}x below baseline "
+                                f"(limit {factor:g}x, direction up)")
+            continue
         # Guard against a zero-time baseline row dividing the ratio away.
         ratio = new / old if old > 0 else float("inf" if new > 0 else 1)
         ok = ratio <= factor

@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Linter for Prometheus text exposition format 0.0.4 (stdlib only).
+
+Validates the `metrics` endpoint output of ptask_served (and the
+--metrics-out snapshots) the way a real scrape pipeline would:
+
+  * every non-comment line is a well-formed sample
+    `name[{labels}] value [timestamp]` with a legal metric name
+    ([a-zA-Z_:][a-zA-Z0-9_:]*), legal label names, correctly escaped label
+    values, and a float-parseable value;
+  * HELP/TYPE comment lines are well-formed, TYPE precedes the metric's
+    first sample, and no metric has two TYPE lines;
+  * TYPE counter metrics only emit `<name>_total` samples;
+  * TYPE histogram metrics are structurally sound: bucket `le` bounds are
+    floats and strictly increasing, cumulative counts are monotone
+    non-decreasing, the mandatory `le="+Inf"` bucket is present and equals
+    `<name>_count`, and `<name>_sum` exists.
+
+Usage:  promlint.py FILE [FILE ...]     (or `-` for stdin)
+Exits 1 with one `file:line: message` per violation.
+"""
+
+import math
+import re
+import sys
+
+METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# name, optional {labels}, value, optional timestamp
+SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?\s*$")
+LABEL = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+    r'"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+SUFFIXES = ("_bucket", "_sum", "_count", "_total")
+
+
+def base_name(name: str) -> str:
+    """Metric family name of a sample (strips histogram/counter suffixes)."""
+    for suffix in SUFFIXES:
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def parse_value(text: str):
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def lint(path: str, text: str) -> list:
+    errors = []
+    types = {}          # family -> declared TYPE
+    type_line = {}      # family -> line of the TYPE declaration
+    sampled = set()     # families that already emitted a sample
+    # family -> list of (le, cumulative count, line)
+    buckets = {}
+    sums = set()
+    counts = {}
+
+    def err(line_number, message):
+        errors.append(f"{path}:{line_number}: {message}")
+
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not METRIC_NAME.match(parts[2]):
+                    err(line_number, f"malformed {parts[1]} line")
+                    continue
+                if parts[1] == "TYPE":
+                    if len(parts) < 4 or parts[3] not in (
+                            "counter", "gauge", "histogram", "summary",
+                            "untyped"):
+                        err(line_number, "TYPE line missing a valid type")
+                        continue
+                    family = parts[2]
+                    if family in types:
+                        err(line_number,
+                            f"second TYPE line for '{family}' (first at "
+                            f"line {type_line[family]})")
+                    if family in sampled:
+                        err(line_number,
+                            f"TYPE line for '{family}' after its samples")
+                    types[family] = parts[3]
+                    type_line[family] = line_number
+            # other comments are free-form
+            continue
+
+        match = SAMPLE.match(line)
+        if not match:
+            err(line_number, f"unparseable sample line: {line!r}")
+            continue
+        name = match.group("name")
+        value = parse_value(match.group("value"))
+        if value is None:
+            err(line_number, f"unparseable value {match.group('value')!r}")
+            continue
+
+        labels = {}
+        raw_labels = match.group("labels")
+        if raw_labels is not None:
+            position = 0
+            while position < len(raw_labels):
+                label = LABEL.match(raw_labels, position)
+                if not label:
+                    err(line_number,
+                        f"malformed labels: {{{raw_labels}}}")
+                    break
+                labels[label.group("name")] = label.group("value")
+                position = label.end()
+
+        family = base_name(name)
+        sampled.add(family)
+        sampled.add(name)
+        # Counters may be declared either as `TYPE foo counter` (OpenMetrics
+        # style) or `TYPE foo_total counter` (classic 0.0.4, what the ptask
+        # renderer emits); accept both.
+        declared = types.get(family) or types.get(name)
+
+        if declared == "counter" and not name.endswith("_total"):
+            err(line_number,
+                f"counter family '{family}' sample '{name}' lacks _total")
+        if declared == "histogram":
+            if name == family + "_bucket":
+                le_text = labels.get("le")
+                le = parse_value(le_text) if le_text is not None else None
+                if le is None:
+                    err(line_number, "histogram bucket without a float 'le'")
+                else:
+                    buckets.setdefault(family, []).append(
+                        (le, value, line_number))
+            elif name == family + "_sum":
+                sums.add(family)
+            elif name == family + "_count":
+                counts[family] = (value, line_number)
+
+    for family, declared in types.items():
+        if declared != "histogram":
+            continue
+        rows = buckets.get(family, [])
+        if not rows:
+            err(type_line[family], f"histogram '{family}' has no buckets")
+            continue
+        for (le_a, count_a, _), (le_b, count_b, line_b) in zip(rows, rows[1:]):
+            if not le_b > le_a:
+                err(line_b, f"histogram '{family}' bucket bounds not "
+                            f"strictly increasing ({le_a} -> {le_b})")
+            if count_b < count_a:
+                err(line_b, f"histogram '{family}' cumulative counts "
+                            f"decrease ({count_a} -> {count_b})")
+        if not math.isinf(rows[-1][0]):
+            err(rows[-1][2], f"histogram '{family}' missing le=\"+Inf\"")
+        if family not in counts:
+            err(type_line[family], f"histogram '{family}' missing _count")
+        elif math.isinf(rows[-1][0]) and rows[-1][1] != counts[family][0]:
+            err(counts[family][1],
+                f"histogram '{family}' +Inf bucket {rows[-1][1]:g} != "
+                f"_count {counts[family][0]:g}")
+        if family not in sums:
+            err(type_line[family], f"histogram '{family}' missing _sum")
+
+    return errors
+
+
+def main() -> int:
+    paths = sys.argv[1:]
+    if not paths:
+        print("usage: promlint.py FILE [FILE ...]  (or - for stdin)",
+              file=sys.stderr)
+        return 2
+    failures = []
+    for path in paths:
+        if path == "-":
+            failures += lint("<stdin>", sys.stdin.read())
+        else:
+            with open(path, encoding="utf-8") as f:
+                failures += lint(path, f.read())
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    if not failures:
+        print(f"promlint: {len(paths)} file(s) clean")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,8 +21,17 @@
 //               from the served schedule bytes and must match.
 //
 // Gates (non-zero exit when violated): any oracle mismatch, any unexpected
-// response, and --min-hit-rate R (server-side schedule cache hit rate over
-// the run, from the stats endpoint).
+// response, --min-hit-rate R (server-side schedule cache hit rate over the
+// run, from the stats endpoint), and --slo-p99-us N (server-side p99 request
+// latency from the Prometheus `metrics` endpoint -- computed with the same
+// log-bucket interpolation ptask_top uses, so the gate and the dashboard
+// agree within the documented factor-of-two bucket error).
+//
+// --bench-out FILE writes a BENCH_serve.json latency/hit-rate summary in
+// the BENCH_*.json row schema (client-side p50/p90/p99 wall latencies as
+// median_s seconds, plus a cache hit-rate row tagged "direction":"up" so
+// tools/check_bench_ceiling.py knows higher is better when diffing against
+// the committed baseline).
 //
 // --spawn hosts the server in-process on an ephemeral port instead of
 // connecting to an external daemon -- that is what the `serve_loadgen_smoke`
@@ -32,7 +41,8 @@
 //   ptask_loadgen (--spawn | --port N [--host H]) [--requests N]
 //       [--concurrency N] [--repeat-ratio R] [--seed S] [--scheduler NAME]
 //       [--family NAME] [--max-tasks N] [--oracle] [--faults F]
-//       [--min-hit-rate R] [--stats-out FILE] [--quiet]
+//       [--min-hit-rate R] [--slo-p99-us N] [--bench-out FILE]
+//       [--stats-out FILE] [--quiet]
 
 #include <atomic>
 #include <chrono>
@@ -52,6 +62,8 @@
 #include "ptask/fuzz/generator.hpp"
 #include "ptask/fuzz/rng.hpp"
 #include "ptask/obs/json.hpp"
+#include "ptask/obs/metrics.hpp"
+#include "ptask/obs/prometheus.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/client.hpp"
 #include "ptask/serve/server.hpp"
@@ -76,7 +88,9 @@ struct Options {
   bool certify = false;
   double faults = 0.0;
   double min_hit_rate = -1.0;
+  double slo_p99_us = -1.0;
   std::string stats_out;
+  std::string bench_out;
   bool quiet = false;
 };
 
@@ -111,6 +125,9 @@ std::vector<ScheduleRequest> build_pool(const Options& options,
     request.machine = instance.machine;
     request.graph = instance.graph;
     request.certify = options.certify;
+    // Annotation only (excluded from the cache key): lets the server break
+    // down serve.family.<f>.* metrics by graph family.
+    request.family = ptask::fuzz::to_string(instance.family);
     pool.push_back(std::move(request));
   }
   return pool;
@@ -135,6 +152,10 @@ struct Tally {
   std::atomic<std::uint64_t> fault_frames{0};
   std::atomic<std::uint64_t> reconnects{0};
   std::mutex log_mutex;
+  /// Client-side wall latency (us) of every well-formed schedule round trip,
+  /// merged per thread at loop exit (feeds --bench-out and the summary).
+  std::mutex latency_mutex;
+  std::vector<double> latencies_us;
 };
 
 void log_failure(Tally& tally, const std::string& message) {
@@ -205,6 +226,8 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
                                            thread_index + 1)));
   Client client;
   client.connect(options.host, options.port);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(static_cast<std::size_t>(request_count));
 
   for (int i = 0; i < request_count; ++i) {
     try {
@@ -219,7 +242,12 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
           static_cast<std::size_t>(rng.uniform(0, static_cast<int>(pool.size()) - 1));
       const PoolEntry& entry = pool[index];
       tally.sent.fetch_add(1);
+      const auto call_t0 = std::chrono::steady_clock::now();
       const std::string response = client.call(entry.payload);
+      latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - call_t0)
+              .count());
       if (entry.expect_error) {
         if (serve::response_ok(response)) {
           tally.unexpected.fetch_add(1);
@@ -262,10 +290,13 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
         client.connect(options.host, options.port);
         tally.reconnects.fetch_add(1);
       } catch (const std::exception&) {
-        return;  // server gone; remaining requests count as unexpected below
+        break;  // server gone; remaining requests count as unexpected below
       }
     }
   }
+  const std::lock_guard<std::mutex> lock(tally.latency_mutex);
+  tally.latencies_us.insert(tally.latencies_us.end(), latencies_us.begin(),
+                            latencies_us.end());
 }
 
 int usage(const char* argv0) {
@@ -274,9 +305,46 @@ int usage(const char* argv0) {
       << " (--spawn | --port N [--host H]) [--requests N] [--concurrency N]"
          " [--repeat-ratio R] [--seed S] [--scheduler NAME] [--family NAME]"
          " [--max-tasks N] [--oracle] [--certify] [--faults F]"
-         " [--min-hit-rate R]"
+         " [--min-hit-rate R] [--slo-p99-us N] [--bench-out FILE]"
          " [--stats-out FILE] [--quiet]\n";
   return 2;
+}
+
+/// BENCH_serve.json: client latency percentiles and the cache hit rate in
+/// the BENCH_*.json row schema (name/samples/iterations/median_s/p90_s),
+/// so tools/check_bench_ceiling.py can diff runs.  Latency rows carry the
+/// percentile in median_s as seconds; the hit-rate row abuses median_s as a
+/// ratio in [0, 1] and is tagged "direction":"up" (higher is better).
+std::string render_bench_serve_json(std::vector<double> latencies_us,
+                                    double hit_rate) {
+  const std::size_t n = latencies_us.size();
+  std::string out = "{\"benchmarks\":[";
+  char buf[160];
+  const auto row = [&](const char* name, double median_s, double p90_s,
+                       const char* direction) {
+    if (out.back() == '}') out += ",";
+    std::snprintf(buf, sizeof(buf),
+                  "\n  {\"name\":\"%s\",\"samples\":%zu,\"iterations\":%zu,"
+                  "\"median_s\":%.9g,\"p90_s\":%.9g%s%s%s}",
+                  name, n, n, median_s, p90_s,
+                  direction != nullptr ? ",\"direction\":\"" : "",
+                  direction != nullptr ? direction : "",
+                  direction != nullptr ? "\"" : "");
+    out += buf;
+  };
+  const auto pct = [&](double q) {
+    return ptask::obs::percentile_nearest_rank(latencies_us, q) * 1e-6;
+  };
+  if (n > 0) {
+    row("LG_ServeLatency/p50", pct(0.5), pct(0.9), nullptr);
+    row("LG_ServeLatency/p90", pct(0.9), pct(0.99), nullptr);
+    row("LG_ServeLatency/p99", pct(0.99), pct(0.99), nullptr);
+  }
+  if (hit_rate >= 0) {
+    row("LG_CacheHitRate", hit_rate, hit_rate, "up");
+  }
+  out += "\n]}\n";
+  return out;
 }
 
 }  // namespace
@@ -320,6 +388,10 @@ int main(int argc, char** argv) {
       options.faults = std::atof(next());
     } else if (arg == "--min-hit-rate") {
       options.min_hit_rate = std::atof(next());
+    } else if (arg == "--slo-p99-us") {
+      options.slo_p99_us = std::atof(next());
+    } else if (arg == "--bench-out") {
+      options.bench_out = next();
     } else if (arg == "--stats-out") {
       options.stats_out = next();
     } else if (arg == "--quiet") {
@@ -401,9 +473,11 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
-  // Pull the server's stats for the hit-rate gate and the artifact.
+  // Pull the server's stats for the hit-rate gate and the artifact, and the
+  // Prometheus exposition for the p99 SLO gate.
   std::string stats_json;
   double hit_rate = -1.0;
+  double server_p99_us = -1.0;
   try {
     Client client;
     client.connect(options.host, options.port);
@@ -420,12 +494,32 @@ int main(int argc, char** argv) {
         }
       }
     }
+    if (options.slo_p99_us >= 0.0) {
+      const std::string exposition =
+          ptask::serve::response_metrics_text(client.metrics());
+      const ptask::obs::PromHistogram latency =
+          ptask::obs::parse_prometheus_histogram(exposition,
+                                                 "ptask_serve_latency_us");
+      if (latency.found && latency.count > 0) {
+        server_p99_us = ptask::obs::prometheus_percentile(latency, 0.99);
+      }
+    }
   } catch (const std::exception& e) {
     std::cerr << "ptask_loadgen: stats fetch failed: " << e.what() << "\n";
   }
   if (!options.stats_out.empty() && !stats_json.empty()) {
     std::ofstream out(options.stats_out);
     out << stats_json << "\n";
+  }
+
+  std::vector<double> latencies_us;
+  {
+    const std::lock_guard<std::mutex> lock(tally.latency_mutex);
+    latencies_us = std::move(tally.latencies_us);
+  }
+  if (!options.bench_out.empty()) {
+    std::ofstream out(options.bench_out);
+    out << render_bench_serve_json(latencies_us, hit_rate);
   }
 
   const std::uint64_t sent = tally.sent.load();
@@ -443,6 +537,16 @@ int main(int argc, char** argv) {
               << " unexpected=" << tally.unexpected.load();
     if (hit_rate >= 0) std::cout << " cache_hit_rate=" << hit_rate;
     std::cout << "\n";
+    if (!latencies_us.empty()) {
+      std::cout << "ptask_loadgen: client latency_us p50="
+                << ptask::obs::percentile_nearest_rank(latencies_us, 0.5)
+                << " p90="
+                << ptask::obs::percentile_nearest_rank(latencies_us, 0.9)
+                << " p99="
+                << ptask::obs::percentile_nearest_rank(latencies_us, 0.99);
+      if (server_p99_us >= 0) std::cout << " server_p99~=" << server_p99_us;
+      std::cout << "\n";
+    }
   }
 
   if (spawned) spawned->stop();
@@ -457,6 +561,17 @@ int main(int argc, char** argv) {
     std::cerr << "ptask_loadgen: cache hit rate " << hit_rate
               << " below required " << options.min_hit_rate << "\n";
     failed = true;
+  }
+  if (options.slo_p99_us >= 0.0) {
+    if (server_p99_us < 0.0) {
+      std::cerr << "ptask_loadgen: --slo-p99-us set but no server latency "
+                   "histogram in the metrics exposition\n";
+      failed = true;
+    } else if (server_p99_us > options.slo_p99_us) {
+      std::cerr << "ptask_loadgen: server p99 latency ~" << server_p99_us
+                << "us violates SLO " << options.slo_p99_us << "us\n";
+      failed = true;
+    }
   }
   return failed ? 1 : 0;
 }
