@@ -1,6 +1,7 @@
 #include "ptask/core/task_graph.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <queue>
 #include <sstream>
 #include <stdexcept>
@@ -31,6 +32,85 @@ void TaskGraph::add_edge(TaskId from, TaskId to) {
   succ_[static_cast<std::size_t>(from)].push_back(to);
   pred_[static_cast<std::size_t>(to)].push_back(from);
   ++num_edges_;
+}
+
+void TaskGraph::add_edges(const std::vector<std::pair<TaskId, TaskId>>& edges) {
+  if (edges.empty()) return;
+  const std::size_t n = tasks_.size();
+
+  // Validate ranges / self edges and drop duplicates before touching any
+  // adjacency, so a bad batch leaves the graph byte-identical.  The batch's
+  // successor overlay lives in one flat CSR buffer (counted, prefix-summed,
+  // then filled); per-node slices stay short in practice, so duplicate
+  // probes are linear scans of the filled slice -- no hashing, no per-node
+  // vector allocations.
+  std::vector<std::uint32_t> offset(n + 1, 0);
+  for (const auto& [from, to] : edges) {
+    check_id(from);
+    check_id(to);
+    if (from == to) throw std::invalid_argument("self edge");
+    ++offset[static_cast<std::size_t>(from) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) offset[i + 1] += offset[i];
+  std::vector<TaskId> overlay(edges.size());
+  std::vector<std::uint32_t> filled(n, 0);
+  std::vector<std::uint32_t> in_added(n, 0);
+  std::vector<std::pair<TaskId, TaskId>> fresh;
+  fresh.reserve(edges.size());
+  for (const auto& [from, to] : edges) {
+    if (has_edge(from, to)) continue;
+    TaskId* const begin =
+        overlay.data() + offset[static_cast<std::size_t>(from)];
+    TaskId* const end = begin + filled[static_cast<std::size_t>(from)];
+    if (std::find(begin, end, to) != end) continue;
+    *end = to;
+    ++filled[static_cast<std::size_t>(from)];
+    ++in_added[static_cast<std::size_t>(to)];
+    fresh.push_back({from, to});
+  }
+  if (fresh.empty()) return;
+
+  // One Kahn pass over the overlay graph (existing adjacency + the batch):
+  // every node drains iff the combined edge set is acyclic.
+  std::vector<int> indeg(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    indeg[i] = static_cast<int>(pred_[i].size() + in_added[i]);
+  }
+  std::vector<TaskId> ready;
+  ready.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indeg[i] == 0) ready.push_back(static_cast<TaskId>(i));
+  }
+  std::size_t drained = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.back();
+    ready.pop_back();
+    ++drained;
+    const auto relax = [&](TaskId s) {
+      if (--indeg[static_cast<std::size_t>(s)] == 0) ready.push_back(s);
+    };
+    for (TaskId s : succ_[static_cast<std::size_t>(id)]) relax(s);
+    const TaskId* const begin =
+        overlay.data() + offset[static_cast<std::size_t>(id)];
+    const TaskId* const end = begin + filled[static_cast<std::size_t>(id)];
+    for (const TaskId* s = begin; s != end; ++s) relax(*s);
+  }
+  if (drained != n) {
+    throw std::invalid_argument("edge batch would create a cycle");
+  }
+
+  // Exact-size reserves keep the commit loop realloc-free; the loop itself
+  // appends in batch order so the resulting adjacency order is identical to
+  // a sequence of add_edge calls.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (filled[i] > 0) succ_[i].reserve(succ_[i].size() + filled[i]);
+    if (in_added[i] > 0) pred_[i].reserve(pred_[i].size() + in_added[i]);
+  }
+  for (const auto& [from, to] : fresh) {
+    succ_[static_cast<std::size_t>(from)].push_back(to);
+    pred_[static_cast<std::size_t>(to)].push_back(from);
+    ++num_edges_;
+  }
 }
 
 const MTask& TaskGraph::task(TaskId id) const {

@@ -182,6 +182,105 @@ core::TaskGraph npb_multizone_graph(Rng& rng, std::string* name) {
   return npb::step_graph(problem);
 }
 
+ArrivalStream arrival_stream(std::uint64_t seed, int batches) {
+  ArrivalStream stream;
+  const Instance source = random_instance(seed);
+  const int n = source.graph.num_tasks();
+  if (n == 0) {
+    stream.instance = source;
+    return stream;
+  }
+  const int k = std::max(1, std::min(batches, n));
+
+  // Relabel into arrival order: ids follow the (deterministic, smallest-id-
+  // first) topological order, so any contiguous id prefix is closed under
+  // predecessors and every edge points into the same or a later batch.
+  const std::vector<core::TaskId> topo = source.graph.topological_order();
+  std::vector<core::TaskId> arrival_id(static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    arrival_id[static_cast<std::size_t>(topo[static_cast<std::size_t>(j)])] =
+        static_cast<core::TaskId>(j);
+  }
+  // k non-empty even chunks: batch b covers [batch_begin(b), batch_begin(b+1)).
+  const auto batch_begin = [&](int b) {
+    return static_cast<core::TaskId>((static_cast<long long>(b) * n) / k);
+  };
+  std::vector<int> batch_of(static_cast<std::size_t>(n));
+  for (int b = 0; b < k; ++b) {
+    const core::TaskId hi =
+        b + 1 < k ? batch_begin(b + 1) : static_cast<core::TaskId>(n);
+    for (core::TaskId j = batch_begin(b); j < hi; ++j) {
+      batch_of[static_cast<std::size_t>(j)] = b;
+    }
+  }
+
+  // Edges grouped by the batch of their target (the earliest instant both
+  // endpoints exist), ordered (to, from) ascending within a batch.
+  std::vector<std::vector<std::pair<core::TaskId, core::TaskId>>> batch_edges(
+      static_cast<std::size_t>(k));
+  for (core::TaskId to = 0; to < n; ++to) {
+    std::vector<core::TaskId> froms;
+    for (core::TaskId old_from :
+         source.graph.predecessors(topo[static_cast<std::size_t>(to)])) {
+      froms.push_back(arrival_id[static_cast<std::size_t>(old_from)]);
+    }
+    std::sort(froms.begin(), froms.end());
+    for (core::TaskId from : froms) {
+      batch_edges[static_cast<std::size_t>(batch_of[static_cast<std::size_t>(to)])]
+          .push_back({from, to});
+    }
+  }
+
+  // Batch 0 is the initial graph; later batches become timed deltas.  All
+  // timing/priority randomness comes from a substream of the instance seed,
+  // so the stream shape is independent of the instance generator's draws.
+  Rng rng(substream(seed, 0xA881u));
+  for (core::TaskId j = 0; j < batch_begin(1); ++j) {
+    stream.initial.add_task(source.graph.task(topo[static_cast<std::size_t>(j)]));
+  }
+  for (const auto& [from, to] : batch_edges[0]) {
+    stream.initial.add_edge(from, to);
+  }
+  stream.initial_release = 0.0;
+
+  double release = 0.0;
+  for (int b = 1; b < k; ++b) {
+    sched::GraphDelta delta;
+    release += rng.uniform_real(0.1, 10.0);
+    delta.release_time = release;
+    const core::TaskId lo = batch_begin(b);
+    const core::TaskId hi = b + 1 < k ? batch_begin(b + 1)
+                                      : static_cast<core::TaskId>(n);
+    for (core::TaskId j = lo; j < hi; ++j) {
+      sched::ArrivingTask arriving;
+      arriving.task = source.graph.task(topo[static_cast<std::size_t>(j)]);
+      arriving.release_time = release + rng.uniform_real(0.0, 1.0);
+      arriving.priority = rng.uniform(0, 9);
+      delta.tasks.push_back(std::move(arriving));
+    }
+    delta.edges = batch_edges[static_cast<std::size_t>(b)];
+    stream.deltas.push_back(std::move(delta));
+  }
+
+  stream.instance = source;
+  stream.instance.graph = materialize(stream);
+  std::ostringstream os;
+  os << source.name << " arrivals k=" << k;
+  stream.instance.name = os.str();
+  return stream;
+}
+
+core::TaskGraph materialize(const ArrivalStream& stream) {
+  core::TaskGraph graph = stream.initial;
+  for (const sched::GraphDelta& delta : stream.deltas) {
+    for (const sched::ArrivingTask& arriving : delta.tasks) {
+      graph.add_task(arriving.task);
+    }
+    graph.add_edges(delta.edges);
+  }
+  return graph;
+}
+
 Instance random_instance(std::uint64_t seed) {
   Rng rng(seed);
   Instance inst;

@@ -5,6 +5,7 @@
 
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ptask/core/mtask.hpp"
@@ -26,6 +27,16 @@ class TaskGraph {
   /// Adds the input-output edge `from -> to`.  Duplicate edges are ignored.
   /// Throws std::invalid_argument when it would close a cycle.
   void add_edge(TaskId from, TaskId to);
+
+  /// Adds a batch of edges atomically: the whole batch is validated first
+  /// (ids in range, no self edges, no cycle through existing + new edges via
+  /// one Kahn pass over the overlay) and applied only when every edge is
+  /// acceptable.  On std::invalid_argument the graph is unchanged -- the
+  /// all-or-nothing contract incremental graph deltas rely on.  Duplicate
+  /// edges (against the graph or inside the batch) are ignored.  This is
+  /// also asymptotically cheaper than per-edge add_edge for large batches:
+  /// one O(V + E) cycle check instead of one reachability walk per edge.
+  void add_edges(const std::vector<std::pair<TaskId, TaskId>>& edges);
 
   int num_tasks() const { return static_cast<int>(tasks_.size()); }
   int num_edges() const { return num_edges_; }

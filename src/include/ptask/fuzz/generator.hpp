@@ -23,10 +23,12 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ptask/arch/machine.hpp"
 #include "ptask/core/task_graph.hpp"
 #include "ptask/fuzz/rng.hpp"
+#include "ptask/sched/incremental.hpp"
 
 namespace ptask::fuzz {
 
@@ -66,6 +68,37 @@ struct Instance {
 /// Generates the instance of `seed`: picks a family, a machine shape, and a
 /// core count, then builds the graph.  Deterministic in `seed`.
 Instance random_instance(std::uint64_t seed);
+
+/// An online-arrival replay of a fuzz instance: the instance's graph
+/// relabeled into arrival order (ids follow a topological order, so every
+/// edge points from an earlier arrival to a later one) and split into k
+/// prefix-closed timed batches -- batch 0 as an initial graph, batches
+/// 1..k-1 as `sched::GraphDelta`s with monotonically increasing release
+/// times and random task priorities.  Feeding `initial` to
+/// IncrementalScheduler::reset and the deltas to `extend` accumulates
+/// exactly `instance.graph` (see materialize), which is what the
+/// differential oracle schedules in one shot for the bit-identity check.
+struct ArrivalStream {
+  /// The full accumulated instance (relabeled graph, original machine /
+  /// core count / family / name), e.g. for certification of the result.
+  Instance instance;
+  core::TaskGraph initial;    ///< batch 0
+  double initial_release = 0.0;
+  std::vector<sched::GraphDelta> deltas;  ///< batches 1..k-1, in order
+
+  int batches() const { return 1 + static_cast<int>(deltas.size()); }
+};
+
+/// Splits the instance of `seed` into (up to) `batches` timed arrival
+/// batches.  Deterministic in (`seed`, `batches`); the batch count is
+/// clamped to the task count so every batch is non-empty.
+ArrivalStream arrival_stream(std::uint64_t seed, int batches);
+
+/// Replays the whole stream without scheduling: `initial` plus every delta,
+/// applied exactly like IncrementalScheduler::extend applies them.  Equals
+/// `stream.instance.graph`; exposed so oracles can rebuild the accumulated
+/// graph after feeding a prefix of the stream elsewhere.
+core::TaskGraph materialize(const ArrivalStream& stream);
 
 /// Family-specific generators (used by random_instance; exposed so tests can
 /// target one family).

@@ -16,6 +16,8 @@
 /// consumers depend on one interface and one result type.  Discovery and
 /// construction by name goes through `SchedulerRegistry` (registry.hpp).
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -37,6 +39,35 @@ class Scheduler {
   virtual Schedule run(const core::TaskGraph& graph, int total_cores) const = 0;
 };
 
+/// Memoized result of one settled layer, carried between pipeline
+/// invocations by the incremental scheduler.
+///
+/// The key is the layer's *content signature*: the ordered list of
+/// original-task member sets of its contracted nodes (plus the candidate
+/// group counts GroupSearch derived for it).  Old tasks are immutable in
+/// the online-arrival model and chain contraction merges members
+/// deterministically, so an identical signature implies identical merged
+/// task contents -- and `schedule_layer` is a pure function of (contents in
+/// layer order, candidates, P, cost model, options), so the memoized
+/// post-adjust layer can be replayed bit-identically under remapped
+/// contracted ids.  `task_times` stores the exact Gantt-lowering doubles of
+/// the settled run: replaying them through `to_gantt` (instead of deriving
+/// durations from slot differences, which is not FP-exact) keeps the
+/// spliced schedule byte-identical to a full re-schedule.
+struct LayerMemoEntry {
+  /// Per contracted task of the layer, in layer order: the original-task
+  /// ids merged into it (contraction.members[task]).
+  std::vector<std::vector<core::TaskId>> members;
+  /// Candidate group counts GroupSearch produced for the layer.
+  std::vector<int> candidates;
+  /// The settled post-AdjustGroups layer (contracted ids of its own run;
+  /// remapped positionally on reuse).
+  ScheduledLayer layer;
+  /// Symbolic task time per layer task (layer.tasks order) used by the
+  /// Gantt lowering.
+  std::vector<double> task_times;
+};
+
 /// Shared state the passes of one pipeline invocation read and write.
 struct PassContext {
   // ---- inputs (set by Pipeline::run, constant across passes) ----
@@ -53,12 +84,31 @@ struct PassContext {
   /// Keeps a pipeline-created cache alive for the invocation.
   std::shared_ptr<const cost::CostModel> owned_cache;
 
+  /// Settled per-layer memo from a previous invocation (empty on the first
+  /// run).  AssignLPT reuses every layer whose content signature matches an
+  /// entry and schedules only the rest; AdjustGroups skips reused layers.
+  /// Pipeline::run_with_context rewrites it from the new result, so the
+  /// context can be re-run after each graph delta.
+  std::vector<LayerMemoEntry> memo;
+
   // ---- working state (produced/consumed along the pass chain) ----
   core::ChainContraction contraction;                 ///< ContractChains
   std::vector<std::vector<core::TaskId>> layer_tasks; ///< Layerize
   std::vector<std::vector<int>> group_candidates;     ///< GroupSearch
   std::vector<ScheduledLayer> layers;                 ///< AssignLPT / Adjust
+  /// Per-layer dirty flags (AssignLPT): 1 = scheduled this run, 0 = replayed
+  /// from the memo.  Sized like `layers`; all-dirty when the memo is empty.
+  std::vector<std::uint8_t> layer_dirty;
+  /// Per-layer index into `memo` of the entry a clean layer was replayed
+  /// from (-1 for dirty layers) -- the Gantt lowering reads the settled
+  /// task times through it.
+  std::vector<std::int32_t> layer_memo;
   std::vector<cost::LayerLayout> layouts;             ///< map::MapCoresPass
+
+  // ---- incremental-repair accounting (filled by AssignLPT) ----
+  std::size_t settled_prefix = 0;   ///< leading layers replayed unchanged
+  std::size_t layers_reused = 0;    ///< layers replayed from the memo
+  std::size_t layers_scheduled = 0; ///< layers (re)scheduled this run
 
   /// Free-form diagnostics; copied into Schedule::notes.
   std::vector<std::string> notes;
@@ -140,12 +190,25 @@ class Pipeline final : public Scheduler {
   LayeredSchedule run_layered(const core::TaskGraph& graph,
                               int total_cores) const;
 
+  /// Builds a fresh context for `graph` (installs the invocation's pricing
+  /// cache per the options).  Public so re-entrant callers (the incremental
+  /// scheduler, tests) can thread memo state between invocations.
+  PassContext make_context(const core::TaskGraph& graph,
+                           int total_cores) const;
+
+  /// Re-entrant entry point: runs the pass chain over a caller-owned
+  /// context and assembles the canonical result.  Layers whose content
+  /// signature matches `ctx.memo` are replayed (bit-identically) instead of
+  /// re-scheduled; on return `ctx.memo` holds the new settled state and the
+  /// repair counters (`settled_prefix`, `layers_reused`,
+  /// `layers_scheduled`) describe what the run reused.  With an empty memo
+  /// this is exactly `run` (every layer dirty).
+  Schedule run_with_context(PassContext& ctx) const;
+
   const std::vector<std::unique_ptr<Pass>>& passes() const { return passes_; }
   const LayerSchedulerOptions& options() const { return options_; }
 
  private:
-  PassContext make_context(const core::TaskGraph& graph,
-                           int total_cores) const;
   const cost::CostModel* cost_;
   std::string name_;
   LayerSchedulerOptions options_;

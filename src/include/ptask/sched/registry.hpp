@@ -16,6 +16,9 @@
 ///   cpr        -- CprScheduler (Radulescu et al.)
 ///   dp         -- DataParallelScheduler (one task after another, all cores)
 ///   portfolio  -- PortfolioScheduler over all of the above
+///   incremental -- IncrementalScheduler (re-entrant Algorithm-1 pipeline;
+///                 identical to `layer` for one-shot runs, and the engine
+///                 behind online sessions in the scheduling service)
 
 #include <functional>
 #include <memory>

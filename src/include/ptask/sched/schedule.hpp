@@ -80,9 +80,17 @@ GanttSchedule to_gantt(const LayeredSchedule& schedule, TimeFn&& task_time) {
       static_cast<std::size_t>(schedule.contraction.contracted.num_tasks()));
   double layer_start = 0.0;
   for (const ScheduledLayer& layer : schedule.layers) {
-    std::vector<int> first_core(layer.group_sizes.size(), 0);
-    for (std::size_t g = 1; g < layer.group_sizes.size(); ++g) {
-      first_core[g] = first_core[g - 1] + layer.group_sizes[g - 1];
+    // Every task of group g occupies the same contiguous core range, so the
+    // range is materialized once per group and copied per task (one memcpy
+    // per slot instead of a zero-fill plus an element-wise rewrite).
+    std::vector<std::vector<int>> group_cores(layer.group_sizes.size());
+    int next_core = 0;
+    for (std::size_t g = 0; g < layer.group_sizes.size(); ++g) {
+      group_cores[g].reserve(static_cast<std::size_t>(layer.group_sizes[g]));
+      for (int c = 0; c < layer.group_sizes[g]; ++c) {
+        group_cores[g].push_back(next_core + c);
+      }
+      next_core += layer.group_sizes[g];
     }
     std::vector<double> group_clock(layer.group_sizes.size(), layer_start);
     for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
@@ -91,10 +99,7 @@ GanttSchedule to_gantt(const LayeredSchedule& schedule, TimeFn&& task_time) {
       const int q = layer.group_sizes[g];
       const double t = task_time(id, q, layer.num_groups());
       TaskSlot& slot = gantt.slots[static_cast<std::size_t>(id)];
-      slot.cores.resize(static_cast<std::size_t>(q));
-      for (int c = 0; c < q; ++c) {
-        slot.cores[static_cast<std::size_t>(c)] = first_core[g] + c;
-      }
+      slot.cores = group_cores[g];
       slot.start = group_clock[g];
       slot.finish = slot.start + t;
       group_clock[g] = slot.finish;
@@ -123,6 +128,13 @@ struct Schedule {
   std::vector<cost::LayerLayout> layouts;
   /// Free-form diagnostics accumulated by passes / the portfolio scoreboard.
   std::vector<std::string> notes;
+  /// Incremental repair annotation: the number of leading layers replayed
+  /// unchanged from the previous settled schedule (the stable prefix of a
+  /// spliced schedule).  0 for offline strategies and full re-schedules.
+  /// Pure annotation like `notes`: excluded from serve::serialize_schedule,
+  /// so spliced and monolithic schedules of the same graph stay
+  /// byte-identical on the wire.
+  std::size_t settled_prefix_layers = 0;
 
   int total_cores() const { return gantt.total_cores; }
   double makespan() const { return gantt.makespan; }
@@ -151,6 +163,12 @@ struct Schedule {
   /// core-sequence view CPA/CPR results historically lacked.
   std::vector<core::TaskId> core_sequence(int core) const;
 };
+
+/// The number of leading layers on which two schedules agree exactly
+/// (same tasks, group sizes, assignment, and predicted time) -- the splice
+/// invariant check: an incremental schedule and the full re-schedule of the
+/// same graph share at least the settled prefix.
+std::size_t common_layer_prefix(const Schedule& a, const Schedule& b);
 
 /// Human-readable rendering of a layered schedule (groups per layer and the
 /// task-to-group assignment).

@@ -25,6 +25,35 @@
 ///               (never cached -- a later request recomputes).  The certify
 ///               flag is part of the canonical cache key, so certified and
 ///               uncertified answers never alias.
+///   submit   -- {"type":"submit", "total_cores":N, "machine":{...},
+///                "graph":{...}[, "release_time":R]}
+///               Opens an online scheduling *session*: the graph is
+///               scheduled by the incremental strategy and the server keeps
+///               the session's accumulated graph plus the re-entrant
+///               pipeline's memo state.  Returns {"ok":true,
+///               "session":"sess-...", "incremental":{...},
+///               "schedule":{...}} where "incremental" reports the repair
+///               counters (total_layers / layers_reused / layers_scheduled
+///               / settled_prefix).  Session responses are computed fresh
+///               per request and are never stored in (or served from) the
+///               whole-schedule cache.
+///   extend   -- {"type":"extend", "session":"sess-...",
+///                "delta":{"release_time":R, "tasks":[{...task fields...,
+///                "release_time":r, "priority":p}, ...],
+///                "edges":[[from,to], ...]}}
+///               Applies one online arrival batch to the session: new tasks
+///               are appended to the accumulated graph in order (the i-th
+///               delta task gets id old_num_tasks + i), the edges -- which
+///               may reference any accumulated task -- are inserted
+///               atomically, and the schedule is repaired locally.  The
+///               response has the submit shape; its schedule bytes are
+///               bit-identical to a one-shot "incremental" schedule of the
+///               whole accumulated graph.  An invalid delta (unknown ids,
+///               self edges, cycles, non-monotonic release times) is the
+///               PTS007 error and leaves the session untouched.
+///   close    -- {"type":"close", "session":"sess-..."}  Ends the session
+///               and frees its state; returns {"ok":true,
+///               "session":"sess-...","closed":true}.
 ///   stats    -- {"type":"stats"}  Returns the service counters (requests,
 ///               cache hits/misses, per-code error counts, latency
 ///               quantiles with full log-bucket boundaries, in-flight
@@ -61,6 +90,10 @@
 ///   PTS005  request frame larger than the server's configured limit
 ///   PTS006  certification failure: a requested independent audit of the
 ///           computed schedule found a PTC00x violation
+///   PTS007  session error: unknown/closed session id, the configured
+///           session limit is reached, or an extend delta is invalid
+///           (unknown edge endpoints, self edges, cycles, non-monotonic
+///           release times); a rejected delta never mutates the session
 ///
 /// Every error increments a `serve.error.PTS00x` counter in the metrics
 /// registry.  See docs/SERVICE.md for the full field tables.
@@ -73,6 +106,7 @@
 #include "ptask/arch/machine.hpp"
 #include "ptask/core/task_graph.hpp"
 #include "ptask/obs/json.hpp"
+#include "ptask/sched/incremental.hpp"
 #include "ptask/sched/schedule.hpp"
 
 namespace ptask::serve {
@@ -84,6 +118,7 @@ inline constexpr std::string_view kErrUnknownScheduler = "PTS003";
 inline constexpr std::string_view kErrEmptyGraph = "PTS004";
 inline constexpr std::string_view kErrTooLarge = "PTS005";
 inline constexpr std::string_view kErrCertification = "PTS006";
+inline constexpr std::string_view kErrSession = "PTS007";
 
 /// One-line description of a protocol error code; empty for unknown codes.
 std::string_view describe_error(std::string_view code);
@@ -118,6 +153,31 @@ struct ScheduleRequest {
   std::string family;
 };
 
+/// A parsed "submit" request: opens an incremental scheduling session.
+struct SubmitRequest {
+  int total_cores = 1;
+  arch::MachineSpec machine;
+  core::TaskGraph graph;
+  /// Arrival instant of the initial batch (floor for later extends).
+  double release_time = 0.0;
+  std::string request_id;  ///< annotation, as in ScheduleRequest
+  std::string family;      ///< annotation, as in ScheduleRequest
+};
+
+/// A parsed "extend" request: one arrival batch for an open session.
+struct ExtendRequest {
+  std::string session;
+  sched::GraphDelta delta;
+  std::string request_id;
+  std::string family;
+};
+
+/// A parsed "close" request.
+struct CloseRequest {
+  std::string session;
+  std::string request_id;
+};
+
 // ---- framing ----
 
 /// Maximum frame length the protocol itself allows (the server usually
@@ -145,6 +205,18 @@ std::string serialize_request(const ScheduleRequest& request,
 std::string serialize_machine(const arch::MachineSpec& machine);
 std::string serialize_graph(const core::TaskGraph& graph);
 
+/// Renders a "submit" payload (canonical member order, like
+/// serialize_request).
+std::string serialize_submit(const SubmitRequest& request);
+
+/// Renders an "extend" payload: the session id plus the delta (batch
+/// release time, arriving tasks with per-task release_time/priority, and
+/// the edge batch).
+std::string serialize_extend(const ExtendRequest& request);
+
+/// Renders a "close" payload.
+std::string serialize_close(const CloseRequest& request);
+
 // ---- request parsing (server side) ----
 
 /// Parses a "schedule" request payload.  Throws ProtocolError with the
@@ -152,6 +224,20 @@ std::string serialize_graph(const core::TaskGraph& graph);
 /// ids out of range or closing a cycle, unknown scheduler names, and
 /// zero-task graphs.
 ScheduleRequest parse_request(std::string_view payload);
+
+/// Parses a "submit" request payload (same error codes as parse_request;
+/// sessions have no scheduler member -- they always run "incremental").
+SubmitRequest parse_submit(std::string_view payload);
+
+/// Parses an "extend" request payload.  Structural problems (missing
+/// members, ill-typed fields) are PTS002; delta *semantics* against the
+/// session's accumulated graph (unknown ids, cycles, release monotonicity)
+/// are checked by the server when the delta is applied and reported as
+/// PTS007.
+ExtendRequest parse_extend(std::string_view payload);
+
+/// Parses a "close" request payload.
+CloseRequest parse_close(std::string_view payload);
 
 /// The cache key of a request: its canonical re-serialization WITHOUT the
 /// request_id/family annotations.  Two requests get the same key iff they
@@ -184,6 +270,18 @@ std::string ok_response(std::string_view schedule_json);
 /// schedule body, so any holder of the response can re-verify the binding.
 std::string ok_response(std::string_view schedule_json,
                         std::string_view certificate_hash);
+
+/// Session response: {"ok":true,"session":"<id>","incremental":{
+/// "total_layers":T,"layers_reused":R,"layers_scheduled":S,
+/// "settled_prefix":P},"schedule":<schedule_json>}.  The schedule is the
+/// *last* member so clients can slice it with the same helper that handles
+/// plain schedule responses.
+std::string session_response(std::string_view session_id,
+                             const sched::RepairStats& stats,
+                             std::string_view schedule_json);
+
+/// {"ok":true,"session":"<id>","closed":true}
+std::string close_response(std::string_view session_id);
 
 /// {"ok":false,"error":{"code":...,"message":...}}
 std::string error_response(std::string_view code, std::string_view message);

@@ -32,6 +32,10 @@
 ///                           (from the request's "family" annotation)
 ///   serve.slow_requests     requests at/over the slow-log threshold
 ///   serve.request_ids.minted  ids the server generated (vs client-supplied)
+///   serve.incremental.submits/extends/closes  session request counts (the
+///                           open-session count is a stats/metrics gauge;
+///                           per-layer reuse counters live under
+///                           sched.incremental.*)
 /// A "stats" request renders the registry (plus in-flight gauge, cache
 /// gauges, and uptime) as the service dashboard; a "metrics" request
 /// returns the same registry as a Prometheus text exposition
@@ -52,12 +56,17 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "ptask/rt/fault_injection.hpp"
 #include "ptask/serve/schedule_cache.hpp"
 
 namespace ptask::serve {
+
+struct SubmitRequest;
+struct ExtendRequest;
+struct CloseRequest;
 
 struct ServerOptions {
   /// TCP port to listen on (loopback only); 0 picks an ephemeral port,
@@ -80,6 +89,9 @@ struct ServerOptions {
   /// this many microseconds get a slow-log line and count into
   /// serve.slow_requests.  0 disables the threshold even with a log path.
   std::uint64_t slow_threshold_us = 0;
+  /// Cap on concurrently open incremental sessions; a "submit" past the cap
+  /// is answered with PTS007.  0 = unbounded.
+  std::size_t max_sessions = 64;
 };
 
 class Server {
@@ -108,6 +120,9 @@ class Server {
 
   const ScheduleCache& cache() const { return cache_; }
 
+  /// Open incremental sessions (the "stats" sessions gauge).
+  std::size_t num_sessions() const;
+
   /// Renders the stats-response JSON (also used by the daemon's shutdown
   /// summary and the loadgen artifact).  The payload parses cleanly with
   /// obs::json::parse: metric names are escaped and histograms carry their
@@ -127,6 +142,7 @@ class Server {
 
  private:
   struct RequestTrace;
+  struct SessionState;
 
   void accept_loop();
   void worker_loop(int worker_index);
@@ -135,6 +151,14 @@ class Server {
   /// Handles one request payload; returns the response payload and fills
   /// the per-request trace record (id, phases, cache outcome, error).
   std::string handle_payload(std::string_view payload, RequestTrace& trace);
+  /// Session requests (online incremental scheduling).  These bypass the
+  /// whole-schedule cache entirely: session responses depend on mutable
+  /// per-session state, so caching them would serve stale schedules.
+  std::string handle_submit(const SubmitRequest& request, RequestTrace& trace);
+  std::string handle_extend(const ExtendRequest& request, RequestTrace& trace);
+  std::string handle_close(const CloseRequest& request, RequestTrace& trace);
+  /// Mints a process-unique session id ("sess-<nonce>-<seq>").
+  std::string mint_session_id();
   /// Request epilogue: records the root request span and, when the total
   /// time crosses the threshold, the slow-log line.
   void finish_request(const RequestTrace& trace, double span_begin_s,
@@ -152,6 +176,15 @@ class Server {
   std::chrono::steady_clock::time_point start_time_{};
   rt::FaultInjector injector_;
   ScheduleCache cache_;
+  /// Open incremental sessions, keyed by session id.  `sessions_mutex_`
+  /// guards only the map; each session carries its own lock, so extends on
+  /// distinct sessions run concurrently while extends on the same session
+  /// serialize.  Values are shared_ptrs so a close() racing an in-flight
+  /// extend just drops the map entry -- the extend keeps the state alive
+  /// until it finishes.
+  mutable std::mutex sessions_mutex_;
+  std::unordered_map<std::string, std::shared_ptr<SessionState>> sessions_;
+  std::atomic<std::uint64_t> next_session_id_{1};
   std::thread acceptor_;
   std::vector<std::thread> workers_;
   std::mutex slow_log_mutex_;

@@ -263,6 +263,51 @@ ScheduledLayer schedule_layer(const core::TaskGraph& graph,
   return best;
 }
 
+/// Content signature of one layer: the ordered original-task member lists
+/// of its contracted nodes plus the candidate group counts.  Layers with
+/// equal signatures have byte-identical merged task contents (original
+/// tasks are immutable under the online-arrival model and chain contraction
+/// merges members deterministically), so their schedule_layer results are
+/// interchangeable modulo the contracted-id labels.
+std::string layer_signature(const core::ChainContraction& contraction,
+                            const std::vector<core::TaskId>& tasks,
+                            const std::vector<int>& candidates) {
+  std::string key;
+  key.reserve(tasks.size() * 8);
+  for (const core::TaskId id : tasks) {
+    for (const core::TaskId member :
+         contraction.members[static_cast<std::size_t>(id)]) {
+      key += std::to_string(member);
+      key += ',';
+    }
+    key += ';';
+  }
+  key += '|';
+  for (const int g : candidates) {
+    key += std::to_string(g);
+    key += ',';
+  }
+  return key;
+}
+
+/// The signature of a memo entry (members were captured at settle time).
+std::string memo_signature(const LayerMemoEntry& entry) {
+  std::string key;
+  for (const std::vector<core::TaskId>& members : entry.members) {
+    for (const core::TaskId member : members) {
+      key += std::to_string(member);
+      key += ',';
+    }
+    key += ';';
+  }
+  key += '|';
+  for (const int g : entry.candidates) {
+    key += std::to_string(g);
+    key += ',';
+  }
+  return key;
+}
+
 /// Moves the pass results out of `ctx` and accumulates the predicted
 /// makespan -- the shared tail of Pipeline::run and Pipeline::run_layered.
 LayeredSchedule finalize_layered(PassContext& ctx) {
@@ -331,6 +376,60 @@ void AssignLPT::run(PassContext& ctx) const {
   const std::size_t n_layers = ctx.layer_tasks.size();
   ctx.layers.clear();
   ctx.layers.resize(n_layers);
+  ctx.layer_dirty.assign(n_layers, 1);
+  ctx.layer_memo.assign(n_layers, -1);
+
+  // Incremental repair: layers whose content signature matches a memo entry
+  // are replayed under the new contracted ids instead of re-scheduled.  The
+  // replay is bit-identical because schedule_layer is a pure function of
+  // the signature (plus P / cost / options, constant across a session) and
+  // the memo stores the settled post-adjust layer.
+  //
+  // Matching is two-tier.  Arrival deltas usually leave a long prefix of
+  // layers untouched, so layer li is first compared structurally against
+  // memo entry li -- an allocation-free vector walk.  Only when some layer
+  // misses positionally (content shifted between layers) is the signature
+  // string map built to find entries that moved.
+  std::vector<std::int32_t> memo_hit(n_layers, -1);
+  if (!ctx.memo.empty()) {
+    const auto matches_entry = [&](const LayerMemoEntry& entry,
+                                   std::size_t li) {
+      const std::vector<core::TaskId>& tasks = ctx.layer_tasks[li];
+      if (entry.candidates != ctx.group_candidates[li] ||
+          entry.members.size() != tasks.size()) {
+        return false;
+      }
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (entry.members[i] !=
+            ctx.contraction.members[static_cast<std::size_t>(tasks[i])]) {
+          return false;
+        }
+      }
+      return true;
+    };
+    bool all_positional = true;
+    for (std::size_t li = 0; li < n_layers; ++li) {
+      if (li < ctx.memo.size() && matches_entry(ctx.memo[li], li)) {
+        memo_hit[li] = static_cast<std::int32_t>(li);
+      } else {
+        all_positional = false;
+      }
+    }
+    if (!all_positional) {
+      std::unordered_map<std::string, std::int32_t> settled;
+      settled.reserve(ctx.memo.size());
+      for (std::size_t m = 0; m < ctx.memo.size(); ++m) {
+        settled.emplace(memo_signature(ctx.memo[m]),
+                        static_cast<std::int32_t>(m));
+      }
+      for (std::size_t li = 0; li < n_layers; ++li) {
+        if (memo_hit[li] >= 0) continue;
+        const auto hit = settled.find(layer_signature(
+            ctx.contraction, ctx.layer_tasks[li], ctx.group_candidates[li]));
+        if (hit != settled.end()) memo_hit[li] = hit->second;
+      }
+    }
+  }
 
   // Layers are independent and `order` is per-layer, so the worker split
   // cannot change any tie-break: parallel == serial, byte for byte.
@@ -339,6 +438,18 @@ void AssignLPT::run(PassContext& ctx) const {
     LayerScratch scratch;
     for (std::size_t li = next.fetch_add(1); li < n_layers;
          li = next.fetch_add(1)) {
+      if (memo_hit[li] >= 0) {
+        const LayerMemoEntry& entry =
+            ctx.memo[static_cast<std::size_t>(memo_hit[li])];
+        // Positional remap: equal signatures mean position i of the new
+        // layer is the same merged task as position i of the settled one.
+        ScheduledLayer replay = entry.layer;
+        replay.tasks = ctx.layer_tasks[li];
+        ctx.layers[li] = std::move(replay);
+        ctx.layer_dirty[li] = 0;
+        ctx.layer_memo[li] = memo_hit[li];
+        continue;
+      }
       ctx.layers[li] =
           schedule_layer(contracted, ctx.layer_tasks[li],
                          ctx.group_candidates[li], P, cost, ctx.options,
@@ -376,6 +487,20 @@ void AssignLPT::run(PassContext& ctx) const {
   }
   pruned_counter.add(total.pruned);
   evaluated_counter.add(total.evaluated);
+
+  ctx.layers_reused = 0;
+  ctx.layers_scheduled = 0;
+  ctx.settled_prefix = 0;
+  bool prefix_clean = true;
+  for (std::size_t li = 0; li < n_layers; ++li) {
+    if (ctx.layer_dirty[li] != 0) {
+      ++ctx.layers_scheduled;
+      prefix_clean = false;
+    } else {
+      ++ctx.layers_reused;
+      if (prefix_clean) ++ctx.settled_prefix;
+    }
+  }
 }
 
 void AdjustGroups::run(PassContext& ctx) const {
@@ -384,7 +509,12 @@ void AdjustGroups::run(PassContext& ctx) const {
   const core::TaskGraph& contracted = ctx.contraction.contracted;
   const cost::CostModel& cost = pricing_model(ctx);
   const int P = ctx.total_cores;
-  for (ScheduledLayer& layer : ctx.layers) {
+  for (std::size_t li = 0; li < ctx.layers.size(); ++li) {
+    ScheduledLayer& layer = ctx.layers[li];
+    // Layers replayed from the memo are already post-adjust (the memo is
+    // captured after the full pass chain); re-adjusting them would be an
+    // idempotent waste of the repair's savings.
+    if (li < ctx.layer_dirty.size() && ctx.layer_dirty[li] == 0) continue;
     if (layer.num_groups() <= 1) continue;
     // Accumulated *sequential* work per group (paper: Tseq(G_l)).
     std::vector<double> work(static_cast<std::size_t>(layer.num_groups()),
@@ -471,6 +601,95 @@ Schedule Pipeline::run(const core::TaskGraph& graph, int total_cores) const {
       canonical(finalize_layered(ctx), pricing_model(ctx), name_);
   result.layouts = std::move(ctx.layouts);
   result.notes = std::move(ctx.notes);
+  return result;
+}
+
+Schedule Pipeline::run_with_context(PassContext& ctx) const {
+  obs::ScopedSpan span(obs::SpanKind::Scheduler, "sched.schedule");
+  for (const std::unique_ptr<Pass>& pass : passes_) pass->run(ctx);
+
+  // Per-task lowering times: the settled doubles from the memo for replayed
+  // layers, freshly priced for dirty ones.  Replaying the exact memoized
+  // doubles (instead of re-deriving durations from slot differences, which
+  // is not FP-exact) is what keeps the spliced Gantt byte-identical to a
+  // full re-schedule -- to_gantt then runs the identical accumulation
+  // arithmetic either way.
+  const core::TaskGraph& contracted = ctx.contraction.contracted;
+  const cost::CostModel& cost = pricing_model(ctx);
+  const int P = ctx.total_cores;
+  std::vector<double> time_of(
+      static_cast<std::size_t>(contracted.num_tasks()), 0.0);
+  std::vector<LayerMemoEntry> settled(ctx.layers.size());
+  {
+    obs::ScopedSpan settle_span(obs::SpanKind::Scheduler, "sched.memo_settle");
+    for (std::size_t li = 0; li < ctx.layers.size(); ++li) {
+      const ScheduledLayer& layer = ctx.layers[li];
+      const std::int32_t memo_idx =
+          li < ctx.layer_memo.size() ? ctx.layer_memo[li] : -1;
+      if (memo_idx >= 0) {
+        const std::vector<double>& times =
+            ctx.memo[static_cast<std::size_t>(memo_idx)].task_times;
+        for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+          time_of[static_cast<std::size_t>(layer.tasks[i])] = times[i];
+        }
+      } else {
+        for (std::size_t i = 0; i < layer.tasks.size(); ++i) {
+          const core::TaskId id = layer.tasks[i];
+          const std::size_t g = static_cast<std::size_t>(layer.task_group[i]);
+          time_of[static_cast<std::size_t>(id)] = cost.symbolic_task_time(
+              contracted.task(id), layer.group_sizes[g], layer.num_groups(),
+              P);
+        }
+      }
+    }
+
+    // Settle the new memo before finalize_layered moves the working state
+    // out of the context.  A layer replayed from memo entry m has members,
+    // candidates, times, and layer content identical to that entry (that is
+    // what the signature match certified), so the entry is moved wholesale --
+    // only the contracted-id labels need refreshing.  Deep construction is
+    // reserved for dirty layers and duplicate hits on an already-moved
+    // entry.
+    std::vector<char> consumed(ctx.memo.size(), 0);
+    for (std::size_t li = 0; li < ctx.layers.size(); ++li) {
+      LayerMemoEntry& entry = settled[li];
+      const ScheduledLayer& layer = ctx.layers[li];
+      const std::int32_t memo_idx =
+          li < ctx.layer_memo.size() ? ctx.layer_memo[li] : -1;
+      if (memo_idx >= 0 && !consumed[static_cast<std::size_t>(memo_idx)]) {
+        entry = std::move(ctx.memo[static_cast<std::size_t>(memo_idx)]);
+        consumed[static_cast<std::size_t>(memo_idx)] = 1;
+        entry.layer.tasks = layer.tasks;
+        continue;
+      }
+      entry.members.reserve(layer.tasks.size());
+      entry.task_times.reserve(layer.tasks.size());
+      for (const core::TaskId id : layer.tasks) {
+        entry.members.push_back(
+            ctx.contraction.members[static_cast<std::size_t>(id)]);
+        entry.task_times.push_back(time_of[static_cast<std::size_t>(id)]);
+      }
+      entry.candidates = ctx.group_candidates[li];
+      entry.layer = layer;
+    }
+  }
+
+  obs::ScopedSpan lowering_span(obs::SpanKind::Scheduler, "sched.lowering");
+  Schedule result;
+  result.strategy = name_;
+  result.settled_prefix_layers = ctx.settled_prefix;
+  result.layered = finalize_layered(ctx);
+  result.gantt =
+      to_gantt(result.layered, [&](core::TaskId id, int, int) {
+        return time_of[static_cast<std::size_t>(id)];
+      });
+  result.allocation.resize(result.gantt.slots.size());
+  for (std::size_t id = 0; id < result.gantt.slots.size(); ++id) {
+    result.allocation[id] = result.gantt.slots[id].num_cores();
+  }
+  result.layouts = std::move(ctx.layouts);
+  result.notes = std::move(ctx.notes);
+  ctx.memo = std::move(settled);
   return result;
 }
 

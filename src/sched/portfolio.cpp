@@ -108,7 +108,12 @@ Schedule PortfolioScheduler::run(const core::TaskGraph& graph,
   std::vector<std::string> strategies = options_.strategies;
   if (strategies.empty()) {
     for (std::string& name : SchedulerRegistry::instance().names()) {
-      if (name != "portfolio") strategies.push_back(std::move(name));
+      // "incremental" is the layer pipeline under another name -- sweeping
+      // it would double-count the layer candidate (and tie-break scoreboard
+      // winners by name), so the default sweep covers distinct algorithms.
+      if (name != "portfolio" && name != "incremental") {
+        strategies.push_back(std::move(name));
+      }
     }
   }
   if (strategies.empty()) {

@@ -6,6 +6,7 @@
 #include "ptask/sched/cpa_scheduler.hpp"
 #include "ptask/sched/cpr_scheduler.hpp"
 #include "ptask/sched/data_parallel.hpp"
+#include "ptask/sched/incremental.hpp"
 #include "ptask/sched/portfolio.hpp"
 
 namespace ptask::sched {
@@ -65,6 +66,9 @@ SchedulerRegistry::SchedulerRegistry() {
   });
   register_strategy("portfolio", [](const cost::CostModel& cost) {
     return std::make_unique<PortfolioScheduler>(cost);
+  });
+  register_strategy("incremental", [](const cost::CostModel& cost) {
+    return std::make_unique<IncrementalScheduler>(cost);
   });
 }
 

@@ -10,7 +10,8 @@ namespace {
 std::string format_layer(const core::TaskGraph& graph,
                          const ScheduledLayer& layer, std::size_t index) {
   std::ostringstream os;
-  os << "layer " << index << ": " << layer.num_groups() << " group(s), sizes [";
+  os << "layer " << index << ": " << layer.tasks.size() << " task(s), "
+     << layer.num_groups() << " group(s), sizes [";
   for (std::size_t g = 0; g < layer.group_sizes.size(); ++g) {
     if (g > 0) os << ' ';
     os << layer.group_sizes[g];
@@ -59,13 +60,41 @@ std::vector<core::TaskId> Schedule::core_sequence(int core) const {
   return tasks;
 }
 
+std::size_t common_layer_prefix(const Schedule& a, const Schedule& b) {
+  const std::size_t layers = std::min(a.num_layers(), b.num_layers());
+  for (std::size_t i = 0; i < layers; ++i) {
+    const ScheduledLayer& la = a.layered.layers[i];
+    const ScheduledLayer& lb = b.layered.layers[i];
+    if (la.tasks != lb.tasks || la.group_sizes != lb.group_sizes ||
+        la.task_group != lb.task_group ||
+        la.predicted_time != lb.predicted_time) {
+      return i;
+    }
+  }
+  return layers;
+}
+
 std::string describe(const Schedule& schedule) {
   std::ostringstream os;
   os << "schedule [" << schedule.strategy << "] on " << schedule.total_cores()
      << " symbolic cores, makespan " << schedule.makespan() << " s";
   if (schedule.has_layers()) {
-    os << ", " << schedule.num_layers() << " layer(s)\n";
+    std::size_t scheduled_tasks = 0;
+    for (const ScheduledLayer& layer : schedule.layered.layers) {
+      scheduled_tasks += layer.tasks.size();
+    }
+    os << ", " << schedule.num_layers() << " layer(s), " << scheduled_tasks
+       << " scheduled task(s)";
+    if (schedule.settled_prefix_layers > 0) {
+      os << ", settled prefix " << schedule.settled_prefix_layers
+         << " layer(s)";
+    }
+    os << '\n';
     for (std::size_t i = 0; i < schedule.layered.layers.size(); ++i) {
+      if (i == schedule.settled_prefix_layers &&
+          schedule.settled_prefix_layers > 0) {
+        os << "---- settled prefix ends; repaired suffix below ----\n";
+      }
       os << format_layer(schedule.scheduled_graph(),
                          schedule.layered.layers[i], i);
     }

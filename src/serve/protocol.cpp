@@ -187,6 +187,83 @@ void append_int_array(std::string& out, const std::vector<int>& values) {
 
 }  // namespace
 
+namespace {
+
+/// The task fields shared by graph tasks and delta tasks (everything but
+/// the enclosing braces), matching serialize_graph's task rendering.
+void append_task_fields(std::string& out, const core::MTask& task) {
+  out += "\"name\":";
+  append_json_string(out, task.name());
+  out += ",\"work\":";
+  append_json_double(out, task.work_flop());
+  out += ",\"max_cores\":" + std::to_string(task.max_cores());
+  out += ",\"marker\":";
+  out += task.is_marker() ? "true" : "false";
+  out += ",\"comms\":[";
+  for (std::size_t i = 0; i < task.comms().size(); ++i) {
+    if (i != 0) out += ',';
+    const core::CollectiveOp& op = task.comms()[i];
+    out += "{\"kind\":\"";
+    out += kKindNames[static_cast<std::size_t>(op.kind)];
+    out += "\",\"scope\":\"";
+    out += kScopeNames[static_cast<std::size_t>(op.scope)];
+    out += "\",\"bytes\":" + std::to_string(op.data_bytes);
+    out += ",\"repeat\":" + std::to_string(op.repeat) + '}';
+  }
+  out += ']';
+}
+
+void append_annotations(std::string& out, const std::string& request_id,
+                        const std::string& family) {
+  if (!request_id.empty()) {
+    out += ",\"request_id\":";
+    append_json_string(out, request_id);
+  }
+  if (!family.empty()) {
+    out += ",\"family\":";
+    append_json_string(out, family);
+  }
+}
+
+/// Parses the shared request_id/family annotation members.
+void parse_annotations(const Value& document, std::string* request_id,
+                       std::string* family) {
+  if (const Value* id = document.find("request_id")) {
+    if (!id->is_string()) {
+      bad_request("request member 'request_id' has the wrong type");
+    }
+    *request_id = id->string;
+  }
+  if (family != nullptr) {
+    if (const Value* tag = document.find("family")) {
+      if (!tag->is_string()) {
+        bad_request("request member 'family' has the wrong type");
+      }
+      *family = tag->string;
+    }
+  }
+}
+
+Value parse_document(std::string_view payload) {
+  try {
+    return obs::json::parse(payload);
+  } catch (const std::runtime_error& e) {
+    throw ProtocolError(kErrMalformedJson, e.what());
+  }
+}
+
+/// Checks the "type" member matches the handler that was dispatched to.
+void require_type(const Value& document, std::string_view type) {
+  if (!document.is_object()) bad_request("request must be a JSON object");
+  const Value& member =
+      require(document, "type", Value::Type::String, "request");
+  if (member.string != type) {
+    bad_request("request member 'type' is not '" + std::string(type) + "'");
+  }
+}
+
+}  // namespace
+
 std::string_view describe_error(std::string_view code) {
   if (code == kErrMalformedJson) return "malformed JSON payload";
   if (code == kErrBadRequest) return "bad request (missing/invalid fields)";
@@ -195,6 +272,9 @@ std::string_view describe_error(std::string_view code) {
   if (code == kErrTooLarge) return "request exceeds the configured size limit";
   if (code == kErrCertification) {
     return "schedule failed independent certification";
+  }
+  if (code == kErrSession) {
+    return "session error (unknown session, session limit, or invalid delta)";
   }
   return {};
 }
@@ -273,26 +353,9 @@ std::string serialize_graph(const core::TaskGraph& graph) {
   std::string out = "{\"tasks\":[";
   for (core::TaskId id = 0; id < graph.num_tasks(); ++id) {
     if (id != 0) out += ',';
-    const core::MTask& task = graph.task(id);
-    out += "{\"name\":";
-    append_json_string(out, task.name());
-    out += ",\"work\":";
-    append_json_double(out, task.work_flop());
-    out += ",\"max_cores\":" + std::to_string(task.max_cores());
-    out += ",\"marker\":";
-    out += task.is_marker() ? "true" : "false";
-    out += ",\"comms\":[";
-    for (std::size_t i = 0; i < task.comms().size(); ++i) {
-      if (i != 0) out += ',';
-      const core::CollectiveOp& op = task.comms()[i];
-      out += "{\"kind\":\"";
-      out += kKindNames[static_cast<std::size_t>(op.kind)];
-      out += "\",\"scope\":\"";
-      out += kScopeNames[static_cast<std::size_t>(op.scope)];
-      out += "\",\"bytes\":" + std::to_string(op.data_bytes);
-      out += ",\"repeat\":" + std::to_string(op.repeat) + '}';
-    }
-    out += "]}";
+    out += '{';
+    append_task_fields(out, graph.task(id));
+    out += '}';
   }
   out += "],\"edges\":[";
   bool first = true;
@@ -379,6 +442,139 @@ ScheduleRequest parse_request(std::string_view payload) {
 
 std::string canonical_key(const ScheduleRequest& request) {
   return serialize_request(request, /*include_annotations=*/false);
+}
+
+std::string serialize_submit(const SubmitRequest& request) {
+  std::string out = "{\"type\":\"submit\",\"total_cores\":" +
+                    std::to_string(request.total_cores);
+  out += ",\"machine\":" + serialize_machine(request.machine);
+  out += ",\"graph\":" + serialize_graph(request.graph);
+  out += ",\"release_time\":";
+  append_json_double(out, request.release_time);
+  append_annotations(out, request.request_id, request.family);
+  out += '}';
+  return out;
+}
+
+std::string serialize_extend(const ExtendRequest& request) {
+  std::string out = "{\"type\":\"extend\",\"session\":";
+  append_json_string(out, request.session);
+  out += ",\"delta\":{\"release_time\":";
+  append_json_double(out, request.delta.release_time);
+  out += ",\"tasks\":[";
+  for (std::size_t i = 0; i < request.delta.tasks.size(); ++i) {
+    if (i != 0) out += ',';
+    const sched::ArrivingTask& arriving = request.delta.tasks[i];
+    out += '{';
+    append_task_fields(out, arriving.task);
+    out += ",\"release_time\":";
+    append_json_double(out, arriving.release_time);
+    out += ",\"priority\":" + std::to_string(arriving.priority);
+    out += '}';
+  }
+  out += "],\"edges\":[";
+  for (std::size_t i = 0; i < request.delta.edges.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[' + std::to_string(request.delta.edges[i].first) + ',' +
+           std::to_string(request.delta.edges[i].second) + ']';
+  }
+  out += "]}";
+  append_annotations(out, request.request_id, request.family);
+  out += '}';
+  return out;
+}
+
+std::string serialize_close(const CloseRequest& request) {
+  std::string out = "{\"type\":\"close\",\"session\":";
+  append_json_string(out, request.session);
+  append_annotations(out, request.request_id, {});
+  out += '}';
+  return out;
+}
+
+SubmitRequest parse_submit(std::string_view payload) {
+  const Value document = parse_document(payload);
+  require_type(document, "submit");
+  SubmitRequest request;
+  request.total_cores = static_cast<int>(
+      require_int(document, "total_cores", "request", 1, 1 << 24));
+  request.machine = parse_machine(
+      require(document, "machine", Value::Type::Object, "request"));
+  request.graph =
+      parse_graph(require(document, "graph", Value::Type::Object, "request"));
+  if (request.graph.num_tasks() == 0) {
+    throw ProtocolError(kErrEmptyGraph, "graph has zero tasks");
+  }
+  if (const Value* release = document.find("release_time")) {
+    if (!release->is_number() || !std::isfinite(release->number)) {
+      bad_request("request member 'release_time' must be a finite number");
+    }
+    request.release_time = release->number;
+  }
+  parse_annotations(document, &request.request_id, &request.family);
+  return request;
+}
+
+ExtendRequest parse_extend(std::string_view payload) {
+  const Value document = parse_document(payload);
+  require_type(document, "extend");
+  ExtendRequest request;
+  request.session =
+      require(document, "session", Value::Type::String, "request").string;
+  const Value& delta =
+      require(document, "delta", Value::Type::Object, "request");
+  const double release = require_number(delta, "release_time", "delta");
+  if (!std::isfinite(release)) {
+    bad_request("delta member 'release_time' must be finite");
+  }
+  request.delta.release_time = release;
+  const Value& tasks = require(delta, "tasks", Value::Type::Array, "delta");
+  int index = 0;
+  for (const Value& value : tasks.array) {
+    sched::ArrivingTask arriving;
+    arriving.task = parse_task(value, index++);
+    arriving.release_time = request.delta.release_time;
+    if (const Value* task_release = value.find("release_time")) {
+      if (!task_release->is_number() || !std::isfinite(task_release->number)) {
+        bad_request("delta task 'release_time' must be a finite number");
+      }
+      arriving.release_time = task_release->number;
+    }
+    if (value.find("priority") != nullptr) {
+      arriving.priority = static_cast<int>(
+          require_int(value, "priority", "delta task", INT_MIN, INT_MAX));
+    }
+    request.delta.tasks.push_back(std::move(arriving));
+  }
+  const Value& edges = require(delta, "edges", Value::Type::Array, "delta");
+  for (const Value& edge : edges.array) {
+    if (!edge.is_array() || edge.array.size() != 2 ||
+        !edge.array[0].is_number() || !edge.array[1].is_number()) {
+      bad_request("delta.edges entries must be [from, to] pairs");
+    }
+    const double from_d = edge.array[0].number;
+    const double to_d = edge.array[1].number;
+    if (from_d != std::floor(from_d) || to_d != std::floor(to_d) ||
+        from_d < 0 || to_d < 0 || from_d > INT_MAX || to_d > INT_MAX) {
+      bad_request("delta edge endpoint is not a task id");
+    }
+    // Range/cycle checks against the *accumulated* session graph happen
+    // when the delta is applied (PTS007), not here.
+    request.delta.edges.emplace_back(static_cast<core::TaskId>(from_d),
+                                     static_cast<core::TaskId>(to_d));
+  }
+  parse_annotations(document, &request.request_id, &request.family);
+  return request;
+}
+
+CloseRequest parse_close(std::string_view payload) {
+  const Value document = parse_document(payload);
+  require_type(document, "close");
+  CloseRequest request;
+  request.session =
+      require(document, "session", Value::Type::String, "request").string;
+  parse_annotations(document, &request.request_id, nullptr);
+  return request;
 }
 
 std::string extract_request_id_loose(std::string_view payload) {
@@ -512,6 +708,31 @@ std::string metrics_response(std::string_view exposition) {
   std::string out = "{\"ok\":true,\"metrics\":";
   append_json_string(out, exposition);
   out += '}';
+  return out;
+}
+
+std::string session_response(std::string_view session_id,
+                             const sched::RepairStats& stats,
+                             std::string_view schedule_json) {
+  std::string out = "{\"ok\":true,\"session\":";
+  append_json_string(out, session_id);
+  out += ",\"incremental\":{\"total_layers\":" +
+         std::to_string(stats.total_layers);
+  out += ",\"layers_reused\":" + std::to_string(stats.layers_reused);
+  out += ",\"layers_scheduled\":" + std::to_string(stats.layers_scheduled);
+  out += ",\"settled_prefix\":" + std::to_string(stats.settled_prefix) + '}';
+  // "schedule" must stay the LAST member: Client::response_schedule_json
+  // slices from the "schedule" key to the closing brace of the response.
+  out += ",\"schedule\":";
+  out += schedule_json;
+  out += '}';
+  return out;
+}
+
+std::string close_response(std::string_view session_id) {
+  std::string out = "{\"ok\":true,\"session\":";
+  append_json_string(out, session_id);
+  out += ",\"closed\":true}";
   return out;
 }
 

@@ -21,6 +21,7 @@
 #include "ptask/obs/metrics.hpp"
 #include "ptask/obs/prometheus.hpp"
 #include "ptask/obs/trace.hpp"
+#include "ptask/sched/incremental.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/protocol.hpp"
 
@@ -126,6 +127,19 @@ struct Server::RequestTrace {
   double serialize_us = -1.0;
   double send_us = -1.0;
   double total_us = 0.0;
+};
+
+/// One open incremental-scheduling session.  The cost model lives here
+/// because the scheduler's pipeline keeps a pointer to it for the whole
+/// session lifetime.  `mutex` serializes submit/extend/stat reads on this
+/// session; the map in Server only hands out the shared_ptr.
+struct Server::SessionState {
+  explicit SessionState(const arch::MachineSpec& machine)
+      : cost(arch::Machine(machine)), scheduler(cost) {}
+
+  std::mutex mutex;
+  cost::CostModel cost;
+  sched::IncrementalScheduler scheduler;
 };
 
 namespace {
@@ -486,6 +500,38 @@ std::string Server::handle_payload(std::string_view payload,
           responses_ok.add();
           return with_request_id(pong_response(), trace.request_id);
         }
+        // Session requests (online incremental scheduling).  These never
+        // touch the whole-schedule cache: a session response depends on
+        // mutable per-session state, so caching it would serve schedules
+        // for graphs the session has since grown past.
+        if (type->is_string() && type->string == "submit") {
+          const SubmitRequest request = parse_submit(payload);
+          parse_phase.finish();
+          trace.kind = "submit";
+          trace.scheduler = "incremental";
+          trace.family = request.family;
+          const std::string response = handle_submit(request, trace);
+          responses_ok.add();
+          return with_request_id(response, trace.request_id);
+        }
+        if (type->is_string() && type->string == "extend") {
+          const ExtendRequest request = parse_extend(payload);
+          parse_phase.finish();
+          trace.kind = "extend";
+          trace.scheduler = "incremental";
+          trace.family = request.family;
+          const std::string response = handle_extend(request, trace);
+          responses_ok.add();
+          return with_request_id(response, trace.request_id);
+        }
+        if (type->is_string() && type->string == "close") {
+          const CloseRequest request = parse_close(payload);
+          parse_phase.finish();
+          trace.kind = "close";
+          const std::string response = handle_close(request, trace);
+          responses_ok.add();
+          return with_request_id(response, trace.request_id);
+        }
       }
     }
 
@@ -592,6 +638,114 @@ std::string Server::handle_payload(std::string_view payload,
   }
 }
 
+std::string Server::handle_submit(const SubmitRequest& request,
+                                  RequestTrace& trace) {
+  static obs::Counter& submits =
+      obs::metrics().counter("serve.incremental.submits");
+  static obs::Histogram& phase_schedule =
+      obs::metrics().histogram("serve.phase.schedule_us");
+  auto session = std::make_shared<SessionState>(request.machine);
+  std::string session_id;
+  {
+    std::lock_guard<std::mutex> map_lock(sessions_mutex_);
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      throw ProtocolError(kErrSession,
+                          "session limit reached (" +
+                              std::to_string(options_.max_sessions) +
+                              " open sessions); close a session first");
+    }
+    session_id = mint_session_id();
+    sessions_.emplace(session_id, session);
+  }
+  try {
+    std::lock_guard<std::mutex> lock(session->mutex);
+    std::string schedule_json;
+    {
+      ServePhase schedule_phase("serve.schedule[incremental]", phase_schedule,
+                                trace.schedule_us);
+      const sched::Schedule& schedule = session->scheduler.reset(
+          request.graph, request.total_cores, request.release_time);
+      schedule_json = serialize_schedule(schedule);
+    }
+    submits.add();
+    return session_response(session_id, session->scheduler.last_stats(),
+                            schedule_json);
+  } catch (...) {
+    // A failed initial schedule (e.g. the machine rejects the core count)
+    // must not leave an unusable session holding a map slot.
+    std::lock_guard<std::mutex> map_lock(sessions_mutex_);
+    sessions_.erase(session_id);
+    throw;
+  }
+}
+
+std::string Server::handle_extend(const ExtendRequest& request,
+                                  RequestTrace& trace) {
+  static obs::Counter& extends =
+      obs::metrics().counter("serve.incremental.extends");
+  static obs::Histogram& phase_schedule =
+      obs::metrics().histogram("serve.phase.schedule_us");
+  std::shared_ptr<SessionState> session;
+  {
+    std::lock_guard<std::mutex> map_lock(sessions_mutex_);
+    const auto it = sessions_.find(request.session);
+    if (it == sessions_.end()) {
+      throw ProtocolError(kErrSession,
+                          "unknown session '" + request.session + "'");
+    }
+    session = it->second;
+  }
+  std::lock_guard<std::mutex> lock(session->mutex);
+  std::string schedule_json;
+  {
+    ServePhase schedule_phase("serve.schedule[incremental]", phase_schedule,
+                              trace.schedule_us);
+    try {
+      const sched::Schedule& schedule =
+          session->scheduler.extend(request.delta);
+      schedule_json = serialize_schedule(schedule);
+    } catch (const sched::DeltaError& e) {
+      // Invalid deltas (range, cycles, non-monotonic releases) leave the
+      // session untouched.  Surface them as session errors: the generic
+      // handler below would misfile them as PTS002 bad requests.
+      throw ProtocolError(kErrSession, e.what());
+    }
+  }
+  extends.add();
+  return session_response(request.session, session->scheduler.last_stats(),
+                          schedule_json);
+}
+
+std::string Server::handle_close(const CloseRequest& request,
+                                 RequestTrace& /*trace*/) {
+  static obs::Counter& closes =
+      obs::metrics().counter("serve.incremental.closes");
+  std::lock_guard<std::mutex> map_lock(sessions_mutex_);
+  const auto it = sessions_.find(request.session);
+  if (it == sessions_.end()) {
+    throw ProtocolError(kErrSession,
+                        "unknown session '" + request.session + "'");
+  }
+  sessions_.erase(it);
+  closes.add();
+  return close_response(request.session);
+}
+
+std::size_t Server::num_sessions() const {
+  std::lock_guard<std::mutex> lock(sessions_mutex_);
+  return sessions_.size();
+}
+
+std::string Server::mint_session_id() {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "sess-%08llx-%llu",
+                static_cast<unsigned long long>(id_nonce_),
+                static_cast<unsigned long long>(
+                    next_session_id_.fetch_add(1, std::memory_order_relaxed)));
+  return buf;
+}
+
 std::string Server::render_stats() const {
   const obs::MetricsRegistry& registry = obs::metrics();
   const std::vector<obs::CounterSample> counters = registry.counters();
@@ -621,6 +775,7 @@ std::string Server::render_stats() const {
   out += ",\"responses_ok\":" + std::to_string(responses_ok);
   out += ",\"truncated\":" + std::to_string(truncated);
   out += ",\"in_flight\":" + std::to_string(in_flight());
+  out += ",\"sessions\":" + std::to_string(num_sessions());
   out += ",\"uptime_s\":";
   append_json_double(out, uptime_s());
   out += ",\"cache\":{\"hits\":" + std::to_string(cache_.hits());
@@ -667,6 +822,8 @@ std::string Server::render_metrics() const {
   };
   gauge("ptask_serve_in_flight", std::to_string(in_flight()),
         "requests currently being served");
+  gauge("ptask_serve_sessions", std::to_string(num_sessions()),
+        "open incremental-scheduling sessions");
   gauge("ptask_serve_cache_entries", std::to_string(cache_.entries()),
         "completed schedule cache entries");
   gauge("ptask_serve_cache_value_bytes",

@@ -587,8 +587,8 @@ TEST_F(PipelineTest, CanonicalMoldableResultKeepsGanttAndAllocation) {
 TEST(RegistryTest, ListsBuiltinStrategiesInRegistrationOrder) {
   const std::vector<std::string> names =
       SchedulerRegistry::instance().names();
-  const std::vector<std::string> expected = {"layer", "cpa",      "mcpa",
-                                             "cpr",   "dp",       "portfolio"};
+  const std::vector<std::string> expected = {
+      "layer", "cpa", "mcpa", "cpr", "dp", "portfolio", "incremental"};
   EXPECT_EQ(names, expected);
   for (const std::string& name : expected) {
     EXPECT_TRUE(SchedulerRegistry::instance().contains(name)) << name;

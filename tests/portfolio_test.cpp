@@ -35,11 +35,12 @@ core::TaskGraph solver_graph(ode::Method method = ode::Method::PABM) {
   return spec.step_graph();
 }
 
-/// The registry names the default portfolio runs (everything but itself).
+/// The registry names the default portfolio runs (everything but itself and
+/// the incremental alias of the layer pipeline).
 std::vector<std::string> individual_strategies() {
   std::vector<std::string> names;
   for (const std::string& name : SchedulerRegistry::instance().names()) {
-    if (name != "portfolio") names.push_back(name);
+    if (name != "portfolio" && name != "incremental") names.push_back(name);
   }
   return names;
 }

@@ -33,6 +33,7 @@
 #include "ptask/obs/metrics.hpp"
 #include "ptask/obs/prometheus.hpp"
 #include "ptask/obs/trace.hpp"
+#include "ptask/sched/incremental.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/client.hpp"
 #include "ptask/serve/protocol.hpp"
@@ -1105,6 +1106,306 @@ TEST(ServeSoak, FaultInjectedSoakNeverCrashesOrServesStaleBytes) {
   EXPECT_GE(static_cast<double>(hits) / static_cast<double>(hits + misses),
             0.5);
   EXPECT_LE(misses, payloads.size());
+  server.stop();
+}
+
+// ---- incremental sessions (submit / extend / close) ----
+
+/// Submit request seeded from an arrival stream's initial batch.
+SubmitRequest submit_from(const fuzz::ArrivalStream& stream) {
+  SubmitRequest request;
+  request.total_cores = stream.instance.total_cores;
+  request.machine = stream.instance.machine;
+  request.graph = stream.initial;
+  request.release_time = stream.initial_release;
+  return request;
+}
+
+/// The "session" member of a session response ("" when absent).
+std::string session_id_of(std::string_view response) {
+  const obs::json::Value document = obs::json::parse(response);
+  if (const obs::json::Value* session = document.find("session")) {
+    if (session->is_string()) return session->string;
+  }
+  return {};
+}
+
+TEST(ServeProtocol, SessionRequestsRoundTrip) {
+  const fuzz::ArrivalStream stream = fuzz::arrival_stream(5, 3);
+  SubmitRequest submit = submit_from(stream);
+  submit.request_id = "req-1";
+  submit.family = "layered";
+  const SubmitRequest parsed = parse_submit(serialize_submit(submit));
+  EXPECT_EQ(parsed.total_cores, submit.total_cores);
+  EXPECT_EQ(parsed.graph.num_tasks(), submit.graph.num_tasks());
+  EXPECT_EQ(parsed.graph.num_edges(), submit.graph.num_edges());
+  EXPECT_EQ(parsed.release_time, submit.release_time);
+  EXPECT_EQ(parsed.request_id, "req-1");
+  EXPECT_EQ(parsed.family, "layered");
+
+  ASSERT_FALSE(stream.deltas.empty());
+  ExtendRequest extend;
+  extend.session = "sess-x";
+  extend.delta = stream.deltas.front();
+  extend.request_id = "req-2";
+  const ExtendRequest extend_parsed = parse_extend(serialize_extend(extend));
+  EXPECT_EQ(extend_parsed.session, "sess-x");
+  EXPECT_EQ(extend_parsed.request_id, "req-2");
+  EXPECT_EQ(extend_parsed.delta.release_time, extend.delta.release_time);
+  EXPECT_EQ(extend_parsed.delta.edges, extend.delta.edges);
+  ASSERT_EQ(extend_parsed.delta.tasks.size(), extend.delta.tasks.size());
+  for (std::size_t i = 0; i < extend.delta.tasks.size(); ++i) {
+    const sched::ArrivingTask& sent = extend.delta.tasks[i];
+    const sched::ArrivingTask& got = extend_parsed.delta.tasks[i];
+    EXPECT_EQ(got.task.name(), sent.task.name());
+    EXPECT_EQ(got.task.work_flop(), sent.task.work_flop());
+    EXPECT_EQ(got.release_time, sent.release_time);
+    EXPECT_EQ(got.priority, sent.priority);
+  }
+
+  CloseRequest close;
+  close.session = "sess-x";
+  close.request_id = "req-3";
+  const CloseRequest close_parsed = parse_close(serialize_close(close));
+  EXPECT_EQ(close_parsed.session, "sess-x");
+  EXPECT_EQ(close_parsed.request_id, "req-3");
+}
+
+TEST_F(ServeTest, SessionLifecycleMatchesADirectIncrementalRun) {
+  const fuzz::ArrivalStream stream = fuzz::arrival_stream(7, 4);
+  const cost::CostModel cost{arch::Machine(stream.instance.machine)};
+  sched::IncrementalScheduler direct(cost);
+  direct.reset(stream.initial, stream.instance.total_cores,
+               stream.initial_release);
+
+  const std::string submitted =
+      client_.call(serialize_submit(submit_from(stream)));
+  ASSERT_TRUE(response_ok(submitted));
+  const std::string session = session_id_of(submitted);
+  ASSERT_FALSE(session.empty());
+  EXPECT_EQ(response_schedule_json(submitted),
+            serialize_schedule(direct.current()));
+  // The repair stats ride along in the response envelope.
+  const obs::json::Value document = obs::json::parse(submitted);
+  const obs::json::Value* stats = document.find("incremental");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_NE(stats->find("total_layers"), nullptr);
+  EXPECT_EQ(stats->find("settled_prefix")->number, 0.0);
+
+  for (const sched::GraphDelta& delta : stream.deltas) {
+    ExtendRequest extend;
+    extend.session = session;
+    extend.delta = delta;
+    const std::string response = client_.call(serialize_extend(extend));
+    ASSERT_TRUE(response_ok(response));
+    EXPECT_EQ(response_schedule_json(response),
+              serialize_schedule(direct.extend(delta)));
+  }
+  // The session converged on the one-shot schedule of the whole graph.
+  EXPECT_EQ(serialize_schedule(direct.current()),
+            serialize_schedule(direct.run(fuzz::materialize(stream),
+                                          stream.instance.total_cores)));
+
+  EXPECT_EQ(server_->num_sessions(), 1u);
+  CloseRequest close;
+  close.session = session;
+  const std::string closed = client_.call(serialize_close(close));
+  EXPECT_TRUE(response_ok(closed));
+  EXPECT_EQ(server_->num_sessions(), 0u);
+
+  // The closed session id is gone: further traffic on it is PTS007.
+  ExtendRequest stale;
+  stale.session = session;
+  stale.delta.release_time = 1.0e9;
+  EXPECT_EQ(response_error_code(client_.call(serialize_extend(stale))),
+            kErrSession);
+}
+
+TEST_F(ServeTest, Pts007UnknownSession) {
+  ExtendRequest extend;
+  extend.session = "sess-no-such";
+  const std::string response = client_.call(serialize_extend(extend));
+  EXPECT_EQ(response_error_code(response), kErrSession);
+
+  CloseRequest close;
+  close.session = "sess-no-such";
+  EXPECT_EQ(response_error_code(client_.call(serialize_close(close))),
+            kErrSession);
+}
+
+TEST_F(ServeTest, Pts007InvalidDeltaLeavesTheSessionUsable) {
+  const fuzz::ArrivalStream stream = fuzz::arrival_stream(11, 3);
+  ASSERT_FALSE(stream.deltas.empty());
+  const std::string submitted =
+      client_.call(serialize_submit(submit_from(stream)));
+  ASSERT_TRUE(response_ok(submitted));
+  const std::string session = session_id_of(submitted);
+
+  // An edge to a task id the session has never seen: parses fine (edge
+  // semantics are checked against the accumulated graph), then the repair
+  // rejects it as PTS007 without touching session state.
+  ExtendRequest bogus;
+  bogus.session = session;
+  bogus.delta.release_time = stream.deltas.front().release_time;
+  bogus.delta.edges.emplace_back(0, 999999);
+  EXPECT_EQ(response_error_code(client_.call(serialize_extend(bogus))),
+            kErrSession);
+
+  // The untouched session still replays the valid stream bit-identically.
+  const cost::CostModel cost{arch::Machine(stream.instance.machine)};
+  sched::IncrementalScheduler direct(cost);
+  direct.reset(stream.initial, stream.instance.total_cores,
+               stream.initial_release);
+  for (const sched::GraphDelta& delta : stream.deltas) {
+    ExtendRequest extend;
+    extend.session = session;
+    extend.delta = delta;
+    const std::string response = client_.call(serialize_extend(extend));
+    ASSERT_TRUE(response_ok(response));
+    EXPECT_EQ(response_schedule_json(response),
+              serialize_schedule(direct.extend(delta)));
+  }
+}
+
+TEST(ServeSessions, Pts007WhenTheSessionCapIsReached) {
+  ServerOptions options;
+  options.max_sessions = 2;
+  Server server(options);
+  server.start();
+  Client client;
+  client.connect("127.0.0.1", server.port());
+  const fuzz::ArrivalStream stream = fuzz::arrival_stream(3, 2);
+
+  const std::string first = client.call(serialize_submit(submit_from(stream)));
+  const std::string second =
+      client.call(serialize_submit(submit_from(stream)));
+  ASSERT_TRUE(response_ok(first));
+  ASSERT_TRUE(response_ok(second));
+  EXPECT_EQ(server.num_sessions(), 2u);
+
+  const std::string third = client.call(serialize_submit(submit_from(stream)));
+  EXPECT_EQ(response_error_code(third), kErrSession);
+  EXPECT_EQ(server.num_sessions(), 2u);
+
+  // Closing a session frees its slot.
+  CloseRequest close;
+  close.session = session_id_of(first);
+  ASSERT_TRUE(response_ok(client.call(serialize_close(close))));
+  EXPECT_TRUE(response_ok(client.call(serialize_submit(submit_from(stream)))));
+  server.stop();
+}
+
+TEST_F(ServeTest, SessionTrafficNeverTouchesTheScheduleCache) {
+  const std::uint64_t hits = server_->cache().hits();
+  const std::uint64_t misses = server_->cache().misses();
+  const fuzz::ArrivalStream stream = fuzz::arrival_stream(13, 3);
+
+  const std::string submitted =
+      client_.call(serialize_submit(submit_from(stream)));
+  ASSERT_TRUE(response_ok(submitted));
+  const std::string session = session_id_of(submitted);
+  for (const sched::GraphDelta& delta : stream.deltas) {
+    ExtendRequest extend;
+    extend.session = session;
+    extend.delta = delta;
+    ASSERT_TRUE(response_ok(client_.call(serialize_extend(extend))));
+  }
+  CloseRequest close;
+  close.session = session;
+  ASSERT_TRUE(response_ok(client_.call(serialize_close(close))));
+
+  // Session responses are never cached (they depend on mutable session
+  // state), so the whole-schedule cache saw zero traffic.
+  EXPECT_EQ(server_->cache().hits(), hits);
+  EXPECT_EQ(server_->cache().misses(), misses);
+  EXPECT_EQ(server_->cache().entries(), 0u);
+}
+
+TEST_F(ServeTest, SessionGaugeAndCountersAreExposed) {
+  const std::uint64_t submits_before =
+      obs::metrics().counter("serve.incremental.submits").value();
+  const fuzz::ArrivalStream stream = fuzz::arrival_stream(17, 2);
+  const std::string submitted =
+      client_.call(serialize_submit(submit_from(stream)));
+  ASSERT_TRUE(response_ok(submitted));
+
+  const obs::json::Value stats = obs::json::parse(client_.stats());
+  const obs::json::Value* body = stats.find("stats");
+  ASSERT_NE(body, nullptr);
+  ASSERT_NE(body->find("sessions"), nullptr);
+  EXPECT_EQ(body->find("sessions")->number, 1.0);
+  EXPECT_GE(obs::metrics().counter("serve.incremental.submits").value(),
+            submits_before + 1);
+
+  const std::string exposition = response_metrics_text(client_.metrics());
+  EXPECT_NE(exposition.find("ptask_serve_sessions 1"), std::string::npos);
+
+  CloseRequest close;
+  close.session = session_id_of(submitted);
+  ASSERT_TRUE(response_ok(client_.call(serialize_close(close))));
+  const obs::json::Value after = obs::json::parse(client_.stats());
+  EXPECT_EQ(after.find("stats")->find("sessions")->number, 0.0);
+}
+
+TEST(ServeSessions, DistinctSessionsExtendConcurrentlyAndStayIsolated) {
+  ServerOptions options;
+  options.num_workers = 8;
+  Server server(options);
+  server.start();
+  constexpr int kThreads = 6;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&server, &failures, t] {
+      try {
+        const fuzz::ArrivalStream stream =
+            fuzz::arrival_stream(100 + static_cast<std::uint64_t>(t), 4);
+        const cost::CostModel cost{arch::Machine(stream.instance.machine)};
+        sched::IncrementalScheduler direct(cost);
+        direct.reset(stream.initial, stream.instance.total_cores,
+                     stream.initial_release);
+        Client client;
+        client.connect("127.0.0.1", server.port());
+        const std::string submitted =
+            client.call(serialize_submit(submit_from(stream)));
+        if (!response_ok(submitted) ||
+            response_schedule_json(submitted) !=
+                serialize_schedule(direct.current())) {
+          failures.fetch_add(1);
+          return;
+        }
+        const std::string session = session_id_of(submitted);
+        for (const sched::GraphDelta& delta : stream.deltas) {
+          ExtendRequest extend;
+          extend.session = session;
+          extend.delta = delta;
+          const std::string response = client.call(serialize_extend(extend));
+          if (!response_ok(response) ||
+              response_schedule_json(response) !=
+                  serialize_schedule(direct.extend(delta))) {
+            failures.fetch_add(1);
+          }
+          // Interleave cached whole-schedule traffic with the extends so
+          // TSan sees session state and the schedule cache used together.
+          const std::string cached = client.schedule(tiny_request());
+          if (!response_ok(cached)) failures.fetch_add(1);
+        }
+        CloseRequest close;
+        close.session = session;
+        if (!response_ok(client.call(serialize_close(close)))) {
+          failures.fetch_add(1);
+        }
+      } catch (const std::exception&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server.num_sessions(), 0u);
   server.stop();
 }
 

@@ -37,10 +37,21 @@
 // connecting to an external daemon -- that is what the `serve_loadgen_smoke`
 // CTest entry uses; CI's smoke job drives a real detached daemon instead.
 //
+// --arrival-stream switches to online-session traffic: each "request" is a
+// whole fuzz instance split into --batches timed arrival batches
+// (fuzz::arrival_stream) and replayed as one submit + k-1 extend frames on
+// an incremental session.  Every response is checked against a direct
+// in-process IncrementalScheduler replay (the oracle is always on in this
+// mode), so a green run certifies the served splice path byte-for-byte.
+// --pace-us U sleeps U microseconds per unit of batch release-time gap,
+// turning the stream's logical arrival times into wall-clock pacing
+// (default 0: replay as fast as the daemon answers).
+//
 // Usage:
 //   ptask_loadgen (--spawn | --port N [--host H]) [--requests N]
 //       [--concurrency N] [--repeat-ratio R] [--seed S] [--scheduler NAME]
 //       [--family NAME] [--max-tasks N] [--oracle] [--faults F]
+//       [--arrival-stream] [--batches K] [--pace-us U]
 //       [--min-hit-rate R] [--slo-p99-us N] [--bench-out FILE]
 //       [--stats-out FILE] [--quiet]
 
@@ -64,6 +75,7 @@
 #include "ptask/obs/json.hpp"
 #include "ptask/obs/metrics.hpp"
 #include "ptask/obs/prometheus.hpp"
+#include "ptask/sched/incremental.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/client.hpp"
 #include "ptask/serve/server.hpp"
@@ -86,6 +98,9 @@ struct Options {
   int max_tasks = 400;
   bool oracle = false;
   bool certify = false;
+  bool arrival_stream = false;
+  int batches = 4;
+  double pace_us = 0.0;
   double faults = 0.0;
   double min_hit_rate = -1.0;
   double slo_p99_us = -1.0;
@@ -299,12 +314,134 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
                             latencies_us.end());
 }
 
+/// Replays one fuzz arrival stream as a submit + extend session against the
+/// daemon, checking every served schedule byte-for-byte against a direct
+/// in-process IncrementalScheduler replay of the same batches.
+void replay_stream(const Options& options, Client& client,
+                   std::uint64_t seed, Tally& tally,
+                   std::vector<double>& latencies_us) {
+  namespace serve = ptask::serve;
+  const ptask::fuzz::ArrivalStream stream =
+      ptask::fuzz::arrival_stream(seed, options.batches);
+  if (stream.instance.graph.num_tasks() == 0 ||
+      stream.instance.graph.num_tasks() > options.max_tasks) {
+    return;  // outside the size envelope; skip, don't shrink
+  }
+  const ptask::cost::CostModel cost{
+      ptask::arch::Machine(stream.instance.machine)};
+  ptask::sched::IncrementalScheduler direct(cost);
+  direct.reset(stream.initial, stream.instance.total_cores,
+               stream.initial_release);
+
+  serve::SubmitRequest submit;
+  submit.total_cores = stream.instance.total_cores;
+  submit.machine = stream.instance.machine;
+  submit.graph = stream.initial;
+  submit.release_time = stream.initial_release;
+  submit.family = ptask::fuzz::to_string(stream.instance.family);
+
+  const auto timed_call = [&](const std::string& payload) {
+    tally.sent.fetch_add(1);
+    const auto call_t0 = std::chrono::steady_clock::now();
+    const std::string response = client.call(payload);
+    latencies_us.push_back(std::chrono::duration<double, std::micro>(
+                               std::chrono::steady_clock::now() - call_t0)
+                               .count());
+    return response;
+  };
+
+  const std::string submitted = timed_call(serve::serialize_submit(submit));
+  if (!serve::response_ok(submitted)) {
+    tally.unexpected.fetch_add(1);
+    log_failure(tally, "submit failed: " + submitted);
+    return;
+  }
+  tally.ok.fetch_add(1);
+  std::string session;
+  {
+    const ptask::obs::json::Value document =
+        ptask::obs::json::parse(submitted);
+    if (const auto* id = document.find("session")) session = id->string;
+  }
+  if (serve::response_schedule_json(submitted) !=
+      serve::serialize_schedule(direct.current())) {
+    tally.oracle_mismatches.fetch_add(1);
+    log_failure(tally, "ORACLE MISMATCH (stream seed " +
+                           std::to_string(seed) + ", submit)");
+  }
+
+  double last_release = stream.initial_release;
+  for (std::size_t b = 0; b < stream.deltas.size(); ++b) {
+    const ptask::sched::GraphDelta& delta = stream.deltas[b];
+    if (options.pace_us > 0.0) {
+      const double gap_us = (delta.release_time - last_release) *
+                            options.pace_us;
+      std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(
+          gap_us > 0.0 ? gap_us : 0.0));
+    }
+    last_release = delta.release_time;
+    serve::ExtendRequest extend;
+    extend.session = session;
+    extend.delta = delta;
+    extend.family = submit.family;
+    const std::string response =
+        timed_call(serve::serialize_extend(extend));
+    if (!serve::response_ok(response)) {
+      tally.unexpected.fetch_add(1);
+      log_failure(tally, "extend failed: " + response);
+      break;
+    }
+    tally.ok.fetch_add(1);
+    if (serve::response_schedule_json(response) !=
+        serve::serialize_schedule(direct.extend(delta))) {
+      tally.oracle_mismatches.fetch_add(1);
+      log_failure(tally, "ORACLE MISMATCH (stream seed " +
+                             std::to_string(seed) + ", batch " +
+                             std::to_string(b + 1) + "/" +
+                             std::to_string(stream.batches() - 1) + ")");
+    }
+  }
+
+  serve::CloseRequest close;
+  close.session = session;
+  if (!serve::response_ok(client.call(serve::serialize_close(close)))) {
+    tally.unexpected.fetch_add(1);
+    log_failure(tally, "close failed for session " + session);
+  }
+}
+
+void stream_loop(const Options& options, std::uint64_t first_seed,
+                 int stream_count, Tally& tally) {
+  Client client;
+  client.connect(options.host, options.port);
+  std::vector<double> latencies_us;
+  for (int s = 0; s < stream_count; ++s) {
+    try {
+      replay_stream(options, client, first_seed + static_cast<std::uint64_t>(s),
+                    tally, latencies_us);
+    } catch (const std::exception& e) {
+      tally.unexpected.fetch_add(1);
+      log_failure(tally, std::string("stream error: ") + e.what());
+      try {
+        client.connect(options.host, options.port);
+        tally.reconnects.fetch_add(1);
+      } catch (const std::exception&) {
+        break;
+      }
+    }
+  }
+  const std::lock_guard<std::mutex> lock(tally.latency_mutex);
+  tally.latencies_us.insert(tally.latencies_us.end(), latencies_us.begin(),
+                            latencies_us.end());
+}
+
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " (--spawn | --port N [--host H]) [--requests N] [--concurrency N]"
          " [--repeat-ratio R] [--seed S] [--scheduler NAME] [--family NAME]"
          " [--max-tasks N] [--oracle] [--certify] [--faults F]"
+         " [--arrival-stream] [--batches K] [--pace-us U]"
          " [--min-hit-rate R] [--slo-p99-us N] [--bench-out FILE]"
          " [--stats-out FILE] [--quiet]\n";
   return 2;
@@ -384,6 +521,12 @@ int main(int argc, char** argv) {
       options.oracle = true;
     } else if (arg == "--certify") {
       options.certify = true;
+    } else if (arg == "--arrival-stream") {
+      options.arrival_stream = true;
+    } else if (arg == "--batches") {
+      options.batches = std::atoi(next());
+    } else if (arg == "--pace-us") {
+      options.pace_us = std::atof(next());
     } else if (arg == "--faults") {
       options.faults = std::atof(next());
     } else if (arg == "--min-hit-rate") {
@@ -413,6 +556,10 @@ int main(int argc, char** argv) {
     std::cerr << "invalid --requests/--concurrency/--repeat-ratio\n";
     return usage(argv[0]);
   }
+  if (options.batches < 1) {
+    std::cerr << "invalid --batches\n";
+    return usage(argv[0]);
+  }
 
   // Optional in-process server (CTest smoke / ad-hoc runs without a daemon).
   std::unique_ptr<ptask::serve::Server> spawned;
@@ -430,28 +577,42 @@ int main(int argc, char** argv) {
 
   // The unique-instance pool: repeat-ratio R over N requests means the pool
   // holds ~N*(1-R) unique instances, so the server-side cache sees at least
-  // an R hit rate once warm.
-  const auto pool_size = static_cast<std::size_t>(std::max(
-      1.0, static_cast<double>(options.requests) * (1.0 - options.repeat_ratio)));
-  const std::vector<ScheduleRequest> requests = build_pool(options, pool_size);
-  std::vector<PoolEntry> pool(requests.size());
-  for (std::size_t i = 0; i < requests.size(); ++i) {
-    pool[i].payload = ptask::serve::serialize_request(requests[i]);
-    if (options.oracle) {
-      try {
-        pool[i].expected = local_schedule_bytes(requests[i]);
-      } catch (const std::exception&) {
-        pool[i].expect_error = true;
+  // an R hit rate once warm.  Arrival-stream mode builds no pool: each
+  // "request" is a whole stream generated from its own seed.
+  std::vector<PoolEntry> pool;
+  if (!options.arrival_stream) {
+    const auto pool_size = static_cast<std::size_t>(std::max(
+        1.0,
+        static_cast<double>(options.requests) * (1.0 - options.repeat_ratio)));
+    const std::vector<ScheduleRequest> requests =
+        build_pool(options, pool_size);
+    pool.resize(requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      pool[i].payload = ptask::serve::serialize_request(requests[i]);
+      if (options.oracle) {
+        try {
+          pool[i].expected = local_schedule_bytes(requests[i]);
+        } catch (const std::exception&) {
+          pool[i].expect_error = true;
+        }
       }
     }
   }
   if (!options.quiet) {
-    std::cout << "ptask_loadgen: " << options.requests << " requests, "
-              << pool.size() << " unique instances, concurrency "
-              << options.concurrency << ", scheduler " << options.scheduler
-              << (options.oracle ? ", oracle on" : "")
-              << (options.certify ? ", certify on" : "")
-              << (options.faults > 0.0 ? ", protocol faults on" : "") << "\n";
+    if (options.arrival_stream) {
+      std::cout << "ptask_loadgen: " << options.requests
+                << " arrival streams x " << options.batches
+                << " batches, concurrency " << options.concurrency
+                << ", oracle on (always, in stream mode)" << "\n";
+    } else {
+      std::cout << "ptask_loadgen: " << options.requests << " requests, "
+                << pool.size() << " unique instances, concurrency "
+                << options.concurrency << ", scheduler " << options.scheduler
+                << (options.oracle ? ", oracle on" : "")
+                << (options.certify ? ", certify on" : "")
+                << (options.faults > 0.0 ? ", protocol faults on" : "")
+                << "\n";
+    }
   }
 
   Tally tally;
@@ -461,11 +622,19 @@ int main(int argc, char** argv) {
     threads.reserve(static_cast<std::size_t>(options.concurrency));
     const int per_thread = options.requests / options.concurrency;
     const int remainder = options.requests % options.concurrency;
+    std::uint64_t first_seed = options.seed;
     for (int t = 0; t < options.concurrency; ++t) {
       const int count = per_thread + (t < remainder ? 1 : 0);
-      threads.emplace_back([&, t, count] {
-        client_loop(options, pool, t, count, tally);
-      });
+      if (options.arrival_stream) {
+        threads.emplace_back([&, first_seed, count] {
+          stream_loop(options, first_seed, count, tally);
+        });
+        first_seed += static_cast<std::uint64_t>(count);
+      } else {
+        threads.emplace_back([&, t, count] {
+          client_loop(options, pool, t, count, tally);
+        });
+      }
     }
     for (std::thread& thread : threads) thread.join();
   }
