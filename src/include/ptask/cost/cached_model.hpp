@@ -22,6 +22,15 @@
 /// independently of the concurrent group count (`num_groups` only sizes
 /// orthogonal collectives), so their entries ignore `num_groups`.
 ///
+/// Content-keyed mode (`KeyMode::Content`).  The serving layer batches
+/// requests whose graphs are distinct objects, so address-based keys never
+/// hit across batch members.  In content mode the key is an *injective*
+/// fixed-width encoding of the pricing-relevant content (work bits,
+/// max_cores, every collective) -- exact equality, no hash-collision risk,
+/// so identical tasks in different graphs share one entry and the wrapper
+/// stays bit-transparent by construction (symbolic_task_time is a pure
+/// function of that content plus the machine).
+///
 /// Thread safety.  The table is sharded (mutex per shard); concurrent
 /// lookups from PortfolioScheduler strategy threads and parallel AssignLPT
 /// layer workers are safe.  Hits/misses are counted per instance and in the
@@ -39,9 +48,15 @@ namespace ptask::cost {
 
 class CachedCostModel final : public CostModel {
  public:
+  enum class KeyMode {
+    PerTask,  ///< address + fingerprint: entries are private to one graph
+    Content,  ///< exact content encoding: entries shared across graphs
+  };
+
   /// Wraps a fresh copy of `base`'s machine; computed values are
   /// bit-identical to `base`'s (same spec, same link parameters).
-  explicit CachedCostModel(const CostModel& base);
+  explicit CachedCostModel(const CostModel& base,
+                           KeyMode mode = KeyMode::PerTask);
 
   /// Memoized Tsymb(M, q); computes through CostModel::symbolic_task_time
   /// on the first evaluation of a key and returns the stored double on
@@ -82,10 +97,18 @@ class CachedCostModel final : public CostModel {
     std::mutex mutex;
     std::unordered_map<Key, double, KeyHash> entries;
   };
+  /// Content-mode shard: keyed on the injective content encoding (a
+  /// fixed-width byte string), so equality is exact content equality.
+  struct ContentShard {
+    std::mutex mutex;
+    std::unordered_map<std::string, double> entries;
+  };
 
   static constexpr std::size_t kShards = 16;
 
+  KeyMode mode_ = KeyMode::PerTask;
   mutable std::array<Shard, kShards> shards_;
+  mutable std::array<ContentShard, kShards> content_shards_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,0 +1,57 @@
+#pragma once
+/// \file batch.hpp
+/// Shared-pricing scheduler for batches of compatible requests.
+///
+/// The serving layer coalesces schedule requests that dequeue together and
+/// agree on (strategy, machine, total_cores, certify) but differ in graph.
+/// Running them through one `BatchScheduler` prices every member over a
+/// single content-keyed `CachedCostModel`: a task that appears in several
+/// graphs of the batch (identical work/max_cores/collectives) is priced
+/// exactly once, and every later evaluation -- in any member -- returns the
+/// stored double.  Because the cache is bit-transparent (the memoized value
+/// IS the base model's value), each member's schedule is byte-identical to
+/// an unbatched run of the same strategy over a plain CostModel; the serve
+/// tests and the loadgen oracle enforce that equivalence end to end.
+///
+/// Thread safety: `run` is safe to call concurrently (the underlying cache
+/// is sharded and schedulers are stateless per run), but the serving layer
+/// runs batch members sequentially on one worker -- the win is amortized
+/// pricing, not intra-batch parallelism (the portfolio already parallelizes
+/// across strategies internally).
+
+#include <memory>
+#include <string>
+
+#include "ptask/cost/cached_model.hpp"
+#include "ptask/sched/pipeline.hpp"
+#include "ptask/sched/schedule.hpp"
+
+namespace ptask::sched {
+
+class BatchScheduler {
+ public:
+  /// Builds the shared pricing cache over `base`'s machine and resolves
+  /// `strategy` from the SchedulerRegistry (throws std::invalid_argument
+  /// for unknown names, like SchedulerRegistry::make).
+  BatchScheduler(const std::string& strategy, const cost::CostModel& base);
+
+  /// Schedules one batch member.  Bit-identical to an unbatched run of the
+  /// same strategy; repeated task content across calls hits the shared
+  /// pricing cache.
+  Schedule run(const core::TaskGraph& graph, int total_cores) const;
+
+  const std::string& strategy() const { return strategy_; }
+
+  /// Shared pricing-cache accounting (across every run so far).
+  std::uint64_t pricing_hits() const { return cached_.hits(); }
+  std::uint64_t pricing_misses() const { return cached_.misses(); }
+
+ private:
+  std::string strategy_;
+  /// Declared before scheduler_: the scheduler keeps a reference to the
+  /// cache for its whole lifetime.
+  cost::CachedCostModel cached_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace ptask::sched

@@ -4,6 +4,7 @@
 /// CPR, paper Section 4.3): a precomputed T(t, p) table and a bottom-level
 /// list scheduler that turns an allocation into a Gantt schedule.
 
+#include <limits>
 #include <span>
 #include <vector>
 
@@ -54,9 +55,19 @@ class TaskTimeTable {
 /// List-schedules `graph` with the fixed per-task core counts `allocation`
 /// onto `P = table.total_cores()` symbolic cores.  Tasks are prioritized by
 /// decreasing bottom level; a ready task starts as soon as its allocation of
-/// cores is free (the cores that become available earliest are picked).
-GanttSchedule list_schedule(const core::TaskGraph& graph,
-                            std::span<const int> allocation,
-                            const TaskTimeTable& table);
+/// cores is free (the cores that become available earliest are picked, with
+/// ties broken towards the cores of the task's predecessors).
+///
+/// `abort_above` is a search-pruning cutoff for iterative callers (CPR): the
+/// partial makespan only ever grows as tasks are placed, so once it exceeds
+/// the cutoff the final makespan is guaranteed to as well and the caller
+/// will reject the trial whatever the rest looks like.  When the cutoff
+/// trips, the returned schedule is *partial* -- its makespan already
+/// exceeds `abort_above`, which is all a reject decision needs -- so pass
+/// the default (+inf) whenever the schedule itself is wanted.
+GanttSchedule list_schedule(
+    const core::TaskGraph& graph, std::span<const int> allocation,
+    const TaskTimeTable& table,
+    double abort_above = std::numeric_limits<double>::infinity());
 
 }  // namespace ptask::sched

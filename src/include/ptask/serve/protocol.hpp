@@ -94,6 +94,11 @@
 ///           session limit is reached, or an extend delta is invalid
 ///           (unknown edge endpoints, self edges, cycles, non-monotonic
 ///           release times); a rejected delta never mutates the session
+///   PTS008  overloaded: the server's bounded admission queue is full.
+///           The error object carries an extra "retry_after_ms" integer
+///           member -- a backoff hint after which the client should retry
+///           the same request.  The connection stays open (overload is a
+///           transient per-request condition, not a protocol violation)
 ///
 /// Every error increments a `serve.error.PTS00x` counter in the metrics
 /// registry.  See docs/SERVICE.md for the full field tables.
@@ -119,6 +124,7 @@ inline constexpr std::string_view kErrEmptyGraph = "PTS004";
 inline constexpr std::string_view kErrTooLarge = "PTS005";
 inline constexpr std::string_view kErrCertification = "PTS006";
 inline constexpr std::string_view kErrSession = "PTS007";
+inline constexpr std::string_view kErrOverloaded = "PTS008";
 
 /// One-line description of a protocol error code; empty for unknown codes.
 std::string_view describe_error(std::string_view code);
@@ -285,6 +291,17 @@ std::string close_response(std::string_view session_id);
 
 /// {"ok":false,"error":{"code":...,"message":...}}
 std::string error_response(std::string_view code, std::string_view message);
+
+/// {"ok":false,"error":{"code":"PTS008","message":...,
+/// "retry_after_ms":N}} -- the admission-control rejection.  The backoff
+/// hint is part of the error object so it survives generic error handling
+/// (clients that only look at code/message ignore it safely).
+std::string overload_response(std::string_view message,
+                              std::uint64_t retry_after_ms);
+
+/// The "retry_after_ms" hint of a PTS008 error response; -1 when the
+/// response is not an overload rejection (or does not parse).
+std::int64_t response_retry_after_ms(std::string_view payload);
 
 /// {"ok":true,"pong":true}
 std::string pong_response();

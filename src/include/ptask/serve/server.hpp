@@ -4,17 +4,29 @@
 /// main() around this class).
 ///
 /// A `Server` listens on a loopback TCP port and answers the length-prefixed
-/// JSON protocol of protocol.hpp.  Connections are handled by a worker-
-/// thread pool (one connection per worker at a time; the pool size bounds
-/// the number of concurrently served clients).  "schedule" requests are
-/// keyed by their canonical serialization and answered from a single-flight
-/// `ScheduleCache`, so a repeated graph/machine/scheduler request costs one
-/// scheduler run process-wide and every response carries byte-identical
-/// schedule bytes.
+/// JSON protocol of protocol.hpp.  The data path is event-driven: one
+/// reactor thread (see reactor.hpp) multiplexes every connection with epoll,
+/// assembles complete frames nonblockingly, and hands them to a bounded
+/// admission queue; a pool of compute workers drains the queue, so
+/// `num_workers` sizes *compute* and a thousand idle keep-alive connections
+/// cost no threads.  When the queue is full a request is rejected
+/// immediately with the stable PTS008 overload error (carrying a
+/// `retry_after_ms` backoff hint) instead of growing memory without bound.
 ///
-/// Shutdown is graceful: `stop()` closes the listener, lets every worker
-/// finish the frame it is processing, answers nothing new, and joins the
-/// pool -- in-flight work is drained, never aborted mid-schedule.
+/// "schedule" requests are keyed by their canonical serialization and
+/// answered from a single-flight `ScheduleCache`, so a repeated
+/// graph/machine/scheduler request costs one scheduler run process-wide and
+/// every response carries byte-identical schedule bytes.  Requests that
+/// dequeue together and agree on (scheduler, machine, total_cores, certify)
+/// but differ in graph are *batched*: they run through one
+/// `sched::BatchScheduler` whose content-keyed pricing cache is shared
+/// across the members, amortizing cost-model evaluations -- with responses
+/// byte-identical to unbatched execution (the cache is bit-transparent).
+///
+/// Shutdown is graceful and prompt (eventfd wakeups, no poll timeouts):
+/// `stop()` closes the listener, lets the workers drain every admitted
+/// request, flushes the pending responses, and joins all threads --
+/// in-flight work is drained, never aborted mid-schedule.
 ///
 /// Observability: the server reports through the global metrics registry --
 ///   serve.requests          frames successfully read
@@ -27,6 +39,15 @@
 ///                           cache (lookup incl. single-flight wait),
 ///                           schedule/certify/serialize (cache misses
 ///                           only), send
+///   serve.queue.enqueued    requests admitted to the bounded queue
+///   serve.queue.rejected    requests rejected with PTS008 (queue full)
+///   serve.queue.wait_us     histogram of time spent queued before a
+///                           worker picked the request up (the queue depth
+///                           is a stats/metrics gauge)
+///   serve.batch.size        histogram of schedule-group sizes per worker
+///                           dequeue (size 1 = unbatched)
+///   serve.batch.runs        coalesced groups executed (size >= 2)
+///   serve.batch.coalesced   requests served through a coalesced group
 ///   serve.strategy.<s>.*    per-scheduler latency_us + requests
 ///   serve.family.<f>.*      per-workload-family latency_us + requests
 ///                           (from the request's "family" annotation)
@@ -36,17 +57,17 @@
 ///                           open-session count is a stats/metrics gauge;
 ///                           per-layer reuse counters live under
 ///                           sched.incremental.*)
-/// A "stats" request renders the registry (plus in-flight gauge, cache
-/// gauges, and uptime) as the service dashboard; a "metrics" request
+/// A "stats" request renders the registry (plus in-flight/queue gauges,
+/// cache gauges, and uptime) as the service dashboard; a "metrics" request
 /// returns the same registry as a Prometheus text exposition
 /// (render_metrics); a "trace" request drains the live tracer into a
 /// Chrome/Perfetto trace.  Every request is tagged with a request id and,
 /// when tracing is enabled, a span tree
-/// serve.request -> recv/parse/cache.lookup[/schedule/certify/serialize]/
-/// send on the worker's track.  `rt::FaultOptions::from_env` is honored:
-/// with PTASK_FAULT_* set, workers perturb themselves at request-handling
-/// synchronization points, widening the interleavings the soak test
-/// explores.
+/// serve.request -> queue/parse/cache.lookup[/schedule/certify/serialize]
+/// on the worker's track (recv/send live on the reactor's track).
+/// `rt::FaultOptions::from_env` is honored: with PTASK_FAULT_* set, workers
+/// perturb themselves at request-handling synchronization points, widening
+/// the interleavings the soak test explores.
 
 #include <atomic>
 #include <chrono>
@@ -60,7 +81,12 @@
 #include <vector>
 
 #include "ptask/rt/fault_injection.hpp"
+#include "ptask/serve/reactor.hpp"
 #include "ptask/serve/schedule_cache.hpp"
+
+namespace ptask::sched {
+class BatchScheduler;
+}  // namespace ptask::sched
 
 namespace ptask::serve {
 
@@ -72,7 +98,8 @@ struct ServerOptions {
   /// TCP port to listen on (loopback only); 0 picks an ephemeral port,
   /// readable via Server::port() once started.
   int port = 0;
-  /// Worker pool size = max concurrently served connections.
+  /// Compute worker pool size (the reactor multiplexes connections, so
+  /// this bounds concurrent scheduler runs, not concurrent clients).
   int num_workers = 8;
   /// Frames longer than this are answered with PTS005 and the connection is
   /// closed (the oversized payload is drained without buffering it).
@@ -80,6 +107,21 @@ struct ServerOptions {
   /// LRU cap on completed schedule-cache entries; 0 = unbounded.  Evictions
   /// are reported as `serve.cache.evictions` and in the stats response.
   std::size_t cache_max_entries = 0;
+  /// Admission-control bound: requests queued between the reactor and the
+  /// worker pool.  A frame arriving with the queue full is answered with
+  /// PTS008 immediately (never dropped silently).  0 = unbounded.
+  std::size_t max_queue = 1024;
+  /// Backoff hint carried in PTS008 responses.
+  std::uint64_t overload_retry_after_ms = 100;
+  /// Upper bound on requests one worker dequeues together (compatible
+  /// schedule requests among them are coalesced into one shared-pricing
+  /// batch).  1 disables batching.
+  int batch_max = 8;
+  /// Optional wait after the first dequeue for more requests to arrive and
+  /// join the batch, in microseconds.  0 (default) batches only what is
+  /// already queued -- batching then costs idle traffic zero added latency
+  /// and kicks in exactly when a backlog exists.
+  std::uint64_t batch_window_us = 0;
   /// Fault injection for the soak harness (default: from PTASK_FAULT_* env).
   rt::FaultOptions faults = rt::FaultOptions::from_env();
   /// Path of the slow-request log (JSON lines; see docs/OBSERVABILITY.md).
@@ -102,12 +144,13 @@ class Server {
   Server(const Server&) = delete;
   Server& operator=(const Server&) = delete;
 
-  /// Binds, listens, and starts the accept loop + worker pool.  Throws
+  /// Binds, listens, and starts the reactor + worker pool.  Throws
   /// std::runtime_error when the port cannot be bound.
   void start();
 
-  /// Graceful shutdown: stop accepting, drain in-flight frames, join all
-  /// threads.  Idempotent; also run by the destructor.
+  /// Graceful shutdown: stop accepting, drain every admitted request,
+  /// flush responses, join all threads.  Idempotent; also run by the
+  /// destructor.
   void stop();
 
   /// The bound port (valid after start()).
@@ -117,6 +160,10 @@ class Server {
 
   /// Requests currently being served (the "stats" in-flight gauge).
   int in_flight() const { return in_flight_.load(std::memory_order_relaxed); }
+
+  /// Requests admitted but not yet picked up by a worker (the "stats"
+  /// queue-depth gauge).
+  std::size_t queue_depth() const;
 
   const ScheduleCache& cache() const { return cache_; }
 
@@ -131,7 +178,7 @@ class Server {
 
   /// Renders the Prometheus text exposition served by the "metrics"
   /// request type: the whole registry plus server gauges (in-flight,
-  /// cache entries/bytes, uptime).
+  /// queue depth, cache entries/bytes, uptime).
   std::string render_metrics() const;
 
   /// Seconds since start().
@@ -143,14 +190,25 @@ class Server {
  private:
   struct RequestTrace;
   struct SessionState;
+  struct RequestJob;
+  struct ParsedJob;
+  struct RequestQueue;
 
-  void accept_loop();
+  /// Reactor-thread entry: admission control.  Full queue -> immediate
+  /// PTS008; closed queue (shutdown) -> drop the connection.
+  void on_frame(std::uint64_t conn_id, std::string&& payload,
+                Reactor::Clock::time_point t_request, double span_begin_s,
+                double recv_us);
+  /// Reactor-thread entry: builds the PTS005 response for oversized frames.
+  std::string on_oversize(std::uint32_t length);
   void worker_loop(int worker_index);
-  /// Serves one connection until EOF, error, or shutdown.
-  void serve_connection(int fd);
-  /// Handles one request payload; returns the response payload and fills
-  /// the per-request trace record (id, phases, cache outcome, error).
-  std::string handle_payload(std::string_view payload, RequestTrace& trace);
+  /// Parses/dispatches one payload.  Returns true when `job.response` is
+  /// final (non-schedule kinds, parse errors); returns false with
+  /// `job.request` filled for schedule requests awaiting execution.
+  bool dispatch_payload(ParsedJob& job);
+  /// Cache lookup + (on miss) scheduler run for a schedule request; when
+  /// `batch` is non-null the run prices through the batch's shared cache.
+  void execute_schedule(ParsedJob& job, const sched::BatchScheduler* batch);
   /// Session requests (online incremental scheduling).  These bypass the
   /// whole-schedule cache entirely: session responses depend on mutable
   /// per-session state, so caching them would serve stale schedules.
@@ -185,13 +243,11 @@ class Server {
   mutable std::mutex sessions_mutex_;
   std::unordered_map<std::string, std::shared_ptr<SessionState>> sessions_;
   std::atomic<std::uint64_t> next_session_id_{1};
-  std::thread acceptor_;
+  std::unique_ptr<Reactor> reactor_;
+  std::unique_ptr<RequestQueue> queue_;
   std::vector<std::thread> workers_;
   std::mutex slow_log_mutex_;
   std::ofstream slow_log_;
-
-  struct ConnectionQueue;
-  std::unique_ptr<ConnectionQueue> queue_;
 };
 
 }  // namespace ptask::serve

@@ -1,0 +1,18 @@
+#include "ptask/sched/batch.hpp"
+
+#include "ptask/sched/registry.hpp"
+
+namespace ptask::sched {
+
+BatchScheduler::BatchScheduler(const std::string& strategy,
+                               const cost::CostModel& base)
+    : strategy_(strategy),
+      cached_(base, cost::CachedCostModel::KeyMode::Content),
+      scheduler_(SchedulerRegistry::instance().make(strategy, cached_)) {}
+
+Schedule BatchScheduler::run(const core::TaskGraph& graph,
+                             int total_cores) const {
+  return scheduler_->run(graph, total_cores);
+}
+
+}  // namespace ptask::sched

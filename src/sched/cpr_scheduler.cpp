@@ -1,6 +1,7 @@
 #include "ptask/sched/cpr_scheduler.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "ptask/core/graph_algorithms.hpp"
 
@@ -47,8 +48,13 @@ MoldableResult CprScheduler::schedule(const core::TaskGraph& graph,
       const int p = result.allocation[static_cast<std::size_t>(id)];
       if (p >= P || p >= graph.task(id).max_cores()) continue;
       result.allocation[static_cast<std::size_t>(id)] = p + 1;
-      const GanttSchedule trial =
-          list_schedule(graph, result.allocation, table);
+      // Cutoff prunes doomed trials: once the partial makespan exceeds
+      // current + kEps neither the strict-improvement nor the tie branch
+      // below can accept, so list_schedule stops placing tasks early.  The
+      // decision is exactly the one the full schedule would produce (the
+      // makespan only grows as tasks are placed).
+      GanttSchedule trial = list_schedule(
+          graph, result.allocation, table, result.schedule.makespan + kEps);
       // Accept strict makespan improvements; on an exact tie, accept if the
       // sum of the task times shrank (this is what lets CPR make progress
       // through the plateau of a layer of equal independent tasks, where
@@ -59,7 +65,7 @@ MoldableResult CprScheduler::schedule(const core::TaskGraph& graph,
         accept = total_task_time() < sum_before - kEps;
       }
       if (accept) {
-        result.schedule = trial;
+        result.schedule = std::move(trial);
         improved = true;
         break;  // recompute the critical path with the new allocation
       }

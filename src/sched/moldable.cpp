@@ -1,8 +1,8 @@
 #include "ptask/sched/moldable.hpp"
 
 #include <algorithm>
-#include <numeric>
 #include <stdexcept>
+#include <utility>
 
 #include "ptask/core/graph_algorithms.hpp"
 
@@ -42,7 +42,7 @@ double TaskTimeTable::time(core::TaskId id, int p) const {
 
 GanttSchedule list_schedule(const core::TaskGraph& graph,
                             std::span<const int> allocation,
-                            const TaskTimeTable& table) {
+                            const TaskTimeTable& table, double abort_above) {
   const int n = graph.num_tasks();
   const int P = table.total_cores();
   if (static_cast<int>(allocation.size()) != n) {
@@ -68,7 +68,20 @@ GanttSchedule list_schedule(const core::TaskGraph& graph,
   }
 
   std::vector<double> core_free(static_cast<std::size_t>(P), 0.0);
-  std::vector<int> core_order(static_cast<std::size_t>(P));
+  // All cores in (free time, index) order -- the order a stable sort of
+  // 0..P-1 by free time yields.  Kept incrementally as a flat sorted
+  // vector: a placement gives all of its p cores the same new free time
+  // (the task's finish), so one compaction pass plus one block insert at
+  // the lower bound restores the order in O(P) with no allocations.  CPR
+  // runs this scheduler once per trial widening, which is where the
+  // difference to re-sorting every core for every task shows.
+  std::vector<std::pair<double, int>> free_order(static_cast<std::size_t>(P));
+  for (int c = 0; c < P; ++c) {
+    free_order[static_cast<std::size_t>(c)] = {0.0, c};
+  }
+  std::vector<char> pred_core(static_cast<std::size_t>(P), 0);
+  std::vector<char> chosen_core(static_cast<std::size_t>(P), 0);
+  std::vector<int> pred_list;
 
   GanttSchedule gantt;
   gantt.total_cores = P;
@@ -91,50 +104,79 @@ GanttSchedule list_schedule(const core::TaskGraph& graph,
     // Cores that become free earliest; among equally free cores, prefer the
     // cores of the task's predecessors (data affinity keeps chains on one
     // set of cores and avoids spurious re-distributions).
-    std::vector<bool> pred_core(static_cast<std::size_t>(P), false);
+    pred_list.clear();
     for (core::TaskId pr : graph.predecessors(id)) {
       for (int c : gantt.slots[static_cast<std::size_t>(pr)].cores) {
-        pred_core[static_cast<std::size_t>(c)] = true;
+        if (pred_core[static_cast<std::size_t>(c)] == 0) {
+          pred_core[static_cast<std::size_t>(c)] = 1;
+          pred_list.push_back(c);
+        }
       }
     }
-    std::iota(core_order.begin(), core_order.end(), 0);
-    std::stable_sort(core_order.begin(), core_order.end(), [&](int a, int b) {
-      return core_free[static_cast<std::size_t>(a)] <
-             core_free[static_cast<std::size_t>(b)];
-    });
     // The start time is fixed by the p-th earliest-free core; any core free
     // by then is an equally good pick, so among those the predecessor cores
-    // win (affinity costs nothing and avoids re-distribution).
-    double start = std::max(
-        ready_time[static_cast<std::size_t>(id)],
-        core_free[static_cast<std::size_t>(
-            core_order[static_cast<std::size_t>(p - 1)])]);
-    std::stable_sort(core_order.begin(), core_order.end(), [&](int a, int b) {
-      const bool ea = core_free[static_cast<std::size_t>(a)] <= start;
-      const bool eb = core_free[static_cast<std::size_t>(b)] <= start;
-      if (ea != eb) return ea;
-      if (ea && eb) {
-        const bool pa = pred_core[static_cast<std::size_t>(a)];
-        const bool pb = pred_core[static_cast<std::size_t>(b)];
-        if (pa != pb) return pa;
-        return false;  // keep free-time order among equals
-      }
-      return core_free[static_cast<std::size_t>(a)] <
-             core_free[static_cast<std::size_t>(b)];
-    });
+    // win (affinity costs nothing and avoids re-distribution).  The chosen
+    // set is therefore: predecessor cores free by `start` first (in free
+    // time order), then the other earliest-free cores -- at least p cores
+    // are free by `start` by construction.
+    double start = std::max(ready_time[static_cast<std::size_t>(id)],
+                            free_order[static_cast<std::size_t>(p - 1)].first);
     TaskSlot& slot = gantt.slots[static_cast<std::size_t>(id)];
-    slot.cores.assign(core_order.begin(), core_order.begin() + p);
+    slot.cores.clear();
+    // The sorted prefix with free <= start holds every eligible core (at
+    // least p of them, since the p-th earliest-free core bounds `start`);
+    // walking it visits cores in (free time, index) order, so taking the
+    // predecessor cores first and backfilling with the rest reproduces the
+    // affinity tie-break exactly.
+    for (std::size_t i = 0; i < free_order.size() &&
+                            static_cast<int>(slot.cores.size()) < p;
+         ++i) {
+      if (free_order[i].first > start) break;
+      if (pred_core[static_cast<std::size_t>(free_order[i].second)] != 0) {
+        slot.cores.push_back(free_order[i].second);
+      }
+    }
+    for (std::size_t i = 0; static_cast<int>(slot.cores.size()) < p; ++i) {
+      if (pred_core[static_cast<std::size_t>(free_order[i].second)] == 0) {
+        slot.cores.push_back(free_order[i].second);
+      }
+    }
+    for (const int c : pred_list) pred_core[static_cast<std::size_t>(c)] = 0;
     std::sort(slot.cores.begin(), slot.cores.end());
     for (int c : slot.cores) {
       start = std::max(start, core_free[static_cast<std::size_t>(c)]);
     }
     slot.start = start;
     slot.finish = start + task_time[static_cast<std::size_t>(id)];
+    // Restore the free order: drop the chosen cores, then merge them back
+    // in from the rear -- they all share the finish time and come with
+    // ascending indices, so they already form a sorted run.
     for (int c : slot.cores) {
+      chosen_core[static_cast<std::size_t>(c)] = 1;
       core_free[static_cast<std::size_t>(c)] = slot.finish;
     }
+    auto kept_end = std::remove_if(
+        free_order.begin(), free_order.end(), [&](const auto& entry) {
+          return chosen_core[static_cast<std::size_t>(entry.second)] != 0;
+        });
+    auto dst = free_order.end();
+    for (std::size_t b = slot.cores.size(); b > 0;) {
+      const std::pair<double, int> entry{
+          slot.finish, slot.cores[static_cast<std::size_t>(b - 1)]};
+      if (kept_end != free_order.begin() && *(kept_end - 1) > entry) {
+        *--dst = *(--kept_end);
+      } else {
+        *--dst = entry;
+        --b;
+      }
+    }
+    for (int c : slot.cores) chosen_core[static_cast<std::size_t>(c)] = 0;
     gantt.makespan = std::max(gantt.makespan, slot.finish);
     ++scheduled;
+    // Prune-cutoff for trial-and-reject callers: the makespan is monotone
+    // in the placements, so exceeding the cutoff now decides the trial.
+    // The returned schedule is partial; only its makespan is meaningful.
+    if (gantt.makespan > abort_above) return gantt;
 
     for (core::TaskId s : graph.successors(id)) {
       ready_time[static_cast<std::size_t>(s)] =

@@ -276,6 +276,9 @@ std::string_view describe_error(std::string_view code) {
   if (code == kErrSession) {
     return "session error (unknown session, session limit, or invalid delta)";
   }
+  if (code == kErrOverloaded) {
+    return "overloaded: the admission queue is full; retry after the hint";
+  }
   return {};
 }
 
@@ -682,6 +685,30 @@ std::string error_response(std::string_view code, std::string_view message) {
   append_json_string(out, message);
   out += "}}";
   return out;
+}
+
+std::string overload_response(std::string_view message,
+                              std::uint64_t retry_after_ms) {
+  std::string out = "{\"ok\":false,\"error\":{\"code\":";
+  append_json_string(out, kErrOverloaded);
+  out += ",\"message\":";
+  append_json_string(out, message);
+  out += ",\"retry_after_ms\":" + std::to_string(retry_after_ms);
+  out += "}}";
+  return out;
+}
+
+std::int64_t response_retry_after_ms(std::string_view payload) {
+  try {
+    const obs::json::Value document = obs::json::parse(payload);
+    if (const obs::json::Value* error = document.find("error")) {
+      if (const obs::json::Value* hint = error->find("retry_after_ms")) {
+        if (hint->is_number()) return static_cast<std::int64_t>(hint->number);
+      }
+    }
+  } catch (const std::runtime_error&) {
+  }
+  return -1;
 }
 
 std::string pong_response() { return "{\"ok\":true,\"pong\":true}"; }

@@ -1,16 +1,17 @@
 #include "ptask/serve/server.hpp"
 
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -21,6 +22,7 @@
 #include "ptask/obs/metrics.hpp"
 #include "ptask/obs/prometheus.hpp"
 #include "ptask/obs/trace.hpp"
+#include "ptask/sched/batch.hpp"
 #include "ptask/sched/incremental.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/protocol.hpp"
@@ -28,38 +30,6 @@
 namespace ptask::serve {
 
 namespace {
-
-/// Reads exactly `length` bytes; returns false on EOF/error.
-bool read_exact(int fd, void* buffer, std::size_t length) {
-  auto* out = static_cast<unsigned char*>(buffer);
-  while (length > 0) {
-    const ssize_t n = ::recv(fd, out, length, 0);
-    if (n == 0) return false;
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    out += n;
-    length -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
-
-/// Writes the whole buffer; returns false on error (peer gone).
-bool write_all(int fd, std::string_view data) {
-  const char* out = data.data();
-  std::size_t length = data.size();
-  while (length > 0) {
-    const ssize_t n = ::send(fd, out, length, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    out += n;
-    length -= static_cast<std::size_t>(n);
-  }
-  return true;
-}
 
 /// serve.error.<code> counter (codes are a small fixed set, so the name
 /// lookup per error is fine -- errors are off the hot path).
@@ -107,10 +77,10 @@ void append_histogram_json(std::string& out, const obs::HistogramSample& h) {
 
 }  // namespace
 
-/// Per-request trace record threaded through serve_connection and
-/// handle_payload: request id, cache outcome, phase timings (microseconds;
-/// a negative value means the phase never ran), and the error code.  This
-/// is what the slow-request log serializes.
+/// Per-request trace record threaded through the worker pipeline: request
+/// id, cache outcome, phase timings (microseconds; a negative value means
+/// the phase never ran), and the error code.  This is what the slow-request
+/// log serializes.
 struct Server::RequestTrace {
   std::string request_id;
   std::string kind = "schedule";  ///< schedule|stats|ping|metrics|trace
@@ -119,7 +89,9 @@ struct Server::RequestTrace {
   std::string error_code;  ///< "" on success
   bool cache_used = false;
   bool cache_hit = false;
+  int batch_size = 0;  ///< coalesced group size; 0 = not a schedule request
   double recv_us = -1.0;
+  double queue_us = -1.0;
   double parse_us = -1.0;
   double cache_us = -1.0;
   double schedule_us = -1.0;
@@ -180,43 +152,88 @@ class ServePhase {
 
 }  // namespace
 
-/// Bounded-less handoff of accepted connections to the worker pool.
-struct Server::ConnectionQueue {
+/// One admitted request traveling from the reactor to a worker.
+struct Server::RequestJob {
+  std::uint64_t conn_id = 0;
+  std::string payload;
+  Reactor::Clock::time_point t_request{};  ///< frame arrival (recv start)
+  double span_begin_s = 0.0;               ///< tracer clock at frame arrival
+  double recv_us = -1.0;
+  Reactor::Clock::time_point t_enqueue{};  ///< admission time
+};
+
+/// A job after parse/dispatch, carrying either a final response or a
+/// schedule request awaiting (possibly batched) execution.
+struct Server::ParsedJob {
+  RequestJob job;
+  RequestTrace trace;
+  bool tracing = false;
+  Clock::time_point t0{};  ///< latency clock (starts at parse)
+  std::string response;
+  bool done = false;
+  std::optional<ScheduleRequest> request;
+  std::string compat;  ///< batching compatibility key
+};
+
+/// Bounded admission queue between the reactor and the worker pool.
+struct Server::RequestQueue {
+  enum class Push { Ok, Full, Closed };
+
+  explicit RequestQueue(std::size_t max) : max_entries(max) {}
+
   std::mutex mutex;
   std::condition_variable cv;
-  std::deque<int> fds;
+  std::deque<RequestJob> jobs;
+  std::size_t max_entries = 0;  ///< 0 = unbounded
   bool closed = false;
+  std::atomic<std::size_t> depth{0};
+  std::atomic<std::uint64_t> enqueued{0};
+  std::atomic<std::uint64_t> rejected{0};
 
-  void push(int fd) {
+  Push push(RequestJob&& job) {
     {
       const std::lock_guard<std::mutex> lock(mutex);
-      if (closed) {
-        ::close(fd);
-        return;
+      if (closed) return Push::Closed;
+      if (max_entries > 0 && jobs.size() >= max_entries) {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        return Push::Full;
       }
-      fds.push_back(fd);
+      jobs.push_back(std::move(job));
+      depth.store(jobs.size(), std::memory_order_relaxed);
     }
+    enqueued.fetch_add(1, std::memory_order_relaxed);
     cv.notify_one();
+    return Push::Ok;
   }
 
-  /// Blocks until a connection or queue shutdown; returns -1 on shutdown.
-  int pop() {
+  /// Blocks for the first job, then -- within `window_us` if configured --
+  /// takes up to `batch_max` jobs total.  Returns false when the queue is
+  /// closed and fully drained (worker exit).
+  bool pop_batch(std::vector<RequestJob>& out, int batch_max,
+                 std::uint64_t window_us) {
+    out.clear();
     std::unique_lock<std::mutex> lock(mutex);
-    cv.wait(lock, [&] { return closed || !fds.empty(); });
-    if (fds.empty()) return -1;
-    const int fd = fds.front();
-    fds.pop_front();
-    return fd;
+    cv.wait(lock, [&] { return closed || !jobs.empty(); });
+    if (jobs.empty()) return false;
+    out.push_back(std::move(jobs.front()));
+    jobs.pop_front();
+    if (batch_max > 1 && window_us > 0 && jobs.empty() && !closed) {
+      cv.wait_for(lock, std::chrono::microseconds(window_us),
+                  [&] { return closed || !jobs.empty(); });
+    }
+    while (static_cast<int>(out.size()) < batch_max && !jobs.empty()) {
+      out.push_back(std::move(jobs.front()));
+      jobs.pop_front();
+    }
+    depth.store(jobs.size(), std::memory_order_relaxed);
+    return true;
   }
 
-  void close_all() {
-    std::deque<int> drained;
+  void close() {
     {
       const std::lock_guard<std::mutex> lock(mutex);
       closed = true;
-      drained.swap(fds);
     }
-    for (const int fd : drained) ::close(fd);
     cv.notify_all();
   }
 };
@@ -226,10 +243,10 @@ Server::Server(const ServerOptions& options)
       injector_(options.faults),
       cache_(options.cache_max_entries) {
   if (options_.num_workers < 1) options_.num_workers = 1;
+  if (options_.batch_max < 1) options_.batch_max = 1;
   if (options_.max_request_bytes > kMaxFrameBytes) {
     options_.max_request_bytes = kMaxFrameBytes;
   }
-  queue_ = std::make_unique<ConnectionQueue>();
 }
 
 Server::~Server() { stop(); }
@@ -237,8 +254,6 @@ Server::~Server() { stop(); }
 void Server::start() {
   if (running_.exchange(true)) return;
   stopping_.store(false);
-  // A previous stop() left the queue closed; restart needs a fresh one.
-  queue_ = std::make_unique<ConnectionQueue>();
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -278,7 +293,31 @@ void Server::start() {
                    std::ios::out | std::ios::trunc);
   }
 
-  acceptor_ = std::thread([this] { accept_loop(); });
+  queue_ = std::make_unique<RequestQueue>(options_.max_queue);
+  Reactor::Options reactor_options;
+  reactor_options.listen_fd = listen_fd_;
+  reactor_options.max_request_bytes = options_.max_request_bytes;
+  reactor_options.worker_track = options_.num_workers;  // own trace track
+  reactor_ = std::make_unique<Reactor>(
+      reactor_options,
+      [this](std::uint64_t conn_id, std::string&& payload,
+             Reactor::Clock::time_point t_request, double span_begin_s,
+             double recv_us) {
+        on_frame(conn_id, std::move(payload), t_request, span_begin_s,
+                 recv_us);
+      },
+      [this](std::uint32_t length) { return on_oversize(length); });
+  try {
+    reactor_->start();
+  } catch (...) {
+    reactor_.reset();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    running_.store(false);
+    throw;
+  }
+  listen_fd_ = -1;  // the reactor owns (and closes) the listener now
+
   workers_.reserve(static_cast<std::size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this, i] { worker_loop(i); });
@@ -288,16 +327,21 @@ void Server::start() {
 void Server::stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
-  if (acceptor_.joinable()) acceptor_.join();
-  queue_->close_all();
+  // Drain order: no new connects -> no new admissions -> workers finish
+  // every admitted request -> the reactor flushes the remaining responses.
+  if (reactor_) reactor_->stop_accepting();
+  if (queue_) queue_->close();
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
-  if (listen_fd_ >= 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (reactor_) {
+    reactor_->stop();
+    reactor_.reset();
   }
+  // Keep the (closed, drained) queue alive: render_stats() reads the
+  // enqueued/rejected totals from it, and the post-shutdown stats dump
+  // must still report them.  start() replaces it with a fresh queue.
   {
     const std::lock_guard<std::mutex> lock(slow_log_mutex_);
     if (slow_log_.is_open()) slow_log_.close();
@@ -305,18 +349,82 @@ void Server::stop() {
   running_.store(false, std::memory_order_release);
 }
 
-void Server::accept_loop() {
-  static obs::Counter& connections =
-      obs::metrics().counter("serve.connections");
-  while (!stopping_.load(std::memory_order_acquire)) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (ready <= 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    connections.add();
-    queue_->push(fd);
+std::size_t Server::queue_depth() const {
+  return queue_ ? queue_->depth.load(std::memory_order_relaxed) : 0;
+}
+
+void Server::on_frame(std::uint64_t conn_id, std::string&& payload,
+                      Reactor::Clock::time_point t_request,
+                      double span_begin_s, double recv_us) {
+  static obs::Counter& requests = obs::metrics().counter("serve.requests");
+  static obs::Counter& queue_enqueued =
+      obs::metrics().counter("serve.queue.enqueued");
+  static obs::Counter& queue_rejected =
+      obs::metrics().counter("serve.queue.rejected");
+  requests.add();
+
+  RequestJob job;
+  job.conn_id = conn_id;
+  job.payload = std::move(payload);
+  job.t_request = t_request;
+  job.span_begin_s = span_begin_s;
+  job.recv_us = recv_us;
+  job.t_enqueue = Reactor::Clock::now();
+
+  // Admission control runs on the reactor thread, so a rejection costs no
+  // worker capacity: the overload answer is rendered and queued for flush
+  // right here.
+  const std::string_view rejected_payload = job.payload;  // for id recovery
+  switch (queue_->push(std::move(job))) {
+    case RequestQueue::Push::Ok:
+      queue_enqueued.add();
+      return;
+    case RequestQueue::Push::Closed:
+      // Shutdown already began; nothing will drain the queue for this
+      // frame, so drop the connection instead of stranding the client.
+      reactor_->disconnect(conn_id);
+      return;
+    case RequestQueue::Push::Full: {
+      queue_rejected.add();
+      count_error(kErrOverloaded);
+      RequestTrace trace;
+      trace.error_code = kErrOverloaded;
+      trace.recv_us = recv_us;
+      trace.request_id = extract_request_id_loose(rejected_payload);
+      if (trace.request_id.empty()) trace.request_id = mint_request_id();
+      const std::string response = with_request_id(
+          overload_response(
+              "admission queue full (" + std::to_string(options_.max_queue) +
+                  " requests); retry after the hint",
+              options_.overload_retry_after_ms),
+          trace.request_id);
+      trace.total_us = elapsed_us(t_request);
+      finish_request(trace, span_begin_s, obs::enabled());
+      reactor_->respond(conn_id, encode_frame(response));
+      return;
+    }
   }
+}
+
+std::string Server::on_oversize(std::uint32_t length) {
+  // Oversized frames never reach the queue: the reactor answers and closes.
+  // The client's request id -- if any -- sits in the unread payload, so
+  // this one error path carries a minted id.
+  static obs::Counter& requests = obs::metrics().counter("serve.requests");
+  requests.add();
+  count_error(kErrTooLarge);
+  RequestTrace trace;
+  trace.error_code = kErrTooLarge;
+  trace.request_id = mint_request_id();
+  const std::string response = with_request_id(
+      error_response(kErrTooLarge,
+                     "request of " + std::to_string(length) +
+                         " bytes exceeds the limit of " +
+                         std::to_string(options_.max_request_bytes)),
+      trace.request_id);
+  finish_request(trace, obs::enabled() ? obs::tracer().now() : 0.0,
+                 obs::enabled());
+  return response;
 }
 
 void Server::worker_loop(int worker_index) {
@@ -324,120 +432,100 @@ void Server::worker_loop(int worker_index) {
   // records (request phases, scheduler passes) lands on the worker's own
   // trace track, so concurrent requests never interleave on one track.
   obs::thread_context().worker = worker_index;
-  while (true) {
-    const int fd = queue_->pop();
-    if (fd < 0) return;
-    serve_connection(fd);
-    ::close(fd);
-  }
-}
+  static obs::Histogram& queue_wait =
+      obs::metrics().histogram("serve.queue.wait_us");
+  static obs::Histogram& batch_size_hist =
+      obs::metrics().histogram("serve.batch.size");
+  static obs::Counter& batch_runs =
+      obs::metrics().counter("serve.batch.runs");
+  static obs::Counter& batch_coalesced =
+      obs::metrics().counter("serve.batch.coalesced");
 
-void Server::serve_connection(int fd) {
-  static obs::Counter& truncated = obs::metrics().counter("serve.truncated");
-  static obs::Histogram& phase_recv =
-      obs::metrics().histogram("serve.phase.recv_us");
-  static obs::Histogram& phase_send =
-      obs::metrics().histogram("serve.phase.send_us");
-  while (true) {
-    // Between frames, poll so shutdown is noticed on idle connections.
-    pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, 100);
-    if (stopping_.load(std::memory_order_acquire)) return;
-    if (ready < 0) return;
-    if (ready == 0) continue;
-    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) return;
-
-    unsigned char header[4];
-    if (!read_exact(fd, header, sizeof(header))) return;  // clean EOF
-    // The request clock starts once the header is in: idle time between
-    // frames never counts into any phase.
-    const Clock::time_point t_request = Clock::now();
-    const bool tracing = obs::enabled();
-    const double span_begin = tracing ? obs::tracer().now() : 0.0;
-    RequestTrace trace;
-
-    const std::uint32_t length = decode_frame_length(header);
-    if (length > options_.max_request_bytes) {
-      // Oversized: answer with the structured error, then drop the
-      // connection (the payload is not read; resynchronization inside the
-      // stream is not possible).  The client's request id -- if any -- sits
-      // in the unread payload, so this one error path carries a minted id.
-      count_error(kErrTooLarge);
-      trace.error_code = kErrTooLarge;
-      trace.request_id = mint_request_id();
-      const std::string response = with_request_id(
-          error_response(kErrTooLarge,
-                         "request of " + std::to_string(length) +
-                             " bytes exceeds the limit of " +
-                             std::to_string(options_.max_request_bytes)),
-          trace.request_id);
-      const Clock::time_point t_send = Clock::now();
-      write_all(fd, encode_frame(response));
-      trace.send_us = elapsed_us(t_send);
-      phase_send.observe(static_cast<std::uint64_t>(
-          trace.send_us > 0.0 ? trace.send_us : 0.0));
-      trace.total_us = elapsed_us(t_request);
-      finish_request(trace, span_begin, tracing);
-      return;
-    }
-    std::string payload(length, '\0');
-    if (length > 0 && !read_exact(fd, payload.data(), payload.size())) {
-      truncated.add();  // peer vanished mid-frame; never a crash
-      return;
-    }
-    trace.recv_us = elapsed_us(t_request);
-    phase_recv.observe(static_cast<std::uint64_t>(
-        trace.recv_us > 0.0 ? trace.recv_us : 0.0));
-    if (tracing) {
-      obs::Span recv_span;
-      recv_span.kind = obs::SpanKind::Serve;
-      recv_span.name = "serve.recv";
-      recv_span.worker = obs::thread_context().worker;
-      recv_span.bytes = length;
-      recv_span.begin_s = span_begin;
-      recv_span.end_s = obs::tracer().now();
-      obs::tracer().record(std::move(recv_span));
+  std::vector<RequestJob> jobs;
+  while (queue_->pop_batch(jobs, options_.batch_max,
+                           options_.batch_window_us)) {
+    in_flight_.fetch_add(static_cast<int>(jobs.size()),
+                         std::memory_order_relaxed);
+    std::vector<ParsedJob> parsed;
+    parsed.reserve(jobs.size());
+    for (RequestJob& job : jobs) {
+      ParsedJob item;
+      item.tracing = obs::enabled();
+      item.trace.recv_us = job.recv_us;
+      const double wait_us = elapsed_us(job.t_enqueue);
+      item.trace.queue_us = wait_us;
+      queue_wait.observe(
+          static_cast<std::uint64_t>(wait_us > 0.0 ? wait_us : 0.0));
+      if (item.tracing) {
+        obs::Span queue_span;
+        queue_span.kind = obs::SpanKind::Serve;
+        queue_span.name = "serve.queue";
+        queue_span.worker = obs::thread_context().worker;
+        const double end_s = obs::tracer().now();
+        queue_span.begin_s = end_s - wait_us / 1e6;
+        queue_span.end_s = end_s;
+        obs::tracer().record(std::move(queue_span));
+      }
+      item.job = std::move(job);
+      item.done = dispatch_payload(item);
+      parsed.push_back(std::move(item));
     }
 
-    in_flight_.fetch_add(1, std::memory_order_relaxed);
-    std::string response;
-    try {
-      response = handle_payload(payload, trace);
-    } catch (...) {
+    // Coalesce compatible schedule requests: same (scheduler, total_cores,
+    // certify, machine), different graphs.  Members run sequentially over
+    // one shared content-keyed pricing cache; the first-seen order keys the
+    // map deterministically (std::map over the compat string).
+    std::map<std::string, std::vector<std::size_t>> groups;
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+      if (!parsed[i].done) groups[parsed[i].compat].push_back(i);
+    }
+    for (const auto& [compat, members] : groups) {
+      batch_size_hist.observe(members.size());
+      if (members.size() >= 2) {
+        batch_runs.add();
+        batch_coalesced.add(members.size());
+        std::optional<obs::ScopedSpan> batch_span;
+        if (obs::enabled()) {
+          batch_span.emplace(obs::SpanKind::Serve, "serve.batch");
+        }
+        std::optional<sched::BatchScheduler> batch;
+        const ScheduleRequest& first = *parsed[members.front()].request;
+        try {
+          const cost::CostModel base{arch::Machine(first.machine)};
+          batch.emplace(first.scheduler, base);
+        } catch (...) {
+          // Construction can only fail like an unbatched run would (bad
+          // machine / unknown scheduler); fall through to the per-member
+          // path so each member reports its own error.
+        }
+        for (const std::size_t index : members) {
+          parsed[index].trace.batch_size =
+              static_cast<int>(members.size());
+          execute_schedule(parsed[index],
+                           batch ? &*batch : nullptr);
+        }
+      } else {
+        parsed[members.front()].trace.batch_size = 1;
+        execute_schedule(parsed[members.front()], nullptr);
+      }
+    }
+
+    for (ParsedJob& item : parsed) {
+      item.trace.total_us = elapsed_us(item.job.t_request);
+      finish_request(item.trace, item.job.span_begin_s, item.tracing);
+      reactor_->respond(item.job.conn_id, encode_frame(item.response));
       in_flight_.fetch_sub(1, std::memory_order_relaxed);
-      throw;
     }
-    in_flight_.fetch_sub(1, std::memory_order_relaxed);
-
-    bool sent = false;
-    {
-      ServePhase send_phase("serve.send", phase_send, trace.send_us);
-      sent = write_all(fd, encode_frame(response));
-    }
-    trace.total_us = elapsed_us(t_request);
-    finish_request(trace, span_begin, tracing);
-    if (!sent) return;
   }
 }
 
-std::string Server::handle_payload(std::string_view payload,
-                                   RequestTrace& trace) {
-  static obs::Counter& requests = obs::metrics().counter("serve.requests");
+bool Server::dispatch_payload(ParsedJob& item) {
   static obs::Counter& responses_ok =
       obs::metrics().counter("serve.responses.ok");
-  static obs::Histogram& latency =
-      obs::metrics().histogram("serve.latency_us");
   static obs::Histogram& phase_parse =
       obs::metrics().histogram("serve.phase.parse_us");
-  static obs::Histogram& phase_cache =
-      obs::metrics().histogram("serve.phase.cache_us");
-  static obs::Histogram& phase_schedule =
-      obs::metrics().histogram("serve.phase.schedule_us");
-  static obs::Histogram& phase_certify =
-      obs::metrics().histogram("serve.phase.certify_us");
-  static obs::Histogram& phase_serialize =
-      obs::metrics().histogram("serve.phase.serialize_us");
-  requests.add();
+  RequestTrace& trace = item.trace;
+  const std::string_view payload = item.job.payload;
   const std::uint64_t sequence =
       served_requests_.fetch_add(1, std::memory_order_relaxed);
   injector_.perturb(rt::FaultInjector::point(
@@ -447,10 +535,7 @@ std::string Server::handle_payload(std::string_view payload,
     if (trace.request_id.empty()) trace.request_id = mint_request_id();
   };
 
-  // Cheap dispatch on "type" without a full parse: stats/ping payloads are
-  // tiny, so parsing them twice would also be fine -- this just keeps the
-  // scheduling path's parse the only heavy one.
-  const Clock::time_point t0 = Clock::now();
+  item.t0 = Clock::now();
   try {
     // The parse phase covers the document parse plus (for schedule
     // requests) the typed request parse below.
@@ -474,14 +559,16 @@ std::string Server::handle_payload(std::string_view payload,
           parse_phase.finish();
           trace.kind = "stats";
           responses_ok.add();
-          return with_request_id(render_stats(), trace.request_id);
+          item.response = with_request_id(render_stats(), trace.request_id);
+          return true;
         }
         if (type->is_string() && type->string == "metrics") {
           parse_phase.finish();
           trace.kind = "metrics";
           responses_ok.add();
-          return with_request_id(metrics_response(render_metrics()),
-                                 trace.request_id);
+          item.response = with_request_id(metrics_response(render_metrics()),
+                                          trace.request_id);
+          return true;
         }
         if (type->is_string() && type->string == "trace") {
           parse_phase.finish();
@@ -492,13 +579,16 @@ std::string Server::handle_payload(std::string_view payload,
           // open land in the next dump.
           std::string chrome = obs::render_chrome_trace(obs::tracer().take());
           while (!chrome.empty() && chrome.back() == '\n') chrome.pop_back();
-          return with_request_id(trace_response(chrome), trace.request_id);
+          item.response =
+              with_request_id(trace_response(chrome), trace.request_id);
+          return true;
         }
         if (type->is_string() && type->string == "ping") {
           parse_phase.finish();
           trace.kind = "ping";
           responses_ok.add();
-          return with_request_id(pong_response(), trace.request_id);
+          item.response = with_request_id(pong_response(), trace.request_id);
+          return true;
         }
         // Session requests (online incremental scheduling).  These never
         // touch the whole-schedule cache: a session response depends on
@@ -512,7 +602,8 @@ std::string Server::handle_payload(std::string_view payload,
           trace.family = request.family;
           const std::string response = handle_submit(request, trace);
           responses_ok.add();
-          return with_request_id(response, trace.request_id);
+          item.response = with_request_id(response, trace.request_id);
+          return true;
         }
         if (type->is_string() && type->string == "extend") {
           const ExtendRequest request = parse_extend(payload);
@@ -522,7 +613,8 @@ std::string Server::handle_payload(std::string_view payload,
           trace.family = request.family;
           const std::string response = handle_extend(request, trace);
           responses_ok.add();
-          return with_request_id(response, trace.request_id);
+          item.response = with_request_id(response, trace.request_id);
+          return true;
         }
         if (type->is_string() && type->string == "close") {
           const CloseRequest request = parse_close(payload);
@@ -530,18 +622,72 @@ std::string Server::handle_payload(std::string_view payload,
           trace.kind = "close";
           const std::string response = handle_close(request, trace);
           responses_ok.add();
-          return with_request_id(response, trace.request_id);
+          item.response = with_request_id(response, trace.request_id);
+          return true;
         }
       }
     }
 
-    const ScheduleRequest request = parse_request(payload);
+    ScheduleRequest request = parse_request(payload);
     parse_phase.finish();
     trace.scheduler = request.scheduler;
     trace.family = request.family;
+    // Compatibility key for coalescing: everything that must agree for two
+    // requests to share one scheduler + pricing-cache instance.  The
+    // machine is keyed by its canonical serialization (field order and
+    // number formatting are fixed), so equal specs -- not just equal
+    // objects -- group together.
+    item.compat = request.scheduler + '\x1f' +
+                  std::to_string(request.total_cores) + '\x1f' +
+                  (request.certify ? '1' : '0') + '\x1f' +
+                  serialize_machine(request.machine);
+    item.request.emplace(std::move(request));
+    return false;
+  } catch (const ProtocolError& e) {
+    ensure_request_id();
+    trace.error_code = e.code();
+    count_error(e.code());
+    item.response = with_request_id(error_response(e.code(), e.what()),
+                                    trace.request_id);
+    return true;
+  } catch (const std::exception& e) {
+    ensure_request_id();
+    trace.error_code = kErrBadRequest;
+    count_error(kErrBadRequest);
+    item.response = with_request_id(error_response(kErrBadRequest, e.what()),
+                                    trace.request_id);
+    return true;
+  }
+}
+
+void Server::execute_schedule(ParsedJob& item,
+                              const sched::BatchScheduler* batch) {
+  static obs::Counter& responses_ok =
+      obs::metrics().counter("serve.responses.ok");
+  static obs::Histogram& latency =
+      obs::metrics().histogram("serve.latency_us");
+  static obs::Histogram& phase_cache =
+      obs::metrics().histogram("serve.phase.cache_us");
+  static obs::Histogram& phase_schedule =
+      obs::metrics().histogram("serve.phase.schedule_us");
+  static obs::Histogram& phase_certify =
+      obs::metrics().histogram("serve.phase.certify_us");
+  static obs::Histogram& phase_serialize =
+      obs::metrics().histogram("serve.phase.serialize_us");
+  RequestTrace& trace = item.trace;
+  const ScheduleRequest& request = *item.request;
+
+  const auto ensure_request_id = [&] {
+    if (trace.request_id.empty()) trace.request_id = mint_request_id();
+  };
+
+  try {
     const std::string key = canonical_key(request);
     injector_.perturb(rt::FaultInjector::point(
-        1, static_cast<std::int64_t>(sequence), /*phase=*/1));
+        1,
+        static_cast<std::int64_t>(
+            served_requests_.load(std::memory_order_relaxed)),
+        /*phase=*/1));
 
     bool computed = false;
     ScheduleCache::Entry schedule_json;
@@ -559,11 +705,17 @@ std::string Server::handle_payload(std::string_view payload,
           ServePhase schedule_phase("serve.schedule[" + request.scheduler +
                                         "]",
                                     phase_schedule, trace.schedule_us);
-          const cost::CostModel cost{arch::Machine(request.machine)};
-          const std::unique_ptr<sched::Scheduler> scheduler =
-              sched::SchedulerRegistry::instance().make(request.scheduler,
-                                                        cost);
-          schedule = scheduler->run(request.graph, request.total_cores);
+          if (batch != nullptr) {
+            // Batched: price over the group's shared content-keyed cache.
+            // Bit-transparent, so the bytes below equal an unbatched run.
+            schedule = batch->run(request.graph, request.total_cores);
+          } else {
+            const cost::CostModel cost{arch::Machine(request.machine)};
+            const std::unique_ptr<sched::Scheduler> scheduler =
+                sched::SchedulerRegistry::instance().make(request.scheduler,
+                                                          cost);
+            schedule = scheduler->run(request.graph, request.total_cores);
+          }
         }
         // Opt-in audit before the bytes become cacheable: a certification
         // failure throws, which evicts the single-flight placeholder --
@@ -591,7 +743,7 @@ std::string Server::handle_payload(std::string_view payload,
     trace.cache_hit = !computed;
 
     responses_ok.add();
-    const double total_us = elapsed_us(t0);
+    const double total_us = elapsed_us(item.t0);
     const auto observed_us =
         static_cast<std::uint64_t>(total_us > 0.0 ? total_us : 0.0);
     latency.observe(observed_us);
@@ -614,18 +766,20 @@ std::string Server::handle_payload(std::string_view payload,
     if (request.certify) {
       // The hash is a pure function of the canonical bytes, so cached hits
       // carry the same certificate hash as the original miss.
-      return with_request_id(
+      item.response = with_request_id(
           ok_response(*schedule_json,
                       analysis::hash_hex(analysis::fnv1a64(*schedule_json))),
           trace.request_id);
+      return;
     }
-    return with_request_id(ok_response(*schedule_json), trace.request_id);
+    item.response =
+        with_request_id(ok_response(*schedule_json), trace.request_id);
   } catch (const ProtocolError& e) {
     ensure_request_id();
     trace.error_code = e.code();
     count_error(e.code());
-    return with_request_id(error_response(e.code(), e.what()),
-                           trace.request_id);
+    item.response = with_request_id(error_response(e.code(), e.what()),
+                                    trace.request_id);
   } catch (const std::exception& e) {
     // Scheduler/cost-model rejections (e.g. invalid core counts for the
     // machine) map to bad-request: the graph/machine combination cannot be
@@ -633,8 +787,8 @@ std::string Server::handle_payload(std::string_view payload,
     ensure_request_id();
     trace.error_code = kErrBadRequest;
     count_error(kErrBadRequest);
-    return with_request_id(error_response(kErrBadRequest, e.what()),
-                           trace.request_id);
+    item.response = with_request_id(error_response(kErrBadRequest, e.what()),
+                                    trace.request_id);
   }
 }
 
@@ -755,11 +909,15 @@ std::string Server::render_stats() const {
   std::uint64_t requests = 0;
   std::uint64_t responses_ok = 0;
   std::uint64_t truncated = 0;
+  std::uint64_t batch_runs = 0;
+  std::uint64_t batch_coalesced = 0;
   std::vector<std::pair<std::string, std::uint64_t>> errors;
   for (const obs::CounterSample& row : counters) {
     if (row.name == "serve.requests") requests = row.value;
     if (row.name == "serve.responses.ok") responses_ok = row.value;
     if (row.name == "serve.truncated") truncated = row.value;
+    if (row.name == "serve.batch.runs") batch_runs = row.value;
+    if (row.name == "serve.batch.coalesced") batch_coalesced = row.value;
     if (row.name.rfind("serve.error.", 0) == 0) {
       errors.emplace_back(row.name.substr(sizeof("serve.error.") - 1),
                           row.value);
@@ -778,6 +936,19 @@ std::string Server::render_stats() const {
   out += ",\"sessions\":" + std::to_string(num_sessions());
   out += ",\"uptime_s\":";
   append_json_double(out, uptime_s());
+  out += ",\"queue\":{\"depth\":" + std::to_string(queue_depth());
+  out += ",\"max\":" + std::to_string(options_.max_queue);
+  out +=
+      ",\"enqueued\":" +
+      std::to_string(queue_ ? queue_->enqueued.load(std::memory_order_relaxed)
+                            : 0);
+  out +=
+      ",\"rejected\":" +
+      std::to_string(queue_ ? queue_->rejected.load(std::memory_order_relaxed)
+                            : 0) +
+      '}';
+  out += ",\"batch\":{\"runs\":" + std::to_string(batch_runs);
+  out += ",\"coalesced\":" + std::to_string(batch_coalesced) + '}';
   out += ",\"cache\":{\"hits\":" + std::to_string(cache_.hits());
   out += ",\"misses\":" + std::to_string(cache_.misses());
   out += ",\"entries\":" + std::to_string(cache_.entries());
@@ -822,6 +993,10 @@ std::string Server::render_metrics() const {
   };
   gauge("ptask_serve_in_flight", std::to_string(in_flight()),
         "requests currently being served");
+  gauge("ptask_serve_queue_depth", std::to_string(queue_depth()),
+        "requests admitted but not yet picked up by a worker");
+  gauge("ptask_serve_queue_max", std::to_string(options_.max_queue),
+        "configured admission queue bound (0 = unbounded)");
   gauge("ptask_serve_sessions", std::to_string(num_sessions()),
         "open incremental-scheduling sessions");
   gauge("ptask_serve_cache_entries", std::to_string(cache_.entries()),
@@ -862,7 +1037,7 @@ void Server::finish_request(const RequestTrace& trace, double span_begin_s,
   static obs::Counter& slow_requests =
       obs::metrics().counter("serve.slow_requests");
   if (tracing) {
-    // The root span is recorded last but begins first (at header read);
+    // The root span is recorded last but begins first (at frame arrival);
     // exporters sort by begin time, so it parents the phase spans by time
     // containment on this worker's track.
     obs::Span root;
@@ -897,6 +1072,9 @@ void Server::finish_request(const RequestTrace& trace, double span_begin_s,
   line += ",\"cache\":";
   append_json_string(
       line, trace.cache_used ? (trace.cache_hit ? "hit" : "miss") : "none");
+  if (trace.batch_size > 1) {
+    line += ",\"batch\":" + std::to_string(trace.batch_size);
+  }
   line += ",\"error\":";
   if (trace.error_code.empty()) {
     line += "null";
@@ -917,6 +1095,7 @@ void Server::finish_request(const RequestTrace& trace, double span_begin_s,
     append_us_field(line, us);
   };
   phase("recv_us", trace.recv_us);
+  phase("queue_us", trace.queue_us);
   phase("parse_us", trace.parse_us);
   phase("cache_us", trace.cache_us);
   phase("schedule_us", trace.schedule_us);

@@ -33,6 +33,7 @@
 #include "ptask/obs/metrics.hpp"
 #include "ptask/obs/prometheus.hpp"
 #include "ptask/obs/trace.hpp"
+#include "ptask/sched/batch.hpp"
 #include "ptask/sched/incremental.hpp"
 #include "ptask/sched/registry.hpp"
 #include "ptask/serve/client.hpp"
@@ -1406,6 +1407,306 @@ TEST(ServeSessions, DistinctSessionsExtendConcurrentlyAndStayIsolated) {
 
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(server.num_sessions(), 0u);
+  server.stop();
+}
+
+// ---- admission control (PTS008) ----
+
+/// A compute-heavy request (hundreds of tasks through the portfolio) that
+/// keeps the single worker busy for many milliseconds -- long enough for
+/// concurrently sent requests to pile up behind it deterministically.
+ScheduleRequest heavy_request() {
+  // Fuzz seed 406: a 26-task series-parallel graph on 104 cores -- far
+  // more cores than tasks, so CPR widens allocations through thousands of
+  // trial schedules and the portfolio run takes tens of milliseconds (the
+  // slowest shape in the loadgen pool, and deterministic by seed).
+  return fuzz_request(fuzz::random_instance(406), "portfolio");
+}
+
+TEST(ServeOverload, Pts008QueueFullCarriesRetryAfterAndCountsRejections) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  options.overload_retry_after_ms = 77;
+  Server server(options);
+  server.start();
+  const std::uint64_t rejected_before = obs::metrics()
+                                            .counter("serve.queue.rejected")
+                                            .value();
+
+  // One heavy request parks the worker; with one queue slot, a concurrent
+  // burst must overflow.  Every response is either a schedule or a PTS008.
+  std::thread heavy([&] {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    EXPECT_TRUE(response_ok(client.call(serialize_request(heavy_request()))));
+  });
+  // Only start the burst once the worker has picked the heavy job up --
+  // otherwise the burst can win the race for the single queue slot and the
+  // heavy request itself gets the rejection.
+  while (server.in_flight() < 1) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  constexpr int kBurst = 16;
+  std::atomic<int> overloaded{0};
+  std::atomic<int> unexpected{0};
+  std::vector<std::thread> threads;
+  const std::string payload = serialize_request(tiny_request());
+  for (int t = 0; t < kBurst; ++t) {
+    threads.emplace_back([&] {
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      const std::string response = client.call(payload);
+      if (response_error_code(response) == kErrOverloaded) {
+        overloaded.fetch_add(1);
+        // The rejection carries the configured backoff hint.
+        EXPECT_EQ(response_retry_after_ms(response), 77);
+      } else if (!response_ok(response)) {
+        unexpected.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  heavy.join();
+
+  EXPECT_EQ(unexpected.load(), 0);
+  EXPECT_GE(overloaded.load(), 1) << "burst never tripped admission control";
+  EXPECT_GE(obs::metrics().counter("serve.queue.rejected").value(),
+            rejected_before + static_cast<std::uint64_t>(overloaded.load()));
+  // The server survived the burst and still answers.
+  Client after;
+  after.connect("127.0.0.1", server.port());
+  EXPECT_TRUE(response_ok(after.call("{\"type\":\"ping\"}")));
+  server.stop();
+}
+
+TEST_F(ServeTest, Pts008NegativeSequentialTrafficIsNeverRejected) {
+  // One request in flight at a time can never overflow the (default 1024)
+  // admission queue: no PTS008, and the rejected counter stays flat.
+  const std::uint64_t rejected_before = obs::metrics()
+                                            .counter("serve.queue.rejected")
+                                            .value();
+  const std::string payload = serialize_request(tiny_request());
+  for (int i = 0; i < 16; ++i) {
+    const std::string response = client_.call(payload);
+    EXPECT_TRUE(response_ok(response)) << response;
+    EXPECT_NE(response_error_code(response), kErrOverloaded);
+  }
+  EXPECT_EQ(obs::metrics().counter("serve.queue.rejected").value(),
+            rejected_before);
+  EXPECT_EQ(response_retry_after_ms("{\"ok\":true}"), -1);
+}
+
+TEST(ServeOverload, MaxQueueOneBurstStaysBoundedAndCrashFree) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.max_queue = 1;
+  Server server(options);
+  server.start();
+
+  // Mixed burst (schedules, pings, malformed frames) against the tightest
+  // possible queue: every reply is a well-formed response, the reported
+  // depth never exceeds the bound, and the server drains cleanly.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 6;
+  std::atomic<int> malformed_responses{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string payload;
+        switch ((t + i) % 3) {
+          case 0: payload = serialize_request(tiny_request()); break;
+          case 1: payload = "{\"type\":\"ping\"}"; break;
+          default: payload = "{broken json!"; break;
+        }
+        const std::string response = client.call(payload);
+        try {
+          (void)obs::json::parse(response);
+        } catch (const std::exception&) {
+          malformed_responses.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(malformed_responses.load(), 0);
+
+  Client observer;
+  observer.connect("127.0.0.1", server.port());
+  const obs::json::Value stats = obs::json::parse(observer.stats());
+  const obs::json::Value* queue = stats.find("stats")->find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_LE(queue->find("depth")->number, queue->find("max")->number);
+  EXPECT_EQ(queue->find("max")->number, 1.0);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+// ---- drain-aware, prompt shutdown ----
+
+TEST(ServeShutdown, StopAnswersAlreadyAdmittedRequests) {
+  ServerOptions options;
+  options.num_workers = 1;
+  Server server(options);
+  server.start();
+
+  // Park the worker behind a heavy request, queue a few light ones, then
+  // stop() mid-flight: every admitted request must still get its response
+  // (the queue closes to new arrivals but drains what it accepted).
+  std::atomic<int> answered{0};
+  std::atomic<int> failed{0};
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    if (response_ok(client.call(serialize_request(heavy_request())))) {
+      answered.fetch_add(1);
+    } else {
+      failed.fetch_add(1);
+    }
+  });
+  const std::string light = serialize_request(tiny_request());
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      const std::string response = client.call(light);
+      // Admitted requests are answered; ones racing the shutdown may see
+      // the connection close instead, which the client surfaces as a
+      // throw -- both are orderly, only malformed replies count as failure.
+      if (!response.empty() && response_ok(response)) answered.fetch_add(1);
+    });
+  }
+  // Give the burst a moment to be admitted, then shut down mid-compute.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.stop();
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_GE(answered.load(), 1);
+  EXPECT_EQ(failed.load(), 0);
+  EXPECT_FALSE(server.running());
+}
+
+TEST(ServeShutdown, StopIsPromptWithIdleOpenConnections) {
+  // The old acceptor/worker loops polled a stop flag every 100ms; the
+  // reactor wakes on an eventfd instead, so stopping an idle server with
+  // open connections is near-immediate.
+  Server server;
+  server.start();
+  Client a;
+  Client b;
+  a.connect("127.0.0.1", server.port());
+  b.connect("127.0.0.1", server.port());
+  ASSERT_TRUE(response_ok(a.call("{\"type\":\"ping\"}")));
+  const auto t0 = std::chrono::steady_clock::now();
+  server.stop();
+  const double stop_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(stop_ms, 500.0) << "stop() took " << stop_ms << "ms";
+}
+
+TEST(ServeShutdown, StatsAfterStopKeepQueueTotals) {
+  // ptask_served dumps render_stats() once more after the drain; the
+  // admission totals must survive stop() instead of resetting to zero.
+  Server server;
+  server.start();
+  {
+    Client client;
+    client.connect("127.0.0.1", server.port());
+    ASSERT_TRUE(response_ok(client.call(serialize_request(tiny_request()))));
+  }
+  server.stop();
+  const obs::json::Value stats = obs::json::parse(server.render_stats());
+  const obs::json::Value* queue = stats.find("stats")->find("queue");
+  ASSERT_NE(queue, nullptr);
+  EXPECT_GE(queue->find("enqueued")->number, 1.0);
+  EXPECT_EQ(queue->find("depth")->number, 0.0);
+}
+
+// ---- compatible-request batching ----
+
+TEST(ServeBatch, SharedPricingKeepsBatchMembersByteIdentical) {
+  // Unit-level bit-identity: for every fuzz family, several graphs run
+  // through one BatchScheduler (shared content-keyed pricing cache) must
+  // serialize exactly like fresh unbatched runs.
+  std::map<fuzz::GraphFamily, int> covered;
+  std::uint64_t seed = 20;
+  const int per_family = 2;
+  while (covered.size() < 5u ||
+         std::any_of(covered.begin(), covered.end(),
+                     [&](const auto& kv) { return kv.second < per_family; })) {
+    const fuzz::Instance instance = fuzz::random_instance(seed++);
+    if (covered[instance.family] >= per_family) continue;
+    if (instance.graph.num_tasks() > 200) continue;  // keep the test quick
+    ++covered[instance.family];
+    const cost::CostModel base{arch::Machine(instance.machine)};
+    for (const std::string strategy : {"layer", "portfolio"}) {
+      const sched::BatchScheduler batch(strategy, base);
+      const auto direct =
+          sched::SchedulerRegistry::instance().make(strategy, base);
+      const std::string batched = serialize_schedule(
+          batch.run(instance.graph, instance.total_cores));
+      const std::string unbatched = serialize_schedule(
+          direct->run(instance.graph, instance.total_cores));
+      EXPECT_EQ(batched, unbatched) << instance.name << " via " << strategy;
+      // Re-running the same graph through the shared cache prices every
+      // task from the cache -- and stays byte-identical.
+      const std::uint64_t misses_before = batch.pricing_misses();
+      EXPECT_EQ(serialize_schedule(
+                    batch.run(instance.graph, instance.total_cores)),
+                unbatched);
+      EXPECT_GT(batch.pricing_hits(), 0u) << instance.name;
+      EXPECT_EQ(batch.pricing_misses(), misses_before)
+          << instance.name << ": repeat run should not re-price any task";
+    }
+  }
+}
+
+TEST(ServeBatch, CoalescedWireRequestsMatchDirectRunsAndShareOneRun) {
+  ServerOptions options;
+  options.num_workers = 1;
+  options.batch_max = 8;
+  options.batch_window_us = 50000;  // generous: senders start within 50ms
+  Server server(options);
+  server.start();
+
+  // Compatible requests (same scheduler/cores/machine, distinct graphs)
+  // sent concurrently against one worker coalesce into a shared batch; the
+  // responses must be byte-identical to direct unbatched runs regardless.
+  const std::uint64_t coalesced_before =
+      obs::metrics().counter("serve.batch.coalesced").value();
+  std::vector<ScheduleRequest> requests;
+  const arch::MachineSpec machine = tiny_request().machine;
+  for (int i = 0; i < 4; ++i) {
+    ScheduleRequest request = tiny_request();
+    request.machine = machine;
+    core::MTask extra("extra" + std::to_string(i), 3.0e8 + 1.0e7 * i);
+    request.graph.add_task(extra);
+    requests.push_back(std::move(request));
+  }
+  std::vector<std::string> responses(requests.size());
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    threads.emplace_back([&, i] {
+      Client client;
+      client.connect("127.0.0.1", server.port());
+      responses[i] = client.call(serialize_request(requests[i]));
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ASSERT_TRUE(response_ok(responses[i])) << responses[i];
+    EXPECT_EQ(response_schedule_json(responses[i]),
+              direct_schedule_bytes(requests[i]))
+        << "batched response " << i << " diverged from the direct run";
+  }
+  EXPECT_GE(obs::metrics().counter("serve.batch.coalesced").value(),
+            coalesced_before + 2)
+      << "concurrent compatible requests never coalesced";
   server.stop();
 }
 

@@ -22,20 +22,44 @@
 //
 // Gates (non-zero exit when violated): any oracle mismatch, any unexpected
 // response, --min-hit-rate R (server-side schedule cache hit rate over the
-// run, from the stats endpoint), and --slo-p99-us N (server-side p99 request
-// latency from the Prometheus `metrics` endpoint -- computed with the same
-// log-bucket interpolation ptask_top uses, so the gate and the dashboard
-// agree within the documented factor-of-two bucket error).
+// run, from the stats endpoint), --min-overload N (at least N requests must
+// have been answered with the PTS008 overload error -- the CI overload leg
+// uses it to prove admission control actually kicked in), and --slo-p99-us N
+// (server-side p99 request latency from the Prometheus `metrics` endpoint --
+// computed with the same log-bucket interpolation ptask_top uses, so the
+// gate and the dashboard agree within the documented factor-of-two bucket
+// error).
+//
+// Arrival models:
+//   default     closed loop: each of the --concurrency connections keeps
+//               exactly one request in flight, so the offered load adapts to
+//               the service rate and a slow server is never overdriven;
+//   --qps N     open loop: requests are launched on a fixed global schedule
+//               of N per second (request k of thread i fires at
+//               t0 + (i + k*C)/N for C threads), independent of how fast
+//               responses come back.  Latency is measured from the request's
+//               *scheduled* send time, never from the actual send, so a
+//               stalled server inflates the recorded tail instead of
+//               silently pausing the load -- the standard correction for
+//               coordinated omission.  Requests behind schedule are sent
+//               immediately and never skipped.  PTS008 overload responses
+//               are tallied separately (`overloaded`) and are not failures:
+//               an open loop above capacity *should* see them.
 //
 // --bench-out FILE writes a BENCH_serve.json latency/hit-rate summary in
 // the BENCH_*.json row schema (client-side p50/p90/p99 wall latencies as
-// median_s seconds, plus a cache hit-rate row tagged "direction":"up" so
-// tools/check_bench_ceiling.py knows higher is better when diffing against
-// the committed baseline).
+// median_s seconds, a sustained-throughput row `serve.qps` (ok responses per
+// wall second), and a cache hit-rate row; throughput and hit rate are tagged
+// "direction":"up" so tools/check_bench_ceiling.py knows higher is better
+// when diffing against the committed baseline).
 //
 // --spawn hosts the server in-process on an ephemeral port instead of
 // connecting to an external daemon -- that is what the `serve_loadgen_smoke`
 // CTest entry uses; CI's smoke job drives a real detached daemon instead.
+// The spawned server's worker pool is sized to the host's cores (capped by
+// --concurrency): the reactor multiplexes the connections, so workers size
+// compute, not clients.  --max-queue bounds the spawned server's admission
+// queue (for overload experiments without a daemon).
 //
 // --arrival-stream switches to online-session traffic: each "request" is a
 // whole fuzz instance split into --batches timed arrival batches
@@ -49,12 +73,13 @@
 //
 // Usage:
 //   ptask_loadgen (--spawn | --port N [--host H]) [--requests N]
-//       [--concurrency N] [--repeat-ratio R] [--seed S] [--scheduler NAME]
-//       [--family NAME] [--max-tasks N] [--oracle] [--faults F]
-//       [--arrival-stream] [--batches K] [--pace-us U]
-//       [--min-hit-rate R] [--slo-p99-us N] [--bench-out FILE]
-//       [--stats-out FILE] [--quiet]
+//       [--concurrency N] [--qps N] [--repeat-ratio R] [--seed S]
+//       [--scheduler NAME] [--family NAME] [--max-tasks N] [--oracle]
+//       [--faults F] [--arrival-stream] [--batches K] [--pace-us U]
+//       [--min-hit-rate R] [--min-overload N] [--slo-p99-us N]
+//       [--max-queue N] [--bench-out FILE] [--stats-out FILE] [--quiet]
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -91,6 +116,7 @@ struct Options {
   bool spawn = false;
   int requests = 1000;
   int concurrency = 4;
+  double qps = 0.0;  ///< open-loop arrival rate; 0 = closed loop
   double repeat_ratio = 0.7;
   std::uint64_t seed = 1;
   std::string scheduler = "portfolio";
@@ -103,7 +129,9 @@ struct Options {
   double pace_us = 0.0;
   double faults = 0.0;
   double min_hit_rate = -1.0;
+  std::int64_t min_overload = -1;
   double slo_p99_us = -1.0;
+  std::size_t max_queue = 1024;  ///< spawned server's admission bound
   std::string stats_out;
   std::string bench_out;
   bool quiet = false;
@@ -164,6 +192,7 @@ struct Tally {
   std::atomic<std::uint64_t> oracle_mismatches{0};
   std::atomic<std::uint64_t> certificate_mismatches{0};
   std::atomic<std::uint64_t> unexpected{0};
+  std::atomic<std::uint64_t> overloaded{0};  ///< PTS008 responses
   std::atomic<std::uint64_t> fault_frames{0};
   std::atomic<std::uint64_t> reconnects{0};
   std::mutex log_mutex;
@@ -184,10 +213,21 @@ bool inject_fault(Client& client, ptask::fuzz::Rng& rng, Tally& tally) {
   namespace serve = ptask::serve;
   tally.fault_frames.fetch_add(1);
   const int kind = rng.uniform(0, 4);
+  // Admission control runs before parsing, so under overload any queued
+  // fault frame may legitimately come back PTS008 instead of its protocol
+  // error; that is backpressure working, not a fault-handling bug.
+  const auto overloaded = [&](const std::string& response) {
+    if (serve::response_error_code(response) != serve::kErrOverloaded) {
+      return false;
+    }
+    tally.overloaded.fetch_add(1);
+    return true;
+  };
   switch (kind) {
     case 0: {  // malformed JSON -> PTS001
       const std::string response = client.call("{broken json!");
-      if (serve::response_error_code(response) != serve::kErrMalformedJson) {
+      if (!overloaded(response) &&
+          serve::response_error_code(response) != serve::kErrMalformedJson) {
         tally.unexpected.fetch_add(1);
         log_failure(tally, "malformed frame: expected PTS001, got: " + response);
       }
@@ -195,7 +235,8 @@ bool inject_fault(Client& client, ptask::fuzz::Rng& rng, Tally& tally) {
     }
     case 1: {  // valid JSON, missing fields -> PTS002
       const std::string response = client.call("{\"scheduler\":\"layer\"}");
-      if (serve::response_error_code(response) != serve::kErrBadRequest) {
+      if (!overloaded(response) &&
+          serve::response_error_code(response) != serve::kErrBadRequest) {
         tally.unexpected.fetch_add(1);
         log_failure(tally, "bad request: expected PTS002, got: " + response);
       }
@@ -204,8 +245,9 @@ bool inject_fault(Client& client, ptask::fuzz::Rng& rng, Tally& tally) {
     case 2: {  // unknown scheduler -> PTS003
       const std::string response =
           client.call("{\"scheduler\":\"no-such-strategy\"}");
-      if (serve::response_error_code(response) !=
-          serve::kErrUnknownScheduler) {
+      if (!overloaded(response) &&
+          serve::response_error_code(response) !=
+              serve::kErrUnknownScheduler) {
         tally.unexpected.fetch_add(1);
         log_failure(tally,
                     "unknown scheduler: expected PTS003, got: " + response);
@@ -234,6 +276,7 @@ bool inject_fault(Client& client, ptask::fuzz::Rng& rng, Tally& tally) {
 }
 
 void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
+                 std::chrono::steady_clock::time_point t_start,
                  int thread_index, int request_count, Tally& tally) {
   namespace serve = ptask::serve;
   ptask::fuzz::Rng rng(options.seed ^ (0x9e3779b97f4a7c15ull *
@@ -245,6 +288,24 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
   latencies_us.reserve(static_cast<std::size_t>(request_count));
 
   for (int i = 0; i < request_count; ++i) {
+    // Open loop: thread i's request k is *scheduled* at the global slot
+    // (i + k*C)/qps past t_start, and latency is measured from that slot --
+    // a request sent late (because the previous response stalled us) keeps
+    // its original deadline, so server stalls surface in the tail instead
+    // of silently thinning the load (coordinated omission).
+    auto call_t0 = std::chrono::steady_clock::now();
+    if (options.qps > 0.0) {
+      const double offset_s =
+          (static_cast<double>(thread_index) +
+           static_cast<double>(i) * static_cast<double>(options.concurrency)) /
+          options.qps;
+      const auto scheduled =
+          t_start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(offset_s));
+      std::this_thread::sleep_until(scheduled);  // no-op when behind
+      call_t0 = scheduled;
+    }
     try {
       if (options.faults > 0.0 && rng.chance(options.faults)) {
         if (inject_fault(client, rng, tally)) {
@@ -257,12 +318,18 @@ void client_loop(const Options& options, const std::vector<PoolEntry>& pool,
           static_cast<std::size_t>(rng.uniform(0, static_cast<int>(pool.size()) - 1));
       const PoolEntry& entry = pool[index];
       tally.sent.fetch_add(1);
-      const auto call_t0 = std::chrono::steady_clock::now();
+      if (options.qps <= 0.0) call_t0 = std::chrono::steady_clock::now();
       const std::string response = client.call(entry.payload);
       latencies_us.push_back(
           std::chrono::duration<double, std::micro>(
               std::chrono::steady_clock::now() - call_t0)
               .count());
+      if (serve::response_error_code(response) == serve::kErrOverloaded) {
+        // Backpressure, not a failure: the server shed load it could not
+        // queue.  The oracle does not apply (nothing was scheduled).
+        tally.overloaded.fetch_add(1);
+        continue;
+      }
       if (entry.expect_error) {
         if (serve::response_ok(response)) {
           tally.unexpected.fetch_add(1);
@@ -439,21 +506,23 @@ int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
       << " (--spawn | --port N [--host H]) [--requests N] [--concurrency N]"
-         " [--repeat-ratio R] [--seed S] [--scheduler NAME] [--family NAME]"
-         " [--max-tasks N] [--oracle] [--certify] [--faults F]"
-         " [--arrival-stream] [--batches K] [--pace-us U]"
-         " [--min-hit-rate R] [--slo-p99-us N] [--bench-out FILE]"
-         " [--stats-out FILE] [--quiet]\n";
+         " [--qps N] [--repeat-ratio R] [--seed S] [--scheduler NAME]"
+         " [--family NAME] [--max-tasks N] [--oracle] [--certify]"
+         " [--faults F] [--arrival-stream] [--batches K] [--pace-us U]"
+         " [--min-hit-rate R] [--min-overload N] [--slo-p99-us N]"
+         " [--max-queue N] [--bench-out FILE] [--stats-out FILE] [--quiet]\n";
   return 2;
 }
 
-/// BENCH_serve.json: client latency percentiles and the cache hit rate in
-/// the BENCH_*.json row schema (name/samples/iterations/median_s/p90_s),
-/// so tools/check_bench_ceiling.py can diff runs.  Latency rows carry the
-/// percentile in median_s as seconds; the hit-rate row abuses median_s as a
-/// ratio in [0, 1] and is tagged "direction":"up" (higher is better).
+/// BENCH_serve.json: client latency percentiles, sustained throughput, and
+/// the cache hit rate in the BENCH_*.json row schema
+/// (name/samples/iterations/median_s/p90_s), so tools/check_bench_ceiling.py
+/// can diff runs.  Latency rows carry the percentile in median_s as seconds;
+/// the serve.qps row abuses median_s as ok-responses-per-second and the
+/// hit-rate row as a ratio in [0, 1] -- both tagged "direction":"up"
+/// (higher is better).
 std::string render_bench_serve_json(std::vector<double> latencies_us,
-                                    double hit_rate) {
+                                    double qps, double hit_rate) {
   const std::size_t n = latencies_us.size();
   std::string out = "{\"benchmarks\":[";
   char buf[160];
@@ -476,6 +545,9 @@ std::string render_bench_serve_json(std::vector<double> latencies_us,
     row("LG_ServeLatency/p50", pct(0.5), pct(0.9), nullptr);
     row("LG_ServeLatency/p90", pct(0.9), pct(0.99), nullptr);
     row("LG_ServeLatency/p99", pct(0.99), pct(0.99), nullptr);
+  }
+  if (qps >= 0) {
+    row("serve.qps", qps, qps, "up");
   }
   if (hit_rate >= 0) {
     row("LG_CacheHitRate", hit_rate, hit_rate, "up");
@@ -507,6 +579,8 @@ int main(int argc, char** argv) {
       options.requests = std::atoi(next());
     } else if (arg == "--concurrency") {
       options.concurrency = std::atoi(next());
+    } else if (arg == "--qps") {
+      options.qps = std::atof(next());
     } else if (arg == "--repeat-ratio") {
       options.repeat_ratio = std::atof(next());
     } else if (arg == "--seed") {
@@ -531,6 +605,10 @@ int main(int argc, char** argv) {
       options.faults = std::atof(next());
     } else if (arg == "--min-hit-rate") {
       options.min_hit_rate = std::atof(next());
+    } else if (arg == "--min-overload") {
+      options.min_overload = std::atoll(next());
+    } else if (arg == "--max-queue") {
+      options.max_queue = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--slo-p99-us") {
       options.slo_p99_us = std::atof(next());
     } else if (arg == "--bench-out") {
@@ -556,6 +634,12 @@ int main(int argc, char** argv) {
     std::cerr << "invalid --requests/--concurrency/--repeat-ratio\n";
     return usage(argv[0]);
   }
+  if (options.qps < 0.0 ||
+      (options.qps > 0.0 && options.arrival_stream)) {
+    std::cerr << "invalid --qps (must be > 0; not available with "
+                 "--arrival-stream)\n";
+    return usage(argv[0]);
+  }
   if (options.batches < 1) {
     std::cerr << "invalid --batches\n";
     return usage(argv[0]);
@@ -565,7 +649,13 @@ int main(int argc, char** argv) {
   std::unique_ptr<ptask::serve::Server> spawned;
   if (options.spawn) {
     ptask::serve::ServerOptions server_options;
-    server_options.num_workers = options.concurrency;
+    // The reactor multiplexes all connections, so the worker pool sizes
+    // compute: one worker per core (capped by the client count) -- more
+    // would just thrash the scheduler-bound CPUs.
+    const int cores = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+    server_options.num_workers = std::min(options.concurrency, cores);
+    server_options.max_queue = options.max_queue;
     spawned = std::make_unique<ptask::serve::Server>(server_options);
     spawned->start();
     options.port = spawned->port();
@@ -632,7 +722,7 @@ int main(int argc, char** argv) {
         first_seed += static_cast<std::uint64_t>(count);
       } else {
         threads.emplace_back([&, t, count] {
-          client_loop(options, pool, t, count, tally);
+          client_loop(options, pool, t0, t, count, tally);
         });
       }
     }
@@ -686,9 +776,14 @@ int main(int argc, char** argv) {
     const std::lock_guard<std::mutex> lock(tally.latency_mutex);
     latencies_us = std::move(tally.latencies_us);
   }
+  // Sustained throughput: *successful* responses per wall second -- PTS008
+  // rejections are fast, so counting them would let an overloaded server
+  // look faster than a healthy one.
+  const double achieved_qps =
+      seconds > 0 ? static_cast<double>(tally.ok.load()) / seconds : 0.0;
   if (!options.bench_out.empty()) {
     std::ofstream out(options.bench_out);
-    out << render_bench_serve_json(latencies_us, hit_rate);
+    out << render_bench_serve_json(latencies_us, achieved_qps, hit_rate);
   }
 
   const std::uint64_t sent = tally.sent.load();
@@ -696,14 +791,17 @@ int main(int argc, char** argv) {
     std::cout << "ptask_loadgen: " << sent << " schedule requests ("
               << tally.fault_frames.load() << " injected fault frames, "
               << tally.reconnects.load() << " reconnects) in " << seconds
-              << "s (" << (seconds > 0 ? static_cast<double>(sent) / seconds
-                                       : 0.0)
-              << " qps)\n";
+              << "s (" << achieved_qps << " ok-qps";
+    if (options.qps > 0.0) {
+      std::cout << ", offered " << options.qps << " qps open-loop";
+    }
+    std::cout << ")\n";
     std::cout << "ptask_loadgen: ok=" << tally.ok.load()
               << " oracle_mismatches=" << tally.oracle_mismatches.load()
               << " certificate_mismatches="
               << tally.certificate_mismatches.load()
-              << " unexpected=" << tally.unexpected.load();
+              << " unexpected=" << tally.unexpected.load()
+              << " overloaded=" << tally.overloaded.load();
     if (hit_rate >= 0) std::cout << " cache_hit_rate=" << hit_rate;
     std::cout << "\n";
     if (!latencies_us.empty()) {
@@ -729,6 +827,14 @@ int main(int argc, char** argv) {
   if (options.min_hit_rate >= 0.0 && hit_rate < options.min_hit_rate) {
     std::cerr << "ptask_loadgen: cache hit rate " << hit_rate
               << " below required " << options.min_hit_rate << "\n";
+    failed = true;
+  }
+  if (options.min_overload >= 0 &&
+      tally.overloaded.load() < static_cast<std::uint64_t>(options.min_overload)) {
+    std::cerr << "ptask_loadgen: " << tally.overloaded.load()
+              << " PTS008 responses, expected at least "
+              << options.min_overload
+              << " (admission control never engaged)\n";
     failed = true;
   }
   if (options.slo_p99_us >= 0.0) {
